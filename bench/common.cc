@@ -1,0 +1,98 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace nodb {
+namespace bench {
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = atof(argv[i] + 8);
+    } else if (strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      fprintf(stderr, "unknown flag: %s (supported: --scale=, --seed=)\n",
+              argv[i]);
+      exit(2);
+    }
+  }
+  if (args.scale <= 0) args.scale = 1.0;
+  return args;
+}
+
+void PrintBanner(const std::string& figure, const std::string& paper_claim) {
+  printf("==============================================================\n");
+  printf("%s\n", figure.c_str());
+  printf("Paper: %s\n", paper_claim.c_str());
+  printf("==============================================================\n");
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    printf("\n");
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double v, int decimals) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+double RunQuery(Database* db, const std::string& sql) {
+  auto result = db->Execute(sql);
+  if (!result.ok()) {
+    fprintf(stderr, "query failed: %s\n  %s\n", sql.c_str(),
+            result.status().ToString().c_str());
+    exit(1);
+  }
+  return result->seconds;
+}
+
+TempDir* DataDir() {
+  static TempDir* dir = new TempDir();
+  return dir;
+}
+
+std::string MicroCsv(const MicroDataSpec& spec, const std::string& tag) {
+  std::string path = DataDir()->File("micro_" + tag + ".csv");
+  if (!FileExists(path)) {
+    Status s = GenerateWideCsv(path, spec);
+    if (!s.ok()) {
+      fprintf(stderr, "data generation failed: %s\n", s.ToString().c_str());
+      exit(1);
+    }
+  }
+  return path;
+}
+
+}  // namespace bench
+}  // namespace nodb

@@ -1,0 +1,57 @@
+#ifndef NODB_BENCH_COMMON_H_
+#define NODB_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engines.h"
+#include "util/fs_util.h"
+#include "workload/micro.h"
+
+namespace nodb {
+namespace bench {
+
+/// Command-line knobs shared by all figure benchmarks:
+///   --scale=F   multiplies dataset sizes (default 1.0; the paper's sizes
+///               correspond to roughly --scale=250 for the micro file)
+///   --seed=N    workload seed
+struct BenchArgs {
+  double scale = 1.0;
+  uint64_t seed = 42;
+};
+
+BenchArgs ParseArgs(int argc, char** argv);
+
+/// Prints the figure banner: what the paper reports and what to look for.
+void PrintBanner(const std::string& figure, const std::string& paper_claim);
+
+/// Simple aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision number rendering for tables.
+std::string Fmt(double v, int decimals = 3);
+
+/// Executes `sql` and returns the elapsed seconds; aborts the benchmark
+/// process with a message on error (a benchmark must not silently skip).
+double RunQuery(Database* db, const std::string& sql);
+
+/// Scratch directory for generated datasets, cleaned at process exit.
+TempDir* DataDir();
+
+/// Generates (once per process) a micro-benchmark CSV and returns its path.
+std::string MicroCsv(const MicroDataSpec& spec, const std::string& tag);
+
+}  // namespace bench
+}  // namespace nodb
+
+#endif  // NODB_BENCH_COMMON_H_

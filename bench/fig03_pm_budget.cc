@@ -1,0 +1,60 @@
+// Figure 3 — "Effect of the number of pointers in the positional map":
+// average query time of random 10-attribute projections as the positional
+// map's storage budget grows. The paper reports a >2x improvement that
+// saturates well before the full map is resident (after ~3/4 of the
+// pointers, response time is constant).
+
+#include "common.h"
+#include "util/rng.h"
+
+using namespace nodb;
+using namespace nodb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  PrintBanner(
+      "Figure 3: execution time vs positional-map storage budget",
+      ">2x improvement from the map; flat after ~3/4 of pointers collected "
+      "(14.3 MB - 2.1 GB in the paper, scaled here).");
+
+  MicroDataSpec spec;
+  spec.rows = static_cast<uint64_t>(20000 * args.scale);
+  spec.cols = 150;  // the paper uses 150 attributes
+  spec.seed = args.seed;
+  std::string csv = MicroCsv(spec, "fig03");
+  Schema schema = MicroSchema(spec);
+
+  // Full-map footprint: every attribute position + the row-start spine.
+  uint64_t full_map = spec.rows * spec.cols * sizeof(uint32_t) +
+                      spec.rows * sizeof(uint64_t);
+  const double kFractions[] = {0.02, 0.10, 0.25, 0.50, 0.75, 1.00, 1.25};
+  constexpr int kQueries = 15;
+
+  TextTable table({"pm_budget(frac)", "budget(KiB)", "avg query(s)",
+                   "positions(k)", "evictions"});
+  for (double fraction : kFractions) {
+    EngineConfig config =
+        EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPM);
+    config.pm_budget_bytes =
+        static_cast<uint64_t>(full_map * fraction);
+    Database db(config);
+    if (!db.RegisterCsv("wide", csv, schema).ok()) return 1;
+
+    Rng rng(args.seed);
+    double total = 0;
+    for (int q = 0; q < kQueries; ++q) {
+      total += RunQuery(&db, RandomProjectionQuery("wide", spec.cols, 10,
+                                                   &rng));
+    }
+    TableRuntime* rt = db.runtime("wide");
+    table.AddRow({Fmt(fraction, 2),
+                  Fmt(config.pm_budget_bytes / 1024.0, 0),
+                  Fmt(total / kQueries),
+                  Fmt(rt->pmap->num_positions() / 1000.0, 1),
+                  std::to_string(rt->pmap->counters().chunks_evicted)});
+  }
+  table.Print();
+  printf("\nExpected shape: average time drops steeply with budget, then "
+         "flattens; the largest budgets are indistinguishable.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 12 — "Execution time as PostgresRaw generates statistics":
+// four instances of the TPC-H Q1 template on PostgresRaw with and without
+// on-the-fly statistics. Paper's shape: collecting statistics adds a small
+// overhead to the first query (+4.5s on 11 GB there), after which the
+// optimizer picks better plans and the remaining instances run ~3x faster.
+
+#include "common.h"
+#include "workload/tpch_gen.h"
+
+using namespace nodb;
+using namespace nodb::bench;
+
+namespace {
+
+/// TPC-H Q1 template with a varying shipdate delta, as qgen produces.
+std::string Q1Instance(int delta_days) {
+  return "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, "
+         "SUM(l_extendedprice) AS sum_base_price, "
+         "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+         "AVG(l_quantity) AS avg_qty, COUNT(*) AS count_order "
+         "FROM lineitem "
+         "WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '" +
+         std::to_string(delta_days) +
+         "' DAY GROUP BY l_returnflag, l_linestatus "
+         "ORDER BY l_returnflag, l_linestatus";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  PrintBanner(
+      "Figure 12: on-the-fly statistics, 4 instances of TPC-H Q1",
+      "Small overhead on Q1_a for collecting statistics; subsequent "
+      "instances ~3x faster thanks to better plans (the optimizer switches "
+      "the aggregation strategy).");
+
+  std::string dir = DataDir()->path();
+  TpchSpec spec;
+  spec.scale_factor = 0.02 * args.scale;
+  spec.seed = args.seed;
+  printf("generating TPC-H SF=%.3f ...\n", spec.scale_factor);
+  if (!GenerateTpch(dir, spec).ok()) return 1;
+  std::string lineitem_csv = dir + "/lineitem.csv";
+
+  const int kDeltas[] = {90, 60, 120, 75};  // qgen varies [60, 120]
+
+  TextTable table({"query", "w/ statistics(s)", "w/o statistics(s)",
+                   "plan w/ stats", "plan w/o stats"});
+
+  // Two engines: statistics on vs off (both PM+C, as in the paper).
+  EngineConfig with_cfg =
+      EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
+  EngineConfig without_cfg = with_cfg;
+  without_cfg.statistics = false;
+  Database with_stats(with_cfg);
+  Database without_stats(without_cfg);
+  if (!with_stats.RegisterCsv("lineitem", lineitem_csv,
+                              TpchSchema("lineitem"))
+           .ok() ||
+      !without_stats.RegisterCsv("lineitem", lineitem_csv,
+                                 TpchSchema("lineitem"))
+           .ok()) {
+    return 1;
+  }
+
+  char label = 'a';
+  for (int delta : kDeltas) {
+    std::string sql = Q1Instance(delta);
+    // Plans captured before execution: Q1_a's "with statistics" plan is
+    // still statistics-less (nothing has been scanned yet).
+    auto plan_w = with_stats.Explain(sql);
+    auto plan_wo = without_stats.Explain(sql);
+    double w = RunQuery(&with_stats, sql);
+    double wo = RunQuery(&without_stats, sql);
+    auto agg_of = [](const std::string& plan) {
+      return plan.find("HashAggregate") != std::string::npos
+                 ? std::string("HashAggregate")
+                 : std::string("SortAggregate");
+    };
+    table.AddRow({std::string("Q1_") + label, Fmt(w), Fmt(wo),
+                  agg_of(*plan_w), agg_of(*plan_wo)});
+    ++label;
+  }
+  table.Print();
+  printf("\nExpected shape: Q1_a similar in both (stats collection costs a "
+         "little); Q1_b..Q1_d clearly faster with statistics, which switch "
+         "the plan from SortAggregate to HashAggregate.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Engineering micro-benchmarks (google-benchmark): raw throughput of the
+// pieces on the in-situ hot path — tokenizing, parsing, positional-map
+// lookups, cache access. Not a paper figure; used to sanity-check that the
+// building blocks have the cost ordering the design assumes (conversion >
+// tokenizing > map lookup > cache hit).
+
+#include <benchmark/benchmark.h>
+
+#include "cache/column_cache.h"
+#include "csv/tokenizer.h"
+#include "pmap/positional_map.h"
+#include "util/rng.h"
+#include "util/str_conv.h"
+
+namespace nodb {
+namespace {
+
+std::string MakeLine(int fields) {
+  Rng rng(7);
+  std::string line;
+  for (int f = 0; f < fields; ++f) {
+    if (f > 0) line += ",";
+    AppendInt64(&line, rng.Uniform(0, 999999999));
+  }
+  return line;
+}
+
+void BM_TokenizeFullLine(benchmark::State& state) {
+  std::string line = MakeLine(50);
+  CsvDialect dialect;
+  std::vector<uint32_t> starts(50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TokenizeStarts(line, dialect, 49, starts.data()));
+  }
+  state.SetBytesProcessed(state.iterations() * line.size());
+}
+BENCHMARK(BM_TokenizeFullLine);
+
+void BM_TokenizeSelectiveTo5(benchmark::State& state) {
+  std::string line = MakeLine(50);
+  CsvDialect dialect;
+  std::vector<uint32_t> starts(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TokenizeStarts(line, dialect, 5, starts.data()));
+  }
+}
+BENCHMARK(BM_TokenizeSelectiveTo5);
+
+void BM_ParseInt64Field(benchmark::State& state) {
+  std::string field = "123456789";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseInt64(field));
+  }
+}
+BENCHMARK(BM_ParseInt64Field);
+
+void BM_ParseDoubleField(benchmark::State& state) {
+  std::string field = "12345.6789";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseDouble(field));
+  }
+}
+BENCHMARK(BM_ParseDoubleField);
+
+void BM_ParseDateField(benchmark::State& state) {
+  std::string field = "1995-06-17";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseDate(field));
+  }
+}
+BENCHMARK(BM_ParseDateField);
+
+void BM_PositionalMapLookup(benchmark::State& state) {
+  PositionalMap pm(50, PositionalMap::Options{});
+  int chunk = pm.BeginStripeInsert(0, {4, 8});
+  for (int t = 0; t < 4096; ++t) {
+    pm.InsertPosition(chunk, t, 4, t * 10);
+    pm.InsertPosition(chunk, t, 8, t * 10 + 5);
+  }
+  pm.EndStripeInsert();
+  uint64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.Lookup(t % 4096, 4));
+    ++t;
+  }
+}
+BENCHMARK(BM_PositionalMapLookup);
+
+void BM_PositionalMapBulkFill(benchmark::State& state) {
+  PositionalMap pm(50, PositionalMap::Options{});
+  int chunk = pm.BeginStripeInsert(0, {4});
+  for (int t = 0; t < 4096; ++t) pm.InsertPosition(chunk, t, 4, t * 10);
+  pm.EndStripeInsert();
+  std::vector<uint32_t> out(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.FillStripePositions(0, 4, out.data(), 4096));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PositionalMapBulkFill);
+
+void BM_CacheGetHit(benchmark::State& state) {
+  ColumnCache cache({TypeId::kInt64}, ColumnCache::Options{});
+  std::vector<Value> column;
+  for (int i = 0; i < 4096; ++i) column.push_back(Value::Int64(i));
+  cache.Put(0, 0, std::move(column));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get(0, 0));
+  }
+}
+BENCHMARK(BM_CacheGetHit);
+
+}  // namespace
+}  // namespace nodb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Astronomy on FITS binary tables (paper §5.3): SQL over telescope catalog
+// data without converting it out of FITS — "a major advantage of the
+// PostgresRaw philosophy is that it allows database technology, such as
+// declarative queries, to be executed over data sources that would
+// otherwise not be supported."
+//
+// The same analysis is shown twice: as one SQL statement, and as the
+// procedural CFITSIO-style code an astronomer would otherwise write —
+// usability being the paper's third observation about this experiment.
+
+#include <cstdio>
+
+#include "engine/engines.h"
+#include "fits/cfitsio_like.h"
+#include "fits/fits_writer.h"
+#include "util/fs_util.h"
+#include "util/rng.h"
+
+using namespace nodb;
+
+int main() {
+  TempDir scratch;
+  std::string path = scratch.File("catalog.fits");
+
+  // A small star catalog: position, brightness, class.
+  {
+    Schema schema{{"ra", TypeId::kDouble},
+                  {"dec", TypeId::kDouble},
+                  {"mag", TypeId::kDouble},
+                  {"parallax", TypeId::kDouble},
+                  {"class", TypeId::kString}};
+    auto writer = FitsWriter::Create(path, schema, {8});
+    if (!writer.ok()) return 1;
+    Rng rng(1609);
+    const char* classes[] = {"STAR", "GALAXY", "QSO", "STAR", "STAR"};
+    for (int i = 0; i < 250000; ++i) {
+      if (!(*writer)
+               ->Append({Value::Double(rng.NextDouble() * 360.0),
+                         Value::Double(rng.NextDouble() * 180.0 - 90.0),
+                         Value::Double(8.0 + rng.NextDouble() * 14.0),
+                         Value::Double(rng.NextDouble() * 50.0),
+                         Value::String(classes[rng.Next() % 5])})
+               .ok()) {
+        return 1;
+      }
+    }
+    if (!(*writer)->Finish().ok()) return 1;
+  }
+
+  // --- SQL over the FITS file (schema read from the FITS header) ---
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  if (!db->RegisterFits("catalog", path).ok()) return 1;
+
+  const char* queries[] = {
+      "SELECT COUNT(*), MIN(mag), MAX(mag) FROM catalog",
+      "SELECT class, COUNT(*) AS objects, AVG(mag) AS avg_mag "
+      "FROM catalog GROUP BY class ORDER BY objects DESC",
+      // A bright-object cone-ish search around the celestial equator.
+      "SELECT COUNT(*) FROM catalog WHERE mag < 10 "
+      "AND dec BETWEEN -5.0 AND 5.0",
+  };
+  printf("=== declarative: SQL straight over the FITS file ===\n");
+  for (const char* sql : queries) {
+    printf("> %s\n", sql);
+    auto result = db->Execute(sql);
+    if (!result.ok()) {
+      fprintf(stderr, "failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    printf("%s  (%.1f ms)\n\n", result->ToString(6).c_str(),
+           result->seconds * 1000);
+  }
+
+  // --- the same bright-object count, the CFITSIO way ---
+  printf("=== procedural: the CFITSIO-style equivalent of query 3 ===\n");
+  fitsfile* f = nullptr;
+  if (fits_open_table(&f, path.c_str()) != kFitsOk) return 1;
+  long long nrows = 0;
+  fits_get_num_rows(f, &nrows);
+  int mag_col = 0, dec_col = 0;
+  fits_get_colnum(f, "mag", &mag_col);
+  fits_get_colnum(f, "dec", &dec_col);
+  std::vector<double> mag(nrows), dec(nrows);
+  if (fits_read_col_dbl(f, mag_col, 1, nrows, mag.data()) != kFitsOk ||
+      fits_read_col_dbl(f, dec_col, 1, nrows, dec.data()) != kFitsOk) {
+    return 1;
+  }
+  long long count = 0;
+  for (long long i = 0; i < nrows; ++i) {
+    if (mag[i] < 10 && dec[i] >= -5.0 && dec[i] <= 5.0) ++count;
+  }
+  fits_close_file(f);
+  printf("hand-written loop says: %lld bright equatorial objects\n", count);
+  printf("(every new question needs another program — or one SQL line "
+         "above)\n");
+  return 0;
+}

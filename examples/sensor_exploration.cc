@@ -1,0 +1,82 @@
+// Scientific data exploration — the paper's motivating scenario (§1): "a
+// scientist needs to quickly examine a few Terabytes of new data in search
+// of certain properties. Even though only few attributes might be relevant
+// for the task, the entire data must first be loaded inside the database."
+//
+// Here a wide sensor log (many channels per reading) is explored in situ:
+// early queries touch a few channels, later ones drill into a region of
+// interest. Watch the per-query times drop as the positional map and cache
+// learn the access pattern — and note that no load ever happened.
+
+#include <cstdio>
+
+#include "engine/engines.h"
+#include "util/fs_util.h"
+#include "util/rng.h"
+#include "workload/micro.h"
+
+using namespace nodb;
+
+int main() {
+  TempDir scratch;
+
+  // 50k readings x 80 channels of integer samples (a few hundred MB at
+  // real deployments; MB-scale here).
+  MicroDataSpec spec;
+  spec.rows = 50000;
+  spec.cols = 80;
+  spec.seed = 7;
+  std::string csv = scratch.File("sensors.csv");
+  if (!GenerateWideCsv(csv, spec).ok()) return 1;
+  printf("sensor log: %llu readings x %d channels (%s)\n\n",
+         static_cast<unsigned long long>(spec.rows), spec.cols, csv.c_str());
+
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  if (!db->RegisterCsv("sensors", csv, MicroSchema(spec)).ok()) return 1;
+
+  struct Step {
+    const char* what;
+    std::string sql;
+  };
+  const Step steps[] = {
+      {"sanity: how many readings?", "SELECT COUNT(*) FROM sensors"},
+      {"first look at channel 72",
+       "SELECT MIN(a72), MAX(a72), AVG(a72) FROM sensors"},
+      {"same channel again (warm structures)",
+       "SELECT MIN(a72), MAX(a72), AVG(a72) FROM sensors"},
+      {"anomaly hunt: spikes on channel 72",
+       "SELECT COUNT(*) FROM sensors WHERE a72 > 990000000"},
+      {"correlate neighbouring channels for the spikes",
+       "SELECT AVG(a71), AVG(a73) FROM sensors WHERE a72 > 990000000"},
+      {"drill into a band of channels",
+       "SELECT AVG(a70), AVG(a71), AVG(a72), AVG(a73), AVG(a74) "
+       "FROM sensors"},
+  };
+
+  for (const Step& step : steps) {
+    auto result = db->Execute(step.sql);
+    if (!result.ok()) {
+      fprintf(stderr, "failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    printf("%-48s %7.1f ms", step.what, result->seconds * 1000);
+    if (result->rows.size() == 1) {
+      printf("   [");
+      for (size_t c = 0; c < result->rows[0].size(); ++c) {
+        printf("%s%s", c ? ", " : "", result->rows[0][c].ToString().c_str());
+      }
+      printf("]");
+    }
+    printf("\n");
+  }
+
+  TableRuntime* rt = db->runtime("sensors");
+  printf("\nno load was ever run; the engine learned adaptively:\n");
+  printf("  positional map: %.1f MiB (%llu positions)\n",
+         rt->pmap->memory_bytes() / (1024.0 * 1024.0),
+         static_cast<unsigned long long>(rt->pmap->num_positions()));
+  printf("  cache:          %.1f MiB\n",
+         rt->cache->memory_bytes() / (1024.0 * 1024.0));
+  printf("  statistics:     channel a72 min/max now known to the optimizer\n");
+  return 0;
+}

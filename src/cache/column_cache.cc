@@ -1,0 +1,110 @@
+#include "cache/column_cache.h"
+
+namespace nodb {
+
+namespace {
+/// Fixed per-entry bookkeeping charge (hash node + LRU node, approximate).
+constexpr uint64_t kEntryOverhead = 64;
+}  // namespace
+
+ColumnCache::ColumnCache(std::vector<TypeId> types, Options options)
+    : types_(std::move(types)), options_(options) {
+  int max_class = 0;
+  for (TypeId t : types_) max_class = std::max(max_class, ConversionCostClass(t));
+  lru_by_class_.resize(max_class + 1);
+}
+
+uint64_t ColumnCache::BytesOf(const std::vector<Value>& values,
+                              TypeId type) {
+  uint64_t bytes = values.size() * sizeof(Value);
+  if (type == TypeId::kString) {
+    for (const Value& v : values) {
+      if (!v.is_null()) bytes += v.str().size();
+    }
+  }
+  return bytes + kEntryOverhead;
+}
+
+const std::vector<Value>* ColumnCache::Get(uint64_t stripe, int attr) {
+  auto it = entries_.find(KeyOf(stripe, attr));
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  Entry& e = it->second;
+  std::list<uint64_t>& lru = lru_by_class_[e.cost_class];
+  if (e.lru_pos != lru.begin()) {
+    lru.splice(lru.begin(), lru, e.lru_pos);
+    e.lru_pos = lru.begin();
+  }
+  return &e.values;
+}
+
+bool ColumnCache::Contains(uint64_t stripe, int attr) const {
+  return entries_.find(KeyOf(stripe, attr)) != entries_.end();
+}
+
+void ColumnCache::Put(uint64_t stripe, int attr, std::vector<Value> values) {
+  uint64_t key = KeyOf(stripe, attr);
+  uint64_t bytes = BytesOf(values, types_[attr]);
+  if (bytes > options_.budget_bytes) return;  // would evict everything else
+  int cost_class = ConversionCostClass(types_[attr]);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& e = it->second;
+    memory_bytes_ -= e.bytes;
+    e.values = std::move(values);
+    e.bytes = bytes;
+    memory_bytes_ += bytes;
+    std::list<uint64_t>& lru = lru_by_class_[e.cost_class];
+    lru.splice(lru.begin(), lru, e.lru_pos);
+    e.lru_pos = lru.begin();
+  } else {
+    Entry e;
+    e.values = std::move(values);
+    e.bytes = bytes;
+    e.cost_class = cost_class;
+    lru_by_class_[cost_class].push_front(key);
+    e.lru_pos = lru_by_class_[cost_class].begin();
+    memory_bytes_ += bytes;
+    entries_.emplace(key, std::move(e));
+  }
+  ++counters_.inserts;
+  EnforceBudget();
+}
+
+void ColumnCache::EnforceBudget() {
+  while (memory_bytes_ > options_.budget_bytes) {
+    // Evict from the cheapest-to-reconvert class that has entries.
+    bool evicted = false;
+    for (std::list<uint64_t>& lru : lru_by_class_) {
+      if (lru.empty()) continue;
+      uint64_t victim = lru.back();
+      lru.pop_back();
+      auto it = entries_.find(victim);
+      memory_bytes_ -= it->second.bytes;
+      entries_.erase(it);
+      ++counters_.evictions;
+      evicted = true;
+      break;
+    }
+    if (!evicted) break;
+  }
+}
+
+double ColumnCache::utilization() const {
+  if (options_.budget_bytes == UINT64_MAX || options_.budget_bytes == 0) {
+    return memory_bytes_ > 0 ? 1.0 : 0.0;
+  }
+  return static_cast<double>(memory_bytes_) /
+         static_cast<double>(options_.budget_bytes);
+}
+
+void ColumnCache::Clear() {
+  entries_.clear();
+  for (auto& lru : lru_by_class_) lru.clear();
+  memory_bytes_ = 0;
+}
+
+}  // namespace nodb

@@ -1,0 +1,93 @@
+#ifndef NODB_CACHE_COLUMN_CACHE_H_
+#define NODB_CACHE_COLUMN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace nodb {
+
+/// Adaptive binary-value cache (the paper's §4.3). Holds already-converted
+/// attribute values per (attribute, tuple-stripe) so future queries skip both
+/// the raw-file access and the text-to-binary conversion. Populated on the
+/// fly during scans — only with attributes the current query actually parsed
+/// ("caching does not force additional data to be parsed").
+///
+/// Eviction is LRU *within* a conversion-cost class, and cheap-to-convert
+/// classes are evicted first: "the PostgresRaw cache always gives priority to
+/// attributes more costly to convert" (ASCII numerics cost more to re-create
+/// than strings, and are also smaller in binary form).
+class ColumnCache {
+ public:
+  struct Options {
+    uint64_t budget_bytes = UINT64_MAX;
+    int tuples_per_chunk = 4096;  // must match the scan's stripe size
+  };
+
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// `types[attr]` drives the eviction priority of each attribute.
+  ColumnCache(std::vector<TypeId> types, Options options);
+
+  ColumnCache(const ColumnCache&) = delete;
+  ColumnCache& operator=(const ColumnCache&) = delete;
+
+  /// Cached values of `attr` for `stripe` (one Value per tuple in the
+  /// stripe), or nullptr. The pointer is valid until the next Put/Clear.
+  const std::vector<Value>* Get(uint64_t stripe, int attr);
+
+  /// True without touching recency (used when planning stripe access).
+  bool Contains(uint64_t stripe, int attr) const;
+
+  /// Inserts (or replaces) the cached values for (stripe, attr).
+  void Put(uint64_t stripe, int attr, std::vector<Value> values);
+
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  uint64_t budget_bytes() const { return options_.budget_bytes; }
+  /// Fraction of the budget in use, in [0, 1] (1 if budget is unlimited
+  /// and anything is cached).
+  double utilization() const;
+  const Counters& counters() const { return counters_; }
+
+  void Clear();
+
+ private:
+  struct Entry;
+  /// Cache key: stripe in the high bits, attribute in the low bits.
+  static uint64_t KeyOf(uint64_t stripe, int attr) {
+    return (stripe << 16) | static_cast<uint64_t>(attr);
+  }
+
+  struct Entry {
+    std::vector<Value> values;
+    uint64_t bytes = 0;
+    int cost_class = 0;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  static uint64_t BytesOf(const std::vector<Value>& values, TypeId type);
+  void EnforceBudget();
+
+  std::vector<TypeId> types_;
+  Options options_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  /// One LRU list per conversion-cost class; eviction drains the lowest
+  /// non-empty class first, from its least-recently-used tail.
+  std::vector<std::list<uint64_t>> lru_by_class_;
+  uint64_t memory_bytes_ = 0;
+  Counters counters_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_CACHE_COLUMN_CACHE_H_

@@ -1,0 +1,22 @@
+#ifndef NODB_CSV_DIALECT_H_
+#define NODB_CSV_DIALECT_H_
+
+namespace nodb {
+
+/// Syntax of a delimiter-separated raw file.
+///
+/// `quoting` enables RFC-4180-style double-quoted fields (with "" escapes).
+/// Quoting forces the tokenizer onto a slower state-machine path and makes
+/// backward incremental tokenizing ambiguous, so the in-situ scan only
+/// tokenizes backward from positional-map entries when quoting is off
+/// (the data-generator outputs and TPC-H files never need quotes).
+struct CsvDialect {
+  char delimiter = ',';
+  bool has_header = false;
+  bool quoting = false;
+  char quote = '"';
+};
+
+}  // namespace nodb
+
+#endif  // NODB_CSV_DIALECT_H_

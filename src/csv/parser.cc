@@ -1,0 +1,32 @@
+#include "csv/parser.h"
+
+namespace nodb {
+
+std::string_view UnquoteField(std::string_view raw, const CsvDialect& dialect,
+                              std::string* scratch) {
+  if (!dialect.quoting || raw.size() < 2 || raw.front() != dialect.quote ||
+      raw.back() != dialect.quote) {
+    return raw;
+  }
+  std::string_view inner = raw.substr(1, raw.size() - 2);
+  // Fast path: no escaped quotes inside.
+  if (inner.find(dialect.quote) == std::string_view::npos) return inner;
+  scratch->clear();
+  for (size_t i = 0; i < inner.size(); ++i) {
+    scratch->push_back(inner[i]);
+    if (inner[i] == dialect.quote && i + 1 < inner.size() &&
+        inner[i + 1] == dialect.quote) {
+      ++i;  // collapse "" to "
+    }
+  }
+  return *scratch;
+}
+
+Result<Value> ParseCsvField(std::string_view raw, TypeId type,
+                            const CsvDialect& dialect) {
+  std::string scratch;
+  std::string_view text = UnquoteField(raw, dialect, &scratch);
+  return Value::ParseAs(type, text);
+}
+
+}  // namespace nodb

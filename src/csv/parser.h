@@ -1,0 +1,28 @@
+#ifndef NODB_CSV_PARSER_H_
+#define NODB_CSV_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "csv/dialect.h"
+#include "types/data_type.h"
+#include "types/value.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Removes the quoting layer from a raw field. For unquoted fields the input
+/// view is returned unchanged; for quoted fields the unescaped content is
+/// materialized into `*scratch` and a view of it returned.
+std::string_view UnquoteField(std::string_view raw, const CsvDialect& dialect,
+                              std::string* scratch);
+
+/// Converts one raw field to a typed binary Value — the paper's expensive
+/// "data type conversion" step that selective parsing defers or skips.
+/// Empty fields become NULL.
+Result<Value> ParseCsvField(std::string_view raw, TypeId type,
+                            const CsvDialect& dialect);
+
+}  // namespace nodb
+
+#endif  // NODB_CSV_PARSER_H_

@@ -1,0 +1,66 @@
+#include "csv/scanner.h"
+
+#include <cstring>
+
+namespace nodb {
+
+CsvScanner::CsvScanner(const RandomAccessFile* file, uint64_t buffer_size)
+    : file_(file), capacity_(buffer_size < 4096 ? 4096 : buffer_size) {
+  buffer_.resize(capacity_);
+}
+
+void CsvScanner::SeekTo(uint64_t offset) {
+  next_offset_ = offset;
+  // Invalidate the window unless the offset is already inside it.
+  if (offset < buffer_start_ || offset >= buffer_start_ + buffer_len_) {
+    buffer_len_ = 0;
+    buffer_start_ = offset;
+  }
+}
+
+Status CsvScanner::Refill() {
+  // Slide any unconsumed tail to the front, then append fresh bytes.
+  uint64_t consumed = next_offset_ - buffer_start_;
+  uint64_t tail = buffer_len_ - consumed;
+  if (tail > 0 && consumed > 0) {
+    memmove(buffer_.data(), buffer_.data() + consumed, tail);
+  }
+  buffer_start_ = next_offset_;
+  buffer_len_ = tail;
+  if (buffer_len_ == buffer_.size()) {
+    // A single record larger than the buffer: grow.
+    buffer_.resize(buffer_.size() * 2);
+  }
+  uint64_t want = buffer_.size() - buffer_len_;
+  NODB_ASSIGN_OR_RETURN(
+      uint64_t n, file_->Read(buffer_start_ + buffer_len_, want,
+                              buffer_.data() + buffer_len_));
+  buffer_len_ += n;
+  return Status::OK();
+}
+
+Result<bool> CsvScanner::Next(LineRef* line) {
+  if (next_offset_ >= file_->size()) return false;
+  while (true) {
+    uint64_t rel = next_offset_ - buffer_start_;
+    if (rel < buffer_len_) {
+      const char* base = buffer_.data() + rel;
+      uint64_t avail = buffer_len_ - rel;
+      const char* nl = static_cast<const char*>(memchr(base, '\n', avail));
+      bool at_eof = buffer_start_ + buffer_len_ >= file_->size();
+      if (nl != nullptr || at_eof) {
+        uint64_t len = nl != nullptr ? static_cast<uint64_t>(nl - base) : avail;
+        uint64_t text_len = len;
+        if (text_len > 0 && base[text_len - 1] == '\r') --text_len;
+        line->offset = next_offset_;
+        line->text = std::string_view(base, text_len);
+        next_offset_ += len + (nl != nullptr ? 1 : 0);
+        return true;
+      }
+    }
+    NODB_RETURN_IF_ERROR(Refill());
+    if (buffer_len_ == 0) return false;  // nothing left
+  }
+}
+
+}  // namespace nodb

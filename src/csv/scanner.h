@@ -1,0 +1,56 @@
+#ifndef NODB_CSV_SCANNER_H_
+#define NODB_CSV_SCANNER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "csv/dialect.h"
+#include "io/file.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// One raw record: its absolute file offset and its text (newline stripped).
+struct LineRef {
+  uint64_t offset = 0;
+  std::string_view text;
+};
+
+/// Streaming record reader over a raw file. Reads the file in large chunks,
+/// splits on '\n' (an optional preceding '\r' is stripped), and reassembles
+/// records that straddle chunk boundaries. The returned string_view is valid
+/// until the next call to Next() or SeekTo().
+class CsvScanner {
+ public:
+  /// `file` must outlive the scanner.
+  explicit CsvScanner(const RandomAccessFile* file,
+                      uint64_t buffer_size = 1 << 20);
+
+  /// Reads the next record into `*line`; returns false at end of file.
+  /// A final record without a trailing newline is returned.
+  Result<bool> Next(LineRef* line);
+
+  /// Repositions the scanner at `offset`, which must be the first byte of a
+  /// record (offset 0 or one past a '\n').
+  void SeekTo(uint64_t offset);
+
+  /// File offset of the byte that the next call to Next() starts reading at.
+  uint64_t position() const { return next_offset_; }
+
+ private:
+  /// Ensures buffer_ holds the bytes at [buffer_start_, ...) covering
+  /// next_offset_ with at least one byte (unless at EOF).
+  Status Refill();
+
+  const RandomAccessFile* file_;
+  std::vector<char> buffer_;
+  uint64_t capacity_;
+  uint64_t buffer_start_ = 0;  // file offset of buffer_[0]
+  uint64_t buffer_len_ = 0;
+  uint64_t next_offset_ = 0;  // file offset of the next record's first byte
+};
+
+}  // namespace nodb
+
+#endif  // NODB_CSV_SCANNER_H_

@@ -1,0 +1,108 @@
+#include "csv/tokenizer.h"
+
+#include <cstring>
+
+namespace nodb {
+
+namespace {
+
+/// Advances past the quoted field starting at `pos` (which points at the
+/// opening quote). Returns the offset just past the closing quote; embedded
+/// "" pairs are skipped. If the quote never closes, returns line.size().
+uint32_t SkipQuoted(std::string_view line, char quote, uint32_t pos) {
+  uint32_t i = pos + 1;
+  while (i < line.size()) {
+    if (line[i] == quote) {
+      if (i + 1 < line.size() && line[i + 1] == quote) {
+        i += 2;  // escaped quote
+        continue;
+      }
+      return i + 1;
+    }
+    ++i;
+  }
+  return static_cast<uint32_t>(line.size());
+}
+
+/// Offset one past the end of the field starting at `begin`, i.e. the offset
+/// of the delimiter terminating it (or line end).
+uint32_t ScanFieldEnd(std::string_view line, const CsvDialect& d,
+                      uint32_t begin) {
+  if (d.quoting && begin < line.size() && line[begin] == d.quote) {
+    uint32_t after = SkipQuoted(line, d.quote, begin);
+    // Trailing junk after a closing quote is tolerated up to the delimiter.
+    while (after < line.size() && line[after] != d.delimiter) ++after;
+    return after;
+  }
+  const char* base = line.data();
+  const char* hit = static_cast<const char*>(
+      memchr(base + begin, d.delimiter, line.size() - begin));
+  return hit == nullptr ? static_cast<uint32_t>(line.size())
+                        : static_cast<uint32_t>(hit - base);
+}
+
+}  // namespace
+
+int TokenizeStarts(std::string_view line, const CsvDialect& dialect, int upto,
+                   uint32_t* starts) {
+  int found = 0;
+  uint32_t pos = 0;
+  for (int attr = 0; attr <= upto; ++attr) {
+    starts[attr] = pos;
+    ++found;
+    if (attr == upto) break;
+    uint32_t end = ScanFieldEnd(line, dialect, pos);
+    if (end >= line.size()) break;  // no more delimiters: line is short
+    pos = end + 1;
+  }
+  return found;
+}
+
+uint32_t FindFieldForward(std::string_view line, const CsvDialect& dialect,
+                          int from_attr, uint32_t from_offset, int to_attr) {
+  uint32_t pos = from_offset;
+  for (int attr = from_attr; attr < to_attr; ++attr) {
+    uint32_t end = ScanFieldEnd(line, dialect, pos);
+    if (end >= line.size()) return kInvalidOffset;
+    pos = end + 1;
+  }
+  return pos;
+}
+
+uint32_t FindFieldBackward(std::string_view line, const CsvDialect& dialect,
+                           int from_attr, uint32_t from_offset, int to_attr) {
+  if (to_attr == 0) return 0;
+  // Walking left from the start of field `from_attr`, the delimiters
+  // encountered open fields from_attr, from_attr-1, ...; the one opening
+  // `to_attr` is the (from_attr - to_attr + 1)-th crossed, and the field
+  // starts one past it.
+  int remaining = from_attr - to_attr + 1;
+  uint32_t i = from_offset;
+  while (remaining > 0) {
+    if (i == 0) return kInvalidOffset;
+    --i;
+    if (line[i] == dialect.delimiter) {
+      --remaining;
+    }
+  }
+  return i + 1;
+}
+
+uint32_t FieldEndAt(std::string_view line, const CsvDialect& dialect,
+                    uint32_t begin) {
+  return ScanFieldEnd(line, dialect, begin);
+}
+
+int CountFields(std::string_view line, const CsvDialect& dialect) {
+  int count = 1;
+  uint32_t pos = 0;
+  while (true) {
+    uint32_t end = ScanFieldEnd(line, dialect, pos);
+    if (end >= line.size()) break;
+    pos = end + 1;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace nodb

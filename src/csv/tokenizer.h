@@ -1,0 +1,53 @@
+#ifndef NODB_CSV_TOKENIZER_H_
+#define NODB_CSV_TOKENIZER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "csv/dialect.h"
+
+namespace nodb {
+
+/// Low-level field-boundary discovery inside one CSV record (a line without
+/// its trailing newline). All offsets are relative to the start of the line.
+///
+/// These functions implement the paper's *selective tokenizing*: callers stop
+/// tokenizing at the last attribute a query needs, and, when the positional
+/// map supplies a nearby anchor, tokenize incrementally forward or backward
+/// from it instead of from the start of the tuple (§4.2 "Exploiting the
+/// Positional Map").
+///
+/// A field's *position* is the offset of its first character; field 0 is at
+/// offset 0 and field k starts one past the k-th delimiter.
+
+/// Sentinel returned when a requested field does not exist in the line.
+inline constexpr uint32_t kInvalidOffset = UINT32_MAX;
+
+/// Fills `starts[0..upto]` with the start offsets of fields 0..upto
+/// (inclusive) and returns how many were found (<= upto+1 if the line has
+/// fewer fields). `starts` must hold at least `upto + 1` entries.
+int TokenizeStarts(std::string_view line, const CsvDialect& dialect, int upto,
+                   uint32_t* starts);
+
+/// Offset of the start of field `to_attr`, scanning forward from
+/// `from_offset`, which must be the start of field `from_attr`
+/// (from_attr <= to_attr). Returns kInvalidOffset if the line ends first.
+uint32_t FindFieldForward(std::string_view line, const CsvDialect& dialect,
+                          int from_attr, uint32_t from_offset, int to_attr);
+
+/// Offset of the start of field `to_attr`, scanning backward from
+/// `from_offset`, the start of field `from_attr` (to_attr < from_attr).
+/// Only valid for dialects without quoting.
+uint32_t FindFieldBackward(std::string_view line, const CsvDialect& dialect,
+                           int from_attr, uint32_t from_offset, int to_attr);
+
+/// End offset (one past the last character) of the field starting at `begin`.
+uint32_t FieldEndAt(std::string_view line, const CsvDialect& dialect,
+                    uint32_t begin);
+
+/// Number of fields in the line (empty line = 1 empty field).
+int CountFields(std::string_view line, const CsvDialect& dialect);
+
+}  // namespace nodb
+
+#endif  // NODB_CSV_TOKENIZER_H_

@@ -1,0 +1,69 @@
+#include "csv/writer.h"
+
+namespace nodb {
+
+namespace {
+constexpr size_t kFlushThreshold = 1 << 20;
+}  // namespace
+
+void CsvWriter::AppendField(std::string_view field) {
+  bool needs_quote =
+      dialect_.quoting &&
+      (field.find(dialect_.delimiter) != std::string_view::npos ||
+       field.find(dialect_.quote) != std::string_view::npos ||
+       field.find('\n') != std::string_view::npos);
+  if (!needs_quote) {
+    buffer_.append(field);
+    return;
+  }
+  buffer_.push_back(dialect_.quote);
+  for (char c : field) {
+    buffer_.push_back(c);
+    if (c == dialect_.quote) buffer_.push_back(dialect_.quote);
+  }
+  buffer_.push_back(dialect_.quote);
+}
+
+Status CsvWriter::MaybeFlush() {
+  if (buffer_.size() < kFlushThreshold) return Status::OK();
+  NODB_RETURN_IF_ERROR(out_->Append(buffer_));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status CsvWriter::WriteHeader(const Schema& schema) {
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) buffer_.push_back(dialect_.delimiter);
+    AppendField(schema.column(i).name);
+  }
+  buffer_.push_back('\n');
+  return MaybeFlush();
+}
+
+Status CsvWriter::WriteRow(const Row& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) buffer_.push_back(dialect_.delimiter);
+    if (!row[i].is_null()) AppendField(row[i].ToString());
+  }
+  buffer_.push_back('\n');
+  return MaybeFlush();
+}
+
+Status CsvWriter::WriteFields(const std::vector<std::string_view>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) buffer_.push_back(dialect_.delimiter);
+    AppendField(fields[i]);
+  }
+  buffer_.push_back('\n');
+  return MaybeFlush();
+}
+
+Status CsvWriter::Finish() {
+  if (!buffer_.empty()) {
+    NODB_RETURN_IF_ERROR(out_->Append(buffer_));
+    buffer_.clear();
+  }
+  return out_->Flush();
+}
+
+}  // namespace nodb

@@ -1,0 +1,49 @@
+#ifndef NODB_CSV_WRITER_H_
+#define NODB_CSV_WRITER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "csv/dialect.h"
+#include "io/file.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// Buffered CSV emitter used by the data generators and by tests. Values are
+/// rendered with Value::ToString(); NULLs are written as empty fields.
+/// Fields containing the delimiter, a quote or a newline are quoted when the
+/// dialect permits quoting (the generators never produce such values).
+class CsvWriter {
+ public:
+  /// `out` must outlive the writer; the caller closes it after Finish().
+  CsvWriter(WritableFile* out, CsvDialect dialect)
+      : out_(out), dialect_(dialect) {}
+
+  /// Writes the column names as the first record.
+  Status WriteHeader(const Schema& schema);
+
+  /// Writes one data record.
+  Status WriteRow(const Row& row);
+
+  /// Writes one record of pre-rendered fields.
+  Status WriteFields(const std::vector<std::string_view>& fields);
+
+  /// Flushes buffered bytes to the file.
+  Status Finish();
+
+ private:
+  void AppendField(std::string_view field);
+  Status MaybeFlush();
+
+  WritableFile* out_;
+  CsvDialect dialect_;
+  std::string buffer_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_CSV_WRITER_H_

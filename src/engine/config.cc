@@ -1,0 +1,72 @@
+#include "engine/config.h"
+
+namespace nodb {
+
+std::string_view SystemUnderTestName(SystemUnderTest sut) {
+  switch (sut) {
+    case SystemUnderTest::kPostgresRawPMC:
+      return "PostgresRaw PM+C";
+    case SystemUnderTest::kPostgresRawPM:
+      return "PostgresRaw PM";
+    case SystemUnderTest::kPostgresRawC:
+      return "PostgresRaw C";
+    case SystemUnderTest::kPostgresRawBaseline:
+      return "Baseline (in-situ)";
+    case SystemUnderTest::kExternalFiles:
+      return "External files";
+    case SystemUnderTest::kPostgreSQL:
+      return "PostgreSQL";
+    case SystemUnderTest::kDbmsX:
+      return "DBMS X";
+    case SystemUnderTest::kMySQL:
+      return "MySQL";
+  }
+  return "?";
+}
+
+EngineConfig EngineConfig::ForSystem(SystemUnderTest sut) {
+  EngineConfig config;
+  switch (sut) {
+    case SystemUnderTest::kPostgresRawPMC:
+      break;  // all adaptive features on (the defaults)
+    case SystemUnderTest::kPostgresRawPM:
+      config.cache = false;
+      break;
+    case SystemUnderTest::kPostgresRawC:
+      // Cache plus the "minimal map maintaining positional information only
+      // for the end of lines" — attribute positions off, spine on (the
+      // spine rides along with the cache; see Database::RegisterCsv).
+      config.positional_map = false;
+      break;
+    case SystemUnderTest::kPostgresRawBaseline:
+      config.positional_map = false;
+      config.cache = false;
+      config.statistics = false;
+      break;
+    case SystemUnderTest::kExternalFiles:
+      // The straw-man of §3.1: every query re-scans and fully re-parses the
+      // file; no auxiliary structures, no selective anything.
+      config.positional_map = false;
+      config.cache = false;
+      config.statistics = false;
+      config.selective_tokenizing = false;
+      config.selective_parsing = false;
+      config.selective_tuple_formation = false;
+      break;
+    case SystemUnderTest::kPostgreSQL:
+      config.loaded_storage = TableStorage::kHeap;
+      config.tuple_header_bytes = 24;
+      break;
+    case SystemUnderTest::kDbmsX:
+      config.loaded_storage = TableStorage::kCompact;
+      break;
+    case SystemUnderTest::kMySQL:
+      config.loaded_storage = TableStorage::kHeap;
+      config.tuple_header_bytes = 16;
+      config.mysql_copy_penalty = true;
+      break;
+  }
+  return config;
+}
+
+}  // namespace nodb

@@ -1,0 +1,107 @@
+#ifndef NODB_ENGINE_DATABASE_H_
+#define NODB_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "engine/config.h"
+#include "exec/executor.h"
+#include "exec/query_result.h"
+#include "exec/table_runtime.h"
+#include "plan/planner.h"
+#include "sql/binder.h"
+#include "storage/loader.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// The engine facade: a catalog of tables plus SQL execution. One Database
+/// instance corresponds to one "system" in the paper's experiments; its
+/// EngineConfig decides whether tables are queried in situ (raw files made
+/// first-class citizens, with adaptive positional map / cache / statistics
+/// persisting across queries) or loaded up front.
+///
+/// Typical NoDB use:
+///
+///   Database db(EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC));
+///   db.RegisterCsv("t", "/data/t.csv", schema);
+///   auto result = db.Execute("SELECT a, SUM(b) FROM t GROUP BY a");
+///
+/// Typical loaded-DBMS use:
+///
+///   Database db(EngineConfig::ForSystem(SystemUnderTest::kPostgreSQL));
+///   auto load = db.LoadCsv("t", "/data/t.csv", schema);   // pays the load
+///   auto result = db.Execute("SELECT ...");
+class Database : public TableProvider,
+                 public StatsProvider,
+                 public TableResolver {
+ public:
+  explicit Database(EngineConfig config);
+  ~Database() override;
+
+  // ------------------------------------------------------------------
+  // Catalog
+  // ------------------------------------------------------------------
+
+  /// Registers a raw CSV file for in-situ querying (no data movement; the
+  /// schema must be declared, as in the paper).
+  Status RegisterCsv(const std::string& name, const std::string& path,
+                     Schema schema, CsvDialect dialect = CsvDialect{});
+
+  /// Registers a raw FITS binary table; the schema comes from the header.
+  Status RegisterFits(const std::string& name, const std::string& path);
+
+  /// Bulk-loads a CSV into this engine's loaded storage format, paying the
+  /// up-front cost the paper's baselines pay. Statistics are gathered
+  /// during the load (ANALYZE-equivalent).
+  Result<LoadResult> LoadCsv(const std::string& name, const std::string& path,
+                             Schema schema, CsvDialect dialect = CsvDialect{});
+
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+
+  // ------------------------------------------------------------------
+  // Queries
+  // ------------------------------------------------------------------
+
+  /// Parses, binds, plans and executes one SELECT statement. The result's
+  /// `seconds` covers the whole round trip (what a user experiences).
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Plans without executing (EXPLAIN).
+  Result<std::string> Explain(const std::string& sql);
+
+  // ------------------------------------------------------------------
+  // Introspection / experiment control
+  // ------------------------------------------------------------------
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Runtime state of a registered table (positional map, cache, stats).
+  TableRuntime* runtime(const std::string& name);
+
+  /// Drops buffer-pool contents of loaded tables (per-query cold-cache
+  /// experiments; the OS page cache is out of scope, as in DESIGN.md).
+  void DropBufferCaches();
+
+  // --- TableProvider ---
+  Result<const Schema*> GetTableSchema(const std::string& name) const override;
+  // --- StatsProvider ---
+  const TableStats* GetTableStats(const std::string& name) const override;
+  double GetRowCount(const std::string& name) const override;
+  // --- TableResolver ---
+  Result<TableRuntime*> GetTableRuntime(const std::string& name) override;
+
+ private:
+  Status RegisterCommon(const std::string& name,
+                        std::unique_ptr<TableRuntime> runtime);
+  InSituOptions MakeInSituOptions() const;
+
+  EngineConfig config_;
+  std::unordered_map<std::string, std::unique_ptr<TableRuntime>> tables_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_ENGINE_DATABASE_H_

@@ -1,0 +1,25 @@
+#include "engine/engines.h"
+
+namespace nodb {
+
+std::unique_ptr<Database> MakeEngine(SystemUnderTest sut) {
+  return std::make_unique<Database>(EngineConfig::ForSystem(sut));
+}
+
+bool IsInSituSystem(SystemUnderTest sut) {
+  switch (sut) {
+    case SystemUnderTest::kPostgresRawPMC:
+    case SystemUnderTest::kPostgresRawPM:
+    case SystemUnderTest::kPostgresRawC:
+    case SystemUnderTest::kPostgresRawBaseline:
+    case SystemUnderTest::kExternalFiles:
+      return true;
+    case SystemUnderTest::kPostgreSQL:
+    case SystemUnderTest::kDbmsX:
+    case SystemUnderTest::kMySQL:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace nodb

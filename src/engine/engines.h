@@ -1,0 +1,20 @@
+#ifndef NODB_ENGINE_ENGINES_H_
+#define NODB_ENGINE_ENGINES_H_
+
+#include <memory>
+
+#include "engine/database.h"
+
+namespace nodb {
+
+/// Creates a Database configured as one of the paper's systems under test.
+/// Raw-engine variants (PostgresRaw*, external files) expect RegisterCsv /
+/// RegisterFits; loaded variants (PostgreSQL, DBMS X, MySQL) expect LoadCsv.
+std::unique_ptr<Database> MakeEngine(SystemUnderTest sut);
+
+/// True if `sut` queries raw files in situ (vs. requiring a load).
+bool IsInSituSystem(SystemUnderTest sut);
+
+}  // namespace nodb
+
+#endif  // NODB_ENGINE_ENGINES_H_

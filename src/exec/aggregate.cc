@@ -1,0 +1,162 @@
+#include "exec/aggregate.h"
+
+#include <algorithm>
+
+#include "expr/evaluator.h"
+
+namespace nodb {
+
+AggregateOp::AggregateOp(OperatorPtr child,
+                         const std::vector<ExprPtr>* group_by,
+                         const std::vector<AggregateSpec>* aggregates,
+                         AggStrategy strategy, size_t groups_hint)
+    : child_(std::move(child)), group_by_(group_by), aggregates_(aggregates),
+      strategy_(strategy), groups_hint_(groups_hint) {}
+
+Status AggregateOp::EvalKeyAndArgs(const Row& input, Row* key,
+                                   Row* args) const {
+  key->clear();
+  key->reserve(group_by_->size());
+  for (const ExprPtr& g : *group_by_) {
+    NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*g, input));
+    key->push_back(std::move(v));
+  }
+  args->clear();
+  args->reserve(aggregates_->size());
+  for (const AggregateSpec& spec : *aggregates_) {
+    if (spec.arg == nullptr) {
+      args->push_back(Value::Int64(0));  // COUNT(*) placeholder
+    } else {
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*spec.arg, input));
+      args->push_back(std::move(v));
+    }
+  }
+  return Status::OK();
+}
+
+Status AggregateOp::ConsumeHash() {
+  std::unordered_map<Row, std::vector<AggAccumulator>, RowHasher, RowEq>
+      groups;
+  if (groups_hint_ > 0) groups.reserve(groups_hint_);
+  Row input, key, args;
+  bool saw_input = false;
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(bool has, child_->Next(&input));
+    if (!has) break;
+    saw_input = true;
+    NODB_RETURN_IF_ERROR(EvalKeyAndArgs(input, &key, &args));
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      std::vector<AggAccumulator> accs;
+      accs.reserve(aggregates_->size());
+      for (const AggregateSpec& spec : *aggregates_) {
+        accs.emplace_back(&spec);
+      }
+      it = groups.emplace(key, std::move(accs)).first;
+    }
+    for (size_t a = 0; a < aggregates_->size(); ++a) {
+      it->second[a].Add(args[a]);
+    }
+  }
+  // Global aggregation over zero rows still yields one output row.
+  if (groups.empty() && group_by_->empty() && !saw_input) {
+    std::vector<AggAccumulator> accs;
+    for (const AggregateSpec& spec : *aggregates_) accs.emplace_back(&spec);
+    Row out;
+    for (const AggAccumulator& acc : accs) out.push_back(acc.Final());
+    output_.push_back(std::move(out));
+    return Status::OK();
+  }
+  output_.reserve(groups.size());
+  for (auto& [group_key, accs] : groups) {
+    Row out = group_key;
+    for (const AggAccumulator& acc : accs) out.push_back(acc.Final());
+    output_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Status AggregateOp::ConsumeSort() {
+  // Materialize (key, args) for every input row, sort by key, merge runs.
+  // Deliberately memory- and comparison-heavy relative to hashing — this is
+  // the conservative plan of a statistics-less optimizer.
+  struct Pair {
+    Row key;
+    Row args;
+  };
+  std::vector<Pair> pairs;
+  Row input;
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(bool has, child_->Next(&input));
+    if (!has) break;
+    Pair p;
+    NODB_RETURN_IF_ERROR(EvalKeyAndArgs(input, &p.key, &p.args));
+    pairs.push_back(std::move(p));
+  }
+  auto key_less = [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].is_null() && b[i].is_null()) continue;
+      if (a[i].is_null()) return false;  // NULLs last
+      if (b[i].is_null()) return true;
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [&](const Pair& a, const Pair& b) {
+                     return key_less(a.key, b.key);
+                   });
+
+  if (pairs.empty()) {
+    if (group_by_->empty()) {
+      std::vector<AggAccumulator> accs;
+      for (const AggregateSpec& spec : *aggregates_) accs.emplace_back(&spec);
+      Row out;
+      for (const AggAccumulator& acc : accs) out.push_back(acc.Final());
+      output_.push_back(std::move(out));
+    }
+    return Status::OK();
+  }
+
+  RowEq eq;
+  size_t run_start = 0;
+  std::vector<AggAccumulator> accs;
+  auto flush = [&](size_t start) {
+    Row out = pairs[start].key;
+    for (const AggAccumulator& acc : accs) out.push_back(acc.Final());
+    output_.push_back(std::move(out));
+  };
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i == run_start) {
+      accs.clear();
+      for (const AggregateSpec& spec : *aggregates_) accs.emplace_back(&spec);
+    } else if (!eq(pairs[i].key, pairs[run_start].key)) {
+      flush(run_start);
+      run_start = i;
+      accs.clear();
+      for (const AggregateSpec& spec : *aggregates_) accs.emplace_back(&spec);
+    }
+    for (size_t a = 0; a < aggregates_->size(); ++a) {
+      accs[a].Add(pairs[i].args[a]);
+    }
+  }
+  flush(run_start);
+  return Status::OK();
+}
+
+Status AggregateOp::Open() {
+  NODB_RETURN_IF_ERROR(child_->Open());
+  if (strategy_ == AggStrategy::kHash) {
+    return ConsumeHash();
+  }
+  return ConsumeSort();
+}
+
+Result<bool> AggregateOp::Next(Row* row) {
+  if (next_ >= output_.size()) return false;
+  *row = std::move(output_[next_++]);
+  return true;
+}
+
+}  // namespace nodb

@@ -1,0 +1,51 @@
+#ifndef NODB_EXEC_AGGREGATE_H_
+#define NODB_EXEC_AGGREGATE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/aggregates.h"
+#include "plan/logical_plan.h"
+
+namespace nodb {
+
+/// Grouping + aggregation. Output rows are [group values..., aggregate
+/// results...] — the row layout the binder's post-aggregation expressions
+/// are bound against.
+///
+/// Two strategies, chosen by the optimizer (paper Fig. 12):
+///  * kHash — single pass into a hash table, pre-sized from statistics.
+///  * kSort — materialize (key, args) pairs, sort by key, merge runs; the
+///    conservative plan a statistics-less optimizer picks because it cannot
+///    bound the hash table's memory.
+class AggregateOp final : public Operator {
+ public:
+  /// `group_by` and `aggregates` must outlive the operator.
+  AggregateOp(OperatorPtr child, const std::vector<ExprPtr>* group_by,
+              const std::vector<AggregateSpec>* aggregates,
+              AggStrategy strategy, size_t groups_hint);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  Status ConsumeHash();
+  Status ConsumeSort();
+  /// Evaluates group key and aggregate arguments for one input row.
+  Status EvalKeyAndArgs(const Row& input, Row* key, Row* args) const;
+
+  OperatorPtr child_;
+  const std::vector<ExprPtr>* group_by_;
+  const std::vector<AggregateSpec>* aggregates_;
+  AggStrategy strategy_;
+  size_t groups_hint_;
+
+  std::vector<Row> output_;
+  size_t next_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_AGGREGATE_H_

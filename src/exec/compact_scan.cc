@@ -1,0 +1,50 @@
+#include "exec/compact_scan.h"
+
+#include "expr/evaluator.h"
+
+namespace nodb {
+
+CompactScanOp::CompactScanOp(TableRuntime* runtime, const PlannedScan* scan,
+                             int working_width)
+    : runtime_(runtime), scan_(scan), working_width_(working_width) {}
+
+Status CompactScanOp::Open() {
+  if (runtime_->compact == nullptr) {
+    return Status::Internal("compact scan over a table without compact storage");
+  }
+  int ncols = runtime_->schema.num_columns();
+  needed_.assign(ncols, false);
+  for (int c : scan_->where_attrs) needed_[c] = true;
+  for (int c : scan_->payload_attrs) needed_[c] = true;
+  scanner_ = std::make_unique<CompactTable::Scanner>(runtime_->compact.get(),
+                                                     needed_);
+  return Status::OK();
+}
+
+Result<bool> CompactScanOp::Next(Row* row) {
+  const int offset = scan_->table.offset;
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(bool has, scanner_->Next(&table_row_));
+    if (!has) return false;
+    row->assign(working_width_, Value());
+    for (size_t c = 0; c < table_row_.size(); ++c) {
+      (*row)[offset + static_cast<int>(c)] = std::move(table_row_[c]);
+    }
+    bool pass = true;
+    for (const ExprPtr& conj : scan_->conjuncts) {
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, *row));
+      if (!Evaluator::IsTruthy(v)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) return true;
+  }
+}
+
+Status CompactScanOp::Close() {
+  scanner_.reset();
+  return Status::OK();
+}
+
+}  // namespace nodb

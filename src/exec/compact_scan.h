@@ -1,0 +1,35 @@
+#ifndef NODB_EXEC_COMPACT_SCAN_H_
+#define NODB_EXEC_COMPACT_SCAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/table_runtime.h"
+#include "plan/logical_plan.h"
+
+namespace nodb {
+
+/// Full scan over a packed-row table (the "DBMS X" baseline). Same contract
+/// as HeapScanOp but streaming 64 KiB blocks with lean per-tuple decoding.
+class CompactScanOp final : public Operator {
+ public:
+  CompactScanOp(TableRuntime* runtime, const PlannedScan* scan,
+                int working_width);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+ private:
+  TableRuntime* runtime_;
+  const PlannedScan* scan_;
+  int working_width_;
+  std::vector<bool> needed_;
+  std::unique_ptr<CompactTable::Scanner> scanner_;
+  Row table_row_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_COMPACT_SCAN_H_

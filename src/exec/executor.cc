@@ -1,0 +1,97 @@
+#include "exec/executor.h"
+
+#include "exec/aggregate.h"
+#include "exec/compact_scan.h"
+#include "exec/fits_scan.h"
+#include "exec/hash_join.h"
+#include "exec/heap_scan.h"
+#include "exec/limit.h"
+#include "exec/project.h"
+#include "exec/sort.h"
+
+namespace nodb {
+
+namespace {
+
+Result<OperatorPtr> MakeScan(const PlannedScan& scan, TableResolver* resolver,
+                             int working_width, const ExecOptions& options) {
+  NODB_ASSIGN_OR_RETURN(TableRuntime* runtime,
+                        resolver->GetTableRuntime(scan.table.table_name));
+  switch (runtime->storage) {
+    case TableStorage::kRawCsv:
+      return OperatorPtr(std::make_unique<InSituScanOp>(
+          runtime, &scan, working_width, options.insitu));
+    case TableStorage::kRawFits:
+      return OperatorPtr(std::make_unique<FitsScanOp>(
+          runtime, &scan, working_width, options.insitu));
+    case TableStorage::kHeap:
+      return OperatorPtr(
+          std::make_unique<HeapScanOp>(runtime, &scan, working_width));
+    case TableStorage::kCompact:
+      return OperatorPtr(
+          std::make_unique<CompactScanOp>(runtime, &scan, working_width));
+  }
+  return Status::Internal("unknown table storage kind");
+}
+
+}  // namespace
+
+Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
+                                TableResolver* resolver,
+                                const ExecOptions& options) {
+  const BoundQuery& query = *plan.query;
+  const int width = query.working_width;
+
+  // Pipeline: driver scan, then hash joins in plan order.
+  NODB_ASSIGN_OR_RETURN(
+      OperatorPtr pipeline,
+      MakeScan(plan.scans[plan.driver_scan], resolver, width, options));
+  for (const PlannedJoin& join : plan.joins) {
+    const PlannedScan& build = plan.scans[join.build_scan];
+    NODB_ASSIGN_OR_RETURN(OperatorPtr build_op,
+                          MakeScan(build, resolver, width, options));
+    pipeline = std::make_unique<HashJoinOp>(
+        std::move(pipeline), std::move(build_op), &join, build.table.offset,
+        build.table.schema->num_columns());
+  }
+
+  // Semi/anti joins (EXISTS). Inner scans run in their own (table-arity)
+  // row space.
+  for (const PlannedSemiJoin& semi : plan.semi_joins) {
+    NODB_ASSIGN_OR_RETURN(
+        OperatorPtr inner,
+        MakeScan(semi.inner, resolver,
+                 semi.inner.table.schema->num_columns(), options));
+    pipeline = std::make_unique<SemiJoinOp>(std::move(pipeline),
+                                            std::move(inner), &semi);
+  }
+
+  if (query.has_aggregation) {
+    pipeline = std::make_unique<AggregateOp>(
+        std::move(pipeline), &query.group_by, &query.aggregates,
+        plan.agg_strategy, plan.agg_groups_hint);
+  }
+  pipeline = std::make_unique<ProjectOp>(std::move(pipeline),
+                                         &query.select_exprs);
+  if (!query.order_by.empty()) {
+    pipeline = std::make_unique<SortOp>(std::move(pipeline), &query.order_by);
+  }
+  if (query.limit.has_value()) {
+    pipeline = std::make_unique<LimitOp>(std::move(pipeline), *query.limit);
+  }
+
+  QueryResult result;
+  result.schema = query.output_schema;
+  result.plan = plan.ToString();
+  NODB_RETURN_IF_ERROR(pipeline->Open());
+  Row row;
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(bool has, pipeline->Next(&row));
+    if (!has) break;
+    result.rows.push_back(std::move(row));
+  }
+  NODB_RETURN_IF_ERROR(pipeline->Close());
+  return result;
+}
+
+}  // namespace nodb

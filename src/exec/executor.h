@@ -1,0 +1,38 @@
+#ifndef NODB_EXEC_EXECUTOR_H_
+#define NODB_EXEC_EXECUTOR_H_
+
+#include <string>
+
+#include "exec/insitu_scan.h"
+#include "exec/query_result.h"
+#include "exec/table_runtime.h"
+#include "plan/logical_plan.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Maps catalog table names to their runtime state; implemented by the
+/// engine's database object.
+class TableResolver {
+ public:
+  virtual ~TableResolver() = default;
+  virtual Result<TableRuntime*> GetTableRuntime(const std::string& name) = 0;
+};
+
+/// Knobs threaded through to every scan the plan instantiates.
+struct ExecOptions {
+  InSituOptions insitu;
+};
+
+/// Builds the operator tree for `plan`, runs it to completion and returns
+/// the materialized result. All engines (PostgresRaw analogue, loaded
+/// baselines, external files) share this executor — mirroring the paper,
+/// where PostgresRaw reuses PostgreSQL's engine and differs only in the
+/// access methods.
+Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
+                                TableResolver* resolver,
+                                const ExecOptions& options);
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_EXECUTOR_H_

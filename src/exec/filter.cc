@@ -1,0 +1,3 @@
+#include "exec/filter.h"
+
+// FilterOp is header-only; this translation unit anchors the target.

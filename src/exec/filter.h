@@ -1,0 +1,48 @@
+#ifndef NODB_EXEC_FILTER_H_
+#define NODB_EXEC_FILTER_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+
+namespace nodb {
+
+/// Drops rows failing any of `conjuncts` (evaluated in order with
+/// short-circuiting). Scans push their own filters down; this operator
+/// handles residual predicates that could not be pushed.
+class FilterOp final : public Operator {
+ public:
+  /// `conjuncts` must outlive the operator.
+  FilterOp(OperatorPtr child, const std::vector<ExprPtr>* conjuncts)
+      : child_(std::move(child)), conjuncts_(conjuncts) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      NODB_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+      if (!has) return false;
+      bool pass = true;
+      for (const ExprPtr& c : *conjuncts_) {
+        NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*c, *row));
+        if (!Evaluator::IsTruthy(v)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) return true;
+    }
+  }
+
+  Status Close() override { return child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  const std::vector<ExprPtr>* conjuncts_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_FILTER_H_

@@ -1,0 +1,193 @@
+#include "exec/fits_scan.h"
+
+#include <algorithm>
+
+#include "expr/evaluator.h"
+
+namespace nodb {
+
+FitsScanOp::FitsScanOp(TableRuntime* runtime, const PlannedScan* scan,
+                       int working_width, InSituOptions options)
+    : runtime_(runtime), scan_(scan), working_width_(working_width),
+      opts_(options) {}
+
+Status FitsScanOp::Open() {
+  if (runtime_->fits == nullptr || runtime_->raw_file == nullptr) {
+    return Status::Internal("FITS scan over a table without FITS metadata");
+  }
+  ncols_ = runtime_->schema.num_columns();
+
+  std::vector<int> needed;
+  if (opts_.selective_tuple_formation) {
+    needed.insert(needed.end(), scan_->where_attrs.begin(),
+                  scan_->where_attrs.end());
+    needed.insert(needed.end(), scan_->payload_attrs.begin(),
+                  scan_->payload_attrs.end());
+  } else {
+    for (int c = 0; c < ncols_; ++c) needed.push_back(c);
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  output_attrs_ = needed;
+
+  if (opts_.selective_parsing) {
+    phase1_attrs_ = scan_->where_attrs;
+    std::sort(phase1_attrs_.begin(), phase1_attrs_.end());
+    phase2_attrs_.clear();
+    for (int a : output_attrs_) {
+      if (!std::binary_search(phase1_attrs_.begin(), phase1_attrs_.end(), a)) {
+        phase2_attrs_.push_back(a);
+      }
+    }
+  } else {
+    phase1_attrs_ = output_attrs_;
+    phase2_attrs_.clear();
+  }
+
+  reader_ = std::make_unique<BufferedReader>(runtime_->raw_file.get(), 1 << 20);
+  next_tuple_ = 0;
+  eof_ = false;
+  out_rows_.clear();
+  out_idx_ = 0;
+  return Status::OK();
+}
+
+Result<bool> FitsScanOp::Next(Row* row) {
+  while (out_idx_ >= out_rows_.size()) {
+    if (eof_) return false;
+    out_rows_.clear();
+    out_idx_ = 0;
+    NODB_RETURN_IF_ERROR(LoadStripe());
+  }
+  *row = std::move(out_rows_[out_idx_++]);
+  return true;
+}
+
+Status FitsScanOp::LoadStripe() {
+  const FitsTableInfo& info = *runtime_->fits;
+  ColumnCache* cache = opts_.use_cache ? runtime_->cache.get() : nullptr;
+  TableStats* stats = opts_.collect_stats ? runtime_->stats.get() : nullptr;
+
+  if (next_tuple_ >= info.num_rows) {
+    eof_ = true;
+    return Status::OK();
+  }
+  const uint64_t stripe = next_tuple_ / tuples_per_stripe_;
+  const uint64_t stripe_first = stripe * tuples_per_stripe_;
+  const int n = static_cast<int>(std::min<uint64_t>(
+      tuples_per_stripe_, info.num_rows - stripe_first));
+
+  // Cached columns for this stripe (all-or-per-attribute; with fixed-width
+  // rows a fully cached stripe costs zero file reads).
+  std::vector<const std::vector<Value>*> cached_col(ncols_, nullptr);
+  std::vector<int> attrs_to_cache;
+  std::vector<std::vector<Value>> cache_buf(ncols_);
+  bool all_cached = cache != nullptr;
+  for (int a : output_attrs_) {
+    if (cache != nullptr) cached_col[a] = cache->Get(stripe, a);
+    if (cached_col[a] == nullptr ||
+        static_cast<int>(cached_col[a]->size()) != n) {
+      cached_col[a] = nullptr;
+      all_cached = false;
+      if (cache != nullptr) {
+        attrs_to_cache.push_back(a);
+        cache_buf[a].reserve(n);
+      }
+    }
+  }
+  std::vector<bool> cache_attr(ncols_, false);
+  for (int a : attrs_to_cache) cache_attr[a] = true;
+
+  // Statistics once per attribute, as in the CSV scan.
+  std::vector<bool> stats_attr(ncols_, false);
+  bool any_stats = false;
+  if (stats != nullptr) {
+    for (int a : output_attrs_) {
+      if (!stats->HasAttr(a)) {
+        stats_attr[a] = true;
+        any_stats = true;
+      }
+    }
+  }
+
+  const int offset = scan_->table.offset;
+  bool all_qualified = true;
+
+  for (int t = 0; t < n; ++t) {
+    const uint64_t t_global = stripe_first + t;
+    const uint64_t row_base = info.data_start + t_global * info.row_bytes;
+    std::string_view row_bytes;
+    if (!all_cached) {
+      NODB_ASSIGN_OR_RETURN(row_bytes,
+                            reader_->ReadAt(row_base, info.row_bytes));
+      if (row_bytes.size() != info.row_bytes) {
+        return Status::Corruption("FITS data truncated");
+      }
+    }
+
+    auto fetch = [&](int a) -> Value {
+      if (cached_col[a] != nullptr) return (*cached_col[a])[t];
+      const FitsColumn& col = info.columns[a];
+      return DecodeFitsField(col, row_bytes.data() + col.offset);
+    };
+
+    row_buf_.assign(working_width_, Value());
+    for (int a : phase1_attrs_) {
+      Value v = fetch(a);
+      if (cache_attr[a]) cache_buf[a].push_back(v);
+      if (any_stats && stats_attr[a]) stats->AddValue(a, v);
+      row_buf_[offset + a] = std::move(v);
+    }
+    bool pass = true;
+    for (const ExprPtr& conj : scan_->conjuncts) {
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, row_buf_));
+      if (!Evaluator::IsTruthy(v)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) {
+      all_qualified = false;
+      continue;
+    }
+    for (int a : phase2_attrs_) {
+      Value v = fetch(a);
+      if (cache_attr[a]) cache_buf[a].push_back(v);
+      if (any_stats && stats_attr[a]) stats->AddValue(a, v);
+      row_buf_[offset + a] = std::move(v);
+    }
+    out_rows_.push_back(std::move(row_buf_));
+  }
+
+  if (cache != nullptr) {
+    for (int a : attrs_to_cache) {
+      bool complete = static_cast<int>(cache_buf[a].size()) == n;
+      bool is_phase2 =
+          std::find(phase2_attrs_.begin(), phase2_attrs_.end(), a) !=
+          phase2_attrs_.end();
+      if (complete && (!is_phase2 || all_qualified)) {
+        cache->Put(stripe, a, std::move(cache_buf[a]));
+      }
+    }
+  }
+
+  next_tuple_ = stripe_first + n;
+  if (next_tuple_ >= info.num_rows) {
+    eof_ = true;
+    runtime_->known_row_count = static_cast<double>(info.num_rows);
+    if (stats != nullptr) {
+      stats->SetRowCount(info.num_rows);
+      runtime_->stats_populated = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status FitsScanOp::Close() {
+  if (opts_.collect_stats && runtime_->stats != nullptr) {
+    runtime_->stats->FinalizeAll();
+  }
+  return Status::OK();
+}
+
+}  // namespace nodb

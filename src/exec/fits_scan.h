@@ -1,0 +1,54 @@
+#ifndef NODB_EXEC_FITS_SCAN_H_
+#define NODB_EXEC_FITS_SCAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/insitu_scan.h"
+#include "exec/operator.h"
+#include "exec/table_runtime.h"
+#include "io/buffered_reader.h"
+#include "plan/logical_plan.h"
+
+namespace nodb {
+
+/// In-situ scan over a FITS binary table (paper §5.3). Field positions are
+/// arithmetic (fixed-width rows), so there is no tokenizing and no
+/// positional map; the adaptive *cache* carries all cross-query benefit —
+/// which is exactly the contrast with CSV the paper draws ("while parsing
+/// may not be required ... techniques such as caching become more
+/// important").
+class FitsScanOp final : public Operator {
+ public:
+  FitsScanOp(TableRuntime* runtime, const PlannedScan* scan,
+             int working_width, InSituOptions options);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+ private:
+  Status LoadStripe();
+
+  TableRuntime* runtime_;
+  const PlannedScan* scan_;
+  int working_width_;
+  InSituOptions opts_;
+
+  int ncols_ = 0;
+  int tuples_per_stripe_ = InSituScanOp::kDefaultStripe;
+  std::vector<int> phase1_attrs_;
+  std::vector<int> phase2_attrs_;
+  std::vector<int> output_attrs_;
+
+  std::unique_ptr<BufferedReader> reader_;
+  uint64_t next_tuple_ = 0;
+  bool eof_ = false;
+  std::vector<Row> out_rows_;
+  size_t out_idx_ = 0;
+  Row row_buf_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_FITS_SCAN_H_

@@ -1,0 +1,128 @@
+#include "exec/hash_join.h"
+
+#include "expr/evaluator.h"
+
+namespace nodb {
+
+Result<Row> HashJoinOp::EvalKeys(const std::vector<ExprPtr>& keys,
+                                 const Row& row) const {
+  Row key;
+  key.reserve(keys.size());
+  for (const ExprPtr& k : keys) {
+    NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*k, row));
+    key.push_back(std::move(v));
+  }
+  return key;
+}
+
+Status HashJoinOp::Open() {
+  NODB_RETURN_IF_ERROR(build_->Open());
+  Row build_row;
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(bool has, build_->Next(&build_row));
+    if (!has) break;
+    NODB_ASSIGN_OR_RETURN(Row key, EvalKeys(join_->build_keys, build_row));
+    // NULL keys never join.
+    bool has_null = false;
+    for (const Value& v : key) {
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;
+    Slice slice(build_row.begin() + build_offset_,
+                build_row.begin() + build_offset_ + build_width_);
+    table_[std::move(key)].push_back(std::move(slice));
+  }
+  NODB_RETURN_IF_ERROR(build_->Close());
+  return probe_->Open();
+}
+
+Result<bool> HashJoinOp::Next(Row* row) {
+  while (true) {
+    if (matches_ != nullptr && match_idx_ < matches_->size()) {
+      const Slice& slice = (*matches_)[match_idx_++];
+      *row = probe_row_;
+      for (int i = 0; i < build_width_; ++i) {
+        (*row)[build_offset_ + i] = slice[i];
+      }
+      // Residual predicates (non-equi conjuncts spanning both sides).
+      bool pass = true;
+      for (const ExprPtr& r : join_->residual) {
+        NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*r, *row));
+        if (!Evaluator::IsTruthy(v)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) return true;
+      continue;
+    }
+    matches_ = nullptr;
+    NODB_ASSIGN_OR_RETURN(bool has, probe_->Next(&probe_row_));
+    if (!has) return false;
+    NODB_ASSIGN_OR_RETURN(Row key, EvalKeys(join_->probe_keys, probe_row_));
+    bool has_null = false;
+    for (const Value& v : key) {
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;
+    matches_ = &it->second;
+    match_idx_ = 0;
+  }
+}
+
+Status HashJoinOp::Close() {
+  table_.clear();
+  return probe_->Close();
+}
+
+Status SemiJoinOp::Open() {
+  NODB_RETURN_IF_ERROR(inner_->Open());
+  Row inner_row;
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(bool has, inner_->Next(&inner_row));
+    if (!has) break;
+    Row key;
+    key.reserve(semi_->inner_keys.size());
+    bool has_null = false;
+    for (const ExprPtr& k : semi_->inner_keys) {
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*k, inner_row));
+      if (v.is_null()) has_null = true;
+      key.push_back(std::move(v));
+    }
+    if (!has_null) keys_.insert(std::move(key));
+  }
+  NODB_RETURN_IF_ERROR(inner_->Close());
+  return outer_->Open();
+}
+
+Result<bool> SemiJoinOp::Next(Row* row) {
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(bool has, outer_->Next(row));
+    if (!has) return false;
+    Row key;
+    key.reserve(semi_->outer_keys.size());
+    bool has_null = false;
+    for (const ExprPtr& k : semi_->outer_keys) {
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*k, *row));
+      if (v.is_null()) has_null = true;
+      key.push_back(std::move(v));
+    }
+    bool present = !has_null && keys_.count(key) > 0;
+    if (present != semi_->anti) return true;
+  }
+}
+
+Status SemiJoinOp::Close() {
+  keys_.clear();
+  return outer_->Close();
+}
+
+}  // namespace nodb

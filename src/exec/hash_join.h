@@ -1,0 +1,71 @@
+#ifndef NODB_EXEC_HASH_JOIN_H_
+#define NODB_EXEC_HASH_JOIN_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace nodb {
+
+/// In-memory hash join. The build side is a scan producing working rows
+/// with the build table's column slice filled; only that slice is stored in
+/// the hash table. Probe rows are working rows from the pipeline; on a key
+/// match the build slice is copied into the (disjoint) slice of the output
+/// row. Empty key lists degrade to a single-bucket cross join.
+class HashJoinOp final : public Operator {
+ public:
+  /// `join` must outlive the operator. `build_offset`/`build_width` locate
+  /// the build table's slice in the working row.
+  HashJoinOp(OperatorPtr probe, OperatorPtr build, const PlannedJoin* join,
+             int build_offset, int build_width)
+      : probe_(std::move(probe)), build_(std::move(build)), join_(join),
+        build_offset_(build_offset), build_width_(build_width) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+ private:
+  using Slice = std::vector<Value>;
+
+  Result<Row> EvalKeys(const std::vector<ExprPtr>& keys, const Row& row) const;
+
+  OperatorPtr probe_;
+  OperatorPtr build_;
+  const PlannedJoin* join_;
+  int build_offset_;
+  int build_width_;
+
+  std::unordered_map<Row, std::vector<Slice>, RowHasher, RowEq> table_;
+  Row probe_row_;
+  const std::vector<Slice>* matches_ = nullptr;
+  size_t match_idx_ = 0;
+};
+
+/// Hash semi/anti join implementing [NOT] EXISTS: builds a set of inner key
+/// rows, then passes through outer rows whose keys are (not) present. Rows
+/// with NULL keys never match (SQL semantics).
+class SemiJoinOp final : public Operator {
+ public:
+  /// `semi` must outlive the operator. `inner` produces inner-table-arity
+  /// rows that `semi->inner_keys` are bound against.
+  SemiJoinOp(OperatorPtr outer, OperatorPtr inner, const PlannedSemiJoin* semi)
+      : outer_(std::move(outer)), inner_(std::move(inner)), semi_(semi) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+ private:
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  const PlannedSemiJoin* semi_;
+  std::unordered_set<Row, RowHasher, RowEq> keys_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_HASH_JOIN_H_

@@ -1,0 +1,50 @@
+#include "exec/heap_scan.h"
+
+#include "expr/evaluator.h"
+
+namespace nodb {
+
+HeapScanOp::HeapScanOp(TableRuntime* runtime, const PlannedScan* scan,
+                       int working_width)
+    : runtime_(runtime), scan_(scan), working_width_(working_width) {}
+
+Status HeapScanOp::Open() {
+  if (runtime_->heap == nullptr) {
+    return Status::Internal("heap scan over a table without heap storage");
+  }
+  int ncols = runtime_->schema.num_columns();
+  needed_.assign(ncols, false);
+  for (int c : scan_->where_attrs) needed_[c] = true;
+  for (int c : scan_->payload_attrs) needed_[c] = true;
+  scanner_ = std::make_unique<TableHeap::Scanner>(runtime_->heap.get(),
+                                                  needed_);
+  return Status::OK();
+}
+
+Result<bool> HeapScanOp::Next(Row* row) {
+  const int offset = scan_->table.offset;
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(bool has, scanner_->Next(&table_row_));
+    if (!has) return false;
+    row->assign(working_width_, Value());
+    for (size_t c = 0; c < table_row_.size(); ++c) {
+      (*row)[offset + static_cast<int>(c)] = std::move(table_row_[c]);
+    }
+    bool pass = true;
+    for (const ExprPtr& conj : scan_->conjuncts) {
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, *row));
+      if (!Evaluator::IsTruthy(v)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) return true;
+  }
+}
+
+Status HeapScanOp::Close() {
+  scanner_.reset();
+  return Status::OK();
+}
+
+}  // namespace nodb

@@ -1,0 +1,38 @@
+#ifndef NODB_EXEC_HEAP_SCAN_H_
+#define NODB_EXEC_HEAP_SCAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/table_runtime.h"
+#include "plan/logical_plan.h"
+
+namespace nodb {
+
+/// Full scan over a loaded slotted-page table (the PostgreSQL / MySQL
+/// baselines). Deserialization is column-selective (projection pushdown)
+/// and the pushed filter is evaluated before a row leaves the scan.
+class HeapScanOp final : public Operator {
+ public:
+  /// `runtime` and `scan` must outlive the operator. Output rows are
+  /// `working_width` wide; this table's columns land at scan->table.offset.
+  HeapScanOp(TableRuntime* runtime, const PlannedScan* scan,
+             int working_width);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+ private:
+  TableRuntime* runtime_;
+  const PlannedScan* scan_;
+  int working_width_;
+  std::vector<bool> needed_;  // table-local
+  std::unique_ptr<TableHeap::Scanner> scanner_;
+  Row table_row_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_HEAP_SCAN_H_

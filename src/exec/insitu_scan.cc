@@ -1,0 +1,510 @@
+#include "exec/insitu_scan.h"
+
+#include <algorithm>
+
+#include "csv/parser.h"
+#include "csv/tokenizer.h"
+#include "expr/evaluator.h"
+#include "pmap/temp_map.h"
+
+namespace nodb {
+
+namespace {
+constexpr uint32_t kUnknown = PositionalMap::kUnknown;
+}  // namespace
+
+InSituScanOp::InSituScanOp(TableRuntime* runtime, const PlannedScan* scan,
+                           int working_width, InSituOptions options)
+    : runtime_(runtime), scan_(scan), working_width_(working_width),
+      opts_(options) {}
+
+Status InSituScanOp::Open() {
+  if (runtime_->raw_file == nullptr) {
+    return Status::Internal("in-situ scan over a table without a raw file");
+  }
+  ncols_ = runtime_->schema.num_columns();
+  slot_of_.assign(ncols_, -1);
+  if (runtime_->pmap != nullptr) {
+    tuples_per_stripe_ = runtime_->pmap->tuples_per_chunk();
+  }
+
+  // Attribute phases (§4.1). Without selective tuple formation every column
+  // is an output column; without selective parsing phase 1 covers all
+  // output columns (parse first, filter later — the straw-man).
+  std::vector<int> needed;
+  if (opts_.selective_tuple_formation) {
+    needed.insert(needed.end(), scan_->where_attrs.begin(),
+                  scan_->where_attrs.end());
+    needed.insert(needed.end(), scan_->payload_attrs.begin(),
+                  scan_->payload_attrs.end());
+  } else {
+    for (int c = 0; c < ncols_; ++c) needed.push_back(c);
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  output_attrs_ = needed;
+
+  if (opts_.selective_parsing) {
+    phase1_attrs_ = scan_->where_attrs;
+    std::sort(phase1_attrs_.begin(), phase1_attrs_.end());
+    phase2_attrs_.clear();
+    for (int a : output_attrs_) {
+      if (!std::binary_search(phase1_attrs_.begin(), phase1_attrs_.end(), a)) {
+        phase2_attrs_.push_back(a);
+      }
+    }
+  } else {
+    phase1_attrs_ = output_attrs_;
+    phase2_attrs_.clear();
+  }
+
+  max_token_attr_ =
+      opts_.selective_tokenizing
+          ? (output_attrs_.empty() ? 0 : output_attrs_.back())
+          : ncols_ - 1;
+
+  if (runtime_->pmap != nullptr && opts_.use_positional_map) {
+    runtime_->pmap->BeginEpoch();
+  }
+  scanner_ = std::make_unique<CsvScanner>(runtime_->raw_file.get(), 1 << 20);
+  next_tuple_ = 0;
+  eof_ = false;
+  header_skipped_ = !runtime_->dialect.has_header;
+  out_rows_.clear();
+  out_idx_ = 0;
+  return Status::OK();
+}
+
+Result<bool> InSituScanOp::Next(Row* row) {
+  while (out_idx_ >= out_rows_.size()) {
+    if (eof_) return false;
+    out_rows_.clear();
+    out_idx_ = 0;
+    NODB_RETURN_IF_ERROR(LoadStripe());
+  }
+  *row = std::move(out_rows_[out_idx_++]);
+  return true;
+}
+
+Status InSituScanOp::ServeFromCache(uint64_t stripe, int n) {
+  ColumnCache* cache = runtime_->cache.get();
+  std::vector<const std::vector<Value>*> cols(ncols_, nullptr);
+  for (int a : output_attrs_) {
+    cols[a] = cache->Get(stripe, a);
+    if (cols[a] == nullptr || static_cast<int>(cols[a]->size()) != n) {
+      return Status::Internal("cache coverage changed mid-check");
+    }
+  }
+  const int offset = scan_->table.offset;
+  for (int t = 0; t < n; ++t) {
+    row_buf_.assign(working_width_, Value());
+    for (int a : phase1_attrs_) {
+      row_buf_[offset + a] = (*cols[a])[t];
+    }
+    bool pass = true;
+    for (const ExprPtr& conj : scan_->conjuncts) {
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, row_buf_));
+      if (!Evaluator::IsTruthy(v)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    for (int a : phase2_attrs_) {
+      row_buf_[offset + a] = (*cols[a])[t];
+    }
+    out_rows_.push_back(std::move(row_buf_));
+  }
+  return Status::OK();
+}
+
+Status InSituScanOp::LoadStripe() {
+  PositionalMap* pm = runtime_->pmap.get();
+  ColumnCache* cache = opts_.use_cache ? runtime_->cache.get() : nullptr;
+  TableStats* stats = opts_.collect_stats ? runtime_->stats.get() : nullptr;
+  const CsvDialect& dialect = runtime_->dialect;
+  const bool use_pm_positions = opts_.use_positional_map && pm != nullptr;
+  const uint64_t stripe = next_tuple_ / tuples_per_stripe_;
+  const uint64_t stripe_first = stripe * tuples_per_stripe_;
+
+  // Expected stripe population (known once a full scan completed).
+  int n_expected = -1;
+  if (pm != nullptr && pm->total_tuples() > 0) {
+    if (next_tuple_ >= pm->total_tuples()) {
+      eof_ = true;
+      return Status::OK();
+    }
+    n_expected = static_cast<int>(
+        std::min<uint64_t>(tuples_per_stripe_,
+                           pm->total_tuples() - stripe_first));
+  }
+
+  // Fast path: the whole stripe is served from the cache — no file access
+  // at all (§4.3: "if the attribute is requested by future queries,
+  // PostgresRaw will read it directly from the cache").
+  if (cache != nullptr && n_expected > 0) {
+    bool all_cached = true;
+    for (int a : output_attrs_) {
+      if (!cache->Contains(stripe, a)) {
+        all_cached = false;
+        break;
+      }
+    }
+    if (all_cached) {
+      NODB_RETURN_IF_ERROR(ServeFromCache(stripe, n_expected));
+      next_tuple_ = stripe_first + n_expected;
+      if (pm->total_tuples() > 0 && next_tuple_ >= pm->total_tuples()) {
+        eof_ = true;
+      } else if (auto start = pm->RowStart(next_tuple_); start.has_value()) {
+        need_seek_ = true;
+        seek_offset_ = *start;
+      } else {
+        return Status::Internal(
+            "cached stripe without spine for the next stripe");
+      }
+      return Status::OK();
+    }
+  }
+
+  // File path. Position the scanner at the stripe's first tuple. Seek
+  // targets are always data-row starts, so the header is behind us.
+  if (need_seek_) {
+    scanner_->SeekTo(seek_offset_);
+    need_seek_ = false;
+    header_skipped_ = true;
+  }
+  if (!header_skipped_) {
+    LineRef header;
+    NODB_ASSIGN_OR_RETURN(bool has, scanner_->Next(&header));
+    header_skipped_ = true;
+    if (!has) {
+      eof_ = true;
+      return Status::OK();
+    }
+  }
+
+  // Per-attribute cached columns (mixed mode: some attrs cached, some not).
+  std::vector<const std::vector<Value>*> cached_col(ncols_, nullptr);
+  if (cache != nullptr && n_expected > 0) {
+    for (int a : output_attrs_) {
+      const std::vector<Value>* col = cache->Get(stripe, a);
+      if (col != nullptr && static_cast<int>(col->size()) == n_expected) {
+        cached_col[a] = col;
+      }
+    }
+  }
+
+  // Snapshot of attributes already indexed for this stripe, taken before we
+  // open this query's insert chunk (a fresh, still-hole-filled chunk must
+  // not be treated as an anchor source).
+  std::vector<int> indexed_before;
+  if (use_pm_positions) {
+    indexed_before = pm->IndexedAttrsForStripe(stripe);
+  }
+
+  // Decide which attribute positions this stripe will contribute to the map
+  // (§4.2 Map Population + the combination policy). With
+  // index_intermediates every attribute the tokenizer will cross is
+  // recorded, not just the requested ones.
+  std::vector<int> attrs_to_insert;
+  if (use_pm_positions) {
+    if (opts_.index_intermediates) {
+      for (int a = 0; a <= max_token_attr_; ++a) {
+        if (!pm->StripeHasAttr(stripe, a)) attrs_to_insert.push_back(a);
+      }
+    } else {
+      for (int a : output_attrs_) {
+        if (!pm->StripeHasAttr(stripe, a)) attrs_to_insert.push_back(a);
+      }
+    }
+    if (attrs_to_insert.empty() && opts_.index_combinations &&
+        output_attrs_.size() > 1 &&
+        !pm->StripeAttrsShareChunk(stripe, output_attrs_)) {
+      attrs_to_insert = output_attrs_;
+    }
+  }
+  PositionalMap::BulkInserter inserter;
+  if (!attrs_to_insert.empty()) {
+    inserter = pm->BeginBulkInsert(stripe, attrs_to_insert);
+  }
+
+  // Temporary map (§4.2 Pre-fetching): prefetch known positions for the
+  // query's attributes plus, per requested attribute, its nearest indexed
+  // neighbours (the anchors incremental tokenizing starts from). Attributes
+  // being inserted this stripe also need slots so crossed positions can be
+  // recorded. Bounding the anchor set keeps the temporary map small no
+  // matter how many combinations history has indexed.
+  temp_attrs_ = output_attrs_;
+  temp_attrs_.insert(temp_attrs_.end(), attrs_to_insert.begin(),
+                     attrs_to_insert.end());
+  if (use_pm_positions) {
+    for (int a : output_attrs_) {
+      auto lo = std::lower_bound(indexed_before.begin(), indexed_before.end(),
+                                 a);
+      if (lo != indexed_before.begin()) {
+        temp_attrs_.push_back(*(lo - 1));  // floor anchor, strictly below
+      }
+      auto hi = std::upper_bound(indexed_before.begin(), indexed_before.end(),
+                                 a);
+      if (hi != indexed_before.end()) {
+        temp_attrs_.push_back(*hi);  // ceiling anchor, strictly above
+      }
+    }
+  }
+  std::sort(temp_attrs_.begin(), temp_attrs_.end());
+  temp_attrs_.erase(std::unique(temp_attrs_.begin(), temp_attrs_.end()),
+                    temp_attrs_.end());
+  const int nslots = static_cast<int>(temp_attrs_.size());
+  slot_of_.assign(ncols_, -1);
+  for (int s = 0; s < nslots; ++s) slot_of_[temp_attrs_[s]] = s;
+  TempMap temp(use_pm_positions ? pm : nullptr, stripe, tuples_per_stripe_,
+               temp_attrs_);
+
+  // Cache population buffers (§4.3: only attributes parsed for this query).
+  std::vector<int> attrs_to_cache;
+  std::vector<std::vector<Value>> cache_buf(ncols_);
+  if (cache != nullptr) {
+    for (int a : output_attrs_) {
+      if (cached_col[a] == nullptr && !cache->Contains(stripe, a)) {
+        attrs_to_cache.push_back(a);
+        cache_buf[a].reserve(tuples_per_stripe_);
+      }
+    }
+  }
+  std::vector<bool> cache_attr(ncols_, false);
+  for (int a : attrs_to_cache) cache_attr[a] = true;
+
+  // Statistics are collected once per attribute (the paper charges a small
+  // one-time overhead, §4.4/Fig. 12); attributes with a finalized snapshot
+  // are skipped on later queries.
+  std::vector<bool> stats_attr(ncols_, false);
+  bool any_stats = false;
+  if (stats != nullptr) {
+    for (int a : output_attrs_) {
+      if (!stats->HasAttr(a)) {
+        stats_attr[a] = true;
+        any_stats = true;
+      }
+    }
+  }
+
+  // Slot of each to-be-inserted attribute, for the per-tuple recording loop.
+  std::vector<int> insert_slots(attrs_to_insert.size());
+  for (size_t i = 0; i < attrs_to_insert.size(); ++i) {
+    insert_slots[i] = slot_of_[attrs_to_insert[i]];
+  }
+
+  const int offset = scan_->table.offset;
+  tuple_pos_.assign(nslots, kUnknown);
+  bool all_qualified = true;
+  int n = 0;
+
+  LineRef line;
+  for (; n < tuples_per_stripe_; ++n) {
+    NODB_ASSIGN_OR_RETURN(bool has, scanner_->Next(&line));
+    if (!has) {
+      eof_ = true;
+      break;
+    }
+    const uint64_t t_global = stripe_first + n;
+    if (pm != nullptr) pm->SetRowStart(t_global, line.offset);
+
+    // Seed per-tuple positions from the temporary map.
+    for (int s = 0; s < nslots; ++s) {
+      tuple_pos_[s] = temp.Position(n, s);
+    }
+    if (nslots > 0 && temp_attrs_[0] == 0) tuple_pos_[0] = 0;
+
+    // Resolves the start offset of `a`, incrementally tokenizing from the
+    // nearest anchor (forward, or backward when closer; §4.2 "Exploiting
+    // the Positional Map"). Records every crossed tracked attribute.
+    auto resolve = [&](int a) -> uint32_t {
+      int slot = slot_of_[a];
+      if (slot >= 0 && tuple_pos_[slot] != kUnknown) return tuple_pos_[slot];
+      if (a == 0) {
+        if (slot >= 0) tuple_pos_[slot] = 0;
+        return 0;
+      }
+      // Nearest known anchors among tracked attributes. Slots are sorted by
+      // attribute, so walk outward from this attribute's own slot (resolved
+      // attributes of this tuple usually sit immediately below).
+      int below = -1, above = -1;
+      int self = slot >= 0
+                     ? slot
+                     : static_cast<int>(std::lower_bound(temp_attrs_.begin(),
+                                                         temp_attrs_.end(),
+                                                         a) -
+                                        temp_attrs_.begin());
+      for (int s = self - 1; s >= 0; --s) {
+        if (tuple_pos_[s] != kUnknown) {
+          below = s;
+          break;
+        }
+      }
+      for (int s = self + (slot >= 0 ? 1 : 0); s < nslots; ++s) {
+        if (temp_attrs_[s] <= a) continue;
+        if (tuple_pos_[s] != kUnknown) {
+          above = s;
+          break;
+        }
+      }
+      uint32_t pos = kUnknown;
+      bool try_backward = above >= 0 && !dialect.quoting &&
+                          (below < 0 || (temp_attrs_[above] - a) <
+                                            (a - temp_attrs_[below]));
+      if (try_backward) {
+        // Walk left from the anchor. Crossing the k-th delimiter reveals the
+        // start of field (from_attr - k + 1): the first delimiter crossed
+        // opens the anchor field itself.
+        int from_attr = temp_attrs_[above];
+        uint32_t i = tuple_pos_[above];
+        int crossings = 0;
+        while (i > 0) {
+          --i;
+          if (line.text[i] == dialect.delimiter) {
+            ++crossings;
+            int started = from_attr - crossings + 1;
+            int s = slot_of_[started];
+            if (s >= 0) tuple_pos_[s] = i + 1;
+            if (started == a) {
+              pos = i + 1;
+              break;
+            }
+            if (started < a) break;  // malformed line
+          }
+        }
+      }
+      if (pos == kUnknown) {
+        int from_attr = below >= 0 ? temp_attrs_[below] : 0;
+        uint32_t from_pos = below >= 0 ? tuple_pos_[below] : 0;
+        // Walk right, recording crossed field starts.
+        int attr = from_attr;
+        uint32_t p = from_pos;
+        while (attr < a) {
+          uint32_t end = FieldEndAt(line.text, dialect, p);
+          if (end >= line.text.size()) return kUnknown;  // short line
+          p = end + 1;
+          ++attr;
+          int s = slot_of_[attr];
+          if (s >= 0) tuple_pos_[s] = p;
+        }
+        pos = p;
+      }
+      int s = slot_of_[a];
+      if (s >= 0) tuple_pos_[s] = pos;
+      return pos;
+    };
+
+    auto parse_attr = [&](int a) -> Result<Value> {
+      if (cached_col[a] != nullptr) return (*cached_col[a])[n];
+      uint32_t pos = resolve(a);
+      if (pos == kUnknown || pos > line.text.size()) {
+        return Value::Null(runtime_->schema.column(a).type);
+      }
+      uint32_t end;
+      int next_slot = a + 1 < ncols_ ? slot_of_[a + 1] : -1;
+      if (next_slot >= 0 && tuple_pos_[next_slot] != kUnknown &&
+          tuple_pos_[next_slot] > pos) {
+        end = tuple_pos_[next_slot] - 1;
+      } else {
+        end = FieldEndAt(line.text, dialect, pos);
+      }
+      NODB_ASSIGN_OR_RETURN(
+          Value v, ParseCsvField(line.text.substr(pos, end - pos),
+                                 runtime_->schema.column(a).type, dialect));
+      return v;
+    };
+
+    // Without selective tokenizing (external-files mode), split the whole
+    // line up front, charging the full tokenization cost.
+    if (!opts_.selective_tokenizing) {
+      uint32_t p = 0;
+      for (int attr = 0; attr < ncols_; ++attr) {
+        int s = slot_of_[attr];
+        if (s >= 0) tuple_pos_[s] = p;
+        uint32_t end = FieldEndAt(line.text, dialect, p);
+        if (end >= line.text.size()) break;
+        p = end + 1;
+      }
+    }
+
+    row_buf_.assign(working_width_, Value());
+
+    // Phase 1: attributes the WHERE clause needs, for every tuple.
+    for (int a : phase1_attrs_) {
+      Result<Value> v = parse_attr(a);
+      if (!v.ok()) return v.status();
+      if (cache_attr[a]) cache_buf[a].push_back(v.value());
+      if (any_stats && stats_attr[a]) stats->AddValue(a, v.value());
+      row_buf_[offset + a] = std::move(v).value();
+    }
+
+    bool pass = true;
+    for (const ExprPtr& conj : scan_->conjuncts) {
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, row_buf_));
+      if (!Evaluator::IsTruthy(v)) {
+        pass = false;
+        break;
+      }
+    }
+
+    if (pass) {
+      // Phase 2: remaining attributes, only now that the tuple qualifies
+      // (selective parsing defers the conversion cost; §4.1).
+      for (int a : phase2_attrs_) {
+        Result<Value> v = parse_attr(a);
+        if (!v.ok()) return v.status();
+        if (cache_attr[a]) cache_buf[a].push_back(v.value());
+        if (any_stats && stats_attr[a]) stats->AddValue(a, v.value());
+        row_buf_[offset + a] = std::move(v).value();
+      }
+      out_rows_.push_back(std::move(row_buf_));
+    } else {
+      all_qualified = false;
+    }
+
+    // Record every position this tuple's tokenization discovered —
+    // requested attributes and intermediates alike (§4.2 Map Population).
+    if (inserter.valid()) {
+      for (size_t i = 0; i < insert_slots.size(); ++i) {
+        inserter.Set(n, static_cast<int>(i), tuple_pos_[insert_slots[i]]);
+      }
+    }
+  }
+
+  if (inserter.valid()) pm->EndStripeInsert();
+
+  // Publish complete cache chunks. Phase-1 buffers hold every tuple;
+  // phase-2 buffers are complete only if every tuple qualified.
+  if (cache != nullptr && n > 0) {
+    for (int a : attrs_to_cache) {
+      bool complete = static_cast<int>(cache_buf[a].size()) == n;
+      bool is_phase2 =
+          std::find(phase2_attrs_.begin(), phase2_attrs_.end(), a) !=
+          phase2_attrs_.end();
+      if (complete && (!is_phase2 || all_qualified)) {
+        cache->Put(stripe, a, std::move(cache_buf[a]));
+      }
+    }
+  }
+
+  next_tuple_ = stripe_first + n;
+  if (eof_) {
+    if (pm != nullptr) pm->SetTotalTuples(next_tuple_);
+    runtime_->known_row_count = static_cast<double>(next_tuple_);
+    if (stats != nullptr) {
+      stats->SetRowCount(next_tuple_);
+      runtime_->stats_populated = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status InSituScanOp::Close() {
+  if (opts_.collect_stats && runtime_->stats != nullptr) {
+    runtime_->stats->FinalizeAll();
+  }
+  return Status::OK();
+}
+
+}  // namespace nodb

@@ -1,0 +1,103 @@
+#ifndef NODB_EXEC_INSITU_SCAN_H_
+#define NODB_EXEC_INSITU_SCAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "csv/scanner.h"
+#include "exec/operator.h"
+#include "exec/table_runtime.h"
+#include "plan/logical_plan.h"
+
+namespace nodb {
+
+/// Feature toggles for the in-situ scan; each maps to one of the paper's
+/// techniques so benchmarks can isolate its effect.
+struct InSituOptions {
+  /// §4.2 — consult/populate attribute positions in the positional map.
+  /// (Row-start "spine" collection is governed by the table having a
+  /// PositionalMap at all; the cache-only variant keeps the spine as the
+  /// paper's "minimal map for end of lines".)
+  bool use_positional_map = true;
+  /// §4.3 — consult/populate the binary value cache.
+  bool use_cache = true;
+  /// §4.4 — feed adaptive statistics while scanning.
+  bool collect_stats = true;
+  /// §4.1 — stop tokenizing a tuple at the last attribute the query needs.
+  bool selective_tokenizing = true;
+  /// §4.1 — two-phase conversion: WHERE attributes for every tuple, other
+  /// attributes only for qualifying tuples.
+  bool selective_parsing = true;
+  /// §4.1 — output tuples carry only needed attributes; when false, every
+  /// attribute is parsed and materialized (external-files behaviour).
+  bool selective_tuple_formation = true;
+  /// §4.2 Adaptive Behavior — re-index the full attribute combination when
+  /// a query's attributes are scattered across chunks. Off by default (see
+  /// EngineConfig::index_combinations).
+  bool index_combinations = false;
+  /// §4.2 Map Population — record positions of every attribute crossed
+  /// while tokenizing, not only the requested ones ("if a query requires
+  /// attributes in positions 10 and 15, all positions from 1 to 15 may be
+  /// kept"). This is what makes the second query dramatically faster.
+  bool index_intermediates = true;
+};
+
+/// The NoDB access method (§4): scans a raw CSV file directly, using the
+/// positional map to jump (close) to attribute positions, the cache to skip
+/// file access entirely, selective tokenizing/parsing/tuple formation to
+/// minimize CPU work, and populating all three structures plus statistics as
+/// side effects — so the next query runs faster.
+class InSituScanOp final : public Operator {
+ public:
+  /// `runtime`, `scan` must outlive the operator. Output rows are
+  /// `working_width` wide with this table's columns at scan->table.offset.
+  InSituScanOp(TableRuntime* runtime, const PlannedScan* scan,
+               int working_width, InSituOptions options);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+  /// Stripe size used when the table has no positional map (kept identical
+  /// to PositionalMap's default so cache keys line up).
+  static constexpr int kDefaultStripe = 4096;
+
+ private:
+  /// Processes the next stripe of tuples into out_rows_. Sets eof_ when the
+  /// file is exhausted.
+  Status LoadStripe();
+  /// Serves a stripe entirely from the cache (no file access).
+  Status ServeFromCache(uint64_t stripe, int n);
+
+  TableRuntime* runtime_;
+  const PlannedScan* scan_;
+  int working_width_;
+  InSituOptions opts_;
+
+  int ncols_ = 0;
+  int tuples_per_stripe_ = kDefaultStripe;
+  std::vector<int> phase1_attrs_;  // parsed for every tuple
+  std::vector<int> phase2_attrs_;  // parsed for qualifying tuples
+  std::vector<int> output_attrs_;  // materialized into the output row
+  int max_token_attr_ = 0;
+
+  std::unique_ptr<CsvScanner> scanner_;
+  uint64_t next_tuple_ = 0;
+  bool need_seek_ = false;
+  uint64_t seek_offset_ = 0;
+  bool eof_ = false;
+  bool header_skipped_ = false;
+
+  std::vector<Row> out_rows_;
+  size_t out_idx_ = 0;
+
+  // Per-stripe scratch (members to avoid reallocation).
+  std::vector<int> temp_attrs_;          // attrs tracked per tuple, sorted
+  std::vector<int> slot_of_;             // attr -> slot in temp_attrs_, -1
+  std::vector<uint32_t> tuple_pos_;      // per-tuple positions per slot
+  Row row_buf_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_INSITU_SCAN_H_

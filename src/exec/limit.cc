@@ -1,0 +1,3 @@
+#include "exec/limit.h"
+
+// LimitOp is header-only; this translation unit anchors the target.

@@ -1,0 +1,36 @@
+#ifndef NODB_EXEC_LIMIT_H_
+#define NODB_EXEC_LIMIT_H_
+
+#include <cstdint>
+
+#include "exec/operator.h"
+
+namespace nodb {
+
+/// Passes through the first `limit` rows.
+class LimitOp final : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Row* row) override {
+    if (produced_ >= limit_) return false;
+    NODB_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    ++produced_;
+    return true;
+  }
+
+  Status Close() override { return child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t produced_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_LIMIT_H_

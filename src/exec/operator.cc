@@ -1,0 +1,3 @@
+#include "exec/operator.h"
+
+// Operator is an interface; this translation unit anchors the target.

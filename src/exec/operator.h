@@ -1,0 +1,51 @@
+#ifndef NODB_EXEC_OPERATOR_H_
+#define NODB_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "types/value.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Volcano-style tuple-at-a-time operator (the paper's engine is a
+/// row-store: "each tuple is then passed one-by-one through the operators of
+/// a query plan"). Rows are *working rows*: the concatenation of all FROM
+/// tables' columns; each operator fills or reads only the slices it owns.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator (builds hash tables, opens files...).
+  virtual Status Open() = 0;
+
+  /// Produces the next row into `*row`; returns false when exhausted.
+  virtual Result<bool> Next(Row* row) = 0;
+
+  /// Releases per-query resources. Called once after the last Next.
+  virtual Status Close() { return Status::OK(); }
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Hash/equality functors so Row can key unordered containers
+/// (hash aggregation, hash joins).
+struct RowHasher {
+  size_t operator()(const Row& row) const {
+    return static_cast<size_t>(HashRow(row));
+  }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_OPERATOR_H_

@@ -1,0 +1,3 @@
+#include "exec/project.h"
+
+// ProjectOp is header-only; this translation unit anchors the target.

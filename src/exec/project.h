@@ -1,0 +1,46 @@
+#ifndef NODB_EXEC_PROJECT_H_
+#define NODB_EXEC_PROJECT_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+
+namespace nodb {
+
+/// Evaluates the SELECT list over input rows, shrinking working rows to the
+/// query's output arity. This is where NoDB's *selective tuple formation*
+/// pays off upstream: the scan only materialized the attributes these
+/// expressions touch.
+class ProjectOp final : public Operator {
+ public:
+  /// `exprs` must outlive the operator.
+  ProjectOp(OperatorPtr child, const std::vector<ExprPtr>* exprs)
+      : child_(std::move(child)), exprs_(exprs) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Row* row) override {
+    NODB_ASSIGN_OR_RETURN(bool has, child_->Next(&input_));
+    if (!has) return false;
+    row->clear();
+    row->reserve(exprs_->size());
+    for (const ExprPtr& e : *exprs_) {
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*e, input_));
+      row->push_back(std::move(v));
+    }
+    return true;
+  }
+
+  Status Close() override { return child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  const std::vector<ExprPtr>* exprs_;
+  Row input_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_PROJECT_H_

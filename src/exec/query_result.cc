@@ -1,0 +1,56 @@
+#include "exec/query_result.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nodb {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += " | ";
+    out += schema.column(c).name;
+  }
+  out += "\n";
+  size_t shown = std::min(max_rows, rows.size());
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows[r][c].ToString();
+    }
+    out += "\n";
+  }
+  if (shown < rows.size()) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  }
+  return out;
+}
+
+std::string QueryResult::Canonical(bool sorted) const {
+  std::vector<std::string> lines;
+  lines.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "|";
+      // Round doubles so both engines' float paths compare stably.
+      if (!row[c].is_null() && row[c].type() == TypeId::kDouble) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", row[c].f64());
+        line += buf;
+      } else {
+        line += row[c].ToString();
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  if (sorted) std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace nodb

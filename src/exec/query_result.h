@@ -1,0 +1,34 @@
+#ifndef NODB_EXEC_QUERY_RESULT_H_
+#define NODB_EXEC_QUERY_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace nodb {
+
+/// Materialized result of one query plus execution telemetry the benchmark
+/// harness reports.
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+
+  /// Wall-clock execution time (planning + execution, excluding parse/bind).
+  double seconds = 0;
+  /// EXPLAIN-style plan rendering.
+  std::string plan;
+
+  /// Renders the result as an aligned text table (up to `max_rows` rows).
+  std::string ToString(size_t max_rows = 20) const;
+
+  /// Canonical single-line-per-row rendering used by differential tests
+  /// (rows sorted lexicographically when `sorted` is true, making unordered
+  /// results comparable).
+  std::string Canonical(bool sorted) const;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_QUERY_RESULT_H_

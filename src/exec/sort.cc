@@ -1,0 +1,45 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+namespace nodb {
+
+namespace {
+
+/// <0, 0, >0 with SQL NULLS LAST semantics (for ascending order).
+int CompareNullable(const Value& a, const Value& b) {
+  if (a.is_null() && b.is_null()) return 0;
+  if (a.is_null()) return 1;
+  if (b.is_null()) return -1;
+  return a.Compare(b);
+}
+
+}  // namespace
+
+Status SortOp::Open() {
+  NODB_RETURN_IF_ERROR(child_->Open());
+  Row row;
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+    rows_.push_back(std::move(row));
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (const BoundOrderKey& k : *keys_) {
+                       int c = CompareNullable(a[k.select_index],
+                                               b[k.select_index]);
+                       if (c != 0) return k.desc ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Row* row) {
+  if (next_ >= rows_.size()) return false;
+  *row = std::move(rows_[next_++]);
+  return true;
+}
+
+}  // namespace nodb

@@ -1,0 +1,33 @@
+#ifndef NODB_EXEC_SORT_H_
+#define NODB_EXEC_SORT_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+#include "sql/binder.h"
+
+namespace nodb {
+
+/// Materializing sort over the (already projected) output rows, keyed by
+/// output column indices. NULLs sort last in ascending order (PostgreSQL
+/// default).
+class SortOp final : public Operator {
+ public:
+  /// `keys` must outlive the operator; each key indexes the child's output.
+  SortOp(OperatorPtr child, const std::vector<BoundOrderKey>* keys)
+      : child_(std::move(child)), keys_(keys) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  const std::vector<BoundOrderKey>* keys_;
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_SORT_H_

@@ -1,0 +1,59 @@
+#ifndef NODB_EXEC_TABLE_RUNTIME_H_
+#define NODB_EXEC_TABLE_RUNTIME_H_
+
+#include <memory>
+#include <string>
+
+#include "cache/column_cache.h"
+#include "csv/dialect.h"
+#include "fits/fits_format.h"
+#include "io/file.h"
+#include "pmap/positional_map.h"
+#include "stats/table_stats.h"
+#include "storage/compact_table.h"
+#include "storage/table_heap.h"
+
+namespace nodb {
+
+/// How a registered table is physically stored.
+enum class TableStorage : uint8_t {
+  kRawCsv,   // in-situ over a CSV file (the NoDB path)
+  kRawFits,  // in-situ over a FITS binary table
+  kHeap,     // loaded into slotted pages (PostgreSQL / MySQL analogues)
+  kCompact,  // loaded into packed rows ("DBMS X" analogue)
+};
+
+/// Everything the executor needs to scan one table, owned by the engine's
+/// catalog. For raw tables this bundles the auxiliary adaptive structures
+/// (positional map, cache, statistics) that persist *across* queries — they
+/// are what turns the straw-man in-situ scan into PostgresRaw.
+struct TableRuntime {
+  std::string name;
+  Schema schema;
+  TableStorage storage = TableStorage::kRawCsv;
+
+  // --- raw CSV / FITS ---
+  std::string raw_path;
+  CsvDialect dialect;
+  std::unique_ptr<RandomAccessFile> raw_file;  // kept open across queries
+  std::unique_ptr<PositionalMap> pmap;         // null when disabled
+  std::unique_ptr<ColumnCache> cache;          // null when disabled
+  std::unique_ptr<FitsTableInfo> fits;         // parsed FITS header
+
+  // --- loaded ---
+  std::unique_ptr<TableHeap> heap;
+  std::unique_ptr<CompactTable> compact;
+
+  // --- adaptive statistics (raw tables; loaded tables get exact stats at
+  //     load time) ---
+  std::unique_ptr<TableStats> stats;
+  bool stats_populated = false;
+
+  /// Exact row count when known (loaded tables, or raw tables after their
+  /// first complete scan); negative otherwise.
+  double known_row_count = -1;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_TABLE_RUNTIME_H_

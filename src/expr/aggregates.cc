@@ -1,0 +1,97 @@
+#include "expr/aggregates.h"
+
+namespace nodb {
+
+std::string_view AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCountStar:
+      return "count(*)";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+TypeId AggregateSpec::ResultType() const {
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return TypeId::kInt64;
+    case AggFunc::kAvg:
+      return TypeId::kDouble;
+    case AggFunc::kSum:
+      return arg->type == TypeId::kInt64 ? TypeId::kInt64 : TypeId::kDouble;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return arg->type;
+  }
+  return TypeId::kInt64;
+}
+
+AggAccumulator::AggAccumulator(const AggregateSpec* spec) : spec_(spec) {}
+
+void AggAccumulator::Add(const Value& v) {
+  if (spec_->func == AggFunc::kCountStar) {
+    ++count_;
+    return;
+  }
+  if (v.is_null()) return;
+  switch (spec_->func) {
+    case AggFunc::kCount:
+      ++count_;
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      ++count_;
+      if (spec_->arg->type == TypeId::kInt64) {
+        sum_i64_ += v.int64();
+      } else {
+        sum_f64_ += v.AsDouble();
+      }
+      break;
+    case AggFunc::kMin:
+      if (extreme_.is_null() || v.Compare(extreme_) < 0) extreme_ = v;
+      ++count_;
+      break;
+    case AggFunc::kMax:
+      if (extreme_.is_null() || v.Compare(extreme_) > 0) extreme_ = v;
+      ++count_;
+      break;
+    case AggFunc::kCountStar:
+      break;  // handled above
+  }
+}
+
+Value AggAccumulator::Final() const {
+  switch (spec_->func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value::Int64(static_cast<int64_t>(count_));
+    case AggFunc::kSum:
+      if (count_ == 0) return Value::Null(spec_->ResultType());
+      if (spec_->arg->type == TypeId::kInt64) return Value::Int64(sum_i64_);
+      return Value::Double(sum_f64_);
+    case AggFunc::kAvg: {
+      if (count_ == 0) return Value::Null(TypeId::kDouble);
+      double total = spec_->arg->type == TypeId::kInt64
+                         ? static_cast<double>(sum_i64_)
+                         : sum_f64_;
+      return Value::Double(total / static_cast<double>(count_));
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      if (count_ == 0) return Value::Null(spec_->ResultType());
+      return extreme_;
+  }
+  return Value();
+}
+
+}  // namespace nodb

@@ -1,0 +1,52 @@
+#ifndef NODB_EXPR_AGGREGATES_H_
+#define NODB_EXPR_AGGREGATES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/value.h"
+#include "util/result.h"
+
+namespace nodb {
+
+enum class AggFunc : uint8_t { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+std::string_view AggFuncToString(AggFunc func);
+
+/// One aggregate call extracted from a SELECT list by the binder
+/// (e.g. SUM(l_extendedprice * l_discount)).
+struct AggregateSpec {
+  AggFunc func;
+  ExprPtr arg;  // null for COUNT(*)
+
+  /// Result type of the aggregate (SUM(int)=int, AVG(*)=double, ...).
+  TypeId ResultType() const;
+};
+
+/// Running state for one aggregate over one group. NULL inputs are ignored
+/// per SQL (COUNT(*) counts rows regardless).
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(const AggregateSpec* spec);
+
+  /// Folds in the argument value (or any value for COUNT(*)).
+  void Add(const Value& v);
+
+  /// Final value of the aggregate (NULL for empty-input SUM/AVG/MIN/MAX,
+  /// 0 for COUNT).
+  Value Final() const;
+
+ private:
+  const AggregateSpec* spec_;
+  uint64_t count_ = 0;  // non-null inputs (rows for COUNT(*))
+  int64_t sum_i64_ = 0;
+  double sum_f64_ = 0;
+  Value extreme_;  // MIN/MAX running value
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXPR_AGGREGATES_H_

@@ -1,0 +1,215 @@
+#include "expr/evaluator.h"
+
+#include "expr/like.h"
+
+namespace nodb {
+
+namespace {
+
+Value CompareValues(CompareOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
+  int c = l.Compare(r);
+  bool result = false;
+  switch (op) {
+    case CompareOp::kEq:
+      result = c == 0;
+      break;
+    case CompareOp::kNe:
+      result = c != 0;
+      break;
+    case CompareOp::kLt:
+      result = c < 0;
+      break;
+    case CompareOp::kLe:
+      result = c <= 0;
+      break;
+    case CompareOp::kGt:
+      result = c > 0;
+      break;
+    case CompareOp::kGe:
+      result = c >= 0;
+      break;
+  }
+  return Value::Bool(result);
+}
+
+Result<Value> Arith(ArithOp op, TypeId result_type, const Value& l,
+                    const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null(result_type);
+
+  // Date arithmetic: date +/- int64 days = date; date - date = int64 days.
+  if (l.type() == TypeId::kDate || r.type() == TypeId::kDate) {
+    if (op == ArithOp::kAdd && l.type() == TypeId::kDate &&
+        r.type() == TypeId::kInt64) {
+      return Value::Date(l.date() + static_cast<int32_t>(r.int64()));
+    }
+    if (op == ArithOp::kAdd && r.type() == TypeId::kDate &&
+        l.type() == TypeId::kInt64) {
+      return Value::Date(r.date() + static_cast<int32_t>(l.int64()));
+    }
+    if (op == ArithOp::kSub && l.type() == TypeId::kDate &&
+        r.type() == TypeId::kInt64) {
+      return Value::Date(l.date() - static_cast<int32_t>(r.int64()));
+    }
+    if (op == ArithOp::kSub && l.type() == TypeId::kDate &&
+        r.type() == TypeId::kDate) {
+      return Value::Int64(static_cast<int64_t>(l.date()) - r.date());
+    }
+    return Status::InvalidArgument("unsupported date arithmetic");
+  }
+
+  if (result_type == TypeId::kInt64) {
+    int64_t a = l.int64(), b = r.int64();
+    switch (op) {
+      case ArithOp::kAdd:
+        return Value::Int64(a + b);
+      case ArithOp::kSub:
+        return Value::Int64(a - b);
+      case ArithOp::kMul:
+        return Value::Int64(a * b);
+      case ArithOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value::Int64(a / b);
+    }
+  }
+  double a = l.AsDouble(), b = r.AsDouble();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value::Double(a + b);
+    case ArithOp::kSub:
+      return Value::Double(a - b);
+    case ArithOp::kMul:
+      return Value::Double(a * b);
+    case ArithOp::kDiv:
+      if (b == 0) return Status::InvalidArgument("division by zero");
+      return Value::Double(a / b);
+  }
+  return Status::Internal("unreachable arithmetic op");
+}
+
+Result<Value> CastValue(const Value& v, TypeId target) {
+  if (v.is_null()) return Value::Null(target);
+  if (v.type() == target) return v;
+  switch (target) {
+    case TypeId::kDouble:
+      if (v.type() == TypeId::kString) {
+        return Value::ParseAs(TypeId::kDouble, v.str());
+      }
+      return Value::Double(v.AsDouble());
+    case TypeId::kInt64:
+      if (v.type() == TypeId::kString) {
+        return Value::ParseAs(TypeId::kInt64, v.str());
+      }
+      return Value::Int64(static_cast<int64_t>(v.AsDouble()));
+    case TypeId::kString:
+      return Value::String(v.ToString());
+    case TypeId::kDate:
+      if (v.type() == TypeId::kString) {
+        return Value::ParseAs(TypeId::kDate, v.str());
+      }
+      return Value::Date(static_cast<int32_t>(v.AsDouble()));
+    case TypeId::kBool:
+      return Value::Bool(v.AsDouble() != 0);
+  }
+  return Status::Internal("unreachable cast target");
+}
+
+}  // namespace
+
+Result<Value> Evaluator::Eval(const Expr& expr, const Row& row,
+                              const Row* aggregates) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef: {
+      const auto& e = static_cast<const ColumnRefExpr&>(expr);
+      return row[e.index];
+    }
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value;
+    case ExprKind::kComparison: {
+      const auto& e = static_cast<const ComparisonExpr&>(expr);
+      NODB_ASSIGN_OR_RETURN(Value l, Eval(*e.left, row, aggregates));
+      NODB_ASSIGN_OR_RETURN(Value r, Eval(*e.right, row, aggregates));
+      return CompareValues(e.op, l, r);
+    }
+    case ExprKind::kLogical: {
+      const auto& e = static_cast<const LogicalExpr&>(expr);
+      NODB_ASSIGN_OR_RETURN(Value l, Eval(*e.left, row, aggregates));
+      if (e.op == LogicalOp::kNot) {
+        if (l.is_null()) return Value::Null(TypeId::kBool);
+        return Value::Bool(!l.boolean());
+      }
+      // Kleene logic with short-circuit where the result is decided.
+      if (e.op == LogicalOp::kAnd) {
+        if (!l.is_null() && !l.boolean()) return Value::Bool(false);
+        NODB_ASSIGN_OR_RETURN(Value r, Eval(*e.right, row, aggregates));
+        if (!r.is_null() && !r.boolean()) return Value::Bool(false);
+        if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
+        return Value::Bool(true);
+      }
+      if (!l.is_null() && l.boolean()) return Value::Bool(true);
+      NODB_ASSIGN_OR_RETURN(Value r, Eval(*e.right, row, aggregates));
+      if (!r.is_null() && r.boolean()) return Value::Bool(true);
+      if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
+      return Value::Bool(false);
+    }
+    case ExprKind::kArithmetic: {
+      const auto& e = static_cast<const ArithmeticExpr&>(expr);
+      NODB_ASSIGN_OR_RETURN(Value l, Eval(*e.left, row, aggregates));
+      NODB_ASSIGN_OR_RETURN(Value r, Eval(*e.right, row, aggregates));
+      return Arith(e.op, e.type, l, r);
+    }
+    case ExprKind::kInList: {
+      const auto& e = static_cast<const InListExpr&>(expr);
+      NODB_ASSIGN_OR_RETURN(Value v, Eval(*e.input, row, aggregates));
+      if (v.is_null()) return Value::Null(TypeId::kBool);
+      for (const Value& item : e.items) {
+        if (!item.is_null() && v.Equals(item)) {
+          return Value::Bool(!e.negated);
+        }
+      }
+      return Value::Bool(e.negated);
+    }
+    case ExprKind::kLike: {
+      const auto& e = static_cast<const LikeExpr&>(expr);
+      NODB_ASSIGN_OR_RETURN(Value v, Eval(*e.input, row, aggregates));
+      if (v.is_null()) return Value::Null(TypeId::kBool);
+      bool m = LikeMatch(v.str(), e.pattern);
+      return Value::Bool(e.negated ? !m : m);
+    }
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(expr);
+      for (const CaseExpr::WhenClause& w : e.whens) {
+        NODB_ASSIGN_OR_RETURN(Value c, Eval(*w.condition, row, aggregates));
+        if (IsTruthy(c)) {
+          NODB_ASSIGN_OR_RETURN(Value v, Eval(*w.result, row, aggregates));
+          return CastValue(v, e.type);
+        }
+      }
+      if (e.else_result != nullptr) {
+        NODB_ASSIGN_OR_RETURN(Value v, Eval(*e.else_result, row, aggregates));
+        return CastValue(v, e.type);
+      }
+      return Value::Null(e.type);
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(expr);
+      NODB_ASSIGN_OR_RETURN(Value v, Eval(*e.input, row, aggregates));
+      return Value::Bool(e.negated ? !v.is_null() : v.is_null());
+    }
+    case ExprKind::kCast: {
+      const auto& e = static_cast<const CastExpr&>(expr);
+      NODB_ASSIGN_OR_RETURN(Value v, Eval(*e.input, row, aggregates));
+      return CastValue(v, e.type);
+    }
+    case ExprKind::kAggregateRef: {
+      const auto& e = static_cast<const AggregateRefExpr&>(expr);
+      if (aggregates == nullptr) {
+        return Status::Internal("aggregate reference outside aggregation");
+      }
+      return (*aggregates)[e.agg_index];
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+}  // namespace nodb

@@ -1,0 +1,30 @@
+#ifndef NODB_EXPR_EVALUATOR_H_
+#define NODB_EXPR_EVALUATOR_H_
+
+#include "expr/expr.h"
+#include "types/value.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Evaluates a bound expression against a working row.
+///
+/// NULL semantics follow SQL: comparisons/arithmetic with a NULL operand
+/// yield NULL; AND/OR use Kleene three-valued logic; WHERE-style truth tests
+/// treat NULL as false (see IsTruthy). Division by zero is an error status.
+class Evaluator {
+ public:
+  /// `aggregates` supplies values for AggregateRefExpr slots (may be null
+  /// when the expression contains none).
+  static Result<Value> Eval(const Expr& expr, const Row& row,
+                            const Row* aggregates = nullptr);
+
+  /// WHERE-clause truth test: non-null boolean true.
+  static bool IsTruthy(const Value& v) {
+    return !v.is_null() && v.boolean();
+  }
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXPR_EVALUATOR_H_

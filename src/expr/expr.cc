@@ -1,0 +1,93 @@
+#include "expr/expr.h"
+
+namespace nodb {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string_view ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+std::string ComparisonExpr::ToString() const {
+  return "(" + left->ToString() + " " + std::string(CompareOpToString(op)) +
+         " " + right->ToString() + ")";
+}
+
+std::string LogicalExpr::ToString() const {
+  if (op == LogicalOp::kNot) return "(NOT " + left->ToString() + ")";
+  return "(" + left->ToString() +
+         (op == LogicalOp::kAnd ? " AND " : " OR ") + right->ToString() + ")";
+}
+
+std::string ArithmeticExpr::ToString() const {
+  return "(" + left->ToString() + " " + std::string(ArithOpToString(op)) +
+         " " + right->ToString() + ")";
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = input->ToString();
+  out += negated ? " NOT IN (" : " IN (";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string LikeExpr::ToString() const {
+  return input->ToString() + (negated ? " NOT LIKE '" : " LIKE '") + pattern +
+         "'";
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  for (const WhenClause& w : whens) {
+    out += " WHEN " + w.condition->ToString() + " THEN " +
+           w.result->ToString();
+  }
+  if (else_result != nullptr) out += " ELSE " + else_result->ToString();
+  out += " END";
+  return out;
+}
+
+std::string IsNullExpr::ToString() const {
+  return input->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+}
+
+std::string CastExpr::ToString() const {
+  return "CAST(" + input->ToString() + " AS " +
+         std::string(TypeIdToString(type)) + ")";
+}
+
+std::string AggregateRefExpr::ToString() const {
+  return "agg#" + std::to_string(agg_index);
+}
+
+}  // namespace nodb

@@ -1,0 +1,31 @@
+#include "expr/like.h"
+
+namespace nodb {
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Two-pointer greedy match with backtracking to the last '%' (the classic
+  // linear-ish wildcard algorithm).
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos;  // position after the last '%'
+  size_t star_t = 0;                       // text position when '%' was seen
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = ++p;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      // Backtrack: let the last '%' absorb one more character.
+      p = star_p;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace nodb

@@ -1,0 +1,15 @@
+#ifndef NODB_EXPR_LIKE_H_
+#define NODB_EXPR_LIKE_H_
+
+#include <string_view>
+
+namespace nodb {
+
+/// SQL LIKE predicate: '%' matches any run of characters (including empty),
+/// '_' matches exactly one character; everything else matches literally.
+/// Case-sensitive, no escape character (TPC-H does not need one).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace nodb
+
+#endif  // NODB_EXPR_LIKE_H_

@@ -1,0 +1,103 @@
+#include "fits/cfitsio_like.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fits/fits_format.h"
+#include "io/buffered_reader.h"
+#include "io/file.h"
+
+namespace nodb {
+
+struct fitsfile {
+  std::unique_ptr<RandomAccessFile> file;
+  FitsTableInfo info;
+};
+
+int fits_open_table(fitsfile** handle, const char* path) {
+  auto file_result = RandomAccessFile::Open(path);
+  if (!file_result.ok()) return kFitsError;
+  auto info_result = ParseFitsHeader(file_result.value().get());
+  if (!info_result.ok()) return kFitsError;
+  auto* f = new fitsfile;
+  f->file = std::move(file_result).value();
+  f->info = std::move(info_result).value();
+  *handle = f;
+  return kFitsOk;
+}
+
+int fits_close_file(fitsfile* handle) {
+  delete handle;
+  return kFitsOk;
+}
+
+int fits_get_num_rows(fitsfile* handle, long long* num_rows) {
+  *num_rows = static_cast<long long>(handle->info.num_rows);
+  return kFitsOk;
+}
+
+int fits_get_num_cols(fitsfile* handle, int* num_cols) {
+  *num_cols = static_cast<int>(handle->info.columns.size());
+  return kFitsOk;
+}
+
+int fits_get_colnum(fitsfile* handle, const char* name, int* colnum) {
+  for (size_t i = 0; i < handle->info.columns.size(); ++i) {
+    if (handle->info.columns[i].name == name) {
+      *colnum = static_cast<int>(i) + 1;
+      return kFitsOk;
+    }
+  }
+  return kFitsError;
+}
+
+namespace {
+
+/// Shared strided read loop: every call walks the rows from the file
+/// (through a streaming buffer), decoding one column. No state survives the
+/// call — re-running a query re-reads the table, like the paper's CFITSIO
+/// program.
+template <typename T, typename ConvertFn>
+int ReadColumn(fitsfile* handle, int colnum, long long firstrow,
+               long long nelem, T* out, ConvertFn&& convert) {
+  if (colnum < 1 || colnum > static_cast<int>(handle->info.columns.size())) {
+    return kFitsError;
+  }
+  const FitsColumn& col = handle->info.columns[colnum - 1];
+  if (firstrow < 1 ||
+      static_cast<uint64_t>(firstrow - 1 + nelem) > handle->info.num_rows) {
+    return kFitsError;
+  }
+  BufferedReader reader(handle->file.get(), 1 << 20);
+  uint64_t row_bytes = handle->info.row_bytes;
+  uint64_t base = handle->info.data_start +
+                  static_cast<uint64_t>(firstrow - 1) * row_bytes;
+  for (long long i = 0; i < nelem; ++i) {
+    auto view = reader.ReadAt(base + static_cast<uint64_t>(i) * row_bytes +
+                                  col.offset,
+                              col.width);
+    if (!view.ok() || view.value().size() != col.width) return kFitsError;
+    Value v = DecodeFitsField(col, view.value().data());
+    out[i] = convert(v);
+  }
+  return kFitsOk;
+}
+
+}  // namespace
+
+int fits_read_col_dbl(fitsfile* handle, int colnum, long long firstrow,
+                      long long nelem, double* out) {
+  return ReadColumn(handle, colnum, firstrow, nelem, out,
+                    [](const Value& v) { return v.AsDouble(); });
+}
+
+int fits_read_col_lng(fitsfile* handle, int colnum, long long firstrow,
+                      long long nelem, long long* out) {
+  return ReadColumn(handle, colnum, firstrow, nelem, out,
+                    [](const Value& v) {
+                      return static_cast<long long>(v.int64());
+                    });
+}
+
+}  // namespace nodb

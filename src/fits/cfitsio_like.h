@@ -1,0 +1,43 @@
+#ifndef NODB_FITS_CFITSIO_LIKE_H_
+#define NODB_FITS_CFITSIO_LIKE_H_
+
+#include <cstdint>
+
+namespace nodb {
+
+/// CFITSIO-style procedural API — the custom-C-program baseline of the
+/// paper's §5.3 ("we compare PostgresRaw with a custom-made C program that
+/// uses the CFITSIO library"). The call shapes mirror CFITSIO (status-code
+/// returns, out-params); every read touches the file — like CFITSIO, the
+/// only reuse between calls is the OS file-system cache.
+///
+/// A "query" against this API is a handwritten loop over fits_read_col_*
+/// followed by manual aggregation — which is precisely the usability point
+/// the paper makes.
+
+struct fitsfile;  // opaque handle
+
+/// Status codes (0 = OK, CFITSIO convention).
+inline constexpr int kFitsOk = 0;
+inline constexpr int kFitsError = 1;
+
+int fits_open_table(fitsfile** handle, const char* path);
+int fits_close_file(fitsfile* handle);
+
+int fits_get_num_rows(fitsfile* handle, long long* num_rows);
+int fits_get_num_cols(fitsfile* handle, int* num_cols);
+/// 1-based column lookup by name, CFITSIO-style.
+int fits_get_colnum(fitsfile* handle, const char* name, int* colnum);
+
+/// Reads `nelem` doubles of column `colnum` (1-based) starting at `firstrow`
+/// (1-based) into `out`. Integer/float columns are widened to double.
+int fits_read_col_dbl(fitsfile* handle, int colnum, long long firstrow,
+                      long long nelem, double* out);
+
+/// Reads 64-bit integers (K columns).
+int fits_read_col_lng(fitsfile* handle, int colnum, long long firstrow,
+                      long long nelem, long long* out);
+
+}  // namespace nodb
+
+#endif  // NODB_FITS_CFITSIO_LIKE_H_

@@ -1,0 +1,208 @@
+#include "fits/fits_format.h"
+
+#include <cstring>
+
+#include "util/str_conv.h"
+
+namespace nodb {
+
+void PutBigEndian64(char* out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out[i] = static_cast<char>(v & 0xFF);
+    v >>= 8;
+  }
+}
+
+uint64_t GetBigEndian64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+void PutBigEndian32(char* out, uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    out[i] = static_cast<char>(v & 0xFF);
+    v >>= 8;
+  }
+}
+
+uint32_t GetBigEndian32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+Schema FitsTableInfo::ToSchema() const {
+  Schema schema;
+  for (const FitsColumn& c : columns) {
+    schema.AddColumn({c.name, c.type});
+  }
+  return schema;
+}
+
+namespace {
+
+/// Extracts the value part of a "KEY     = value / comment" card.
+std::string CardValue(std::string_view card) {
+  size_t eq = card.find('=');
+  if (eq == std::string_view::npos) return "";
+  std::string_view rest = card.substr(eq + 1);
+  size_t slash = rest.find('/');
+  if (slash != std::string_view::npos) rest = rest.substr(0, slash);
+  // Trim spaces and quotes.
+  size_t b = rest.find_first_not_of(" '");
+  size_t e = rest.find_last_not_of(" '");
+  if (b == std::string_view::npos) return "";
+  return std::string(rest.substr(b, e - b + 1));
+}
+
+Result<FitsColumn> ColumnFromForm(const std::string& form) {
+  FitsColumn col;
+  if (form.empty()) return Status::Corruption("empty TFORM");
+  char code = form.back();
+  col.form = code;
+  switch (code) {
+    case 'K':
+      col.type = TypeId::kInt64;
+      col.width = 8;
+      break;
+    case 'D':
+      col.type = TypeId::kDouble;
+      col.width = 8;
+      break;
+    case 'E':
+      col.type = TypeId::kDouble;  // float32 widened on read
+      col.width = 4;
+      break;
+    case 'J':
+      col.type = TypeId::kDate;  // our writer uses J for dates
+      col.width = 4;
+      break;
+    case 'L':
+      col.type = TypeId::kBool;
+      col.width = 1;
+      break;
+    case 'A': {
+      col.type = TypeId::kString;
+      if (form.size() < 2) {
+        col.width = 1;
+      } else {
+        NODB_ASSIGN_OR_RETURN(int64_t n,
+                              ParseInt64(form.substr(0, form.size() - 1)));
+        col.width = static_cast<uint32_t>(n);
+      }
+      break;
+    }
+    default:
+      return Status::Unimplemented("unsupported TFORM '" + form + "'");
+  }
+  return col;
+}
+
+}  // namespace
+
+Result<FitsTableInfo> ParseFitsHeader(const RandomAccessFile* file) {
+  FitsTableInfo info;
+  std::vector<char> block(kFitsBlockSize);
+  uint64_t offset = 0;
+  bool saw_end = false;
+  int tfields = 0;
+  int64_t naxis1 = 0, naxis2 = 0;
+  std::vector<std::string> ttype;
+  std::vector<std::string> tform;
+
+  while (!saw_end) {
+    NODB_ASSIGN_OR_RETURN(uint64_t n,
+                          file->Read(offset, kFitsBlockSize, block.data()));
+    if (n != kFitsBlockSize) {
+      return Status::Corruption("FITS header truncated");
+    }
+    for (int c = 0; c < static_cast<int>(kFitsBlockSize / kFitsCardSize); ++c) {
+      std::string_view card(block.data() + c * kFitsCardSize, kFitsCardSize);
+      std::string key(card.substr(0, 8));
+      // Trim trailing spaces of the key.
+      size_t key_end = key.find_last_not_of(' ');
+      key = key_end == std::string::npos ? "" : key.substr(0, key_end + 1);
+      if (key == "END") {
+        saw_end = true;
+        break;
+      }
+      std::string value = CardValue(card);
+      if (key == "NAXIS1") {
+        NODB_ASSIGN_OR_RETURN(naxis1, ParseInt64(value));
+      } else if (key == "NAXIS2") {
+        NODB_ASSIGN_OR_RETURN(naxis2, ParseInt64(value));
+      } else if (key == "TFIELDS") {
+        NODB_ASSIGN_OR_RETURN(int64_t tf, ParseInt64(value));
+        tfields = static_cast<int>(tf);
+        ttype.resize(tfields);
+        tform.resize(tfields);
+      } else if (key.rfind("TTYPE", 0) == 0) {
+        NODB_ASSIGN_OR_RETURN(int64_t idx, ParseInt64(key.substr(5)));
+        if (idx >= 1 && idx <= static_cast<int64_t>(ttype.size())) {
+          ttype[idx - 1] = value;
+        }
+      } else if (key.rfind("TFORM", 0) == 0) {
+        NODB_ASSIGN_OR_RETURN(int64_t idx, ParseInt64(key.substr(5)));
+        if (idx >= 1 && idx <= static_cast<int64_t>(tform.size())) {
+          tform[idx - 1] = value;
+        }
+      }
+    }
+    offset += kFitsBlockSize;
+  }
+
+  if (tfields == 0) return Status::Corruption("FITS header has no TFIELDS");
+  uint32_t row_offset = 0;
+  for (int i = 0; i < tfields; ++i) {
+    NODB_ASSIGN_OR_RETURN(FitsColumn col, ColumnFromForm(tform[i]));
+    col.name = ttype[i].empty() ? "col" + std::to_string(i + 1) : ttype[i];
+    col.offset = row_offset;
+    row_offset += col.width;
+    info.columns.push_back(std::move(col));
+  }
+  if (naxis1 != row_offset) {
+    return Status::Corruption("FITS NAXIS1 does not match column widths");
+  }
+  info.row_bytes = static_cast<uint64_t>(naxis1);
+  info.num_rows = static_cast<uint64_t>(naxis2);
+  info.data_start = offset;
+  return info;
+}
+
+Value DecodeFitsField(const FitsColumn& column, const char* bytes) {
+  switch (column.form) {
+    case 'K':
+      return Value::Int64(static_cast<int64_t>(GetBigEndian64(bytes)));
+    case 'D': {
+      uint64_t bits = GetBigEndian64(bytes);
+      double d;
+      memcpy(&d, &bits, 8);
+      return Value::Double(d);
+    }
+    case 'E': {
+      uint32_t bits = GetBigEndian32(bytes);
+      float f;
+      memcpy(&f, &bits, 4);
+      return Value::Double(static_cast<double>(f));
+    }
+    case 'J':
+      return Value::Date(static_cast<int32_t>(GetBigEndian32(bytes)));
+    case 'L':
+      return Value::Bool(bytes[0] == 'T');
+    case 'A': {
+      std::string_view s(bytes, column.width);
+      size_t end = s.find_last_not_of(' ');
+      if (end == std::string_view::npos) return Value::String(std::string());
+      return Value::String(s.substr(0, end + 1));
+    }
+    default:
+      return Value::Null(column.type);
+  }
+}
+
+}  // namespace nodb

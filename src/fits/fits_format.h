@@ -1,0 +1,67 @@
+#ifndef NODB_FITS_FITS_FORMAT_H_
+#define NODB_FITS_FITS_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/file.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// FITS-like binary-table format (paper §5.3).
+///
+/// Faithful to the parts of FITS that matter for the experiment: an ASCII
+/// header of 80-character cards padded to 2880-byte blocks, followed by
+/// fixed-width binary rows with big-endian fields. Column forms follow the
+/// FITS binary-table TFORM codes we need:
+///   K = 64-bit integer, D = 64-bit float, E = 32-bit float,
+///   J = 32-bit integer (used for dates), L = logical (1 byte 'T'/'F'),
+///   <n>A = fixed-width character string.
+/// A single table per file (the paper queries one binary table).
+///
+/// Because every field has a computable offset, *parsing* disappears for
+/// FITS — positions are arithmetic — which is exactly why the paper uses it
+/// to isolate caching effects from tokenizing effects.
+
+inline constexpr uint64_t kFitsBlockSize = 2880;
+inline constexpr int kFitsCardSize = 80;
+
+struct FitsColumn {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+  char form = 'K';       // K, D, E, J, L, A
+  uint32_t width = 8;    // bytes in the row
+  uint32_t offset = 0;   // byte offset within a row
+};
+
+/// Parsed description of the (single) binary table in a FITS file.
+struct FitsTableInfo {
+  uint64_t data_start = 0;  // file offset of the first row
+  uint64_t row_bytes = 0;
+  uint64_t num_rows = 0;
+  std::vector<FitsColumn> columns;
+
+  /// Relational view of the table.
+  Schema ToSchema() const;
+};
+
+/// Reads and validates the header of `file`.
+Result<FitsTableInfo> ParseFitsHeader(const RandomAccessFile* file);
+
+/// Decodes one field at `bytes` (pointing at the field's first byte).
+/// For 'A' columns, trailing spaces are stripped (FITS padding).
+Value DecodeFitsField(const FitsColumn& column, const char* bytes);
+
+/// Big-endian primitives (FITS mandates big-endian storage).
+void PutBigEndian64(char* out, uint64_t v);
+uint64_t GetBigEndian64(const char* p);
+void PutBigEndian32(char* out, uint32_t v);
+uint32_t GetBigEndian32(const char* p);
+
+}  // namespace nodb
+
+#endif  // NODB_FITS_FITS_FORMAT_H_

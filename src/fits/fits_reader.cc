@@ -1,0 +1,33 @@
+#include "fits/fits_reader.h"
+
+namespace nodb {
+
+FitsReader::FitsReader(const RandomAccessFile* file,
+                       const FitsTableInfo* info)
+    : info_(info), reader_(file, 1 << 20) {}
+
+Status FitsReader::ReadRow(uint64_t row_idx, const std::vector<bool>& needed,
+                           Row* row) {
+  if (row_idx >= info_->num_rows) {
+    return Status::OutOfRange("FITS row index out of range");
+  }
+  int ncols = static_cast<int>(info_->columns.size());
+  row->assign(ncols, Value());
+  uint64_t base = info_->data_start + row_idx * info_->row_bytes;
+  NODB_ASSIGN_OR_RETURN(std::string_view bytes,
+                        reader_.ReadAt(base, info_->row_bytes));
+  if (bytes.size() != info_->row_bytes) {
+    return Status::Corruption("FITS row truncated");
+  }
+  for (int c = 0; c < ncols; ++c) {
+    const FitsColumn& col = info_->columns[c];
+    if (needed[c]) {
+      (*row)[c] = DecodeFitsField(col, bytes.data() + col.offset);
+    } else {
+      (*row)[c] = Value::Null(col.type);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace nodb

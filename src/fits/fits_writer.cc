@@ -1,0 +1,180 @@
+#include "fits/fits_writer.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace nodb {
+
+namespace {
+
+void AppendCard(std::string* header, const std::string& key,
+                const std::string& value) {
+  char card[kFitsCardSize + 1];
+  std::snprintf(card, sizeof(card), "%-8s= %20s", key.c_str(), value.c_str());
+  std::string s(card);
+  s.resize(kFitsCardSize, ' ');
+  header->append(s);
+}
+
+void AppendBareCard(std::string* header, const std::string& text) {
+  std::string s = text;
+  s.resize(kFitsCardSize, ' ');
+  header->append(s);
+}
+
+std::string Quoted(const std::string& s) { return "'" + s + "'"; }
+
+}  // namespace
+
+Result<std::unique_ptr<FitsWriter>> FitsWriter::Create(
+    const std::string& path, const Schema& schema,
+    std::vector<uint32_t> string_widths) {
+  std::vector<FitsColumn> columns;
+  uint32_t offset = 0;
+  size_t next_width = 0;
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    FitsColumn col;
+    col.name = schema.column(i).name;
+    col.type = schema.column(i).type;
+    col.offset = offset;
+    switch (col.type) {
+      case TypeId::kInt64:
+        col.form = 'K';
+        col.width = 8;
+        break;
+      case TypeId::kDouble:
+        col.form = 'D';
+        col.width = 8;
+        break;
+      case TypeId::kDate:
+        col.form = 'J';
+        col.width = 4;
+        break;
+      case TypeId::kBool:
+        col.form = 'L';
+        col.width = 1;
+        break;
+      case TypeId::kString: {
+        col.form = 'A';
+        if (next_width >= string_widths.size()) {
+          return Status::InvalidArgument(
+              "missing FITS width for string column '" + col.name + "'");
+        }
+        col.width = string_widths[next_width++];
+        if (col.width == 0) {
+          return Status::InvalidArgument("FITS string width must be > 0");
+        }
+        break;
+      }
+    }
+    offset += col.width;
+    columns.push_back(std::move(col));
+  }
+
+  auto writer = std::unique_ptr<FitsWriter>(
+      new FitsWriter(path, std::move(columns), offset));
+  NODB_ASSIGN_OR_RETURN(writer->out_, WritableFile::Create(path));
+
+  // Header block(s).
+  std::string header;
+  AppendCard(&header, "SIMPLE", "T");
+  AppendCard(&header, "BITPIX", "8");
+  AppendCard(&header, "NAXIS", "2");
+  AppendCard(&header, "NAXIS1", std::to_string(writer->row_bytes_));
+  writer->naxis2_card_offset_ = header.size();
+  AppendCard(&header, "NAXIS2", "0");  // patched by Finish()
+  AppendCard(&header, "TFIELDS", std::to_string(writer->columns_.size()));
+  for (size_t i = 0; i < writer->columns_.size(); ++i) {
+    const FitsColumn& col = writer->columns_[i];
+    AppendCard(&header, "TTYPE" + std::to_string(i + 1), Quoted(col.name));
+    std::string form = col.form == 'A'
+                           ? std::to_string(col.width) + "A"
+                           : std::string(1, col.form);
+    AppendCard(&header, "TFORM" + std::to_string(i + 1), Quoted(form));
+  }
+  AppendBareCard(&header, "END");
+  // Pad the header to a block boundary.
+  size_t padded = (header.size() + kFitsBlockSize - 1) / kFitsBlockSize *
+                  kFitsBlockSize;
+  header.resize(padded, ' ');
+  NODB_RETURN_IF_ERROR(writer->out_->Append(header));
+  return writer;
+}
+
+Status FitsWriter::Append(const Row& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  row_buffer_.assign(row_bytes_, '\0');
+  char* base = row_buffer_.data();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const FitsColumn& col = columns_[i];
+    const Value& v = row[i];
+    char* out = base + col.offset;
+    // FITS binary tables have no NULL concept for numeric columns; we store
+    // zero (callers of the FITS path never produce NULLs).
+    switch (col.form) {
+      case 'K': {
+        uint64_t bits = v.is_null() ? 0 : static_cast<uint64_t>(v.int64());
+        PutBigEndian64(out, bits);
+        break;
+      }
+      case 'D': {
+        double d = v.is_null() ? 0.0 : v.f64();
+        uint64_t bits;
+        memcpy(&bits, &d, 8);
+        PutBigEndian64(out, bits);
+        break;
+      }
+      case 'J': {
+        uint32_t bits =
+            v.is_null() ? 0 : static_cast<uint32_t>(
+                                  static_cast<int32_t>(v.date()));
+        PutBigEndian32(out, bits);
+        break;
+      }
+      case 'L':
+        out[0] = (!v.is_null() && v.boolean()) ? 'T' : 'F';
+        break;
+      case 'A': {
+        memset(out, ' ', col.width);
+        if (!v.is_null()) {
+          size_t n = std::min<size_t>(col.width, v.str().size());
+          memcpy(out, v.str().data(), n);
+        }
+        break;
+      }
+      default:
+        return Status::Internal("bad FITS form");
+    }
+  }
+  NODB_RETURN_IF_ERROR(out_->Append(row_buffer_));
+  ++rows_;
+  return Status::OK();
+}
+
+Status FitsWriter::Finish() {
+  // Pad the data area to a full block.
+  uint64_t data_bytes = rows_ * row_bytes_;
+  uint64_t pad = (kFitsBlockSize - data_bytes % kFitsBlockSize) %
+                 kFitsBlockSize;
+  if (pad > 0) {
+    NODB_RETURN_IF_ERROR(out_->Append(std::string(pad, '\0')));
+  }
+  NODB_RETURN_IF_ERROR(out_->Close());
+  out_.reset();
+
+  // Patch NAXIS2 in place.
+  std::string card;
+  AppendCard(&card, "NAXIS2", std::to_string(rows_));
+  FILE* f = std::fopen(path_.c_str(), "r+b");
+  if (f == nullptr) return Status::IOError("reopen FITS for NAXIS2 patch");
+  bool ok = std::fseek(f, static_cast<long>(naxis2_card_offset_), SEEK_SET) ==
+                0 &&
+            std::fwrite(card.data(), 1, kFitsCardSize, f) == kFitsCardSize;
+  std::fclose(f);
+  if (!ok) return Status::IOError("patch NAXIS2");
+  return Status::OK();
+}
+
+}  // namespace nodb

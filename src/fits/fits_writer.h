@@ -1,0 +1,51 @@
+#ifndef NODB_FITS_FITS_WRITER_H_
+#define NODB_FITS_FITS_WRITER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fits/fits_format.h"
+#include "io/file.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Writes a single-binary-table FITS-like file. String columns need a fixed
+/// width (FITS 'A' form); pass one width per string column in schema order
+/// via `string_widths` (values longer than the width are truncated, shorter
+/// ones space-padded, as FITS prescribes).
+class FitsWriter {
+ public:
+  static Result<std::unique_ptr<FitsWriter>> Create(
+      const std::string& path, const Schema& schema,
+      std::vector<uint32_t> string_widths = {});
+
+  Status Append(const Row& row);
+
+  /// Pads the data to a block boundary and patches NAXIS2 with the row
+  /// count. Must be called exactly once.
+  Status Finish();
+
+  uint64_t rows_written() const { return rows_; }
+
+ private:
+  FitsWriter(std::string path, std::vector<FitsColumn> columns,
+             uint64_t row_bytes)
+      : path_(std::move(path)), columns_(std::move(columns)),
+        row_bytes_(row_bytes) {}
+
+  std::string path_;
+  std::vector<FitsColumn> columns_;
+  uint64_t row_bytes_;
+  uint64_t rows_ = 0;
+  uint64_t naxis2_card_offset_ = 0;  // file offset of the NAXIS2 card
+  std::unique_ptr<WritableFile> out_;
+  std::string row_buffer_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_FITS_FITS_WRITER_H_

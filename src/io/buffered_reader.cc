@@ -1,0 +1,49 @@
+#include "io/buffered_reader.h"
+
+#include <algorithm>
+
+namespace nodb {
+
+BufferedReader::BufferedReader(const RandomAccessFile* file,
+                               uint64_t buffer_size)
+    : file_(file) {
+  buffer_.resize(std::max<uint64_t>(buffer_size, 4096));
+}
+
+Result<std::string_view> BufferedReader::ReadAt(uint64_t offset,
+                                                uint64_t length) {
+  if (offset >= file_->size()) return std::string_view();
+  length = std::min(length, file_->size() - offset);
+  if (offset < window_start_ || offset + length > window_start_ + window_len_) {
+    NODB_RETURN_IF_ERROR(Fill(offset, length));
+  }
+  return std::string_view(buffer_.data() + (offset - window_start_), length);
+}
+
+Status BufferedReader::Prefetch(uint64_t offset) {
+  if (offset >= file_->size()) return Status::OK();
+  if (offset >= window_start_ && offset < window_start_ + window_len_) {
+    return Status::OK();
+  }
+  return Fill(offset, 1);
+}
+
+Status BufferedReader::Fill(uint64_t offset, uint64_t length) {
+  // Start the window slightly before `offset` so that backward incremental
+  // tokenizing (paper §4.2, "tokenizes backwards") usually stays buffered.
+  uint64_t back_slack = std::min<uint64_t>(offset, buffer_.size() / 16);
+  uint64_t start = offset - back_slack;
+  if (back_slack + length > buffer_.size()) {
+    buffer_.resize(back_slack + length);
+  }
+  NODB_ASSIGN_OR_RETURN(uint64_t n,
+                        file_->Read(start, buffer_.size(), buffer_.data()));
+  window_start_ = start;
+  window_len_ = n;
+  if (offset + length > window_start_ + window_len_) {
+    return Status::IOError("short read: requested range extends past EOF");
+  }
+  return Status::OK();
+}
+
+}  // namespace nodb

@@ -1,0 +1,52 @@
+#ifndef NODB_IO_BUFFERED_READER_H_
+#define NODB_IO_BUFFERED_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/file.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Sliding-window buffered reader over a RandomAccessFile.
+///
+/// The in-situ scan walks a raw file in ascending tuple order but, once the
+/// positional map is populated, touches only scattered byte ranges inside
+/// each tuple. This reader keeps one large aligned window buffered; range
+/// requests inside the window are served zero-copy as string_views, and
+/// requests past the window slide it forward. That matches the paper's model
+/// where the raw file is "read from disk in chunks" while parsing is
+/// selective within the chunk.
+class BufferedReader {
+ public:
+  /// `file` must outlive the reader. `buffer_size` is the window size.
+  explicit BufferedReader(const RandomAccessFile* file,
+                          uint64_t buffer_size = 1 << 20);
+
+  /// Returns the `length` bytes at `offset`. The view is valid until the
+  /// next call that slides the window. Requests extending past EOF are
+  /// truncated. Ranges larger than the buffer grow the buffer.
+  Result<std::string_view> ReadAt(uint64_t offset, uint64_t length);
+
+  /// Hint that subsequent reads start at `offset` (positions the window so
+  /// backward-tokenizing from `offset` stays in-buffer).
+  Status Prefetch(uint64_t offset);
+
+  uint64_t file_size() const { return file_->size(); }
+
+ private:
+  /// Loads the window so that it covers [offset, offset+length).
+  Status Fill(uint64_t offset, uint64_t length);
+
+  const RandomAccessFile* file_;
+  std::vector<char> buffer_;
+  uint64_t window_start_ = 0;  // file offset of buffer_[0]
+  uint64_t window_len_ = 0;    // valid bytes in the window
+};
+
+}  // namespace nodb
+
+#endif  // NODB_IO_BUFFERED_READER_H_

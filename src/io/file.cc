@@ -1,0 +1,90 @@
+#include "io/file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace nodb {
+
+Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open '" + path + "': " + strerror(errno));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat '" + path + "': " + strerror(errno));
+  }
+  return std::unique_ptr<RandomAccessFile>(new RandomAccessFile(
+      fd, static_cast<uint64_t>(st.st_size), path));
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> RandomAccessFile::Read(uint64_t offset, uint64_t length,
+                                        char* scratch) const {
+  uint64_t total = 0;
+  while (total < length) {
+    ssize_t n = ::pread(fd_, scratch + total, length - total,
+                        static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread '" + path_ + "': " + strerror(errno));
+    }
+    if (n == 0) break;  // EOF
+    total += static_cast<uint64_t>(n);
+  }
+  bytes_read_ += total;
+  return total;
+}
+
+Result<std::unique_ptr<WritableFile>> WritableFile::Create(
+    const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("create '" + path + "': " + strerror(errno));
+  }
+  return std::unique_ptr<WritableFile>(new WritableFile(f));
+}
+
+WritableFile::~WritableFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WritableFile::Append(std::string_view data) {
+  if (file_ == nullptr) return Status::Internal("write after Close");
+  size_t n = std::fwrite(data.data(), 1, data.size(), file_);
+  bytes_written_ += n;
+  if (n != data.size()) {
+    return Status::IOError(std::string("fwrite: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WritableFile::Flush() {
+  if (file_ == nullptr) return Status::OK();
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(std::string("fflush: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WritableFile::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return Status::IOError(std::string("fclose: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace nodb

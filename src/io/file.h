@@ -1,0 +1,73 @@
+#ifndef NODB_IO_FILE_H_
+#define NODB_IO_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// Read-only random access file over POSIX pread(2). Thread-compatible:
+/// concurrent Read calls are safe (pread carries its own offset).
+class RandomAccessFile {
+ public:
+  /// Opens `path` for reading.
+  static Result<std::unique_ptr<RandomAccessFile>> Open(
+      const std::string& path);
+
+  ~RandomAccessFile();
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  /// Reads up to `length` bytes at `offset` into `scratch`; returns the bytes
+  /// actually read (short only at EOF).
+  Result<uint64_t> Read(uint64_t offset, uint64_t length, char* scratch) const;
+
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Total bytes read through this handle (I/O accounting for benches).
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  RandomAccessFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+
+  int fd_;
+  uint64_t size_;
+  std::string path_;
+  mutable uint64_t bytes_read_ = 0;
+};
+
+/// Buffered append-only writer (used by data generators, spill files and the
+/// storage engine's bulk paths).
+class WritableFile {
+ public:
+  /// Creates/truncates `path` for writing.
+  static Result<std::unique_ptr<WritableFile>> Create(const std::string& path);
+
+  ~WritableFile();
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  Status Append(std::string_view data);
+  Status Flush();
+  /// Flushes and closes; further writes are invalid. Idempotent.
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  explicit WritableFile(FILE* f) : file_(f) {}
+
+  FILE* file_;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_IO_FILE_H_

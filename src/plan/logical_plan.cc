@@ -1,0 +1,52 @@
+#include "plan/logical_plan.h"
+
+namespace nodb {
+
+std::string PhysicalPlan::ToString() const {
+  std::string out;
+  auto scan_line = [](const PlannedScan& s) {
+    std::string line = "Scan " + s.table.display_name;
+    if (!s.conjuncts.empty()) {
+      line += " filter=(";
+      for (size_t i = 0; i < s.conjuncts.size(); ++i) {
+        if (i > 0) line += " AND ";
+        line += s.conjuncts[i]->ToString();
+      }
+      line += ")";
+    }
+    if (s.est_rows >= 0) {
+      line += " rows~" + std::to_string(static_cast<long long>(s.est_rows));
+    }
+    return line;
+  };
+
+  out += "Driver: " + scan_line(scans[driver_scan]) + "\n";
+  for (const PlannedJoin& j : joins) {
+    out += "HashJoin build=[" + scan_line(scans[j.build_scan]) + "] keys=";
+    for (size_t i = 0; i < j.probe_keys.size(); ++i) {
+      if (i > 0) out += ",";
+      out += j.probe_keys[i]->ToString() + "=" + j.build_keys[i]->ToString();
+    }
+    out += "\n";
+  }
+  for (const PlannedSemiJoin& s : semi_joins) {
+    out += s.anti ? "AntiJoin [" : "SemiJoin [";
+    out += scan_line(s.inner) + "]\n";
+  }
+  if (query != nullptr && query->has_aggregation) {
+    out += agg_strategy == AggStrategy::kHash ? "HashAggregate" : "SortAggregate";
+    out += " groups=" + std::to_string(query->group_by.size());
+    out += " aggs=" + std::to_string(query->aggregates.size());
+    if (agg_groups_hint > 0) {
+      out += " hint=" + std::to_string(agg_groups_hint);
+    }
+    out += "\n";
+  }
+  if (query != nullptr && !query->order_by.empty()) out += "Sort\n";
+  if (query != nullptr && query->limit.has_value()) {
+    out += "Limit " + std::to_string(*query->limit) + "\n";
+  }
+  return out;
+}
+
+}  // namespace nodb

@@ -1,0 +1,86 @@
+#ifndef NODB_PLAN_LOGICAL_PLAN_H_
+#define NODB_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/binder.h"
+
+namespace nodb {
+
+/// How the aggregation operator materializes groups.
+enum class AggStrategy : uint8_t {
+  /// Hash table keyed by group values; chosen when statistics bound the
+  /// number of groups.
+  kHash,
+  /// Sort-then-merge grouping; the conservative default when group
+  /// cardinality is unknown (what the paper's "w/o statistics" plans do).
+  kSort,
+};
+
+/// One table access with pushed-down predicate and projection.
+///
+/// Expressions here remain bound over the *working row* (all FROM tables
+/// concatenated); the row produced by a scan is full-width with only this
+/// table's slice populated, so no index rebasing is ever needed.
+struct PlannedScan {
+  BoundTable table;
+  /// Pushed-down filter conjuncts, in evaluation order (the optimizer
+  /// orders them by estimated selectivity when statistics exist).
+  std::vector<ExprPtr> conjuncts;
+  /// Table-local column indices required by `conjuncts` (phase-1 attributes
+  /// for the in-situ scan's selective parsing).
+  std::vector<int> where_attrs;
+  /// Table-local column indices needed downstream but not by the filter
+  /// (phase-2: parsed only for qualifying tuples).
+  std::vector<int> payload_attrs;
+  /// Estimated output cardinality (rows after the filter); negative when
+  /// unknown (no statistics).
+  double est_rows = -1;
+};
+
+/// One hash join step: build from `scans[build_scan]`, probe with the
+/// current pipeline. Empty key lists denote a cross join (single-bucket
+/// hash table).
+struct PlannedJoin {
+  int build_scan = 0;
+  std::vector<ExprPtr> probe_keys;  // over the working row (pipeline side)
+  std::vector<ExprPtr> build_keys;  // over the working row (build side)
+  /// Conjuncts that need columns from both sides; evaluated on the merged
+  /// row right after the join. May be empty.
+  std::vector<ExprPtr> residual;
+};
+
+/// A planned semi/anti join (from EXISTS): the inner side is a standalone
+/// scan whose filter is already pushed down.
+struct PlannedSemiJoin {
+  PlannedScan inner;
+  std::vector<ExprPtr> outer_keys;
+  std::vector<ExprPtr> inner_keys;
+  bool anti = false;
+};
+
+/// Executable plan: scans[pipeline[0]] drives the pipeline; `joins` apply in
+/// order, then semi joins, then aggregation / projection / sort / limit
+/// using the BoundQuery's expressions.
+struct PhysicalPlan {
+  const BoundQuery* query = nullptr;
+
+  std::vector<PlannedScan> scans;  // one per FROM table, in FROM order
+  int driver_scan = 0;
+  std::vector<PlannedJoin> joins;
+  std::vector<PlannedSemiJoin> semi_joins;
+
+  AggStrategy agg_strategy = AggStrategy::kSort;
+  /// Pre-size hint for the hash-aggregation table (0 = default).
+  size_t agg_groups_hint = 0;
+
+  /// Human-readable plan for EXPLAIN-style output and tests.
+  std::string ToString() const;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,113 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+
+namespace nodb {
+
+double EstimateConjunctSelectivity(const Expr& conjunct,
+                                   const TableStats* stats,
+                                   int table_offset) {
+  switch (conjunct.kind) {
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(conjunct);
+      // Recognize column <op> literal (either orientation).
+      const Expr* col = nullptr;
+      const Expr* lit = nullptr;
+      CompareOp op = cmp.op;
+      if (cmp.left->kind == ExprKind::kColumnRef &&
+          cmp.right->kind == ExprKind::kLiteral) {
+        col = cmp.left.get();
+        lit = cmp.right.get();
+      } else if (cmp.right->kind == ExprKind::kColumnRef &&
+                 cmp.left->kind == ExprKind::kLiteral) {
+        col = cmp.right.get();
+        lit = cmp.left.get();
+        // Mirror the operator: (lit < col) == (col > lit).
+        switch (op) {
+          case CompareOp::kLt: op = CompareOp::kGt; break;
+          case CompareOp::kLe: op = CompareOp::kGe; break;
+          case CompareOp::kGt: op = CompareOp::kLt; break;
+          case CompareOp::kGe: op = CompareOp::kLe; break;
+          default: break;
+        }
+      }
+      if (col == nullptr || stats == nullptr) return 0.33;
+      int attr = static_cast<const ColumnRefExpr*>(col)->index - table_offset;
+      if (attr < 0 || attr >= stats->num_attrs()) return 0.33;
+      const AttrStats* as = stats->Attr(attr);
+      if (as == nullptr) return 0.33;
+      const Value& constant = static_cast<const LiteralExpr*>(lit)->value;
+      if (constant.is_null()) return 0.0;
+      switch (op) {
+        case CompareOp::kEq:
+          return as->EstimateCompareSelectivity('=', false, constant);
+        case CompareOp::kNe:
+          return as->EstimateCompareSelectivity('!', false, constant);
+        case CompareOp::kLt:
+          return as->EstimateCompareSelectivity('<', false, constant);
+        case CompareOp::kLe:
+          return as->EstimateCompareSelectivity('<', true, constant);
+        case CompareOp::kGt:
+          return as->EstimateCompareSelectivity('>', false, constant);
+        case CompareOp::kGe:
+          return as->EstimateCompareSelectivity('>', true, constant);
+      }
+      return 0.33;
+    }
+    case ExprKind::kLogical: {
+      const auto& logical = static_cast<const LogicalExpr&>(conjunct);
+      if (logical.op == LogicalOp::kNot) {
+        return 1.0 - EstimateConjunctSelectivity(*logical.left, stats,
+                                                 table_offset);
+      }
+      double a = EstimateConjunctSelectivity(*logical.left, stats,
+                                             table_offset);
+      double b = EstimateConjunctSelectivity(*logical.right, stats,
+                                             table_offset);
+      if (logical.op == LogicalOp::kAnd) return a * b;
+      return a + b - a * b;
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(conjunct);
+      double eq = 0.1;
+      if (stats != nullptr && in.input->kind == ExprKind::kColumnRef) {
+        int attr = static_cast<const ColumnRefExpr*>(in.input.get())->index -
+                   table_offset;
+        if (attr >= 0 && attr < stats->num_attrs() &&
+            stats->Attr(attr) != nullptr) {
+          eq = stats->Attr(attr)->EstimateEqualsSelectivity();
+        }
+      }
+      double sel = std::min(1.0, eq * static_cast<double>(in.items.size()));
+      return in.negated ? 1.0 - sel : sel;
+    }
+    case ExprKind::kLike: {
+      const auto& like = static_cast<const LikeExpr&>(conjunct);
+      // Prefix patterns are more selective than substring patterns.
+      double sel = (!like.pattern.empty() && like.pattern.front() != '%')
+                       ? 0.1
+                       : 0.25;
+      return like.negated ? 1.0 - sel : sel;
+    }
+    case ExprKind::kIsNull: {
+      const auto& isn = static_cast<const IsNullExpr&>(conjunct);
+      double null_frac = 0.05;
+      if (stats != nullptr && isn.input->kind == ExprKind::kColumnRef) {
+        int attr = static_cast<const ColumnRefExpr*>(isn.input.get())->index -
+                   table_offset;
+        if (attr >= 0 && attr < stats->num_attrs() &&
+            stats->Attr(attr) != nullptr) {
+          const AttrStats* as = stats->Attr(attr);
+          null_frac = as->rows_seen > 0 ? static_cast<double>(as->nulls) /
+                                              static_cast<double>(as->rows_seen)
+                                        : 0.05;
+        }
+      }
+      return isn.negated ? 1.0 - null_frac : null_frac;
+    }
+    default:
+      return 0.33;
+  }
+}
+
+}  // namespace nodb

@@ -1,0 +1,18 @@
+#ifndef NODB_PLAN_OPTIMIZER_H_
+#define NODB_PLAN_OPTIMIZER_H_
+
+#include "expr/expr.h"
+#include "stats/table_stats.h"
+
+namespace nodb {
+
+/// Estimated fraction of rows satisfying `conjunct` (bound over the working
+/// row) for the table whose columns start at `table_offset`. Uses the
+/// adaptive statistics when available and documented heuristics otherwise
+/// (0.33 for opaque predicates, 0.25/0.1 for LIKE, k/ndv for IN lists).
+double EstimateConjunctSelectivity(const Expr& conjunct,
+                                   const TableStats* stats, int table_offset);
+
+}  // namespace nodb
+
+#endif  // NODB_PLAN_OPTIMIZER_H_

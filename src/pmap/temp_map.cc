@@ -1,0 +1,23 @@
+#include "pmap/temp_map.h"
+
+namespace nodb {
+
+TempMap::TempMap(PositionalMap* pm, uint64_t stripe, int tuples,
+                 const std::vector<int>& attrs)
+    : num_attrs_(static_cast<int>(attrs.size())), num_tuples_(tuples) {
+  matrix_.assign(static_cast<size_t>(tuples) * num_attrs_,
+                 PositionalMap::kUnknown);
+  if (pm == nullptr) return;
+  std::vector<uint32_t> column(tuples);
+  for (int slot = 0; slot < num_attrs_; ++slot) {
+    int filled =
+        pm->FillStripePositions(stripe, attrs[slot], column.data(), tuples);
+    prefilled_ += filled;
+    if (filled == 0) continue;
+    for (int t = 0; t < tuples; ++t) {
+      matrix_[static_cast<size_t>(t) * num_attrs_ + slot] = column[t];
+    }
+  }
+}
+
+}  // namespace nodb

@@ -1,0 +1,51 @@
+#ifndef NODB_PMAP_TEMP_MAP_H_
+#define NODB_PMAP_TEMP_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pmap/positional_map.h"
+
+namespace nodb {
+
+/// The paper's *temporary map* (§4.2 "Pre-fetching"): before parsing a
+/// stripe, the scan pre-fetches and pre-computes all positional information
+/// the current query needs into a dense matrix, so map accesses enjoy
+/// temporal/spatial locality and do not interleave with tokenizing. The
+/// temporary map holds only the current query's attributes and is dropped
+/// when the stripe has been processed.
+class TempMap {
+ public:
+  /// Builds the matrix for `tuples` rows of `stripe`, covering `attrs`
+  /// (file-order attribute ids; typically the query's WHERE+SELECT attrs
+  /// plus any anchor attributes the scan chose). Missing cells hold
+  /// PositionalMap::kUnknown.
+  TempMap(PositionalMap* pm, uint64_t stripe, int tuples,
+          const std::vector<int>& attrs);
+
+  /// Position (relative to row start) of `attrs[slot]` for the
+  /// `tuple_in_stripe`-th row, or kUnknown.
+  uint32_t Position(int tuple_in_stripe, int slot) const {
+    return matrix_[static_cast<size_t>(tuple_in_stripe) * num_attrs_ + slot];
+  }
+
+  /// Overwrites a cell after the scan discovered the position by tokenizing.
+  void SetPosition(int tuple_in_stripe, int slot, uint32_t pos) {
+    matrix_[static_cast<size_t>(tuple_in_stripe) * num_attrs_ + slot] = pos;
+  }
+
+  int num_attrs() const { return num_attrs_; }
+  int num_tuples() const { return num_tuples_; }
+  /// How many cells were resolved from the positional map at build time.
+  int prefilled() const { return prefilled_; }
+
+ private:
+  int num_attrs_;
+  int num_tuples_;
+  int prefilled_ = 0;
+  std::vector<uint32_t> matrix_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_PMAP_TEMP_MAP_H_

@@ -1,0 +1,116 @@
+#ifndef NODB_SQL_AST_H_
+#define NODB_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nodb {
+
+struct SelectStmt;
+
+/// Unbound (parsed but unresolved) expression. The binder turns these into
+/// typed `Expr` trees with flat column indices.
+struct ParsedExpr {
+  enum class Kind : uint8_t {
+    kColumn,       // [qualifier.]name
+    kIntLiteral,
+    kFloatLiteral,
+    kStringLiteral,
+    kDateLiteral,      // DATE 'YYYY-MM-DD'
+    kIntervalLiteral,  // INTERVAL 'n' DAY|MONTH|YEAR, normalized to days
+    kNullLiteral,
+    kBinary,    // arithmetic, comparison, AND/OR
+    kNot,
+    kNegate,    // unary minus
+    kBetween,
+    kInList,
+    kLike,
+    kCase,
+    kIsNull,
+    kFuncCall,  // aggregate functions (COUNT/SUM/AVG/MIN/MAX) or CAST
+    kExists,
+  };
+
+  Kind kind;
+  int position = 0;  // source offset for error messages
+
+  // kColumn
+  std::string qualifier;  // table or alias; empty if unqualified
+  std::string column;
+
+  // literals
+  int64_t int_value = 0;
+  double float_value = 0;
+  std::string string_value;  // string literal, date text, LIKE pattern
+
+  // kBinary: op is one of + - * / = <> < <= > >= AND OR
+  std::string op;
+  std::unique_ptr<ParsedExpr> left;
+  std::unique_ptr<ParsedExpr> right;
+
+  // kBetween: left BETWEEN low AND high
+  std::unique_ptr<ParsedExpr> low;
+  std::unique_ptr<ParsedExpr> high;
+  bool negated = false;  // NOT BETWEEN / NOT IN / NOT LIKE / IS NOT NULL
+
+  // kInList
+  std::vector<std::unique_ptr<ParsedExpr>> list_items;
+
+  // kCase (searched form)
+  struct When {
+    std::unique_ptr<ParsedExpr> condition;
+    std::unique_ptr<ParsedExpr> result;
+  };
+  std::vector<When> whens;
+  std::unique_ptr<ParsedExpr> else_result;
+
+  // kFuncCall
+  std::string func_name;  // upper case: COUNT, SUM, AVG, MIN, MAX
+  bool star_arg = false;  // COUNT(*)
+  std::vector<std::unique_ptr<ParsedExpr>> args;
+
+  // kExists
+  std::unique_ptr<SelectStmt> subquery;
+};
+
+using ParsedExprPtr = std::unique_ptr<ParsedExpr>;
+
+/// One SELECT-list entry.
+struct SelectItem {
+  ParsedExprPtr expr;
+  std::string alias;  // empty if none
+};
+
+/// A FROM-clause table with optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+
+  const std::string& effective_name() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct OrderItem {
+  ParsedExprPtr expr;
+  bool desc = false;
+};
+
+/// A parsed SELECT statement. JOIN ... ON syntax is normalized at parse time
+/// into the FROM list plus WHERE conjuncts, so downstream code sees one form.
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  bool select_star = false;
+  std::vector<TableRef> from;
+  ParsedExprPtr where;  // null if absent
+  std::vector<ParsedExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_SQL_AST_H_

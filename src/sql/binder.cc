@@ -1,0 +1,815 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/str_conv.h"
+
+namespace nodb {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Name resolution
+// ---------------------------------------------------------------------
+
+/// Column-name scope over a list of bound tables.
+class Scope {
+ public:
+  explicit Scope(const std::vector<BoundTable>* tables) : tables_(tables) {}
+
+  struct ResolvedCol {
+    int index;
+    TypeId type;
+    std::string name;
+  };
+
+  Result<ResolvedCol> Resolve(const std::string& qualifier,
+                              const std::string& column) const {
+    if (!qualifier.empty()) {
+      for (const BoundTable& t : *tables_) {
+        if (t.display_name == qualifier) {
+          int col = t.schema->IndexOf(column);
+          if (col < 0) {
+            return Status::NotFound("column '" + qualifier + "." + column +
+                                    "' does not exist");
+          }
+          return ResolvedCol{t.offset + col, t.schema->column(col).type,
+                             column};
+        }
+      }
+      return Status::NotFound("unknown table or alias '" + qualifier + "'");
+    }
+    const BoundTable* found_table = nullptr;
+    int found_col = -1;
+    for (const BoundTable& t : *tables_) {
+      int col = t.schema->IndexOf(column);
+      if (col < 0) continue;
+      if (found_table != nullptr) {
+        return Status::InvalidArgument("column '" + column +
+                                       "' is ambiguous");
+      }
+      found_table = &t;
+      found_col = col;
+    }
+    if (found_table == nullptr) {
+      return Status::NotFound("column '" + column + "' does not exist");
+    }
+    return ResolvedCol{found_table->offset + found_col,
+                       found_table->schema->column(found_col).type, column};
+  }
+
+  bool CanResolve(const std::string& qualifier,
+                  const std::string& column) const {
+    return Resolve(qualifier, column).ok();
+  }
+
+ private:
+  const std::vector<BoundTable>* tables_;
+};
+
+// ---------------------------------------------------------------------
+// Shared typing helpers
+// ---------------------------------------------------------------------
+
+bool IsNumeric(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kDouble || t == TypeId::kBool;
+}
+
+Result<TypeId> UnifyTypes(TypeId a, TypeId b) {
+  if (a == b) return a;
+  if (IsNumeric(a) && IsNumeric(b)) {
+    if (a == TypeId::kDouble || b == TypeId::kDouble) return TypeId::kDouble;
+    return TypeId::kInt64;
+  }
+  return Status::InvalidArgument(
+      std::string("incompatible types: ") + std::string(TypeIdToString(a)) +
+      " vs " + std::string(TypeIdToString(b)));
+}
+
+/// If one side is a date and the other a string literal, re-types the
+/// literal as a date (lets queries write l_shipdate >= '1994-01-01').
+Status CoerceDateLiteral(ExprPtr* left, ExprPtr* right) {
+  auto coerce = [](const ExprPtr& date_side, ExprPtr* str_side) -> Status {
+    if (date_side->type != TypeId::kDate) return Status::OK();
+    if ((*str_side)->kind != ExprKind::kLiteral ||
+        (*str_side)->type != TypeId::kString) {
+      return Status::OK();
+    }
+    auto* lit = static_cast<LiteralExpr*>(str_side->get());
+    if (lit->value.is_null()) return Status::OK();
+    NODB_ASSIGN_OR_RETURN(int32_t days, ParseDate(lit->value.str()));
+    *str_side = std::make_unique<LiteralExpr>(Value::Date(days));
+    return Status::OK();
+  };
+  NODB_RETURN_IF_ERROR(coerce(*left, right));
+  return coerce(*right, left);
+}
+
+Result<ExprPtr> MakeComparison(const std::string& op, ExprPtr left,
+                               ExprPtr right) {
+  NODB_RETURN_IF_ERROR(CoerceDateLiteral(&left, &right));
+  bool ls = left->type == TypeId::kString;
+  bool rs = right->type == TypeId::kString;
+  if (ls != rs) {
+    return Status::InvalidArgument("cannot compare string with non-string");
+  }
+  CompareOp cmp;
+  if (op == "=") {
+    cmp = CompareOp::kEq;
+  } else if (op == "<>") {
+    cmp = CompareOp::kNe;
+  } else if (op == "<") {
+    cmp = CompareOp::kLt;
+  } else if (op == "<=") {
+    cmp = CompareOp::kLe;
+  } else if (op == ">") {
+    cmp = CompareOp::kGt;
+  } else if (op == ">=") {
+    cmp = CompareOp::kGe;
+  } else {
+    return Status::Internal("unknown comparison op " + op);
+  }
+  return ExprPtr(std::make_unique<ComparisonExpr>(cmp, std::move(left),
+                                                  std::move(right)));
+}
+
+Result<ExprPtr> MakeArithmetic(const std::string& op, ExprPtr left,
+                               ExprPtr right) {
+  ArithOp aop;
+  if (op == "+") {
+    aop = ArithOp::kAdd;
+  } else if (op == "-") {
+    aop = ArithOp::kSub;
+  } else if (op == "*") {
+    aop = ArithOp::kMul;
+  } else if (op == "/") {
+    aop = ArithOp::kDiv;
+  } else {
+    return Status::Internal("unknown arithmetic op " + op);
+  }
+
+  TypeId lt = left->type, rt = right->type;
+  TypeId result;
+  if (lt == TypeId::kDate || rt == TypeId::kDate) {
+    // date ± days, date - date.
+    if (aop == ArithOp::kAdd &&
+        ((lt == TypeId::kDate && rt == TypeId::kInt64) ||
+         (rt == TypeId::kDate && lt == TypeId::kInt64))) {
+      result = TypeId::kDate;
+    } else if (aop == ArithOp::kSub && lt == TypeId::kDate &&
+               rt == TypeId::kInt64) {
+      result = TypeId::kDate;
+    } else if (aop == ArithOp::kSub && lt == TypeId::kDate &&
+               rt == TypeId::kDate) {
+      result = TypeId::kInt64;
+    } else {
+      return Status::InvalidArgument("unsupported date arithmetic");
+    }
+  } else if (IsNumeric(lt) && IsNumeric(rt)) {
+    if (aop == ArithOp::kDiv) {
+      // SQL-style: keep integer division for int/int, double otherwise.
+      NODB_ASSIGN_OR_RETURN(result, UnifyTypes(lt, rt));
+    } else {
+      NODB_ASSIGN_OR_RETURN(result, UnifyTypes(lt, rt));
+    }
+  } else {
+    return Status::InvalidArgument("arithmetic requires numeric operands");
+  }
+  return ExprPtr(std::make_unique<ArithmeticExpr>(aop, result, std::move(left),
+                                                  std::move(right)));
+}
+
+Result<ExprPtr> MakeLogical(const std::string& op, ExprPtr left,
+                            ExprPtr right) {
+  LogicalOp lop = op == "AND" ? LogicalOp::kAnd : LogicalOp::kOr;
+  return ExprPtr(std::make_unique<LogicalExpr>(lop, std::move(left),
+                                               std::move(right)));
+}
+
+Result<TypeId> TypeNameToId(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), ::tolower);
+  if (lower == "int" || lower == "integer" || lower == "bigint" ||
+      lower == "int64") {
+    return TypeId::kInt64;
+  }
+  if (lower == "double" || lower == "float" || lower == "real" ||
+      lower == "decimal" || lower == "numeric") {
+    return TypeId::kDouble;
+  }
+  if (lower == "string" || lower == "text" || lower == "varchar" ||
+      lower == "char") {
+    return TypeId::kString;
+  }
+  if (lower == "date") return TypeId::kDate;
+  if (lower == "bool" || lower == "boolean") return TypeId::kBool;
+  return Status::InvalidArgument("unknown type name '" + name + "'");
+}
+
+bool IsAggName(const std::string& name) {
+  return name == "COUNT" || name == "SUM" || name == "AVG" || name == "MIN" ||
+         name == "MAX";
+}
+
+bool ContainsAggregate(const ParsedExpr& e) {
+  if (e.kind == ParsedExpr::Kind::kFuncCall && IsAggName(e.func_name)) {
+    return true;
+  }
+  auto check = [](const ParsedExprPtr& p) {
+    return p != nullptr && ContainsAggregate(*p);
+  };
+  if (check(e.left) || check(e.right) || check(e.low) || check(e.high) ||
+      check(e.else_result)) {
+    return true;
+  }
+  for (const auto& item : e.list_items) {
+    if (check(item)) return true;
+  }
+  for (const auto& w : e.whens) {
+    if (check(w.condition) || check(w.result)) return true;
+  }
+  for (const auto& a : e.args) {
+    if (check(a)) return true;
+  }
+  return false;
+}
+
+void CollectParsedColumns(const ParsedExpr& e,
+                          std::vector<std::pair<std::string, std::string>>* out) {
+  if (e.kind == ParsedExpr::Kind::kColumn) {
+    out->emplace_back(e.qualifier, e.column);
+  }
+  auto walk = [out](const ParsedExprPtr& p) {
+    if (p != nullptr) CollectParsedColumns(*p, out);
+  };
+  walk(e.left);
+  walk(e.right);
+  walk(e.low);
+  walk(e.high);
+  walk(e.else_result);
+  for (const auto& item : e.list_items) walk(item);
+  for (const auto& w : e.whens) {
+    walk(w.condition);
+    walk(w.result);
+  }
+  for (const auto& a : e.args) walk(a);
+}
+
+// ---------------------------------------------------------------------
+// Expression binding (no aggregates)
+// ---------------------------------------------------------------------
+
+/// Binds a parsed expression against a scope. Aggregate calls and EXISTS are
+/// rejected; they are handled by dedicated paths.
+class ExprBinder {
+ public:
+  explicit ExprBinder(const Scope* scope) : scope_(scope) {}
+
+  Result<ExprPtr> Bind(const ParsedExpr& e) const {
+    switch (e.kind) {
+      case ParsedExpr::Kind::kColumn: {
+        NODB_ASSIGN_OR_RETURN(Scope::ResolvedCol col,
+                              scope_->Resolve(e.qualifier, e.column));
+        return ExprPtr(
+            std::make_unique<ColumnRefExpr>(col.index, col.type, col.name));
+      }
+      case ParsedExpr::Kind::kIntLiteral:
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::Int64(e.int_value)));
+      case ParsedExpr::Kind::kFloatLiteral:
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::Double(e.float_value)));
+      case ParsedExpr::Kind::kStringLiteral:
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::String(e.string_value)));
+      case ParsedExpr::Kind::kDateLiteral: {
+        NODB_ASSIGN_OR_RETURN(int32_t days, ParseDate(e.string_value));
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::Date(days)));
+      }
+      case ParsedExpr::Kind::kIntervalLiteral:
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::Int64(e.int_value)));
+      case ParsedExpr::Kind::kNullLiteral:
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::Null(TypeId::kInt64)));
+      case ParsedExpr::Kind::kBinary: {
+        NODB_ASSIGN_OR_RETURN(ExprPtr left, Bind(*e.left));
+        NODB_ASSIGN_OR_RETURN(ExprPtr right, Bind(*e.right));
+        if (e.op == "AND" || e.op == "OR") {
+          return MakeLogical(e.op, std::move(left), std::move(right));
+        }
+        if (e.op == "+" || e.op == "-" || e.op == "*" || e.op == "/") {
+          return MakeArithmetic(e.op, std::move(left), std::move(right));
+        }
+        return MakeComparison(e.op, std::move(left), std::move(right));
+      }
+      case ParsedExpr::Kind::kNot: {
+        NODB_ASSIGN_OR_RETURN(ExprPtr inner, Bind(*e.left));
+        return ExprPtr(std::make_unique<LogicalExpr>(LogicalOp::kNot,
+                                                     std::move(inner),
+                                                     nullptr));
+      }
+      case ParsedExpr::Kind::kNegate: {
+        NODB_ASSIGN_OR_RETURN(ExprPtr inner, Bind(*e.left));
+        ExprPtr zero =
+            inner->type == TypeId::kDouble
+                ? ExprPtr(std::make_unique<LiteralExpr>(Value::Double(0)))
+                : ExprPtr(std::make_unique<LiteralExpr>(Value::Int64(0)));
+        return MakeArithmetic("-", std::move(zero), std::move(inner));
+      }
+      case ParsedExpr::Kind::kBetween: {
+        // Lower x BETWEEN lo AND hi to (x >= lo AND x <= hi); the two
+        // bindings of `x` require binding the input twice, which is safe
+        // because binding is pure.
+        NODB_ASSIGN_OR_RETURN(ExprPtr input1, Bind(*e.left));
+        NODB_ASSIGN_OR_RETURN(ExprPtr input2, Bind(*e.left));
+        NODB_ASSIGN_OR_RETURN(ExprPtr lo, Bind(*e.low));
+        NODB_ASSIGN_OR_RETURN(ExprPtr hi, Bind(*e.high));
+        NODB_ASSIGN_OR_RETURN(
+            ExprPtr ge, MakeComparison(">=", std::move(input1), std::move(lo)));
+        NODB_ASSIGN_OR_RETURN(
+            ExprPtr le, MakeComparison("<=", std::move(input2), std::move(hi)));
+        NODB_ASSIGN_OR_RETURN(
+            ExprPtr both, MakeLogical("AND", std::move(ge), std::move(le)));
+        if (!e.negated) return both;
+        return ExprPtr(std::make_unique<LogicalExpr>(LogicalOp::kNot,
+                                                     std::move(both), nullptr));
+      }
+      case ParsedExpr::Kind::kInList: {
+        NODB_ASSIGN_OR_RETURN(ExprPtr input, Bind(*e.left));
+        std::vector<Value> items;
+        items.reserve(e.list_items.size());
+        for (const auto& item : e.list_items) {
+          NODB_ASSIGN_OR_RETURN(ExprPtr bound, Bind(*item));
+          if (bound->kind != ExprKind::kLiteral) {
+            return Status::InvalidArgument(
+                "IN list elements must be literals");
+          }
+          Value v = static_cast<LiteralExpr*>(bound.get())->value;
+          // Coerce to the input's type where sensible.
+          if (input->type == TypeId::kDate && v.type() == TypeId::kString) {
+            NODB_ASSIGN_OR_RETURN(int32_t days, ParseDate(v.str()));
+            v = Value::Date(days);
+          } else if (input->type == TypeId::kDouble &&
+                     v.type() == TypeId::kInt64) {
+            v = Value::Double(static_cast<double>(v.int64()));
+          }
+          items.push_back(std::move(v));
+        }
+        return ExprPtr(std::make_unique<InListExpr>(std::move(input),
+                                                    std::move(items),
+                                                    e.negated));
+      }
+      case ParsedExpr::Kind::kLike: {
+        NODB_ASSIGN_OR_RETURN(ExprPtr input, Bind(*e.left));
+        if (input->type != TypeId::kString) {
+          return Status::InvalidArgument("LIKE requires a string input");
+        }
+        return ExprPtr(std::make_unique<LikeExpr>(std::move(input),
+                                                  e.string_value, e.negated));
+      }
+      case ParsedExpr::Kind::kCase: {
+        std::vector<CaseExpr::WhenClause> whens;
+        TypeId result_type = TypeId::kInt64;
+        bool first = true;
+        for (const auto& w : e.whens) {
+          CaseExpr::WhenClause clause;
+          NODB_ASSIGN_OR_RETURN(clause.condition, Bind(*w.condition));
+          NODB_ASSIGN_OR_RETURN(clause.result, Bind(*w.result));
+          if (first) {
+            result_type = clause.result->type;
+            first = false;
+          } else {
+            NODB_ASSIGN_OR_RETURN(result_type,
+                                  UnifyTypes(result_type,
+                                             clause.result->type));
+          }
+          whens.push_back(std::move(clause));
+        }
+        ExprPtr else_expr;
+        if (e.else_result != nullptr) {
+          NODB_ASSIGN_OR_RETURN(else_expr, Bind(*e.else_result));
+          NODB_ASSIGN_OR_RETURN(result_type,
+                                UnifyTypes(result_type, else_expr->type));
+        }
+        return ExprPtr(std::make_unique<CaseExpr>(result_type, std::move(whens),
+                                                  std::move(else_expr)));
+      }
+      case ParsedExpr::Kind::kIsNull: {
+        NODB_ASSIGN_OR_RETURN(ExprPtr input, Bind(*e.left));
+        return ExprPtr(
+            std::make_unique<IsNullExpr>(std::move(input), e.negated));
+      }
+      case ParsedExpr::Kind::kFuncCall: {
+        if (e.func_name == "CAST") {
+          NODB_ASSIGN_OR_RETURN(ExprPtr input, Bind(*e.args[0]));
+          NODB_ASSIGN_OR_RETURN(TypeId target, TypeNameToId(e.string_value));
+          return ExprPtr(std::make_unique<CastExpr>(target, std::move(input)));
+        }
+        return Status::InvalidArgument(
+            "aggregate '" + e.func_name +
+            "' is not allowed in this context (WHERE/GROUP BY)");
+      }
+      case ParsedExpr::Kind::kExists:
+        return Status::InvalidArgument(
+            "EXISTS is only supported as a top-level WHERE conjunct");
+    }
+    return Status::Internal("unreachable parsed expr kind");
+  }
+
+ private:
+  const Scope* scope_;
+};
+
+/// Splits a parsed boolean tree into its top-level AND conjuncts.
+void SplitConjuncts(ParsedExprPtr e, std::vector<ParsedExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ParsedExpr::Kind::kBinary && e->op == "AND") {
+    SplitConjuncts(std::move(e->left), out);
+    SplitConjuncts(std::move(e->right), out);
+    return;
+  }
+  out->push_back(std::move(e));
+}
+
+ExprPtr AndTogether(std::vector<ExprPtr> exprs) {
+  ExprPtr result;
+  for (ExprPtr& e : exprs) {
+    if (result == nullptr) {
+      result = std::move(e);
+    } else {
+      result = std::make_unique<LogicalExpr>(LogicalOp::kAnd,
+                                             std::move(result), std::move(e));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Binder
+// ---------------------------------------------------------------------
+
+Result<std::unique_ptr<BoundQuery>> Binder::Bind(const SelectStmt& stmt) {
+  auto query = std::make_unique<BoundQuery>();
+
+  // 1. Resolve FROM tables.
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("FROM clause is required");
+  }
+  std::unordered_set<std::string> names;
+  int offset = 0;
+  for (const TableRef& ref : stmt.from) {
+    NODB_ASSIGN_OR_RETURN(const Schema* schema,
+                          provider_->GetTableSchema(ref.table));
+    BoundTable bt;
+    bt.table_name = ref.table;
+    bt.display_name = ref.effective_name();
+    bt.schema = schema;
+    bt.offset = offset;
+    offset += schema->num_columns();
+    if (!names.insert(bt.display_name).second) {
+      return Status::InvalidArgument("duplicate table name/alias '" +
+                                     bt.display_name + "'");
+    }
+    query->tables.push_back(std::move(bt));
+  }
+  query->working_width = offset;
+  Scope scope(&query->tables);
+  ExprBinder binder(&scope);
+
+  // 2. WHERE: peel off EXISTS conjuncts as semi joins; bind the rest.
+  {
+    // The binder does not own stmt, so split conjuncts over const pointers.
+    std::vector<const ParsedExpr*> flat;
+    std::vector<const ParsedExpr*> stack;
+    if (stmt.where != nullptr) stack.push_back(stmt.where.get());
+    while (!stack.empty()) {
+      const ParsedExpr* e = stack.back();
+      stack.pop_back();
+      if (e->kind == ParsedExpr::Kind::kBinary && e->op == "AND") {
+        stack.push_back(e->right.get());
+        stack.push_back(e->left.get());
+      } else {
+        flat.push_back(e);
+      }
+    }
+    std::vector<ExprPtr> bound_conjuncts;
+    for (const ParsedExpr* conj : flat) {
+      bool anti = false;
+      const ParsedExpr* target = conj;
+      if (conj->kind == ParsedExpr::Kind::kNot &&
+          conj->left->kind == ParsedExpr::Kind::kExists) {
+        anti = true;
+        target = conj->left.get();
+      }
+      if (target->kind == ParsedExpr::Kind::kExists) {
+        NODB_ASSIGN_OR_RETURN(BoundSemiJoin sj,
+                              BindExistsSubquery(*target->subquery, &scope,
+                                                 anti));
+        query->semi_joins.push_back(std::move(sj));
+        continue;
+      }
+      NODB_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(*conj));
+      if (bound->type != TypeId::kBool) {
+        return Status::InvalidArgument("WHERE condition must be boolean");
+      }
+      bound_conjuncts.push_back(std::move(bound));
+    }
+    query->where = AndTogether(std::move(bound_conjuncts));
+  }
+
+  // 3. GROUP BY.
+  for (const ParsedExprPtr& g : stmt.group_by) {
+    NODB_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(*g));
+    query->group_by.push_back(std::move(bound));
+  }
+
+  // 4. SELECT list (+ aggregate extraction).
+  bool any_agg = false;
+  for (const SelectItem& item : stmt.items) {
+    if (ContainsAggregate(*item.expr)) any_agg = true;
+  }
+  query->has_aggregation = any_agg || !stmt.group_by.empty();
+
+  if (stmt.select_star) {
+    if (query->has_aggregation) {
+      return Status::InvalidArgument("SELECT * with GROUP BY is not supported");
+    }
+    for (const BoundTable& t : query->tables) {
+      for (int c = 0; c < t.schema->num_columns(); ++c) {
+        const Column& col = t.schema->column(c);
+        query->select_exprs.push_back(std::make_unique<ColumnRefExpr>(
+            t.offset + c, col.type, col.name));
+        query->output_schema.AddColumn({col.name, col.type});
+      }
+    }
+  } else {
+    for (const SelectItem& item : stmt.items) {
+      ExprPtr bound;
+      if (query->has_aggregation) {
+        NODB_ASSIGN_OR_RETURN(
+            bound, BindAggSelectExpr(*item.expr, &binder, query.get()));
+      } else {
+        NODB_ASSIGN_OR_RETURN(bound, binder.Bind(*item.expr));
+      }
+      std::string name = item.alias;
+      if (name.empty()) {
+        name = item.expr->kind == ParsedExpr::Kind::kColumn
+                   ? item.expr->column
+                   : "col" + std::to_string(query->select_exprs.size() + 1);
+      }
+      query->output_schema.AddColumn({name, bound->type});
+      query->select_exprs.push_back(std::move(bound));
+    }
+  }
+
+  // 5. ORDER BY.
+  for (const OrderItem& item : stmt.order_by) {
+    NODB_ASSIGN_OR_RETURN(int index,
+                          ResolveOrderKey(*item.expr, stmt, &binder, query.get()));
+    query->order_by.push_back(BoundOrderKey{index, item.desc});
+  }
+  query->limit = stmt.limit;
+  return query;
+}
+
+// Binds [NOT] EXISTS (SELECT ... FROM inner WHERE ...) into a semi join.
+Result<BoundSemiJoin> Binder::BindExistsSubquery(const SelectStmt& sub,
+                                                 const void* outer_scope_ptr,
+                                                 bool anti) {
+  const Scope& outer_scope = *static_cast<const Scope*>(outer_scope_ptr);
+  if (sub.from.size() != 1) {
+    return Status::Unimplemented(
+        "EXISTS subqueries must reference exactly one table");
+  }
+  if (!sub.group_by.empty() || !sub.order_by.empty() || sub.limit.has_value()) {
+    return Status::Unimplemented(
+        "EXISTS subqueries with GROUP BY/ORDER BY/LIMIT are not supported");
+  }
+
+  BoundSemiJoin sj;
+  sj.anti = anti;
+  NODB_ASSIGN_OR_RETURN(const Schema* schema,
+                        provider_->GetTableSchema(sub.from[0].table));
+  sj.table.table_name = sub.from[0].table;
+  sj.table.display_name = sub.from[0].effective_name();
+  sj.table.schema = schema;
+  sj.table.offset = 0;
+
+  std::vector<BoundTable> inner_tables = {sj.table};
+  Scope inner_scope(&inner_tables);
+  ExprBinder inner_binder(&inner_scope);
+
+  // Classify each conjunct of the subquery's WHERE clause.
+  std::vector<const ParsedExpr*> flat;
+  std::vector<const ParsedExpr*> stack;
+  if (sub.where != nullptr) stack.push_back(sub.where.get());
+  while (!stack.empty()) {
+    const ParsedExpr* e = stack.back();
+    stack.pop_back();
+    if (e->kind == ParsedExpr::Kind::kBinary && e->op == "AND") {
+      stack.push_back(e->right.get());
+      stack.push_back(e->left.get());
+    } else {
+      flat.push_back(e);
+    }
+  }
+
+  auto side_of = [&](const ParsedExpr& e) -> int {
+    // 0 = inner only, 1 = outer only, -1 = mixed/unresolvable.
+    std::vector<std::pair<std::string, std::string>> cols;
+    CollectParsedColumns(e, &cols);
+    bool any_inner = false, any_outer = false;
+    for (const auto& [qual, col] : cols) {
+      if (inner_scope.CanResolve(qual, col)) {
+        any_inner = true;
+      } else if (outer_scope.CanResolve(qual, col)) {
+        any_outer = true;
+      } else {
+        return -1;
+      }
+    }
+    if (any_inner && any_outer) return -1;
+    return any_outer ? 1 : 0;
+  };
+
+  ExprBinder outer_binder(&outer_scope);
+  std::vector<ExprPtr> inner_filters;
+  for (const ParsedExpr* conj : flat) {
+    bool is_corr_eq = false;
+    if (conj->kind == ParsedExpr::Kind::kBinary && conj->op == "=") {
+      int ls = side_of(*conj->left);
+      int rs = side_of(*conj->right);
+      if ((ls == 1 && rs == 0) || (ls == 0 && rs == 1)) {
+        const ParsedExpr* outer_side = ls == 1 ? conj->left.get()
+                                               : conj->right.get();
+        const ParsedExpr* inner_side = ls == 1 ? conj->right.get()
+                                               : conj->left.get();
+        NODB_ASSIGN_OR_RETURN(ExprPtr ok, outer_binder.Bind(*outer_side));
+        NODB_ASSIGN_OR_RETURN(ExprPtr ik, inner_binder.Bind(*inner_side));
+        sj.outer_keys.push_back(std::move(ok));
+        sj.inner_keys.push_back(std::move(ik));
+        is_corr_eq = true;
+      }
+    }
+    if (is_corr_eq) continue;
+    if (side_of(*conj) != 0) {
+      return Status::Unimplemented(
+          "EXISTS supports equality correlation plus inner-only predicates");
+    }
+    NODB_ASSIGN_OR_RETURN(ExprPtr bound, inner_binder.Bind(*conj));
+    inner_filters.push_back(std::move(bound));
+  }
+  if (sj.outer_keys.empty()) {
+    return Status::Unimplemented(
+        "EXISTS requires at least one equality correlation predicate");
+  }
+  sj.inner_filter = AndTogether(std::move(inner_filters));
+  return sj;
+}
+
+// Transforms a select-list expression of an aggregate query into an
+// expression over the aggregate output row [group values..., agg results...].
+Result<ExprPtr> Binder::BindAggSelectExpr(const ParsedExpr& e,
+                                          const void* binder_ptr,
+                                          BoundQuery* query) {
+  const ExprBinder& binder = *static_cast<const ExprBinder*>(binder_ptr);
+  int ngroups = static_cast<int>(query->group_by.size());
+
+  // Direct aggregate call.
+  if (e.kind == ParsedExpr::Kind::kFuncCall && IsAggName(e.func_name)) {
+    AggregateSpec spec;
+    if (e.func_name == "COUNT") {
+      spec.func = e.star_arg ? AggFunc::kCountStar : AggFunc::kCount;
+    } else if (e.func_name == "SUM") {
+      spec.func = AggFunc::kSum;
+    } else if (e.func_name == "AVG") {
+      spec.func = AggFunc::kAvg;
+    } else if (e.func_name == "MIN") {
+      spec.func = AggFunc::kMin;
+    } else {
+      spec.func = AggFunc::kMax;
+    }
+    if (!e.star_arg) {
+      if (e.args.empty()) {
+        return Status::InvalidArgument("aggregate requires an argument");
+      }
+      NODB_ASSIGN_OR_RETURN(spec.arg, binder.Bind(*e.args[0]));
+    }
+    TypeId result_type = spec.ResultType();
+    // Reuse an identical aggregate if present (e.g. SUM(x) used twice).
+    std::string key = std::string(AggFuncToString(spec.func)) + ":" +
+                      (spec.arg != nullptr ? spec.arg->ToString() : "*");
+    for (size_t i = 0; i < query->aggregates.size(); ++i) {
+      const AggregateSpec& existing = query->aggregates[i];
+      std::string ekey = std::string(AggFuncToString(existing.func)) + ":" +
+                         (existing.arg != nullptr ? existing.arg->ToString()
+                                                  : "*");
+      if (ekey == key) {
+        return ExprPtr(std::make_unique<ColumnRefExpr>(
+            ngroups + static_cast<int>(i), result_type, ekey));
+      }
+    }
+    query->aggregates.push_back(std::move(spec));
+    return ExprPtr(std::make_unique<ColumnRefExpr>(
+        ngroups + static_cast<int>(query->aggregates.size()) - 1, result_type,
+        key));
+  }
+
+  // Aggregate-free subtree: bind over the working row; it must be constant
+  // or match a GROUP BY expression.
+  if (!ContainsAggregate(e)) {
+    NODB_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(e));
+    std::vector<int> cols;
+    bound->CollectColumns(&cols);
+    if (cols.empty()) return bound;  // constant expression
+    std::string repr = bound->ToString();
+    for (int g = 0; g < ngroups; ++g) {
+      if (query->group_by[g]->ToString() == repr) {
+        return ExprPtr(std::make_unique<ColumnRefExpr>(
+            g, query->group_by[g]->type, "group" + std::to_string(g)));
+      }
+    }
+    return Status::InvalidArgument(
+        "expression '" + repr +
+        "' must appear in GROUP BY or inside an aggregate");
+  }
+
+  // Composite expression containing aggregates: rebuild around transformed
+  // children.
+  switch (e.kind) {
+    case ParsedExpr::Kind::kBinary: {
+      NODB_ASSIGN_OR_RETURN(ExprPtr left,
+                            BindAggSelectExpr(*e.left, binder_ptr, query));
+      NODB_ASSIGN_OR_RETURN(ExprPtr right,
+                            BindAggSelectExpr(*e.right, binder_ptr, query));
+      if (e.op == "AND" || e.op == "OR") {
+        return MakeLogical(e.op, std::move(left), std::move(right));
+      }
+      if (e.op == "+" || e.op == "-" || e.op == "*" || e.op == "/") {
+        return MakeArithmetic(e.op, std::move(left), std::move(right));
+      }
+      return MakeComparison(e.op, std::move(left), std::move(right));
+    }
+    case ParsedExpr::Kind::kNegate: {
+      NODB_ASSIGN_OR_RETURN(ExprPtr inner,
+                            BindAggSelectExpr(*e.left, binder_ptr, query));
+      ExprPtr zero =
+          inner->type == TypeId::kDouble
+              ? ExprPtr(std::make_unique<LiteralExpr>(Value::Double(0)))
+              : ExprPtr(std::make_unique<LiteralExpr>(Value::Int64(0)));
+      return MakeArithmetic("-", std::move(zero), std::move(inner));
+    }
+    case ParsedExpr::Kind::kFuncCall:
+      if (e.func_name == "CAST") {
+        NODB_ASSIGN_OR_RETURN(ExprPtr input,
+                              BindAggSelectExpr(*e.args[0], binder_ptr, query));
+        NODB_ASSIGN_OR_RETURN(TypeId target, TypeNameToId(e.string_value));
+        return ExprPtr(std::make_unique<CastExpr>(target, std::move(input)));
+      }
+      return Status::Internal("unexpected function in aggregate transform");
+    default:
+      return Status::Unimplemented(
+          "unsupported expression shape around aggregates");
+  }
+}
+
+Result<int> Binder::ResolveOrderKey(const ParsedExpr& e, const SelectStmt& stmt,
+                                    const void* binder_ptr, BoundQuery* query) {
+  // Ordinal: ORDER BY 2.
+  if (e.kind == ParsedExpr::Kind::kIntLiteral) {
+    int64_t ordinal = e.int_value;
+    if (ordinal < 1 ||
+        ordinal > static_cast<int64_t>(query->select_exprs.size())) {
+      return Status::InvalidArgument("ORDER BY ordinal out of range");
+    }
+    return static_cast<int>(ordinal - 1);
+  }
+  // Alias or output column name.
+  if (e.kind == ParsedExpr::Kind::kColumn && e.qualifier.empty()) {
+    for (int i = 0; i < query->output_schema.num_columns(); ++i) {
+      if (query->output_schema.column(i).name == e.column) return i;
+    }
+  }
+  // Structural match against a select expression.
+  const ExprBinder& binder = *static_cast<const ExprBinder*>(binder_ptr);
+  ExprPtr bound;
+  if (query->has_aggregation) {
+    NODB_ASSIGN_OR_RETURN(bound, BindAggSelectExpr(e, binder_ptr, query));
+  } else {
+    NODB_ASSIGN_OR_RETURN(bound, binder.Bind(e));
+  }
+  std::string repr = bound->ToString();
+  for (size_t i = 0; i < query->select_exprs.size(); ++i) {
+    if (query->select_exprs[i]->ToString() == repr) {
+      return static_cast<int>(i);
+    }
+  }
+  (void)stmt;
+  return Status::Unimplemented(
+      "ORDER BY expressions must match a select item, alias or ordinal");
+}
+
+}  // namespace nodb

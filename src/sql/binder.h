@@ -1,0 +1,101 @@
+#ifndef NODB_SQL_BINDER_H_
+#define NODB_SQL_BINDER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/aggregates.h"
+#include "expr/expr.h"
+#include "sql/ast.h"
+#include "types/schema.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Resolves table names to schemas during binding; implemented by the
+/// engine's catalog.
+class TableProvider {
+ public:
+  virtual ~TableProvider() = default;
+  virtual Result<const Schema*> GetTableSchema(const std::string& name) const = 0;
+};
+
+/// A FROM-clause table after resolution. The executor's *working row* is the
+/// concatenation of all bound tables' columns in FROM order; `offset` is
+/// this table's first column in that row.
+struct BoundTable {
+  std::string table_name;    // catalog name
+  std::string display_name;  // alias or table name
+  const Schema* schema = nullptr;
+  int offset = 0;
+};
+
+/// A (possibly anti) semi join derived from [NOT] EXISTS with equality
+/// correlation. Keys may be composite.
+struct BoundSemiJoin {
+  BoundTable table;                   // inner table
+  std::vector<ExprPtr> outer_keys;    // bound over the outer working row
+  std::vector<ExprPtr> inner_keys;    // bound over the inner table row
+  ExprPtr inner_filter;               // inner-only predicate, may be null
+  bool anti = false;                  // true for NOT EXISTS
+};
+
+struct BoundOrderKey {
+  int select_index = 0;  // into the query's select list
+  bool desc = false;
+};
+
+/// Fully analyzed query, ready for planning.
+///
+/// Expression index spaces:
+///  * `where`, `group_by` and AggregateSpec::arg are bound over the working
+///    row (all FROM tables concatenated).
+///  * With aggregation, `select_exprs` are bound over the *aggregate output
+///    row*: [group values..., aggregate results...].
+///  * Without aggregation, `select_exprs` are bound over the working row.
+struct BoundQuery {
+  std::vector<BoundTable> tables;
+  int working_width = 0;
+
+  ExprPtr where;  // null if absent
+  std::vector<BoundSemiJoin> semi_joins;
+
+  bool has_aggregation = false;
+  std::vector<ExprPtr> group_by;
+  std::vector<AggregateSpec> aggregates;
+
+  std::vector<ExprPtr> select_exprs;
+  Schema output_schema;
+
+  std::vector<BoundOrderKey> order_by;
+  std::optional<int64_t> limit;
+};
+
+/// Binds a parsed SELECT against the catalog: resolves names, types every
+/// expression, extracts aggregates and EXISTS semi-joins, and validates
+/// GROUP BY semantics.
+class Binder {
+ public:
+  explicit Binder(const TableProvider* provider) : provider_(provider) {}
+
+  Result<std::unique_ptr<BoundQuery>> Bind(const SelectStmt& stmt);
+
+ private:
+  // The opaque pointers are the .cc-private Scope / ExprBinder helpers; they
+  // are implementation details not worth exposing in this header.
+  Result<BoundSemiJoin> BindExistsSubquery(const SelectStmt& sub,
+                                           const void* outer_scope_ptr,
+                                           bool anti);
+  Result<ExprPtr> BindAggSelectExpr(const ParsedExpr& e, const void* binder_ptr,
+                                    BoundQuery* query);
+  Result<int> ResolveOrderKey(const ParsedExpr& e, const SelectStmt& stmt,
+                              const void* binder_ptr, BoundQuery* query);
+
+  const TableProvider* provider_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_SQL_BINDER_H_

@@ -1,0 +1,141 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace nodb {
+
+namespace {
+
+const std::array<std::string_view, 38> kKeywords = {
+    "SELECT", "FROM",   "WHERE",  "GROUP",  "BY",     "ORDER",   "LIMIT",
+    "AS",     "AND",    "OR",     "NOT",    "IN",     "BETWEEN", "LIKE",
+    "IS",     "NULL",   "CASE",   "WHEN",   "THEN",   "ELSE",    "END",
+    "EXISTS", "JOIN",   "INNER",  "ON",     "ASC",    "DESC",    "DATE",
+    "INTERVAL", "DAY",  "MONTH",  "YEAR",   "COUNT",  "SUM",     "AVG",
+    "MIN",    "MAX",    "CAST",
+};
+
+bool IsKeywordWord(const std::string& upper) {
+  return std::find(kKeywords.begin(), kKeywords.end(), upper) !=
+         kKeywords.end();
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    int pos = static_cast<int>(i);
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (IsKeywordWord(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, pos});
+      } else {
+        std::string lower = word;
+        std::transform(lower.begin(), lower.end(), lower.begin(), ::tolower);
+        tokens.push_back({TokenType::kIdent, lower, pos});
+      }
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        sql.substr(start, i - start), pos});
+      continue;
+    }
+    // String literal.
+    if (c == '\'') {
+      ++i;
+      std::string content;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            content.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        content.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(pos));
+      }
+      tokens.push_back({TokenType::kString, std::move(content), pos});
+      continue;
+    }
+    // Multi-char operators.
+    if (c == '<' || c == '>' || c == '!') {
+      if (i + 1 < n && (sql[i + 1] == '=' ||
+                        (c == '<' && sql[i + 1] == '>'))) {
+        tokens.push_back({TokenType::kSymbol, sql.substr(i, 2), pos});
+        i += 2;
+        continue;
+      }
+      if (c == '!') {
+        return Status::InvalidArgument("unexpected '!' at " +
+                                       std::to_string(pos));
+      }
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), pos});
+      ++i;
+      continue;
+    }
+    // Single-char symbols.
+    static const std::string kSingles = "(),.+-*/=;";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), pos});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at " +
+                                   std::to_string(pos));
+  }
+  tokens.push_back({TokenType::kEof, "", static_cast<int>(n)});
+  return tokens;
+}
+
+}  // namespace nodb

@@ -1,0 +1,42 @@
+#ifndef NODB_SQL_LEXER_H_
+#define NODB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace nodb {
+
+enum class TokenType : uint8_t {
+  kKeyword,  // normalized to upper case
+  kIdent,    // normalized to lower case (SQL folding)
+  kInteger,
+  kFloat,
+  kString,  // content without quotes, '' unescaped
+  kSymbol,  // operators and punctuation, e.g. "(", "<=", ","
+  kEof,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;
+  int position;  // byte offset in the statement, for error messages
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// Splits a SQL statement into tokens. Keywords are recognized
+/// case-insensitively from a fixed list; other identifiers fold to lower
+/// case. String literals use single quotes with '' escapes. Comments
+/// ("-- ...") are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace nodb
+
+#endif  // NODB_SQL_LEXER_H_

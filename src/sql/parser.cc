@@ -1,0 +1,509 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+#include "util/str_conv.h"
+
+namespace nodb {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Precedence (low→high):
+/// OR, AND, NOT, predicates (comparison/BETWEEN/IN/LIKE/IS), additive,
+/// multiplicative, unary, primary.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStmt>> ParseStatement() {
+    NODB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelectBody());
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEof) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  // --- token helpers ---
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AcceptKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(std::string_view s) {
+    if (Peek().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument("expected " + std::string(kw) + " at " +
+                                     std::to_string(Peek().position));
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (!AcceptSymbol(s)) {
+      return Status::InvalidArgument("expected '" + std::string(s) + "' at " +
+                                     std::to_string(Peek().position));
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at " +
+                                   std::to_string(Peek().position) + " near '" +
+                                   Peek().text + "'");
+  }
+
+  /// DAY/MONTH/YEAR are keywords only inside INTERVAL literals; anywhere a
+  /// name is expected they act as ordinary identifiers (non-reserved words,
+  /// as in standard SQL).
+  bool PeekIsName() const {
+    const Token& t = Peek();
+    return t.type == TokenType::kIdent || t.IsKeyword("DAY") ||
+           t.IsKeyword("MONTH") || t.IsKeyword("YEAR");
+  }
+  std::string TakeName() {
+    const Token& t = Advance();
+    if (t.type == TokenType::kIdent) return t.text;
+    std::string lower = t.text;
+    for (char& c : lower) c = static_cast<char>(tolower(c));
+    return lower;
+  }
+
+  static ParsedExprPtr MakeExpr(ParsedExpr::Kind kind, int position) {
+    auto e = std::make_unique<ParsedExpr>();
+    e->kind = kind;
+    e->position = position;
+    return e;
+  }
+
+  // --- grammar ---
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectBody() {
+    NODB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStmt>();
+
+    if (AcceptSymbol("*")) {
+      stmt->select_star = true;
+    } else {
+      do {
+        SelectItem item;
+        NODB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("AS")) {
+          if (!PeekIsName()) return Error("expected alias");
+          item.alias = TakeName();
+        } else if (PeekIsName()) {
+          // Bare alias (SELECT expr name).
+          item.alias = TakeName();
+        }
+        stmt->items.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+
+    NODB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    NODB_RETURN_IF_ERROR(ParseFromClause(stmt.get()));
+
+    if (AcceptKeyword("WHERE")) {
+      NODB_ASSIGN_OR_RETURN(ParsedExprPtr where, ParseExpr());
+      stmt->where = MergeConjunct(std::move(stmt->where), std::move(where));
+    }
+    if (AcceptKeyword("GROUP")) {
+      NODB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        NODB_ASSIGN_OR_RETURN(ParsedExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("ORDER")) {
+      NODB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        NODB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) {
+          item.desc = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      NODB_ASSIGN_OR_RETURN(int64_t n, ParseInt64(Advance().text));
+      stmt->limit = n;
+    }
+    return stmt;
+  }
+
+  Status ParseFromClause(SelectStmt* stmt) {
+    NODB_RETURN_IF_ERROR(ParseTableRef(stmt));
+    while (true) {
+      if (AcceptSymbol(",")) {
+        NODB_RETURN_IF_ERROR(ParseTableRef(stmt));
+        continue;
+      }
+      // [INNER] JOIN table [alias] ON cond — normalized into FROM + WHERE.
+      bool is_join = false;
+      if (Peek().IsKeyword("JOIN")) {
+        Advance();
+        is_join = true;
+      } else if (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN")) {
+        Advance();
+        Advance();
+        is_join = true;
+      }
+      if (!is_join) break;
+      NODB_RETURN_IF_ERROR(ParseTableRef(stmt));
+      NODB_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      auto cond_result = ParseExpr();
+      if (!cond_result.ok()) return cond_result.status();
+      stmt->where = MergeConjunct(std::move(stmt->where),
+                                  std::move(cond_result).value());
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableRef(SelectStmt* stmt) {
+    if (!PeekIsName()) {
+      return Error("expected table name");
+    }
+    TableRef ref;
+    ref.table = TakeName();
+    if (AcceptKeyword("AS")) {
+      if (!PeekIsName()) return Error("expected alias");
+      ref.alias = TakeName();
+    } else if (PeekIsName()) {
+      ref.alias = TakeName();
+    }
+    stmt->from.push_back(std::move(ref));
+    return Status::OK();
+  }
+
+  static ParsedExprPtr MergeConjunct(ParsedExprPtr a, ParsedExprPtr b) {
+    if (a == nullptr) return b;
+    auto conj = MakeExpr(ParsedExpr::Kind::kBinary, b->position);
+    conj->op = "AND";
+    conj->left = std::move(a);
+    conj->right = std::move(b);
+    return conj;
+  }
+
+  Result<ParsedExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ParsedExprPtr> ParseOr() {
+    NODB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAnd());
+    while (Peek().IsKeyword("OR")) {
+      int pos = Advance().position;
+      NODB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAnd());
+      auto e = MakeExpr(ParsedExpr::Kind::kBinary, pos);
+      e->op = "OR";
+      e->left = std::move(left);
+      e->right = std::move(right);
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  Result<ParsedExprPtr> ParseAnd() {
+    NODB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      int pos = Advance().position;
+      NODB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseNot());
+      auto e = MakeExpr(ParsedExpr::Kind::kBinary, pos);
+      e->op = "AND";
+      e->left = std::move(left);
+      e->right = std::move(right);
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  Result<ParsedExprPtr> ParseNot() {
+    if (Peek().IsKeyword("NOT")) {
+      int pos = Advance().position;
+      NODB_ASSIGN_OR_RETURN(ParsedExprPtr inner, ParseNot());
+      auto e = MakeExpr(ParsedExpr::Kind::kNot, pos);
+      e->left = std::move(inner);
+      return e;
+    }
+    return ParsePredicate();
+  }
+
+  /// Comparison and SQL predicate forms over additive expressions.
+  Result<ParsedExprPtr> ParsePredicate() {
+    NODB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAdditive());
+
+    // IS [NOT] NULL
+    if (Peek().IsKeyword("IS")) {
+      int pos = Advance().position;
+      bool negated = AcceptKeyword("NOT");
+      NODB_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      auto e = MakeExpr(ParsedExpr::Kind::kIsNull, pos);
+      e->left = std::move(left);
+      e->negated = negated;
+      return e;
+    }
+
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("BETWEEN") || Peek(1).IsKeyword("IN") ||
+         Peek(1).IsKeyword("LIKE"))) {
+      Advance();
+      negated = true;
+    }
+
+    if (Peek().IsKeyword("BETWEEN")) {
+      int pos = Advance().position;
+      NODB_ASSIGN_OR_RETURN(ParsedExprPtr lo, ParseAdditive());
+      NODB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      NODB_ASSIGN_OR_RETURN(ParsedExprPtr hi, ParseAdditive());
+      auto e = MakeExpr(ParsedExpr::Kind::kBetween, pos);
+      e->left = std::move(left);
+      e->low = std::move(lo);
+      e->high = std::move(hi);
+      e->negated = negated;
+      return e;
+    }
+    if (Peek().IsKeyword("IN")) {
+      int pos = Advance().position;
+      NODB_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto e = MakeExpr(ParsedExpr::Kind::kInList, pos);
+      e->left = std::move(left);
+      e->negated = negated;
+      do {
+        NODB_ASSIGN_OR_RETURN(ParsedExprPtr item, ParseAdditive());
+        e->list_items.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+      NODB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    if (Peek().IsKeyword("LIKE")) {
+      int pos = Advance().position;
+      if (Peek().type != TokenType::kString) {
+        return Error("LIKE requires a string literal pattern");
+      }
+      auto e = MakeExpr(ParsedExpr::Kind::kLike, pos);
+      e->left = std::move(left);
+      e->string_value = Advance().text;
+      e->negated = negated;
+      return e;
+    }
+    if (negated) return Error("expected BETWEEN, IN or LIKE after NOT");
+
+    static const std::string_view kCompareOps[] = {"=",  "<>", "!=",
+                                                   "<=", ">=", "<",  ">"};
+    for (std::string_view op : kCompareOps) {
+      if (Peek().IsSymbol(op)) {
+        int pos = Advance().position;
+        NODB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAdditive());
+        auto e = MakeExpr(ParsedExpr::Kind::kBinary, pos);
+        e->op = op == "!=" ? "<>" : std::string(op);
+        e->left = std::move(left);
+        e->right = std::move(right);
+        return e;
+      }
+    }
+    return left;
+  }
+
+  Result<ParsedExprPtr> ParseAdditive() {
+    NODB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseMultiplicative());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      std::string op = Peek().text;
+      int pos = Advance().position;
+      NODB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseMultiplicative());
+      auto e = MakeExpr(ParsedExpr::Kind::kBinary, pos);
+      e->op = op;
+      e->left = std::move(left);
+      e->right = std::move(right);
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  Result<ParsedExprPtr> ParseMultiplicative() {
+    NODB_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseUnary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      std::string op = Peek().text;
+      int pos = Advance().position;
+      NODB_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseUnary());
+      auto e = MakeExpr(ParsedExpr::Kind::kBinary, pos);
+      e->op = op;
+      e->left = std::move(left);
+      e->right = std::move(right);
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  Result<ParsedExprPtr> ParseUnary() {
+    if (Peek().IsSymbol("-")) {
+      int pos = Advance().position;
+      NODB_ASSIGN_OR_RETURN(ParsedExprPtr inner, ParseUnary());
+      auto e = MakeExpr(ParsedExpr::Kind::kNegate, pos);
+      e->left = std::move(inner);
+      return e;
+    }
+    if (Peek().IsSymbol("+")) Advance();
+    return ParsePrimary();
+  }
+
+  Result<ParsedExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    int pos = tok.position;
+
+    if (AcceptSymbol("(")) {
+      NODB_ASSIGN_OR_RETURN(ParsedExprPtr inner, ParseExpr());
+      NODB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (tok.type == TokenType::kInteger) {
+      Advance();
+      auto e = MakeExpr(ParsedExpr::Kind::kIntLiteral, pos);
+      NODB_ASSIGN_OR_RETURN(e->int_value, ParseInt64(tok.text));
+      return e;
+    }
+    if (tok.type == TokenType::kFloat) {
+      Advance();
+      auto e = MakeExpr(ParsedExpr::Kind::kFloatLiteral, pos);
+      NODB_ASSIGN_OR_RETURN(e->float_value, ParseDouble(tok.text));
+      return e;
+    }
+    if (tok.type == TokenType::kString) {
+      Advance();
+      auto e = MakeExpr(ParsedExpr::Kind::kStringLiteral, pos);
+      e->string_value = tok.text;
+      return e;
+    }
+    if (tok.IsKeyword("NULL")) {
+      Advance();
+      return MakeExpr(ParsedExpr::Kind::kNullLiteral, pos);
+    }
+    if (tok.IsKeyword("DATE")) {
+      Advance();
+      if (Peek().type != TokenType::kString) {
+        return Error("DATE requires a string literal");
+      }
+      auto e = MakeExpr(ParsedExpr::Kind::kDateLiteral, pos);
+      e->string_value = Advance().text;
+      return e;
+    }
+    if (tok.IsKeyword("INTERVAL")) {
+      Advance();
+      if (Peek().type != TokenType::kString &&
+          Peek().type != TokenType::kInteger) {
+        return Error("INTERVAL requires a quantity");
+      }
+      NODB_ASSIGN_OR_RETURN(int64_t qty, ParseInt64(Advance().text));
+      auto e = MakeExpr(ParsedExpr::Kind::kIntervalLiteral, pos);
+      if (AcceptKeyword("DAY")) {
+        e->int_value = qty;
+      } else if (AcceptKeyword("MONTH")) {
+        e->int_value = qty * 30;  // calendar-approximate, like the paper's use
+      } else if (AcceptKeyword("YEAR")) {
+        e->int_value = qty * 365;
+      } else {
+        return Error("expected DAY, MONTH or YEAR");
+      }
+      return e;
+    }
+    if (tok.IsKeyword("CASE")) {
+      Advance();
+      auto e = MakeExpr(ParsedExpr::Kind::kCase, pos);
+      while (AcceptKeyword("WHEN")) {
+        ParsedExpr::When when;
+        NODB_ASSIGN_OR_RETURN(when.condition, ParseExpr());
+        NODB_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+        NODB_ASSIGN_OR_RETURN(when.result, ParseExpr());
+        e->whens.push_back(std::move(when));
+      }
+      if (e->whens.empty()) return Error("CASE requires at least one WHEN");
+      if (AcceptKeyword("ELSE")) {
+        NODB_ASSIGN_OR_RETURN(e->else_result, ParseExpr());
+      }
+      NODB_RETURN_IF_ERROR(ExpectKeyword("END"));
+      return e;
+    }
+    if (tok.IsKeyword("CAST")) {
+      Advance();
+      NODB_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto e = MakeExpr(ParsedExpr::Kind::kFuncCall, pos);
+      e->func_name = "CAST";
+      NODB_ASSIGN_OR_RETURN(ParsedExprPtr arg, ParseExpr());
+      e->args.push_back(std::move(arg));
+      NODB_RETURN_IF_ERROR(ExpectKeyword("AS"));
+      if (Peek().type != TokenType::kIdent && !Peek().IsKeyword("DATE")) {
+        return Error("expected type name");
+      }
+      e->string_value = Advance().text;  // target type name
+      NODB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    if (tok.IsKeyword("EXISTS")) {
+      Advance();
+      NODB_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto e = MakeExpr(ParsedExpr::Kind::kExists, pos);
+      NODB_ASSIGN_OR_RETURN(e->subquery, ParseSelectBody());
+      NODB_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    // Aggregate function calls.
+    for (std::string_view agg : {"COUNT", "SUM", "AVG", "MIN", "MAX"}) {
+      if (tok.IsKeyword(agg)) {
+        Advance();
+        NODB_RETURN_IF_ERROR(ExpectSymbol("("));
+        auto e = MakeExpr(ParsedExpr::Kind::kFuncCall, pos);
+        e->func_name = agg;
+        if (agg == "COUNT" && AcceptSymbol("*")) {
+          e->star_arg = true;
+        } else {
+          NODB_ASSIGN_OR_RETURN(ParsedExprPtr arg, ParseExpr());
+          e->args.push_back(std::move(arg));
+        }
+        NODB_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return e;
+      }
+    }
+    // Column reference: name or name.name (DAY/MONTH/YEAR usable as names).
+    if (PeekIsName()) {
+      std::string first = TakeName();
+      auto e = MakeExpr(ParsedExpr::Kind::kColumn, pos);
+      if (AcceptSymbol(".")) {
+        if (!PeekIsName()) {
+          return Error("expected column name after '.'");
+        }
+        e->qualifier = first;
+        e->column = TakeName();
+      } else {
+        e->column = first;
+      }
+      return e;
+    }
+    return Error("unexpected token in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  NODB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace nodb

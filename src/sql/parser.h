@@ -1,0 +1,32 @@
+#ifndef NODB_SQL_PARSER_H_
+#define NODB_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Parses one SELECT statement (optionally ';'-terminated).
+///
+/// Supported grammar (the subset exercised by the paper's workloads — the
+/// micro-benchmarks and TPC-H Q1/Q3/Q4/Q6/Q10/Q12/Q14/Q19):
+///
+///   SELECT expr [AS alias], ... | *
+///   FROM table [alias] [, table [alias]]... | table JOIN table ON cond ...
+///   [WHERE cond]
+///   [GROUP BY expr, ...]
+///   [ORDER BY expr [ASC|DESC], ...]
+///   [LIMIT n]
+///
+/// with expressions over + - * /, comparisons, AND/OR/NOT, BETWEEN, IN
+/// (literal lists), LIKE, IS [NOT] NULL, searched CASE, CAST(e AS type),
+/// aggregate calls, DATE 'x' and INTERVAL 'n' DAY|MONTH|YEAR literals, and
+/// EXISTS (subquery) in WHERE.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+}  // namespace nodb
+
+#endif  // NODB_SQL_PARSER_H_

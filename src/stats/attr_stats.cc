@@ -1,0 +1,148 @@
+#include "stats/attr_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nodb {
+
+namespace {
+constexpr int kHistogramBuckets = 32;
+}  // namespace
+
+AttrStatsBuilder::AttrStatsBuilder(TypeId type, int sample_capacity)
+    : type_(type), sample_capacity_(sample_capacity) {
+  sample_.reserve(sample_capacity);
+}
+
+void AttrStatsBuilder::Add(const Value& v) {
+  ++rows_seen_;
+  if (v.is_null()) {
+    ++nulls_;
+    return;
+  }
+  // Past the warm-up prefix, digest only every kSampleStride-th value
+  // (ANALYZE-style sampling; min/max/NDV become sample-based estimates).
+  if (rows_seen_ > kFullRows && rows_seen_ % kSampleStride != 0) return;
+  ++digested_;
+  if (!min_.has_value() || v.Compare(*min_) < 0) min_ = v;
+  if (!max_.has_value() || v.Compare(*max_) > 0) max_ = v;
+  if (!distinct_capped_) {
+    distinct_hashes_.insert(v.Hash());
+    if (distinct_hashes_.size() >= kDistinctCap) distinct_capped_ = true;
+  }
+  // Reservoir sampling (Algorithm R) over the digested subsequence.
+  if (sample_.size() < static_cast<size_t>(sample_capacity_)) {
+    sample_.push_back(v);
+  } else {
+    uint64_t j = rng_.Next() % digested_;
+    if (j < static_cast<uint64_t>(sample_capacity_)) {
+      sample_[j] = v;
+    }
+  }
+}
+
+AttrStats AttrStatsBuilder::Build() const {
+  AttrStats stats;
+  stats.type = type_;
+  stats.rows_seen = rows_seen_;
+  stats.nulls = nulls_;
+  stats.min = min_;
+  stats.max = max_;
+
+  uint64_t non_null = rows_seen_ - nulls_;
+  if (!distinct_capped_ && digested_ == non_null) {
+    stats.ndv = static_cast<double>(distinct_hashes_.size());
+  } else if (!distinct_capped_) {
+    // Sampling kicked in but the distinct set did not overflow: every
+    // digested value was distinct-tracked; scale by the sampling ratio only
+    // if the set looks saturated relative to the digested count.
+    double distinct = static_cast<double>(distinct_hashes_.size());
+    double dig = static_cast<double>(digested_);
+    if (distinct >= 0.95 * dig) {
+      // Nearly all sampled values distinct: extrapolate to the full column.
+      stats.ndv = distinct / dig * static_cast<double>(non_null);
+    } else {
+      stats.ndv = distinct;  // low-cardinality column: the set converged
+    }
+  } else {
+    // The exact set overflowed: scale the sample's distinct ratio. This
+    // over-estimates for heavy-hitter distributions, which is the safe
+    // direction for the optimizer's group-count estimates.
+    std::unordered_set<uint64_t> sample_distinct;
+    for (const Value& v : sample_) sample_distinct.insert(v.Hash());
+    double ratio = sample_.empty()
+                       ? 1.0
+                       : static_cast<double>(sample_distinct.size()) /
+                             static_cast<double>(sample_.size());
+    stats.ndv = std::max<double>(static_cast<double>(kDistinctCap),
+                                 ratio * static_cast<double>(non_null));
+  }
+
+  // Histogram for ordered, numeric-comparable types.
+  if (type_ != TypeId::kString && min_.has_value() && max_.has_value()) {
+    double lo = min_->AsDouble();
+    double hi = max_->AsDouble();
+    if (hi > lo && !sample_.empty()) {
+      stats.histogram.assign(kHistogramBuckets, 0);
+      for (const Value& v : sample_) {
+        double x = v.AsDouble();
+        int b = static_cast<int>((x - lo) / (hi - lo) * kHistogramBuckets);
+        b = std::clamp(b, 0, kHistogramBuckets - 1);
+        ++stats.histogram[b];
+      }
+    }
+  }
+  return stats;
+}
+
+double AttrStats::EstimateEqualsSelectivity() const {
+  if (ndv <= 0) return 0.1;
+  return 1.0 / ndv;
+}
+
+double AttrStats::EstimateCompareSelectivity(char op_first, bool or_equal,
+                                             const Value& constant) const {
+  if (!min.has_value() || !max.has_value()) return 0.33;  // no data yet
+  if (op_first == '=') return EstimateEqualsSelectivity();
+  if (op_first == '!') return 1.0 - EstimateEqualsSelectivity();
+  if (type == TypeId::kString || constant.type() == TypeId::kString) {
+    return 0.33;  // no ordered histogram over strings
+  }
+
+  double lo = min->AsDouble();
+  double hi = max->AsDouble();
+  double c = constant.AsDouble();
+  double frac_below;  // fraction of values < c
+  if (c <= lo) {
+    frac_below = 0.0;
+  } else if (c > hi) {
+    frac_below = 1.0;
+  } else if (!histogram.empty()) {
+    double width = (hi - lo) / static_cast<double>(histogram.size());
+    double total = 0, below = 0;
+    for (size_t b = 0; b < histogram.size(); ++b) {
+      total += histogram[b];
+      double bucket_lo = lo + width * static_cast<double>(b);
+      double bucket_hi = bucket_lo + width;
+      if (bucket_hi <= c) {
+        below += histogram[b];
+      } else if (bucket_lo < c) {
+        below += histogram[b] * (c - bucket_lo) / width;
+      }
+    }
+    frac_below = total > 0 ? below / total : 0.5;
+  } else {
+    frac_below = hi > lo ? (c - lo) / (hi - lo) : 0.5;
+  }
+
+  double eq = EstimateEqualsSelectivity();
+  double sel;
+  if (op_first == '<') {
+    sel = frac_below + (or_equal ? eq : 0.0);
+  } else {  // '>'
+    sel = (1.0 - frac_below) + (or_equal ? 0.0 : -eq);
+  }
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+}  // namespace nodb

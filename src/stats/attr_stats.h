@@ -1,0 +1,80 @@
+#ifndef NODB_STATS_ATTR_STATS_H_
+#define NODB_STATS_ATTR_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "types/value.h"
+#include "util/rng.h"
+
+namespace nodb {
+
+/// Summary statistics for one attribute, built on the fly during raw scans
+/// (the paper's §4.4: PostgresRaw invokes "native statistics routines ...
+/// providing it with a sample of the data", only for requested attributes).
+struct AttrStats {
+  TypeId type = TypeId::kInt64;
+  uint64_t rows_seen = 0;
+  uint64_t nulls = 0;
+  std::optional<Value> min;
+  std::optional<Value> max;
+  /// Estimated number of distinct values.
+  double ndv = 0;
+  /// Equi-width histogram over [min, max] for numeric/date types (bucket
+  /// counts from the sample). Empty for strings.
+  std::vector<uint32_t> histogram;
+
+  /// Estimated fraction of non-null rows satisfying `value <op> constant`.
+  /// `op` uses the comparison semantics of expr/Comparison: this helper only
+  /// needs <, <=, >, >=, =, <>.
+  double EstimateCompareSelectivity(char op_first, bool or_equal,
+                                    const Value& constant) const;
+
+  /// Selectivity of equality with an arbitrary constant: 1/ndv.
+  double EstimateEqualsSelectivity() const;
+};
+
+/// Incremental builder: feeds a bounded reservoir sample plus min/max and a
+/// hash-based distinct estimator. Mirrors ANALYZE-style collection: the
+/// first kFullRows values are digested fully, after which only one value in
+/// kSampleStride is (keeping the per-scan overhead small, as the paper's
+/// on-the-fly statistics require). Row and null counts stay exact.
+class AttrStatsBuilder {
+ public:
+  explicit AttrStatsBuilder(TypeId type, int sample_capacity = 1024);
+
+  /// Accumulates one observed value.
+  void Add(const Value& v);
+
+  /// True once at least one value (null or not) has been observed.
+  bool has_data() const { return rows_seen_ > 0; }
+  uint64_t rows_seen() const { return rows_seen_; }
+
+  /// Produces the current statistics snapshot.
+  AttrStats Build() const;
+
+ private:
+  TypeId type_;
+  int sample_capacity_;
+  uint64_t rows_seen_ = 0;
+  uint64_t nulls_ = 0;
+  uint64_t digested_ = 0;  // values that went through the full path
+  std::optional<Value> min_;
+  std::optional<Value> max_;
+  std::vector<Value> sample_;  // reservoir
+  /// Distinct hashes seen, capped; with the cap hit, NDV is scaled from the
+  /// sample's distinct ratio.
+  std::unordered_set<uint64_t> distinct_hashes_;
+  bool distinct_capped_ = false;
+  Rng rng_{0xC0FFEE};
+
+  static constexpr size_t kDistinctCap = 1 << 13;
+  static constexpr uint64_t kFullRows = 512;
+  static constexpr uint64_t kSampleStride = 64;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_STATS_ATTR_STATS_H_

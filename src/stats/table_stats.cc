@@ -1,0 +1,24 @@
+#include "stats/table_stats.h"
+
+namespace nodb {
+
+TableStats::TableStats(const Schema& schema) {
+  builders_.reserve(schema.num_columns());
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    builders_.push_back(
+        std::make_unique<AttrStatsBuilder>(schema.column(i).type));
+  }
+  built_.resize(schema.num_columns());
+}
+
+void TableStats::Finalize(int attr) {
+  if (builders_[attr]->has_data()) {
+    built_[attr] = builders_[attr]->Build();
+  }
+}
+
+void TableStats::FinalizeAll() {
+  for (int i = 0; i < num_attrs(); ++i) Finalize(i);
+}
+
+}  // namespace nodb

@@ -1,0 +1,56 @@
+#ifndef NODB_STATS_TABLE_STATS_H_
+#define NODB_STATS_TABLE_STATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "stats/attr_stats.h"
+#include "types/schema.h"
+
+namespace nodb {
+
+/// Per-table statistics store, grown adaptively: a scan registers values for
+/// the attributes it actually parsed, so coverage widens as the workload
+/// touches more of the file (§4.4: "as queries request more attributes of a
+/// raw file, statistics are incrementally augmented").
+class TableStats {
+ public:
+  explicit TableStats(const Schema& schema);
+
+  /// Notes that a full scan observed `n` rows (exact row count).
+  void SetRowCount(uint64_t n) { row_count_ = n; }
+  /// Exact row count if a scan completed, otherwise nullopt.
+  std::optional<uint64_t> row_count() const { return row_count_; }
+
+  /// True if statistics exist for `attr`.
+  bool HasAttr(int attr) const { return built_[attr].has_value(); }
+
+  /// Statistics for `attr`; nullptr when never collected.
+  const AttrStats* Attr(int attr) const {
+    return built_[attr].has_value() ? &*built_[attr] : nullptr;
+  }
+
+  /// Accumulates one value for `attr` (called by scans when stats collection
+  /// is enabled). Sampling is handled internally; callers may feed every
+  /// parsed value.
+  void AddValue(int attr, const Value& v) { builders_[attr]->Add(v); }
+
+  /// True if the builder for `attr` saw data that has not been folded into
+  /// the queryable snapshot yet.
+  void Finalize(int attr);
+  /// Finalizes every attribute that has pending data.
+  void FinalizeAll();
+
+  int num_attrs() const { return static_cast<int>(builders_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<AttrStatsBuilder>> builders_;
+  std::vector<std::optional<AttrStats>> built_;
+  std::optional<uint64_t> row_count_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_STATS_TABLE_STATS_H_

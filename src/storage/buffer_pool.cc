@@ -1,0 +1,41 @@
+#include "storage/buffer_pool.h"
+
+namespace nodb {
+
+BufferPool::BufferPool(const HeapFile* file, uint32_t capacity)
+    : file_(file), capacity_(capacity == 0 ? 1 : capacity) {}
+
+Result<const char*> BufferPool::Fetch(uint32_t page_id) {
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) {
+    ++hits_;
+    Frame* f = it->second.get();
+    if (f->lru_pos != lru_.begin()) {
+      lru_.splice(lru_.begin(), lru_, f->lru_pos);
+      f->lru_pos = lru_.begin();
+    }
+    return static_cast<const char*>(f->data.data());
+  }
+  ++misses_;
+  if (frames_.size() >= capacity_) {
+    uint32_t victim = lru_.back();
+    lru_.pop_back();
+    frames_.erase(victim);
+  }
+  auto frame = std::make_unique<Frame>();
+  frame->page_id = page_id;
+  frame->data.resize(kPageSize);
+  NODB_RETURN_IF_ERROR(file_->ReadPage(page_id, frame->data.data()));
+  lru_.push_front(page_id);
+  frame->lru_pos = lru_.begin();
+  const char* data = frame->data.data();
+  frames_.emplace(page_id, std::move(frame));
+  return data;
+}
+
+void BufferPool::Clear() {
+  frames_.clear();
+  lru_.clear();
+}
+
+}  // namespace nodb

@@ -1,0 +1,51 @@
+#ifndef NODB_STORAGE_BUFFER_POOL_H_
+#define NODB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/heap_file.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Fixed-capacity LRU page cache over one HeapFile. Single-threaded (the
+/// executor is single-threaded, like a single PostgreSQL backend); "pinning"
+/// therefore reduces to the caller not holding frame pointers across
+/// another Fetch.
+class BufferPool {
+ public:
+  /// `file` must outlive the pool. `capacity` is in pages.
+  BufferPool(const HeapFile* file, uint32_t capacity);
+
+  /// Returns a read-only frame holding `page_id`, faulting it in if needed.
+  /// The pointer is valid until `capacity` further Fetch calls.
+  Result<const char*> Fetch(uint32_t page_id);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  /// Drops all cached frames (simulates a cold buffer cache).
+  void Clear();
+
+ private:
+  struct Frame {
+    uint32_t page_id = UINT32_MAX;
+    std::vector<char> data;
+    std::list<uint32_t>::iterator lru_pos;
+  };
+
+  const HeapFile* file_;
+  uint32_t capacity_;
+  std::unordered_map<uint32_t, std::unique_ptr<Frame>> frames_;
+  std::list<uint32_t> lru_;  // most recent at front
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,242 @@
+#include "storage/compact_table.h"
+
+#include <cstring>
+
+#include <unistd.h>
+
+namespace nodb {
+
+namespace {
+
+constexpr uint32_t kCompactMagic = 0x43445842;  // "BXDC"
+constexpr size_t kHeaderBytes = 12;             // magic u32 + row_count u64
+constexpr size_t kBlockTarget = 64 * 1024;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CompactTable>> CompactTable::Create(
+    const std::string& path, Schema schema) {
+  auto table = std::unique_ptr<CompactTable>(
+      new CompactTable(path, std::move(schema)));
+  NODB_ASSIGN_OR_RETURN(table->writer_, WritableFile::Create(path));
+  // Header placeholder; row count patched by FinishLoad via rewrite.
+  std::string header;
+  PutU32(&header, kCompactMagic);
+  uint64_t zero = 0;
+  header.append(reinterpret_cast<const char*>(&zero), 8);
+  NODB_RETURN_IF_ERROR(table->writer_->Append(header));
+  return table;
+}
+
+Result<std::unique_ptr<CompactTable>> CompactTable::Open(
+    const std::string& path, Schema schema) {
+  NODB_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                        RandomAccessFile::Open(path));
+  char header[kHeaderBytes];
+  NODB_ASSIGN_OR_RETURN(uint64_t n, file->Read(0, kHeaderBytes, header));
+  if (n != kHeaderBytes || GetU32(header) != kCompactMagic) {
+    return Status::Corruption("bad compact table header: " + path);
+  }
+  auto table = std::unique_ptr<CompactTable>(
+      new CompactTable(path, std::move(schema)));
+  memcpy(&table->row_count_, header + 4, 8);
+  return table;
+}
+
+void CompactTable::SerializeRow(const Row& row, std::string* out) const {
+  out->clear();
+  size_t bitmap_bytes = (row.size() + 7) / 8;
+  out->append(bitmap_bytes, '\0');
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      (*out)[i / 8] |= static_cast<char>(1u << (i % 8));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    switch (schema_.column(static_cast<int>(i)).type) {
+      case TypeId::kInt64: {
+        int64_t x = v.int64();
+        out->append(reinterpret_cast<const char*>(&x), 8);
+        break;
+      }
+      case TypeId::kDouble: {
+        double x = v.f64();
+        out->append(reinterpret_cast<const char*>(&x), 8);
+        break;
+      }
+      case TypeId::kDate: {
+        int32_t x = v.date();
+        out->append(reinterpret_cast<const char*>(&x), 4);
+        break;
+      }
+      case TypeId::kBool:
+        out->push_back(v.boolean() ? 1 : 0);
+        break;
+      case TypeId::kString:
+        PutU32(out, static_cast<uint32_t>(v.str().size()));
+        out->append(v.str());
+        break;
+    }
+  }
+}
+
+Status CompactTable::FlushBlock() {
+  if (block_rows_ == 0) return Status::OK();
+  std::string framed;
+  PutU32(&framed, static_cast<uint32_t>(block_buffer_.size()));
+  PutU32(&framed, block_rows_);
+  NODB_RETURN_IF_ERROR(writer_->Append(framed));
+  NODB_RETURN_IF_ERROR(writer_->Append(block_buffer_));
+  block_buffer_.clear();
+  block_rows_ = 0;
+  return Status::OK();
+}
+
+Status CompactTable::Append(const Row& row) {
+  if (writer_ == nullptr) return Status::Internal("Append after FinishLoad");
+  SerializeRow(row, &row_scratch_);
+  PutU32(&block_buffer_, static_cast<uint32_t>(row_scratch_.size()));
+  block_buffer_.append(row_scratch_);
+  ++block_rows_;
+  ++row_count_;
+  if (block_buffer_.size() >= kBlockTarget) {
+    return FlushBlock();
+  }
+  return Status::OK();
+}
+
+Status CompactTable::FinishLoad() {
+  NODB_RETURN_IF_ERROR(FlushBlock());
+  NODB_RETURN_IF_ERROR(writer_->Close());
+  writer_.reset();
+  // Patch the row count in the header, then flush to stable storage
+  // (loads pay durability, as a DBMS bulk load does).
+  FILE* f = std::fopen(path_.c_str(), "r+b");
+  if (f == nullptr) return Status::IOError("reopen for header patch");
+  if (std::fseek(f, 4, SEEK_SET) != 0 ||
+      std::fwrite(&row_count_, 8, 1, f) != 1) {
+    std::fclose(f);
+    return Status::IOError("patch header");
+  }
+  std::fflush(f);
+  fdatasync(fileno(f));
+  std::fclose(f);
+  return Status::OK();
+}
+
+CompactTable::Scanner::Scanner(const CompactTable* table,
+                               std::vector<bool> needed)
+    : table_(table), needed_(std::move(needed)), offset_(kHeaderBytes) {}
+
+Status CompactTable::Scanner::LoadNextBlock() {
+  if (file_ == nullptr) {
+    NODB_ASSIGN_OR_RETURN(file_, RandomAccessFile::Open(table_->path_));
+    reader_ = std::make_unique<BufferedReader>(file_.get(), 1 << 20);
+  }
+  if (offset_ + 8 > file_->size()) {
+    rows_in_block_ = 0;
+    row_in_block_ = 0;
+    block_ = std::string_view();
+    return Status::OK();  // EOF
+  }
+  NODB_ASSIGN_OR_RETURN(std::string_view frame, reader_->ReadAt(offset_, 8));
+  uint32_t block_bytes = GetU32(frame.data());
+  uint32_t nrows = GetU32(frame.data() + 4);
+  NODB_ASSIGN_OR_RETURN(block_, reader_->ReadAt(offset_ + 8, block_bytes));
+  offset_ += 8 + block_bytes;
+  rows_in_block_ = nrows;
+  row_in_block_ = 0;
+  block_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> CompactTable::Scanner::Next(Row* row) {
+  if (row_in_block_ >= rows_in_block_) {
+    NODB_RETURN_IF_ERROR(LoadNextBlock());
+    if (rows_in_block_ == 0) return false;
+  }
+  if (block_pos_ + 4 > block_.size()) {
+    return Status::Corruption("compact block truncated");
+  }
+  uint32_t row_len = GetU32(block_.data() + block_pos_);
+  block_pos_ += 4;
+  if (block_pos_ + row_len > block_.size()) {
+    return Status::Corruption("compact row extends past block");
+  }
+  std::string_view payload(block_.data() + block_pos_, row_len);
+  block_pos_ += row_len;
+  ++row_in_block_;
+
+  const Schema& schema = table_->schema_;
+  int ncols = schema.num_columns();
+  row->assign(ncols, Value());
+  size_t bitmap_bytes = (static_cast<size_t>(ncols) + 7) / 8;
+  if (payload.size() < bitmap_bytes) {
+    return Status::Corruption("compact row shorter than bitmap");
+  }
+  const char* bitmap = payload.data();
+  size_t pos = bitmap_bytes;
+  for (int i = 0; i < ncols; ++i) {
+    bool is_null = (bitmap[i / 8] >> (i % 8)) & 1;
+    TypeId type = schema.column(i).type;
+    if (is_null) {
+      (*row)[i] = Value::Null(type);
+      continue;
+    }
+    switch (type) {
+      case TypeId::kInt64: {
+        int64_t x;
+        memcpy(&x, payload.data() + pos, 8);
+        if (needed_[i]) (*row)[i] = Value::Int64(x);
+        pos += 8;
+        break;
+      }
+      case TypeId::kDouble: {
+        double x;
+        memcpy(&x, payload.data() + pos, 8);
+        if (needed_[i]) (*row)[i] = Value::Double(x);
+        pos += 8;
+        break;
+      }
+      case TypeId::kDate: {
+        int32_t x;
+        memcpy(&x, payload.data() + pos, 4);
+        if (needed_[i]) (*row)[i] = Value::Date(x);
+        pos += 4;
+        break;
+      }
+      case TypeId::kBool: {
+        if (needed_[i]) (*row)[i] = Value::Bool(payload[pos] != 0);
+        pos += 1;
+        break;
+      }
+      case TypeId::kString: {
+        uint32_t len = GetU32(payload.data() + pos);
+        pos += 4;
+        if (needed_[i]) {
+          (*row)[i] =
+              Value::String(std::string_view(payload.data() + pos, len));
+        }
+        pos += len;
+        break;
+      }
+    }
+    if (pos > payload.size()) {
+      return Status::Corruption("compact row field overruns payload");
+    }
+  }
+  return true;
+}
+
+}  // namespace nodb

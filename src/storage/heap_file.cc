@@ -1,0 +1,87 @@
+#include "storage/heap_file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <vector>
+
+namespace nodb {
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("create heap '" + path + "': " + strerror(errno));
+  }
+  return std::unique_ptr<HeapFile>(new HeapFile(fd, 0, path));
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IOError("open heap '" + path + "': " + strerror(errno));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat heap '" + path + "': " + strerror(errno));
+  }
+  if (st.st_size % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption("heap file size not page-aligned: " + path);
+  }
+  return std::unique_ptr<HeapFile>(new HeapFile(
+      fd, static_cast<uint32_t>(st.st_size / kPageSize), path));
+}
+
+HeapFile::~HeapFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint32_t> HeapFile::AllocatePage() {
+  static const std::vector<char> kZeros(kPageSize, 0);
+  uint32_t id = page_count_;
+  off_t off = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, kZeros.data(), kPageSize, off);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("allocate page: " + std::string(strerror(errno)));
+  }
+  ++page_count_;
+  return id;
+}
+
+Status HeapFile::ReadPage(uint32_t page_id, char* frame) const {
+  if (page_id >= page_count_) {
+    return Status::OutOfRange("page id out of range");
+  }
+  off_t off = static_cast<off_t>(page_id) * kPageSize;
+  ssize_t n = ::pread(fd_, frame, kPageSize, off);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("read page: " + std::string(strerror(errno)));
+  }
+  bytes_read_ += kPageSize;
+  return Status::OK();
+}
+
+Status HeapFile::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status HeapFile::WritePage(uint32_t page_id, const char* frame) {
+  if (page_id >= page_count_) {
+    return Status::OutOfRange("page id out of range");
+  }
+  off_t off = static_cast<off_t>(page_id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, frame, kPageSize, off);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("write page: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace nodb

@@ -1,0 +1,55 @@
+#ifndef NODB_STORAGE_HEAP_FILE_H_
+#define NODB_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// A file of fixed-size pages with read/write access by page id. This is the
+/// raw medium under the slotted-page table heap; the buffer pool sits on top
+/// for reads.
+class HeapFile {
+ public:
+  /// Creates a new, empty page file (truncating any existing one).
+  static Result<std::unique_ptr<HeapFile>> Create(const std::string& path);
+  /// Opens an existing page file for reading and appending.
+  static Result<std::unique_ptr<HeapFile>> Open(const std::string& path);
+
+  ~HeapFile();
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends a zeroed page and returns its id.
+  Result<uint32_t> AllocatePage();
+
+  Status ReadPage(uint32_t page_id, char* frame) const;
+  Status WritePage(uint32_t page_id, const char* frame);
+
+  /// Flushes file contents to stable storage (loads pay durability, as a
+  /// DBMS bulk load does via WAL + checkpoint).
+  Status Sync();
+
+  uint32_t page_count() const { return page_count_; }
+  const std::string& path() const { return path_; }
+  /// Bytes read through ReadPage since construction (I/O accounting).
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  HeapFile(int fd, uint32_t page_count, std::string path)
+      : fd_(fd), page_count_(page_count), path_(std::move(path)) {}
+
+  int fd_;
+  uint32_t page_count_;
+  std::string path_;
+  mutable uint64_t bytes_read_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,85 @@
+#include "storage/loader.h"
+
+#include <vector>
+
+#include "csv/parser.h"
+#include "csv/scanner.h"
+#include "csv/tokenizer.h"
+#include "io/file.h"
+#include "util/stopwatch.h"
+
+namespace nodb {
+
+namespace {
+
+/// Shared tokenize-and-parse loop; calls `append(row)` per record.
+template <typename AppendFn>
+Result<LoadResult> LoadCsv(const std::string& csv_path,
+                           const CsvDialect& dialect, const Schema& schema,
+                           AppendFn&& append) {
+  Stopwatch timer;
+  NODB_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                        RandomAccessFile::Open(csv_path));
+  CsvScanner scanner(file.get());
+  LineRef line;
+  int ncols = schema.num_columns();
+  std::vector<uint32_t> starts(ncols);
+  Row row(ncols);
+  LoadResult result;
+
+  bool skip_header = dialect.has_header;
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(bool has, scanner.Next(&line));
+    if (!has) break;
+    if (skip_header) {
+      skip_header = false;
+      continue;
+    }
+    int found = TokenizeStarts(line.text, dialect, ncols - 1, starts.data());
+    for (int c = 0; c < ncols; ++c) {
+      if (c >= found) {
+        row[c] = Value::Null(schema.column(c).type);
+        continue;
+      }
+      uint32_t begin = starts[c];
+      uint32_t end = c + 1 < found ? starts[c + 1] - 1
+                                   : FieldEndAt(line.text, dialect, begin);
+      NODB_ASSIGN_OR_RETURN(
+          row[c], ParseCsvField(line.text.substr(begin, end - begin),
+                                schema.column(c).type, dialect));
+    }
+    NODB_RETURN_IF_ERROR(append(row));
+    ++result.rows;
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+Result<LoadResult> LoadCsvToHeap(const std::string& csv_path,
+                                 const CsvDialect& dialect, TableHeap* heap) {
+  NODB_ASSIGN_OR_RETURN(
+      LoadResult result,
+      LoadCsv(csv_path, dialect, heap->schema(),
+              [heap](const Row& row) { return heap->Append(row); }));
+  Stopwatch finish;
+  NODB_RETURN_IF_ERROR(heap->FinishLoad());
+  result.seconds += finish.ElapsedSeconds();
+  return result;
+}
+
+Result<LoadResult> LoadCsvToCompact(const std::string& csv_path,
+                                    const CsvDialect& dialect,
+                                    CompactTable* table) {
+  NODB_ASSIGN_OR_RETURN(
+      LoadResult result,
+      LoadCsv(csv_path, dialect, table->schema(),
+              [table](const Row& row) { return table->Append(row); }));
+  Stopwatch finish;
+  NODB_RETURN_IF_ERROR(table->FinishLoad());
+  result.seconds += finish.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace nodb

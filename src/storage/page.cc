@@ -1,0 +1,45 @@
+#include "storage/page.h"
+
+namespace nodb {
+
+void SlottedPage::Init(uint32_t page_id) {
+  Header* h = header();
+  h->page_id = page_id;
+  h->slot_count = 0;
+  h->lower = sizeof(Header);
+  h->upper = kPageSize;
+  h->reserved = 0;
+}
+
+uint32_t SlottedPage::FreeSpace() const {
+  const Header* h = header();
+  uint32_t gap = h->upper - h->lower;
+  return gap >= sizeof(Slot) ? gap - sizeof(Slot) : 0;
+}
+
+uint32_t SlottedPage::MaxInlinePayload() {
+  return kPageSize - sizeof(Header) - sizeof(Slot);
+}
+
+int SlottedPage::InsertTuple(std::string_view data, uint16_t flags) {
+  Header* h = header();
+  if (FreeSpace() < data.size()) return -1;
+  h->upper -= static_cast<uint16_t>(data.size());
+  memcpy(frame_ + h->upper, data.data(), data.size());
+  Slot* slot = slots() + h->slot_count;
+  slot->offset = h->upper;
+  slot->len = static_cast<uint16_t>(data.size());
+  slot->flags = flags;
+  slot->reserved = 0;
+  h->lower += sizeof(Slot);
+  return h->slot_count++;
+}
+
+std::string_view SlottedPage::GetTuple(int slot) const {
+  const Slot& s = slots()[slot];
+  return std::string_view(frame_ + s.offset, s.len);
+}
+
+uint16_t SlottedPage::GetFlags(int slot) const { return slots()[slot].flags; }
+
+}  // namespace nodb

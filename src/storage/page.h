@@ -1,0 +1,84 @@
+#ifndef NODB_STORAGE_PAGE_H_
+#define NODB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace nodb {
+
+/// Page size used by the slotted-page storage engine (PostgreSQL's default).
+inline constexpr uint32_t kPageSize = 8192;
+
+/// Slotted heap page, PostgreSQL-style: a header, a slot array growing up,
+/// and tuple data growing down from the page end. Tuples that do not fit
+/// inline are stored in overflow-page chains and the slot holds a pointer
+/// record (flag kOverflowPointer) — the mechanism behind the paper's Fig. 13
+/// observation that slotted-page engines degrade sharply with wide tuples.
+///
+/// The class is a non-owning view over an 8 KiB frame (typically a buffer
+/// pool frame), so pages can be manipulated in place without copies.
+class SlottedPage {
+ public:
+  /// Per-slot flags.
+  enum SlotFlags : uint16_t {
+    kNormal = 0,
+    kOverflowPointer = 1,
+  };
+
+  /// Payload of an overflow pointer record.
+  struct OverflowRef {
+    uint32_t first_page;
+    uint32_t total_len;
+  };
+
+  /// Wraps an existing frame (no initialization).
+  explicit SlottedPage(char* frame) : frame_(frame) {}
+
+  /// Formats the frame as an empty page.
+  void Init(uint32_t page_id);
+
+  uint32_t page_id() const { return header()->page_id; }
+  uint16_t slot_count() const { return header()->slot_count; }
+
+  /// Free bytes available for one more tuple (accounts for its slot).
+  uint32_t FreeSpace() const;
+
+  /// Largest tuple payload that can ever be stored inline in an empty page.
+  static uint32_t MaxInlinePayload();
+
+  /// Appends a tuple; returns its slot index or -1 if it does not fit.
+  int InsertTuple(std::string_view data, uint16_t flags = kNormal);
+
+  /// Tuple payload of `slot`.
+  std::string_view GetTuple(int slot) const;
+  uint16_t GetFlags(int slot) const;
+
+ private:
+  struct Header {
+    uint32_t page_id;
+    uint16_t slot_count;
+    uint16_t lower;  // end of slot array
+    uint16_t upper;  // start of tuple data
+    uint16_t reserved;
+  };
+  struct Slot {
+    uint16_t offset;
+    uint16_t len;
+    uint16_t flags;
+    uint16_t reserved;
+  };
+
+  Header* header() { return reinterpret_cast<Header*>(frame_); }
+  const Header* header() const { return reinterpret_cast<const Header*>(frame_); }
+  Slot* slots() { return reinterpret_cast<Slot*>(frame_ + sizeof(Header)); }
+  const Slot* slots() const {
+    return reinterpret_cast<const Slot*>(frame_ + sizeof(Header));
+  }
+
+  char* frame_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_STORAGE_PAGE_H_

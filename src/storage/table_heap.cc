@@ -1,0 +1,358 @@
+#include "storage/table_heap.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nodb {
+
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x4E44420A;  // "NDB\n"
+
+struct MetaPage {
+  uint32_t magic;
+  uint32_t tuple_header_bytes;
+  uint64_t row_count;
+};
+
+/// Overflow page layout: [next_page u32][data_len u32][payload...].
+constexpr uint32_t kOverflowHeader = 8;
+constexpr uint32_t kOverflowCapacity = kPageSize - kOverflowHeader;
+
+void EncodeFixed32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+TableHeap::TableHeap(std::unique_ptr<HeapFile> file, Schema schema,
+                     Options options)
+    : file_(std::move(file)), schema_(std::move(schema)), options_(options) {
+  pool_ = std::make_unique<BufferPool>(file_.get(), options_.buffer_pool_pages);
+}
+
+Result<std::unique_ptr<TableHeap>> TableHeap::Create(const std::string& path,
+                                                     Schema schema,
+                                                     Options options) {
+  NODB_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> file, HeapFile::Create(path));
+  NODB_ASSIGN_OR_RETURN(uint32_t meta_id, file->AllocatePage());
+  (void)meta_id;  // page 0 reserved for metadata
+  return std::unique_ptr<TableHeap>(
+      new TableHeap(std::move(file), std::move(schema), options));
+}
+
+Result<std::unique_ptr<TableHeap>> TableHeap::Open(const std::string& path,
+                                                   Schema schema,
+                                                   Options options) {
+  NODB_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> file, HeapFile::Open(path));
+  if (file->page_count() == 0) {
+    return Status::Corruption("table heap missing metadata page: " + path);
+  }
+  std::vector<char> frame(kPageSize);
+  NODB_RETURN_IF_ERROR(file->ReadPage(0, frame.data()));
+  MetaPage meta;
+  memcpy(&meta, frame.data(), sizeof(meta));
+  if (meta.magic != kMetaMagic) {
+    return Status::Corruption("bad table heap magic: " + path);
+  }
+  options.tuple_header_bytes = meta.tuple_header_bytes;
+  auto heap = std::unique_ptr<TableHeap>(
+      new TableHeap(std::move(file), std::move(schema), options));
+  heap->row_count_ = meta.row_count;
+  return heap;
+}
+
+void TableHeap::SerializeRow(const Row& row, std::string* out) const {
+  out->clear();
+  // Tuple header: opaque bookkeeping bytes (transaction ids, infomask, ...);
+  // zero-filled but always read/written, so its cost is real.
+  out->append(options_.tuple_header_bytes, '\0');
+  // Null bitmap.
+  size_t bitmap_pos = out->size();
+  size_t bitmap_bytes = (row.size() + 7) / 8;
+  out->append(bitmap_bytes, '\0');
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      (*out)[bitmap_pos + i / 8] |= static_cast<char>(1u << (i % 8));
+    }
+  }
+  // Fields.
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    switch (schema_.column(static_cast<int>(i)).type) {
+      case TypeId::kInt64: {
+        int64_t x = v.int64();
+        out->append(reinterpret_cast<const char*>(&x), 8);
+        break;
+      }
+      case TypeId::kDouble: {
+        double x = v.f64();
+        out->append(reinterpret_cast<const char*>(&x), 8);
+        break;
+      }
+      case TypeId::kDate: {
+        int32_t x = v.date();
+        out->append(reinterpret_cast<const char*>(&x), 4);
+        break;
+      }
+      case TypeId::kBool: {
+        char x = v.boolean() ? 1 : 0;
+        out->push_back(x);
+        break;
+      }
+      case TypeId::kString: {
+        EncodeFixed32(out, static_cast<uint32_t>(v.str().size()));
+        out->append(v.str());
+        break;
+      }
+    }
+  }
+}
+
+Status TableHeap::DeserializeRow(std::string_view tuple,
+                                 const std::vector<bool>& needed,
+                                 Row* row) const {
+  int ncols = schema_.num_columns();
+  row->assign(ncols, Value());
+  size_t pos = options_.tuple_header_bytes;
+  size_t bitmap_bytes = (static_cast<size_t>(ncols) + 7) / 8;
+  if (tuple.size() < pos + bitmap_bytes) {
+    return Status::Corruption("tuple shorter than header+bitmap");
+  }
+  const char* bitmap = tuple.data() + pos;
+  pos += bitmap_bytes;
+  for (int i = 0; i < ncols; ++i) {
+    bool is_null = (bitmap[i / 8] >> (i % 8)) & 1;
+    TypeId type = schema_.column(i).type;
+    if (is_null) {
+      (*row)[i] = Value::Null(type);
+      continue;
+    }
+    switch (type) {
+      case TypeId::kInt64: {
+        if (pos + 8 > tuple.size()) return Status::Corruption("short tuple");
+        if (needed[i]) {
+          int64_t x;
+          memcpy(&x, tuple.data() + pos, 8);
+          (*row)[i] = Value::Int64(x);
+        }
+        pos += 8;
+        break;
+      }
+      case TypeId::kDouble: {
+        if (pos + 8 > tuple.size()) return Status::Corruption("short tuple");
+        if (needed[i]) {
+          double x;
+          memcpy(&x, tuple.data() + pos, 8);
+          (*row)[i] = Value::Double(x);
+        }
+        pos += 8;
+        break;
+      }
+      case TypeId::kDate: {
+        if (pos + 4 > tuple.size()) return Status::Corruption("short tuple");
+        if (needed[i]) {
+          int32_t x;
+          memcpy(&x, tuple.data() + pos, 4);
+          (*row)[i] = Value::Date(x);
+        }
+        pos += 4;
+        break;
+      }
+      case TypeId::kBool: {
+        if (pos + 1 > tuple.size()) return Status::Corruption("short tuple");
+        if (needed[i]) (*row)[i] = Value::Bool(tuple[pos] != 0);
+        pos += 1;
+        break;
+      }
+      case TypeId::kString: {
+        if (pos + 4 > tuple.size()) return Status::Corruption("short tuple");
+        uint32_t len = DecodeFixed32(tuple.data() + pos);
+        pos += 4;
+        if (pos + len > tuple.size()) return Status::Corruption("short tuple");
+        if (needed[i]) {
+          (*row)[i] = Value::String(std::string_view(tuple.data() + pos, len));
+        }
+        pos += len;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TableHeap::FlushCurrentPage() {
+  if (current_page_id_ == 0) return Status::OK();
+  NODB_RETURN_IF_ERROR(
+      file_->WritePage(current_page_id_, current_frame_.data()));
+  current_page_id_ = 0;
+  return Status::OK();
+}
+
+Status TableHeap::AppendOverflow(std::string_view payload,
+                                 uint32_t* first_page) {
+  // Chain of overflow pages, each [next u32][len u32][bytes].
+  uint32_t prev_page = 0;
+  std::vector<char> frame(kPageSize);
+  std::vector<char> prev_frame;
+  size_t off = 0;
+  *first_page = 0;
+  while (off < payload.size()) {
+    NODB_ASSIGN_OR_RETURN(uint32_t page_id, file_->AllocatePage());
+    if (*first_page == 0) *first_page = page_id;
+    if (prev_page != 0) {
+      // Patch the previous page's `next` pointer and flush it.
+      memcpy(prev_frame.data(), &page_id, 4);
+      NODB_RETURN_IF_ERROR(file_->WritePage(prev_page, prev_frame.data()));
+    }
+    uint32_t chunk = static_cast<uint32_t>(
+        std::min<size_t>(kOverflowCapacity, payload.size() - off));
+    memset(frame.data(), 0, kPageSize);
+    uint32_t next = 0;
+    memcpy(frame.data(), &next, 4);
+    memcpy(frame.data() + 4, &chunk, 4);
+    memcpy(frame.data() + kOverflowHeader, payload.data() + off, chunk);
+    off += chunk;
+    prev_page = page_id;
+    prev_frame = frame;
+  }
+  if (prev_page != 0) {
+    NODB_RETURN_IF_ERROR(file_->WritePage(prev_page, prev_frame.data()));
+  }
+  return Status::OK();
+}
+
+Status TableHeap::Append(const Row& row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  SerializeRow(row, &serialize_scratch_);
+  std::string_view payload = serialize_scratch_;
+
+  if (payload.size() > SlottedPage::MaxInlinePayload()) {
+    // Wide tuple: spill the payload to an overflow chain and store a
+    // pointer record in the slot.
+    uint32_t first_page = 0;
+    NODB_RETURN_IF_ERROR(AppendOverflow(payload, &first_page));
+    SlottedPage::OverflowRef ref{first_page,
+                                 static_cast<uint32_t>(payload.size())};
+    std::string_view ref_bytes(reinterpret_cast<const char*>(&ref),
+                               sizeof(ref));
+    if (current_page_id_ == 0) {
+      NODB_ASSIGN_OR_RETURN(current_page_id_, file_->AllocatePage());
+      current_frame_.assign(kPageSize, 0);
+      SlottedPage(current_frame_.data()).Init(current_page_id_);
+    }
+    SlottedPage page(current_frame_.data());
+    if (page.InsertTuple(ref_bytes, SlottedPage::kOverflowPointer) < 0) {
+      NODB_RETURN_IF_ERROR(FlushCurrentPage());
+      NODB_ASSIGN_OR_RETURN(current_page_id_, file_->AllocatePage());
+      current_frame_.assign(kPageSize, 0);
+      SlottedPage fresh(current_frame_.data());
+      fresh.Init(current_page_id_);
+      fresh.InsertTuple(ref_bytes, SlottedPage::kOverflowPointer);
+    }
+    ++row_count_;
+    return Status::OK();
+  }
+
+  if (current_page_id_ == 0) {
+    NODB_ASSIGN_OR_RETURN(current_page_id_, file_->AllocatePage());
+    current_frame_.assign(kPageSize, 0);
+    SlottedPage(current_frame_.data()).Init(current_page_id_);
+  }
+  SlottedPage page(current_frame_.data());
+  if (page.InsertTuple(payload) < 0) {
+    NODB_RETURN_IF_ERROR(FlushCurrentPage());
+    NODB_ASSIGN_OR_RETURN(current_page_id_, file_->AllocatePage());
+    current_frame_.assign(kPageSize, 0);
+    SlottedPage fresh(current_frame_.data());
+    fresh.Init(current_page_id_);
+    if (fresh.InsertTuple(payload) < 0) {
+      return Status::Internal("tuple does not fit in a fresh page");
+    }
+  }
+  ++row_count_;
+  return Status::OK();
+}
+
+Status TableHeap::FinishLoad() {
+  NODB_RETURN_IF_ERROR(FlushCurrentPage());
+  std::vector<char> frame(kPageSize, 0);
+  MetaPage meta{kMetaMagic, options_.tuple_header_bytes, row_count_};
+  memcpy(frame.data(), &meta, sizeof(meta));
+  NODB_RETURN_IF_ERROR(file_->WritePage(0, frame.data()));
+  return file_->Sync();
+}
+
+void TableHeap::DropCaches() { pool_->Clear(); }
+
+Result<std::string_view> TableHeap::ReadTuple(uint32_t page_id, int slot,
+                                              std::string* scratch) const {
+  NODB_ASSIGN_OR_RETURN(const char* frame, pool_->Fetch(page_id));
+  SlottedPage page(const_cast<char*>(frame));
+  std::string_view payload = page.GetTuple(slot);
+  if (page.GetFlags(slot) != SlottedPage::kOverflowPointer) {
+    return payload;
+  }
+  // Follow the overflow chain and reassemble.
+  SlottedPage::OverflowRef ref;
+  memcpy(&ref, payload.data(), sizeof(ref));
+  scratch->clear();
+  scratch->reserve(ref.total_len);
+  uint32_t next = ref.first_page;
+  while (next != 0 && scratch->size() < ref.total_len) {
+    NODB_ASSIGN_OR_RETURN(const char* of, pool_->Fetch(next));
+    uint32_t next_page, len;
+    memcpy(&next_page, of, 4);
+    memcpy(&len, of + 4, 4);
+    scratch->append(of + kOverflowHeader, len);
+    next = next_page;
+  }
+  if (scratch->size() != ref.total_len) {
+    return Status::Corruption("broken overflow chain");
+  }
+  return std::string_view(*scratch);
+}
+
+TableHeap::Scanner::Scanner(TableHeap* heap, std::vector<bool> needed)
+    : heap_(heap), needed_(std::move(needed)) {}
+
+Result<bool> TableHeap::Scanner::Next(Row* row) {
+  while (page_id_ < heap_->file_->page_count()) {
+    NODB_ASSIGN_OR_RETURN(const char* frame, heap_->pool_->Fetch(page_id_));
+    SlottedPage page(const_cast<char*>(frame));
+    // Skip overflow pages (they are only reachable via pointer records);
+    // they are distinguishable because data pages carry their own id.
+    if (page.page_id() != page_id_) {
+      ++page_id_;
+      slot_ = 0;
+      continue;
+    }
+    if (slot_ >= page.slot_count()) {
+      ++page_id_;
+      slot_ = 0;
+      continue;
+    }
+    int slot = slot_++;
+    NODB_ASSIGN_OR_RETURN(std::string_view payload,
+                          heap_->ReadTuple(page_id_, slot, &scratch_));
+    if (heap_->options_.extra_copy_on_scan) {
+      // MySQL-style handler copy-out: one extra materialization per row.
+      copy_buffer_.assign(payload.data(), payload.size());
+      payload = copy_buffer_;
+    }
+    NODB_RETURN_IF_ERROR(heap_->DeserializeRow(payload, needed_, row));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace nodb

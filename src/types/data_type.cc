@@ -1,0 +1,51 @@
+#include "types/data_type.h"
+
+namespace nodb {
+
+std::string_view TypeIdToString(TypeId type) {
+  switch (type) {
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kDouble:
+      return "double";
+    case TypeId::kString:
+      return "string";
+    case TypeId::kDate:
+      return "date";
+    case TypeId::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+int FixedWidthOf(TypeId type) {
+  switch (type) {
+    case TypeId::kInt64:
+    case TypeId::kDouble:
+      return 8;
+    case TypeId::kDate:
+      return 4;
+    case TypeId::kBool:
+      return 1;
+    case TypeId::kString:
+      return 0;
+  }
+  return 0;
+}
+
+int ConversionCostClass(TypeId type) {
+  switch (type) {
+    case TypeId::kDouble:
+      return 3;  // float parsing is the most expensive conversion
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      return 2;
+    case TypeId::kBool:
+      return 1;
+    case TypeId::kString:
+      return 0;  // raw bytes are already the value
+  }
+  return 0;
+}
+
+}  // namespace nodb

@@ -1,0 +1,44 @@
+#ifndef NODB_TYPES_DATA_TYPE_H_
+#define NODB_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace nodb {
+
+/// Logical column types supported by the engine. DECIMAL columns from TPC-H
+/// are mapped to kDouble (documented substitution in DESIGN.md); DATE is an
+/// int32 count of days since 1970-01-01.
+enum class TypeId : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kDate = 3,
+  kBool = 4,
+};
+
+/// Number of distinct TypeId values (for array-indexed tables).
+inline constexpr int kNumTypeIds = 5;
+
+/// Stable lowercase name ("int64", "double", ...).
+std::string_view TypeIdToString(TypeId type);
+
+/// True for types whose binary representation has a fixed width.
+inline bool IsFixedWidth(TypeId type) { return type != TypeId::kString; }
+
+/// Width in bytes of the binary representation of a fixed-width type
+/// (8 for int64/double, 4 for date, 1 for bool). Strings return 0.
+int FixedWidthOf(TypeId type);
+
+/// Relative cost of converting the ASCII representation to binary; used by
+/// the adaptive cache to prioritize expensive-to-convert attributes
+/// (the paper: "the PostgresRaw cache always gives priority to attributes
+/// more costly to convert" — numeric conversion is costly, strings are
+/// nearly free since the bytes are the value).
+///
+/// Higher = more expensive to (re)convert = more valuable to keep cached.
+int ConversionCostClass(TypeId type);
+
+}  // namespace nodb
+
+#endif  // NODB_TYPES_DATA_TYPE_H_

@@ -1,0 +1,35 @@
+#include "types/schema.h"
+
+namespace nodb {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::AddColumn(Column column) {
+  columns_.push_back(std::move(column));
+  return static_cast<int>(columns_.size()) - 1;
+}
+
+Schema Schema::Select(const std::vector<int>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (int i : indices) cols.push_back(columns_[i]);
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += TypeIdToString(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace nodb

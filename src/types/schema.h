@@ -1,0 +1,52 @@
+#ifndef NODB_TYPES_SCHEMA_H_
+#define NODB_TYPES_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace nodb {
+
+/// A named, typed column of a table.
+struct Column {
+  std::string name;
+  TypeId type;
+
+  bool operator==(const Column& other) const = default;
+};
+
+/// Ordered collection of columns describing a table or an operator's output.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+  Schema(std::initializer_list<Column> columns) : columns_(columns) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name` (case-sensitive), or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Appends a column and returns its index.
+  int AddColumn(Column column);
+
+  /// Schema containing only `indices` (in the given order).
+  Schema Select(const std::vector<int>& indices) const;
+
+  /// "name:type, name:type, ..." for debugging and result headers.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_TYPES_SCHEMA_H_

@@ -1,0 +1,103 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <functional>
+
+#include "util/str_conv.h"
+
+namespace nodb {
+
+int Value::Compare(const Value& other) const {
+  assert(!is_null_ && !other.is_null_);
+  if (type_ == TypeId::kString || other.type_ == TypeId::kString) {
+    assert(type_ == TypeId::kString && other.type_ == TypeId::kString);
+    int c = str_.compare(other.str_);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Same-type integer-backed comparison avoids double rounding.
+  if (type_ == other.type_ && type_ != TypeId::kDouble) {
+    int64_t a = payload_.i64, b = other.payload_.i64;
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = AsDouble(), b = other.AsDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+uint64_t Value::Hash() const {
+  if (is_null_) return 0x6e756c6cULL;  // arbitrary tag for NULL
+  switch (type_) {
+    case TypeId::kString:
+      return std::hash<std::string>{}(str_);
+    case TypeId::kDouble: {
+      // Normalize -0.0 to +0.0 so equal doubles hash equally.
+      double d = payload_.f64 == 0.0 ? 0.0 : payload_.f64;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return std::hash<uint64_t>{}(bits);
+    }
+    default:
+      return std::hash<int64_t>{}(payload_.i64);
+  }
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  std::string out;
+  switch (type_) {
+    case TypeId::kInt64:
+      AppendInt64(&out, payload_.i64);
+      return out;
+    case TypeId::kDouble:
+      AppendDouble(&out, payload_.f64);
+      return out;
+    case TypeId::kString:
+      return str_;
+    case TypeId::kDate:
+      return FormatDate(static_cast<int32_t>(payload_.i64));
+    case TypeId::kBool:
+      return payload_.i64 != 0 ? "true" : "false";
+  }
+  return out;
+}
+
+Result<Value> Value::ParseAs(TypeId type, std::string_view text) {
+  if (text.empty()) return Null(type);
+  switch (type) {
+    case TypeId::kInt64: {
+      NODB_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+      return Int64(v);
+    }
+    case TypeId::kDouble: {
+      NODB_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+      return Double(v);
+    }
+    case TypeId::kString:
+      return String(text);
+    case TypeId::kDate: {
+      NODB_ASSIGN_OR_RETURN(int32_t v, ParseDate(text));
+      return Date(v);
+    }
+    case TypeId::kBool: {
+      NODB_ASSIGN_OR_RETURN(bool v, ParseBool(text));
+      return Bool(v);
+    }
+  }
+  return Status::Internal("unreachable type in ParseAs");
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_ || is_null_ != other.is_null_) return false;
+  if (is_null_) return true;
+  if (type_ == TypeId::kString) return str_ == other.str_;
+  if (type_ == TypeId::kDouble) return payload_.f64 == other.payload_.f64;
+  return payload_.i64 == other.payload_.i64;
+}
+
+uint64_t HashRow(const Row& row) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const Value& v : row) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+}  // namespace nodb

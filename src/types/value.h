@@ -1,0 +1,129 @@
+#ifndef NODB_TYPES_VALUE_H_
+#define NODB_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types/data_type.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// A single typed, nullable SQL value. Fixed-width payloads live in a small
+/// union; string payloads own their bytes. Values are freely copyable; the
+/// executor moves them where it matters.
+class Value {
+ public:
+  /// Constructs a NULL of type kInt64 (a placeholder; use the factories).
+  Value() : type_(TypeId::kInt64), is_null_(true) { payload_.i64 = 0; }
+
+  static Value Null(TypeId type) {
+    Value v;
+    v.type_ = type;
+    v.is_null_ = true;
+    return v;
+  }
+  static Value Int64(int64_t x) {
+    Value v;
+    v.type_ = TypeId::kInt64;
+    v.is_null_ = false;
+    v.payload_.i64 = x;
+    return v;
+  }
+  static Value Double(double x) {
+    Value v;
+    v.type_ = TypeId::kDouble;
+    v.is_null_ = false;
+    v.payload_.f64 = x;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.type_ = TypeId::kString;
+    v.is_null_ = false;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static Value String(std::string_view s) { return String(std::string(s)); }
+  static Value String(const char* s) { return String(std::string(s)); }
+  static Value Date(int32_t days_since_epoch) {
+    Value v;
+    v.type_ = TypeId::kDate;
+    v.is_null_ = false;
+    v.payload_.i64 = days_since_epoch;
+    return v;
+  }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = TypeId::kBool;
+    v.is_null_ = false;
+    v.payload_.i64 = b ? 1 : 0;
+    return v;
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  /// Typed accessors. Calling the wrong accessor for the value's type is a
+  /// programming error (unchecked in release builds, like a union read).
+  int64_t int64() const { return payload_.i64; }
+  double f64() const { return payload_.f64; }
+  const std::string& str() const { return str_; }
+  int32_t date() const { return static_cast<int32_t>(payload_.i64); }
+  bool boolean() const { return payload_.i64 != 0; }
+
+  /// Numeric view: int64/date/bool widen to double; kDouble passes through.
+  /// Only meaningful for non-null, non-string values.
+  double AsDouble() const {
+    return type_ == TypeId::kDouble ? payload_.f64
+                                    : static_cast<double>(payload_.i64);
+  }
+
+  /// Three-way comparison between two non-null values of the same type
+  /// (numeric types compare cross-type via AsDouble). Returns <0, 0, >0.
+  /// Comparing a string with a numeric type is a programming error.
+  int Compare(const Value& other) const;
+
+  /// SQL equality (both non-null). See Compare for type rules.
+  bool Equals(const Value& other) const { return Compare(other) == 0; }
+
+  /// Hash of the value, used by hash join / hash aggregation. NULLs of the
+  /// same type hash identically.
+  uint64_t Hash() const;
+
+  /// Human/CSV representation ("NULL" for nulls; dates as YYYY-MM-DD).
+  std::string ToString() const;
+
+  /// Parses `text` as a value of `type`. An empty field is NULL.
+  static Result<Value> ParseAs(TypeId type, std::string_view text);
+
+  bool operator==(const Value& other) const;
+
+ private:
+  union Payload {
+    int64_t i64;
+    double f64;
+  };
+
+  TypeId type_;
+  bool is_null_;
+  Payload payload_;
+  std::string str_;
+};
+
+/// A tuple: one Value per column, ordered per the owning Schema.
+using Row = std::vector<Value>;
+
+/// Combines `h` into `seed` (boost::hash_combine recipe, 64-bit variant).
+inline uint64_t HashCombine(uint64_t seed, uint64_t h) {
+  return seed ^ (h + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Hash of an entire row (for grouping / join keys).
+uint64_t HashRow(const Row& row);
+
+}  // namespace nodb
+
+#endif  // NODB_TYPES_VALUE_H_

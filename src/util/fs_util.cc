@@ -1,0 +1,121 @@
+#include "util/fs_util.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace nodb {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + strerror(errno);
+}
+
+/// Removes every regular file in `dir` (non-recursive); returns names of
+/// subdirectories encountered.
+std::vector<std::string> RemoveFilesIn(const std::string& dir) {
+  std::vector<std::string> subdirs;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return subdirs;
+  while (dirent* entry = readdir(d)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    std::string full = dir + "/" + name;
+    struct stat st;
+    if (stat(full.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      subdirs.push_back(full);
+    } else {
+      ::unlink(full.c_str());
+    }
+  }
+  closedir(d);
+  return subdirs;
+}
+
+}  // namespace
+
+Result<uint64_t> FileSizeOf(const std::string& path) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) {
+    return Status::IOError(ErrnoMessage("stat", path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0;
+}
+
+Status CreateDir(const std::string& path) {
+  if (mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError(ErrnoMessage("mkdir", path));
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("unlink", path));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError(ErrnoMessage("open", path));
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) return Status::IOError(ErrnoMessage("read", path));
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError(ErrnoMessage("open", path));
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    return Status::IOError(ErrnoMessage("write", path));
+  }
+  return Status::OK();
+}
+
+TempDir::TempDir() {
+  static std::atomic<uint64_t> counter{0};
+  const char* base = std::getenv("TMPDIR");
+  std::string root = (base != nullptr && base[0] != '\0') ? base : "/tmp";
+  // Unique per process+instance; mkdtemp-style but without template quirks.
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s/nodb_%d_%llu", root.c_str(), getpid(),
+                static_cast<unsigned long long>(counter.fetch_add(1)));
+  if (mkdir(buf, 0755) == 0) path_ = buf;
+}
+
+TempDir::~TempDir() {
+  if (path_.empty()) return;
+  for (const std::string& sub : RemoveFilesIn(path_)) {
+    RemoveFilesIn(sub);
+    ::rmdir(sub.c_str());
+  }
+  ::rmdir(path_.c_str());
+}
+
+}  // namespace nodb

@@ -1,0 +1,56 @@
+#ifndef NODB_UTIL_FS_UTIL_H_
+#define NODB_UTIL_FS_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// Thin POSIX filesystem helpers. The style guide disallows <filesystem>,
+/// and a database engine wants explicit, error-checked syscalls anyway.
+
+/// Returns the size of `path` in bytes.
+Result<uint64_t> FileSizeOf(const std::string& path);
+
+/// True if `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// Creates a directory (no parents). Succeeds if it already exists.
+Status CreateDir(const std::string& path);
+
+/// Removes a file; succeeds if it does not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Reads an entire file into a string (test/bench convenience).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, truncating any existing file.
+Status WriteStringToFile(const std::string& path, const std::string& contents);
+
+/// Scoped unique temporary directory under $TMPDIR (default /tmp). The
+/// directory and all files directly inside it are removed on destruction.
+/// Nested subdirectories one level deep are also cleaned up.
+class TempDir {
+ public:
+  TempDir();
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  /// Absolute path of the directory; empty if creation failed.
+  const std::string& path() const { return path_; }
+
+  /// Joins `name` onto the directory path.
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_UTIL_FS_UTIL_H_

@@ -1,0 +1,72 @@
+#ifndef NODB_UTIL_RESULT_H_
+#define NODB_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace nodb {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent (an absl::StatusOr analogue). Accessing `value()` on an
+/// error result is a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace nodb
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value to `lhs`. `lhs` may declare a new variable.
+#define NODB_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  NODB_ASSIGN_OR_RETURN_IMPL_(                                 \
+      NODB_RESULT_CONCAT_(nodb_result_, __LINE__), lhs, rexpr)
+
+#define NODB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define NODB_RESULT_CONCAT_INNER_(a, b) a##b
+#define NODB_RESULT_CONCAT_(a, b) NODB_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // NODB_UTIL_RESULT_H_

@@ -1,0 +1,102 @@
+#ifndef NODB_UTIL_STATUS_H_
+#define NODB_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace nodb {
+
+/// Error categories used across the library. Mirrors the usual database
+/// status taxonomy (cf. RocksDB / Abseil): a small closed set so callers can
+/// branch on the class of failure without string matching.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruption,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "IOError").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-type result of an operation that can fail. The library does not use
+/// exceptions (per the style guide); every fallible function returns `Status`
+/// or `Result<T>`. An OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace nodb
+
+/// Propagates a non-OK `Status` to the caller. `expr` must evaluate to a
+/// `nodb::Status`.
+#define NODB_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::nodb::Status nodb_status_tmp_ = (expr);       \
+    if (!nodb_status_tmp_.ok()) return nodb_status_tmp_; \
+  } while (false)
+
+#endif  // NODB_UTIL_STATUS_H_

@@ -1,0 +1,144 @@
+#include "util/str_conv.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace nodb {
+
+namespace {
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// True for leap years in the proleptic Gregorian calendar.
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty integer");
+  int64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc() || ptr != last) {
+    return Status::InvalidArgument("bad integer: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty double");
+  double value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    return Status::InvalidArgument("bad double: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+Result<bool> ParseBool(std::string_view text) {
+  if (text == "1" || text == "t" || text == "T" || text == "true" ||
+      text == "TRUE" || text == "True") {
+    return true;
+  }
+  if (text == "0" || text == "f" || text == "F" || text == "false" ||
+      text == "FALSE" || text == "False") {
+    return false;
+  }
+  return Status::InvalidArgument("bad bool: '" + std::string(text) + "'");
+}
+
+int32_t CivilToDays(int year, int month, int day) {
+  // Howard Hinnant's days_from_civil algorithm (public domain).
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);  // [0, 399]
+  const unsigned doy =
+      (153 * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;                          // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+void DaysToCivil(int32_t days, int* year, int* month, int* day) {
+  // Howard Hinnant's civil_from_days algorithm (public domain).
+  int32_t z = days + 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *year = y + (m <= 2);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Result<int32_t> ParseDate(std::string_view text) {
+  // Strict "YYYY-MM-DD" (4-2-2 digits).
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
+    return Status::InvalidArgument("bad date: '" + std::string(text) + "'");
+  }
+  for (int i : {0, 1, 2, 3, 5, 6, 8, 9}) {
+    if (!IsDigit(text[i])) {
+      return Status::InvalidArgument("bad date: '" + std::string(text) + "'");
+    }
+  }
+  int year = (text[0] - '0') * 1000 + (text[1] - '0') * 100 +
+             (text[2] - '0') * 10 + (text[3] - '0');
+  int month = (text[5] - '0') * 10 + (text[6] - '0');
+  int day = (text[8] - '0') * 10 + (text[9] - '0');
+  if (month < 1 || month > 12 || day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("invalid date: '" + std::string(text) +
+                                   "'");
+  }
+  return CivilToDays(year, month, day);
+}
+
+std::string FormatDate(int32_t days_since_epoch) {
+  int year, month, day;
+  DaysToCivil(days_since_epoch, &year, &month, &day);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return std::string(buf);
+}
+
+void AppendInt64(std::string* out, int64_t v) {
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out->append(buf, ptr);
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out->append(buf, ptr);
+}
+
+bool LooksLikeInt(std::string_view text) {
+  if (text.empty()) return false;
+  size_t i = (text[0] == '-' || text[0] == '+') ? 1 : 0;
+  if (i == text.size()) return false;
+  for (; i < text.size(); ++i) {
+    if (!IsDigit(text[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace nodb

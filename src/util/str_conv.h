@@ -1,0 +1,53 @@
+#ifndef NODB_UTIL_STR_CONV_H_
+#define NODB_UTIL_STR_CONV_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace nodb {
+
+/// Text <-> binary conversion routines. These sit on the hottest path of the
+/// in-situ engine (the paper identifies data-type conversion as the dominant
+/// raw-access cost), so parsing avoids allocation and locale machinery.
+
+/// Parses a base-10 signed integer from the full extent of `text`.
+/// Leading/trailing spaces are rejected; an empty string is an error.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Parses a floating point number from the full extent of `text`.
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a boolean: accepts "0"/"1"/"true"/"false"/"t"/"f" (case-insensitive).
+Result<bool> ParseBool(std::string_view text);
+
+/// Parses an ISO date "YYYY-MM-DD" into days since 1970-01-01 (can be
+/// negative for earlier dates). Validates month/day ranges incl. leap years.
+Result<int32_t> ParseDate(std::string_view text);
+
+/// Converts days-since-epoch back to "YYYY-MM-DD".
+std::string FormatDate(int32_t days_since_epoch);
+
+/// Days since 1970-01-01 for a (validated) civil date. Out-of-range
+/// month/day values are the caller's responsibility.
+int32_t CivilToDays(int year, int month, int day);
+
+/// Inverse of CivilToDays.
+void DaysToCivil(int32_t days, int* year, int* month, int* day);
+
+/// Appends the decimal representation of `v` to `out` (no allocation churn
+/// beyond the string's own growth).
+void AppendInt64(std::string* out, int64_t v);
+
+/// Appends a round-trippable shortest representation of `v` to `out`.
+void AppendDouble(std::string* out, double v);
+
+/// True if `text` is a syntactically plausible integer (used by schema
+/// inference in examples; cheaper than a full parse-and-discard).
+bool LooksLikeInt(std::string_view text);
+
+}  // namespace nodb
+
+#endif  // NODB_UTIL_STR_CONV_H_

@@ -1,0 +1,96 @@
+#include "workload/micro.h"
+
+#include <algorithm>
+
+#include "io/file.h"
+#include "util/str_conv.h"
+
+namespace nodb {
+
+Schema MicroSchema(const MicroDataSpec& spec) {
+  Schema schema;
+  for (int c = 1; c <= spec.cols; ++c) {
+    schema.AddColumn({"a" + std::to_string(c),
+                      spec.attr_width > 0 ? TypeId::kString : TypeId::kInt64});
+  }
+  return schema;
+}
+
+Status GenerateWideCsv(const std::string& path, const MicroDataSpec& spec) {
+  NODB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> out,
+                        WritableFile::Create(path));
+  Rng rng(spec.seed);
+  std::string buffer;
+  buffer.reserve(1 << 20);
+  std::string field;
+  for (uint64_t r = 0; r < spec.rows; ++r) {
+    for (int c = 0; c < spec.cols; ++c) {
+      if (c > 0) buffer.push_back(',');
+      int64_t v = rng.Uniform(spec.min_value, spec.max_value);
+      if (spec.attr_width > 0) {
+        // Zero-padded fixed-width value (string-typed column).
+        field.clear();
+        AppendInt64(&field, v);
+        if (static_cast<int>(field.size()) < spec.attr_width) {
+          buffer.append(spec.attr_width - field.size(), '0');
+        }
+        buffer.append(field);
+      } else {
+        AppendInt64(&buffer, v);
+      }
+    }
+    buffer.push_back('\n');
+    if (buffer.size() >= (1 << 20)) {
+      NODB_RETURN_IF_ERROR(out->Append(buffer));
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) NODB_RETURN_IF_ERROR(out->Append(buffer));
+  return out->Close();
+}
+
+std::string RandomProjectionQuery(const std::string& table, int ncols,
+                                  int nattrs, Rng* rng, int col_lo,
+                                  int col_hi) {
+  if (col_hi < 0) col_hi = ncols;
+  col_hi = std::min(col_hi, ncols);
+  std::vector<int> attrs;
+  while (static_cast<int>(attrs.size()) < nattrs &&
+         static_cast<int>(attrs.size()) < col_hi - col_lo + 1) {
+    int a = static_cast<int>(rng->Uniform(col_lo, col_hi));
+    if (std::find(attrs.begin(), attrs.end(), a) == attrs.end()) {
+      attrs.push_back(a);
+    }
+  }
+  std::sort(attrs.begin(), attrs.end());
+  std::string sql = "SELECT ";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += "a" + std::to_string(attrs[i]);
+  }
+  sql += " FROM " + table;
+  return sql;
+}
+
+std::string SelectivityQuery(const std::string& table,
+                             const MicroDataSpec& spec, double selectivity,
+                             double projectivity) {
+  int ncols = spec.cols;
+  int nproj = std::max(1, static_cast<int>(projectivity * (ncols - 1)));
+  std::string sql = "SELECT ";
+  for (int i = 0; i < nproj; ++i) {
+    if (i > 0) sql += ", ";
+    sql += "SUM(a" + std::to_string(i + 2) + ") AS s" + std::to_string(i + 2);
+  }
+  sql += " FROM " + table;
+  if (selectivity < 1.0) {
+    // Uniform values in [min, max]: a1 <= cutoff keeps ~selectivity rows.
+    double span = static_cast<double>(spec.max_value - spec.min_value);
+    int64_t cutoff = spec.min_value +
+                     static_cast<int64_t>(selectivity * span);
+    sql += " WHERE a1 <= " + std::to_string(cutoff);
+  }
+  return sql;
+}
+
+}  // namespace nodb

@@ -1,0 +1,52 @@
+#ifndef NODB_WORKLOAD_MICRO_H_
+#define NODB_WORKLOAD_MICRO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// Micro-benchmark data generator (paper §5.1): a wide CSV of integer
+/// attributes "distributed randomly in the range [0, 1e9)". The paper's file
+/// is 11 GB with 7.5M tuples × 150 attributes; specs here scale down by
+/// default (laptop scale) and up via fields.
+struct MicroDataSpec {
+  uint64_t rows = 50000;
+  int cols = 50;
+  int64_t min_value = 0;
+  int64_t max_value = 999999999;
+  /// 0 = plain variable-width integers. >0 = zero-padded to this width,
+  /// typed as strings (the attribute-width experiment of Fig. 13).
+  int attr_width = 0;
+  uint64_t seed = 42;
+};
+
+/// Schema of the generated table: a1..aN, int64 (or string when
+/// attr_width > 0).
+Schema MicroSchema(const MicroDataSpec& spec);
+
+/// Writes the CSV file.
+Status GenerateWideCsv(const std::string& path, const MicroDataSpec& spec);
+
+/// "SELECT aX, aY, ... FROM <table>": `nattrs` distinct random attributes
+/// drawn from columns [col_lo, col_hi] (1-based, col_hi = -1 means ncols).
+/// These are the paper's random select-project queries (100 % selectivity).
+std::string RandomProjectionQuery(const std::string& table, int ncols,
+                                  int nattrs, Rng* rng, int col_lo = 1,
+                                  int col_hi = -1);
+
+/// Fig. 7/8 query shape: one selection on a1 with the given `selectivity`
+/// (fraction in [0,1], assuming uniform values), SUM aggregates over the
+/// first `projectivity` fraction of the remaining attributes.
+std::string SelectivityQuery(const std::string& table,
+                             const MicroDataSpec& spec, double selectivity,
+                             double projectivity);
+
+}  // namespace nodb
+
+#endif  // NODB_WORKLOAD_MICRO_H_

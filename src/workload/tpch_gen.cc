@@ -1,0 +1,457 @@
+#include "workload/tpch_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "io/file.h"
+#include "util/rng.h"
+#include "util/str_conv.h"
+
+namespace nodb {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Value pools (subsets of the TPC-H specification's lists; the entries the
+// evaluation queries depend on — segments, priorities, ship modes, brands,
+// containers, PROMO types — are exact).
+// ---------------------------------------------------------------------
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// region of each nation, per the spec.
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                            "FOB"};
+const char* kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kTypeSyllable1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                                "ECONOMY", "PROMO"};
+const char* kTypeSyllable2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                                "BRUSHED"};
+const char* kTypeSyllable3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainerSyllable1[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+const char* kContainerSyllable2[] = {"CASE", "BOX", "PACK", "JAR", "BAG",
+                                     "DRUM", "PKG", "CAN"};
+const char* kColors[] = {"almond",   "antique", "aquamarine", "azure",
+                         "beige",    "bisque",  "black",      "blanched",
+                         "blue",     "blush",   "brown",      "burlywood",
+                         "chartreuse", "chiffon", "chocolate", "coral"};
+const char* kCommentWords[] = {
+    "carefully", "furiously", "quickly", "slyly",    "blithely", "deposits",
+    "requests",  "accounts",  "packages", "theodolites", "pinto",  "beans",
+    "instructions", "foxes",  "ideas",   "dependencies", "excuses", "asymptotes",
+    "platelets", "sleep",     "wake",    "haggle",   "nag",       "cajole"};
+
+// Key dates (spec constants).
+const int32_t kStartDate = CivilToDays(1992, 1, 1);
+const int32_t kEndDate = CivilToDays(1998, 12, 31);
+const int32_t kCurrentDate = CivilToDays(1995, 6, 17);
+
+// ---------------------------------------------------------------------
+// Rendering helpers
+// ---------------------------------------------------------------------
+
+/// Buffered CSV line builder (avoids per-field allocation).
+class LineWriter {
+ public:
+  explicit LineWriter(WritableFile* out) : out_(out) {}
+
+  void Int(int64_t v) {
+    Sep();
+    AppendInt64(&buffer_, v);
+  }
+  void Dbl(double v) {
+    // Two-decimal fixed rendering, like dbgen's money columns.
+    Sep();
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), "%.2f", v);
+    buffer_ += tmp;
+  }
+  void Str(std::string_view v) {
+    Sep();
+    buffer_.append(v);
+  }
+  void Date(int32_t days) {
+    Sep();
+    buffer_ += FormatDate(days);
+  }
+  Status EndRow() {
+    buffer_.push_back('\n');
+    first_ = true;
+    if (buffer_.size() >= (1 << 20)) {
+      NODB_RETURN_IF_ERROR(out_->Append(buffer_));
+      buffer_.clear();
+    }
+    return Status::OK();
+  }
+  Status Finish() {
+    if (!buffer_.empty()) {
+      NODB_RETURN_IF_ERROR(out_->Append(buffer_));
+      buffer_.clear();
+    }
+    return out_->Close();
+  }
+
+ private:
+  void Sep() {
+    if (!first_) buffer_.push_back(',');
+    first_ = false;
+  }
+  WritableFile* out_;
+  std::string buffer_;
+  bool first_ = true;
+};
+
+template <typename T, size_t N>
+const T& Pick(Rng* rng, const T (&pool)[N]) {
+  return pool[rng->Next() % N];
+}
+
+std::string Comment(Rng* rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng->Uniform(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += Pick(rng, kCommentWords);
+  }
+  return out;
+}
+
+std::string Phone(Rng* rng, int64_t nationkey) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(10 + nationkey),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(1000, 9999)));
+  return buf;
+}
+
+std::string Address(Rng* rng) {
+  int n = static_cast<int>(rng->Uniform(10, 30));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>('a' + rng->Next() % 26));
+  }
+  return out;
+}
+
+std::string KeyedName(const char* prefix, int64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s#%09lld", prefix,
+                static_cast<long long>(key));
+  return buf;
+}
+
+/// p_retailprice per the spec's deterministic formula.
+double RetailPrice(int64_t partkey) {
+  return (90000.0 + (partkey / 10 % 20001) + 100.0 * (partkey % 1000)) / 100.0;
+}
+
+Result<std::unique_ptr<WritableFile>> OpenTable(const std::string& dir,
+                                                const std::string& table) {
+  return WritableFile::Create(dir + "/" + table + ".csv");
+}
+
+}  // namespace
+
+const std::vector<std::string>& TpchTableNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "region", "nation", "supplier", "customer",
+      "part",   "partsupp", "orders",  "lineitem"};
+  return *names;
+}
+
+Schema TpchSchema(const std::string& table) {
+  using T = TypeId;
+  if (table == "region") {
+    return Schema{{"r_regionkey", T::kInt64},
+                  {"r_name", T::kString},
+                  {"r_comment", T::kString}};
+  }
+  if (table == "nation") {
+    return Schema{{"n_nationkey", T::kInt64},
+                  {"n_name", T::kString},
+                  {"n_regionkey", T::kInt64},
+                  {"n_comment", T::kString}};
+  }
+  if (table == "supplier") {
+    return Schema{{"s_suppkey", T::kInt64},   {"s_name", T::kString},
+                  {"s_address", T::kString},  {"s_nationkey", T::kInt64},
+                  {"s_phone", T::kString},    {"s_acctbal", T::kDouble},
+                  {"s_comment", T::kString}};
+  }
+  if (table == "customer") {
+    return Schema{{"c_custkey", T::kInt64},    {"c_name", T::kString},
+                  {"c_address", T::kString},   {"c_nationkey", T::kInt64},
+                  {"c_phone", T::kString},     {"c_acctbal", T::kDouble},
+                  {"c_mktsegment", T::kString}, {"c_comment", T::kString}};
+  }
+  if (table == "part") {
+    return Schema{{"p_partkey", T::kInt64},    {"p_name", T::kString},
+                  {"p_mfgr", T::kString},      {"p_brand", T::kString},
+                  {"p_type", T::kString},      {"p_size", T::kInt64},
+                  {"p_container", T::kString}, {"p_retailprice", T::kDouble},
+                  {"p_comment", T::kString}};
+  }
+  if (table == "partsupp") {
+    return Schema{{"ps_partkey", T::kInt64},
+                  {"ps_suppkey", T::kInt64},
+                  {"ps_availqty", T::kInt64},
+                  {"ps_supplycost", T::kDouble},
+                  {"ps_comment", T::kString}};
+  }
+  if (table == "orders") {
+    return Schema{{"o_orderkey", T::kInt64},      {"o_custkey", T::kInt64},
+                  {"o_orderstatus", T::kString},  {"o_totalprice", T::kDouble},
+                  {"o_orderdate", T::kDate},      {"o_orderpriority", T::kString},
+                  {"o_clerk", T::kString},        {"o_shippriority", T::kInt64},
+                  {"o_comment", T::kString}};
+  }
+  if (table == "lineitem") {
+    return Schema{{"l_orderkey", T::kInt64},     {"l_partkey", T::kInt64},
+                  {"l_suppkey", T::kInt64},      {"l_linenumber", T::kInt64},
+                  {"l_quantity", T::kDouble},    {"l_extendedprice", T::kDouble},
+                  {"l_discount", T::kDouble},    {"l_tax", T::kDouble},
+                  {"l_returnflag", T::kString},  {"l_linestatus", T::kString},
+                  {"l_shipdate", T::kDate},      {"l_commitdate", T::kDate},
+                  {"l_receiptdate", T::kDate},   {"l_shipinstruct", T::kString},
+                  {"l_shipmode", T::kString},    {"l_comment", T::kString}};
+  }
+  return Schema{};
+}
+
+uint64_t TpchNominalRows(const std::string& table, double sf) {
+  auto scaled = [sf](double base) {
+    return static_cast<uint64_t>(std::max(1.0, base * sf));
+  };
+  if (table == "region") return 5;
+  if (table == "nation") return 25;
+  if (table == "supplier") return scaled(10000);
+  if (table == "customer") return scaled(150000);
+  if (table == "part") return scaled(200000);
+  if (table == "partsupp") return scaled(800000);
+  if (table == "orders") return scaled(1500000);
+  if (table == "lineitem") return scaled(6000000);  // approximate
+  return 0;
+}
+
+Status GenerateTpch(const std::string& dir, const TpchSpec& spec) {
+  const double sf = spec.scale_factor;
+  const int64_t suppliers =
+      static_cast<int64_t>(TpchNominalRows("supplier", sf));
+  const int64_t customers =
+      static_cast<int64_t>(TpchNominalRows("customer", sf));
+  const int64_t parts = static_cast<int64_t>(TpchNominalRows("part", sf));
+  const int64_t orders = static_cast<int64_t>(TpchNominalRows("orders", sf));
+
+  // region
+  {
+    NODB_ASSIGN_OR_RETURN(auto out, OpenTable(dir, "region"));
+    LineWriter w(out.get());
+    Rng rng(spec.seed ^ 0x7265u);
+    for (int r = 0; r < 5; ++r) {
+      w.Int(r);
+      w.Str(kRegions[r]);
+      w.Str(Comment(&rng, 3, 8));
+      NODB_RETURN_IF_ERROR(w.EndRow());
+    }
+    NODB_RETURN_IF_ERROR(w.Finish());
+  }
+  // nation
+  {
+    NODB_ASSIGN_OR_RETURN(auto out, OpenTable(dir, "nation"));
+    LineWriter w(out.get());
+    Rng rng(spec.seed ^ 0x6e61u);
+    for (int n = 0; n < 25; ++n) {
+      w.Int(n);
+      w.Str(kNations[n]);
+      w.Int(kNationRegion[n]);
+      w.Str(Comment(&rng, 3, 10));
+      NODB_RETURN_IF_ERROR(w.EndRow());
+    }
+    NODB_RETURN_IF_ERROR(w.Finish());
+  }
+  // supplier
+  {
+    NODB_ASSIGN_OR_RETURN(auto out, OpenTable(dir, "supplier"));
+    LineWriter w(out.get());
+    Rng rng(spec.seed ^ 0x7375u);
+    for (int64_t s = 1; s <= suppliers; ++s) {
+      int64_t nation = rng.Uniform(0, 24);
+      w.Int(s);
+      w.Str(KeyedName("Supplier", s));
+      w.Str(Address(&rng));
+      w.Int(nation);
+      w.Str(Phone(&rng, nation));
+      w.Dbl(rng.Uniform(-99999, 999999) / 100.0);
+      w.Str(Comment(&rng, 5, 15));
+      NODB_RETURN_IF_ERROR(w.EndRow());
+    }
+    NODB_RETURN_IF_ERROR(w.Finish());
+  }
+  // customer
+  {
+    NODB_ASSIGN_OR_RETURN(auto out, OpenTable(dir, "customer"));
+    LineWriter w(out.get());
+    Rng rng(spec.seed ^ 0x6375u);
+    for (int64_t c = 1; c <= customers; ++c) {
+      int64_t nation = rng.Uniform(0, 24);
+      w.Int(c);
+      w.Str(KeyedName("Customer", c));
+      w.Str(Address(&rng));
+      w.Int(nation);
+      w.Str(Phone(&rng, nation));
+      w.Dbl(rng.Uniform(-99999, 999999) / 100.0);
+      w.Str(Pick(&rng, kSegments));
+      w.Str(Comment(&rng, 6, 20));
+      NODB_RETURN_IF_ERROR(w.EndRow());
+    }
+    NODB_RETURN_IF_ERROR(w.Finish());
+  }
+  // part
+  {
+    NODB_ASSIGN_OR_RETURN(auto out, OpenTable(dir, "part"));
+    LineWriter w(out.get());
+    Rng rng(spec.seed ^ 0x7061u);
+    for (int64_t p = 1; p <= parts; ++p) {
+      int m = static_cast<int>(rng.Uniform(1, 5));
+      int n = static_cast<int>(rng.Uniform(1, 5));
+      std::string name;
+      for (int i = 0; i < 5; ++i) {
+        if (i > 0) name.push_back(' ');
+        name += Pick(&rng, kColors);
+      }
+      std::string type = std::string(Pick(&rng, kTypeSyllable1)) + " " +
+                         Pick(&rng, kTypeSyllable2) + " " +
+                         Pick(&rng, kTypeSyllable3);
+      std::string container = std::string(Pick(&rng, kContainerSyllable1)) +
+                              " " + Pick(&rng, kContainerSyllable2);
+      w.Int(p);
+      w.Str(name);
+      w.Str("Manufacturer#" + std::to_string(m));
+      w.Str("Brand#" + std::to_string(m) + std::to_string(n));
+      w.Str(type);
+      w.Int(rng.Uniform(1, 50));
+      w.Str(container);
+      w.Dbl(RetailPrice(p));
+      w.Str(Comment(&rng, 2, 6));
+      NODB_RETURN_IF_ERROR(w.EndRow());
+    }
+    NODB_RETURN_IF_ERROR(w.Finish());
+  }
+  // partsupp: 4 suppliers per part (spec).
+  {
+    NODB_ASSIGN_OR_RETURN(auto out, OpenTable(dir, "partsupp"));
+    LineWriter w(out.get());
+    Rng rng(spec.seed ^ 0x7073u);
+    for (int64_t p = 1; p <= parts; ++p) {
+      for (int k = 0; k < 4; ++k) {
+        // Spec formula spreads suppliers over the key space.
+        int64_t s = (p + (k * ((suppliers / 4) + (p - 1) / suppliers))) %
+                        suppliers + 1;
+        w.Int(p);
+        w.Int(s);
+        w.Int(rng.Uniform(1, 9999));
+        w.Dbl(rng.Uniform(100, 100000) / 100.0);
+        w.Str(Comment(&rng, 5, 25));
+        NODB_RETURN_IF_ERROR(w.EndRow());
+      }
+    }
+    NODB_RETURN_IF_ERROR(w.Finish());
+  }
+  // orders + lineitem (generated together so o_orderstatus and
+  // o_totalprice derive from the order's lineitems, as in the spec).
+  {
+    NODB_ASSIGN_OR_RETURN(auto orders_out, OpenTable(dir, "orders"));
+    NODB_ASSIGN_OR_RETURN(auto lines_out, OpenTable(dir, "lineitem"));
+    LineWriter ow(orders_out.get());
+    LineWriter lw(lines_out.get());
+    Rng rng(spec.seed ^ 0x6f72u);
+    for (int64_t o = 1; o <= orders; ++o) {
+      // Spec: order keys are sparse (8 of every 32); keep them sequential
+      // here — no query in the suite depends on sparsity.
+      int64_t custkey = rng.Uniform(1, customers);
+      int32_t orderdate = static_cast<int32_t>(
+          rng.Uniform(kStartDate, kEndDate - 151));
+      int nlines = static_cast<int>(rng.Uniform(1, 7));
+      double totalprice = 0;
+      int f_count = 0, o_count = 0;
+
+      for (int ln = 1; ln <= nlines; ++ln) {
+        int64_t partkey = rng.Uniform(1, parts);
+        int64_t suppkey = rng.Uniform(1, suppliers);
+        double quantity = static_cast<double>(rng.Uniform(1, 50));
+        double extended = quantity * RetailPrice(partkey);
+        double discount = rng.Uniform(0, 10) / 100.0;
+        double tax = rng.Uniform(0, 8) / 100.0;
+        int32_t shipdate =
+            orderdate + static_cast<int32_t>(rng.Uniform(1, 121));
+        int32_t commitdate =
+            orderdate + static_cast<int32_t>(rng.Uniform(30, 90));
+        int32_t receiptdate =
+            shipdate + static_cast<int32_t>(rng.Uniform(1, 30));
+        const char* returnflag =
+            receiptdate <= kCurrentDate
+                ? (rng.NextBool(0.5) ? "R" : "A")
+                : "N";
+        const char* linestatus = shipdate > kCurrentDate ? "O" : "F";
+        if (linestatus[0] == 'F') {
+          ++f_count;
+        } else {
+          ++o_count;
+        }
+        totalprice += extended * (1.0 + tax) * (1.0 - discount);
+
+        lw.Int(o);
+        lw.Int(partkey);
+        lw.Int(suppkey);
+        lw.Int(ln);
+        lw.Dbl(quantity);
+        lw.Dbl(extended);
+        lw.Dbl(discount);
+        lw.Dbl(tax);
+        lw.Str(returnflag);
+        lw.Str(linestatus);
+        lw.Date(shipdate);
+        lw.Date(commitdate);
+        lw.Date(receiptdate);
+        lw.Str(Pick(&rng, kShipInstruct));
+        lw.Str(Pick(&rng, kShipModes));
+        lw.Str(Comment(&rng, 2, 8));
+        NODB_RETURN_IF_ERROR(lw.EndRow());
+      }
+
+      const char* status = f_count == nlines ? "F"
+                           : o_count == nlines ? "O"
+                                               : "P";
+      ow.Int(o);
+      ow.Int(custkey);
+      ow.Str(status);
+      ow.Dbl(totalprice);
+      ow.Date(orderdate);
+      ow.Str(Pick(&rng, kPriorities));
+      ow.Str(KeyedName("Clerk", rng.Uniform(1, std::max<int64_t>(
+                                                   1, orders / 1000))));
+      ow.Int(0);
+      ow.Str(Comment(&rng, 4, 16));
+      NODB_RETURN_IF_ERROR(ow.EndRow());
+    }
+    NODB_RETURN_IF_ERROR(ow.Finish());
+    NODB_RETURN_IF_ERROR(lw.Finish());
+  }
+  return Status::OK();
+}
+
+}  // namespace nodb

@@ -1,0 +1,40 @@
+#ifndef NODB_WORKLOAD_TPCH_GEN_H_
+#define NODB_WORKLOAD_TPCH_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// Scaled-down TPC-H data generator (dbgen substitute; see DESIGN.md).
+/// Produces the eight benchmark tables as CSV files with spec-shaped
+/// schemas, key relationships, value domains and date ranges, so query
+/// selectivities and join fan-outs track the official generator closely.
+/// DECIMAL columns are doubles; dates are DATE columns.
+struct TpchSpec {
+  /// Paper uses SF 10; default here is laptop-scale. Linear scaling.
+  double scale_factor = 0.01;
+  uint64_t seed = 19920520;
+};
+
+/// The eight table names, in foreign-key-safe generation order.
+const std::vector<std::string>& TpchTableNames();
+
+/// Schema of `table` (one of region, nation, supplier, customer, part,
+/// partsupp, orders, lineitem).
+Schema TpchSchema(const std::string& table);
+
+/// Nominal row count of `table` at the spec's scale factor (lineitem is
+/// approximate: 1–7 lines per order).
+uint64_t TpchNominalRows(const std::string& table, double scale_factor);
+
+/// Generates all eight tables as "<dir>/<table>.csv".
+Status GenerateTpch(const std::string& dir, const TpchSpec& spec);
+
+}  // namespace nodb
+
+#endif  // NODB_WORKLOAD_TPCH_GEN_H_

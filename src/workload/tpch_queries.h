@@ -1,0 +1,27 @@
+#ifndef NODB_WORKLOAD_TPCH_QUERIES_H_
+#define NODB_WORKLOAD_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace nodb {
+
+/// SQL text of TPC-H query `number`, in the dialect this engine supports.
+/// Available: 1, 3, 4, 6, 10, 12, 14, 19 — the set the paper evaluates in
+/// Figures 9/10 ("the remaining queries were not implemented because their
+/// performance is either very poor in conventional PostgreSQL, or relied on
+/// functionality not yet fully implemented", §5.2 — same subset here).
+/// Q19 uses the standard factored form of its join predicate.
+/// Returns "" for unavailable numbers.
+std::string TpchQuery(int number);
+
+/// The available query numbers, ascending.
+const std::vector<int>& TpchQueryNumbers();
+
+/// Tables referenced by query `number` (for registering only what is
+/// needed).
+std::vector<std::string> TpchQueryTables(int number);
+
+}  // namespace nodb
+
+#endif  // NODB_WORKLOAD_TPCH_QUERIES_H_

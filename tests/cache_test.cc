@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "cache/column_cache.h"
+#include "util/rng.h"
+
+namespace nodb {
+namespace {
+
+std::vector<Value> IntColumn(int n, int64_t base) {
+  std::vector<Value> values;
+  for (int i = 0; i < n; ++i) values.push_back(Value::Int64(base + i));
+  return values;
+}
+
+std::vector<Value> StrColumn(int n, const std::string& prefix) {
+  std::vector<Value> values;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(Value::String(prefix + std::to_string(i)));
+  }
+  return values;
+}
+
+ColumnCache::Options Unlimited() { return ColumnCache::Options{}; }
+
+TEST(ColumnCacheTest, PutGetRoundTrip) {
+  ColumnCache cache({TypeId::kInt64, TypeId::kString}, Unlimited());
+  cache.Put(0, 0, IntColumn(4, 100));
+  const std::vector<Value>* col = cache.Get(0, 0);
+  ASSERT_NE(col, nullptr);
+  ASSERT_EQ(col->size(), 4u);
+  EXPECT_EQ((*col)[2].int64(), 102);
+  EXPECT_EQ(cache.Get(0, 1), nullptr);
+  EXPECT_EQ(cache.Get(1, 0), nullptr);
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_FALSE(cache.Contains(1, 0));
+}
+
+TEST(ColumnCacheTest, ReplaceUpdatesBytes) {
+  ColumnCache cache({TypeId::kString}, Unlimited());
+  cache.Put(0, 0, StrColumn(4, "aaaaaaaaaa"));
+  uint64_t before = cache.memory_bytes();
+  cache.Put(0, 0, StrColumn(2, "b"));
+  EXPECT_LT(cache.memory_bytes(), before);
+  EXPECT_EQ(cache.Get(0, 0)->size(), 2u);
+}
+
+TEST(ColumnCacheTest, CountersTrackHitsAndMisses) {
+  ColumnCache cache({TypeId::kInt64}, Unlimited());
+  cache.Get(0, 0);
+  cache.Put(0, 0, IntColumn(2, 0));
+  cache.Get(0, 0);
+  cache.Get(3, 0);
+  EXPECT_EQ(cache.counters().hits, 1u);
+  EXPECT_EQ(cache.counters().misses, 2u);
+  EXPECT_EQ(cache.counters().inserts, 1u);
+}
+
+TEST(ColumnCacheTest, BudgetEnforced) {
+  ColumnCache::Options opts;
+  opts.budget_bytes = 4000;
+  ColumnCache cache(std::vector<TypeId>(10, TypeId::kInt64), opts);
+  for (int a = 0; a < 10; ++a) {
+    cache.Put(0, a, IntColumn(20, a));  // each ~ 20*sizeof(Value)+overhead
+    EXPECT_LE(cache.memory_bytes(), opts.budget_bytes);
+  }
+  EXPECT_GT(cache.counters().evictions, 0u);
+}
+
+TEST(ColumnCacheTest, OversizedEntryRejected) {
+  ColumnCache::Options opts;
+  opts.budget_bytes = 100;
+  ColumnCache cache({TypeId::kInt64}, opts);
+  cache.Put(0, 0, IntColumn(1000, 0));  // larger than the whole budget
+  EXPECT_EQ(cache.Get(0, 0), nullptr);
+  EXPECT_EQ(cache.memory_bytes(), 0u);
+}
+
+TEST(ColumnCacheTest, CheapToConvertEvictedFirst) {
+  // Strings (cost class 0) must be evicted before int64 columns (class 2)
+  // regardless of recency — the paper's conversion-cost priority.
+  ColumnCache::Options opts;
+  ColumnCache probe({TypeId::kInt64, TypeId::kString}, opts);
+  probe.Put(0, 0, IntColumn(16, 0));
+  probe.Put(0, 1, StrColumn(16, "xx"));
+  uint64_t two_entries = probe.memory_bytes();
+  // Budget that holds exactly the two entries, then one more insert evicts.
+  opts.budget_bytes = two_entries + 8;
+  ColumnCache cache({TypeId::kInt64, TypeId::kString}, opts);
+  cache.Put(0, 1, StrColumn(16, "xx"));   // string first...
+  cache.Put(0, 0, IntColumn(16, 0));
+  // Touch the string so plain LRU would evict the int column.
+  cache.Get(0, 1);
+  cache.Put(1, 0, IntColumn(16, 100));  // forces eviction
+  EXPECT_TRUE(cache.Contains(0, 0));    // int survived
+  EXPECT_TRUE(cache.Contains(1, 0));
+  EXPECT_FALSE(cache.Contains(0, 1));   // string evicted despite recency
+}
+
+TEST(ColumnCacheTest, LruWithinCostClass) {
+  ColumnCache::Options opts;
+  ColumnCache probe(std::vector<TypeId>(4, TypeId::kInt64), opts);
+  probe.Put(0, 0, IntColumn(16, 0));
+  uint64_t one = probe.memory_bytes();
+  opts.budget_bytes = 3 * one + 8;
+  ColumnCache cache(std::vector<TypeId>(4, TypeId::kInt64), opts);
+  cache.Put(0, 0, IntColumn(16, 0));
+  cache.Put(0, 1, IntColumn(16, 1));
+  cache.Put(0, 2, IntColumn(16, 2));
+  cache.Get(0, 0);  // 0 becomes MRU; 1 is now LRU
+  cache.Put(0, 3, IntColumn(16, 3));
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_FALSE(cache.Contains(0, 1));
+  EXPECT_TRUE(cache.Contains(0, 2));
+  EXPECT_TRUE(cache.Contains(0, 3));
+}
+
+TEST(ColumnCacheTest, UtilizationMetric) {
+  ColumnCache::Options opts;
+  opts.budget_bytes = 10000;
+  ColumnCache cache({TypeId::kInt64}, opts);
+  EXPECT_DOUBLE_EQ(cache.utilization(), 0.0);
+  cache.Put(0, 0, IntColumn(50, 0));
+  EXPECT_GT(cache.utilization(), 0.0);
+  EXPECT_LE(cache.utilization(), 1.0);
+}
+
+TEST(ColumnCacheTest, ClearEmptiesEverything) {
+  ColumnCache cache({TypeId::kInt64}, Unlimited());
+  cache.Put(0, 0, IntColumn(4, 0));
+  cache.Clear();
+  EXPECT_EQ(cache.memory_bytes(), 0u);
+  EXPECT_EQ(cache.Get(0, 0), nullptr);
+  cache.Put(0, 0, IntColumn(4, 9));  // usable after Clear
+  EXPECT_EQ(cache.Get(0, 0)->at(0).int64(), 9);
+}
+
+TEST(ColumnCacheTest, StringBytesAccounted) {
+  ColumnCache cache({TypeId::kString}, Unlimited());
+  cache.Put(0, 0, StrColumn(4, ""));
+  uint64_t small = cache.memory_bytes();
+  cache.Clear();
+  cache.Put(0, 0, StrColumn(4, std::string(1000, 'x')));
+  EXPECT_GT(cache.memory_bytes(), small + 3000);
+}
+
+TEST(ColumnCacheProperty, RandomWorkloadStaysWithinBudgetAndConsistent) {
+  Rng rng(5);
+  ColumnCache::Options opts;
+  opts.budget_bytes = 20000;
+  ColumnCache cache(std::vector<TypeId>(8, TypeId::kInt64), opts);
+  for (int round = 0; round < 500; ++round) {
+    uint64_t stripe = static_cast<uint64_t>(rng.Uniform(0, 20));
+    int attr = static_cast<int>(rng.Uniform(0, 7));
+    if (rng.NextBool(0.5)) {
+      cache.Put(stripe, attr,
+                IntColumn(16, static_cast<int64_t>(stripe * 8 + attr)));
+    } else {
+      const std::vector<Value>* col = cache.Get(stripe, attr);
+      if (col != nullptr) {
+        // Values must match what was inserted for this (stripe, attr).
+        EXPECT_EQ((*col)[0].int64(), static_cast<int64_t>(stripe * 8 + attr));
+      }
+    }
+    ASSERT_LE(cache.memory_bytes(), opts.budget_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace nodb

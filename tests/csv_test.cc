@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "csv/parser.h"
+#include "csv/scanner.h"
+#include "csv/tokenizer.h"
+#include "csv/writer.h"
+#include "util/fs_util.h"
+#include "util/rng.h"
+
+namespace nodb {
+namespace {
+
+const CsvDialect kPlain;  // comma, no quoting
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+TEST(TokenizerTest, TokenizeStartsFull) {
+  std::string_view line = "aa,b,,dddd";
+  uint32_t starts[4];
+  EXPECT_EQ(TokenizeStarts(line, kPlain, 3, starts), 4);
+  EXPECT_EQ(starts[0], 0u);
+  EXPECT_EQ(starts[1], 3u);
+  EXPECT_EQ(starts[2], 5u);
+  EXPECT_EQ(starts[3], 6u);
+}
+
+TEST(TokenizerTest, SelectiveStopsEarly) {
+  // Selective tokenizing: asking for fields 0..1 must not scan field 3.
+  std::string_view line = "a,b,c,d";
+  uint32_t starts[2];
+  EXPECT_EQ(TokenizeStarts(line, kPlain, 1, starts), 2);
+  EXPECT_EQ(starts[1], 2u);
+}
+
+TEST(TokenizerTest, ShortLineReturnsFewer) {
+  std::string_view line = "a,b";
+  uint32_t starts[5];
+  EXPECT_EQ(TokenizeStarts(line, kPlain, 4, starts), 2);
+}
+
+TEST(TokenizerTest, EmptyLineOneField) {
+  uint32_t starts[1];
+  EXPECT_EQ(TokenizeStarts("", kPlain, 0, starts), 1);
+  EXPECT_EQ(CountFields("", kPlain), 1);
+}
+
+TEST(TokenizerTest, CountFields) {
+  EXPECT_EQ(CountFields("a,b,c", kPlain), 3);
+  EXPECT_EQ(CountFields(",,", kPlain), 3);
+  EXPECT_EQ(CountFields("x", kPlain), 1);
+}
+
+TEST(TokenizerTest, FieldEndAt) {
+  std::string_view line = "aa,bbb,c";
+  EXPECT_EQ(FieldEndAt(line, kPlain, 0), 2u);
+  EXPECT_EQ(FieldEndAt(line, kPlain, 3), 6u);
+  EXPECT_EQ(FieldEndAt(line, kPlain, 7), 8u);  // last field ends at line end
+}
+
+TEST(TokenizerTest, FindFieldForward) {
+  std::string_view line = "a,bb,ccc,dddd,e";
+  // From field 1 (offset 2), find field 3.
+  EXPECT_EQ(FindFieldForward(line, kPlain, 1, 2, 3), 9u);
+  // Same field returns the input offset.
+  EXPECT_EQ(FindFieldForward(line, kPlain, 2, 5, 2), 5u);
+  // Past the end of the line.
+  EXPECT_EQ(FindFieldForward(line, kPlain, 0, 0, 9), kInvalidOffset);
+}
+
+TEST(TokenizerTest, FindFieldBackward) {
+  std::string_view line = "a,bb,ccc,dddd,e";
+  // Field starts: 0:0 1:2 2:5 3:9 4:14.
+  EXPECT_EQ(FindFieldBackward(line, kPlain, 4, 14, 2), 5u);
+  EXPECT_EQ(FindFieldBackward(line, kPlain, 3, 9, 1), 2u);
+  EXPECT_EQ(FindFieldBackward(line, kPlain, 3, 9, 0), 0u);
+}
+
+TEST(TokenizerTest, ForwardBackwardAgree) {
+  // Property: for random lines, backward from any anchor equals forward
+  // from the line start.
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    int nfields = 2 + static_cast<int>(rng.Uniform(0, 10));
+    std::string line;
+    std::vector<uint32_t> starts;
+    for (int f = 0; f < nfields; ++f) {
+      if (f > 0) line += ",";
+      starts.push_back(static_cast<uint32_t>(line.size()));
+      int len = static_cast<int>(rng.Uniform(0, 6));
+      for (int i = 0; i < len; ++i) line += 'x';
+    }
+    for (int from = 1; from < nfields; ++from) {
+      for (int to = 0; to < from; ++to) {
+        EXPECT_EQ(FindFieldBackward(line, kPlain, from, starts[from], to),
+                  starts[to])
+            << line << " from=" << from << " to=" << to;
+      }
+    }
+  }
+}
+
+TEST(TokenizerTest, QuotedFieldWithEmbeddedDelimiter) {
+  CsvDialect quoted;
+  quoted.quoting = true;
+  std::string_view line = "a,\"x,y\",c";
+  uint32_t starts[3];
+  EXPECT_EQ(TokenizeStarts(line, quoted, 2, starts), 3);
+  EXPECT_EQ(starts[1], 2u);
+  EXPECT_EQ(starts[2], 8u);
+  EXPECT_EQ(CountFields(line, quoted), 3);
+}
+
+TEST(TokenizerTest, QuotedFieldWithEscapedQuote) {
+  CsvDialect quoted;
+  quoted.quoting = true;
+  std::string_view line = "\"he said \"\"hi\"\",ok\",b";
+  EXPECT_EQ(CountFields(line, quoted), 2);
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+TEST(ParserTest, ParseTypedFields) {
+  EXPECT_EQ(ParseCsvField("42", TypeId::kInt64, kPlain)->int64(), 42);
+  EXPECT_DOUBLE_EQ(ParseCsvField("2.5", TypeId::kDouble, kPlain)->f64(), 2.5);
+  EXPECT_EQ(ParseCsvField("abc", TypeId::kString, kPlain)->str(), "abc");
+  EXPECT_EQ(ParseCsvField("1970-01-03", TypeId::kDate, kPlain)->date(), 2);
+}
+
+TEST(ParserTest, EmptyFieldIsNull) {
+  EXPECT_TRUE(ParseCsvField("", TypeId::kInt64, kPlain)->is_null());
+}
+
+TEST(ParserTest, UnquoteField) {
+  CsvDialect quoted;
+  quoted.quoting = true;
+  std::string scratch;
+  EXPECT_EQ(UnquoteField("plain", quoted, &scratch), "plain");
+  EXPECT_EQ(UnquoteField("\"a,b\"", quoted, &scratch), "a,b");
+  EXPECT_EQ(UnquoteField("\"a\"\"b\"", quoted, &scratch), "a\"b");
+  // Quoting disabled: quotes are literal content.
+  EXPECT_EQ(UnquoteField("\"x\"", kPlain, &scratch), "\"x\"");
+}
+
+// ---------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------
+
+class ScannerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<RandomAccessFile> WriteAndOpen(const std::string& content) {
+    path_ = dir_.File("data.csv");
+    EXPECT_TRUE(WriteStringToFile(path_, content).ok());
+    auto f = RandomAccessFile::Open(path_);
+    EXPECT_TRUE(f.ok());
+    return std::move(*f);
+  }
+  TempDir dir_;
+  std::string path_;
+};
+
+TEST_F(ScannerTest, BasicLines) {
+  auto file = WriteAndOpen("a,b\nc,d\ne,f\n");
+  CsvScanner scanner(file.get());
+  LineRef line;
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "a,b");
+  EXPECT_EQ(line.offset, 0u);
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "c,d");
+  EXPECT_EQ(line.offset, 4u);
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "e,f");
+  EXPECT_FALSE(*scanner.Next(&line));
+}
+
+TEST_F(ScannerTest, FinalLineWithoutNewline) {
+  auto file = WriteAndOpen("a\nb");
+  CsvScanner scanner(file.get());
+  LineRef line;
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "a");
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "b");
+  EXPECT_FALSE(*scanner.Next(&line));
+}
+
+TEST_F(ScannerTest, CrLfStripped) {
+  auto file = WriteAndOpen("a,b\r\nc,d\r\n");
+  CsvScanner scanner(file.get());
+  LineRef line;
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "a,b");
+}
+
+TEST_F(ScannerTest, EmptyFile) {
+  auto file = WriteAndOpen("");
+  CsvScanner scanner(file.get());
+  LineRef line;
+  EXPECT_FALSE(*scanner.Next(&line));
+}
+
+TEST_F(ScannerTest, LinesLongerThanBuffer) {
+  std::string big(10000, 'x');
+  auto file = WriteAndOpen("short\n" + big + "\nend\n");
+  CsvScanner scanner(file.get(), 4096);  // buffer smaller than the long line
+  LineRef line;
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "short");
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text.size(), big.size());
+  EXPECT_EQ(line.text, big);
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "end");
+}
+
+TEST_F(ScannerTest, SeekToLineStart) {
+  auto file = WriteAndOpen("aa\nbb\ncc\n");
+  CsvScanner scanner(file.get());
+  LineRef line;
+  ASSERT_TRUE(*scanner.Next(&line));
+  scanner.SeekTo(6);  // start of "cc"
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "cc");
+  EXPECT_EQ(line.offset, 6u);
+  // Seek backwards too.
+  scanner.SeekTo(3);
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "bb");
+}
+
+TEST_F(ScannerTest, ManyLinesAcrossRefills) {
+  std::string content;
+  for (int i = 0; i < 5000; ++i) {
+    content += "line" + std::to_string(i) + ",val\n";
+  }
+  auto file = WriteAndOpen(content);
+  CsvScanner scanner(file.get(), 4096);
+  LineRef line;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(*scanner.Next(&line)) << i;
+    EXPECT_EQ(line.text, "line" + std::to_string(i) + ",val");
+  }
+  EXPECT_FALSE(*scanner.Next(&line));
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+TEST_F(ScannerTest, WriterRoundTrip) {
+  std::string path = dir_.File("out.csv");
+  Schema schema{{"a", TypeId::kInt64}, {"b", TypeId::kString},
+                {"d", TypeId::kDate}};
+  {
+    auto out = WritableFile::Create(path);
+    ASSERT_TRUE(out.ok());
+    CsvWriter writer(out->get(), kPlain);
+    ASSERT_TRUE(writer.WriteHeader(schema).ok());
+    ASSERT_TRUE(writer
+                    .WriteRow({Value::Int64(1), Value::String("x"),
+                               Value::Date(3)})
+                    .ok());
+    ASSERT_TRUE(writer
+                    .WriteRow({Value::Null(TypeId::kInt64), Value::String(""),
+                               Value::Null(TypeId::kDate)})
+                    .ok());
+    ASSERT_TRUE(writer.Finish().ok());
+    ASSERT_TRUE((*out)->Close().ok());
+  }
+  Result<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "a,b,d\n1,x,1970-01-04\n,,\n");
+}
+
+TEST_F(ScannerTest, WriterQuotesWhenNeeded) {
+  std::string path = dir_.File("out.csv");
+  CsvDialect quoted;
+  quoted.quoting = true;
+  auto out = WritableFile::Create(path);
+  CsvWriter writer(out->get(), quoted);
+  ASSERT_TRUE(writer.WriteFields({"a,b", "he said \"hi\"", "plain"}).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_TRUE((*out)->Close().ok());
+  EXPECT_EQ(*ReadFileToString(path),
+            "\"a,b\",\"he said \"\"hi\"\"\",plain\n");
+}
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "csv/writer.h"
+#include "engine/engines.h"
+#include "util/fs_util.h"
+#include "util/rng.h"
+#include "util/str_conv.h"
+
+namespace nodb {
+namespace {
+
+/// Differential testing: a random table and random queries, executed by
+/// every system under test. All engines share the executor but differ in
+/// access paths (in-situ with/without map/cache/stats, loaded heap, packed
+/// rows), so agreement across engines — and across repetitions while the
+/// adaptive structures warm up — is a strong end-to-end correctness check.
+
+struct RandomTable {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+RandomTable MakeRandomTable(Rng* rng) {
+  RandomTable table;
+  int ncols = static_cast<int>(rng->Uniform(3, 8));
+  for (int c = 0; c < ncols; ++c) {
+    TypeId type;
+    switch (rng->Uniform(0, 3)) {
+      case 0:
+        type = TypeId::kInt64;
+        break;
+      case 1:
+        type = TypeId::kDouble;
+        break;
+      case 2:
+        type = TypeId::kString;
+        break;
+      default:
+        type = TypeId::kDate;
+        break;
+    }
+    table.schema.AddColumn({"c" + std::to_string(c), type});
+  }
+  int nrows = static_cast<int>(rng->Uniform(50, 400));
+  for (int r = 0; r < nrows; ++r) {
+    Row row;
+    for (int c = 0; c < ncols; ++c) {
+      TypeId type = table.schema.column(c).type;
+      if (rng->NextBool(0.05)) {
+        row.push_back(Value::Null(type));
+        continue;
+      }
+      switch (type) {
+        case TypeId::kInt64:
+          // Low cardinality so GROUP BY and equality predicates hit.
+          row.push_back(Value::Int64(rng->Uniform(0, 20)));
+          break;
+        case TypeId::kDouble:
+          row.push_back(Value::Double(
+              static_cast<double>(rng->Uniform(0, 1000)) / 4.0));
+          break;
+        case TypeId::kString: {
+          static const char* kWords[] = {"ash", "birch", "cedar", "doum",
+                                         "elm", "fir"};
+          row.push_back(Value::String(kWords[rng->Next() % 6]));
+          break;
+        }
+        case TypeId::kDate:
+          row.push_back(
+              Value::Date(static_cast<int32_t>(rng->Uniform(8000, 9000))));
+          break;
+        case TypeId::kBool:
+          row.push_back(Value::Bool(rng->NextBool(0.5)));
+          break;
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+/// One random predicate over a random column, with literals drawn from the
+/// table's actual value domains.
+std::string RandomPredicate(const RandomTable& table, Rng* rng) {
+  int c = static_cast<int>(rng->Uniform(0, table.schema.num_columns() - 1));
+  const std::string& name = table.schema.column(c).name;
+  TypeId type = table.schema.column(c).type;
+  switch (type) {
+    case TypeId::kInt64: {
+      int64_t v = rng->Uniform(0, 20);
+      const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+      return name + " " + ops[rng->Next() % 6] + " " + std::to_string(v);
+    }
+    case TypeId::kDouble: {
+      int64_t v = rng->Uniform(0, 250);
+      return name + (rng->NextBool(0.5) ? " < " : " >= ") +
+             std::to_string(v) + ".0";
+    }
+    case TypeId::kString: {
+      static const char* kWords[] = {"ash", "birch", "cedar", "doum",
+                                     "elm", "fir"};
+      const char* w = kWords[rng->Next() % 6];
+      switch (rng->Next() % 3) {
+        case 0:
+          return name + " = '" + w + "'";
+        case 1:
+          return name + " LIKE '" + std::string(1, w[0]) + "%'";
+        default:
+          return name + " IN ('" + w + "', 'elm')";
+      }
+    }
+    case TypeId::kDate: {
+      int32_t d = static_cast<int32_t>(rng->Uniform(8000, 9000));
+      return name + (rng->NextBool(0.5) ? " < DATE '" : " >= DATE '") +
+             FormatDate(d) + "'";
+    }
+    default:
+      return name + " IS NOT NULL";
+  }
+}
+
+std::string RandomQuery(const RandomTable& table, Rng* rng) {
+  int ncols = table.schema.num_columns();
+  bool aggregate = rng->NextBool(0.4);
+  std::string sql = "SELECT ";
+  if (aggregate) {
+    // Group by one low-cardinality column, aggregate another.
+    int g = -1, a = -1;
+    for (int c = 0; c < ncols; ++c) {
+      TypeId t = table.schema.column(c).type;
+      if (g < 0 && (t == TypeId::kInt64 || t == TypeId::kString)) g = c;
+      if (t == TypeId::kInt64 || t == TypeId::kDouble) a = c;
+    }
+    if (g < 0 || a < 0) return "SELECT COUNT(*) FROM t";
+    const std::string& gn = table.schema.column(g).name;
+    const std::string& an = table.schema.column(a).name;
+    sql += gn + ", COUNT(*) AS n, SUM(" + an + ") AS s, MIN(" + an +
+           ") AS lo, MAX(" + an + ") AS hi FROM t";
+    int npreds = static_cast<int>(rng->Uniform(0, 2));
+    for (int p = 0; p < npreds; ++p) {
+      sql += (p == 0 ? " WHERE " : " AND ") + RandomPredicate(table, rng);
+    }
+    sql += " GROUP BY " + gn;
+    return sql;
+  }
+  // Plain select-project: random attribute subset (the paper's micro
+  // queries), random conjunctive filter.
+  int nproj = static_cast<int>(rng->Uniform(1, ncols));
+  std::vector<int> cols;
+  for (int i = 0; i < nproj; ++i) {
+    cols.push_back(static_cast<int>(rng->Uniform(0, ncols - 1)));
+  }
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += table.schema.column(cols[i]).name;
+  }
+  sql += " FROM t";
+  int npreds = static_cast<int>(rng->Uniform(0, 3));
+  for (int p = 0; p < npreds; ++p) {
+    sql += (p == 0 ? " WHERE " : " AND ") + RandomPredicate(table, rng);
+  }
+  return sql;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
+  Rng rng(GetParam());
+  TempDir dir;
+  RandomTable table = MakeRandomTable(&rng);
+  std::string csv_path = dir.File("t.csv");
+  {
+    auto out = WritableFile::Create(csv_path);
+    ASSERT_TRUE(out.ok());
+    CsvWriter writer(out->get(), CsvDialect{});
+    for (const Row& row : table.rows) {
+      ASSERT_TRUE(writer.WriteRow(row).ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+    ASSERT_TRUE((*out)->Close().ok());
+  }
+
+  // Instantiate every system under test once; adaptive state persists
+  // across the whole query sequence (as it would in production).
+  std::vector<std::pair<std::string, std::unique_ptr<Database>>> engines;
+  for (SystemUnderTest sut :
+       {SystemUnderTest::kPostgresRawPMC, SystemUnderTest::kPostgresRawPM,
+        SystemUnderTest::kPostgresRawC,
+        SystemUnderTest::kPostgresRawBaseline,
+        SystemUnderTest::kExternalFiles, SystemUnderTest::kPostgreSQL,
+        SystemUnderTest::kDbmsX, SystemUnderTest::kMySQL}) {
+    auto db = MakeEngine(sut);
+    if (IsInSituSystem(sut)) {
+      ASSERT_TRUE(db->RegisterCsv("t", csv_path, table.schema).ok());
+    } else {
+      ASSERT_TRUE(db->LoadCsv("t", csv_path, table.schema).ok());
+    }
+    engines.emplace_back(std::string(SystemUnderTestName(sut)),
+                         std::move(db));
+  }
+
+  // A tight-budget PM+C engine exercises eviction and spilling during the
+  // same workload (results must still be exact).
+  {
+    EngineConfig config =
+        EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
+    config.pm_budget_bytes = 16 * 1024;
+    config.cache_budget_bytes = 16 * 1024;
+    config.tuples_per_chunk = 64;
+    auto db = std::make_unique<Database>(config);
+    ASSERT_TRUE(db->RegisterCsv("t", csv_path, table.schema).ok());
+    engines.emplace_back("PM+C tight budget", std::move(db));
+  }
+
+  constexpr int kQueries = 20;
+  for (int q = 0; q < kQueries; ++q) {
+    std::string sql = RandomQuery(table, &rng);
+    std::string reference;
+    std::string ref_name;
+    for (auto& [name, db] : engines) {
+      auto result = db->Execute(sql);
+      ASSERT_TRUE(result.ok())
+          << name << " failed on: " << sql << "\n" << result.status();
+      std::string canonical = result->Canonical(/*sorted=*/true);
+      if (ref_name.empty()) {
+        reference = canonical;
+        ref_name = name;
+      } else {
+        ASSERT_EQ(canonical, reference)
+            << name << " vs " << ref_name << " disagree on: " << sql;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "engine/engines.h"
+#include "util/fs_util.h"
+
+namespace nodb {
+namespace {
+
+/// Shared fixture: a small typed CSV table.
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csv_path_ = dir_.File("people.csv");
+    ASSERT_TRUE(WriteStringToFile(csv_path_,
+                                  "1,alice,30,9000.5,2020-01-01\n"
+                                  "2,bob,25,100.25,2021-06-15\n"
+                                  "3,carol,35,5000,2019-12-31\n"
+                                  "4,dave,25,,2022-03-03\n"
+                                  "5,erin,41,7500.75,2020-07-07\n")
+                    .ok());
+    schema_ = Schema{{"id", TypeId::kInt64},
+                     {"name", TypeId::kString},
+                     {"age", TypeId::kInt64},
+                     {"balance", TypeId::kDouble},
+                     {"joined", TypeId::kDate}};
+  }
+
+  std::unique_ptr<Database> Raw(SystemUnderTest sut =
+                                    SystemUnderTest::kPostgresRawPMC) {
+    auto db = MakeEngine(sut);
+    EXPECT_TRUE(db->RegisterCsv("people", csv_path_, schema_).ok());
+    return db;
+  }
+
+  std::unique_ptr<Database> Loaded(SystemUnderTest sut =
+                                       SystemUnderTest::kPostgreSQL) {
+    auto db = MakeEngine(sut);
+    EngineConfig cfg = db->config();
+    EXPECT_TRUE(db->LoadCsv("people", csv_path_, schema_).ok());
+    return db;
+  }
+
+  TempDir dir_;
+  std::string csv_path_;
+  Schema schema_;
+};
+
+TEST_F(EngineTest, SelectStarRaw) {
+  auto db = Raw();
+  auto result = db->Execute("SELECT * FROM people");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 5u);
+  EXPECT_EQ(result->schema.num_columns(), 5);
+  EXPECT_EQ(result->rows[0][1].str(), "alice");
+  EXPECT_TRUE(result->rows[3][3].is_null());  // dave's empty balance
+}
+
+TEST_F(EngineTest, ProjectionAndFilter) {
+  auto db = Raw();
+  auto result = db->Execute(
+      "SELECT name FROM people WHERE age = 25 ORDER BY name");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0].str(), "bob");
+  EXPECT_EQ(result->rows[1][0].str(), "dave");
+}
+
+TEST_F(EngineTest, AggregatesGlobal) {
+  auto db = Raw();
+  auto result = db->Execute(
+      "SELECT COUNT(*), SUM(age), MIN(name), MAX(joined), AVG(balance) "
+      "FROM people");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].int64(), 5);
+  EXPECT_EQ(result->rows[0][1].int64(), 156);
+  EXPECT_EQ(result->rows[0][2].str(), "alice");
+  EXPECT_EQ(result->rows[0][3].ToString(), "2022-03-03");
+  // AVG ignores dave's NULL balance: (9000.5+100.25+5000+7500.75)/4.
+  EXPECT_DOUBLE_EQ(result->rows[0][4].f64(), 21601.5 / 4.0);
+}
+
+TEST_F(EngineTest, GroupBy) {
+  auto db = Raw();
+  auto result = db->Execute(
+      "SELECT age, COUNT(*) AS n FROM people GROUP BY age ORDER BY age");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 4u);
+  EXPECT_EQ(result->rows[0][0].int64(), 25);
+  EXPECT_EQ(result->rows[0][1].int64(), 2);
+}
+
+TEST_F(EngineTest, DateComparisonAndArithmetic) {
+  auto db = Raw();
+  auto result = db->Execute(
+      "SELECT id FROM people WHERE joined >= DATE '2020-06-01' "
+      "ORDER BY id");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 3u);  // bob, dave, erin
+  auto interval = db->Execute(
+      "SELECT id FROM people "
+      "WHERE joined < DATE '2020-01-01' + INTERVAL '10' DAY ORDER BY id");
+  ASSERT_TRUE(interval.ok()) << interval.status();
+  ASSERT_EQ(interval->rows.size(), 2u);  // alice (01-01), carol (2019)
+}
+
+TEST_F(EngineTest, LimitAndOrderDesc) {
+  auto db = Raw();
+  auto result = db->Execute(
+      "SELECT name, age FROM people ORDER BY age DESC, name LIMIT 2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0].str(), "erin");
+  EXPECT_EQ(result->rows[1][0].str(), "carol");
+}
+
+TEST_F(EngineTest, RepeatedQueriesStayCorrectAsStructuresWarm) {
+  // The adaptive structures must never change answers — only speed.
+  auto db = Raw();
+  std::string expected;
+  for (int i = 0; i < 5; ++i) {
+    auto result = db->Execute(
+        "SELECT id, balance FROM people WHERE age > 24 ORDER BY id");
+    ASSERT_TRUE(result.ok()) << result.status();
+    std::string canonical = result->Canonical(false);
+    if (i == 0) {
+      expected = canonical;
+    } else {
+      EXPECT_EQ(canonical, expected) << "query " << i;
+    }
+  }
+  // After a full scan the row count is known.
+  EXPECT_EQ(db->GetRowCount("people"), 5);
+}
+
+TEST_F(EngineTest, AllRawVariantsAgree) {
+  auto reference = Raw(SystemUnderTest::kPostgresRawPMC);
+  auto expected = reference->Execute("SELECT name, age FROM people "
+                                     "WHERE balance > 1000 ORDER BY name");
+  ASSERT_TRUE(expected.ok());
+  for (SystemUnderTest sut :
+       {SystemUnderTest::kPostgresRawPM, SystemUnderTest::kPostgresRawC,
+        SystemUnderTest::kPostgresRawBaseline,
+        SystemUnderTest::kExternalFiles}) {
+    auto db = Raw(sut);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      auto result = db->Execute("SELECT name, age FROM people "
+                                "WHERE balance > 1000 ORDER BY name");
+      ASSERT_TRUE(result.ok())
+          << SystemUnderTestName(sut) << ": " << result.status();
+      EXPECT_EQ(result->Canonical(false), expected->Canonical(false))
+          << SystemUnderTestName(sut) << " repeat " << repeat;
+    }
+  }
+}
+
+TEST_F(EngineTest, LoadedEnginesAgreeWithRaw) {
+  auto raw = Raw();
+  auto expected =
+      raw->Execute("SELECT age, COUNT(*) AS n, SUM(balance) AS total "
+                   "FROM people GROUP BY age ORDER BY age");
+  ASSERT_TRUE(expected.ok());
+  for (SystemUnderTest sut :
+       {SystemUnderTest::kPostgreSQL, SystemUnderTest::kDbmsX,
+        SystemUnderTest::kMySQL}) {
+    auto db = Loaded(sut);
+    auto result =
+        db->Execute("SELECT age, COUNT(*) AS n, SUM(balance) AS total "
+                    "FROM people GROUP BY age ORDER BY age");
+    ASSERT_TRUE(result.ok())
+        << SystemUnderTestName(sut) << ": " << result.status();
+    EXPECT_EQ(result->Canonical(false), expected->Canonical(false))
+        << SystemUnderTestName(sut);
+  }
+}
+
+TEST_F(EngineTest, ErrorsSurfaceCleanly) {
+  auto db = Raw();
+  EXPECT_FALSE(db->Execute("SELECT nope FROM people").ok());
+  EXPECT_FALSE(db->Execute("SELECT * FROM missing_table").ok());
+  EXPECT_FALSE(db->Execute("SELEC * FROM people").ok());
+  EXPECT_FALSE(db->Execute("SELECT name FROM people WHERE age = 'x'").ok());
+}
+
+TEST_F(EngineTest, DuplicateRegistrationFails) {
+  auto db = Raw();
+  EXPECT_EQ(db->RegisterCsv("people", csv_path_, schema_).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(db->DropTable("people").ok());
+  EXPECT_TRUE(db->RegisterCsv("people", csv_path_, schema_).ok());
+}
+
+TEST_F(EngineTest, ExplainShowsPlan) {
+  auto db = Raw();
+  auto plan = db->Explain("SELECT age, COUNT(*) FROM people GROUP BY age");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("Scan people"), std::string::npos);
+  EXPECT_NE(plan->find("Aggregate"), std::string::npos);
+}
+
+TEST_F(EngineTest, HeaderedCsv) {
+  std::string path = dir_.File("with_header.csv");
+  ASSERT_TRUE(
+      WriteStringToFile(path, "id,name\n1,x\n2,y\n").ok());
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  CsvDialect dialect;
+  dialect.has_header = true;
+  ASSERT_TRUE(db->RegisterCsv("t", path,
+                              Schema{{"id", TypeId::kInt64},
+                                     {"name", TypeId::kString}},
+                              dialect)
+                  .ok());
+  for (int i = 0; i < 3; ++i) {
+    auto result = db->Execute("SELECT id, name FROM t ORDER BY id");
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->rows.size(), 2u);
+    EXPECT_EQ(result->rows[0][1].str(), "x");
+  }
+}
+
+TEST_F(EngineTest, EmptyFileYieldsEmptyResults) {
+  std::string path = dir_.File("empty.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(
+      db->RegisterCsv("t", path, Schema{{"a", TypeId::kInt64}}).ok());
+  auto result = db->Execute("SELECT a FROM t");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->rows.empty());
+  auto agg = db->Execute("SELECT COUNT(*), SUM(a) FROM t");
+  ASSERT_TRUE(agg.ok());
+  ASSERT_EQ(agg->rows.size(), 1u);
+  EXPECT_EQ(agg->rows[0][0].int64(), 0);
+  EXPECT_TRUE(agg->rows[0][1].is_null());
+}
+
+TEST_F(EngineTest, JoinTwoRawTables) {
+  std::string path = dir_.File("depts.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "25,eng\n30,sales\n35,hr\n41,ops\n")
+                  .ok());
+  auto db = Raw();
+  ASSERT_TRUE(db->RegisterCsv("depts", path,
+                              Schema{{"d_age", TypeId::kInt64},
+                                     {"d_name", TypeId::kString}})
+                  .ok());
+  auto result = db->Execute(
+      "SELECT name, d_name FROM people, depts WHERE age = d_age "
+      "ORDER BY name");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 5u);
+  EXPECT_EQ(result->rows[0][0].str(), "alice");
+  EXPECT_EQ(result->rows[0][1].str(), "sales");
+}
+
+TEST_F(EngineTest, ExistsSemiJoin) {
+  std::string path = dir_.File("flags.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,1\n3,0\n3,1\n9,1\n").ok());
+  auto db = Raw();
+  ASSERT_TRUE(db->RegisterCsv("flags", path,
+                              Schema{{"f_id", TypeId::kInt64},
+                                     {"f_val", TypeId::kInt64}})
+                  .ok());
+  auto result = db->Execute(
+      "SELECT name FROM people WHERE EXISTS "
+      "(SELECT * FROM flags WHERE f_id = id AND f_val = 1) ORDER BY name");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0].str(), "alice");
+  EXPECT_EQ(result->rows[1][0].str(), "carol");
+
+  auto anti = db->Execute(
+      "SELECT COUNT(*) FROM people WHERE NOT EXISTS "
+      "(SELECT * FROM flags WHERE f_id = id)");
+  ASSERT_TRUE(anti.ok()) << anti.status();
+  EXPECT_EQ(anti->rows[0][0].int64(), 3);  // bob, dave, erin
+}
+
+}  // namespace
+}  // namespace nodb

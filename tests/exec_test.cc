@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include "exec/aggregate.h"
+#include "exec/filter.h"
+#include "exec/hash_join.h"
+#include "exec/limit.h"
+#include "exec/project.h"
+#include "exec/sort.h"
+#include "util/rng.h"
+
+namespace nodb {
+namespace {
+
+/// Operator-level tests against a canned row source, isolating executor
+/// semantics from scans and planning.
+class VectorSource final : public Operator {
+ public:
+  explicit VectorSource(std::vector<Row> rows) : rows_(std::move(rows)) {}
+  Status Open() override {
+    next_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* row) override {
+    if (next_ >= rows_.size()) return false;
+    *row = rows_[next_++];
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+ExprPtr Col(int i, TypeId t) {
+  return std::make_unique<ColumnRefExpr>(i, t, "c" + std::to_string(i));
+}
+ExprPtr Lit(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }
+ExprPtr IntCmp(CompareOp op, int col, int64_t v) {
+  return std::make_unique<ComparisonExpr>(op, Col(col, TypeId::kInt64),
+                                          Lit(Value::Int64(v)));
+}
+
+std::vector<Row> Drain(Operator* op) {
+  EXPECT_TRUE(op->Open().ok());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    auto has = op->Next(&row);
+    EXPECT_TRUE(has.ok()) << has.status();
+    if (!has.ok() || !*has) break;
+    rows.push_back(row);
+  }
+  EXPECT_TRUE(op->Close().ok());
+  return rows;
+}
+
+std::vector<Row> IntRows(std::initializer_list<std::pair<int64_t, int64_t>> v) {
+  std::vector<Row> rows;
+  for (auto [a, b] : v) {
+    rows.push_back({Value::Int64(a), Value::Int64(b)});
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------
+// Filter / Project / Limit / Sort
+// ---------------------------------------------------------------------
+
+TEST(FilterOpTest, DropsFailingAndNullRows) {
+  std::vector<Row> input = IntRows({{1, 10}, {5, 20}, {3, 30}});
+  input.push_back({Value::Null(TypeId::kInt64), Value::Int64(40)});
+  std::vector<ExprPtr> conjuncts;
+  conjuncts.push_back(IntCmp(CompareOp::kGe, 0, 3));  // NULL -> not truthy
+  FilterOp filter(std::make_unique<VectorSource>(input), &conjuncts);
+  auto out = Drain(&filter);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0][0].int64(), 5);
+  EXPECT_EQ(out[1][0].int64(), 3);
+}
+
+TEST(FilterOpTest, MultipleConjunctsShortCircuit) {
+  std::vector<ExprPtr> conjuncts;
+  conjuncts.push_back(IntCmp(CompareOp::kGt, 0, 1));
+  conjuncts.push_back(IntCmp(CompareOp::kLt, 1, 25));
+  FilterOp filter(
+      std::make_unique<VectorSource>(IntRows({{1, 10}, {5, 20}, {7, 30}})),
+      &conjuncts);
+  auto out = Drain(&filter);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0].int64(), 5);
+}
+
+TEST(ProjectOpTest, EvaluatesExpressions) {
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(std::make_unique<ArithmeticExpr>(
+      ArithOp::kAdd, TypeId::kInt64, Col(0, TypeId::kInt64),
+      Col(1, TypeId::kInt64)));
+  ProjectOp project(
+      std::make_unique<VectorSource>(IntRows({{1, 10}, {2, 20}})), &exprs);
+  auto out = Drain(&project);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].size(), 1u);
+  EXPECT_EQ(out[0][0].int64(), 11);
+  EXPECT_EQ(out[1][0].int64(), 22);
+}
+
+TEST(LimitOpTest, StopsEarly) {
+  LimitOp limit(
+      std::make_unique<VectorSource>(IntRows({{1, 0}, {2, 0}, {3, 0}})), 2);
+  auto out = Drain(&limit);
+  ASSERT_EQ(out.size(), 2u);
+  LimitOp zero(std::make_unique<VectorSource>(IntRows({{1, 0}})), 0);
+  EXPECT_TRUE(Drain(&zero).empty());
+}
+
+TEST(SortOpTest, MultiKeyWithNullsLast) {
+  std::vector<Row> input = IntRows({{2, 9}, {1, 5}, {2, 1}});
+  input.push_back({Value::Null(TypeId::kInt64), Value::Int64(7)});
+  std::vector<BoundOrderKey> keys = {{0, false}, {1, true}};
+  SortOp sort(std::make_unique<VectorSource>(input), &keys);
+  auto out = Drain(&sort);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0][0].int64(), 1);
+  EXPECT_EQ(out[1][0].int64(), 2);
+  EXPECT_EQ(out[1][1].int64(), 9);  // desc secondary
+  EXPECT_EQ(out[2][1].int64(), 1);
+  EXPECT_TRUE(out[3][0].is_null());  // NULLs last
+}
+
+// ---------------------------------------------------------------------
+// Aggregation: both strategies must agree
+// ---------------------------------------------------------------------
+
+class AggregateStrategyTest : public ::testing::TestWithParam<AggStrategy> {};
+
+TEST_P(AggregateStrategyTest, GroupedSumAndCount) {
+  std::vector<Row> input =
+      IntRows({{1, 10}, {2, 20}, {1, 30}, {3, 5}, {2, 2}});
+  std::vector<ExprPtr> group_by;
+  group_by.push_back(Col(0, TypeId::kInt64));
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col(1, TypeId::kInt64)});
+  aggs.push_back({AggFunc::kCountStar, nullptr});
+  AggregateOp agg(std::make_unique<VectorSource>(input), &group_by, &aggs,
+                  GetParam(), 8);
+  auto out = Drain(&agg);
+  ASSERT_EQ(out.size(), 3u);
+  int64_t sum_for_1 = 0, count_for_1 = 0;
+  for (const Row& row : out) {
+    if (row[0].int64() == 1) {
+      sum_for_1 = row[1].int64();
+      count_for_1 = row[2].int64();
+    }
+  }
+  EXPECT_EQ(sum_for_1, 40);
+  EXPECT_EQ(count_for_1, 2);
+}
+
+TEST_P(AggregateStrategyTest, EmptyInputGlobalVsGrouped) {
+  std::vector<ExprPtr> no_groups;
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFunc::kCountStar, nullptr});
+  AggregateOp global(std::make_unique<VectorSource>(std::vector<Row>{}),
+                     &no_groups, &aggs, GetParam(), 1);
+  auto out = Drain(&global);
+  ASSERT_EQ(out.size(), 1u);  // global agg over nothing: one zero row
+  EXPECT_EQ(out[0][0].int64(), 0);
+
+  std::vector<ExprPtr> group_by;
+  group_by.push_back(Col(0, TypeId::kInt64));
+  AggregateOp grouped(std::make_unique<VectorSource>(std::vector<Row>{}),
+                      &group_by, &aggs, GetParam(), 1);
+  EXPECT_TRUE(Drain(&grouped).empty());  // grouped agg over nothing: no rows
+}
+
+TEST_P(AggregateStrategyTest, NullGroupKeysFormOneGroup) {
+  std::vector<Row> input;
+  input.push_back({Value::Null(TypeId::kInt64), Value::Int64(1)});
+  input.push_back({Value::Null(TypeId::kInt64), Value::Int64(2)});
+  input.push_back({Value::Int64(7), Value::Int64(3)});
+  std::vector<ExprPtr> group_by;
+  group_by.push_back(Col(0, TypeId::kInt64));
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col(1, TypeId::kInt64)});
+  AggregateOp agg(std::make_unique<VectorSource>(input), &group_by, &aggs,
+                  GetParam(), 4);
+  auto out = Drain(&agg);
+  ASSERT_EQ(out.size(), 2u);
+  int64_t null_sum = -1;
+  for (const Row& row : out) {
+    if (row[0].is_null()) null_sum = row[1].int64();
+  }
+  EXPECT_EQ(null_sum, 3);  // SQL groups NULL keys together
+}
+
+TEST_P(AggregateStrategyTest, RandomizedAgreesWithModel) {
+  Rng rng(31);
+  std::vector<Row> input;
+  std::map<int64_t, std::pair<int64_t, int64_t>> model;  // key -> (sum, n)
+  for (int i = 0; i < 2000; ++i) {
+    int64_t k = rng.Uniform(0, 15);
+    int64_t v = rng.Uniform(-100, 100);
+    input.push_back({Value::Int64(k), Value::Int64(v)});
+    model[k].first += v;
+    model[k].second += 1;
+  }
+  std::vector<ExprPtr> group_by;
+  group_by.push_back(Col(0, TypeId::kInt64));
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col(1, TypeId::kInt64)});
+  aggs.push_back({AggFunc::kCount, Col(1, TypeId::kInt64)});
+  AggregateOp agg(std::make_unique<VectorSource>(input), &group_by, &aggs,
+                  GetParam(), 16);
+  auto out = Drain(&agg);
+  ASSERT_EQ(out.size(), model.size());
+  for (const Row& row : out) {
+    auto it = model.find(row[0].int64());
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(row[1].int64(), it->second.first);
+    EXPECT_EQ(row[2].int64(), it->second.second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AggregateStrategyTest,
+                         ::testing::Values(AggStrategy::kHash,
+                                           AggStrategy::kSort),
+                         [](const ::testing::TestParamInfo<AggStrategy>& i) {
+                           return i.param == AggStrategy::kHash ? "Hash"
+                                                                : "Sort";
+                         });
+
+// ---------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------
+
+/// Working-row layout for the join tests: width 3, probe table at offset 0
+/// (2 cols), build table at offset 2 (1 col).
+std::vector<Row> ProbeRows() {
+  std::vector<Row> rows;
+  for (auto [a, b] : std::initializer_list<std::pair<int64_t, int64_t>>{
+           {1, 10}, {2, 20}, {3, 30}, {2, 21}}) {
+    rows.push_back({Value::Int64(a), Value::Int64(b), Value()});
+  }
+  return rows;
+}
+
+std::vector<Row> BuildRows() {
+  std::vector<Row> rows;
+  for (int64_t k : {2, 3, 3, 9}) {
+    rows.push_back({Value(), Value(), Value::Int64(k)});
+  }
+  return rows;
+}
+
+TEST(HashJoinOpTest, InnerJoinWithDuplicates) {
+  PlannedJoin join;
+  join.probe_keys.push_back(Col(0, TypeId::kInt64));
+  join.build_keys.push_back(Col(2, TypeId::kInt64));
+  HashJoinOp op(std::make_unique<VectorSource>(ProbeRows()),
+                std::make_unique<VectorSource>(BuildRows()), &join,
+                /*build_offset=*/2, /*build_width=*/1);
+  auto out = Drain(&op);
+  // probe 2 matches build {2} once (x2 probe rows), probe 3 matches twice.
+  ASSERT_EQ(out.size(), 4u);
+  for (const Row& row : out) {
+    EXPECT_EQ(row[0].int64(), row[2].int64());
+  }
+}
+
+TEST(HashJoinOpTest, ResidualPredicateFilters) {
+  PlannedJoin join;
+  join.probe_keys.push_back(Col(0, TypeId::kInt64));
+  join.build_keys.push_back(Col(2, TypeId::kInt64));
+  // Residual: probe payload must exceed 20 (keeps only {2,21,2}).
+  join.residual.push_back(IntCmp(CompareOp::kGt, 1, 20));
+  HashJoinOp op(std::make_unique<VectorSource>(ProbeRows()),
+                std::make_unique<VectorSource>(BuildRows()), &join, 2, 1);
+  auto out = Drain(&op);
+  ASSERT_EQ(out.size(), 3u);  // (2,21) and (3,30) twice
+  for (const Row& row : out) EXPECT_GT(row[1].int64(), 20);
+}
+
+TEST(HashJoinOpTest, NullKeysNeverMatch) {
+  std::vector<Row> probe = ProbeRows();
+  probe.push_back({Value::Null(TypeId::kInt64), Value::Int64(99), Value()});
+  std::vector<Row> build = BuildRows();
+  build.push_back({Value(), Value(), Value::Null(TypeId::kInt64)});
+  PlannedJoin join;
+  join.probe_keys.push_back(Col(0, TypeId::kInt64));
+  join.build_keys.push_back(Col(2, TypeId::kInt64));
+  HashJoinOp op(std::make_unique<VectorSource>(probe),
+                std::make_unique<VectorSource>(build), &join, 2, 1);
+  auto out = Drain(&op);
+  EXPECT_EQ(out.size(), 4u);  // unchanged: NULLs joined nothing
+}
+
+TEST(HashJoinOpTest, CrossJoinViaEmptyKeys) {
+  PlannedJoin join;  // no keys: single-bucket cross product
+  HashJoinOp op(std::make_unique<VectorSource>(ProbeRows()),
+                std::make_unique<VectorSource>(BuildRows()), &join, 2, 1);
+  auto out = Drain(&op);
+  EXPECT_EQ(out.size(), 16u);  // 4 x 4
+}
+
+TEST(SemiJoinOpTest, SemiAndAnti) {
+  // Outer rows (width 2), inner rows are single-column key sets.
+  std::vector<Row> outer = IntRows({{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  std::vector<Row> inner = {{Value::Int64(2)}, {Value::Int64(4)},
+                            {Value::Int64(4)}};
+  PlannedSemiJoin semi;
+  semi.outer_keys.push_back(Col(0, TypeId::kInt64));
+  semi.inner_keys.push_back(Col(0, TypeId::kInt64));
+  SemiJoinOp op(std::make_unique<VectorSource>(outer),
+                std::make_unique<VectorSource>(inner), &semi);
+  auto out = Drain(&op);
+  ASSERT_EQ(out.size(), 2u);  // 2 and 4, each once (semi join, not inner)
+  EXPECT_EQ(out[0][0].int64(), 2);
+  EXPECT_EQ(out[1][0].int64(), 4);
+
+  PlannedSemiJoin anti;
+  anti.anti = true;
+  anti.outer_keys.push_back(Col(0, TypeId::kInt64));
+  anti.inner_keys.push_back(Col(0, TypeId::kInt64));
+  SemiJoinOp anti_op(std::make_unique<VectorSource>(outer),
+                     std::make_unique<VectorSource>(inner), &anti);
+  auto anti_out = Drain(&anti_op);
+  ASSERT_EQ(anti_out.size(), 2u);  // 1 and 3
+  EXPECT_EQ(anti_out[0][0].int64(), 1);
+  EXPECT_EQ(anti_out[1][0].int64(), 3);
+}
+
+}  // namespace
+}  // namespace nodb

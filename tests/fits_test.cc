@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "engine/engines.h"
+#include "fits/cfitsio_like.h"
+#include "fits/fits_format.h"
+#include "fits/fits_reader.h"
+#include "fits/fits_writer.h"
+#include "util/fs_util.h"
+#include "util/rng.h"
+
+namespace nodb {
+namespace {
+
+TEST(FitsFormatTest, BigEndianRoundTrip) {
+  char buf[8];
+  PutBigEndian64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(GetBigEndian64(buf), 0x0102030405060708ULL);
+  PutBigEndian32(buf, 0xDEADBEEF);
+  EXPECT_EQ(GetBigEndian32(buf), 0xDEADBEEF);
+}
+
+class FitsFileTest : public ::testing::Test {
+ protected:
+  /// Writes a small table: flux (double), mag (double), id (int64),
+  /// name (8A string), observed (date).
+  void WriteSample(int rows) {
+    path_ = dir_.File("sample.fits");
+    Schema schema{{"flux", TypeId::kDouble},
+                  {"mag", TypeId::kDouble},
+                  {"id", TypeId::kInt64},
+                  {"name", TypeId::kString},
+                  {"observed", TypeId::kDate}};
+    auto writer = FitsWriter::Create(path_, schema, {8});
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    for (int i = 0; i < rows; ++i) {
+      ASSERT_TRUE((*writer)
+                      ->Append({Value::Double(i * 0.5),
+                                Value::Double(20.0 - i * 0.01),
+                                Value::Int64(i),
+                                Value::String("SRC" + std::to_string(i % 10)),
+                                Value::Date(9000 + i % 100)})
+                      .ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+
+  TempDir dir_;
+  std::string path_;
+};
+
+TEST_F(FitsFileTest, HeaderParsesBack) {
+  WriteSample(100);
+  auto file = RandomAccessFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto info = ParseFitsHeader(file->get());
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->num_rows, 100u);
+  ASSERT_EQ(info->columns.size(), 5u);
+  EXPECT_EQ(info->columns[0].name, "flux");
+  EXPECT_EQ(info->columns[0].form, 'D');
+  EXPECT_EQ(info->columns[3].form, 'A');
+  EXPECT_EQ(info->columns[3].width, 8u);
+  EXPECT_EQ(info->columns[4].form, 'J');
+  EXPECT_EQ(info->row_bytes, 8u + 8 + 8 + 8 + 4);
+  EXPECT_EQ(info->data_start % kFitsBlockSize, 0u);
+  // Schema view.
+  Schema schema = info->ToSchema();
+  EXPECT_EQ(schema.IndexOf("mag"), 1);
+  EXPECT_EQ(schema.column(4).type, TypeId::kDate);
+}
+
+TEST_F(FitsFileTest, ReaderRoundTrip) {
+  WriteSample(257);
+  auto file = RandomAccessFile::Open(path_);
+  auto info = ParseFitsHeader(file->get());
+  ASSERT_TRUE(info.ok());
+  FitsReader reader(file->get(), &*info);
+  Row row;
+  std::vector<bool> all(5, true);
+  for (uint64_t r = 0; r < 257; r += 17) {
+    ASSERT_TRUE(reader.ReadRow(r, all, &row).ok());
+    EXPECT_DOUBLE_EQ(row[0].f64(), r * 0.5);
+    EXPECT_EQ(row[2].int64(), static_cast<int64_t>(r));
+    EXPECT_EQ(row[3].str(), "SRC" + std::to_string(r % 10));
+    EXPECT_EQ(row[4].date(), static_cast<int32_t>(9000 + r % 100));
+  }
+  EXPECT_FALSE(reader.ReadRow(257, all, &row).ok());
+}
+
+TEST_F(FitsFileTest, TruncatedHeaderRejected) {
+  std::string path = dir_.File("bad.fits");
+  ASSERT_TRUE(WriteStringToFile(path, "SIMPLE = T").ok());
+  auto file = RandomAccessFile::Open(path);
+  EXPECT_FALSE(ParseFitsHeader(file->get()).ok());
+}
+
+TEST_F(FitsFileTest, CfitsioLikeApi) {
+  WriteSample(100);
+  fitsfile* f = nullptr;
+  ASSERT_EQ(fits_open_table(&f, path_.c_str()), kFitsOk);
+  long long rows = 0;
+  ASSERT_EQ(fits_get_num_rows(f, &rows), kFitsOk);
+  EXPECT_EQ(rows, 100);
+  int ncols = 0;
+  ASSERT_EQ(fits_get_num_cols(f, &ncols), kFitsOk);
+  EXPECT_EQ(ncols, 5);
+  int colnum = 0;
+  ASSERT_EQ(fits_get_colnum(f, "mag", &colnum), kFitsOk);
+  EXPECT_EQ(colnum, 2);
+  EXPECT_EQ(fits_get_colnum(f, "nope", &colnum), kFitsError);
+
+  std::vector<double> mags(100);
+  ASSERT_EQ(fits_read_col_dbl(f, 2, 1, 100, mags.data()), kFitsOk);
+  EXPECT_DOUBLE_EQ(mags[0], 20.0);
+  EXPECT_DOUBLE_EQ(mags[99], 20.0 - 99 * 0.01);
+
+  std::vector<long long> ids(10);
+  ASSERT_EQ(fits_read_col_lng(f, 3, 91, 10, ids.data()), kFitsOk);
+  EXPECT_EQ(ids[0], 90);
+  // Out-of-range reads fail.
+  EXPECT_EQ(fits_read_col_dbl(f, 2, 95, 10, mags.data()), kFitsError);
+  ASSERT_EQ(fits_close_file(f), kFitsOk);
+
+  EXPECT_EQ(fits_open_table(&f, "/nonexistent.fits"), kFitsError);
+}
+
+TEST_F(FitsFileTest, SqlOverFits) {
+  WriteSample(500);
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(db->RegisterFits("stars", path_).ok());
+  // Aggregations like the paper's §5.3 workload (MIN/MAX/AVG over floats).
+  auto result = db->Execute(
+      "SELECT MIN(flux), MAX(flux), AVG(mag), COUNT(*) FROM stars");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->rows[0][0].f64(), 0.0);
+  EXPECT_DOUBLE_EQ(result->rows[0][1].f64(), 499 * 0.5);
+  EXPECT_EQ(result->rows[0][3].int64(), 500);
+
+  // Filters + projections; repeated queries exercise the FITS cache.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    auto filtered = db->Execute(
+        "SELECT id, name FROM stars WHERE flux > 200 AND name = 'SRC3' "
+        "ORDER BY id LIMIT 5");
+    ASSERT_TRUE(filtered.ok()) << filtered.status();
+    ASSERT_EQ(filtered->rows.size(), 5u);
+    EXPECT_EQ(filtered->rows[0][0].int64(), 403);
+  }
+  // Cache got populated by the scans.
+  TableRuntime* rt = db->runtime("stars");
+  ASSERT_NE(rt, nullptr);
+  ASSERT_NE(rt->cache, nullptr);
+  EXPECT_GT(rt->cache->memory_bytes(), 0u);
+}
+
+TEST_F(FitsFileTest, FitsAndCfitsioAgreeOnAggregate) {
+  WriteSample(300);
+  // SQL path.
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(db->RegisterFits("stars", path_).ok());
+  auto result = db->Execute("SELECT SUM(flux) FROM stars");
+  ASSERT_TRUE(result.ok());
+  // Procedural CFITSIO-like path.
+  fitsfile* f = nullptr;
+  ASSERT_EQ(fits_open_table(&f, path_.c_str()), kFitsOk);
+  std::vector<double> flux(300);
+  ASSERT_EQ(fits_read_col_dbl(f, 1, 1, 300, flux.data()), kFitsOk);
+  double sum = 0;
+  for (double v : flux) sum += v;
+  fits_close_file(f);
+  EXPECT_DOUBLE_EQ(result->rows[0][0].f64(), sum);
+}
+
+TEST(FitsWriterTest, StringWidthRequired) {
+  TempDir dir;
+  Schema schema{{"s", TypeId::kString}};
+  EXPECT_FALSE(FitsWriter::Create(dir.File("x.fits"), schema, {}).ok());
+  EXPECT_FALSE(FitsWriter::Create(dir.File("x.fits"), schema, {0}).ok());
+}
+
+TEST(FitsWriterTest, LongStringsTruncatedToWidth) {
+  TempDir dir;
+  std::string path = dir.File("t.fits");
+  Schema schema{{"s", TypeId::kString}};
+  auto writer = FitsWriter::Create(path, schema, {4});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append({Value::String("abcdefgh")}).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto file = RandomAccessFile::Open(path);
+  auto info = ParseFitsHeader(file->get());
+  FitsReader reader(file->get(), &*info);
+  Row row;
+  ASSERT_TRUE(reader.ReadRow(0, {true}, &row).ok());
+  EXPECT_EQ(row[0].str(), "abcd");
+}
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "io/buffered_reader.h"
+#include "io/file.h"
+#include "util/fs_util.h"
+
+namespace nodb {
+namespace {
+
+TEST(FileTest, WriteThenRead) {
+  TempDir dir;
+  std::string path = dir.File("f.bin");
+  {
+    auto w = WritableFile::Create(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Append("hello ").ok());
+    ASSERT_TRUE((*w)->Append("world").ok());
+    ASSERT_TRUE((*w)->Close().ok());
+    EXPECT_EQ((*w)->bytes_written(), 11u);
+  }
+  auto f = RandomAccessFile::Open(path);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->size(), 11u);
+  char buf[16];
+  Result<uint64_t> n = (*f)->Read(6, 5, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+  EXPECT_EQ(std::string(buf, 5), "world");
+}
+
+TEST(FileTest, ReadPastEofIsShort) {
+  TempDir dir;
+  std::string path = dir.File("f.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "abc").ok());
+  auto f = RandomAccessFile::Open(path);
+  ASSERT_TRUE(f.ok());
+  char buf[16];
+  EXPECT_EQ(*(*f)->Read(2, 10, buf), 1u);
+  EXPECT_EQ(*(*f)->Read(10, 4, buf), 0u);
+}
+
+TEST(FileTest, OpenMissingFails) {
+  TempDir dir;
+  EXPECT_FALSE(RandomAccessFile::Open(dir.File("missing")).ok());
+}
+
+TEST(FileTest, TracksBytesRead) {
+  TempDir dir;
+  std::string path = dir.File("f.bin");
+  ASSERT_TRUE(WriteStringToFile(path, std::string(1000, 'a')).ok());
+  auto f = RandomAccessFile::Open(path);
+  char buf[512];
+  ASSERT_TRUE((*f)->Read(0, 512, buf).ok());
+  ASSERT_TRUE((*f)->Read(512, 488, buf).ok());
+  EXPECT_EQ((*f)->bytes_read(), 1000u);
+}
+
+class BufferedReaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    content_.resize(100000);
+    for (size_t i = 0; i < content_.size(); ++i) {
+      content_[i] = static_cast<char>('a' + i % 26);
+    }
+    path_ = dir_.File("data");
+    ASSERT_TRUE(WriteStringToFile(path_, content_).ok());
+    auto f = RandomAccessFile::Open(path_);
+    ASSERT_TRUE(f.ok());
+    file_ = std::move(*f);
+  }
+
+  TempDir dir_;
+  std::string path_;
+  std::string content_;
+  std::unique_ptr<RandomAccessFile> file_;
+};
+
+TEST_F(BufferedReaderTest, SmallWindowServesEverything) {
+  BufferedReader reader(file_.get(), 4096);
+  // Scattered reads, ascending (the scan pattern).
+  for (uint64_t off = 0; off + 50 < content_.size(); off += 997) {
+    auto view = reader.ReadAt(off, 50);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(*view, std::string_view(content_).substr(off, 50));
+  }
+}
+
+TEST_F(BufferedReaderTest, BackwardReadsWithinSlack) {
+  BufferedReader reader(file_.get(), 4096);
+  ASSERT_TRUE(reader.ReadAt(50000, 10).ok());
+  // A read slightly before the previous offset (backward tokenizing).
+  auto view = reader.ReadAt(49990, 20);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(*view, std::string_view(content_).substr(49990, 20));
+}
+
+TEST_F(BufferedReaderTest, RangeLargerThanBufferGrows) {
+  BufferedReader reader(file_.get(), 4096);
+  auto view = reader.ReadAt(100, 20000);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 20000u);
+  EXPECT_EQ(*view, std::string_view(content_).substr(100, 20000));
+}
+
+TEST_F(BufferedReaderTest, TruncatesAtEof) {
+  BufferedReader reader(file_.get(), 4096);
+  auto view = reader.ReadAt(content_.size() - 10, 100);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 10u);
+  auto past = reader.ReadAt(content_.size() + 5, 10);
+  ASSERT_TRUE(past.ok());
+  EXPECT_TRUE(past->empty());
+}
+
+}  // namespace
+}  // namespace nodb

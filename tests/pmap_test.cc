@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pmap/positional_map.h"
+#include "pmap/temp_map.h"
+#include "util/fs_util.h"
+#include "util/rng.h"
+
+namespace nodb {
+namespace {
+
+PositionalMap::Options SmallChunks(int tuples_per_chunk = 8) {
+  PositionalMap::Options opts;
+  opts.tuples_per_chunk = tuples_per_chunk;
+  return opts;
+}
+
+// ---------------------------------------------------------------------
+// Spine (row starts)
+// ---------------------------------------------------------------------
+
+TEST(PositionalMapSpine, RowStartsRoundTrip) {
+  PositionalMap pm(4, SmallChunks());
+  EXPECT_FALSE(pm.RowStart(0).has_value());
+  pm.SetRowStart(0, 0);
+  pm.SetRowStart(1, 17);
+  pm.SetRowStart(2, 40);
+  EXPECT_EQ(*pm.RowStart(0), 0u);
+  EXPECT_EQ(*pm.RowStart(1), 17u);
+  EXPECT_EQ(*pm.RowStart(2), 40u);
+  EXPECT_FALSE(pm.RowStart(3).has_value());
+}
+
+TEST(PositionalMapSpine, ContiguousWatermark) {
+  PositionalMap pm(4, SmallChunks());
+  pm.SetRowStart(0, 0);
+  pm.SetRowStart(2, 40);  // gap at 1
+  EXPECT_EQ(pm.contiguous_rows_known(), 1u);
+  pm.SetRowStart(1, 17);  // fills the gap; watermark jumps past 2
+  EXPECT_EQ(pm.contiguous_rows_known(), 3u);
+}
+
+TEST(PositionalMapSpine, CrossesStripes) {
+  PositionalMap pm(4, SmallChunks(4));
+  for (uint64_t t = 0; t < 10; ++t) pm.SetRowStart(t, t * 100);
+  EXPECT_EQ(pm.contiguous_rows_known(), 10u);
+  EXPECT_EQ(*pm.RowStart(9), 900u);
+}
+
+// ---------------------------------------------------------------------
+// Attribute positions
+// ---------------------------------------------------------------------
+
+TEST(PositionalMapAttrs, InsertAndLookup) {
+  PositionalMap pm(10, SmallChunks());
+  int chunk = pm.BeginStripeInsert(0, {3, 7});
+  ASSERT_GE(chunk, 0);
+  pm.InsertPosition(chunk, 0, 3, 12);
+  pm.InsertPosition(chunk, 0, 7, 30);
+  pm.InsertPosition(chunk, 1, 3, 13);
+  pm.EndStripeInsert();
+
+  EXPECT_EQ(*pm.Lookup(0, 3), 12u);
+  EXPECT_EQ(*pm.Lookup(0, 7), 30u);
+  EXPECT_EQ(*pm.Lookup(1, 3), 13u);
+  EXPECT_FALSE(pm.Lookup(1, 7).has_value());  // hole
+  EXPECT_FALSE(pm.Lookup(0, 5).has_value());  // never indexed
+  EXPECT_EQ(pm.num_positions(), 3u);
+}
+
+TEST(PositionalMapAttrs, GroupReuseAcrossStripes) {
+  // The same attribute combination maps to the same group (Fig. 2: the map
+  // gains one vertical partition per queried combination).
+  PositionalMap pm(10, SmallChunks());
+  int c1 = pm.BeginStripeInsert(0, {3, 7});
+  pm.EndStripeInsert();
+  int c2 = pm.BeginStripeInsert(1, {7, 3});  // same combo, other order
+  pm.EndStripeInsert();
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(PositionalMapAttrs, AnchorsBelowAndAbove) {
+  PositionalMap pm(12, SmallChunks());
+  int chunk = pm.BeginStripeInsert(0, {4, 8});
+  pm.InsertPosition(chunk, 0, 4, 20);
+  pm.InsertPosition(chunk, 0, 8, 44);
+  pm.EndStripeInsert();
+
+  // Paper example: looking for attr 9 with 4 and 8 indexed -> jump to 8.
+  auto below = pm.AnchorAtOrBelow(0, 9);
+  ASSERT_TRUE(below.has_value());
+  EXPECT_EQ(below->attr, 8);
+  EXPECT_EQ(below->rel_offset, 44u);
+  // Looking for attr 6: nearest below is 4; nearest above is 8
+  // (for backward tokenizing).
+  auto b6 = pm.AnchorAtOrBelow(0, 6);
+  ASSERT_TRUE(b6.has_value());
+  EXPECT_EQ(b6->attr, 4);
+  auto a6 = pm.AnchorAbove(0, 6);
+  ASSERT_TRUE(a6.has_value());
+  EXPECT_EQ(a6->attr, 8);
+  // Exact attr counts as at-or-below anchor.
+  EXPECT_EQ(pm.AnchorAtOrBelow(0, 4)->attr, 4);
+  // Nothing below attr 2.
+  EXPECT_FALSE(pm.AnchorAtOrBelow(0, 2).has_value());
+}
+
+TEST(PositionalMapAttrs, StripeHasAttrAndShareChunk) {
+  PositionalMap pm(10, SmallChunks());
+  int c = pm.BeginStripeInsert(0, {1, 2});
+  pm.InsertPosition(c, 0, 1, 5);
+  pm.EndStripeInsert();
+  c = pm.BeginStripeInsert(0, {5});
+  pm.InsertPosition(c, 0, 5, 25);
+  pm.EndStripeInsert();
+
+  EXPECT_TRUE(pm.StripeHasAttr(0, 1));
+  EXPECT_TRUE(pm.StripeHasAttr(0, 5));
+  EXPECT_FALSE(pm.StripeHasAttr(0, 3));
+  EXPECT_FALSE(pm.StripeHasAttr(1, 1));
+  // {1,2} share a chunk; {1,5} span two -> combination not shared.
+  EXPECT_TRUE(pm.StripeAttrsShareChunk(0, {1, 2}));
+  EXPECT_FALSE(pm.StripeAttrsShareChunk(0, {1, 5}));
+}
+
+TEST(PositionalMapAttrs, FillStripePositionsBulk) {
+  PositionalMap pm(6, SmallChunks(4));
+  int c = pm.BeginStripeInsert(0, {2});
+  for (int t = 0; t < 3; ++t) {
+    pm.InsertPosition(c, t, 2, 10 + t);
+  }
+  pm.EndStripeInsert();
+  uint32_t out[4];
+  EXPECT_EQ(pm.FillStripePositions(0, 2, out, 4), 3);
+  EXPECT_EQ(out[0], 10u);
+  EXPECT_EQ(out[2], 12u);
+  EXPECT_EQ(out[3], PositionalMap::kUnknown);
+  EXPECT_EQ(pm.FillStripePositions(0, 4, out, 4), 0);
+}
+
+TEST(PositionalMapAttrs, IndexedAttrsForStripe) {
+  PositionalMap pm(10, SmallChunks());
+  pm.BeginStripeInsert(0, {7, 3});
+  pm.EndStripeInsert();
+  pm.BeginStripeInsert(0, {5});
+  pm.EndStripeInsert();
+  EXPECT_EQ(pm.IndexedAttrsForStripe(0), (std::vector<int>{3, 5, 7}));
+  EXPECT_TRUE(pm.IndexedAttrsForStripe(1).empty());
+}
+
+// ---------------------------------------------------------------------
+// Budget / LRU / spill
+// ---------------------------------------------------------------------
+
+TEST(PositionalMapBudget, MemoryNeverExceedsBudget) {
+  PositionalMap::Options opts;
+  opts.tuples_per_chunk = 64;
+  // Budget fits only a couple of chunks (64 tuples * 1 attr * 4B = 256B).
+  opts.budget_bytes = 700;
+  PositionalMap pm(20, opts);
+  for (int a = 0; a < 12; ++a) {
+    int c = pm.BeginStripeInsert(0, {a});
+    for (int t = 0; t < 64; ++t) {
+      pm.InsertPosition(c, t, a, static_cast<uint32_t>(a * 100 + t));
+    }
+    pm.EndStripeInsert();
+    EXPECT_LE(pm.memory_bytes(), opts.budget_bytes) << "after attr " << a;
+  }
+  EXPECT_GT(pm.counters().chunks_evicted, 0u);
+}
+
+TEST(PositionalMapBudget, LruEvictsOldestFirst) {
+  PositionalMap::Options opts;
+  opts.tuples_per_chunk = 64;
+  opts.budget_bytes = 1200;  // ~4 chunks of 256B + bookkeeping
+  PositionalMap pm(20, opts);
+  auto insert_attr = [&](int a) {
+    int c = pm.BeginStripeInsert(0, {a});
+    for (int t = 0; t < 64; ++t) {
+      pm.InsertPosition(c, t, a, static_cast<uint32_t>(a * 100 + t));
+    }
+    pm.EndStripeInsert();
+  };
+  for (int a = 0; a < 4; ++a) insert_attr(a);
+  // Touch attr 0 so it is most-recently used.
+  EXPECT_TRUE(pm.Lookup(0, 0).has_value());
+  insert_attr(4);  // forces one eviction: attr 1 is the LRU victim
+  EXPECT_TRUE(pm.Lookup(0, 0).has_value());
+  EXPECT_FALSE(pm.Lookup(0, 1).has_value());
+}
+
+TEST(PositionalMapBudget, SpillAndReload) {
+  TempDir dir;
+  PositionalMap::Options opts;
+  opts.tuples_per_chunk = 64;
+  opts.budget_bytes = 700;
+  opts.spill_dir = dir.path();
+  PositionalMap pm(20, opts);
+  auto insert_attr = [&](int a) {
+    int c = pm.BeginStripeInsert(0, {a});
+    for (int t = 0; t < 64; ++t) {
+      pm.InsertPosition(c, t, a, static_cast<uint32_t>(a * 1000 + t));
+    }
+    pm.EndStripeInsert();
+  };
+  for (int a = 0; a < 8; ++a) insert_attr(a);
+  EXPECT_GT(pm.counters().chunks_spilled, 0u);
+  // Every attribute remains readable: spilled chunks reload transparently
+  // with identical positions.
+  for (int a = 0; a < 8; ++a) {
+    for (int t = 0; t < 64; t += 13) {
+      auto pos = pm.Lookup(t, a);
+      ASSERT_TRUE(pos.has_value()) << "attr " << a << " tuple " << t;
+      EXPECT_EQ(*pos, static_cast<uint32_t>(a * 1000 + t));
+    }
+  }
+  EXPECT_GT(pm.counters().chunks_reloaded, 0u);
+  EXPECT_LE(pm.memory_bytes(), opts.budget_bytes);
+}
+
+TEST(PositionalMapBudget, ClearDropsEverything) {
+  PositionalMap pm(10, SmallChunks());
+  pm.SetRowStart(0, 0);
+  int c = pm.BeginStripeInsert(0, {1});
+  pm.InsertPosition(c, 0, 1, 5);
+  pm.EndStripeInsert();
+  pm.Clear();
+  EXPECT_EQ(pm.memory_bytes(), 0u);
+  EXPECT_EQ(pm.num_positions(), 0u);
+  EXPECT_FALSE(pm.Lookup(0, 1).has_value());
+  EXPECT_FALSE(pm.RowStart(0).has_value());
+  // Usable after Clear (the "drop and rebuild" maintenance property).
+  c = pm.BeginStripeInsert(0, {1});
+  pm.InsertPosition(c, 0, 1, 7);
+  pm.EndStripeInsert();
+  EXPECT_EQ(*pm.Lookup(0, 1), 7u);
+}
+
+// ---------------------------------------------------------------------
+// TempMap (pre-fetching)
+// ---------------------------------------------------------------------
+
+TEST(TempMapTest, PrefetchesKnownPositions) {
+  PositionalMap pm(8, SmallChunks(4));
+  int c = pm.BeginStripeInsert(0, {2, 5});
+  for (int t = 0; t < 4; ++t) {
+    pm.InsertPosition(c, t, 2, static_cast<uint32_t>(20 + t));
+    if (t % 2 == 0) {
+      pm.InsertPosition(c, t, 5, static_cast<uint32_t>(50 + t));
+    }
+  }
+  pm.EndStripeInsert();
+
+  TempMap temp(&pm, 0, 4, {2, 5, 6});
+  EXPECT_EQ(temp.num_attrs(), 3);
+  EXPECT_EQ(temp.Position(1, 0), 21u);
+  EXPECT_EQ(temp.Position(0, 1), 50u);
+  EXPECT_EQ(temp.Position(1, 1), PositionalMap::kUnknown);  // hole
+  EXPECT_EQ(temp.Position(0, 2), PositionalMap::kUnknown);  // unindexed
+  EXPECT_EQ(temp.prefilled(), 6);
+  temp.SetPosition(1, 1, 99);
+  EXPECT_EQ(temp.Position(1, 1), 99u);
+}
+
+TEST(TempMapTest, NullMapMeansAllUnknown) {
+  TempMap temp(nullptr, 0, 4, {0, 1});
+  EXPECT_EQ(temp.prefilled(), 0);
+  EXPECT_EQ(temp.Position(3, 1), PositionalMap::kUnknown);
+}
+
+// ---------------------------------------------------------------------
+// Randomized property: lookups always return what was inserted.
+// ---------------------------------------------------------------------
+
+TEST(PositionalMapProperty, RandomInsertLookupConsistency) {
+  Rng rng(77);
+  PositionalMap pm(16, SmallChunks(32));
+  // Model: tuple -> attr -> position.
+  std::vector<std::vector<int64_t>> model(320, std::vector<int64_t>(16, -1));
+  for (int round = 0; round < 40; ++round) {
+    uint64_t stripe = static_cast<uint64_t>(rng.Uniform(0, 9));
+    int nattrs = static_cast<int>(rng.Uniform(1, 4));
+    std::vector<int> attrs;
+    while (static_cast<int>(attrs.size()) < nattrs) {
+      int a = static_cast<int>(rng.Uniform(0, 15));
+      if (std::find(attrs.begin(), attrs.end(), a) == attrs.end()) {
+        attrs.push_back(a);
+      }
+    }
+    int c = pm.BeginStripeInsert(stripe, attrs);
+    for (int t = 0; t < 32; ++t) {
+      uint64_t tuple = stripe * 32 + t;
+      for (int a : attrs) {
+        // In reality a (tuple, attr) position is a property of the file and
+        // never changes; model that so duplicate insertion via different
+        // chunk combinations stays consistent.
+        uint32_t pos = static_cast<uint32_t>(tuple * 16 + a);
+        pm.InsertPosition(c, tuple, a, pos);
+        model[tuple][a] = pos;
+      }
+    }
+    pm.EndStripeInsert();
+  }
+  // Unlimited budget: every inserted position must be retrievable.
+  for (uint64_t tuple = 0; tuple < 320; ++tuple) {
+    for (int a = 0; a < 16; ++a) {
+      auto got = pm.Lookup(tuple, a);
+      if (model[tuple][a] >= 0) {
+        ASSERT_TRUE(got.has_value()) << tuple << "/" << a;
+        EXPECT_EQ(*got, static_cast<uint32_t>(model[tuple][a]));
+      } else {
+        EXPECT_FALSE(got.has_value()) << tuple << "/" << a;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace nodb {
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+TEST(LexerTest, KeywordsFoldUpIdentsFoldDown) {
+  auto tokens = Tokenize("Select Foo FROM Bar");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdent);
+  EXPECT_EQ((*tokens)[1].text, "foo");
+  EXPECT_TRUE((*tokens)[2].IsKeyword("FROM"));
+  EXPECT_EQ((*tokens)[3].text, "bar");
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("42 3.5 1e6 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[3].text, "it's");
+}
+
+TEST(LexerTest, OperatorsAndComments) {
+  auto tokens = Tokenize("a <= b <> c != d -- trailing\n >= e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<="));
+  EXPECT_TRUE((*tokens)[3].IsSymbol("<>"));
+  EXPECT_TRUE((*tokens)[5].IsSymbol("!="));
+  EXPECT_TRUE((*tokens)[7].IsSymbol(">="));
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = ParseSelect("SELECT a FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ((*stmt)->items.size(), 1u);
+  EXPECT_EQ((*stmt)->from.size(), 1u);
+  EXPECT_EQ((*stmt)->from[0].table, "t");
+  EXPECT_EQ((*stmt)->where, nullptr);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseSelect("SELECT * FROM t;");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->select_star);
+}
+
+TEST(ParserTest, AliasesBothForms) {
+  auto stmt = ParseSelect("SELECT a AS x, b y FROM t u");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items[0].alias, "x");
+  EXPECT_EQ((*stmt)->items[1].alias, "y");
+  EXPECT_EQ((*stmt)->from[0].alias, "u");
+}
+
+TEST(ParserTest, FullClauses) {
+  auto stmt = ParseSelect(
+      "SELECT a, SUM(b) AS s FROM t WHERE a > 1 AND b < 2 "
+      "GROUP BY a ORDER BY s DESC, a ASC LIMIT 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_NE((*stmt)->where, nullptr);
+  EXPECT_EQ((*stmt)->group_by.size(), 1u);
+  ASSERT_EQ((*stmt)->order_by.size(), 2u);
+  EXPECT_TRUE((*stmt)->order_by[0].desc);
+  EXPECT_FALSE((*stmt)->order_by[1].desc);
+  EXPECT_EQ(*(*stmt)->limit, 5);
+}
+
+TEST(ParserTest, JoinNormalizedIntoWhere) {
+  auto a = ParseSelect("SELECT * FROM t1 JOIN t2 ON t1.a = t2.b");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->from.size(), 2u);
+  ASSERT_NE((*a)->where, nullptr);
+  EXPECT_EQ((*a)->where->op, "=");
+  auto b = ParseSelect(
+      "SELECT * FROM t1 INNER JOIN t2 ON a = b WHERE c = 1");
+  ASSERT_TRUE(b.ok());
+  // ON and WHERE merged with AND.
+  EXPECT_EQ((*b)->where->op, "AND");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  // a + b * c parses as a + (b * c).
+  auto stmt = ParseSelect("SELECT a + b * c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const ParsedExpr& e = *(*stmt)->items[0].expr;
+  EXPECT_EQ(e.op, "+");
+  EXPECT_EQ(e.right->op, "*");
+  // OR binds looser than AND.
+  auto cond = ParseSelect("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3");
+  ASSERT_TRUE(cond.ok());
+  EXPECT_EQ((*cond)->where->op, "OR");
+}
+
+TEST(ParserTest, PredicateForms) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b NOT IN (1, 2) "
+      "AND c LIKE 'x%' AND d IS NOT NULL AND NOT e = 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+}
+
+TEST(ParserTest, DateAndIntervalLiterals) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM t WHERE d >= DATE '1994-01-01' "
+      "AND d < DATE '1994-01-01' + INTERVAL '1' YEAR");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto stmt = ParseSelect(
+      "SELECT SUM(CASE WHEN a = 1 THEN b ELSE 0 END) FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const ParsedExpr& agg = *(*stmt)->items[0].expr;
+  EXPECT_EQ(agg.kind, ParsedExpr::Kind::kFuncCall);
+  EXPECT_EQ(agg.args[0]->kind, ParsedExpr::Kind::kCase);
+  EXPECT_EQ(agg.args[0]->whens.size(), 1u);
+}
+
+TEST(ParserTest, ExistsSubquery) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.a)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ((*stmt)->where->kind, ParsedExpr::Kind::kExists);
+  EXPECT_EQ((*stmt)->where->subquery->from[0].table, "u");
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseSelect("SELECT").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());                 // missing FROM
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t GROUP a").ok());  // missing BY
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t extra garbage +").ok());
+  EXPECT_FALSE(ParseSelect("SELECT CASE END FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE a LIKE 5").ok());
+}
+
+// ---------------------------------------------------------------------
+// Binder
+// ---------------------------------------------------------------------
+
+class FakeCatalog : public TableProvider {
+ public:
+  FakeCatalog() {
+    schemas_["t"] = Schema{{"a", TypeId::kInt64},
+                           {"b", TypeId::kDouble},
+                           {"s", TypeId::kString},
+                           {"d", TypeId::kDate}};
+    schemas_["u"] = Schema{{"x", TypeId::kInt64}, {"a", TypeId::kInt64}};
+  }
+  Result<const Schema*> GetTableSchema(const std::string& name) const override {
+    auto it = schemas_.find(name);
+    if (it == schemas_.end()) return Status::NotFound("no table " + name);
+    return &it->second;
+  }
+
+ private:
+  std::map<std::string, Schema> schemas_;
+};
+
+Result<std::unique_ptr<BoundQuery>> BindSql(const std::string& sql) {
+  static FakeCatalog catalog;
+  NODB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect(sql));
+  Binder binder(&catalog);
+  return binder.Bind(*stmt);
+}
+
+TEST(BinderTest, ResolvesColumnsAndTypes) {
+  auto q = BindSql("SELECT a, b, s FROM t WHERE a < 5");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->working_width, 4);
+  EXPECT_EQ((*q)->output_schema.column(0).type, TypeId::kInt64);
+  EXPECT_EQ((*q)->output_schema.column(1).type, TypeId::kDouble);
+  EXPECT_EQ((*q)->output_schema.column(2).type, TypeId::kString);
+  EXPECT_FALSE((*q)->has_aggregation);
+}
+
+TEST(BinderTest, UnknownColumnAndTableRejected) {
+  EXPECT_EQ(BindSql("SELECT nope FROM t").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(BindSql("SELECT a FROM nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BinderTest, AmbiguousColumnRejected) {
+  // `a` exists in both t and u.
+  auto q = BindSql("SELECT a FROM t, u WHERE t.a = u.x");
+  EXPECT_FALSE(q.ok());
+  auto qualified = BindSql("SELECT t.a, u.a FROM t, u WHERE t.a = u.x");
+  EXPECT_TRUE(qualified.ok()) << qualified.status();
+}
+
+TEST(BinderTest, QualifiedOffsetsAcrossTables) {
+  auto q = BindSql("SELECT u.x FROM t, u WHERE t.a = u.a");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->working_width, 6);
+  // u.x is the 5th working column (offset 4).
+  auto* col = static_cast<ColumnRefExpr*>((*q)->select_exprs[0].get());
+  EXPECT_EQ(col->index, 4);
+}
+
+TEST(BinderTest, AggregateExtraction) {
+  auto q = BindSql(
+      "SELECT s, COUNT(*) AS n, SUM(b * 2) AS t2, SUM(b * 2) AS t3 "
+      "FROM t GROUP BY s");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE((*q)->has_aggregation);
+  // Identical aggregates are deduplicated: COUNT(*) + one SUM.
+  EXPECT_EQ((*q)->aggregates.size(), 2u);
+  EXPECT_EQ((*q)->group_by.size(), 1u);
+  EXPECT_EQ((*q)->output_schema.num_columns(), 4);
+}
+
+TEST(BinderTest, NonGroupedColumnRejected) {
+  auto q = BindSql("SELECT a, COUNT(*) FROM t GROUP BY s");
+  EXPECT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("GROUP BY"), std::string::npos);
+}
+
+TEST(BinderTest, AggregateInWhereRejected) {
+  EXPECT_FALSE(BindSql("SELECT a FROM t WHERE SUM(b) > 1").ok());
+}
+
+TEST(BinderTest, TypeErrors) {
+  EXPECT_FALSE(BindSql("SELECT a FROM t WHERE s > 5").ok());
+  EXPECT_FALSE(BindSql("SELECT s + 1 FROM t").ok());
+  EXPECT_FALSE(BindSql("SELECT a FROM t WHERE a LIKE 'x%'").ok());
+}
+
+TEST(BinderTest, DateStringCoercion) {
+  // String literal compared to a date column re-types as a date.
+  auto q = BindSql("SELECT a FROM t WHERE d >= '1994-01-01'");
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto bad = BindSql("SELECT a FROM t WHERE d >= '94/01/01'");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(BinderTest, OrderByAliasNameAndOrdinal) {
+  auto by_alias = BindSql("SELECT a AS k FROM t ORDER BY k DESC");
+  ASSERT_TRUE(by_alias.ok());
+  EXPECT_TRUE((*by_alias)->order_by[0].desc);
+  EXPECT_EQ((*by_alias)->order_by[0].select_index, 0);
+
+  auto by_name = BindSql("SELECT a, b FROM t ORDER BY b");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ((*by_name)->order_by[0].select_index, 1);
+
+  auto by_ordinal = BindSql("SELECT a, b FROM t ORDER BY 2");
+  ASSERT_TRUE(by_ordinal.ok());
+  EXPECT_EQ((*by_ordinal)->order_by[0].select_index, 1);
+
+  EXPECT_FALSE(BindSql("SELECT a FROM t ORDER BY 7").ok());
+}
+
+TEST(BinderTest, OrderByAggregateExpression) {
+  auto q = BindSql(
+      "SELECT s, SUM(b) AS revenue FROM t GROUP BY s ORDER BY revenue DESC");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->order_by[0].select_index, 1);
+}
+
+TEST(BinderTest, ExistsBecomesSemiJoin) {
+  auto q = BindSql(
+      "SELECT a FROM t WHERE a > 0 AND EXISTS "
+      "(SELECT * FROM u WHERE x = t.a AND u.a < 3)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ((*q)->semi_joins.size(), 1u);
+  const BoundSemiJoin& sj = (*q)->semi_joins[0];
+  EXPECT_FALSE(sj.anti);
+  EXPECT_EQ(sj.table.table_name, "u");
+  ASSERT_EQ(sj.outer_keys.size(), 1u);
+  EXPECT_NE(sj.inner_filter, nullptr);
+  EXPECT_NE((*q)->where, nullptr);  // a > 0 remains
+}
+
+TEST(BinderTest, NotExistsBecomesAntiJoin) {
+  auto q = BindSql(
+      "SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE x = t.a)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ((*q)->semi_joins.size(), 1u);
+  EXPECT_TRUE((*q)->semi_joins[0].anti);
+}
+
+TEST(BinderTest, ExistsWithoutCorrelationRejected) {
+  EXPECT_FALSE(
+      BindSql("SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE x > 1)")
+          .ok());
+}
+
+TEST(BinderTest, CaseTypeUnification) {
+  auto q = BindSql(
+      "SELECT SUM(CASE WHEN a = 1 THEN b ELSE 0 END) FROM t");
+  ASSERT_TRUE(q.ok()) << q.status();
+  // int ELSE unified with double THEN -> double aggregate.
+  EXPECT_EQ((*q)->aggregates[0].arg->type, TypeId::kDouble);
+}
+
+TEST(BinderTest, ArithmeticOverAggregates) {
+  // The Q14 shape: arithmetic combining two aggregate results.
+  auto q = BindSql(
+      "SELECT 100.0 * SUM(b) / SUM(a) AS pct FROM t");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->aggregates.size(), 2u);
+  EXPECT_EQ((*q)->output_schema.column(0).type, TypeId::kDouble);
+}
+
+TEST(BinderTest, SelectStarExpansion) {
+  auto q = BindSql("SELECT * FROM t, u WHERE t.a = u.x");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->output_schema.num_columns(), 6);
+}
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/compact_table.h"
+#include "storage/heap_file.h"
+#include "storage/loader.h"
+#include "storage/page.h"
+#include "storage/table_heap.h"
+#include "util/fs_util.h"
+#include "util/rng.h"
+
+namespace nodb {
+namespace {
+
+// ---------------------------------------------------------------------
+// SlottedPage
+// ---------------------------------------------------------------------
+
+TEST(SlottedPageTest, InsertAndGet) {
+  std::vector<char> frame(kPageSize);
+  SlottedPage page(frame.data());
+  page.Init(7);
+  EXPECT_EQ(page.page_id(), 7u);
+  int s0 = page.InsertTuple("hello");
+  int s1 = page.InsertTuple("world!");
+  ASSERT_EQ(s0, 0);
+  ASSERT_EQ(s1, 1);
+  EXPECT_EQ(page.GetTuple(0), "hello");
+  EXPECT_EQ(page.GetTuple(1), "world!");
+  EXPECT_EQ(page.slot_count(), 2);
+  EXPECT_EQ(page.GetFlags(0), SlottedPage::kNormal);
+}
+
+TEST(SlottedPageTest, FillsUntilFull) {
+  std::vector<char> frame(kPageSize);
+  SlottedPage page(frame.data());
+  page.Init(0);
+  std::string tuple(100, 'x');
+  int inserted = 0;
+  while (page.InsertTuple(tuple) >= 0) ++inserted;
+  // 8192 bytes / (100 payload + 8 slot) ~ 75 tuples.
+  EXPECT_GT(inserted, 70);
+  EXPECT_LT(inserted, 82);
+  // Free space is less than one more tuple.
+  EXPECT_LT(page.FreeSpace(), tuple.size());
+}
+
+TEST(SlottedPageTest, MaxInlinePayloadFits) {
+  std::vector<char> frame(kPageSize);
+  SlottedPage page(frame.data());
+  page.Init(0);
+  std::string big(SlottedPage::MaxInlinePayload(), 'y');
+  EXPECT_GE(page.InsertTuple(big), 0);
+  EXPECT_LT(page.InsertTuple("x"), 0);  // nothing else fits
+}
+
+// ---------------------------------------------------------------------
+// HeapFile + BufferPool
+// ---------------------------------------------------------------------
+
+TEST(HeapFileTest, AllocateWriteRead) {
+  TempDir dir;
+  auto file = HeapFile::Create(dir.File("h"));
+  ASSERT_TRUE(file.ok());
+  auto id0 = (*file)->AllocatePage();
+  auto id1 = (*file)->AllocatePage();
+  ASSERT_TRUE(id0.ok());
+  EXPECT_EQ(*id0, 0u);
+  EXPECT_EQ(*id1, 1u);
+  std::vector<char> frame(kPageSize, 'a');
+  ASSERT_TRUE((*file)->WritePage(1, frame.data()).ok());
+  std::vector<char> read(kPageSize);
+  ASSERT_TRUE((*file)->ReadPage(1, read.data()).ok());
+  EXPECT_EQ(read, frame);
+  EXPECT_FALSE((*file)->ReadPage(5, read.data()).ok());
+}
+
+TEST(HeapFileTest, ReopenSeesPages) {
+  TempDir dir;
+  std::string path = dir.File("h");
+  {
+    auto file = HeapFile::Create(path);
+    ASSERT_TRUE((*file)->AllocatePage().ok());
+    ASSERT_TRUE((*file)->AllocatePage().ok());
+  }
+  auto reopened = HeapFile::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->page_count(), 2u);
+}
+
+TEST(BufferPoolTest, HitsAndEviction) {
+  TempDir dir;
+  auto file = HeapFile::Create(dir.File("h"));
+  std::vector<char> frame(kPageSize);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*file)->AllocatePage().ok());
+    frame[0] = static_cast<char>('a' + i);
+    ASSERT_TRUE((*file)->WritePage(i, frame.data()).ok());
+  }
+  BufferPool pool(file->get(), 2);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());  // hit
+  EXPECT_EQ(pool.hits(), 1u);
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(2).ok());  // evicts page 0
+  auto page0 = pool.Fetch(0);       // miss again
+  ASSERT_TRUE(page0.ok());
+  EXPECT_EQ((*page0)[0], 'a');
+  EXPECT_EQ(pool.misses(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// TableHeap
+// ---------------------------------------------------------------------
+
+Schema TestSchema() {
+  return Schema{{"id", TypeId::kInt64},
+                {"name", TypeId::kString},
+                {"score", TypeId::kDouble},
+                {"day", TypeId::kDate},
+                {"ok", TypeId::kBool}};
+}
+
+Row TestRow(int i) {
+  return {Value::Int64(i), Value::String("name" + std::to_string(i)),
+          Value::Double(i * 0.5), Value::Date(1000 + i),
+          Value::Bool(i % 2 == 0)};
+}
+
+TEST(TableHeapTest, SerializeDeserializeRoundTrip) {
+  TempDir dir;
+  auto heap = TableHeap::Create(dir.File("t.heap"), TestSchema(), {});
+  ASSERT_TRUE(heap.ok());
+  std::string bytes;
+  Row original = TestRow(3);
+  (*heap)->SerializeRow(original, &bytes);
+  Row decoded;
+  std::vector<bool> needed(5, true);
+  ASSERT_TRUE((*heap)->DeserializeRow(bytes, needed, &decoded).ok());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(TableHeapTest, NullBitmapRoundTrip) {
+  TempDir dir;
+  auto heap = TableHeap::Create(dir.File("t.heap"), TestSchema(), {});
+  Row original = {Value::Null(TypeId::kInt64), Value::String("x"),
+                  Value::Null(TypeId::kDouble), Value::Date(5),
+                  Value::Null(TypeId::kBool)};
+  std::string bytes;
+  (*heap)->SerializeRow(original, &bytes);
+  Row decoded;
+  ASSERT_TRUE(
+      (*heap)->DeserializeRow(bytes, std::vector<bool>(5, true), &decoded)
+          .ok());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(TableHeapTest, ProjectionSkipsUnneeded) {
+  TempDir dir;
+  auto heap = TableHeap::Create(dir.File("t.heap"), TestSchema(), {});
+  std::string bytes;
+  (*heap)->SerializeRow(TestRow(1), &bytes);
+  Row decoded;
+  std::vector<bool> needed = {false, true, false, false, false};
+  ASSERT_TRUE((*heap)->DeserializeRow(bytes, needed, &decoded).ok());
+  EXPECT_TRUE(decoded[0].is_null());
+  EXPECT_EQ(decoded[1].str(), "name1");
+}
+
+TEST(TableHeapTest, AppendScanManyRows) {
+  TempDir dir;
+  auto heap = TableHeap::Create(dir.File("t.heap"), TestSchema(), {});
+  constexpr int kRows = 5000;
+  for (int i = 0; i < kRows; ++i) {
+    ASSERT_TRUE((*heap)->Append(TestRow(i)).ok());
+  }
+  ASSERT_TRUE((*heap)->FinishLoad().ok());
+  EXPECT_EQ((*heap)->row_count(), static_cast<uint64_t>(kRows));
+
+  TableHeap::Scanner scanner(heap->get(), std::vector<bool>(5, true));
+  Row row;
+  for (int i = 0; i < kRows; ++i) {
+    auto has = scanner.Next(&row);
+    ASSERT_TRUE(has.ok() && *has) << i;
+    EXPECT_EQ(row[0].int64(), i);
+    EXPECT_EQ(row[1].str(), "name" + std::to_string(i));
+  }
+  EXPECT_FALSE(*scanner.Next(&row));
+}
+
+TEST(TableHeapTest, WideTuplesUseOverflowChains) {
+  // Tuples bigger than a page must round-trip via overflow pages — the
+  // slotted-page behaviour behind the paper's Fig. 13.
+  TempDir dir;
+  Schema schema{{"id", TypeId::kInt64}, {"blob", TypeId::kString}};
+  auto heap = TableHeap::Create(dir.File("w.heap"), schema, {});
+  std::string blob(3 * kPageSize, 'z');
+  for (int i = 0; i < 10; ++i) {
+    blob[0] = static_cast<char>('a' + i);
+    ASSERT_TRUE(
+        (*heap)->Append({Value::Int64(i), Value::String(blob)}).ok());
+  }
+  ASSERT_TRUE((*heap)->FinishLoad().ok());
+  TableHeap::Scanner scanner(heap->get(), std::vector<bool>(2, true));
+  Row row;
+  for (int i = 0; i < 10; ++i) {
+    auto has = scanner.Next(&row);
+    ASSERT_TRUE(has.ok() && *has) << i;
+    EXPECT_EQ(row[0].int64(), i);
+    EXPECT_EQ(row[1].str().size(), blob.size());
+    EXPECT_EQ(row[1].str()[0], 'a' + i);
+  }
+  EXPECT_FALSE(*scanner.Next(&row));
+}
+
+TEST(TableHeapTest, ReopenPreservesRowCount) {
+  TempDir dir;
+  std::string path = dir.File("t.heap");
+  {
+    auto heap = TableHeap::Create(path, TestSchema(), {});
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*heap)->Append(TestRow(i)).ok());
+    }
+    ASSERT_TRUE((*heap)->FinishLoad().ok());
+  }
+  auto reopened = TableHeap::Open(path, TestSchema(), {});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->row_count(), 100u);
+  TableHeap::Scanner scanner(reopened->get(), std::vector<bool>(5, true));
+  Row row;
+  int count = 0;
+  while (*scanner.Next(&row)) ++count;
+  EXPECT_EQ(count, 100);
+}
+
+// ---------------------------------------------------------------------
+// CompactTable
+// ---------------------------------------------------------------------
+
+TEST(CompactTableTest, AppendScanRoundTrip) {
+  TempDir dir;
+  auto table = CompactTable::Create(dir.File("t.cbt"), TestSchema());
+  ASSERT_TRUE(table.ok());
+  constexpr int kRows = 5000;
+  for (int i = 0; i < kRows; ++i) {
+    ASSERT_TRUE((*table)->Append(TestRow(i)).ok());
+  }
+  ASSERT_TRUE((*table)->FinishLoad().ok());
+  CompactTable::Scanner scanner(table->get(), std::vector<bool>(5, true));
+  Row row;
+  for (int i = 0; i < kRows; ++i) {
+    auto has = scanner.Next(&row);
+    ASSERT_TRUE(has.ok() && *has) << i;
+    EXPECT_EQ(row[0].int64(), i);
+    EXPECT_DOUBLE_EQ(row[2].f64(), i * 0.5);
+  }
+  EXPECT_FALSE(*scanner.Next(&row));
+}
+
+TEST(CompactTableTest, NullsAndProjection) {
+  TempDir dir;
+  auto table = CompactTable::Create(dir.File("t.cbt"), TestSchema());
+  Row with_nulls = {Value::Int64(1), Value::Null(TypeId::kString),
+                    Value::Double(0.5), Value::Null(TypeId::kDate),
+                    Value::Bool(true)};
+  ASSERT_TRUE((*table)->Append(with_nulls).ok());
+  ASSERT_TRUE((*table)->FinishLoad().ok());
+  CompactTable::Scanner scanner(table->get(),
+                                {true, true, false, true, true});
+  Row row;
+  ASSERT_TRUE(*scanner.Next(&row));
+  EXPECT_EQ(row[0].int64(), 1);
+  EXPECT_TRUE(row[1].is_null());
+  EXPECT_TRUE(row[2].is_null());  // skipped by projection
+  EXPECT_TRUE(row[3].is_null());
+  EXPECT_TRUE(row[4].boolean());
+}
+
+TEST(CompactTableTest, OpenAfterLoad) {
+  TempDir dir;
+  std::string path = dir.File("t.cbt");
+  {
+    auto table = CompactTable::Create(path, TestSchema());
+    for (int i = 0; i < 42; ++i) {
+      ASSERT_TRUE((*table)->Append(TestRow(i)).ok());
+    }
+    ASSERT_TRUE((*table)->FinishLoad().ok());
+  }
+  auto reopened = CompactTable::Open(path, TestSchema());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->row_count(), 42u);
+}
+
+// ---------------------------------------------------------------------
+// Loader
+// ---------------------------------------------------------------------
+
+TEST(LoaderTest, LoadsCsvIntoBothFormats) {
+  TempDir dir;
+  std::string csv = dir.File("data.csv");
+  ASSERT_TRUE(WriteStringToFile(
+                  csv, "1,alice,1.5,1970-01-02,true\n"
+                       "2,bob,,1970-01-03,false\n"
+                       "3,carol,3.5,,true\n")
+                  .ok());
+
+  auto heap = TableHeap::Create(dir.File("t.heap"), TestSchema(), {});
+  auto heap_load = LoadCsvToHeap(csv, CsvDialect{}, heap->get());
+  ASSERT_TRUE(heap_load.ok()) << heap_load.status();
+  EXPECT_EQ(heap_load->rows, 3u);
+  EXPECT_GT(heap_load->seconds, 0.0);
+
+  auto compact = CompactTable::Create(dir.File("t.cbt"), TestSchema());
+  auto compact_load = LoadCsvToCompact(csv, CsvDialect{}, compact->get());
+  ASSERT_TRUE(compact_load.ok());
+  EXPECT_EQ(compact_load->rows, 3u);
+
+  // Contents agree between formats.
+  TableHeap::Scanner hs(heap->get(), std::vector<bool>(5, true));
+  CompactTable::Scanner cs(compact->get(), std::vector<bool>(5, true));
+  Row hr, cr;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(*hs.Next(&hr));
+    ASSERT_TRUE(*cs.Next(&cr));
+    EXPECT_EQ(hr, cr) << "row " << i;
+  }
+}
+
+TEST(LoaderTest, HeaderSkipped) {
+  TempDir dir;
+  std::string csv = dir.File("data.csv");
+  ASSERT_TRUE(WriteStringToFile(csv, "id\n1\n2\n").ok());
+  Schema schema{{"id", TypeId::kInt64}};
+  auto heap = TableHeap::Create(dir.File("t.heap"), schema, {});
+  CsvDialect dialect;
+  dialect.has_header = true;
+  auto load = LoadCsvToHeap(csv, dialect, heap->get());
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load->rows, 2u);
+}
+
+TEST(LoaderTest, MalformedValueFailsCleanly) {
+  TempDir dir;
+  std::string csv = dir.File("bad.csv");
+  ASSERT_TRUE(WriteStringToFile(csv, "1\nnot_a_number\n").ok());
+  Schema schema{{"id", TypeId::kInt64}};
+  auto heap = TableHeap::Create(dir.File("t.heap"), schema, {});
+  auto load = LoadCsvToHeap(csv, CsvDialect{}, heap->get());
+  EXPECT_FALSE(load.ok());
+}
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "engine/engines.h"
+#include "util/fs_util.h"
+#include "workload/tpch_gen.h"
+#include "workload/tpch_queries.h"
+
+namespace nodb {
+namespace {
+
+/// Generates one tiny TPC-H dataset per test binary run.
+class TpchEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    dir_ = new TempDir();
+    TpchSpec spec;
+    spec.scale_factor = 0.002;  // ~12k lineitem rows: fast but non-trivial
+    ASSERT_TRUE(GenerateTpch(dir_->path(), spec).ok());
+  }
+  void TearDown() override { delete dir_; }
+
+  static std::string Dir() { return dir_->path(); }
+
+ private:
+  static TempDir* dir_;
+};
+TempDir* TpchEnv::dir_ = nullptr;
+
+const ::testing::Environment* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new TpchEnv);
+
+std::unique_ptr<Database> RawEngineWithTables(
+    const std::vector<std::string>& tables) {
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  for (const std::string& t : tables) {
+    EXPECT_TRUE(
+        db->RegisterCsv(t, TpchEnv::Dir() + "/" + t + ".csv", TpchSchema(t))
+            .ok());
+  }
+  return db;
+}
+
+std::unique_ptr<Database> LoadedEngineWithTables(
+    const std::vector<std::string>& tables) {
+  auto db = MakeEngine(SystemUnderTest::kPostgreSQL);
+  for (const std::string& t : tables) {
+    auto load =
+        db->LoadCsv(t, TpchEnv::Dir() + "/" + t + ".csv", TpchSchema(t));
+    EXPECT_TRUE(load.ok()) << load.status();
+  }
+  return db;
+}
+
+// ---------------------------------------------------------------------
+// Generator sanity
+// ---------------------------------------------------------------------
+
+TEST(TpchGenTest, AllFilesExistWithPlausibleSizes) {
+  for (const std::string& t : TpchTableNames()) {
+    std::string path = TpchEnv::Dir() + "/" + t + ".csv";
+    auto size = FileSizeOf(path);
+    ASSERT_TRUE(size.ok()) << path;
+    EXPECT_GT(*size, 10u) << path;
+  }
+}
+
+TEST(TpchGenTest, RowCountsMatchSpecShape) {
+  auto db = RawEngineWithTables(TpchTableNames());
+  std::map<std::string, int64_t> counts;
+  for (const std::string& t : TpchTableNames()) {
+    auto result = db->Execute("SELECT COUNT(*) FROM " + t);
+    ASSERT_TRUE(result.ok()) << t << ": " << result.status();
+    counts[t] = result->rows[0][0].int64();
+  }
+  EXPECT_EQ(counts["region"], 5);
+  EXPECT_EQ(counts["nation"], 25);
+  EXPECT_EQ(counts["supplier"], 20);    // 10000 * 0.002
+  EXPECT_EQ(counts["customer"], 300);   // 150000 * 0.002
+  EXPECT_EQ(counts["part"], 400);       // 200000 * 0.002
+  EXPECT_EQ(counts["partsupp"], 1600);  // 4 per part
+  EXPECT_EQ(counts["orders"], 3000);    // 1500000 * 0.002
+  // lineitem: 1-7 lines per order, expectation ~4.
+  EXPECT_GT(counts["lineitem"], 3 * counts["orders"]);
+  EXPECT_LT(counts["lineitem"], 5 * counts["orders"]);
+}
+
+TEST(TpchGenTest, ForeignKeysResolve) {
+  auto db = RawEngineWithTables({"orders", "customer", "lineitem"});
+  // Every order's customer exists.
+  auto orphans = db->Execute(
+      "SELECT COUNT(*) FROM orders WHERE NOT EXISTS "
+      "(SELECT * FROM customer WHERE c_custkey = o_custkey)");
+  ASSERT_TRUE(orphans.ok()) << orphans.status();
+  EXPECT_EQ(orphans->rows[0][0].int64(), 0);
+  // Every lineitem's order exists.
+  auto li_orphans = db->Execute(
+      "SELECT COUNT(*) FROM lineitem WHERE NOT EXISTS "
+      "(SELECT * FROM orders WHERE o_orderkey = l_orderkey)");
+  ASSERT_TRUE(li_orphans.ok());
+  EXPECT_EQ(li_orphans->rows[0][0].int64(), 0);
+}
+
+TEST(TpchGenTest, ValueDomains) {
+  auto db = RawEngineWithTables({"lineitem", "part", "orders"});
+  auto quantity = db->Execute(
+      "SELECT MIN(l_quantity), MAX(l_quantity), MIN(l_discount), "
+      "MAX(l_discount) FROM lineitem");
+  ASSERT_TRUE(quantity.ok());
+  EXPECT_GE(quantity->rows[0][0].f64(), 1.0);
+  EXPECT_LE(quantity->rows[0][1].f64(), 50.0);
+  EXPECT_GE(quantity->rows[0][2].f64(), 0.0);
+  EXPECT_LE(quantity->rows[0][3].f64(), 0.10);
+
+  auto dates = db->Execute(
+      "SELECT MIN(o_orderdate), MAX(o_orderdate) FROM orders");
+  ASSERT_TRUE(dates.ok());
+  EXPECT_GE(dates->rows[0][0].ToString(), "1992-01-01");
+  EXPECT_LE(dates->rows[0][1].ToString(), "1998-12-31");
+
+  // Return flags take exactly the three spec values.
+  auto flags = db->Execute(
+      "SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag");
+  ASSERT_TRUE(flags.ok());
+  std::set<std::string> seen;
+  for (const Row& row : flags->rows) seen.insert(row[0].str());
+  EXPECT_EQ(seen, (std::set<std::string>{"A", "N", "R"}));
+
+  // PROMO parts exist (Q14 depends on them): ~1/6 of types.
+  auto promo = db->Execute(
+      "SELECT COUNT(*) FROM part WHERE p_type LIKE 'PROMO%'");
+  ASSERT_TRUE(promo.ok());
+  EXPECT_GT(promo->rows[0][0].int64(), 20);
+  EXPECT_LT(promo->rows[0][0].int64(), 140);
+}
+
+// ---------------------------------------------------------------------
+// Queries: raw in-situ vs loaded must agree; results must be non-degenerate
+// ---------------------------------------------------------------------
+
+class TpchQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchQueryTest, RawAndLoadedAgree) {
+  int q = GetParam();
+  std::string sql = TpchQuery(q);
+  ASSERT_FALSE(sql.empty());
+  auto tables = TpchQueryTables(q);
+
+  auto raw = RawEngineWithTables(tables);
+  auto loaded = LoadedEngineWithTables(tables);
+
+  QueryResult first;
+  for (int repeat = 0; repeat < 2; ++repeat) {  // warm adaptive structures
+    auto raw_result = raw->Execute(sql);
+    ASSERT_TRUE(raw_result.ok()) << "Q" << q << ": " << raw_result.status();
+    auto loaded_result = loaded->Execute(sql);
+    ASSERT_TRUE(loaded_result.ok())
+        << "Q" << q << ": " << loaded_result.status();
+    EXPECT_EQ(raw_result->Canonical(true), loaded_result->Canonical(true))
+        << "Q" << q << " repeat " << repeat;
+    if (repeat == 0) first = std::move(*raw_result);
+  }
+  // Non-degenerate results per query.
+  switch (q) {
+    case 1:
+      EXPECT_GE(first.rows.size(), 3u);   // returnflag x linestatus groups
+      EXPECT_LE(first.rows.size(), 6u);
+      break;
+    case 3:
+      EXPECT_GT(first.rows.size(), 0u);
+      EXPECT_LE(first.rows.size(), 10u);  // LIMIT 10
+      break;
+    case 4:
+      EXPECT_EQ(first.rows.size(), 5u);   // five order priorities
+      break;
+    case 6:
+      ASSERT_EQ(first.rows.size(), 1u);
+      EXPECT_GT(first.rows[0][0].f64(), 0.0);
+      break;
+    case 10:
+      EXPECT_GT(first.rows.size(), 0u);
+      EXPECT_LE(first.rows.size(), 20u);
+      break;
+    case 12:
+      EXPECT_EQ(first.rows.size(), 2u);   // MAIL, SHIP
+      break;
+    case 14: {
+      ASSERT_EQ(first.rows.size(), 1u);
+      double pct = first.rows[0][0].f64();
+      EXPECT_GT(pct, 1.0);    // PROMO share in percent
+      EXPECT_LT(pct, 60.0);
+      break;
+    }
+    case 19:
+      ASSERT_EQ(first.rows.size(), 1u);
+      break;
+    default:
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest,
+                         ::testing::ValuesIn(TpchQueryNumbers()),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST(TpchMetaTest, QueryTextAvailability) {
+  for (int q : TpchQueryNumbers()) {
+    EXPECT_FALSE(TpchQuery(q).empty()) << q;
+    EXPECT_FALSE(TpchQueryTables(q).empty()) << q;
+  }
+  EXPECT_TRUE(TpchQuery(2).empty());
+  EXPECT_TRUE(TpchQueryTables(2).empty());
+}
+
+TEST(TpchMetaTest, SchemasHaveSpecArity) {
+  EXPECT_EQ(TpchSchema("lineitem").num_columns(), 16);
+  EXPECT_EQ(TpchSchema("orders").num_columns(), 9);
+  EXPECT_EQ(TpchSchema("customer").num_columns(), 8);
+  EXPECT_EQ(TpchSchema("part").num_columns(), 9);
+  EXPECT_EQ(TpchSchema("supplier").num_columns(), 7);
+  EXPECT_EQ(TpchSchema("partsupp").num_columns(), 5);
+  EXPECT_EQ(TpchSchema("nation").num_columns(), 4);
+  EXPECT_EQ(TpchSchema("region").num_columns(), 3);
+  EXPECT_EQ(TpchSchema("bogus").num_columns(), 0);
+}
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "types/data_type.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace nodb {
+namespace {
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(TypeIdToString(TypeId::kInt64), "int64");
+  EXPECT_EQ(TypeIdToString(TypeId::kDouble), "double");
+  EXPECT_EQ(TypeIdToString(TypeId::kString), "string");
+  EXPECT_EQ(TypeIdToString(TypeId::kDate), "date");
+  EXPECT_EQ(TypeIdToString(TypeId::kBool), "bool");
+}
+
+TEST(DataTypeTest, FixedWidths) {
+  EXPECT_EQ(FixedWidthOf(TypeId::kInt64), 8);
+  EXPECT_EQ(FixedWidthOf(TypeId::kDouble), 8);
+  EXPECT_EQ(FixedWidthOf(TypeId::kDate), 4);
+  EXPECT_EQ(FixedWidthOf(TypeId::kBool), 1);
+  EXPECT_EQ(FixedWidthOf(TypeId::kString), 0);
+  EXPECT_FALSE(IsFixedWidth(TypeId::kString));
+  EXPECT_TRUE(IsFixedWidth(TypeId::kDate));
+}
+
+TEST(DataTypeTest, ConversionCostOrdering) {
+  // The adaptive cache prioritizes expensive-to-convert attributes: numeric
+  // conversion costs more than strings (paper §4.3).
+  EXPECT_GT(ConversionCostClass(TypeId::kDouble),
+            ConversionCostClass(TypeId::kInt64));
+  EXPECT_GT(ConversionCostClass(TypeId::kInt64),
+            ConversionCostClass(TypeId::kString));
+  EXPECT_EQ(ConversionCostClass(TypeId::kString), 0);
+}
+
+TEST(ValueTest, Factories) {
+  EXPECT_EQ(Value::Int64(5).int64(), 5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).f64(), 2.5);
+  EXPECT_EQ(Value::String("hi").str(), "hi");
+  EXPECT_EQ(Value::Date(100).date(), 100);
+  EXPECT_TRUE(Value::Bool(true).boolean());
+  EXPECT_TRUE(Value::Null(TypeId::kDouble).is_null());
+  EXPECT_EQ(Value::Null(TypeId::kDouble).type(), TypeId::kDouble);
+}
+
+TEST(ValueTest, CompareSameType) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::Int64(2).Compare(Value::Int64(1)), 0);
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Int64(3)), 0);
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_LT(Value::Date(10).Compare(Value::Date(20)), 0);
+}
+
+TEST(ValueTest, CompareCrossNumeric) {
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int64(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.5).Compare(Value::Int64(3)), 0);
+}
+
+TEST(ValueTest, LargeInt64ComparisonIsExact) {
+  // Same-type int comparison must not round through double.
+  Value a = Value::Int64(9007199254740993LL);      // 2^53 + 1
+  Value b = Value::Int64(9007199254740992LL);      // 2^53
+  EXPECT_GT(a.Compare(b), 0);
+}
+
+TEST(ValueTest, EqualsAndHashConsistent) {
+  Value a = Value::String("hello");
+  Value b = Value::String("hello");
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_EQ(a.Hash(), b.Hash());
+  Value c = Value::Int64(42), d = Value::Int64(42);
+  EXPECT_EQ(c.Hash(), d.Hash());
+  // -0.0 and 0.0 are equal and must hash equally.
+  EXPECT_EQ(Value::Double(-0.0).Hash(), Value::Double(0.0).Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int64(-7).ToString(), "-7");
+  EXPECT_EQ(Value::String("x").ToString(), "x");
+  EXPECT_EQ(Value::Null(TypeId::kInt64).ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Date(0).ToString(), "1970-01-01");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, ParseAsEachType) {
+  EXPECT_EQ(Value::ParseAs(TypeId::kInt64, "12")->int64(), 12);
+  EXPECT_DOUBLE_EQ(Value::ParseAs(TypeId::kDouble, "1.5")->f64(), 1.5);
+  EXPECT_EQ(Value::ParseAs(TypeId::kString, "ab")->str(), "ab");
+  EXPECT_EQ(Value::ParseAs(TypeId::kDate, "1970-01-02")->date(), 1);
+  EXPECT_TRUE(Value::ParseAs(TypeId::kBool, "true")->boolean());
+}
+
+TEST(ValueTest, ParseAsEmptyIsNull) {
+  for (TypeId t : {TypeId::kInt64, TypeId::kDouble, TypeId::kString,
+                   TypeId::kDate, TypeId::kBool}) {
+    Result<Value> v = Value::ParseAs(t, "");
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->is_null());
+    EXPECT_EQ(v->type(), t);
+  }
+}
+
+TEST(ValueTest, ParseAsRejectsGarbage) {
+  EXPECT_FALSE(Value::ParseAs(TypeId::kInt64, "1x").ok());
+  EXPECT_FALSE(Value::ParseAs(TypeId::kDate, "nope").ok());
+}
+
+TEST(ValueTest, OperatorEq) {
+  EXPECT_EQ(Value::Int64(1), Value::Int64(1));
+  EXPECT_FALSE(Value::Int64(1) == Value::Double(1.0));  // type-sensitive
+  EXPECT_EQ(Value::Null(TypeId::kInt64), Value::Null(TypeId::kInt64));
+  EXPECT_FALSE(Value::Null(TypeId::kInt64) == Value::Int64(0));
+}
+
+TEST(RowTest, HashRowDiffers) {
+  Row a = {Value::Int64(1), Value::String("x")};
+  Row b = {Value::Int64(1), Value::String("y")};
+  Row c = {Value::Int64(1), Value::String("x")};
+  EXPECT_EQ(HashRow(a), HashRow(c));
+  EXPECT_NE(HashRow(a), HashRow(b));
+}
+
+TEST(SchemaTest, IndexOfAndSelect) {
+  Schema s{{"a", TypeId::kInt64}, {"b", TypeId::kString},
+           {"c", TypeId::kDouble}};
+  EXPECT_EQ(s.num_columns(), 3);
+  EXPECT_EQ(s.IndexOf("b"), 1);
+  EXPECT_EQ(s.IndexOf("z"), -1);
+  Schema sub = s.Select({2, 0});
+  EXPECT_EQ(sub.num_columns(), 2);
+  EXPECT_EQ(sub.column(0).name, "c");
+  EXPECT_EQ(sub.column(1).name, "a");
+}
+
+TEST(SchemaTest, AddColumnReturnsIndex) {
+  Schema s;
+  EXPECT_EQ(s.AddColumn({"x", TypeId::kInt64}), 0);
+  EXPECT_EQ(s.AddColumn({"y", TypeId::kDate}), 1);
+  EXPECT_EQ(s.ToString(), "x:int64, y:date");
+}
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "util/fs_util.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/str_conv.h"
+
+namespace nodb {
+namespace {
+
+// ---------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    NODB_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto f = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("boom");
+    return 7;
+  };
+  auto g = [&](bool fail) -> Result<int> {
+    NODB_ASSIGN_OR_RETURN(int v, f(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*g(false), 8);
+  EXPECT_EQ(g(true).status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// ---------------------------------------------------------------------
+// String conversions
+// ---------------------------------------------------------------------
+
+TEST(StrConvTest, ParseInt64Basic) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("-17"), -17);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(*ParseInt64("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(StrConvTest, ParseInt64Rejects) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64(" 1").ok());
+  EXPECT_FALSE(ParseInt64("1 ").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());  // overflow
+}
+
+TEST(StrConvTest, ParseDoubleBasic) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-0.5"), -0.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("42"), 42.0);
+}
+
+TEST(StrConvTest, ParseDoubleRejects) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("x").ok());
+}
+
+TEST(StrConvTest, ParseBoolVariants) {
+  EXPECT_TRUE(*ParseBool("1"));
+  EXPECT_TRUE(*ParseBool("true"));
+  EXPECT_TRUE(*ParseBool("T"));
+  EXPECT_FALSE(*ParseBool("0"));
+  EXPECT_FALSE(*ParseBool("false"));
+  EXPECT_FALSE(ParseBool("yes").ok());
+}
+
+TEST(StrConvTest, DateRoundTrip) {
+  EXPECT_EQ(*ParseDate("1970-01-01"), 0);
+  EXPECT_EQ(*ParseDate("1970-01-02"), 1);
+  EXPECT_EQ(*ParseDate("1969-12-31"), -1);
+  for (const char* d : {"1992-01-01", "1995-06-17", "1998-12-31",
+                        "2000-02-29", "1900-03-01", "2024-02-29"}) {
+    Result<int32_t> days = ParseDate(d);
+    ASSERT_TRUE(days.ok()) << d;
+    EXPECT_EQ(FormatDate(*days), d);
+  }
+}
+
+TEST(StrConvTest, DateValidation) {
+  EXPECT_FALSE(ParseDate("1970-13-01").ok());
+  EXPECT_FALSE(ParseDate("1970-00-01").ok());
+  EXPECT_FALSE(ParseDate("1970-01-32").ok());
+  EXPECT_FALSE(ParseDate("1970-02-29").ok());  // not a leap year
+  EXPECT_TRUE(ParseDate("1972-02-29").ok());   // leap year
+  EXPECT_FALSE(ParseDate("1900-02-29").ok());  // century non-leap
+  EXPECT_TRUE(ParseDate("2000-02-29").ok());   // 400-year leap
+  EXPECT_FALSE(ParseDate("70-01-01").ok());
+  EXPECT_FALSE(ParseDate("1970/01/01").ok());
+  EXPECT_FALSE(ParseDate("1970-1-1").ok());
+}
+
+TEST(StrConvTest, CivilDaysInverse) {
+  // Property: DaysToCivil(CivilToDays(y,m,d)) == (y,m,d) across a wide span.
+  for (int32_t days = -100000; days <= 100000; days += 317) {
+    int y, m, d;
+    DaysToCivil(days, &y, &m, &d);
+    EXPECT_EQ(CivilToDays(y, m, d), days);
+  }
+}
+
+TEST(StrConvTest, AppendInt64AndDouble) {
+  std::string out;
+  AppendInt64(&out, -123);
+  out += "|";
+  AppendDouble(&out, 2.5);
+  EXPECT_EQ(out, "-123|2.5");
+}
+
+TEST(StrConvTest, LooksLikeInt) {
+  EXPECT_TRUE(LooksLikeInt("42"));
+  EXPECT_TRUE(LooksLikeInt("-7"));
+  EXPECT_TRUE(LooksLikeInt("+7"));
+  EXPECT_FALSE(LooksLikeInt(""));
+  EXPECT_FALSE(LooksLikeInt("-"));
+  EXPECT_FALSE(LooksLikeInt("1.2"));
+  EXPECT_FALSE(LooksLikeInt("a1"));
+}
+
+// ---------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, RoughlyUniform) {
+  Rng rng(11);
+  int buckets[10] = {0};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++buckets[rng.Uniform(0, 9)];
+  }
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(buckets[b], kDraws / 10, kDraws / 50);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Filesystem helpers
+// ---------------------------------------------------------------------
+
+TEST(FsUtilTest, TempDirCreatesAndCleans) {
+  std::string path;
+  {
+    TempDir dir;
+    ASSERT_FALSE(dir.path().empty());
+    path = dir.path();
+    EXPECT_TRUE(FileExists(path));
+    ASSERT_TRUE(WriteStringToFile(dir.File("x.txt"), "hello").ok());
+    EXPECT_TRUE(FileExists(dir.File("x.txt")));
+  }
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(FsUtilTest, ReadWriteRoundTrip) {
+  TempDir dir;
+  std::string content(100000, 'x');
+  content[5] = '\n';
+  ASSERT_TRUE(WriteStringToFile(dir.File("f"), content).ok());
+  Result<std::string> read = ReadFileToString(dir.File("f"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, content);
+  Result<uint64_t> size = FileSizeOf(dir.File("f"));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, content.size());
+}
+
+TEST(FsUtilTest, MissingFileErrors) {
+  TempDir dir;
+  EXPECT_FALSE(ReadFileToString(dir.File("nope")).ok());
+  EXPECT_FALSE(FileSizeOf(dir.File("nope")).ok());
+  EXPECT_TRUE(RemoveFileIfExists(dir.File("nope")).ok());  // idempotent
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMicros(), 0);
+}
+
+}  // namespace
+}  // namespace nodb
