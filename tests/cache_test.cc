@@ -165,5 +165,18 @@ TEST(ColumnCacheProperty, RandomWorkloadStaysWithinBudgetAndConsistent) {
   }
 }
 
+
+TEST(ColumnCacheTest, ZeroBudgetCachesNothingButStaysUsable) {
+  ColumnCache::Options opts;
+  opts.budget_bytes = 0;
+  ColumnCache cache({TypeId::kInt64}, opts);
+  cache.Put(0, 0, IntColumn(4, 0));
+  EXPECT_EQ(cache.Get(0, 0), nullptr);
+  EXPECT_EQ(cache.memory_bytes(), 0u);
+  // Repeated puts/gets on a zero-budget cache must not accumulate state.
+  for (int i = 0; i < 100; ++i) cache.Put(i, 0, IntColumn(4, i));
+  EXPECT_EQ(cache.memory_bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace nodb

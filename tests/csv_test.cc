@@ -123,6 +123,111 @@ TEST(TokenizerTest, QuotedFieldWithEscapedQuote) {
 // Parser
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// Edge cases: quoting, CRLF, ragged and malformed records
+// ---------------------------------------------------------------------
+
+TEST(TokenizerTest, QuotedFieldWithEmbeddedNewline) {
+  // A record view may contain a literal newline inside a quoted field; the
+  // tokenizer must treat it as field content, not a record boundary.
+  CsvDialect quoted;
+  quoted.quoting = true;
+  std::string_view line = "1,\"first\nsecond\",3";
+  EXPECT_EQ(CountFields(line, quoted), 3);
+  uint32_t starts[3];
+  EXPECT_EQ(TokenizeStarts(line, quoted, 2, starts), 3);
+  EXPECT_EQ(starts[1], 2u);
+  EXPECT_EQ(starts[2], 17u);
+  EXPECT_EQ(FieldEndAt(line, quoted, starts[1]), 16u);
+}
+
+TEST(TokenizerTest, QuotedFieldWithEmbeddedDelimitersEverywhere) {
+  CsvDialect quoted;
+  quoted.quoting = true;
+  std::string_view line = "\",lead\",mid,\"tr,ail,\"";
+  EXPECT_EQ(CountFields(line, quoted), 3);
+  uint32_t starts[3];
+  EXPECT_EQ(TokenizeStarts(line, quoted, 2, starts), 3);
+  EXPECT_EQ(starts[0], 0u);
+  EXPECT_EQ(starts[1], 8u);
+  EXPECT_EQ(starts[2], 12u);
+  EXPECT_EQ(FieldEndAt(line, quoted, starts[2]), line.size());
+}
+
+TEST(TokenizerTest, UnclosedQuoteConsumesRestOfLine) {
+  // Malformed input: an opening quote that never closes. The tokenizer must
+  // terminate (no scan past the view) and treat the remainder as one field.
+  CsvDialect quoted;
+  quoted.quoting = true;
+  std::string_view line = "a,\"never closed,b,c";
+  EXPECT_EQ(CountFields(line, quoted), 2);
+  uint32_t starts[4];
+  EXPECT_EQ(TokenizeStarts(line, quoted, 3, starts), 2);
+  EXPECT_EQ(FieldEndAt(line, quoted, starts[1]), line.size());
+}
+
+TEST(TokenizerTest, TrailingDelimiterYieldsEmptyLastField) {
+  std::string_view line = "a,b,";
+  EXPECT_EQ(CountFields(line, kPlain), 3);
+  uint32_t starts[3];
+  EXPECT_EQ(TokenizeStarts(line, kPlain, 2, starts), 3);
+  EXPECT_EQ(starts[2], 4u);
+  EXPECT_EQ(FieldEndAt(line, kPlain, starts[2]), 4u);  // empty field
+}
+
+TEST(TokenizerTest, AllFieldsEmpty) {
+  std::string_view line = ",,,";
+  EXPECT_EQ(CountFields(line, kPlain), 4);
+  uint32_t starts[4];
+  EXPECT_EQ(TokenizeStarts(line, kPlain, 3, starts), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(starts[i], static_cast<uint32_t>(i));
+    EXPECT_EQ(FieldEndAt(line, kPlain, starts[i]), static_cast<uint32_t>(i));
+  }
+}
+
+TEST(TokenizerTest, RequestBeyondLastFieldReturnsFewer) {
+  std::string_view line = "x,y";
+  uint32_t starts[6];
+  EXPECT_EQ(TokenizeStarts(line, kPlain, 5, starts), 2);
+  EXPECT_EQ(FindFieldForward(line, kPlain, 0, 0, 4), kInvalidOffset);
+}
+
+TEST(ParserTest, QuotedNumericFieldParses) {
+  CsvDialect quoted;
+  quoted.quoting = true;
+  auto v = ParseCsvField("\"42\"", TypeId::kInt64, quoted);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int64(), 42);
+  auto d = ParseCsvField("\"2.5\"", TypeId::kDouble, quoted);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->f64(), 2.5);
+}
+
+TEST(ParserTest, QuotedFieldWithEscapedQuotesAndDelimiter) {
+  CsvDialect quoted;
+  quoted.quoting = true;
+  auto v = ParseCsvField("\"he said \"\"hi, there\"\"\"", TypeId::kString,
+                         quoted);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str(), "he said \"hi, there\"");
+}
+
+TEST(ParserTest, QuotedEmptyFieldIsNull) {
+  CsvDialect quoted;
+  quoted.quoting = true;
+  auto v = ParseCsvField("\"\"", TypeId::kString, quoted);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ParserTest, MalformedFieldsError) {
+  EXPECT_FALSE(ParseCsvField("abc", TypeId::kInt64, kPlain).ok());
+  EXPECT_FALSE(ParseCsvField("1.2.3", TypeId::kDouble, kPlain).ok());
+  EXPECT_FALSE(ParseCsvField("2023-13-40", TypeId::kDate, kPlain).ok());
+  EXPECT_FALSE(ParseCsvField("12x", TypeId::kInt64, kPlain).ok());
+}
+
 TEST(ParserTest, ParseTypedFields) {
   EXPECT_EQ(ParseCsvField("42", TypeId::kInt64, kPlain)->int64(), 42);
   EXPECT_DOUBLE_EQ(ParseCsvField("2.5", TypeId::kDouble, kPlain)->f64(), 2.5);
@@ -194,6 +299,19 @@ TEST_F(ScannerTest, CrLfStripped) {
   LineRef line;
   ASSERT_TRUE(*scanner.Next(&line));
   EXPECT_EQ(line.text, "a,b");
+}
+
+TEST_F(ScannerTest, MixedLineEndingsAndFinalCrWithoutNewline) {
+  auto file = WriteAndOpen("a,b\r\nc,d\ne,f\r");
+  CsvScanner scanner(file.get());
+  LineRef line;
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "a,b");
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "c,d");
+  ASSERT_TRUE(*scanner.Next(&line));
+  EXPECT_EQ(line.text, "e,f");
+  EXPECT_FALSE(*scanner.Next(&line));
 }
 
 TEST_F(ScannerTest, EmptyFile) {

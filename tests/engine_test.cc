@@ -182,6 +182,90 @@ TEST_F(EngineTest, ErrorsSurfaceCleanly) {
   EXPECT_FALSE(db->Execute("SELECT name FROM people WHERE age = 'x'").ok());
 }
 
+TEST_F(EngineTest, MissingFileSurfacesIOErrorOnRegisterAndLoad) {
+  std::string ghost = dir_.File("does_not_exist.csv");
+  auto raw = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  Status reg = raw->RegisterCsv("ghost", ghost, schema_);
+  EXPECT_EQ(reg.code(), StatusCode::kIOError);
+  EXPECT_NE(reg.message().find("does_not_exist.csv"), std::string::npos)
+      << "error should name the offending file: " << reg.ToString();
+  EXPECT_FALSE(raw->HasTable("ghost"));
+
+  auto loaded = MakeEngine(SystemUnderTest::kPostgreSQL);
+  auto load = loaded->LoadCsv("ghost", ghost, schema_);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), StatusCode::kIOError);
+  EXPECT_FALSE(loaded->HasTable("ghost"));
+}
+
+TEST_F(EngineTest, ShortRowsYieldNullsConsistentlyAcrossEngines) {
+  // A ragged file: row 2 stops after two of five columns. Missing trailing
+  // attributes read as NULL, identically in raw and loaded engines.
+  std::string ragged = dir_.File("ragged.csv");
+  ASSERT_TRUE(WriteStringToFile(ragged,
+                                "1,alice,30,9000.5,2020-01-01\n"
+                                "2,bob\n"
+                                "3,carol,35,5000,2019-12-31\n")
+                  .ok());
+  auto raw = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(raw->RegisterCsv("r", ragged, schema_).ok());
+  auto loaded = MakeEngine(SystemUnderTest::kPostgreSQL);
+  ASSERT_TRUE(loaded->LoadCsv("r", ragged, schema_).ok());
+
+  for (const char* sql :
+       {"SELECT id, age FROM r", "SELECT id FROM r WHERE age IS NULL",
+        "SELECT COUNT(*) AS n, COUNT(age) AS a FROM r"}) {
+    auto want = raw->Execute(sql);
+    ASSERT_TRUE(want.ok()) << sql << "\n" << want.status();
+    auto got = loaded->Execute(sql);
+    ASSERT_TRUE(got.ok()) << sql << "\n" << got.status();
+    EXPECT_EQ(got->Canonical(true), want->Canonical(true)) << sql;
+  }
+  auto nulls = raw->Execute("SELECT id FROM r WHERE age IS NULL");
+  ASSERT_TRUE(nulls.ok());
+  ASSERT_EQ(nulls->rows.size(), 1u);
+  EXPECT_EQ(nulls->rows[0][0].int64(), 2);
+}
+
+TEST_F(EngineTest, MalformedCellSurfacesInvalidArgument) {
+  // Type/schema mismatch: 'xx' under an Int64 column. The loaded engine
+  // rejects the file at load time; the in-situ engine defers the conversion
+  // and fails only when a query actually touches the bad attribute.
+  std::string bad = dir_.File("bad_cell.csv");
+  ASSERT_TRUE(WriteStringToFile(bad,
+                                "1,alice,30,1.5,2020-01-01\n"
+                                "2,bob,xx,2.5,2021-06-15\n")
+                  .ok());
+  auto loaded = MakeEngine(SystemUnderTest::kPostgreSQL);
+  auto load = loaded->LoadCsv("b", bad, schema_);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), StatusCode::kInvalidArgument);
+
+  auto raw = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(raw->RegisterCsv("b", bad, schema_).ok());
+  // Selective parsing: queries that never convert the bad cell succeed.
+  EXPECT_TRUE(raw->Execute("SELECT id, name FROM b").ok());
+  auto touch = raw->Execute("SELECT age FROM b");
+  ASSERT_FALSE(touch.ok());
+  EXPECT_EQ(touch.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(touch.status().message().find("xx"), std::string::npos)
+      << touch.status().ToString();
+  // The failure is per-query, not sticky: the table stays usable.
+  EXPECT_TRUE(raw->Execute("SELECT name FROM b WHERE id = 2").ok());
+}
+
+TEST_F(EngineTest, QueryErrorsCarrySpecificStatusCodes) {
+  auto db = Raw();
+  EXPECT_EQ(db->Execute("SELECT * FROM missing_table").status().code(),
+            StatusCode::kNotFound);
+  auto parse_err = db->Execute("SELEC * FROM people").status();
+  EXPECT_EQ(parse_err.code(), StatusCode::kInvalidArgument);
+  auto bind_err = db->Execute("SELECT nope FROM people").status();
+  EXPECT_EQ(bind_err.code(), StatusCode::kNotFound);
+  EXPECT_NE(bind_err.message().find("nope"), std::string::npos)
+      << "binder error should name the unknown column: " << bind_err;
+}
+
 TEST_F(EngineTest, DuplicateRegistrationFails) {
   auto db = Raw();
   EXPECT_EQ(db->RegisterCsv("people", csv_path_, schema_).code(),

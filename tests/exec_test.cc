@@ -127,6 +127,27 @@ TEST(SortOpTest, MultiKeyWithNullsLast) {
   EXPECT_TRUE(out[3][0].is_null());  // NULLs last
 }
 
+TEST(SortOpTest, SortThenLimitIsTopK) {
+  // The ORDER BY ... LIMIT plan shape: Limit over Sort must yield exactly
+  // the k greatest rows, regardless of input order.
+  std::vector<BoundOrderKey> keys = {{0, true}};  // c0 descending
+  auto sort = std::make_unique<SortOp>(
+      std::make_unique<VectorSource>(
+          IntRows({{5, 0}, {1, 1}, {4, 2}, {2, 3}, {3, 4}})),
+      &keys);
+  LimitOp limit(std::move(sort), 2);
+  auto out = Drain(&limit);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0][0].int64(), 5);
+  EXPECT_EQ(out[1][0].int64(), 4);
+}
+
+TEST(SortOpTest, EmptyInputYieldsEmptyOutput) {
+  std::vector<BoundOrderKey> keys = {{0, false}};
+  SortOp sort(std::make_unique<VectorSource>(std::vector<Row>{}), &keys);
+  EXPECT_TRUE(Drain(&sort).empty());
+}
+
 // ---------------------------------------------------------------------
 // Aggregation: both strategies must agree
 // ---------------------------------------------------------------------

@@ -96,6 +96,35 @@ TEST_F(FitsFileTest, TruncatedHeaderRejected) {
   EXPECT_FALSE(ParseFitsHeader(file->get()).ok());
 }
 
+TEST_F(FitsFileTest, TruncatedDataSectionFailsRead) {
+  // A file whose header promises more rows than the data section holds must
+  // fail the read with a clean status, not crash or fabricate values.
+  WriteSample(100);
+  auto content = ReadFileToString(path_);
+  ASSERT_TRUE(content.ok());
+  auto whole = RandomAccessFile::Open(path_);
+  ASSERT_TRUE(whole.ok());
+  auto info = ParseFitsHeader(whole->get());
+  ASSERT_TRUE(info.ok());
+  // Keep the header plus the first two rows of data only.
+  std::string cut =
+      content->substr(0, info->data_start + 2 * info->row_bytes);
+  std::string path = dir_.File("cut.fits");
+  ASSERT_TRUE(WriteStringToFile(path, cut).ok());
+
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  auto cut_info = ParseFitsHeader(file->get());
+  ASSERT_TRUE(cut_info.ok());  // header itself is intact
+  EXPECT_EQ(cut_info->num_rows, 100u);
+  FitsReader reader(file->get(), &*cut_info);
+  Row row;
+  std::vector<bool> all(5, true);
+  EXPECT_TRUE(reader.ReadRow(0, all, &row).ok());
+  EXPECT_TRUE(reader.ReadRow(1, all, &row).ok());
+  EXPECT_FALSE(reader.ReadRow(50, all, &row).ok());
+}
+
 TEST_F(FitsFileTest, CfitsioLikeApi) {
   WriteSample(100);
   fitsfile* f = nullptr;

@@ -112,5 +112,38 @@ TEST_F(BufferedReaderTest, TruncatesAtEof) {
   EXPECT_TRUE(past->empty());
 }
 
+
+TEST(FileTest, EmptyFileShortReads) {
+  TempDir dir;
+  std::string path = dir.File("empty");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  auto f = RandomAccessFile::Open(path);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->size(), 0u);
+  char buf[8];
+  auto n = (*f)->Read(0, 8, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST_F(BufferedReaderTest, ZeroLengthReadIsEmpty) {
+  BufferedReader reader(file_.get(), 4096);
+  auto view = reader.ReadAt(500, 0);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->empty());
+}
+
+TEST_F(BufferedReaderTest, EmptyFileServesNothing) {
+  TempDir dir;
+  std::string path = dir.File("empty");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  auto f = RandomAccessFile::Open(path);
+  ASSERT_TRUE(f.ok());
+  BufferedReader reader(f->get(), 4096);
+  auto view = reader.ReadAt(0, 100);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->empty());
+}
+
 }  // namespace
 }  // namespace nodb

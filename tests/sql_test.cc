@@ -331,5 +331,43 @@ TEST(BinderTest, SelectStarExpansion) {
   EXPECT_EQ((*q)->output_schema.num_columns(), 6);
 }
 
+
+// ---------------------------------------------------------------------
+// Parse errors: every malformed statement must fail with a positioned,
+// actionable InvalidArgument -- never crash or silently misparse
+// ---------------------------------------------------------------------
+
+TEST(ParserTest, UnterminatedStringLiteralErrors) {
+  auto r = ParseSelect("SELECT a FROM t WHERE s = 'oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("unterminated"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserTest, TrailingGarbageErrors) {
+  auto r = ParseSelect("SELECT a FROM t extra garbage");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("trailing"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserTest, IncompleteClausesError) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t ORDER BY").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t GROUP BY").ok());
+  EXPECT_FALSE(ParseSelect("").ok());
+}
+
+TEST(ParserTest, ErrorMessagesCarryPosition) {
+  auto r = ParseSelect("SELECT a FROM t LIMIT x");
+  ASSERT_FALSE(r.ok());
+  // "at <offset>" lets callers point at the offending token.
+  EXPECT_NE(r.status().message().find("at 22"), std::string::npos)
+      << r.status().ToString();
+}
+
 }  // namespace
 }  // namespace nodb

@@ -339,6 +339,36 @@ TEST(LoaderTest, HeaderSkipped) {
   EXPECT_EQ(load->rows, 2u);
 }
 
+TEST(LoaderTest, RaggedRowsPadWithNulls) {
+  // Rows shorter than the schema load with NULL trailing attributes — the
+  // same semantics the in-situ scan gives short rows, so differential
+  // checks between loaded and raw engines stay meaningful on dirty files.
+  TempDir dir;
+  std::string csv = dir.File("ragged.csv");
+  ASSERT_TRUE(WriteStringToFile(csv,
+                                "1,alice,1.5,1970-01-02,true\n"
+                                "2,bob\n"
+                                "3\n")
+                  .ok());
+  auto heap = TableHeap::Create(dir.File("t.heap"), TestSchema(), {});
+  auto load = LoadCsvToHeap(csv, CsvDialect{}, heap->get());
+  ASSERT_TRUE(load.ok()) << load.status();
+  EXPECT_EQ(load->rows, 3u);
+
+  TableHeap::Scanner scanner(heap->get(), std::vector<bool>(5, true));
+  Row row;
+  ASSERT_TRUE(*scanner.Next(&row));
+  EXPECT_FALSE(row[4].is_null());
+  ASSERT_TRUE(*scanner.Next(&row));
+  EXPECT_EQ(row[1].str(), "bob");
+  EXPECT_TRUE(row[2].is_null());
+  EXPECT_TRUE(row[3].is_null());
+  EXPECT_TRUE(row[4].is_null());
+  ASSERT_TRUE(*scanner.Next(&row));
+  EXPECT_EQ(row[0].int64(), 3);
+  EXPECT_TRUE(row[1].is_null());
+}
+
 TEST(LoaderTest, MalformedValueFailsCleanly) {
   TempDir dir;
   std::string csv = dir.File("bad.csv");

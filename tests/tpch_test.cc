@@ -33,8 +33,9 @@ const ::testing::Environment* const kEnv =
     ::testing::AddGlobalTestEnvironment(new TpchEnv);
 
 std::unique_ptr<Database> RawEngineWithTables(
-    const std::vector<std::string>& tables) {
-  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+    const std::vector<std::string>& tables,
+    SystemUnderTest sut = SystemUnderTest::kPostgresRawPMC) {
+  auto db = MakeEngine(sut);
   for (const std::string& t : tables) {
     EXPECT_TRUE(
         db->RegisterCsv(t, TpchEnv::Dir() + "/" + t + ".csv", TpchSchema(t))
@@ -149,6 +150,7 @@ TEST_P(TpchQueryTest, RawAndLoadedAgree) {
   auto tables = TpchQueryTables(q);
 
   auto raw = RawEngineWithTables(tables);
+  auto external = RawEngineWithTables(tables, SystemUnderTest::kExternalFiles);
   auto loaded = LoadedEngineWithTables(tables);
 
   QueryResult first;
@@ -158,8 +160,13 @@ TEST_P(TpchQueryTest, RawAndLoadedAgree) {
     auto loaded_result = loaded->Execute(sql);
     ASSERT_TRUE(loaded_result.ok())
         << "Q" << q << ": " << loaded_result.status();
+    auto external_result = external->Execute(sql);
+    ASSERT_TRUE(external_result.ok())
+        << "Q" << q << ": " << external_result.status();
     EXPECT_EQ(raw_result->Canonical(true), loaded_result->Canonical(true))
         << "Q" << q << " repeat " << repeat;
+    EXPECT_EQ(raw_result->Canonical(true), external_result->Canonical(true))
+        << "Q" << q << " (external files) repeat " << repeat;
     if (repeat == 0) first = std::move(*raw_result);
   }
   // Non-degenerate results per query.

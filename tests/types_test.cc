@@ -143,5 +143,31 @@ TEST(SchemaTest, AddColumnReturnsIndex) {
   EXPECT_EQ(s.ToString(), "x:int64, y:date");
 }
 
+
+TEST(ValueTest, NullRenderingAndHash) {
+  Value n = Value::Null(TypeId::kInt64);
+  EXPECT_EQ(n.ToString(), "NULL");
+  // NULLs of the same type are equal (operator==) and hash identically, so
+  // group-by keys with NULLs form one group.
+  Value n2 = Value::Null(TypeId::kInt64);
+  EXPECT_TRUE(n == n2);
+  EXPECT_EQ(n.Hash(), n2.Hash());
+  // A NULL never equals a non-null of the same type.
+  EXPECT_FALSE(n == Value::Int64(0));
+}
+
+TEST(ValueTest, CrossNumericComparesViaDouble) {
+  // Mixed Int64/Double comparison goes through double (SQL numeric
+  // promotion): 2^53 + 1 collapses onto 2^53. Same-type comparison stays
+  // exact (LargeInt64ComparisonIsExact above) — pin both behaviors so a
+  // future change is a conscious one.
+  int64_t big = (int64_t{1} << 53) + 1;
+  Value i = Value::Int64(big);
+  Value d = Value::Double(9007199254740992.0);  // 2^53
+  EXPECT_EQ(i.Compare(d), 0);
+  EXPECT_EQ(Value::Int64(7).Compare(Value::Double(7.5)), -1);
+  EXPECT_EQ(Value::Double(8.5).Compare(Value::Int64(8)), 1);
+}
+
 }  // namespace
 }  // namespace nodb

@@ -69,6 +69,72 @@ TEST(ResultTest, AssignOrReturnUnwraps) {
   EXPECT_EQ(g(true).status().code(), StatusCode::kInternal);
 }
 
+TEST(StatusTest, ReturnIfErrorEvaluatesExpressionOnce) {
+  int calls = 0;
+  auto inner = [&]() {
+    ++calls;
+    return Status::IOError("disk");
+  };
+  auto outer = [&]() -> Status {
+    NODB_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  Status s = outer();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk");
+}
+
+TEST(StatusTest, ChainedPropagationKeepsOriginalError) {
+  // A three-deep call chain must surface the innermost failure verbatim.
+  auto level3 = []() { return Status::Corruption("bad page 7"); };
+  auto level2 = [&]() -> Status {
+    NODB_RETURN_IF_ERROR(level3());
+    return Status::OK();
+  };
+  auto level1 = [&]() -> Status {
+    NODB_RETURN_IF_ERROR(level2());
+    return Status::OK();
+  };
+  Status s = level1();
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.message(), "bad page 7");
+  EXPECT_EQ(s.ToString(), "Corruption: bad page 7");
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesThroughChain) {
+  // Result -> Result chains: the innermost status travels to the top.
+  auto parse = [](const std::string& s) -> Result<int> {
+    if (s.empty()) return Status::InvalidArgument("empty field");
+    return static_cast<int>(s.size());
+  };
+  auto widen = [&](const std::string& s) -> Result<double> {
+    NODB_ASSIGN_OR_RETURN(int n, parse(s));
+    return n * 2.0;
+  };
+  auto top = [&](const std::string& s) -> Result<std::string> {
+    NODB_ASSIGN_OR_RETURN(double d, widen(s));
+    return std::to_string(static_cast<int>(d));
+  };
+  ASSERT_TRUE(top("abc").ok());
+  EXPECT_EQ(*top("abc"), "6");
+  Result<std::string> err = top("");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.status().message(), "empty field");
+}
+
+TEST(ResultTest, CopyablePreservesBothArms) {
+  Result<int> ok = 3;
+  Result<int> ok2 = ok;
+  EXPECT_TRUE(ok2.ok());
+  EXPECT_EQ(*ok2, 3);
+  Result<int> err = Status::NotFound("gone");
+  Result<int> err2 = err;
+  ASSERT_FALSE(err2.ok());
+  EXPECT_EQ(err2.status(), err.status());
+}
+
 TEST(ResultTest, MoveOnlyValue) {
   Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
   ASSERT_TRUE(r.ok());
@@ -256,7 +322,7 @@ TEST(FsUtilTest, MissingFileErrors) {
 TEST(StopwatchTest, MeasuresElapsed) {
   Stopwatch sw;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(sw.ElapsedSeconds(), 0.0);
   EXPECT_GE(sw.ElapsedMicros(), 0);
 }
