@@ -41,8 +41,10 @@ class TextTable {
 /// Fixed-precision number rendering for tables.
 std::string Fmt(double v, int decimals = 3);
 
-/// Executes `sql` and returns the elapsed seconds; aborts the benchmark
-/// process with a message on error (a benchmark must not silently skip).
+/// Executes `sql` through the streaming cursor (draining all batches, no
+/// result materialization in the timed region) and returns the elapsed
+/// seconds; aborts the benchmark process with a message on error (a
+/// benchmark must not silently skip).
 double RunQuery(Database* db, const std::string& sql);
 
 /// Scratch directory for generated datasets, cleaned at process exit.

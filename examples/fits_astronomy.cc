@@ -15,6 +15,7 @@
 #include "fits/fits_writer.h"
 #include "util/fs_util.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 using namespace nodb;
 
@@ -62,13 +63,36 @@ int main() {
   printf("=== declarative: SQL straight over the FITS file ===\n");
   for (const char* sql : queries) {
     printf("> %s\n", sql);
-    auto result = db->Execute(sql);
-    if (!result.ok()) {
-      fprintf(stderr, "failed: %s\n", result.status().ToString().c_str());
+    Stopwatch timer;
+    auto cursor = db->Query(sql);
+    if (!cursor.ok()) {
+      fprintf(stderr, "failed: %s\n", cursor.status().ToString().c_str());
       return 1;
     }
-    printf("%s  (%.1f ms)\n\n", result->ToString(6).c_str(),
-           result->seconds * 1000);
+    for (int c = 0; c < cursor->schema().num_columns(); ++c) {
+      printf("%s%s", c ? " | " : "", cursor->schema().column(c).name.c_str());
+    }
+    printf("\n");
+    RowBatch batch = cursor->MakeBatch();
+    size_t printed = 0, total = 0;
+    while (true) {
+      auto n = cursor->Next(&batch);
+      if (!n.ok()) {
+        fprintf(stderr, "failed: %s\n", n.status().ToString().c_str());
+        return 1;
+      }
+      if (*n == 0) break;
+      for (size_t r = 0; r < *n; ++r, ++total) {
+        if (printed >= 6) continue;
+        for (size_t c = 0; c < batch[r].size(); ++c) {
+          printf("%s%s", c ? " | " : "", batch[r][c].ToString().c_str());
+        }
+        printf("\n");
+        ++printed;
+      }
+    }
+    if (total > printed) printf("... (%zu rows total)\n", total);
+    printf("  (%.1f ms)\n\n", timer.ElapsedSeconds() * 1000);
   }
 
   // --- the same bright-object count, the CFITSIO way ---

@@ -13,6 +13,7 @@
 
 #include "engine/engines.h"
 #include "util/fs_util.h"
+#include "util/stopwatch.h"
 
 using namespace nodb;
 
@@ -49,23 +50,57 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The streaming API: Query() returns a cursor, drained batch-by-batch.
+  // Rows are consumed as the raw file is scanned — nothing is materialized,
+  // so this works unchanged on files far larger than memory.
   const char* queries[] = {
       "SELECT name, quantity FROM inventory WHERE room = 'office' "
       "ORDER BY quantity DESC",
       "SELECT room, COUNT(*) AS items, SUM(quantity * price) AS stock_value "
       "FROM inventory GROUP BY room ORDER BY room",
-      "SELECT name FROM inventory WHERE added >= DATE '2023-06-01'",
   };
   for (const char* sql : queries) {
     printf("> %s\n", sql);
-    auto result = db->Execute(sql);
-    if (!result.ok()) {
-      fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());
+    Stopwatch timer;
+    auto cursor = db->Query(sql);
+    if (!cursor.ok()) {
+      fprintf(stderr, "query failed: %s\n", cursor.status().ToString().c_str());
       return 1;
     }
-    printf("%s  (%.1f ms)\n\n", result->ToString().c_str(),
-           result->seconds * 1000);
+    for (int c = 0; c < cursor->schema().num_columns(); ++c) {
+      printf("%s%s", c ? " | " : "", cursor->schema().column(c).name.c_str());
+    }
+    printf("\n");
+    RowBatch batch = cursor->MakeBatch();
+    while (true) {
+      auto n = cursor->Next(&batch);
+      if (!n.ok()) {
+        fprintf(stderr, "query failed: %s\n", n.status().ToString().c_str());
+        return 1;
+      }
+      if (*n == 0) break;
+      for (size_t r = 0; r < *n; ++r) {
+        for (size_t c = 0; c < batch[r].size(); ++c) {
+          printf("%s%s", c ? " | " : "", batch[r][c].ToString().c_str());
+        }
+        printf("\n");
+      }
+    }
+    printf("  (%.1f ms)\n\n", timer.ElapsedSeconds() * 1000);
   }
+
+  // The convenience wrapper: Execute() drains the same cursor into a
+  // materialized QueryResult — handy when you want the whole answer at once.
+  const char* sql = "SELECT name FROM inventory WHERE added >= "
+                    "DATE '2023-06-01'";
+  printf("> %s\n", sql);
+  auto result = db->Execute(sql);
+  if (!result.ok()) {
+    fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  printf("%s  (%.1f ms)\n\n", result->ToString().c_str(),
+         result->seconds * 1000);
 
   // The adaptive structures built themselves during the queries above.
   TableRuntime* rt = db->runtime("inventory");

@@ -13,6 +13,7 @@
 #include "engine/engines.h"
 #include "util/fs_util.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 #include "workload/micro.h"
 
 using namespace nodb;
@@ -53,17 +54,33 @@ int main() {
        "FROM sensors"},
   };
 
+  // Stream each answer through the cursor API: the scan runs as batches
+  // are pulled, and only the (tiny) aggregate answers are kept.
   for (const Step& step : steps) {
-    auto result = db->Execute(step.sql);
-    if (!result.ok()) {
-      fprintf(stderr, "failed: %s\n", result.status().ToString().c_str());
+    Stopwatch timer;
+    auto cursor = db->Query(step.sql);
+    if (!cursor.ok()) {
+      fprintf(stderr, "failed: %s\n", cursor.status().ToString().c_str());
       return 1;
     }
-    printf("%-48s %7.1f ms", step.what, result->seconds * 1000);
-    if (result->rows.size() == 1) {
+    RowBatch batch = cursor->MakeBatch();
+    Row answer;
+    size_t total_rows = 0;
+    while (true) {
+      auto n = cursor->Next(&batch);
+      if (!n.ok()) {
+        fprintf(stderr, "failed: %s\n", n.status().ToString().c_str());
+        return 1;
+      }
+      if (*n == 0) break;
+      if (total_rows == 0) answer = batch[0];
+      total_rows += *n;
+    }
+    printf("%-48s %7.1f ms", step.what, timer.ElapsedSeconds() * 1000);
+    if (total_rows == 1) {
       printf("   [");
-      for (size_t c = 0; c < result->rows[0].size(); ++c) {
-        printf("%s%s", c ? ", " : "", result->rows[0][c].ToString().c_str());
+      for (size_t c = 0; c < answer.size(); ++c) {
+        printf("%s%s", c ? ", " : "", answer[c].ToString().c_str());
       }
       printf("]");
     }

@@ -10,10 +10,13 @@
 
 #include <cstdio>
 
+#include <iostream>
+
 #include "csv/writer.h"
 #include "engine/engines.h"
 #include "util/fs_util.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 #include "util/str_conv.h"
 
 using namespace nodb;
@@ -108,15 +111,67 @@ int main() {
       "(SELECT * FROM users WHERE u_id = user_id)",
   };
 
+  // Stream every answer through the cursor, printing at most 8 rows — the
+  // engine never materializes more than one batch at a time.
   for (const char* sql : queries) {
     printf("> %s\n", sql);
-    auto result = db->Execute(sql);
-    if (!result.ok()) {
-      fprintf(stderr, "failed: %s\n", result.status().ToString().c_str());
+    Stopwatch timer;
+    auto cursor = db->Query(sql);
+    if (!cursor.ok()) {
+      fprintf(stderr, "failed: %s\n", cursor.status().ToString().c_str());
       return 1;
     }
-    printf("%s  (%.1f ms)\n\n", result->ToString(8).c_str(),
-           result->seconds * 1000);
+    for (int c = 0; c < cursor->schema().num_columns(); ++c) {
+      printf("%s%s", c ? " | " : "", cursor->schema().column(c).name.c_str());
+    }
+    printf("\n");
+    RowBatch batch = cursor->MakeBatch();
+    size_t printed = 0, total = 0;
+    while (true) {
+      auto n = cursor->Next(&batch);
+      if (!n.ok()) {
+        fprintf(stderr, "failed: %s\n", n.status().ToString().c_str());
+        return 1;
+      }
+      if (*n == 0) break;
+      for (size_t r = 0; r < *n; ++r, ++total) {
+        if (printed >= 8) continue;
+        for (size_t c = 0; c < batch[r].size(); ++c) {
+          printf("%s%s", c ? " | " : "", batch[r][c].ToString().c_str());
+        }
+        printf("\n");
+        ++printed;
+      }
+    }
+    if (total > printed) {
+      printf("... (%zu rows total)\n", total);
+    }
+    printf("  (%.1f ms)\n\n", timer.ElapsedSeconds() * 1000);
   }
+
+  // Results also export as machine-readable CSV (no aligned-text renderer):
+  // drain a cursor into a QueryResult and WriteCsv it to any stream.
+  const char* export_sql =
+      "SELECT path, COUNT(*) AS hits FROM logs WHERE status = 404 "
+      "GROUP BY path ORDER BY hits DESC LIMIT 3";
+  printf("> %s  (exported as CSV)\n", export_sql);
+  auto cursor = db->Query(export_sql);
+  if (!cursor.ok()) {
+    fprintf(stderr, "failed: %s\n", cursor.status().ToString().c_str());
+    return 1;
+  }
+  QueryResult top404;
+  top404.schema = cursor->schema();
+  RowBatch batch = cursor->MakeBatch();
+  while (true) {
+    auto n = cursor->Next(&batch);
+    if (!n.ok()) {
+      fprintf(stderr, "failed: %s\n", n.status().ToString().c_str());
+      return 1;
+    }
+    if (*n == 0) break;
+    for (size_t r = 0; r < *n; ++r) top404.rows.push_back(batch[r]);
+  }
+  if (!top404.WriteCsv(std::cout).ok()) return 1;
   return 0;
 }

@@ -16,6 +16,27 @@
 
 using namespace nodb;
 
+namespace {
+
+/// Runs `sql` through the streaming cursor API, materializing the rows only
+/// because the demo cross-checks both engines' answers afterwards.
+Result<QueryResult> RunStreaming(Database* db, const std::string& sql) {
+  Stopwatch timer;
+  NODB_ASSIGN_OR_RETURN(QueryCursor cursor, db->Query(sql));
+  QueryResult result;
+  result.schema = cursor.schema();
+  RowBatch batch = cursor.MakeBatch();
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(size_t n, cursor.Next(&batch));
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) result.rows.push_back(batch[i]);
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   double sf = argc > 1 ? atof(argv[1]) : 0.005;
   TempDir scratch;
@@ -58,8 +79,8 @@ int main(int argc, char** argv) {
   double raw_total = raw_setup, loaded_total = load_secs;
   for (int q : TpchQueryNumbers()) {
     std::string sql = TpchQuery(q);
-    auto raw_result = raw->Execute(sql);
-    auto loaded_result = loaded->Execute(sql);
+    auto raw_result = RunStreaming(raw.get(), sql);
+    auto loaded_result = RunStreaming(loaded.get(), sql);
     if (!raw_result.ok() || !loaded_result.ok()) {
       fprintf(stderr, "Q%d failed\n", q);
       return 1;
@@ -77,7 +98,7 @@ int main(int argc, char** argv) {
          raw_total, loaded_total);
 
   // Show one actual result, so this is visibly a real query engine.
-  auto q1 = raw->Execute(TpchQuery(1));
+  auto q1 = RunStreaming(raw.get(), TpchQuery(1));
   printf("\nTPC-H Q1 over the raw lineitem file:\n%s",
          q1->ToString(6).c_str());
   return 0;

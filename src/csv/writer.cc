@@ -1,10 +1,19 @@
 #include "csv/writer.h"
 
+#include <ostream>
+
 namespace nodb {
 
 namespace {
 constexpr size_t kFlushThreshold = 1 << 20;
 }  // namespace
+
+Status CsvWriter::Sink(std::string_view data) {
+  if (out_ != nullptr) return out_->Append(data);
+  stream_->write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!stream_->good()) return Status::IOError("CSV output stream failed");
+  return Status::OK();
+}
 
 void CsvWriter::AppendField(std::string_view field) {
   bool needs_quote =
@@ -26,7 +35,7 @@ void CsvWriter::AppendField(std::string_view field) {
 
 Status CsvWriter::MaybeFlush() {
   if (buffer_.size() < kFlushThreshold) return Status::OK();
-  NODB_RETURN_IF_ERROR(out_->Append(buffer_));
+  NODB_RETURN_IF_ERROR(Sink(buffer_));
   buffer_.clear();
   return Status::OK();
 }
@@ -60,10 +69,13 @@ Status CsvWriter::WriteFields(const std::vector<std::string_view>& fields) {
 
 Status CsvWriter::Finish() {
   if (!buffer_.empty()) {
-    NODB_RETURN_IF_ERROR(out_->Append(buffer_));
+    NODB_RETURN_IF_ERROR(Sink(buffer_));
     buffer_.clear();
   }
-  return out_->Flush();
+  if (out_ != nullptr) return out_->Flush();
+  stream_->flush();
+  if (!stream_->good()) return Status::IOError("CSV output stream failed");
+  return Status::OK();
 }
 
 }  // namespace nodb

@@ -1,6 +1,7 @@
 #ifndef NODB_CSV_WRITER_H_
 #define NODB_CSV_WRITER_H_
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,15 +14,21 @@
 
 namespace nodb {
 
-/// Buffered CSV emitter used by the data generators and by tests. Values are
-/// rendered with Value::ToString(); NULLs are written as empty fields.
-/// Fields containing the delimiter, a quote or a newline are quoted when the
-/// dialect permits quoting (the generators never produce such values).
+/// Buffered CSV emitter used by the data generators, result export and
+/// tests. Values are rendered with Value::ToString(); NULLs are written as
+/// empty fields. Fields containing the delimiter, a quote or a newline are
+/// quoted when the dialect permits quoting (the generators never produce
+/// such values).
 class CsvWriter {
  public:
   /// `out` must outlive the writer; the caller closes it after Finish().
   CsvWriter(WritableFile* out, CsvDialect dialect)
       : out_(out), dialect_(dialect) {}
+
+  /// Emits to a stream instead of a file (result export paths). `out` must
+  /// outlive the writer.
+  CsvWriter(std::ostream* out, CsvDialect dialect)
+      : stream_(out), dialect_(dialect) {}
 
   /// Writes the column names as the first record.
   Status WriteHeader(const Schema& schema);
@@ -38,8 +45,10 @@ class CsvWriter {
  private:
   void AppendField(std::string_view field);
   Status MaybeFlush();
+  Status Sink(std::string_view data);
 
-  WritableFile* out_;
+  WritableFile* out_ = nullptr;   // exactly one of out_ / stream_ is set
+  std::ostream* stream_ = nullptr;
   CsvDialect dialect_;
   std::string buffer_;
 };

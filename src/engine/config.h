@@ -51,6 +51,12 @@ struct EngineConfig {
   /// paper ("all positions from 1 to 15 may be kept").
   bool index_intermediates = true;
 
+  // --- execution ---
+  /// Rows per operator batch (RowBatch capacity) for the vectorized
+  /// pipeline. 1 degenerates to tuple-at-a-time Volcano dispatch (useful
+  /// for measuring what batching buys); benches sweep this knob.
+  size_t batch_size = 1024;
+
   // --- loaded-engine storage ---
   TableStorage loaded_storage = TableStorage::kHeap;
   uint32_t tuple_header_bytes = 24;

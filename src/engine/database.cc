@@ -180,8 +180,7 @@ bool Database::HasTable(const std::string& name) const {
   return tables_.count(name) > 0;
 }
 
-Result<QueryResult> Database::Execute(const std::string& sql) {
-  Stopwatch timer;
+Result<QueryCursor> Database::Query(const std::string& sql) {
   NODB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect(sql));
   Binder binder(this);
   NODB_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> query,
@@ -191,8 +190,27 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
                         PlanQuery(query.get(), stats));
   ExecOptions exec_opts;
   exec_opts.insitu = MakeInSituOptions();
-  NODB_ASSIGN_OR_RETURN(QueryResult result,
-                        ExecutePlan(*plan, this, exec_opts));
+  exec_opts.batch_size = config_.batch_size;
+  NODB_ASSIGN_OR_RETURN(OperatorPtr pipeline,
+                        BuildPipeline(*plan, this, exec_opts));
+  return QueryCursor(std::move(stmt), std::move(query), std::move(plan),
+                     std::move(pipeline), config_.batch_size);
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  Stopwatch timer;
+  NODB_ASSIGN_OR_RETURN(QueryCursor cursor, Query(sql));
+  QueryResult result;
+  result.schema = cursor.schema();
+  result.plan = cursor.plan_text();
+  RowBatch batch = cursor.MakeBatch();
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(size_t n, cursor.Next(&batch));
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      result.rows.push_back(std::move(batch[i]));
+    }
+  }
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "engine/config.h"
+#include "engine/query_cursor.h"
 #include "exec/executor.h"
 #include "exec/query_result.h"
 #include "exec/table_runtime.h"
@@ -65,8 +66,17 @@ class Database : public TableProvider,
   // Queries
   // ------------------------------------------------------------------
 
-  /// Parses, binds, plans and executes one SELECT statement. The result's
-  /// `seconds` covers the whole round trip (what a user experiences).
+  /// Parses, binds and plans one SELECT statement, returning a streaming
+  /// cursor the caller drains batch-by-batch (see QueryCursor). This is the
+  /// primary execution API: nothing is materialized by the engine, and
+  /// closing the cursor early (LIMIT satisfied, query abandoned) stops the
+  /// underlying raw-file scan immediately. The cursor must not outlive this
+  /// Database.
+  Result<QueryCursor> Query(const std::string& sql);
+
+  /// Convenience wrapper over Query: drains the cursor into a materialized
+  /// QueryResult. The result's `seconds` covers the whole round trip (what
+  /// a user experiences).
   Result<QueryResult> Execute(const std::string& sql);
 
   /// Plans without executing (EXPLAIN).

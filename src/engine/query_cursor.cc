@@ -1,0 +1,94 @@
+#include "engine/query_cursor.h"
+
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+
+namespace nodb {
+
+QueryCursor::QueryCursor(std::unique_ptr<SelectStmt> stmt,
+                         std::unique_ptr<BoundQuery> query,
+                         std::unique_ptr<PhysicalPlan> plan,
+                         OperatorPtr pipeline, size_t batch_size)
+    : stmt_(std::move(stmt)), query_(std::move(query)),
+      plan_(std::move(plan)), pipeline_(std::move(pipeline)),
+      schema_(query_->output_schema), plan_text_(plan_->ToString()),
+      batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
+QueryCursor::QueryCursor(QueryCursor&&) noexcept = default;
+
+QueryCursor& QueryCursor::operator=(QueryCursor&& other) noexcept {
+  if (this != &other) {
+    Status s = Close();  // don't destroy an open pipeline without Close
+    (void)s;
+    stmt_ = std::move(other.stmt_);
+    query_ = std::move(other.query_);
+    plan_ = std::move(other.plan_);
+    pipeline_ = std::move(other.pipeline_);
+    opened_ = other.opened_;
+    exhausted_ = other.exhausted_;
+    schema_ = std::move(other.schema_);
+    plan_text_ = std::move(other.plan_text_);
+    batch_size_ = other.batch_size_;
+  }
+  return *this;
+}
+
+QueryCursor::~QueryCursor() {
+  Status s = Close();  // best effort; a destructor has no error channel
+  (void)s;
+}
+
+Result<size_t> QueryCursor::Next(RowBatch* batch) {
+  if (pipeline_ == nullptr) {
+    if (exhausted_) {
+      batch->Clear();
+      return size_t{0};
+    }
+    return Status::InvalidArgument("Next on a closed QueryCursor");
+  }
+  // Any execution error poisons the cursor: operators are not written to
+  // be re-driven after a failed Open/Next (a retried Open would e.g.
+  // re-insert a hash join's build side), so the pipeline is dropped and
+  // later calls report the cursor as closed.
+  if (!opened_) {
+    Status s = pipeline_->Open();
+    if (!s.ok()) {
+      Abandon();
+      return s;
+    }
+    opened_ = true;
+  }
+  Result<size_t> n = pipeline_->Next(batch);
+  if (!n.ok()) {
+    Abandon();
+    return n.status();
+  }
+  if (*n == 0) {
+    // Natural end of stream: release resources now so a drained cursor
+    // holds no file handles, and remember that 0-forever is the contract.
+    exhausted_ = true;
+    NODB_RETURN_IF_ERROR(Close());
+  }
+  return *n;
+}
+
+void QueryCursor::Abandon() {
+  // Drops the pipeline without driving operator Close on a half-opened
+  // tree; operator destructors release their own resources.
+  pipeline_.reset();
+  plan_.reset();
+  query_.reset();
+  stmt_.reset();
+}
+
+Status QueryCursor::Close() {
+  if (pipeline_ == nullptr) return Status::OK();
+  OperatorPtr pipeline = std::move(pipeline_);
+  std::unique_ptr<PhysicalPlan> plan = std::move(plan_);
+  std::unique_ptr<BoundQuery> query = std::move(query_);
+  std::unique_ptr<SelectStmt> stmt = std::move(stmt_);
+  if (opened_) return pipeline->Close();
+  return Status::OK();
+}
+
+}  // namespace nodb

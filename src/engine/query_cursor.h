@@ -1,0 +1,97 @@
+#ifndef NODB_ENGINE_QUERY_CURSOR_H_
+#define NODB_ENGINE_QUERY_CURSOR_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/operator.h"
+#include "exec/row_batch.h"
+#include "types/schema.h"
+#include "util/result.h"
+
+namespace nodb {
+
+struct SelectStmt;
+struct BoundQuery;
+struct PhysicalPlan;
+
+/// Streaming handle to one executing query, returned by Database::Query.
+/// The caller drains it batch-by-batch:
+///
+///   NODB_ASSIGN_OR_RETURN(QueryCursor cursor, db.Query(sql));
+///   RowBatch batch = cursor.MakeBatch();
+///   while (true) {
+///     NODB_ASSIGN_OR_RETURN(size_t n, cursor.Next(&batch));
+///     if (n == 0) break;
+///     for (size_t i = 0; i < n; ++i) Consume(batch[i]);
+///   }
+///
+/// Execution is lazy: the pipeline opens on the first Next call (hash-join
+/// builds included), so cursor creation only pays for parse/bind/plan.
+/// Nothing is ever materialized inside the cursor — a scan's raw-file reads
+/// happen as batches are pulled, and abandoning the cursor early (Close, or
+/// just destroying it) stops the scan where it stands and releases its
+/// per-query resources. The cursor borrows the Database's table runtimes
+/// and must not outlive the Database or the registered tables it reads.
+class QueryCursor {
+ public:
+  QueryCursor(QueryCursor&&) noexcept;
+  QueryCursor& operator=(QueryCursor&&) noexcept;
+  QueryCursor(const QueryCursor&) = delete;
+  QueryCursor& operator=(const QueryCursor&) = delete;
+  /// Implicitly closes (ignoring any close error).
+  ~QueryCursor();
+
+  /// Output schema of the query (valid even after Close).
+  const Schema& schema() const { return schema_; }
+  /// EXPLAIN-style plan rendering (valid even after Close).
+  const std::string& plan_text() const { return plan_text_; }
+  /// The engine's configured rows-per-batch for this query.
+  size_t batch_size() const { return batch_size_; }
+  /// Convenience: a batch with this cursor's configured capacity.
+  RowBatch MakeBatch() const { return RowBatch(batch_size_); }
+
+  /// Clears `*batch` and fills it with the next <= batch->capacity() rows.
+  /// Returns the number of rows produced; 0 means the result stream is
+  /// exhausted (resources are released at that point, and every later call
+  /// returns 0 again). Calling Next after an early explicit Close is an
+  /// InvalidArgument error. An execution error poisons the cursor: the
+  /// pipeline is released and subsequent calls fail as closed.
+  Result<size_t> Next(RowBatch* batch);
+
+  /// Releases the pipeline (scan files, hash tables) without draining the
+  /// remaining rows. Idempotent; also run by the destructor.
+  Status Close();
+
+  /// True once Close ran or the stream was exhausted.
+  bool closed() const { return pipeline_ == nullptr; }
+
+ private:
+  friend class Database;
+
+  /// Releases the pipeline without the operator Close protocol (error
+  /// paths, where the tree may be only half-opened).
+  void Abandon();
+
+  QueryCursor(std::unique_ptr<SelectStmt> stmt,
+              std::unique_ptr<BoundQuery> query,
+              std::unique_ptr<PhysicalPlan> plan, OperatorPtr pipeline,
+              size_t batch_size);
+
+  // The cursor owns the whole statement chain: operators hold pointers into
+  // the plan, which holds pointers into the bound query.
+  std::unique_ptr<SelectStmt> stmt_;
+  std::unique_ptr<BoundQuery> query_;
+  std::unique_ptr<PhysicalPlan> plan_;
+  OperatorPtr pipeline_;
+  bool opened_ = false;
+  bool exhausted_ = false;
+
+  Schema schema_;
+  std::string plan_text_;
+  size_t batch_size_ = RowBatch::kDefaultCapacity;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_ENGINE_QUERY_CURSOR_H_

@@ -9,9 +9,11 @@ namespace nodb {
 AggregateOp::AggregateOp(OperatorPtr child,
                          const std::vector<ExprPtr>* group_by,
                          const std::vector<AggregateSpec>* aggregates,
-                         AggStrategy strategy, size_t groups_hint)
+                         AggStrategy strategy, size_t groups_hint,
+                         size_t batch_size)
     : child_(std::move(child)), group_by_(group_by), aggregates_(aggregates),
-      strategy_(strategy), groups_hint_(groups_hint) {}
+      strategy_(strategy), groups_hint_(groups_hint),
+      batch_size_(batch_size) {}
 
 Status AggregateOp::EvalKeyAndArgs(const Row& input, Row* key,
                                    Row* args) const {
@@ -38,24 +40,27 @@ Status AggregateOp::ConsumeHash() {
   std::unordered_map<Row, std::vector<AggAccumulator>, RowHasher, RowEq>
       groups;
   if (groups_hint_ > 0) groups.reserve(groups_hint_);
-  Row input, key, args;
+  RowBatch batch(batch_size_);
+  Row key, args;
   bool saw_input = false;
   while (true) {
-    NODB_ASSIGN_OR_RETURN(bool has, child_->Next(&input));
-    if (!has) break;
+    NODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&batch));
+    if (n == 0) break;
     saw_input = true;
-    NODB_RETURN_IF_ERROR(EvalKeyAndArgs(input, &key, &args));
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      std::vector<AggAccumulator> accs;
-      accs.reserve(aggregates_->size());
-      for (const AggregateSpec& spec : *aggregates_) {
-        accs.emplace_back(&spec);
+    for (size_t i = 0; i < n; ++i) {
+      NODB_RETURN_IF_ERROR(EvalKeyAndArgs(batch[i], &key, &args));
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        std::vector<AggAccumulator> accs;
+        accs.reserve(aggregates_->size());
+        for (const AggregateSpec& spec : *aggregates_) {
+          accs.emplace_back(&spec);
+        }
+        it = groups.emplace(key, std::move(accs)).first;
       }
-      it = groups.emplace(key, std::move(accs)).first;
-    }
-    for (size_t a = 0; a < aggregates_->size(); ++a) {
-      it->second[a].Add(args[a]);
+      for (size_t a = 0; a < aggregates_->size(); ++a) {
+        it->second[a].Add(args[a]);
+      }
     }
   }
   // Global aggregation over zero rows still yields one output row.
@@ -85,13 +90,15 @@ Status AggregateOp::ConsumeSort() {
     Row args;
   };
   std::vector<Pair> pairs;
-  Row input;
+  RowBatch batch(batch_size_);
   while (true) {
-    NODB_ASSIGN_OR_RETURN(bool has, child_->Next(&input));
-    if (!has) break;
-    Pair p;
-    NODB_RETURN_IF_ERROR(EvalKeyAndArgs(input, &p.key, &p.args));
-    pairs.push_back(std::move(p));
+    NODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&batch));
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      Pair p;
+      NODB_RETURN_IF_ERROR(EvalKeyAndArgs(batch[i], &p.key, &p.args));
+      pairs.push_back(std::move(p));
+    }
   }
   auto key_less = [](const Row& a, const Row& b) {
     for (size_t i = 0; i < a.size(); ++i) {
@@ -153,10 +160,12 @@ Status AggregateOp::Open() {
   return ConsumeSort();
 }
 
-Result<bool> AggregateOp::Next(Row* row) {
-  if (next_ >= output_.size()) return false;
-  *row = std::move(output_[next_++]);
-  return true;
+Result<size_t> AggregateOp::Next(RowBatch* batch) {
+  batch->Clear();
+  while (!batch->full() && next_ < output_.size()) {
+    batch->PushBack(std::move(output_[next_++]));
+  }
+  return batch->size();
 }
 
 }  // namespace nodb

@@ -21,13 +21,15 @@ namespace nodb {
 ///    bound the hash table's memory.
 class AggregateOp final : public Operator {
  public:
-  /// `group_by` and `aggregates` must outlive the operator.
+  /// `group_by` and `aggregates` must outlive the operator. `batch_size`
+  /// sizes the internal batch the child is drained with.
   AggregateOp(OperatorPtr child, const std::vector<ExprPtr>* group_by,
               const std::vector<AggregateSpec>* aggregates,
-              AggStrategy strategy, size_t groups_hint);
+              AggStrategy strategy, size_t groups_hint,
+              size_t batch_size = RowBatch::kDefaultCapacity);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<size_t> Next(RowBatch* batch) override;
   Status Close() override { return child_->Close(); }
 
  private:
@@ -41,6 +43,7 @@ class AggregateOp final : public Operator {
   const std::vector<AggregateSpec>* aggregates_;
   AggStrategy strategy_;
   size_t groups_hint_;
+  size_t batch_size_;
 
   std::vector<Row> output_;
   size_t next_ = 0;

@@ -21,25 +21,28 @@ Status CompactScanOp::Open() {
   return Status::OK();
 }
 
-Result<bool> CompactScanOp::Next(Row* row) {
+Result<size_t> CompactScanOp::Next(RowBatch* batch) {
   const int offset = scan_->table.offset;
-  while (true) {
+  batch->Clear();
+  while (!batch->full()) {
     NODB_ASSIGN_OR_RETURN(bool has, scanner_->Next(&table_row_));
-    if (!has) return false;
-    row->assign(working_width_, Value());
+    if (!has) break;
+    Row& row = batch->PushRow();
+    row.assign(working_width_, Value());
     for (size_t c = 0; c < table_row_.size(); ++c) {
-      (*row)[offset + static_cast<int>(c)] = std::move(table_row_[c]);
+      row[offset + static_cast<int>(c)] = std::move(table_row_[c]);
     }
     bool pass = true;
     for (const ExprPtr& conj : scan_->conjuncts) {
-      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, *row));
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, row));
       if (!Evaluator::IsTruthy(v)) {
         pass = false;
         break;
       }
     }
-    if (pass) return true;
+    if (!pass) batch->PopRow();
   }
+  return batch->size();
 }
 
 Status CompactScanOp::Close() {

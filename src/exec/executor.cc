@@ -36,11 +36,12 @@ Result<OperatorPtr> MakeScan(const PlannedScan& scan, TableResolver* resolver,
 
 }  // namespace
 
-Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
-                                TableResolver* resolver,
-                                const ExecOptions& options) {
+Result<OperatorPtr> BuildPipeline(const PhysicalPlan& plan,
+                                  TableResolver* resolver,
+                                  const ExecOptions& options) {
   const BoundQuery& query = *plan.query;
   const int width = query.working_width;
+  const size_t batch_size = options.batch_size;
 
   // Pipeline: driver scan, then hash joins in plan order.
   NODB_ASSIGN_OR_RETURN(
@@ -52,7 +53,7 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
                           MakeScan(build, resolver, width, options));
     pipeline = std::make_unique<HashJoinOp>(
         std::move(pipeline), std::move(build_op), &join, build.table.offset,
-        build.table.schema->num_columns());
+        build.table.schema->num_columns(), batch_size);
   }
 
   // Semi/anti joins (EXISTS). Inner scans run in their own (table-arity)
@@ -63,35 +64,25 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
         MakeScan(semi.inner, resolver,
                  semi.inner.table.schema->num_columns(), options));
     pipeline = std::make_unique<SemiJoinOp>(std::move(pipeline),
-                                            std::move(inner), &semi);
+                                            std::move(inner), &semi,
+                                            batch_size);
   }
 
   if (query.has_aggregation) {
     pipeline = std::make_unique<AggregateOp>(
         std::move(pipeline), &query.group_by, &query.aggregates,
-        plan.agg_strategy, plan.agg_groups_hint);
+        plan.agg_strategy, plan.agg_groups_hint, batch_size);
   }
   pipeline = std::make_unique<ProjectOp>(std::move(pipeline),
                                          &query.select_exprs);
   if (!query.order_by.empty()) {
-    pipeline = std::make_unique<SortOp>(std::move(pipeline), &query.order_by);
+    pipeline = std::make_unique<SortOp>(std::move(pipeline), &query.order_by,
+                                        batch_size);
   }
   if (query.limit.has_value()) {
     pipeline = std::make_unique<LimitOp>(std::move(pipeline), *query.limit);
   }
-
-  QueryResult result;
-  result.schema = query.output_schema;
-  result.plan = plan.ToString();
-  NODB_RETURN_IF_ERROR(pipeline->Open());
-  Row row;
-  while (true) {
-    NODB_ASSIGN_OR_RETURN(bool has, pipeline->Next(&row));
-    if (!has) break;
-    result.rows.push_back(std::move(row));
-  }
-  NODB_RETURN_IF_ERROR(pipeline->Close());
-  return result;
+  return pipeline;
 }
 
 }  // namespace nodb

@@ -4,7 +4,7 @@
 #include <string>
 
 #include "exec/insitu_scan.h"
-#include "exec/query_result.h"
+#include "exec/operator.h"
 #include "exec/table_runtime.h"
 #include "plan/logical_plan.h"
 #include "util/result.h"
@@ -22,16 +22,21 @@ class TableResolver {
 /// Knobs threaded through to every scan the plan instantiates.
 struct ExecOptions {
   InSituOptions insitu;
+  /// Rows per operator batch (RowBatch capacity) for the whole pipeline,
+  /// including the internal batches of materializing operators.
+  size_t batch_size = RowBatch::kDefaultCapacity;
 };
 
-/// Builds the operator tree for `plan`, runs it to completion and returns
-/// the materialized result. All engines (PostgresRaw analogue, loaded
-/// baselines, external files) share this executor — mirroring the paper,
-/// where PostgresRaw reuses PostgreSQL's engine and differs only in the
-/// access methods.
-Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
-                                TableResolver* resolver,
-                                const ExecOptions& options);
+/// Builds the (unopened) operator tree for `plan`. The caller owns the
+/// pipeline and drives it batch-at-a-time: Open, Next until it returns 0
+/// (or until enough rows were seen), Close. All engines (PostgresRaw
+/// analogue, loaded baselines, external files) share this executor —
+/// mirroring the paper, where PostgresRaw reuses PostgreSQL's engine and
+/// differs only in the access methods. `plan` (and the BoundQuery it
+/// references) must outlive the returned pipeline.
+Result<OperatorPtr> BuildPipeline(const PhysicalPlan& plan,
+                                  TableResolver* resolver,
+                                  const ExecOptions& options);
 
 }  // namespace nodb
 

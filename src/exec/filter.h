@@ -1,6 +1,7 @@
 #ifndef NODB_EXEC_FILTER_H_
 #define NODB_EXEC_FILTER_H_
 
+#include <utility>
 #include <vector>
 
 #include "exec/operator.h"
@@ -11,7 +12,9 @@ namespace nodb {
 
 /// Drops rows failing any of `conjuncts` (evaluated in order with
 /// short-circuiting). Scans push their own filters down; this operator
-/// handles residual predicates that could not be pushed.
+/// handles residual predicates that could not be pushed. Selection is done
+/// in place: the child fills the caller's batch and passing rows are
+/// compacted to its front — no row is ever copied.
 class FilterOp final : public Operator {
  public:
   /// `conjuncts` must outlive the operator.
@@ -20,19 +23,28 @@ class FilterOp final : public Operator {
 
   Status Open() override { return child_->Open(); }
 
-  Result<bool> Next(Row* row) override {
+  Result<size_t> Next(RowBatch* batch) override {
     while (true) {
-      NODB_ASSIGN_OR_RETURN(bool has, child_->Next(row));
-      if (!has) return false;
-      bool pass = true;
-      for (const ExprPtr& c : *conjuncts_) {
-        NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*c, *row));
-        if (!Evaluator::IsTruthy(v)) {
-          pass = false;
-          break;
+      NODB_ASSIGN_OR_RETURN(size_t n, child_->Next(batch));
+      if (n == 0) return 0;
+      size_t kept = 0;
+      for (size_t i = 0; i < n; ++i) {
+        Row& row = (*batch)[i];
+        bool pass = true;
+        for (const ExprPtr& c : *conjuncts_) {
+          NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*c, row));
+          if (!Evaluator::IsTruthy(v)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          if (kept != i) std::swap((*batch)[kept], row);
+          ++kept;
         }
       }
-      if (pass) return true;
+      batch->Truncate(kept);
+      if (kept > 0) return kept;  // all-filtered batches never leak out
     }
   }
 

@@ -1,6 +1,7 @@
 #include "exec/fits_scan.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "expr/evaluator.h"
 
@@ -47,20 +48,24 @@ Status FitsScanOp::Open() {
   reader_ = std::make_unique<BufferedReader>(runtime_->raw_file.get(), 1 << 20);
   next_tuple_ = 0;
   eof_ = false;
-  out_rows_.clear();
+  out_size_ = 0;
   out_idx_ = 0;
   return Status::OK();
 }
 
-Result<bool> FitsScanOp::Next(Row* row) {
-  while (out_idx_ >= out_rows_.size()) {
-    if (eof_) return false;
-    out_rows_.clear();
-    out_idx_ = 0;
-    NODB_RETURN_IF_ERROR(LoadStripe());
+Result<size_t> FitsScanOp::Next(RowBatch* batch) {
+  batch->Clear();
+  while (!batch->full()) {
+    if (out_idx_ >= out_size_) {
+      if (eof_) break;
+      out_size_ = 0;
+      out_idx_ = 0;
+      NODB_RETURN_IF_ERROR(LoadStripe());
+      continue;
+    }
+    std::swap(batch->PushRow(), out_rows_[out_idx_++]);
   }
-  *row = std::move(out_rows_[out_idx_++]);
-  return true;
+  return batch->size();
 }
 
 Status FitsScanOp::LoadStripe() {
@@ -131,16 +136,17 @@ Status FitsScanOp::LoadStripe() {
       return DecodeFitsField(col, row_bytes.data() + col.offset);
     };
 
-    row_buf_.assign(working_width_, Value());
+    Row& row = OutSlot();
+    row.assign(working_width_, Value());
     for (int a : phase1_attrs_) {
       Value v = fetch(a);
       if (cache_attr[a]) cache_buf[a].push_back(v);
       if (any_stats && stats_attr[a]) stats->AddValue(a, v);
-      row_buf_[offset + a] = std::move(v);
+      row[offset + a] = std::move(v);
     }
     bool pass = true;
     for (const ExprPtr& conj : scan_->conjuncts) {
-      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, row_buf_));
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, row));
       if (!Evaluator::IsTruthy(v)) {
         pass = false;
         break;
@@ -154,9 +160,9 @@ Status FitsScanOp::LoadStripe() {
       Value v = fetch(a);
       if (cache_attr[a]) cache_buf[a].push_back(v);
       if (any_stats && stats_attr[a]) stats->AddValue(a, v);
-      row_buf_[offset + a] = std::move(v);
+      row[offset + a] = std::move(v);
     }
-    out_rows_.push_back(std::move(row_buf_));
+    ++out_size_;
   }
 
   if (cache != nullptr) {

@@ -24,11 +24,16 @@ class FitsScanOp final : public Operator {
              int working_width, InSituOptions options);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<size_t> Next(RowBatch* batch) override;
   Status Close() override;
 
  private:
   Status LoadStripe();
+  /// Next recycled output slot (see InSituScanOp::OutSlot).
+  Row& OutSlot() {
+    if (out_size_ == out_rows_.size()) out_rows_.emplace_back();
+    return out_rows_[out_size_];
+  }
 
   TableRuntime* runtime_;
   const PlannedScan* scan_;
@@ -44,9 +49,10 @@ class FitsScanOp final : public Operator {
   std::unique_ptr<BufferedReader> reader_;
   uint64_t next_tuple_ = 0;
   bool eof_ = false;
+  // Row recycler; see the InSituScanOp member of the same name.
   std::vector<Row> out_rows_;
+  size_t out_size_ = 0;
   size_t out_idx_ = 0;
-  Row row_buf_;
 };
 
 }  // namespace nodb

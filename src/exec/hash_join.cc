@@ -1,5 +1,7 @@
 #include "exec/hash_join.h"
 
+#include <utility>
+
 #include "expr/evaluator.h"
 
 namespace nodb {
@@ -17,52 +19,69 @@ Result<Row> HashJoinOp::EvalKeys(const std::vector<ExprPtr>& keys,
 
 Status HashJoinOp::Open() {
   NODB_RETURN_IF_ERROR(build_->Open());
-  Row build_row;
+  RowBatch batch(probe_batch_.capacity());
   while (true) {
-    NODB_ASSIGN_OR_RETURN(bool has, build_->Next(&build_row));
-    if (!has) break;
-    NODB_ASSIGN_OR_RETURN(Row key, EvalKeys(join_->build_keys, build_row));
-    // NULL keys never join.
-    bool has_null = false;
-    for (const Value& v : key) {
-      if (v.is_null()) {
-        has_null = true;
-        break;
+    NODB_ASSIGN_OR_RETURN(size_t n, build_->Next(&batch));
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      const Row& build_row = batch[i];
+      NODB_ASSIGN_OR_RETURN(Row key, EvalKeys(join_->build_keys, build_row));
+      // NULL keys never join.
+      bool has_null = false;
+      for (const Value& v : key) {
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
       }
+      if (has_null) continue;
+      Slice slice(build_row.begin() + build_offset_,
+                  build_row.begin() + build_offset_ + build_width_);
+      table_[std::move(key)].push_back(std::move(slice));
     }
-    if (has_null) continue;
-    Slice slice(build_row.begin() + build_offset_,
-                build_row.begin() + build_offset_ + build_width_);
-    table_[std::move(key)].push_back(std::move(slice));
   }
   NODB_RETURN_IF_ERROR(build_->Close());
   return probe_->Open();
 }
 
-Result<bool> HashJoinOp::Next(Row* row) {
-  while (true) {
+Result<size_t> HashJoinOp::Next(RowBatch* batch) {
+  batch->Clear();
+  while (!batch->full()) {
     if (matches_ != nullptr && match_idx_ < matches_->size()) {
       const Slice& slice = (*matches_)[match_idx_++];
-      *row = probe_row_;
+      Row& out = batch->PushRow();
+      out = probe_batch_[probe_idx_];
       for (int i = 0; i < build_width_; ++i) {
-        (*row)[build_offset_ + i] = slice[i];
+        out[build_offset_ + i] = slice[i];
       }
       // Residual predicates (non-equi conjuncts spanning both sides).
       bool pass = true;
       for (const ExprPtr& r : join_->residual) {
-        NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*r, *row));
+        NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*r, out));
         if (!Evaluator::IsTruthy(v)) {
           pass = false;
           break;
         }
       }
-      if (pass) return true;
+      if (!pass) batch->PopRow();
       continue;
     }
+    // Current probe row exhausted: advance to the next one, refilling the
+    // probe batch when it runs dry.
     matches_ = nullptr;
-    NODB_ASSIGN_OR_RETURN(bool has, probe_->Next(&probe_row_));
-    if (!has) return false;
-    NODB_ASSIGN_OR_RETURN(Row key, EvalKeys(join_->probe_keys, probe_row_));
+    if (probe_idx_ + 1 < probe_size_) {
+      ++probe_idx_;
+    } else {
+      if (probe_done_) break;
+      NODB_ASSIGN_OR_RETURN(probe_size_, probe_->Next(&probe_batch_));
+      probe_idx_ = 0;
+      if (probe_size_ == 0) {
+        probe_done_ = true;
+        break;
+      }
+    }
+    const Row& probe_row = probe_batch_[probe_idx_];
+    NODB_ASSIGN_OR_RETURN(Row key, EvalKeys(join_->probe_keys, probe_row));
     bool has_null = false;
     for (const Value& v : key) {
       if (v.is_null()) {
@@ -76,6 +95,7 @@ Result<bool> HashJoinOp::Next(Row* row) {
     matches_ = &it->second;
     match_idx_ = 0;
   }
+  return batch->size();
 }
 
 Status HashJoinOp::Close() {
@@ -85,38 +105,52 @@ Status HashJoinOp::Close() {
 
 Status SemiJoinOp::Open() {
   NODB_RETURN_IF_ERROR(inner_->Open());
-  Row inner_row;
+  RowBatch batch(batch_size_);
   while (true) {
-    NODB_ASSIGN_OR_RETURN(bool has, inner_->Next(&inner_row));
-    if (!has) break;
-    Row key;
-    key.reserve(semi_->inner_keys.size());
-    bool has_null = false;
-    for (const ExprPtr& k : semi_->inner_keys) {
-      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*k, inner_row));
-      if (v.is_null()) has_null = true;
-      key.push_back(std::move(v));
+    NODB_ASSIGN_OR_RETURN(size_t n, inner_->Next(&batch));
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      Row key;
+      key.reserve(semi_->inner_keys.size());
+      bool has_null = false;
+      for (const ExprPtr& k : semi_->inner_keys) {
+        NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*k, batch[i]));
+        if (v.is_null()) has_null = true;
+        key.push_back(std::move(v));
+      }
+      if (!has_null) keys_.insert(std::move(key));
     }
-    if (!has_null) keys_.insert(std::move(key));
   }
   NODB_RETURN_IF_ERROR(inner_->Close());
   return outer_->Open();
 }
 
-Result<bool> SemiJoinOp::Next(Row* row) {
+Result<size_t> SemiJoinOp::Next(RowBatch* batch) {
+  // In-place selection, like FilterOp: passing outer rows are compacted to
+  // the batch front.
   while (true) {
-    NODB_ASSIGN_OR_RETURN(bool has, outer_->Next(row));
-    if (!has) return false;
+    NODB_ASSIGN_OR_RETURN(size_t n, outer_->Next(batch));
+    if (n == 0) return 0;
+    size_t kept = 0;
     Row key;
-    key.reserve(semi_->outer_keys.size());
-    bool has_null = false;
-    for (const ExprPtr& k : semi_->outer_keys) {
-      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*k, *row));
-      if (v.is_null()) has_null = true;
-      key.push_back(std::move(v));
+    for (size_t i = 0; i < n; ++i) {
+      Row& row = (*batch)[i];
+      key.clear();
+      key.reserve(semi_->outer_keys.size());
+      bool has_null = false;
+      for (const ExprPtr& k : semi_->outer_keys) {
+        NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*k, row));
+        if (v.is_null()) has_null = true;
+        key.push_back(std::move(v));
+      }
+      bool present = !has_null && keys_.count(key) > 0;
+      if (present != semi_->anti) {
+        if (kept != i) std::swap((*batch)[kept], row);
+        ++kept;
+      }
     }
-    bool present = !has_null && keys_.count(key) > 0;
-    if (present != semi_->anti) return true;
+    batch->Truncate(kept);
+    if (kept > 0) return kept;
   }
 }
 

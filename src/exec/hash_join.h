@@ -18,14 +18,17 @@ namespace nodb {
 class HashJoinOp final : public Operator {
  public:
   /// `join` must outlive the operator. `build_offset`/`build_width` locate
-  /// the build table's slice in the working row.
+  /// the build table's slice in the working row. `batch_size` sizes the
+  /// internal build/probe batches.
   HashJoinOp(OperatorPtr probe, OperatorPtr build, const PlannedJoin* join,
-             int build_offset, int build_width)
+             int build_offset, int build_width,
+             size_t batch_size = RowBatch::kDefaultCapacity)
       : probe_(std::move(probe)), build_(std::move(build)), join_(join),
-        build_offset_(build_offset), build_width_(build_width) {}
+        build_offset_(build_offset), build_width_(build_width),
+        probe_batch_(batch_size) {}
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<size_t> Next(RowBatch* batch) override;
   Status Close() override;
 
  private:
@@ -40,7 +43,13 @@ class HashJoinOp final : public Operator {
   int build_width_;
 
   std::unordered_map<Row, std::vector<Slice>, RowHasher, RowEq> table_;
-  Row probe_row_;
+  // Probe-side iteration state: position within the current probe batch and
+  // within the current probe row's match list (an output batch may end mid
+  // match list; the next call resumes there).
+  RowBatch probe_batch_;
+  size_t probe_size_ = 0;
+  size_t probe_idx_ = 0;
+  bool probe_done_ = false;
   const std::vector<Slice>* matches_ = nullptr;
   size_t match_idx_ = 0;
 };
@@ -51,18 +60,22 @@ class HashJoinOp final : public Operator {
 class SemiJoinOp final : public Operator {
  public:
   /// `semi` must outlive the operator. `inner` produces inner-table-arity
-  /// rows that `semi->inner_keys` are bound against.
-  SemiJoinOp(OperatorPtr outer, OperatorPtr inner, const PlannedSemiJoin* semi)
-      : outer_(std::move(outer)), inner_(std::move(inner)), semi_(semi) {}
+  /// rows that `semi->inner_keys` are bound against. `batch_size` sizes the
+  /// internal batch the inner side is drained with.
+  SemiJoinOp(OperatorPtr outer, OperatorPtr inner, const PlannedSemiJoin* semi,
+             size_t batch_size = RowBatch::kDefaultCapacity)
+      : outer_(std::move(outer)), inner_(std::move(inner)), semi_(semi),
+        batch_size_(batch_size) {}
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<size_t> Next(RowBatch* batch) override;
   Status Close() override;
 
  private:
   OperatorPtr outer_;
   OperatorPtr inner_;
   const PlannedSemiJoin* semi_;
+  size_t batch_size_;
   std::unordered_set<Row, RowHasher, RowEq> keys_;
 };
 

@@ -21,7 +21,7 @@ class HeapScanOp final : public Operator {
              int working_width);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<size_t> Next(RowBatch* batch) override;
   Status Close() override;
 
  private:

@@ -1,6 +1,7 @@
 #include "exec/insitu_scan.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "csv/parser.h"
 #include "csv/tokenizer.h"
@@ -70,20 +71,28 @@ Status InSituScanOp::Open() {
   next_tuple_ = 0;
   eof_ = false;
   header_skipped_ = !runtime_->dialect.has_header;
-  out_rows_.clear();
+  out_size_ = 0;
   out_idx_ = 0;
   return Status::OK();
 }
 
-Result<bool> InSituScanOp::Next(Row* row) {
-  while (out_idx_ >= out_rows_.size()) {
-    if (eof_) return false;
-    out_rows_.clear();
-    out_idx_ = 0;
-    NODB_RETURN_IF_ERROR(LoadStripe());
+Result<size_t> InSituScanOp::Next(RowBatch* batch) {
+  // One stripe of tuples is tokenized/parsed per LoadStripe, then handed
+  // out batch-by-batch: the whole tokenize + map-probe loop runs without a
+  // virtual call per tuple. Rows move out by swap, returning the batch
+  // slot's old storage to the recycler for the next stripe to reuse.
+  batch->Clear();
+  while (!batch->full()) {
+    if (out_idx_ >= out_size_) {
+      if (eof_) break;
+      out_size_ = 0;
+      out_idx_ = 0;
+      NODB_RETURN_IF_ERROR(LoadStripe());
+      continue;
+    }
+    std::swap(batch->PushRow(), out_rows_[out_idx_++]);
   }
-  *row = std::move(out_rows_[out_idx_++]);
-  return true;
+  return batch->size();
 }
 
 Status InSituScanOp::ServeFromCache(uint64_t stripe, int n) {
@@ -97,13 +106,14 @@ Status InSituScanOp::ServeFromCache(uint64_t stripe, int n) {
   }
   const int offset = scan_->table.offset;
   for (int t = 0; t < n; ++t) {
-    row_buf_.assign(working_width_, Value());
+    Row& row = OutSlot();
+    row.assign(working_width_, Value());
     for (int a : phase1_attrs_) {
-      row_buf_[offset + a] = (*cols[a])[t];
+      row[offset + a] = (*cols[a])[t];
     }
     bool pass = true;
     for (const ExprPtr& conj : scan_->conjuncts) {
-      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, row_buf_));
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, row));
       if (!Evaluator::IsTruthy(v)) {
         pass = false;
         break;
@@ -111,9 +121,9 @@ Status InSituScanOp::ServeFromCache(uint64_t stripe, int n) {
     }
     if (!pass) continue;
     for (int a : phase2_attrs_) {
-      row_buf_[offset + a] = (*cols[a])[t];
+      row[offset + a] = (*cols[a])[t];
     }
-    out_rows_.push_back(std::move(row_buf_));
+    ++out_size_;
   }
   return Status::OK();
 }
@@ -428,7 +438,8 @@ Status InSituScanOp::LoadStripe() {
       }
     }
 
-    row_buf_.assign(working_width_, Value());
+    Row& row = OutSlot();
+    row.assign(working_width_, Value());
 
     // Phase 1: attributes the WHERE clause needs, for every tuple.
     for (int a : phase1_attrs_) {
@@ -436,12 +447,12 @@ Status InSituScanOp::LoadStripe() {
       if (!v.ok()) return v.status();
       if (cache_attr[a]) cache_buf[a].push_back(v.value());
       if (any_stats && stats_attr[a]) stats->AddValue(a, v.value());
-      row_buf_[offset + a] = std::move(v).value();
+      row[offset + a] = std::move(v).value();
     }
 
     bool pass = true;
     for (const ExprPtr& conj : scan_->conjuncts) {
-      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, row_buf_));
+      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*conj, row));
       if (!Evaluator::IsTruthy(v)) {
         pass = false;
         break;
@@ -456,9 +467,9 @@ Status InSituScanOp::LoadStripe() {
         if (!v.ok()) return v.status();
         if (cache_attr[a]) cache_buf[a].push_back(v.value());
         if (any_stats && stats_attr[a]) stats->AddValue(a, v.value());
-        row_buf_[offset + a] = std::move(v).value();
+        row[offset + a] = std::move(v).value();
       }
-      out_rows_.push_back(std::move(row_buf_));
+      ++out_size_;
     } else {
       all_qualified = false;
     }

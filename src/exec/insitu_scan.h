@@ -55,7 +55,7 @@ class InSituScanOp final : public Operator {
                int working_width, InSituOptions options);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<size_t> Next(RowBatch* batch) override;
   Status Close() override;
 
   /// Stripe size used when the table has no positional map (kept identical
@@ -63,11 +63,17 @@ class InSituScanOp final : public Operator {
   static constexpr int kDefaultStripe = 4096;
 
  private:
-  /// Processes the next stripe of tuples into out_rows_. Sets eof_ when the
-  /// file is exhausted.
+  /// Processes the next stripe of tuples into the out_rows_ recycler. Sets
+  /// eof_ when the file is exhausted.
   Status LoadStripe();
   /// Serves a stripe entirely from the cache (no file access).
   Status ServeFromCache(uint64_t stripe, int n);
+  /// Next recycled output slot (storage reused across stripes); the caller
+  /// fills it and then claims it with ++out_size_.
+  Row& OutSlot() {
+    if (out_size_ == out_rows_.size()) out_rows_.emplace_back();
+    return out_rows_[out_size_];
+  }
 
   TableRuntime* runtime_;
   const PlannedScan* scan_;
@@ -88,14 +94,18 @@ class InSituScanOp final : public Operator {
   bool eof_ = false;
   bool header_skipped_ = false;
 
+  // Qualifying rows of the current stripe. A recycler, not a plain vector:
+  // out_size_ marks the live prefix and slots keep their heap storage
+  // across stripes, so the steady-state scan does no per-tuple allocation —
+  // rows leave via std::swap with the (equally recycled) caller batch.
   std::vector<Row> out_rows_;
+  size_t out_size_ = 0;
   size_t out_idx_ = 0;
 
   // Per-stripe scratch (members to avoid reallocation).
   std::vector<int> temp_attrs_;          // attrs tracked per tuple, sorted
   std::vector<int> slot_of_;             // attr -> slot in temp_attrs_, -1
   std::vector<uint32_t> tuple_pos_;      // per-tuple positions per slot
-  Row row_buf_;
 };
 
 }  // namespace nodb

@@ -1,13 +1,16 @@
 #ifndef NODB_EXEC_LIMIT_H_
 #define NODB_EXEC_LIMIT_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "exec/operator.h"
 
 namespace nodb {
 
-/// Passes through the first `limit` rows.
+/// Passes through the first `limit` rows. Once satisfied it stops pulling
+/// from the child entirely, so a LIMIT over a raw-file scan leaves the rest
+/// of the file unread.
 class LimitOp final : public Operator {
  public:
   LimitOp(OperatorPtr child, int64_t limit)
@@ -15,12 +18,16 @@ class LimitOp final : public Operator {
 
   Status Open() override { return child_->Open(); }
 
-  Result<bool> Next(Row* row) override {
-    if (produced_ >= limit_) return false;
-    NODB_ASSIGN_OR_RETURN(bool has, child_->Next(row));
-    if (!has) return false;
-    ++produced_;
-    return true;
+  Result<size_t> Next(RowBatch* batch) override {
+    if (produced_ >= limit_) {
+      batch->Clear();
+      return size_t{0};
+    }
+    NODB_ASSIGN_OR_RETURN(size_t n, child_->Next(batch));
+    size_t take = std::min<size_t>(n, static_cast<size_t>(limit_ - produced_));
+    batch->Truncate(take);
+    produced_ += static_cast<int64_t>(take);
+    return take;
   }
 
   Status Close() override { return child_->Close(); }

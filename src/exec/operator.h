@@ -4,15 +4,19 @@
 #include <memory>
 #include <vector>
 
+#include "exec/row_batch.h"
 #include "types/value.h"
 #include "util/result.h"
 
 namespace nodb {
 
-/// Volcano-style tuple-at-a-time operator (the paper's engine is a
-/// row-store: "each tuple is then passed one-by-one through the operators of
-/// a query plan"). Rows are *working rows*: the concatenation of all FROM
-/// tables' columns; each operator fills or reads only the slices it owns.
+/// Vectorized pull-based operator. The paper's engine was a Volcano-style
+/// row-store ("each tuple is then passed one-by-one through the operators
+/// of a query plan"); this engine keeps the pull model but moves a batch of
+/// working rows per virtual call, so per-tuple dispatch cost is amortized
+/// across RowBatch::capacity() tuples. Rows are *working rows*: the
+/// concatenation of all FROM tables' columns; each operator fills or reads
+/// only the slices it owns.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -20,10 +24,15 @@ class Operator {
   /// Prepares the operator (builds hash tables, opens files...).
   virtual Status Open() = 0;
 
-  /// Produces the next row into `*row`; returns false when exhausted.
-  virtual Result<bool> Next(Row* row) = 0;
+  /// Clears `*batch` and refills it with up to batch->capacity() rows.
+  /// Returns the number of rows produced; 0 means the operator is exhausted
+  /// (an operator never returns an empty batch mid-stream), and every
+  /// subsequent call must also return 0.
+  virtual Result<size_t> Next(RowBatch* batch) = 0;
 
-  /// Releases per-query resources. Called once after the last Next.
+  /// Releases per-query resources. Called once, after the last Next — which
+  /// may be *before* exhaustion when the consumer abandons the query early
+  /// (LIMIT, cursor Close()).
   virtual Status Close() { return Status::OK(); }
 };
 

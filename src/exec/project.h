@@ -1,6 +1,7 @@
 #ifndef NODB_EXEC_PROJECT_H_
 #define NODB_EXEC_PROJECT_H_
 
+#include <utility>
 #include <vector>
 
 #include "exec/operator.h"
@@ -12,7 +13,9 @@ namespace nodb {
 /// Evaluates the SELECT list over input rows, shrinking working rows to the
 /// query's output arity. This is where NoDB's *selective tuple formation*
 /// pays off upstream: the scan only materialized the attributes these
-/// expressions touch.
+/// expressions touch. Projection is in place: each input row is replaced by
+/// its projected form (via a scratch row, since the expressions read the
+/// input columns being replaced).
 class ProjectOp final : public Operator {
  public:
   /// `exprs` must outlive the operator.
@@ -21,16 +24,19 @@ class ProjectOp final : public Operator {
 
   Status Open() override { return child_->Open(); }
 
-  Result<bool> Next(Row* row) override {
-    NODB_ASSIGN_OR_RETURN(bool has, child_->Next(&input_));
-    if (!has) return false;
-    row->clear();
-    row->reserve(exprs_->size());
-    for (const ExprPtr& e : *exprs_) {
-      NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*e, input_));
-      row->push_back(std::move(v));
+  Result<size_t> Next(RowBatch* batch) override {
+    NODB_ASSIGN_OR_RETURN(size_t n, child_->Next(batch));
+    for (size_t i = 0; i < n; ++i) {
+      Row& row = (*batch)[i];
+      scratch_.clear();
+      scratch_.reserve(exprs_->size());
+      for (const ExprPtr& e : *exprs_) {
+        NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*e, row));
+        scratch_.push_back(std::move(v));
+      }
+      std::swap(row, scratch_);
     }
-    return true;
+    return n;
   }
 
   Status Close() override { return child_->Close(); }
@@ -38,7 +44,7 @@ class ProjectOp final : public Operator {
  private:
   OperatorPtr child_;
   const std::vector<ExprPtr>* exprs_;
-  Row input_;
+  Row scratch_;
 };
 
 }  // namespace nodb

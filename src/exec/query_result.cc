@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "csv/writer.h"
+
 namespace nodb {
+
+Status QueryResult::WriteCsv(std::ostream& out, CsvDialect dialect) const {
+  CsvWriter writer(&out, dialect);
+  NODB_RETURN_IF_ERROR(writer.WriteHeader(schema));
+  for (const Row& row : rows) {
+    NODB_RETURN_IF_ERROR(writer.WriteRow(row));
+  }
+  return writer.Finish();
+}
 
 std::string QueryResult::ToString(size_t max_rows) const {
   std::string out;

@@ -1,11 +1,14 @@
 #ifndef NODB_EXEC_QUERY_RESULT_H_
 #define NODB_EXEC_QUERY_RESULT_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "csv/dialect.h"
 #include "types/schema.h"
 #include "types/value.h"
+#include "util/status.h"
 
 namespace nodb {
 
@@ -22,6 +25,11 @@ struct QueryResult {
 
   /// Renders the result as an aligned text table (up to `max_rows` rows).
   std::string ToString(size_t max_rows = 20) const;
+
+  /// Writes the result as CSV (header row, then all data rows; NULLs as
+  /// empty fields) — machine-readable export without the aligned-text
+  /// renderer.
+  Status WriteCsv(std::ostream& out, CsvDialect dialect = CsvDialect{}) const;
 
   /// Canonical single-line-per-row rendering used by differential tests
   /// (rows sorted lexicographically when `sorted` is true, making unordered

@@ -1,0 +1,67 @@
+#ifndef NODB_EXEC_ROW_BATCH_H_
+#define NODB_EXEC_ROW_BATCH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "types/value.h"
+
+namespace nodb {
+
+/// A fixed-capacity vector of working rows — the unit of data flow between
+/// operators. Batches amortize the per-tuple virtual dispatch that dominates
+/// the raw-file hot path once tokenizing itself is cheap: a scan tokenizes
+/// and probes the positional map for a whole batch per Next() call.
+///
+/// Row slots are recycled: Clear() resets the size without destroying rows,
+/// so a slot handed out by PushRow() may still hold a previous batch's
+/// values (and their heap capacity). Producers must fully overwrite it.
+class RowBatch {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit RowBatch(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+
+  Row& operator[](size_t i) { return rows_[i]; }
+  const Row& operator[](size_t i) const { return rows_[i]; }
+
+  /// Appends a recycled row slot and returns it. The slot's previous
+  /// contents are unspecified; the caller must overwrite them.
+  Row& PushRow() {
+    if (size_ == rows_.size()) rows_.emplace_back();
+    return rows_[size_++];
+  }
+
+  /// Appends a row by move.
+  void PushBack(Row row) { PushRow() = std::move(row); }
+
+  /// Drops the last row (filter/residual rejection paths).
+  void PopRow() { --size_; }
+
+  /// Keeps the first `n` rows (n must be <= size()).
+  void Truncate(size_t n) { size_ = n; }
+
+  /// Empties the batch, keeping row storage for reuse.
+  void Clear() { size_ = 0; }
+
+  Row* begin() { return rows_.data(); }
+  Row* end() { return rows_.data() + size_; }
+  const Row* begin() const { return rows_.data(); }
+  const Row* end() const { return rows_.data() + size_; }
+
+ private:
+  size_t capacity_;
+  size_t size_ = 0;
+  std::vector<Row> rows_;  // live prefix of length size_
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_ROW_BATCH_H_

@@ -18,11 +18,13 @@ int CompareNullable(const Value& a, const Value& b) {
 
 Status SortOp::Open() {
   NODB_RETURN_IF_ERROR(child_->Open());
-  Row row;
+  RowBatch batch(batch_size_);
   while (true) {
-    NODB_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-    if (!has) break;
-    rows_.push_back(std::move(row));
+    NODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&batch));
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      rows_.push_back(std::move(batch[i]));
+    }
   }
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const Row& a, const Row& b) {
@@ -36,10 +38,12 @@ Status SortOp::Open() {
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(Row* row) {
-  if (next_ >= rows_.size()) return false;
-  *row = std::move(rows_[next_++]);
-  return true;
+Result<size_t> SortOp::Next(RowBatch* batch) {
+  batch->Clear();
+  while (!batch->full() && next_ < rows_.size()) {
+    batch->PushBack(std::move(rows_[next_++]));
+  }
+  return batch->size();
 }
 
 }  // namespace nodb

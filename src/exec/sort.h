@@ -14,16 +14,19 @@ namespace nodb {
 class SortOp final : public Operator {
  public:
   /// `keys` must outlive the operator; each key indexes the child's output.
-  SortOp(OperatorPtr child, const std::vector<BoundOrderKey>* keys)
-      : child_(std::move(child)), keys_(keys) {}
+  /// `batch_size` sizes the internal batch the child is drained with.
+  SortOp(OperatorPtr child, const std::vector<BoundOrderKey>* keys,
+         size_t batch_size = RowBatch::kDefaultCapacity)
+      : child_(std::move(child)), keys_(keys), batch_size_(batch_size) {}
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<size_t> Next(RowBatch* batch) override;
   Status Close() override { return child_->Close(); }
 
  private:
   OperatorPtr child_;
   const std::vector<BoundOrderKey>* keys_;
+  size_t batch_size_;
   std::vector<Row> rows_;
   size_t next_ = 0;
 };

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "csv/writer.h"
+#include "engine/engines.h"
+#include "util/fs_util.h"
+#include "workload/micro.h"
+
+namespace nodb {
+namespace {
+
+/// Cursor-semantics suite for the streaming Query API: batch boundaries,
+/// early Close under LIMIT, behaviour after exhaustion/Close, and a
+/// differential check that cursor-drained rows equal Execute's materialized
+/// result across every engine variant.
+
+Schema TwoColSchema() {
+  return Schema{{"id", TypeId::kInt64}, {"val", TypeId::kInt64}};
+}
+
+/// Writes `nrows` rows of (i, i*10) to `path`.
+void WriteSequentialCsv(const std::string& path, int nrows) {
+  auto out = WritableFile::Create(path);
+  ASSERT_TRUE(out.ok());
+  CsvWriter writer(out->get(), CsvDialect{});
+  for (int i = 0; i < nrows; ++i) {
+    ASSERT_TRUE(
+        writer.WriteRow({Value::Int64(i), Value::Int64(i * 10)}).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_TRUE((*out)->Close().ok());
+}
+
+/// An engine with a small, known batch size so boundary cases stay cheap.
+std::unique_ptr<Database> SmallBatchEngine(size_t batch_size) {
+  EngineConfig config =
+      EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
+  config.batch_size = batch_size;
+  return std::make_unique<Database>(config);
+}
+
+class CursorBoundaryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CursorBoundaryTest, RowCountsAroundTheBatchSize) {
+  constexpr size_t kBatch = 4;
+  const int nrows = GetParam();  // 0, 1, kBatch, kBatch + 1
+  TempDir dir;
+  std::string csv = dir.File("t.csv");
+  WriteSequentialCsv(csv, nrows);
+
+  auto db = SmallBatchEngine(kBatch);
+  ASSERT_TRUE(db->RegisterCsv("t", csv, TwoColSchema()).ok());
+  auto cursor = db->Query("SELECT id, val FROM t");
+  ASSERT_TRUE(cursor.ok()) << cursor.status();
+  EXPECT_EQ(cursor->batch_size(), kBatch);
+
+  RowBatch batch = cursor->MakeBatch();
+  ASSERT_EQ(batch.capacity(), kBatch);
+  int seen = 0;
+  while (true) {
+    auto n = cursor->Next(&batch);
+    ASSERT_TRUE(n.ok()) << n.status();
+    if (*n == 0) break;
+    // Every mid-stream batch is full; only the final one may be partial.
+    if (seen + static_cast<int>(*n) < nrows) {
+      EXPECT_EQ(*n, kBatch);
+    }
+    for (size_t i = 0; i < *n; ++i) {
+      EXPECT_EQ(batch[i][0].int64(), seen);
+      EXPECT_EQ(batch[i][1].int64(), seen * 10);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, nrows);
+  EXPECT_TRUE(cursor->closed());  // exhaustion released the pipeline
+}
+
+INSTANTIATE_TEST_SUITE_P(RowCounts, CursorBoundaryTest,
+                         ::testing::Values(0, 1, 4, 5));
+
+TEST(CursorTest, NextAfterExhaustionKeepsReturningZero) {
+  TempDir dir;
+  std::string csv = dir.File("t.csv");
+  WriteSequentialCsv(csv, 3);
+  auto db = SmallBatchEngine(4);
+  ASSERT_TRUE(db->RegisterCsv("t", csv, TwoColSchema()).ok());
+  auto cursor = db->Query("SELECT id FROM t");
+  ASSERT_TRUE(cursor.ok());
+  RowBatch batch = cursor->MakeBatch();
+  auto n = cursor->Next(&batch);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    n = cursor->Next(&batch);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 0u);
+    EXPECT_TRUE(batch.empty());
+  }
+  // Close after exhaustion is fine and idempotent.
+  EXPECT_TRUE(cursor->Close().ok());
+  EXPECT_TRUE(cursor->Close().ok());
+}
+
+TEST(CursorTest, SchemaAndPlanSurviveClose) {
+  TempDir dir;
+  std::string csv = dir.File("t.csv");
+  WriteSequentialCsv(csv, 2);
+  auto db = SmallBatchEngine(4);
+  ASSERT_TRUE(db->RegisterCsv("t", csv, TwoColSchema()).ok());
+  auto cursor = db->Query("SELECT id, val FROM t");
+  ASSERT_TRUE(cursor.ok());
+  ASSERT_TRUE(cursor->Close().ok());
+  EXPECT_EQ(cursor->schema().num_columns(), 2);
+  EXPECT_EQ(cursor->schema().column(0).name, "id");
+  EXPECT_FALSE(cursor->plan_text().empty());
+}
+
+TEST(CursorTest, NextAfterEarlyCloseIsAnError) {
+  TempDir dir;
+  std::string csv = dir.File("t.csv");
+  WriteSequentialCsv(csv, 100);
+  auto db = SmallBatchEngine(4);
+  ASSERT_TRUE(db->RegisterCsv("t", csv, TwoColSchema()).ok());
+  auto cursor = db->Query("SELECT id FROM t");
+  ASSERT_TRUE(cursor.ok());
+  RowBatch batch = cursor->MakeBatch();
+  auto n = cursor->Next(&batch);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+  ASSERT_TRUE(cursor->Close().ok());
+  EXPECT_TRUE(cursor->closed());
+  n = cursor->Next(&batch);
+  EXPECT_FALSE(n.ok());  // early Close is final; this is not exhaustion
+}
+
+TEST(CursorTest, EarlyCloseUnderLimitStopsReadingTheFile) {
+  // A few MB of raw CSV; a LIMIT query satisfied from the first stripes
+  // must leave most of the file unread, and Close must not read more.
+  TempDir dir;
+  MicroDataSpec spec;
+  spec.rows = 120000;
+  spec.cols = 6;
+  spec.seed = 11;
+  std::string csv = dir.File("big.csv");
+  ASSERT_TRUE(GenerateWideCsv(csv, spec).ok());
+
+  auto db = SmallBatchEngine(RowBatch::kDefaultCapacity);
+  ASSERT_TRUE(db->RegisterCsv("t", csv, MicroSchema(spec)).ok());
+  const uint64_t file_size = db->runtime("t")->raw_file->size();
+  ASSERT_GT(file_size, 2u << 20);  // needs to dwarf the 1 MiB scan buffer
+
+  auto cursor = db->Query("SELECT a1 FROM t LIMIT 10");
+  ASSERT_TRUE(cursor.ok());
+  RowBatch batch = cursor->MakeBatch();
+  size_t seen = 0;
+  while (true) {
+    auto n = cursor->Next(&batch);
+    ASSERT_TRUE(n.ok()) << n.status();
+    if (*n == 0) break;
+    seen += *n;
+  }
+  EXPECT_EQ(seen, 10u);
+  ASSERT_TRUE(cursor->Close().ok());
+  const uint64_t read_after_limit = db->runtime("t")->raw_file->bytes_read();
+  EXPECT_LT(read_after_limit, file_size / 2)
+      << "LIMIT-satisfied cursor should abandon the scan early";
+
+  // Abandoning a full scan mid-way reads no further either.
+  auto scan = db->Query("SELECT a2 FROM t");
+  ASSERT_TRUE(scan.ok());
+  auto n = scan->Next(&batch);
+  ASSERT_TRUE(n.ok());
+  EXPECT_GT(*n, 0u);
+  const uint64_t before_close = db->runtime("t")->raw_file->bytes_read();
+  ASSERT_TRUE(scan->Close().ok());
+  EXPECT_EQ(db->runtime("t")->raw_file->bytes_read(), before_close);
+  EXPECT_LT(before_close, file_size);
+}
+
+TEST(CursorTest, MoveAssignmentClosesTheOverwrittenCursor) {
+  TempDir dir;
+  std::string csv = dir.File("t.csv");
+  WriteSequentialCsv(csv, 20);
+  auto db = SmallBatchEngine(4);
+  ASSERT_TRUE(db->RegisterCsv("t", csv, TwoColSchema()).ok());
+
+  auto first = db->Query("SELECT id FROM t");
+  ASSERT_TRUE(first.ok());
+  RowBatch batch = first->MakeBatch();
+  ASSERT_TRUE(first->Next(&batch).ok());  // open + partially drain
+
+  auto second = db->Query("SELECT val FROM t");
+  ASSERT_TRUE(second.ok());
+  *first = std::move(*second);  // must close the open first pipeline
+  size_t seen = 0;
+  while (true) {
+    auto n = first->Next(&batch);
+    ASSERT_TRUE(n.ok()) << n.status();
+    if (*n == 0) break;
+    seen += *n;
+  }
+  EXPECT_EQ(seen, 20u);
+}
+
+TEST(CursorTest, WriteCsvRoundTrips) {
+  TempDir dir;
+  std::string csv = dir.File("t.csv");
+  WriteSequentialCsv(csv, 3);
+  auto db = SmallBatchEngine(4);
+  ASSERT_TRUE(db->RegisterCsv("t", csv, TwoColSchema()).ok());
+  auto result = db->Execute("SELECT id, val FROM t WHERE id >= 1");
+  ASSERT_TRUE(result.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(result->WriteCsv(out).ok());
+  EXPECT_EQ(out.str(),
+            "id,val\n"
+            "1,10\n"
+            "2,20\n");
+}
+
+TEST(CursorTest, CursorAgreesWithExecuteAcrossAllEngines) {
+  // Differential: for every engine variant, draining Query() batch-by-batch
+  // yields exactly the rows Execute() materializes.
+  TempDir dir;
+  std::string csv = dir.File("t.csv");
+  auto out = WritableFile::Create(csv);
+  ASSERT_TRUE(out.ok());
+  CsvWriter writer(out->get(), CsvDialect{});
+  const char* words[] = {"ash", "birch", "cedar"};
+  for (int i = 0; i < 537; ++i) {  // not a multiple of any batch size
+    ASSERT_TRUE(writer
+                    .WriteRow({Value::Int64(i % 21),
+                               Value::String(words[i % 3]),
+                               Value::Double(i * 0.25)})
+                    .ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_TRUE((*out)->Close().ok());
+  Schema schema{{"k", TypeId::kInt64},
+                {"w", TypeId::kString},
+                {"x", TypeId::kDouble}};
+
+  const char* queries[] = {
+      "SELECT k, w, x FROM t",
+      "SELECT k, x FROM t WHERE x < 50.0 AND w = 'ash'",
+      "SELECT w, COUNT(*) AS n, SUM(x) AS s FROM t GROUP BY w",
+      "SELECT k, x FROM t ORDER BY x DESC, k LIMIT 13",
+  };
+
+  for (SystemUnderTest sut :
+       {SystemUnderTest::kPostgresRawPMC, SystemUnderTest::kPostgresRawPM,
+        SystemUnderTest::kPostgresRawC,
+        SystemUnderTest::kPostgresRawBaseline,
+        SystemUnderTest::kExternalFiles, SystemUnderTest::kPostgreSQL,
+        SystemUnderTest::kDbmsX, SystemUnderTest::kMySQL}) {
+    auto db = MakeEngine(sut);
+    if (IsInSituSystem(sut)) {
+      ASSERT_TRUE(db->RegisterCsv("t", csv, schema).ok());
+    } else {
+      ASSERT_TRUE(db->LoadCsv("t", csv, schema).ok());
+    }
+    for (const char* sql : queries) {
+      auto executed = db->Execute(sql);
+      ASSERT_TRUE(executed.ok())
+          << SystemUnderTestName(sut) << " failed on: " << sql;
+
+      auto cursor = db->Query(sql);
+      ASSERT_TRUE(cursor.ok())
+          << SystemUnderTestName(sut) << " failed on: " << sql;
+      QueryResult drained;
+      drained.schema = cursor->schema();
+      RowBatch batch = cursor->MakeBatch();
+      while (true) {
+        auto n = cursor->Next(&batch);
+        ASSERT_TRUE(n.ok()) << n.status();
+        if (*n == 0) break;
+        for (size_t i = 0; i < *n; ++i) {
+          drained.rows.push_back(batch[i]);
+        }
+      }
+      // ORDER BY queries must match positionally; others as multisets.
+      bool ordered = std::string(sql).find("ORDER BY") != std::string::npos;
+      EXPECT_EQ(drained.Canonical(!ordered), executed->Canonical(!ordered))
+          << SystemUnderTestName(sut) << " cursor vs Execute disagree on: "
+          << sql;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nodb

@@ -20,10 +20,12 @@ class VectorSource final : public Operator {
     next_ = 0;
     return Status::OK();
   }
-  Result<bool> Next(Row* row) override {
-    if (next_ >= rows_.size()) return false;
-    *row = rows_[next_++];
-    return true;
+  Result<size_t> Next(RowBatch* batch) override {
+    batch->Clear();
+    while (!batch->full() && next_ < rows_.size()) {
+      batch->PushBack(rows_[next_++]);  // copy; the source survives re-Open
+    }
+    return batch->size();
   }
 
  private:
@@ -40,15 +42,18 @@ ExprPtr IntCmp(CompareOp op, int col, int64_t v) {
                                           Lit(Value::Int64(v)));
 }
 
-std::vector<Row> Drain(Operator* op) {
+/// Drains an operator with a deliberately tiny batch so every test crosses
+/// batch boundaries (partial final batches, resuming mid match-list...).
+std::vector<Row> Drain(Operator* op, size_t batch_capacity = 3) {
   EXPECT_TRUE(op->Open().ok());
   std::vector<Row> rows;
-  Row row;
+  RowBatch batch(batch_capacity);
   while (true) {
-    auto has = op->Next(&row);
-    EXPECT_TRUE(has.ok()) << has.status();
-    if (!has.ok() || !*has) break;
-    rows.push_back(row);
+    auto n = op->Next(&batch);
+    EXPECT_TRUE(n.ok()) << n.status();
+    if (!n.ok() || *n == 0) break;
+    EXPECT_EQ(*n, batch.size());
+    for (size_t i = 0; i < *n; ++i) rows.push_back(batch[i]);
   }
   EXPECT_TRUE(op->Close().ok());
   return rows;
@@ -60,6 +65,78 @@ std::vector<Row> IntRows(std::initializer_list<std::pair<int64_t, int64_t>> v) {
     rows.push_back({Value::Int64(a), Value::Int64(b)});
   }
   return rows;
+}
+
+// ---------------------------------------------------------------------
+// RowBatch / batch contract
+// ---------------------------------------------------------------------
+
+TEST(RowBatchTest, RecyclesSlotsAcrossClear) {
+  RowBatch batch(2);
+  EXPECT_EQ(batch.capacity(), 2u);
+  EXPECT_TRUE(batch.empty());
+  batch.PushRow() = {Value::Int64(1)};
+  batch.PushRow() = {Value::Int64(2)};
+  EXPECT_TRUE(batch.full());
+  batch.Clear();
+  EXPECT_EQ(batch.size(), 0u);
+  // A recycled slot may hold stale values; producers overwrite it.
+  Row& slot = batch.PushRow();
+  slot.assign(1, Value::Int64(7));
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0][0].int64(), 7);
+  batch.PopRow();
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(RowBatchTest, ZeroCapacityClampsToOne) {
+  RowBatch batch(0);
+  EXPECT_EQ(batch.capacity(), 1u);
+}
+
+TEST(FilterOpTest, NeverReturnsEmptyMidStreamBatch) {
+  // 10 rows of which only the last passes: with capacity 3, the filter must
+  // keep pulling through all-filtered child batches instead of returning an
+  // empty batch mid-stream (0 is reserved for exhaustion).
+  std::vector<Row> input;
+  for (int64_t i = 0; i < 10; ++i) {
+    input.push_back({Value::Int64(i), Value::Int64(0)});
+  }
+  std::vector<ExprPtr> conjuncts;
+  conjuncts.push_back(IntCmp(CompareOp::kGe, 0, 9));
+  FilterOp filter(std::make_unique<VectorSource>(input), &conjuncts);
+  ASSERT_TRUE(filter.Open().ok());
+  RowBatch batch(3);
+  auto n = filter.Next(&batch);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 1u);
+  EXPECT_EQ(batch[0][0].int64(), 9);
+  n = filter.Next(&batch);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  ASSERT_TRUE(filter.Close().ok());
+}
+
+TEST(LimitOpTest, TruncatesMidBatch) {
+  // 7 input rows, LIMIT 5, capacity 3: batches of 3, 2, then exhaustion —
+  // and the child is never pulled again after the limit is met.
+  std::vector<Row> input;
+  for (int64_t i = 0; i < 7; ++i) {
+    input.push_back({Value::Int64(i), Value::Int64(0)});
+  }
+  LimitOp limit(std::make_unique<VectorSource>(input), 5);
+  ASSERT_TRUE(limit.Open().ok());
+  RowBatch batch(3);
+  auto n = limit.Next(&batch);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+  n = limit.Next(&batch);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  n = limit.Next(&batch);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  ASSERT_TRUE(limit.Close().ok());
 }
 
 // ---------------------------------------------------------------------
