@@ -1,0 +1,96 @@
+// Raw-source adapter comparison: the same generated table scanned in situ
+// as CSV and as JSON Lines through the shared RawScanOp path. Both formats
+// go through Database::Open (format sniffed from the file), both inherit
+// the positional map, cache and statistics from the engine, and the table
+// reports cold vs warm times next to the adaptive-structure hit counters —
+// making the warm-run positional-map and cache hits directly observable
+// per format. The contrast mirrors the paper's CSV-vs-FITS discussion:
+// formats differ in tokenizing cost, the adaptive machinery is shared.
+//
+//   ./bench_micro_adapter [--scale=F] [--seed=N]
+
+#include <cstdio>
+
+#include "common.h"
+#include "json/jsonl_writer.h"
+
+using namespace nodb;
+using namespace nodb::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+
+  MicroDataSpec spec;
+  spec.rows = static_cast<uint64_t>(1000000 * args.scale);
+  spec.cols = 5;
+  spec.seed = args.seed;
+
+  std::string csv = DataDir()->File("adapter_micro.csv");
+  std::string jsonl = DataDir()->File("adapter_micro.jsonl");
+  if (!GenerateWideCsv(csv, spec).ok() ||
+      !GenerateWideJsonl(jsonl, spec).ok()) {
+    fprintf(stderr, "data generation failed\n");
+    return 1;
+  }
+
+  PrintBanner("Raw-source adapters (CSV vs JSON Lines)",
+              "not in the paper — NoDB's adaptive structures are "
+              "format-independent; a second query must be fast regardless "
+              "of how expensive the format's tokenizing is");
+  printf("data: %llu rows x %d cols, same values in both files\n\n",
+         static_cast<unsigned long long>(spec.rows), spec.cols);
+
+  // The paper's micro shape: selective scan touching 2 of 5 attributes.
+  const std::string sql = "SELECT a2 FROM t WHERE a4 >= 0";
+
+  // PM+C shows the cache regime (warm scans never touch the file); the
+  // PM-only variant forces warm scans back through the positional map, so
+  // both adaptive structures' hit counters are visible per format.
+  const struct {
+    SystemUnderTest sut;
+    const char* label;
+  } kVariants[] = {
+      {SystemUnderTest::kPostgresRawPMC, "PM+C"},
+      {SystemUnderTest::kPostgresRawPM, "PM"},
+  };
+
+  TextTable table({"format", "engine", "cold (s)", "warm (s)", "speedup",
+                   "pm hits", "cache hits", "pm MiB", "cache MiB"});
+  for (const std::string& path : {csv, jsonl}) {
+    for (const auto& variant : kVariants) {
+      auto db = MakeEngine(variant.sut);
+      OpenOptions options;
+      options.schema = MicroSchema(spec);
+      Status s = db->Open("t", path, options);
+      if (!s.ok()) {
+        fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      TableRuntime* rt = db->runtime("t");
+
+      double cold = RunQuery(db.get(), sql);
+      double warm = RunQuery(db.get(), sql);
+      for (int run = 0; run < 4; ++run) {
+        double t = RunQuery(db.get(), sql);
+        if (t < warm) warm = t;
+      }
+
+      const auto& pm_counters = rt->pmap->counters();
+      std::vector<TableInfo> tables = db->ListTables();
+      table.AddRow(
+          {std::string(rt->adapter->format_name()), variant.label, Fmt(cold),
+           Fmt(warm), Fmt(cold / warm, 1) + "x",
+           std::to_string(pm_counters.exact_hits),
+           rt->cache != nullptr ? std::to_string(rt->cache->counters().hits)
+                                : "-",
+           Fmt(tables[0].pmap_bytes / (1024.0 * 1024.0), 1),
+           Fmt(tables[0].cache_bytes / (1024.0 * 1024.0), 1)});
+    }
+  }
+  table.Print();
+  printf(
+      "\nBoth adapters warm up through the same positional-map/cache path;\n"
+      "JSON Lines pays more tokenizing per cold record (keys, quoting) but\n"
+      "converges to the same cached regime.\n");
+  return 0;
+}

@@ -54,6 +54,7 @@ class ColumnCache {
 
   uint64_t memory_bytes() const { return memory_bytes_; }
   uint64_t budget_bytes() const { return options_.budget_bytes; }
+  int tuples_per_chunk() const { return options_.tuples_per_chunk; }
   /// Fraction of the budget in use, in [0, 1] (1 if budget is unlimited
   /// and anything is cached).
   double utilization() const;

@@ -1,0 +1,125 @@
+#include "csv/csv_adapter.h"
+
+#include <cctype>
+
+#include "csv/parser.h"
+#include "csv/tokenizer.h"
+#include "raw/line_reader.h"
+
+namespace nodb {
+
+CsvAdapter::CsvAdapter(std::string path, Schema schema, CsvDialect dialect,
+                       std::unique_ptr<RandomAccessFile> file)
+    : path_(std::move(path)), schema_(std::move(schema)), dialect_(dialect),
+      file_(std::move(file)) {
+  traits_.variable_positions = true;
+  traits_.fixed_stride = false;
+  // Backward incremental tokenizing is ambiguous under quoting (a delimiter
+  // seen walking left may be inside a quoted field).
+  traits_.backward_tokenize = !dialect_.quoting;
+  traits_.attr0_at_start = true;
+}
+
+Result<std::unique_ptr<CsvAdapter>> CsvAdapter::Make(
+    const std::string& path, Schema schema, CsvDialect dialect,
+    std::unique_ptr<RandomAccessFile> file) {
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument(
+        "csv requires a declared schema (pass OpenOptions::schema)");
+  }
+  if (file == nullptr) {
+    NODB_ASSIGN_OR_RETURN(file, RandomAccessFile::Open(path));
+  }
+  return std::unique_ptr<CsvAdapter>(new CsvAdapter(
+      path, std::move(schema), dialect, std::move(file)));
+}
+
+Result<std::unique_ptr<RecordCursor>> CsvAdapter::OpenCursor() const {
+  return std::unique_ptr<RecordCursor>(
+      std::make_unique<LineRecordCursor>(file_.get(), dialect_.has_header));
+}
+
+uint32_t CsvAdapter::FindForward(const RecordRef& rec, int from_attr,
+                                 uint32_t from_pos, int to_attr,
+                                 const PositionSink& sink) const {
+  int attr = from_attr;
+  uint32_t pos = from_pos;
+  if (attr < 0) {
+    attr = 0;
+    pos = 0;
+    sink.Record(0, 0);
+  }
+  return FindFieldForward(rec.data, dialect_, attr, pos, to_attr, &sink);
+}
+
+uint32_t CsvAdapter::FindBackward(const RecordRef& rec, int from_attr,
+                                  uint32_t from_pos, int to_attr,
+                                  const PositionSink& sink) const {
+  return FindFieldBackward(rec.data, dialect_, from_attr, from_pos, to_attr,
+                           &sink);
+}
+
+uint32_t CsvAdapter::FieldEnd(const RecordRef& rec, int attr, uint32_t pos,
+                              uint32_t next_attr_pos) const {
+  (void)attr;
+  // The next field's start is one past this field's terminating delimiter.
+  if (next_attr_pos != kNoFieldPos && next_attr_pos > pos) {
+    return next_attr_pos - 1;
+  }
+  return FieldEndAt(rec.data, dialect_, pos);
+}
+
+Result<Value> CsvAdapter::ParseField(const RecordRef& rec, int attr,
+                                     uint32_t pos, uint32_t end) const {
+  return ParseCsvField(rec.data.substr(pos, end - pos),
+                       schema_.column(attr).type, dialect_);
+}
+
+namespace {
+
+class CsvAdapterFactory final : public AdapterFactory {
+ public:
+  std::string_view format_name() const override { return "csv"; }
+
+  double Sniff(const std::string& path, std::string_view head) const override {
+    if (PathHasExtension(path, ".csv") || PathHasExtension(path, ".tsv") ||
+        PathHasExtension(path, ".tbl")) {
+      return 0.8;
+    }
+    // Weak fallback: any printable text could be delimiter-separated.
+    for (char c : head) {
+      unsigned char u = static_cast<unsigned char>(c);
+      if (u != '\t' && u != '\r' && u != '\n' && u < 0x20) return 0.0;
+    }
+    return head.empty() ? 0.0 : 0.3;
+  }
+
+  Result<std::unique_ptr<RawSourceAdapter>> Create(
+      const std::string& path, const OpenOptions& options,
+      std::unique_ptr<RandomAccessFile> file) const override {
+    // The sniffer claims .tsv/.tbl files, so honour their conventional
+    // delimiters when this adapter was chosen by sniffing (format empty)
+    // and the caller left the dialect at its default — a comma-tokenized
+    // TSV would mis-parse every field. A forced format (RegisterCsv, or an
+    // explicit OpenOptions::format) keeps the dialect exactly as given.
+    CsvDialect dialect = options.dialect;
+    if (options.format.empty() &&
+        dialect.delimiter == CsvDialect{}.delimiter) {
+      if (PathHasExtension(path, ".tsv")) dialect.delimiter = '\t';
+      if (PathHasExtension(path, ".tbl")) dialect.delimiter = '|';
+    }
+    NODB_ASSIGN_OR_RETURN(
+        std::unique_ptr<CsvAdapter> adapter,
+        CsvAdapter::Make(path, options.schema.value_or(Schema{}), dialect,
+                         std::move(file)));
+    return std::unique_ptr<RawSourceAdapter>(std::move(adapter));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AdapterFactory> MakeCsvAdapterFactory() {
+  return std::make_unique<CsvAdapterFactory>();
+}
+
+}  // namespace nodb

@@ -59,33 +59,38 @@ int TokenizeStarts(std::string_view line, const CsvDialect& dialect, int upto,
 }
 
 uint32_t FindFieldForward(std::string_view line, const CsvDialect& dialect,
-                          int from_attr, uint32_t from_offset, int to_attr) {
+                          int from_attr, uint32_t from_offset, int to_attr,
+                          const PositionSink* sink) {
   uint32_t pos = from_offset;
   for (int attr = from_attr; attr < to_attr; ++attr) {
     uint32_t end = ScanFieldEnd(line, dialect, pos);
     if (end >= line.size()) return kInvalidOffset;
     pos = end + 1;
+    if (sink != nullptr) sink->Record(attr + 1, pos);
   }
   return pos;
 }
 
 uint32_t FindFieldBackward(std::string_view line, const CsvDialect& dialect,
-                           int from_attr, uint32_t from_offset, int to_attr) {
+                           int from_attr, uint32_t from_offset, int to_attr,
+                           const PositionSink* sink) {
   if (to_attr == 0) return 0;
-  // Walking left from the start of field `from_attr`, the delimiters
-  // encountered open fields from_attr, from_attr-1, ...; the one opening
-  // `to_attr` is the (from_attr - to_attr + 1)-th crossed, and the field
-  // starts one past it.
-  int remaining = from_attr - to_attr + 1;
+  // Walking left from the start of field `from_attr`, crossing the k-th
+  // delimiter reveals the start of field (from_attr - k + 1): the first
+  // delimiter crossed opens the anchor field itself.
   uint32_t i = from_offset;
-  while (remaining > 0) {
-    if (i == 0) return kInvalidOffset;
+  int crossings = 0;
+  while (i > 0) {
     --i;
     if (line[i] == dialect.delimiter) {
-      --remaining;
+      ++crossings;
+      int started = from_attr - crossings + 1;
+      if (sink != nullptr) sink->Record(started, i + 1);
+      if (started == to_attr) return i + 1;
+      if (started < to_attr) return kInvalidOffset;  // malformed line
     }
   }
-  return i + 1;
+  return kInvalidOffset;
 }
 
 uint32_t FieldEndAt(std::string_view line, const CsvDialect& dialect,

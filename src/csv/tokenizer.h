@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "csv/dialect.h"
+#include "raw/raw_source.h"
 
 namespace nodb {
 
@@ -32,14 +33,21 @@ int TokenizeStarts(std::string_view line, const CsvDialect& dialect, int upto,
 /// Offset of the start of field `to_attr`, scanning forward from
 /// `from_offset`, which must be the start of field `from_attr`
 /// (from_attr <= to_attr). Returns kInvalidOffset if the line ends first.
+/// Every field start crossed is reported through `sink` when given (this is
+/// the walk behind CsvAdapter::FindForward, so the positional map learns
+/// every position the scan discovers).
 uint32_t FindFieldForward(std::string_view line, const CsvDialect& dialect,
-                          int from_attr, uint32_t from_offset, int to_attr);
+                          int from_attr, uint32_t from_offset, int to_attr,
+                          const PositionSink* sink = nullptr);
 
 /// Offset of the start of field `to_attr`, scanning backward from
 /// `from_offset`, the start of field `from_attr` (to_attr < from_attr).
-/// Only valid for dialects without quoting.
+/// Only valid for dialects without quoting. Crossed field starts are
+/// reported through `sink` when given; a line with fewer delimiters than
+/// the walk requires (malformed) yields kInvalidOffset.
 uint32_t FindFieldBackward(std::string_view line, const CsvDialect& dialect,
-                           int from_attr, uint32_t from_offset, int to_attr);
+                           int from_attr, uint32_t from_offset, int to_attr,
+                           const PositionSink* sink = nullptr);
 
 /// End offset (one past the last character) of the field starting at `begin`.
 uint32_t FieldEndAt(std::string_view line, const CsvDialect& dialect,

@@ -1,5 +1,7 @@
 #include "engine/database.h"
 
+#include <algorithm>
+
 #include "sql/parser.h"
 #include "util/fs_util.h"
 #include "util/stopwatch.h"
@@ -42,20 +44,44 @@ Status Database::RegisterCommon(const std::string& name,
   return Status::OK();
 }
 
-Status Database::RegisterCsv(const std::string& name, const std::string& path,
-                             Schema schema, CsvDialect dialect) {
+Status Database::Open(const std::string& name, const std::string& path,
+                      OpenOptions options) {
+  AdapterRegistry& registry = AdapterRegistry::Global();
+  const AdapterFactory* factory = nullptr;
+  std::unique_ptr<RandomAccessFile> file;  // adopted by the adapter
+  if (!options.format.empty()) {
+    factory = registry.Find(options.format);
+    if (factory == nullptr) {
+      return Status::InvalidArgument("unknown raw format '" + options.format +
+                                     "'");
+    }
+  } else {
+    // Sniff the file's first bytes and let the registered factories score it.
+    NODB_ASSIGN_OR_RETURN(file, RandomAccessFile::Open(path));
+    char head[512];
+    NODB_ASSIGN_OR_RETURN(
+        uint64_t head_len,
+        file->Read(0, std::min<uint64_t>(sizeof(head), file->size()), head));
+    NODB_ASSIGN_OR_RETURN(factory,
+                          registry.Detect(path, {head, head_len}));
+  }
+  NODB_ASSIGN_OR_RETURN(std::unique_ptr<RawSourceAdapter> adapter,
+                        factory->Create(path, options, std::move(file)));
+
   auto rt = std::make_unique<TableRuntime>();
   rt->name = name;
-  rt->schema = std::move(schema);
-  rt->storage = TableStorage::kRawCsv;
-  rt->raw_path = path;
-  rt->dialect = dialect;
-  NODB_ASSIGN_OR_RETURN(rt->raw_file, RandomAccessFile::Open(path));
+  rt->schema = adapter->schema();
+  rt->storage = TableStorage::kRaw;
+  const RawTraits& traits = adapter->traits();
 
-  // The spine (row-start map) is required by the cache's stripe addressing,
-  // so a PositionalMap object exists whenever either structure is enabled;
-  // the scan only uses *attribute positions* when positional_map is set.
-  if (config_.positional_map || config_.cache) {
+  // Adaptive structures are format-independent; traits decide what earns
+  // its keep. The spine (row-start map) is required by the cache's stripe
+  // addressing, so a PositionalMap object exists whenever either structure
+  // is enabled — but only for formats whose field positions vary (for
+  // fixed-stride sources every position is arithmetic and there is nothing
+  // to remember). The scan only uses *attribute positions* when
+  // positional_map is set.
+  if (traits.variable_positions && (config_.positional_map || config_.cache)) {
     PositionalMap::Options pm_opts;
     pm_opts.tuples_per_chunk = config_.tuples_per_chunk;
     pm_opts.budget_bytes = config_.pm_budget_bytes;
@@ -74,32 +100,24 @@ Status Database::RegisterCsv(const std::string& name, const std::string& path,
   if (config_.statistics) {
     rt->stats = std::make_unique<TableStats>(rt->schema);
   }
+  rt->adapter = std::move(adapter);
   return RegisterCommon(name, std::move(rt));
+}
+
+Status Database::RegisterCsv(const std::string& name, const std::string& path,
+                             Schema schema, CsvDialect dialect) {
+  OpenOptions options;
+  options.format = "csv";
+  options.schema = std::move(schema);
+  options.dialect = dialect;
+  return Open(name, path, std::move(options));
 }
 
 Status Database::RegisterFits(const std::string& name,
                               const std::string& path) {
-  auto rt = std::make_unique<TableRuntime>();
-  rt->name = name;
-  rt->storage = TableStorage::kRawFits;
-  rt->raw_path = path;
-  NODB_ASSIGN_OR_RETURN(rt->raw_file, RandomAccessFile::Open(path));
-  NODB_ASSIGN_OR_RETURN(FitsTableInfo info,
-                        ParseFitsHeader(rt->raw_file.get()));
-  rt->fits = std::make_unique<FitsTableInfo>(std::move(info));
-  rt->schema = rt->fits->ToSchema();
-  if (config_.cache) {
-    ColumnCache::Options cache_opts;
-    cache_opts.budget_bytes = config_.cache_budget_bytes;
-    cache_opts.tuples_per_chunk = config_.tuples_per_chunk;
-    std::vector<TypeId> types;
-    for (const Column& c : rt->schema.columns()) types.push_back(c.type);
-    rt->cache = std::make_unique<ColumnCache>(std::move(types), cache_opts);
-  }
-  if (config_.statistics) {
-    rt->stats = std::make_unique<TableStats>(rt->schema);
-  }
-  return RegisterCommon(name, std::move(rt));
+  OpenOptions options;
+  options.format = "fits";
+  return Open(name, path, std::move(options));
 }
 
 Result<LoadResult> Database::LoadCsv(const std::string& name,
@@ -178,6 +196,36 @@ Status Database::DropTable(const std::string& name) {
 
 bool Database::HasTable(const std::string& name) const {
   return tables_.count(name) > 0;
+}
+
+std::vector<TableInfo> Database::ListTables() const {
+  std::vector<TableInfo> infos;
+  infos.reserve(tables_.size());
+  for (const auto& [name, rt] : tables_) {
+    TableInfo info;
+    info.name = name;
+    info.storage = rt->storage;
+    if (rt->adapter != nullptr) {
+      info.format = std::string(rt->adapter->format_name());
+    } else {
+      info.format = rt->storage == TableStorage::kCompact ? "compact" : "heap";
+    }
+    info.row_count = rt->known_row_count;
+    if (info.row_count < 0 && rt->adapter != nullptr) {
+      // Fixed-stride formats state the count in their header; report it
+      // without waiting for a full scan.
+      int64_t hint = rt->adapter->row_count_hint();
+      if (hint >= 0) info.row_count = static_cast<double>(hint);
+    }
+    if (rt->pmap != nullptr) info.pmap_bytes = rt->pmap->memory_bytes();
+    if (rt->cache != nullptr) info.cache_bytes = rt->cache->memory_bytes();
+    infos.push_back(std::move(info));
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const TableInfo& a, const TableInfo& b) {
+              return a.name < b.name;
+            });
+  return infos;
 }
 
 Result<QueryCursor> Database::Query(const std::string& sql) {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/config.h"
 #include "engine/query_cursor.h"
@@ -11,11 +12,27 @@
 #include "exec/query_result.h"
 #include "exec/table_runtime.h"
 #include "plan/planner.h"
+#include "raw/adapter_registry.h"
 #include "sql/binder.h"
 #include "storage/loader.h"
 #include "util/result.h"
 
 namespace nodb {
+
+/// Catalog snapshot of one registered table (Database::ListTables).
+struct TableInfo {
+  std::string name;
+  /// Raw tables report their adapter's format ("csv", "fits", "jsonl", ...);
+  /// loaded tables report their storage engine ("heap", "compact").
+  std::string format;
+  TableStorage storage = TableStorage::kRaw;
+  /// Exact row count when known (loaded tables, or raw tables after a full
+  /// scan); negative while still unknown.
+  double row_count = -1;
+  /// Current footprint of the adaptive structures (0 when absent).
+  uint64_t pmap_bytes = 0;
+  uint64_t cache_bytes = 0;
+};
 
 /// The engine facade: a catalog of tables plus SQL execution. One Database
 /// instance corresponds to one "system" in the paper's experiments; its
@@ -45,12 +62,22 @@ class Database : public TableProvider,
   // Catalog
   // ------------------------------------------------------------------
 
-  /// Registers a raw CSV file for in-situ querying (no data movement; the
-  /// schema must be declared, as in the paper).
+  /// Registers a raw file for in-situ querying through the pluggable
+  /// adapter API (no data movement). With default options the format is
+  /// auto-detected from the file's name and first bytes via the
+  /// AdapterRegistry sniffers, and the adapter discovers the schema itself
+  /// where the format allows (FITS header, JSONL first record); declare a
+  /// schema through `options` where it doesn't (CSV, as in the paper).
+  Status Open(const std::string& name, const std::string& path,
+              OpenOptions options = {});
+
+  /// Compatibility wrapper over Open: registers a raw CSV file with a
+  /// declared schema.
   Status RegisterCsv(const std::string& name, const std::string& path,
                      Schema schema, CsvDialect dialect = CsvDialect{});
 
-  /// Registers a raw FITS binary table; the schema comes from the header.
+  /// Compatibility wrapper over Open: registers a raw FITS binary table;
+  /// the schema comes from the header.
   Status RegisterFits(const std::string& name, const std::string& path);
 
   /// Bulk-loads a CSV into this engine's loaded storage format, paying the
@@ -61,6 +88,10 @@ class Database : public TableProvider,
 
   Status DropTable(const std::string& name);
   bool HasTable(const std::string& name) const;
+
+  /// Snapshot of every registered table (name order): format, storage, row
+  /// count if known, and adaptive-structure footprints.
+  std::vector<TableInfo> ListTables() const;
 
   // ------------------------------------------------------------------
   // Queries

@@ -2,7 +2,6 @@
 
 #include "exec/aggregate.h"
 #include "exec/compact_scan.h"
-#include "exec/fits_scan.h"
 #include "exec/hash_join.h"
 #include "exec/heap_scan.h"
 #include "exec/limit.h"
@@ -18,11 +17,10 @@ Result<OperatorPtr> MakeScan(const PlannedScan& scan, TableResolver* resolver,
   NODB_ASSIGN_OR_RETURN(TableRuntime* runtime,
                         resolver->GetTableRuntime(scan.table.table_name));
   switch (runtime->storage) {
-    case TableStorage::kRawCsv:
-      return OperatorPtr(std::make_unique<InSituScanOp>(
-          runtime, &scan, working_width, options.insitu));
-    case TableStorage::kRawFits:
-      return OperatorPtr(std::make_unique<FitsScanOp>(
+    case TableStorage::kRaw:
+      // One scan operator for every raw format: the table's adapter supplies
+      // the format-specific hooks, the scan the adaptive machinery.
+      return OperatorPtr(std::make_unique<RawScanOp>(
           runtime, &scan, working_width, options.insitu));
     case TableStorage::kHeap:
       return OperatorPtr(

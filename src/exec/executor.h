@@ -3,8 +3,8 @@
 
 #include <string>
 
-#include "exec/insitu_scan.h"
 #include "exec/operator.h"
+#include "exec/raw_scan.h"
 #include "exec/table_runtime.h"
 #include "plan/logical_plan.h"
 #include "util/result.h"

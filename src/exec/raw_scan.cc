@@ -1,10 +1,8 @@
-#include "exec/insitu_scan.h"
+#include "exec/raw_scan.h"
 
 #include <algorithm>
 #include <utility>
 
-#include "csv/parser.h"
-#include "csv/tokenizer.h"
 #include "expr/evaluator.h"
 #include "pmap/temp_map.h"
 
@@ -12,21 +10,27 @@ namespace nodb {
 
 namespace {
 constexpr uint32_t kUnknown = PositionalMap::kUnknown;
+static_assert(kUnknown == kNoFieldPos,
+              "positional map and adapter sentinels must agree");
 }  // namespace
 
-InSituScanOp::InSituScanOp(TableRuntime* runtime, const PlannedScan* scan,
-                           int working_width, InSituOptions options)
+RawScanOp::RawScanOp(TableRuntime* runtime, const PlannedScan* scan,
+                     int working_width, InSituOptions options)
     : runtime_(runtime), scan_(scan), working_width_(working_width),
       opts_(options) {}
 
-Status InSituScanOp::Open() {
-  if (runtime_->raw_file == nullptr) {
-    return Status::Internal("in-situ scan over a table without a raw file");
+Status RawScanOp::Open() {
+  if (runtime_->adapter == nullptr) {
+    return Status::Internal("raw scan over a table without a source adapter");
   }
+  adapter_ = runtime_->adapter.get();
+  traits_ = adapter_->traits();
   ncols_ = runtime_->schema.num_columns();
   slot_of_.assign(ncols_, -1);
   if (runtime_->pmap != nullptr) {
     tuples_per_stripe_ = runtime_->pmap->tuples_per_chunk();
+  } else if (runtime_->cache != nullptr) {
+    tuples_per_stripe_ = runtime_->cache->tuples_per_chunk();
   }
 
   // Attribute phases (§4.1). Without selective tuple formation every column
@@ -67,16 +71,16 @@ Status InSituScanOp::Open() {
   if (runtime_->pmap != nullptr && opts_.use_positional_map) {
     runtime_->pmap->BeginEpoch();
   }
-  scanner_ = std::make_unique<CsvScanner>(runtime_->raw_file.get(), 1 << 20);
+  NODB_ASSIGN_OR_RETURN(cursor_, adapter_->OpenCursor());
   next_tuple_ = 0;
+  need_seek_ = false;
   eof_ = false;
-  header_skipped_ = !runtime_->dialect.has_header;
   out_size_ = 0;
   out_idx_ = 0;
   return Status::OK();
 }
 
-Result<size_t> InSituScanOp::Next(RowBatch* batch) {
+Result<size_t> RawScanOp::Next(RowBatch* batch) {
   // One stripe of tuples is tokenized/parsed per LoadStripe, then handed
   // out batch-by-batch: the whole tokenize + map-probe loop runs without a
   // virtual call per tuple. Rows move out by swap, returning the batch
@@ -95,7 +99,15 @@ Result<size_t> InSituScanOp::Next(RowBatch* batch) {
   return batch->size();
 }
 
-Status InSituScanOp::ServeFromCache(uint64_t stripe, int n) {
+uint64_t RawScanOp::KnownTotalTuples() const {
+  if (runtime_->pmap != nullptr && runtime_->pmap->total_tuples() > 0) {
+    return runtime_->pmap->total_tuples();
+  }
+  int64_t hint = adapter_->row_count_hint();
+  return hint > 0 ? static_cast<uint64_t>(hint) : 0;
+}
+
+Status RawScanOp::ServeFromCache(uint64_t stripe, int n) {
   ColumnCache* cache = runtime_->cache.get();
   std::vector<const std::vector<Value>*> cols(ncols_, nullptr);
   for (int a : output_attrs_) {
@@ -128,25 +140,25 @@ Status InSituScanOp::ServeFromCache(uint64_t stripe, int n) {
   return Status::OK();
 }
 
-Status InSituScanOp::LoadStripe() {
+Status RawScanOp::LoadStripe() {
   PositionalMap* pm = runtime_->pmap.get();
   ColumnCache* cache = opts_.use_cache ? runtime_->cache.get() : nullptr;
   TableStats* stats = opts_.collect_stats ? runtime_->stats.get() : nullptr;
-  const CsvDialect& dialect = runtime_->dialect;
   const bool use_pm_positions = opts_.use_positional_map && pm != nullptr;
   const uint64_t stripe = next_tuple_ / tuples_per_stripe_;
   const uint64_t stripe_first = stripe * tuples_per_stripe_;
 
-  // Expected stripe population (known once a full scan completed).
+  // Expected stripe population: known once a full scan completed (the
+  // positional map's total) or up front for fixed-stride sources.
+  const uint64_t total_tuples = KnownTotalTuples();
   int n_expected = -1;
-  if (pm != nullptr && pm->total_tuples() > 0) {
-    if (next_tuple_ >= pm->total_tuples()) {
+  if (total_tuples > 0) {
+    if (next_tuple_ >= total_tuples) {
       eof_ = true;
       return Status::OK();
     }
     n_expected = static_cast<int>(
-        std::min<uint64_t>(tuples_per_stripe_,
-                           pm->total_tuples() - stripe_first));
+        std::min<uint64_t>(tuples_per_stripe_, total_tuples - stripe_first));
   }
 
   // Fast path: the whole stripe is served from the cache — no file access
@@ -163,10 +175,17 @@ Status InSituScanOp::LoadStripe() {
     if (all_cached) {
       NODB_RETURN_IF_ERROR(ServeFromCache(stripe, n_expected));
       next_tuple_ = stripe_first + n_expected;
-      if (pm->total_tuples() > 0 && next_tuple_ >= pm->total_tuples()) {
+      if (next_tuple_ >= total_tuples) {
         eof_ = true;
-      } else if (auto start = pm->RowStart(next_tuple_); start.has_value()) {
+      } else if (traits_.fixed_stride) {
         need_seek_ = true;
+        seek_index_ = next_tuple_;
+        seek_offset_ = 0;
+      } else if (auto start = pm != nullptr ? pm->RowStart(next_tuple_)
+                                           : std::nullopt;
+                 start.has_value()) {
+        need_seek_ = true;
+        seek_index_ = next_tuple_;
         seek_offset_ = *start;
       } else {
         return Status::Internal(
@@ -176,21 +195,11 @@ Status InSituScanOp::LoadStripe() {
     }
   }
 
-  // File path. Position the scanner at the stripe's first tuple. Seek
-  // targets are always data-row starts, so the header is behind us.
+  // File path. Position the cursor at the stripe's first record. Seek
+  // targets are always data-record starts, so any header is behind us.
   if (need_seek_) {
-    scanner_->SeekTo(seek_offset_);
+    NODB_RETURN_IF_ERROR(cursor_->SeekToRecord(seek_index_, seek_offset_));
     need_seek_ = false;
-    header_skipped_ = true;
-  }
-  if (!header_skipped_) {
-    LineRef header;
-    NODB_ASSIGN_OR_RETURN(bool has, scanner_->Next(&header));
-    header_skipped_ = true;
-    if (!has) {
-      eof_ = true;
-      return Status::OK();
-    }
   }
 
   // Per-attribute cached columns (mixed mode: some attrs cached, some not).
@@ -214,7 +223,7 @@ Status InSituScanOp::LoadStripe() {
 
   // Decide which attribute positions this stripe will contribute to the map
   // (§4.2 Map Population + the combination policy). With
-  // index_intermediates every attribute the tokenizer will cross is
+  // index_intermediates every attribute the tokenizer may cross is
   // recorded, not just the requested ones.
   std::vector<int> attrs_to_insert;
   if (use_pm_positions) {
@@ -233,9 +242,19 @@ Status InSituScanOp::LoadStripe() {
       attrs_to_insert = output_attrs_;
     }
   }
+  // Whatever opened an insert chunk must close it, error paths included:
+  // EndStripeInsert re-arms the map's budget enforcement, which stays
+  // deferred while a stripe insertion is open.
+  struct InsertScope {
+    PositionalMap* pm = nullptr;
+    ~InsertScope() {
+      if (pm != nullptr) pm->EndStripeInsert();
+    }
+  } insert_scope;
   PositionalMap::BulkInserter inserter;
   if (!attrs_to_insert.empty()) {
     inserter = pm->BeginBulkInsert(stripe, attrs_to_insert);
+    insert_scope.pm = pm;
   }
 
   // Temporary map (§4.2 Pre-fetching): prefetch known positions for the
@@ -269,6 +288,14 @@ Status InSituScanOp::LoadStripe() {
   for (int s = 0; s < nslots; ++s) slot_of_[temp_attrs_[s]] = s;
   TempMap temp(use_pm_positions ? pm : nullptr, stripe, tuples_per_stripe_,
                temp_attrs_);
+
+  // The sink every adapter hook reports through: discovered field starts
+  // land directly in the tracked per-tuple slots, and container corruption
+  // noticed mid-walk lands in record_corrupt.
+  tuple_pos_.assign(nslots, kUnknown);
+  bool record_corrupt = false;
+  const PositionSink sink{slot_of_.data(), tuple_pos_.data(),
+                          &record_corrupt};
 
   // Cache population buffers (§4.3: only attributes parsed for this query).
   std::vector<int> attrs_to_cache;
@@ -305,33 +332,51 @@ Status InSituScanOp::LoadStripe() {
   }
 
   const int offset = scan_->table.offset;
-  tuple_pos_.assign(nslots, kUnknown);
   bool all_qualified = true;
   int n = 0;
 
-  LineRef line;
+  RecordRef rec;
   for (; n < tuples_per_stripe_; ++n) {
-    NODB_ASSIGN_OR_RETURN(bool has, scanner_->Next(&line));
+    NODB_ASSIGN_OR_RETURN(bool has, cursor_->Next(&rec));
     if (!has) {
       eof_ = true;
       break;
     }
     const uint64_t t_global = stripe_first + n;
-    if (pm != nullptr) pm->SetRowStart(t_global, line.offset);
+    if (pm != nullptr) pm->SetRowStart(t_global, rec.offset);
 
     // Seed per-tuple positions from the temporary map.
     for (int s = 0; s < nslots; ++s) {
       tuple_pos_[s] = temp.Position(n, s);
     }
-    if (nslots > 0 && temp_attrs_[0] == 0) tuple_pos_[0] = 0;
+    if (traits_.attr0_at_start && nslots > 0 && temp_attrs_[0] == 0) {
+      tuple_pos_[0] = 0;
+    }
+
+    // For full-record tokenizers one FindForward call resolves every
+    // present tracked attribute; afterwards a still-unknown slot means the
+    // field is absent from this record — don't walk it again.
+    bool record_walked = false;
+    record_corrupt = false;
+
+    // After a full-record walk, tracked slots still unresolved hold fields
+    // the record does not contain: mark them absent so the positional map
+    // remembers that and warm queries over sparse data never re-walk.
+    auto mark_absent_slots = [&] {
+      record_walked = true;
+      for (int s = 0; s < nslots; ++s) {
+        if (tuple_pos_[s] == kUnknown) tuple_pos_[s] = kAbsentFieldPos;
+      }
+    };
 
     // Resolves the start offset of `a`, incrementally tokenizing from the
-    // nearest anchor (forward, or backward when closer; §4.2 "Exploiting
-    // the Positional Map"). Records every crossed tracked attribute.
+    // nearest anchor (forward, or backward when closer and the format
+    // permits; §4.2 "Exploiting the Positional Map"). The adapter reports
+    // every crossed tracked attribute through the sink.
     auto resolve = [&](int a) -> uint32_t {
       int slot = slot_of_[a];
       if (slot >= 0 && tuple_pos_[slot] != kUnknown) return tuple_pos_[slot];
-      if (a == 0) {
+      if (a == 0 && traits_.attr0_at_start) {
         if (slot >= 0) tuple_pos_[slot] = 0;
         return 0;
       }
@@ -346,96 +391,62 @@ Status InSituScanOp::LoadStripe() {
                                                          a) -
                                         temp_attrs_.begin());
       for (int s = self - 1; s >= 0; --s) {
-        if (tuple_pos_[s] != kUnknown) {
+        if (tuple_pos_[s] != kUnknown && tuple_pos_[s] != kAbsentFieldPos) {
           below = s;
           break;
         }
       }
       for (int s = self + (slot >= 0 ? 1 : 0); s < nslots; ++s) {
         if (temp_attrs_[s] <= a) continue;
-        if (tuple_pos_[s] != kUnknown) {
+        if (tuple_pos_[s] != kUnknown && tuple_pos_[s] != kAbsentFieldPos) {
           above = s;
           break;
         }
       }
       uint32_t pos = kUnknown;
-      bool try_backward = above >= 0 && !dialect.quoting &&
+      bool try_backward = above >= 0 && traits_.backward_tokenize &&
                           (below < 0 || (temp_attrs_[above] - a) <
                                             (a - temp_attrs_[below]));
       if (try_backward) {
-        // Walk left from the anchor. Crossing the k-th delimiter reveals the
-        // start of field (from_attr - k + 1): the first delimiter crossed
-        // opens the anchor field itself.
-        int from_attr = temp_attrs_[above];
-        uint32_t i = tuple_pos_[above];
-        int crossings = 0;
-        while (i > 0) {
-          --i;
-          if (line.text[i] == dialect.delimiter) {
-            ++crossings;
-            int started = from_attr - crossings + 1;
-            int s = slot_of_[started];
-            if (s >= 0) tuple_pos_[s] = i + 1;
-            if (started == a) {
-              pos = i + 1;
-              break;
-            }
-            if (started < a) break;  // malformed line
-          }
-        }
+        pos = adapter_->FindBackward(rec, temp_attrs_[above],
+                                     tuple_pos_[above], a, sink);
       }
       if (pos == kUnknown) {
-        int from_attr = below >= 0 ? temp_attrs_[below] : 0;
+        if (traits_.full_record_tokenize && record_walked) return kUnknown;
+        int from_attr = below >= 0 ? temp_attrs_[below] : -1;
         uint32_t from_pos = below >= 0 ? tuple_pos_[below] : 0;
-        // Walk right, recording crossed field starts.
-        int attr = from_attr;
-        uint32_t p = from_pos;
-        while (attr < a) {
-          uint32_t end = FieldEndAt(line.text, dialect, p);
-          if (end >= line.text.size()) return kUnknown;  // short line
-          p = end + 1;
-          ++attr;
-          int s = slot_of_[attr];
-          if (s >= 0) tuple_pos_[s] = p;
+        pos = adapter_->FindForward(rec, from_attr, from_pos, a, sink);
+        if (traits_.full_record_tokenize) {
+          mark_absent_slots();
+        } else {
+          record_walked = true;
         }
-        pos = p;
       }
-      int s = slot_of_[a];
-      if (s >= 0) tuple_pos_[s] = pos;
+      if (slot >= 0 && pos != kUnknown) tuple_pos_[slot] = pos;
       return pos;
     };
 
     auto parse_attr = [&](int a) -> Result<Value> {
       if (cached_col[a] != nullptr) return (*cached_col[a])[n];
       uint32_t pos = resolve(a);
-      if (pos == kUnknown || pos > line.text.size()) {
+      if (pos == kUnknown || pos == kAbsentFieldPos ||
+          pos > rec.data.size()) {
         return Value::Null(runtime_->schema.column(a).type);
       }
-      uint32_t end;
+      uint32_t next_pos = kUnknown;
       int next_slot = a + 1 < ncols_ ? slot_of_[a + 1] : -1;
-      if (next_slot >= 0 && tuple_pos_[next_slot] != kUnknown &&
-          tuple_pos_[next_slot] > pos) {
-        end = tuple_pos_[next_slot] - 1;
-      } else {
-        end = FieldEndAt(line.text, dialect, pos);
+      if (next_slot >= 0 && tuple_pos_[next_slot] != kAbsentFieldPos) {
+        next_pos = tuple_pos_[next_slot];
       }
-      NODB_ASSIGN_OR_RETURN(
-          Value v, ParseCsvField(line.text.substr(pos, end - pos),
-                                 runtime_->schema.column(a).type, dialect));
-      return v;
+      uint32_t end = adapter_->FieldEnd(rec, a, pos, next_pos);
+      return adapter_->ParseField(rec, a, pos, end);
     };
 
-    // Without selective tokenizing (external-files mode), split the whole
-    // line up front, charging the full tokenization cost.
-    if (!opts_.selective_tokenizing) {
-      uint32_t p = 0;
-      for (int attr = 0; attr < ncols_; ++attr) {
-        int s = slot_of_[attr];
-        if (s >= 0) tuple_pos_[s] = p;
-        uint32_t end = FieldEndAt(line.text, dialect, p);
-        if (end >= line.text.size()) break;
-        p = end + 1;
-      }
+    // Without selective tokenizing (external-files mode), walk the whole
+    // record up front, charging the full tokenization cost.
+    if (!opts_.selective_tokenizing && ncols_ > 0) {
+      adapter_->FindForward(rec, -1, 0, ncols_ - 1, sink);
+      if (traits_.full_record_tokenize) mark_absent_slots();
     }
 
     Row& row = OutSlot();
@@ -474,6 +485,15 @@ Status InSituScanOp::LoadStripe() {
       all_qualified = false;
     }
 
+    // An adapter flagged this record as container corruption (not one
+    // well-formed unit): fail the query rather than ship whatever fields
+    // the walk salvaged.
+    if (record_corrupt) {
+      return Status::Corruption("corrupt raw record at offset " +
+                                std::to_string(rec.offset) + " of '" +
+                                std::string(adapter_->path()) + "'");
+    }
+
     // Record every position this tuple's tokenization discovered —
     // requested attributes and intermediates alike (§4.2 Map Population).
     if (inserter.valid()) {
@@ -482,8 +502,6 @@ Status InSituScanOp::LoadStripe() {
       }
     }
   }
-
-  if (inserter.valid()) pm->EndStripeInsert();
 
   // Publish complete cache chunks. Phase-1 buffers hold every tuple;
   // phase-2 buffers are complete only if every tuple qualified.
@@ -500,6 +518,13 @@ Status InSituScanOp::LoadStripe() {
   }
 
   next_tuple_ = stripe_first + n;
+  // A full stripe can end exactly on the table's last tuple (row count a
+  // multiple of the stripe size): with a known total that is EOF too, and
+  // the finalization below must run now — the next call would only hit the
+  // early return at the top.
+  if (!eof_ && total_tuples > 0 && next_tuple_ >= total_tuples) {
+    eof_ = true;
+  }
   if (eof_) {
     if (pm != nullptr) pm->SetTotalTuples(next_tuple_);
     runtime_->known_row_count = static_cast<double>(next_tuple_);
@@ -511,7 +536,7 @@ Status InSituScanOp::LoadStripe() {
   return Status::OK();
 }
 
-Status InSituScanOp::Close() {
+Status RawScanOp::Close() {
   if (opts_.collect_stats && runtime_->stats != nullptr) {
     runtime_->stats->FinalizeAll();
   }

@@ -1,17 +1,17 @@
-#ifndef NODB_EXEC_INSITU_SCAN_H_
-#define NODB_EXEC_INSITU_SCAN_H_
+#ifndef NODB_EXEC_RAW_SCAN_H_
+#define NODB_EXEC_RAW_SCAN_H_
 
 #include <memory>
 #include <vector>
 
-#include "csv/scanner.h"
 #include "exec/operator.h"
 #include "exec/table_runtime.h"
 #include "plan/logical_plan.h"
+#include "raw/raw_source.h"
 
 namespace nodb {
 
-/// Feature toggles for the in-situ scan; each maps to one of the paper's
+/// Feature toggles for the raw scan; each maps to one of the paper's
 /// techniques so benchmarks can isolate its effect.
 struct InSituOptions {
   /// §4.2 — consult/populate attribute positions in the positional map.
@@ -42,32 +42,40 @@ struct InSituOptions {
   bool index_intermediates = true;
 };
 
-/// The NoDB access method (§4): scans a raw CSV file directly, using the
-/// positional map to jump (close) to attribute positions, the cache to skip
-/// file access entirely, selective tokenizing/parsing/tuple formation to
-/// minimize CPU work, and populating all three structures plus statistics as
-/// side effects — so the next query runs faster.
-class InSituScanOp final : public Operator {
+/// The NoDB access method (§4) over *any* registered RawSourceAdapter: scans
+/// the raw file directly, using the positional map to jump (close) to field
+/// positions, the cache to skip file access entirely, selective
+/// tokenizing/parsing/tuple formation to minimize CPU work, and populating
+/// all three structures plus statistics as side effects — so the next query
+/// runs faster. All of that machinery lives here, format-independent; the
+/// adapter contributes only record iteration and field tokenize/parse hooks,
+/// which is how CSV, FITS and JSON Lines share one scan operator (and how a
+/// new format inherits the whole adaptive stack).
+class RawScanOp final : public Operator {
  public:
-  /// `runtime`, `scan` must outlive the operator. Output rows are
-  /// `working_width` wide with this table's columns at scan->table.offset.
-  InSituScanOp(TableRuntime* runtime, const PlannedScan* scan,
-               int working_width, InSituOptions options);
+  /// `runtime` (with a non-null adapter), `scan` must outlive the operator.
+  /// Output rows are `working_width` wide with this table's columns at
+  /// scan->table.offset.
+  RawScanOp(TableRuntime* runtime, const PlannedScan* scan, int working_width,
+            InSituOptions options);
 
   Status Open() override;
   Result<size_t> Next(RowBatch* batch) override;
   Status Close() override;
 
-  /// Stripe size used when the table has no positional map (kept identical
-  /// to PositionalMap's default so cache keys line up).
+  /// Stripe size used when the table has neither positional map nor cache
+  /// (kept identical to PositionalMap's default so cache keys line up).
   static constexpr int kDefaultStripe = 4096;
 
  private:
   /// Processes the next stripe of tuples into the out_rows_ recycler. Sets
-  /// eof_ when the file is exhausted.
+  /// eof_ when the source is exhausted.
   Status LoadStripe();
   /// Serves a stripe entirely from the cache (no file access).
   Status ServeFromCache(uint64_t stripe, int n);
+  /// Total tuple count if already known: a completed scan's positional map,
+  /// or a fixed-stride adapter's header. 0 when unknown.
+  uint64_t KnownTotalTuples() const;
   /// Next recycled output slot (storage reused across stripes); the caller
   /// fills it and then claims it with ++out_size_.
   Row& OutSlot() {
@@ -80,6 +88,8 @@ class InSituScanOp final : public Operator {
   int working_width_;
   InSituOptions opts_;
 
+  const RawSourceAdapter* adapter_ = nullptr;
+  RawTraits traits_;
   int ncols_ = 0;
   int tuples_per_stripe_ = kDefaultStripe;
   std::vector<int> phase1_attrs_;  // parsed for every tuple
@@ -87,12 +97,12 @@ class InSituScanOp final : public Operator {
   std::vector<int> output_attrs_;  // materialized into the output row
   int max_token_attr_ = 0;
 
-  std::unique_ptr<CsvScanner> scanner_;
+  std::unique_ptr<RecordCursor> cursor_;
   uint64_t next_tuple_ = 0;
   bool need_seek_ = false;
+  uint64_t seek_index_ = 0;
   uint64_t seek_offset_ = 0;
   bool eof_ = false;
-  bool header_skipped_ = false;
 
   // Qualifying rows of the current stripe. A recycler, not a plain vector:
   // out_size_ marks the live prefix and slots keep their heap storage
@@ -110,4 +120,4 @@ class InSituScanOp final : public Operator {
 
 }  // namespace nodb
 
-#endif  // NODB_EXEC_INSITU_SCAN_H_
+#endif  // NODB_EXEC_RAW_SCAN_H_

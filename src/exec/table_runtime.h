@@ -5,10 +5,8 @@
 #include <string>
 
 #include "cache/column_cache.h"
-#include "csv/dialect.h"
-#include "fits/fits_format.h"
-#include "io/file.h"
 #include "pmap/positional_map.h"
+#include "raw/raw_source.h"
 #include "stats/table_stats.h"
 #include "storage/compact_table.h"
 #include "storage/table_heap.h"
@@ -17,28 +15,25 @@ namespace nodb {
 
 /// How a registered table is physically stored.
 enum class TableStorage : uint8_t {
-  kRawCsv,   // in-situ over a CSV file (the NoDB path)
-  kRawFits,  // in-situ over a FITS binary table
+  kRaw,      // in situ over a raw file, through a RawSourceAdapter
   kHeap,     // loaded into slotted pages (PostgreSQL / MySQL analogues)
   kCompact,  // loaded into packed rows ("DBMS X" analogue)
 };
 
 /// Everything the executor needs to scan one table, owned by the engine's
-/// catalog. For raw tables this bundles the auxiliary adaptive structures
-/// (positional map, cache, statistics) that persist *across* queries — they
-/// are what turns the straw-man in-situ scan into PostgresRaw.
+/// catalog. A raw table is an adapter (the only format-specific piece) plus
+/// the format-independent adaptive structures — positional map, cache,
+/// statistics — that persist *across* queries; they are what turns the
+/// straw-man in-situ scan into PostgresRaw, for any format that plugs in.
 struct TableRuntime {
   std::string name;
   Schema schema;
-  TableStorage storage = TableStorage::kRawCsv;
+  TableStorage storage = TableStorage::kRaw;
 
-  // --- raw CSV / FITS ---
-  std::string raw_path;
-  CsvDialect dialect;
-  std::unique_ptr<RandomAccessFile> raw_file;  // kept open across queries
-  std::unique_ptr<PositionalMap> pmap;         // null when disabled
-  std::unique_ptr<ColumnCache> cache;          // null when disabled
-  std::unique_ptr<FitsTableInfo> fits;         // parsed FITS header
+  // --- raw (in-situ) ---
+  std::unique_ptr<RawSourceAdapter> adapter;  // file kept open across queries
+  std::unique_ptr<PositionalMap> pmap;        // null when disabled
+  std::unique_ptr<ColumnCache> cache;         // null when disabled
 
   // --- loaded ---
   std::unique_ptr<TableHeap> heap;

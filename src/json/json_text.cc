@@ -1,0 +1,177 @@
+#include "json/json_text.h"
+
+#include <cstdint>
+
+namespace nodb {
+
+namespace {
+
+/// One past the closing quote of the string whose opening quote is at `i`;
+/// s.size() if the string never closes.
+size_t SkipJsonString(std::string_view s, size_t i) {
+  ++i;  // opening quote
+  while (i < s.size()) {
+    if (s[i] == '\\') {
+      i += 2;
+      continue;
+    }
+    if (s[i] == '"') return i + 1;
+    ++i;
+  }
+  return s.size();
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Parses the 4 hex digits after a "\u"; -1 on malformed input.
+int ParseHex4(std::string_view s, size_t i) {
+  if (i + 4 > s.size()) return -1;
+  int code = 0;
+  for (int k = 0; k < 4; ++k) {
+    int d = HexDigit(s[i + k]);
+    if (d < 0) return -1;
+    code = (code << 4) | d;
+  }
+  return code;
+}
+
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+size_t SkipJsonWs(std::string_view s, size_t i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' || s[i] == '\n')) {
+    ++i;
+  }
+  return i;
+}
+
+size_t SkipJsonValue(std::string_view s, size_t i) {
+  if (i >= s.size()) return s.size();
+  if (s[i] == '"') return SkipJsonString(s, i);
+  if (s[i] == '{' || s[i] == '[') {
+    int depth = 0;
+    while (i < s.size()) {
+      char c = s[i];
+      if (c == '"') {
+        i = SkipJsonString(s, i);
+        continue;
+      }
+      if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+      ++i;
+    }
+    return s.size();
+  }
+  // Scalar literal: number, true, false, null.
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
+         s[i] != ' ' && s[i] != '\t' && s[i] != '\r' && s[i] != '\n') {
+    ++i;
+  }
+  return i;
+}
+
+bool UnescapeJsonString(std::string_view token, std::string* out) {
+  out->clear();
+  if (token.empty() || token[0] != '"') return false;
+  size_t i = 1;
+  while (i < token.size()) {
+    char c = token[i];
+    if (c == '"') return true;  // closing quote
+    if (c != '\\') {
+      out->push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= token.size()) return false;
+    char esc = token[i + 1];
+    i += 2;
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        int code = ParseHex4(token, i);
+        if (code < 0) return false;
+        i += 4;
+        uint32_t cp = static_cast<uint32_t>(code);
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          // High surrogate: a \uXXXX low surrogate must follow.
+          if (i + 2 > token.size() || token[i] != '\\' ||
+              token[i + 1] != 'u') {
+            return false;
+          }
+          int low = ParseHex4(token, i + 2);
+          if (low < 0xDC00 || low > 0xDFFF) return false;
+          i += 6;
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          return false;  // unpaired low surrogate
+        }
+        AppendUtf8(out, cp);
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;  // the string never closed
+}
+
+void AppendJsonQuoted(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out->append("\\u00");
+          out->push_back(kHex[(c >> 4) & 0xF]);
+          out->push_back(kHex[c & 0xF]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace nodb

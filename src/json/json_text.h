@@ -1,0 +1,35 @@
+#ifndef NODB_JSON_JSON_TEXT_H_
+#define NODB_JSON_JSON_TEXT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace nodb {
+
+/// Low-level JSON text routines shared by the JSON Lines adapter and writer.
+/// These operate on one record (a single line holding one object) and never
+/// allocate on the common path — the adapter sits on the in-situ hot path
+/// where, per the paper, conversion cost dominates.
+
+/// First index >= `i` whose byte is not JSON whitespace (space, tab, CR, LF).
+size_t SkipJsonWs(std::string_view s, size_t i);
+
+/// One past the end of the JSON value starting at `i`: a string (honouring
+/// backslash escapes), a nested object/array (balanced, string-aware), or a
+/// scalar literal (number / true / false / null, terminated by ',', '}',
+/// ']' or whitespace). Truncated input yields s.size().
+size_t SkipJsonValue(std::string_view s, size_t i);
+
+/// Decodes the JSON string token starting at `token[0] == '"'` (the view may
+/// extend past the closing quote; decoding stops there) into `*out`.
+/// Handles the standard escapes and \uXXXX (UTF-8 encoded, surrogate pairs
+/// combined). Returns false on malformed input.
+bool UnescapeJsonString(std::string_view token, std::string* out);
+
+/// Appends `s` to `*out` as a quoted JSON string with the mandatory escapes.
+void AppendJsonQuoted(std::string* out, std::string_view s);
+
+}  // namespace nodb
+
+#endif  // NODB_JSON_JSON_TEXT_H_

@@ -1,0 +1,341 @@
+#include "json/jsonl_adapter.h"
+
+#include <utility>
+#include <vector>
+
+#include "json/json_text.h"
+#include "raw/line_reader.h"
+#include "util/str_conv.h"
+
+namespace nodb {
+
+namespace {
+
+/// Line cursor that drops whitespace-only lines: a trailing or embedded
+/// blank line is formatting, not a record, and must not surface as a
+/// phantom all-NULL row (schema inference skips them the same way).
+class JsonlRecordCursor final : public RecordCursor {
+ public:
+  explicit JsonlRecordCursor(const RandomAccessFile* file) : reader_(file) {}
+
+  Result<bool> Next(RecordRef* rec) override {
+    while (true) {
+      NODB_ASSIGN_OR_RETURN(bool has, reader_.Next(rec));
+      if (!has) return false;
+      if (SkipJsonWs(rec->data, 0) < rec->data.size()) return true;
+    }
+  }
+
+  Status SeekToRecord(uint64_t index, uint64_t offset) override {
+    (void)index;
+    reader_.SeekTo(offset);
+    return Status::OK();
+  }
+
+ private:
+  LineReader reader_;
+};
+
+/// Extracts the key token starting at `i` (which must point at '"').
+/// Returns false on malformed input; on success `*key` views the raw key
+/// (or `*scratch` when escapes forced a decode) and `*end` is one past the
+/// closing quote.
+bool ReadKey(std::string_view s, size_t i, std::string_view* key,
+             std::string* scratch, size_t* end) {
+  size_t close = SkipJsonValue(s, i);  // string skip
+  if (close <= i + 1 || close > s.size() || s[close - 1] != '"') return false;
+  std::string_view raw = s.substr(i + 1, close - i - 2);
+  if (raw.find('\\') == std::string_view::npos) {
+    *key = raw;
+  } else {
+    if (!UnescapeJsonString(s.substr(i, close - i), scratch)) return false;
+    *key = *scratch;
+  }
+  *end = close;
+  return true;
+}
+
+/// Walks the top-level members of the object record `s`, invoking
+/// fn(key, value_pos, value_end) for every member — scalar and nested
+/// alike. The single walk both schema inference and field lookup share, so
+/// the two can never disagree about what a record contains. Returns true
+/// if the record is one well-formed object walked through its closing
+/// brace with nothing but whitespace after it; false when it is not an
+/// object, is truncated, breaks mid-member, or holds trailing residue such
+/// as a second concatenated object (members seen before the breakage were
+/// still reported).
+template <typename Fn>
+bool ForEachTopLevelField(std::string_view s, std::string* scratch, Fn&& fn) {
+  size_t i = SkipJsonWs(s, 0);
+  if (i >= s.size() || s[i] != '{') return false;
+  ++i;
+  bool first = true;
+  while (true) {
+    i = SkipJsonWs(s, i);
+    if (i >= s.size()) return false;  // truncated
+    if (s[i] == '}') return SkipJsonWs(s, i + 1) >= s.size();
+    if (first) {
+      if (s[i] == ',') return false;  // leading comma
+    } else {
+      // Exactly one comma between members; none before the closing brace.
+      if (s[i] != ',') return false;
+      i = SkipJsonWs(s, i + 1);
+      if (i >= s.size() || s[i] == '}' || s[i] == ',') return false;
+    }
+    first = false;
+    std::string_view key;
+    size_t key_end;
+    if (s[i] != '"' || !ReadKey(s, i, &key, scratch, &key_end)) return false;
+    i = SkipJsonWs(s, key_end);
+    if (i >= s.size() || s[i] != ':') return false;
+    i = SkipJsonWs(s, i + 1);
+    if (i >= s.size()) return false;
+    size_t value_end = SkipJsonValue(s, i);
+    if (value_end == i) return false;  // missing member value ({"a":,...})
+    fn(key, i, value_end);
+    i = value_end;
+  }
+}
+
+/// Guesses a column type from one JSON value token; nullopt for `null`
+/// (which constrains nothing).
+std::optional<TypeId> GuessType(std::string_view token) {
+  if (token.empty()) return TypeId::kString;
+  if (token[0] == '"') {
+    std::string decoded;
+    if (UnescapeJsonString(token, &decoded) && ParseDate(decoded).ok()) {
+      return TypeId::kDate;
+    }
+    return TypeId::kString;
+  }
+  if (token == "true" || token == "false") return TypeId::kBool;
+  if (token == "null") return std::nullopt;
+  for (char c : token) {
+    if (c == '.' || c == 'e' || c == 'E') return TypeId::kDouble;
+  }
+  return TypeId::kInt64;
+}
+
+/// Widens two observed types for the same key: ints widen to doubles,
+/// dates decay to strings, any other disagreement falls back to string
+/// (every token parses as a string).
+TypeId MergeTypes(TypeId a, TypeId b) {
+  if (a == b) return a;
+  auto numeric = [](TypeId t) {
+    return t == TypeId::kInt64 || t == TypeId::kDouble;
+  };
+  if (numeric(a) && numeric(b)) return TypeId::kDouble;
+  return TypeId::kString;
+}
+
+/// How many leading records schema inference inspects. One record is not
+/// enough (a double column whose first value happens to be whole would
+/// infer as integer); a bounded prefix keeps Open O(1) in the file size.
+constexpr int kInferenceRecords = 100;
+
+/// Infers a schema from the leading records: top-level scalar fields in
+/// first-appearance order (nested objects/arrays are not projectable and
+/// are skipped), types widened across records via MergeTypes.
+Result<Schema> InferSchema(const RandomAccessFile* file,
+                           const std::string& path) {
+  // A small window suffices for ~100 typical records (LineReader grows it
+  // if one record is larger); the scan's 1 MiB default would make every
+  // schema-inferring Open read 1 MiB up front.
+  LineReader reader(file, 64 * 1024);
+  RecordRef rec;
+  std::vector<std::string> names;
+  std::vector<std::optional<TypeId>> types;
+  std::unordered_map<std::string, size_t> index;
+  std::string scratch;
+  int records_seen = 0;
+  while (records_seen < kInferenceRecords) {
+    NODB_ASSIGN_OR_RETURN(bool has, reader.Next(&rec));
+    if (!has) break;
+    std::string_view s = rec.data;
+    size_t first = SkipJsonWs(s, 0);
+    if (first >= s.size()) continue;  // blank line
+    if (s[first] != '{') {
+      return Status::InvalidArgument("record " +
+                                     std::to_string(records_seen + 1) +
+                                     " of '" + path +
+                                     "' is not a JSON object");
+    }
+    ++records_seen;
+    bool well_formed = ForEachTopLevelField(
+        s, &scratch,
+        [&](std::string_view key, size_t vpos, size_t vend) {
+          if (s[vpos] == '{' || s[vpos] == '[') return;  // not projectable
+          std::optional<TypeId> guess = GuessType(s.substr(vpos, vend - vpos));
+          auto [it, inserted] = index.try_emplace(std::string(key),
+                                                  names.size());
+          if (inserted) {
+            names.emplace_back(key);
+            types.push_back(guess);
+          } else if (guess.has_value()) {
+            std::optional<TypeId>& known = types[it->second];
+            known = known.has_value() ? MergeTypes(*known, *guess) : *guess;
+          }
+        });
+    if (!well_formed) {
+      // A broken record (truncated tail, malformed member) ends sampling:
+      // fields gathered so far still make a usable schema, and the broken
+      // record itself surfaces as a clean per-query error when scanned. An
+      // unusable *first* record is an error here, though — there is
+      // nothing to infer from.
+      if (names.empty()) {
+        return Status::InvalidArgument("malformed JSON object in '" + path +
+                                       "'");
+      }
+      break;
+    }
+  }
+  if (records_seen == 0) {
+    return Status::InvalidArgument(
+        "cannot infer a schema from empty JSONL file '" + path +
+        "'; pass OpenOptions::schema");
+  }
+  Schema schema;
+  for (size_t c = 0; c < names.size(); ++c) {
+    // All-null columns constrain nothing; string accepts anything later.
+    schema.AddColumn({names[c], types[c].value_or(TypeId::kString)});
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument(
+        "the leading records of '" + path +
+        "' have no top-level scalar fields to project");
+  }
+  return schema;
+}
+
+}  // namespace
+
+JsonlAdapter::JsonlAdapter(std::string path, Schema schema,
+                           std::unique_ptr<RandomAccessFile> file)
+    : path_(std::move(path)), schema_(std::move(schema)),
+      file_(std::move(file)) {
+  traits_.variable_positions = true;
+  traits_.fixed_stride = false;
+  traits_.backward_tokenize = false;  // keys are unordered; anchors don't apply
+  traits_.attr0_at_start = false;     // records start with '{', not a field
+  traits_.full_record_tokenize = true;
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    key_to_attr_.emplace(schema_.column(c).name, c);
+  }
+}
+
+Result<std::unique_ptr<JsonlAdapter>> JsonlAdapter::Make(
+    const std::string& path, std::optional<Schema> schema,
+    std::unique_ptr<RandomAccessFile> file) {
+  if (file == nullptr) {
+    NODB_ASSIGN_OR_RETURN(file, RandomAccessFile::Open(path));
+  }
+  Schema resolved;
+  if (schema.has_value() && schema->num_columns() > 0) {
+    resolved = std::move(*schema);
+  } else {
+    NODB_ASSIGN_OR_RETURN(resolved, InferSchema(file.get(), path));
+  }
+  return std::unique_ptr<JsonlAdapter>(
+      new JsonlAdapter(path, std::move(resolved), std::move(file)));
+}
+
+Result<std::unique_ptr<RecordCursor>> JsonlAdapter::OpenCursor() const {
+  return std::unique_ptr<RecordCursor>(
+      std::make_unique<JsonlRecordCursor>(file_.get()));
+}
+
+uint32_t JsonlAdapter::FindForward(const RecordRef& rec, int from_attr,
+                                   uint32_t from_pos, int to_attr,
+                                   const PositionSink& sink) const {
+  // Keys appear in arbitrary order, so the anchor is ignored and the whole
+  // object is walked once; every projected field crossed is reported via
+  // `sink`, making later resolves for this record position-map hits. A
+  // record that is not one well-formed object (truncated, malformed, or
+  // concatenated values on a line — silent data loss otherwise) is flagged
+  // as container corruption through the sink, piggybacking on the walk the
+  // scan pays anyway.
+  (void)from_attr, (void)from_pos;
+  uint32_t found = kNoFieldPos;
+  std::string scratch;
+  bool well_formed = ForEachTopLevelField(
+      rec.data, &scratch,
+      [&](std::string_view key, size_t vpos, size_t vend) {
+        (void)vend;
+        auto it = key_to_attr_.find(key);
+        if (it != key_to_attr_.end()) {
+          sink.Record(it->second, static_cast<uint32_t>(vpos));
+          if (it->second == to_attr) found = static_cast<uint32_t>(vpos);
+        }
+      });
+  if (!well_formed) sink.FlagCorrupt();
+  return found;
+}
+
+uint32_t JsonlAdapter::FieldEnd(const RecordRef& rec, int attr, uint32_t pos,
+                                uint32_t next_attr_pos) const {
+  // Schema order says nothing about textual order, so the next attribute's
+  // position is no shortcut here; scan the value itself.
+  (void)attr, (void)next_attr_pos;
+  return static_cast<uint32_t>(SkipJsonValue(rec.data, pos));
+}
+
+Result<Value> JsonlAdapter::ParseField(const RecordRef& rec, int attr,
+                                       uint32_t pos, uint32_t end) const {
+  std::string_view text = rec.data.substr(pos, end - pos);
+  TypeId type = schema_.column(attr).type;
+  if (text == "null") return Value::Null(type);
+  if (!text.empty() && (text.front() == '{' || text.front() == '[')) {
+    // Nested values are tokenized over but not projected (the adapter's
+    // fixed-schema contract; inference skips such fields the same way).
+    return Value::Null(type);
+  }
+  if (!text.empty() && text.front() == '"') {
+    // Fast path: a closed, escape-free string parses straight from the raw
+    // slice (the overwhelmingly common case on the in-situ hot path).
+    if (text.size() >= 2 && text.back() == '"' &&
+        text.find('\\') == std::string_view::npos) {
+      return Value::ParseAs(type, text.substr(1, text.size() - 2));
+    }
+    std::string decoded;
+    if (!UnescapeJsonString(text, &decoded)) {
+      return Status::InvalidArgument("malformed JSON string value '" +
+                                     std::string(text) + "'");
+    }
+    return Value::ParseAs(type, decoded);
+  }
+  return Value::ParseAs(type, text);
+}
+
+namespace {
+
+class JsonlAdapterFactory final : public AdapterFactory {
+ public:
+  std::string_view format_name() const override { return "jsonl"; }
+
+  double Sniff(const std::string& path, std::string_view head) const override {
+    if (PathHasExtension(path, ".jsonl") ||
+        PathHasExtension(path, ".ndjson")) {
+      return 0.9;
+    }
+    size_t i = SkipJsonWs(head, 0);
+    if (i < head.size() && head[i] == '{') return 0.7;
+    return 0.0;
+  }
+
+  Result<std::unique_ptr<RawSourceAdapter>> Create(
+      const std::string& path, const OpenOptions& options,
+      std::unique_ptr<RandomAccessFile> file) const override {
+    NODB_ASSIGN_OR_RETURN(
+        std::unique_ptr<JsonlAdapter> adapter,
+        JsonlAdapter::Make(path, options.schema, std::move(file)));
+    return std::unique_ptr<RawSourceAdapter>(std::move(adapter));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AdapterFactory> MakeJsonlAdapterFactory() {
+  return std::make_unique<JsonlAdapterFactory>();
+}
+
+}  // namespace nodb

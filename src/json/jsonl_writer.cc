@@ -1,0 +1,66 @@
+#include "json/jsonl_writer.h"
+
+#include <cmath>
+
+#include "json/json_text.h"
+
+namespace nodb {
+
+Status JsonlWriter::WriteRow(const Row& row) {
+  if (static_cast<int>(row.size()) != schema_->num_columns()) {
+    return Status::InvalidArgument(
+        "row width does not match the writer's schema");
+  }
+  buffer_.push_back('{');
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c > 0) buffer_.push_back(',');
+    AppendJsonQuoted(&buffer_, schema_->column(static_cast<int>(c)).name);
+    buffer_.push_back(':');
+    const Value& v = row[c];
+    if (v.is_null()) {
+      buffer_.append("null");
+    } else {
+      switch (v.type()) {
+        case TypeId::kString:
+          AppendJsonQuoted(&buffer_, v.str());
+          break;
+        case TypeId::kDate:
+          AppendJsonQuoted(&buffer_, v.ToString());
+          break;
+        case TypeId::kDouble: {
+          // JSON has no NaN/Infinity literals; non-finite values degrade to
+          // null. Whole doubles stay visibly fractional ("0.0", not "0") so
+          // schema inference never mistakes a double column for integers.
+          if (!std::isfinite(v.f64())) {
+            buffer_.append("null");
+            break;
+          }
+          std::string text = v.ToString();
+          if (text.find_first_of(".eE") == std::string::npos) {
+            text += ".0";
+          }
+          buffer_.append(text);
+          break;
+        }
+        default:  // int64 / bool render as JSON literals
+          buffer_.append(v.ToString());
+      }
+    }
+  }
+  buffer_.append("}\n");
+  if (buffer_.size() >= (1 << 20)) {
+    NODB_RETURN_IF_ERROR(out_->Append(buffer_));
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+Status JsonlWriter::Finish() {
+  if (!buffer_.empty()) {
+    NODB_RETURN_IF_ERROR(out_->Append(buffer_));
+    buffer_.clear();
+  }
+  return out_->Flush();
+}
+
+}  // namespace nodb

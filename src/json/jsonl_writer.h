@@ -1,0 +1,40 @@
+#ifndef NODB_JSON_JSONL_WRITER_H_
+#define NODB_JSON_JSONL_WRITER_H_
+
+#include <string>
+
+#include "io/file.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// Buffered JSON Lines emitter (data generators, tests, benchmarks): one
+/// top-level object per row, keys taken from the schema. Numeric and bool
+/// values render as JSON literals, strings and dates as quoted strings
+/// (dates ISO-formatted), NULLs as `null` — the exact forms JsonlAdapter
+/// parses back, so a CSV/JSONL pair generated from the same rows is
+/// bit-for-bit equivalent relationally.
+class JsonlWriter {
+ public:
+  /// `out` and `schema` must outlive the writer; the caller closes the file
+  /// after Finish().
+  JsonlWriter(WritableFile* out, const Schema* schema)
+      : out_(out), schema_(schema) {}
+
+  /// Writes one row as one JSON line.
+  Status WriteRow(const Row& row);
+
+  /// Flushes buffered bytes to the file.
+  Status Finish();
+
+ private:
+  WritableFile* out_;
+  const Schema* schema_;
+  std::string buffer_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_JSON_JSONL_WRITER_H_

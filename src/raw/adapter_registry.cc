@@ -1,0 +1,81 @@
+#include "raw/adapter_registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "csv/csv_adapter.h"
+#include "fits/fits_adapter.h"
+#include "json/jsonl_adapter.h"
+
+namespace nodb {
+
+bool PathHasExtension(std::string_view path, std::string_view ext) {
+  if (path.size() < ext.size()) return false;
+  std::string_view tail = path.substr(path.size() - ext.size());
+  for (size_t i = 0; i < ext.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(tail[i])) !=
+        std::tolower(static_cast<unsigned char>(ext[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AdapterRegistry& AdapterRegistry::Global() {
+  static AdapterRegistry* registry = [] {
+    auto* r = new AdapterRegistry();
+    r->Register(MakeCsvAdapterFactory());
+    r->Register(MakeFitsAdapterFactory());
+    r->Register(MakeJsonlAdapterFactory());
+    return r;
+  }();
+  return *registry;
+}
+
+void AdapterRegistry::Register(std::unique_ptr<AdapterFactory> factory) {
+  for (auto& existing : factories_) {
+    if (existing->format_name() == factory->format_name()) {
+      existing = std::move(factory);
+      return;
+    }
+  }
+  factories_.push_back(std::move(factory));
+}
+
+const AdapterFactory* AdapterRegistry::Find(
+    std::string_view format_name) const {
+  for (const auto& factory : factories_) {
+    if (factory->format_name() == format_name) return factory.get();
+  }
+  return nullptr;
+}
+
+Result<const AdapterFactory*> AdapterRegistry::Detect(
+    const std::string& path, std::string_view head) const {
+  const AdapterFactory* best = nullptr;
+  double best_score = 0.0;
+  for (const auto& factory : factories_) {
+    double score = factory->Sniff(path, head);
+    if (score > best_score) {
+      best_score = score;
+      best = factory.get();
+    }
+  }
+  if (best == nullptr) {
+    return Status::InvalidArgument(
+        "cannot detect the raw format of '" + path +
+        "'; pass OpenOptions::format explicitly");
+  }
+  return best;
+}
+
+std::vector<std::string_view> AdapterRegistry::formats() const {
+  std::vector<std::string_view> names;
+  names.reserve(factories_.size());
+  for (const auto& factory : factories_) {
+    names.push_back(factory->format_name());
+  }
+  return names;
+}
+
+}  // namespace nodb

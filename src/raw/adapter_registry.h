@@ -1,0 +1,88 @@
+#ifndef NODB_RAW_ADAPTER_REGISTRY_H_
+#define NODB_RAW_ADAPTER_REGISTRY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "csv/dialect.h"
+#include "raw/raw_source.h"
+#include "types/schema.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Options for Database::Open. Everything is optional: with the defaults the
+/// registry sniffs the format and the adapter discovers the schema itself
+/// (from a header, or by inspecting the first record). Formats that cannot
+/// discover a schema (headerless CSV, as in the paper) require `schema`.
+struct OpenOptions {
+  /// Force a format by registry name ("csv", "fits", "jsonl"); empty means
+  /// auto-detect from the file's name and first bytes.
+  std::string format;
+  /// Declared schema. Required for CSV; optional for JSON Lines (inferred
+  /// from the first record when absent); ignored by FITS (the header wins).
+  std::optional<Schema> schema;
+  /// Syntax options for delimited-text formats.
+  CsvDialect dialect;
+};
+
+/// Creates adapters for one format and scores how likely an unknown file is
+/// that format (the sniffer behind Database::Open's auto-detection).
+class AdapterFactory {
+ public:
+  virtual ~AdapterFactory() = default;
+
+  virtual std::string_view format_name() const = 0;
+
+  /// Confidence in [0, 1] that `path` (whose first bytes are `head`) is this
+  /// format. 0 means "certainly not"; magic-number matches should approach
+  /// 1, extension matches sit in between, and content heuristics below that,
+  /// so more specific evidence wins ties.
+  virtual double Sniff(const std::string& path,
+                       std::string_view head) const = 0;
+
+  /// Creates the adapter. `file` may be null; when set it is an already-open
+  /// read handle for `path` (left over from sniffing) that the adapter
+  /// adopts instead of reopening the file.
+  virtual Result<std::unique_ptr<RawSourceAdapter>> Create(
+      const std::string& path, const OpenOptions& options,
+      std::unique_ptr<RandomAccessFile> file) const = 0;
+};
+
+/// The set of raw formats the engine can open. Process-wide; the built-in
+/// CSV, FITS and JSON Lines factories are registered on first use, and
+/// callers (tests, embedders) may Register additional formats — that is the
+/// whole point of the adapter API.
+class AdapterRegistry {
+ public:
+  /// The process-wide registry, with built-in formats registered.
+  static AdapterRegistry& Global();
+
+  /// Registers a factory; a factory with the same format_name is replaced.
+  void Register(std::unique_ptr<AdapterFactory> factory);
+
+  /// Factory for an exact format name, or nullptr.
+  const AdapterFactory* Find(std::string_view format_name) const;
+
+  /// Sniffs every registered factory and returns the best-scoring one;
+  /// InvalidArgument if no factory recognizes the file at all.
+  Result<const AdapterFactory*> Detect(const std::string& path,
+                                       std::string_view head) const;
+
+  /// Registered format names, registration order.
+  std::vector<std::string_view> formats() const;
+
+ private:
+  std::vector<std::unique_ptr<AdapterFactory>> factories_;
+};
+
+/// True if `path` ends with `ext` (case-insensitive), a helper for
+/// extension-based sniffing.
+bool PathHasExtension(std::string_view path, std::string_view ext);
+
+}  // namespace nodb
+
+#endif  // NODB_RAW_ADAPTER_REGISTRY_H_

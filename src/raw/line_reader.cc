@@ -1,15 +1,15 @@
-#include "csv/scanner.h"
+#include "raw/line_reader.h"
 
 #include <cstring>
 
 namespace nodb {
 
-CsvScanner::CsvScanner(const RandomAccessFile* file, uint64_t buffer_size)
-    : file_(file), capacity_(buffer_size < 4096 ? 4096 : buffer_size) {
-  buffer_.resize(capacity_);
+LineReader::LineReader(const RandomAccessFile* file, uint64_t buffer_size)
+    : file_(file) {
+  buffer_.resize(buffer_size < 4096 ? 4096 : buffer_size);
 }
 
-void CsvScanner::SeekTo(uint64_t offset) {
+void LineReader::SeekTo(uint64_t offset) {
   next_offset_ = offset;
   // Invalidate the window unless the offset is already inside it.
   if (offset < buffer_start_ || offset >= buffer_start_ + buffer_len_) {
@@ -18,7 +18,7 @@ void CsvScanner::SeekTo(uint64_t offset) {
   }
 }
 
-Status CsvScanner::Refill() {
+Status LineReader::Refill() {
   // Slide any unconsumed tail to the front, then append fresh bytes.
   uint64_t consumed = next_offset_ - buffer_start_;
   uint64_t tail = buffer_len_ - consumed;
@@ -39,7 +39,7 @@ Status CsvScanner::Refill() {
   return Status::OK();
 }
 
-Result<bool> CsvScanner::Next(LineRef* line) {
+Result<bool> LineReader::Next(RecordRef* rec) {
   if (next_offset_ >= file_->size()) return false;
   while (true) {
     uint64_t rel = next_offset_ - buffer_start_;
@@ -52,8 +52,8 @@ Result<bool> CsvScanner::Next(LineRef* line) {
         uint64_t len = nl != nullptr ? static_cast<uint64_t>(nl - base) : avail;
         uint64_t text_len = len;
         if (text_len > 0 && base[text_len - 1] == '\r') --text_len;
-        line->offset = next_offset_;
-        line->text = std::string_view(base, text_len);
+        rec->offset = next_offset_;
+        rec->data = std::string_view(base, text_len);
         next_offset_ += len + (nl != nullptr ? 1 : 0);
         return true;
       }

@@ -1,0 +1,79 @@
+#ifndef NODB_RAW_LINE_READER_H_
+#define NODB_RAW_LINE_READER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "io/file.h"
+#include "raw/raw_source.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Streaming newline-delimited record reader over a raw file, shared by
+/// every text adapter (CSV, JSON Lines) and the bulk loader. Reads the file
+/// in large chunks, splits on '\n' (an optional preceding '\r' is stripped),
+/// and reassembles records that straddle chunk boundaries. The returned view
+/// is valid until the next call to Next() or SeekTo().
+class LineReader {
+ public:
+  /// `file` must outlive the reader.
+  explicit LineReader(const RandomAccessFile* file,
+                      uint64_t buffer_size = 1 << 20);
+
+  /// Reads the next record into `*rec`; returns false at end of file.
+  /// A final record without a trailing newline is returned.
+  Result<bool> Next(RecordRef* rec);
+
+  /// Repositions the reader at `offset`, which must be the first byte of a
+  /// record (offset 0 or one past a '\n').
+  void SeekTo(uint64_t offset);
+
+  /// File offset of the byte that the next call to Next() starts reading at.
+  uint64_t position() const { return next_offset_; }
+
+ private:
+  /// Ensures buffer_ holds the bytes at [buffer_start_, ...) covering
+  /// next_offset_ with at least one byte (unless at EOF).
+  Status Refill();
+
+  const RandomAccessFile* file_;
+  std::vector<char> buffer_;
+  uint64_t buffer_start_ = 0;  // file offset of buffer_[0]
+  uint64_t buffer_len_ = 0;
+  uint64_t next_offset_ = 0;  // file offset of the next record's first byte
+};
+
+/// RecordCursor over newline-delimited records, optionally discarding a
+/// header line when iteration starts at the top of the file. Seek targets
+/// are always data-record starts, so a seek skips the header implicitly.
+class LineRecordCursor final : public RecordCursor {
+ public:
+  LineRecordCursor(const RandomAccessFile* file, bool skip_first_line)
+      : reader_(file), pending_header_skip_(skip_first_line) {}
+
+  Result<bool> Next(RecordRef* rec) override {
+    if (pending_header_skip_) {
+      pending_header_skip_ = false;
+      RecordRef header;
+      NODB_ASSIGN_OR_RETURN(bool has, reader_.Next(&header));
+      if (!has) return false;
+    }
+    return reader_.Next(rec);
+  }
+
+  Status SeekToRecord(uint64_t index, uint64_t offset) override {
+    (void)index;
+    reader_.SeekTo(offset);
+    pending_header_skip_ = false;
+    return Status::OK();
+  }
+
+ private:
+  LineReader reader_;
+  bool pending_header_skip_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_RAW_LINE_READER_H_

@@ -1,0 +1,186 @@
+#ifndef NODB_RAW_RAW_SOURCE_H_
+#define NODB_RAW_RAW_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "io/file.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// The pluggable raw-source API. NoDB's adaptive machinery — positional map,
+/// binary-value cache, adaptive statistics, selective tokenizing/parsing —
+/// is format-independent infrastructure owned by the engine (RawScanOp). A
+/// RawSourceAdapter contributes only what is genuinely format-specific:
+/// record iteration, schema discovery, and field-level tokenize/parse hooks.
+/// Any format that can (a) enumerate records and (b) locate/convert a field
+/// inside a record plugs in here and gets the positional map, cache,
+/// statistics and batched cursors for free.
+
+/// Sentinel for "field position unknown / not present". Identical in value
+/// to PositionalMap::kUnknown so positions flow between the map and the
+/// adapter hooks without translation.
+inline constexpr uint32_t kNoFieldPos = UINT32_MAX;
+
+/// Sentinel stored by the scan (never returned by adapter hooks) for a
+/// field *known to be absent* from its record. Full-record tokenizers
+/// (unordered-key formats) resolve presence and absence in the same walk;
+/// persisting absence in the positional map lets warm queries over sparse
+/// data read NULL from an O(1) probe instead of re-walking the record —
+/// kNoFieldPos alone cannot distinguish "never looked" from "looked,
+/// absent".
+inline constexpr uint32_t kAbsentFieldPos = UINT32_MAX - 1;
+
+/// One raw record handed from a RecordCursor to the scan: the absolute file
+/// offset of its first byte (what the positional map's spine stores) plus
+/// its payload — a text line for delimited formats, a fixed-width binary row
+/// for FITS-like formats. The view is valid until the cursor's next
+/// Next()/SeekToRecord() call.
+struct RecordRef {
+  uint64_t offset = 0;
+  std::string_view data;
+};
+
+/// Streaming record iterator over one raw file. Cursors are per-query
+/// (cheap); the adapter they came from owns the file handle and outlives
+/// them.
+class RecordCursor {
+ public:
+  virtual ~RecordCursor() = default;
+
+  /// Reads the next record; returns false at end of input. A corrupt or
+  /// truncated container (not a merely ragged record) is an error.
+  virtual Result<bool> Next(RecordRef* rec) = 0;
+
+  /// Repositions at record `index`, whose first byte is at `offset`.
+  /// Fixed-stride cursors may ignore `offset` (the position is arithmetic);
+  /// variable-length cursors may ignore `index`. Callers obtain `offset`
+  /// from the positional map's spine.
+  virtual Status SeekToRecord(uint64_t index, uint64_t offset) = 0;
+};
+
+/// Capabilities of a raw format, consulted by the engine when wiring the
+/// adaptive structures and driving the scan.
+struct RawTraits {
+  /// Field positions vary per record, so remembering them pays: the engine
+  /// attaches a positional map (spine + attribute positions). False for
+  /// fixed-stride formats where every position is arithmetic.
+  bool variable_positions = true;
+  /// Record index -> file offset is computable: seeks need no spine and the
+  /// row count is known without a full scan (see row_count_hint).
+  bool fixed_stride = false;
+  /// Backward incremental tokenizing from a positional-map anchor is
+  /// unambiguous (CSV without quoting). When false the engine only
+  /// tokenizes forward.
+  bool backward_tokenize = false;
+  /// Attribute 0 always starts at record offset 0, letting the engine skip
+  /// a FindForward call for the first attribute.
+  bool attr0_at_start = false;
+  /// FindForward ignores its anchor and tokenizes the whole record,
+  /// reporting every tracked field through the sink (formats with unordered
+  /// fields). The engine then calls it at most once per record: tracked
+  /// attributes still unresolved afterwards are definitively absent (NULL),
+  /// not worth another walk.
+  bool full_record_tokenize = false;
+};
+
+/// Receives field start offsets discovered while tokenizing, so one forward
+/// walk feeds every tracked attribute (the paper's "learn as much as
+/// possible" map population, §4.2). `slot_of[attr]` maps an attribute to its
+/// tracked slot or -1; positions land in `pos[slot]`.
+///
+/// The sink is also the adapter's error channel for *container* corruption
+/// noticed mid-walk (a record that is not one well-formed unit, e.g. two
+/// concatenated JSON objects on one line): FlagCorrupt() makes the scan fail
+/// the query with a Corruption status instead of silently dropping data.
+/// Fusing the check into the walk keeps validation free — every record is
+/// walked in full the first time it is processed, and warm scans that jump
+/// straight to remembered positions re-read only validated records.
+struct PositionSink {
+  const int* slot_of = nullptr;
+  uint32_t* pos = nullptr;
+  bool* corrupt = nullptr;
+
+  void Record(int attr, uint32_t p) const {
+    int s = slot_of[attr];
+    if (s >= 0) pos[s] = p;
+  }
+  void FlagCorrupt() const {
+    if (corrupt != nullptr) *corrupt = true;
+  }
+};
+
+/// One registered raw source: format-specific state (dialect, header
+/// layout), the discovered schema, and the stripe-level tokenize/parse hooks
+/// the adaptive scan drives. Adapters are immutable after construction and
+/// shared by concurrent cursors; all per-record scratch lives in the caller.
+///
+/// Field positions are byte offsets relative to the record start (32-bit, as
+/// in the positional map). The contract mirrors NoDB's treatment of raw
+/// text: *structural* shortfalls (short row, missing key) surface as
+/// kNoFieldPos and become NULL; *conversion* failures (malformed value text)
+/// surface as an error Status from ParseField.
+class RawSourceAdapter {
+ public:
+  virtual ~RawSourceAdapter() = default;
+
+  virtual std::string_view format_name() const = 0;
+  virtual const RawTraits& traits() const = 0;
+  virtual const Schema& schema() const = 0;
+  virtual const std::string& path() const = 0;
+  /// The underlying file, kept open across queries (I/O accounting and
+  /// sizing; never null).
+  virtual const RandomAccessFile* file() const = 0;
+
+  /// Exact row count if the format knows it without scanning (fixed-stride
+  /// headers); negative otherwise.
+  virtual int64_t row_count_hint() const { return -1; }
+
+  virtual Result<std::unique_ptr<RecordCursor>> OpenCursor() const = 0;
+
+  // ------------------------------------------------------------------
+  // Tokenize/parse hooks (driven per record by RawScanOp)
+  // ------------------------------------------------------------------
+
+  /// Start offset of field `to_attr`, tokenizing forward from the known
+  /// start of `from_attr` at `from_pos` (`from_attr == -1` means "start of
+  /// record"). Every field start discovered along the way — including
+  /// `to_attr` itself — is reported through `sink`. Returns kNoFieldPos if
+  /// the record ends first or the field is absent. Formats without ordered
+  /// fields may ignore the anchor and walk the whole record (reporting all
+  /// fields via `sink`, so the walk happens at most once per record).
+  virtual uint32_t FindForward(const RecordRef& rec, int from_attr,
+                               uint32_t from_pos, int to_attr,
+                               const PositionSink& sink) const = 0;
+
+  /// Backward variant: walk left from the known start of `from_attr` at
+  /// `from_pos` to `to_attr` (< from_attr). Only called when
+  /// traits().backward_tokenize; kNoFieldPos falls back to FindForward.
+  virtual uint32_t FindBackward(const RecordRef& rec, int from_attr,
+                                uint32_t from_pos, int to_attr,
+                                const PositionSink& sink) const {
+    (void)rec, (void)from_attr, (void)from_pos, (void)to_attr, (void)sink;
+    return kNoFieldPos;
+  }
+
+  /// One past the last byte of field `attr` starting at `pos`.
+  /// `next_attr_pos` is the known start of field attr+1 (kNoFieldPos when
+  /// unknown); delimited formats can derive the end from it without
+  /// rescanning.
+  virtual uint32_t FieldEnd(const RecordRef& rec, int attr, uint32_t pos,
+                            uint32_t next_attr_pos) const = 0;
+
+  /// Converts field `attr` spanning [pos, end) into a typed Value — the
+  /// expensive conversion step that selective parsing defers or skips.
+  virtual Result<Value> ParseField(const RecordRef& rec, int attr,
+                                   uint32_t pos, uint32_t end) const = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_RAW_RAW_SOURCE_H_

@@ -3,7 +3,7 @@
 #include <vector>
 
 #include "csv/parser.h"
-#include "csv/scanner.h"
+#include "raw/line_reader.h"
 #include "csv/tokenizer.h"
 #include "io/file.h"
 #include "util/stopwatch.h"
@@ -20,8 +20,8 @@ Result<LoadResult> LoadCsv(const std::string& csv_path,
   Stopwatch timer;
   NODB_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
                         RandomAccessFile::Open(csv_path));
-  CsvScanner scanner(file.get());
-  LineRef line;
+  LineReader scanner(file.get());
+  RecordRef line;
   int ncols = schema.num_columns();
   std::vector<uint32_t> starts(ncols);
   Row row(ncols);
@@ -35,7 +35,7 @@ Result<LoadResult> LoadCsv(const std::string& csv_path,
       skip_header = false;
       continue;
     }
-    int found = TokenizeStarts(line.text, dialect, ncols - 1, starts.data());
+    int found = TokenizeStarts(line.data, dialect, ncols - 1, starts.data());
     for (int c = 0; c < ncols; ++c) {
       if (c >= found) {
         row[c] = Value::Null(schema.column(c).type);
@@ -43,9 +43,9 @@ Result<LoadResult> LoadCsv(const std::string& csv_path,
       }
       uint32_t begin = starts[c];
       uint32_t end = c + 1 < found ? starts[c + 1] - 1
-                                   : FieldEndAt(line.text, dialect, begin);
+                                   : FieldEndAt(line.data, dialect, begin);
       NODB_ASSIGN_OR_RETURN(
-          row[c], ParseCsvField(line.text.substr(begin, end - begin),
+          row[c], ParseCsvField(line.data.substr(begin, end - begin),
                                 schema.column(c).type, dialect));
     }
     NODB_RETURN_IF_ERROR(append(row));

@@ -7,6 +7,28 @@
 
 namespace nodb {
 
+namespace {
+
+/// Renders one drawn value exactly as the micro table stores it (plain, or
+/// zero-padded to attr_width for the string-typed variant). Shared by the
+/// CSV and JSONL generators so "identical values per (row, column)" is
+/// enforced in one place.
+void AppendMicroValue(std::string* buffer, int64_t v, int attr_width,
+                      std::string* scratch) {
+  if (attr_width > 0) {
+    scratch->clear();
+    AppendInt64(scratch, v);
+    if (static_cast<int>(scratch->size()) < attr_width) {
+      buffer->append(attr_width - scratch->size(), '0');
+    }
+    buffer->append(*scratch);
+  } else {
+    AppendInt64(buffer, v);
+  }
+}
+
+}  // namespace
+
 Schema MicroSchema(const MicroDataSpec& spec) {
   Schema schema;
   for (int c = 1; c <= spec.cols; ++c) {
@@ -27,19 +49,40 @@ Status GenerateWideCsv(const std::string& path, const MicroDataSpec& spec) {
     for (int c = 0; c < spec.cols; ++c) {
       if (c > 0) buffer.push_back(',');
       int64_t v = rng.Uniform(spec.min_value, spec.max_value);
-      if (spec.attr_width > 0) {
-        // Zero-padded fixed-width value (string-typed column).
-        field.clear();
-        AppendInt64(&field, v);
-        if (static_cast<int>(field.size()) < spec.attr_width) {
-          buffer.append(spec.attr_width - field.size(), '0');
-        }
-        buffer.append(field);
-      } else {
-        AppendInt64(&buffer, v);
-      }
+      AppendMicroValue(&buffer, v, spec.attr_width, &field);
     }
     buffer.push_back('\n');
+    if (buffer.size() >= (1 << 20)) {
+      NODB_RETURN_IF_ERROR(out->Append(buffer));
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) NODB_RETURN_IF_ERROR(out->Append(buffer));
+  return out->Close();
+}
+
+Status GenerateWideJsonl(const std::string& path, const MicroDataSpec& spec) {
+  NODB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> out,
+                        WritableFile::Create(path));
+  // Same Rng and draw order as GenerateWideCsv: identical values per (row,
+  // column), only the framing differs.
+  Rng rng(spec.seed);
+  std::string buffer;
+  buffer.reserve(1 << 20);
+  std::string field;
+  for (uint64_t r = 0; r < spec.rows; ++r) {
+    buffer.push_back('{');
+    for (int c = 0; c < spec.cols; ++c) {
+      if (c > 0) buffer.push_back(',');
+      buffer.append("\"a");
+      AppendInt64(&buffer, c + 1);
+      buffer.append("\":");
+      int64_t v = rng.Uniform(spec.min_value, spec.max_value);
+      if (spec.attr_width > 0) buffer.push_back('"');
+      AppendMicroValue(&buffer, v, spec.attr_width, &field);
+      if (spec.attr_width > 0) buffer.push_back('"');
+    }
+    buffer.append("}\n");
     if (buffer.size() >= (1 << 20)) {
       NODB_RETURN_IF_ERROR(out->Append(buffer));
       buffer.clear();

@@ -33,6 +33,12 @@ Schema MicroSchema(const MicroDataSpec& spec);
 /// Writes the CSV file.
 Status GenerateWideCsv(const std::string& path, const MicroDataSpec& spec);
 
+/// Writes the same table as JSON Lines: one object per row, keys a1..aN,
+/// drawing the identical value sequence as GenerateWideCsv for the same
+/// spec — so the two files are relationally equal and differential tests /
+/// benchmarks can compare formats on the same data.
+Status GenerateWideJsonl(const std::string& path, const MicroDataSpec& spec);
+
 /// "SELECT aX, aY, ... FROM <table>": `nattrs` distinct random attributes
 /// drawn from columns [col_lo, col_hi] (1-based, col_hi = -1 means ncols).
 /// These are the paper's random select-project queries (100 % selectivity).

@@ -1,0 +1,546 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "csv/writer.h"
+#include "engine/engines.h"
+#include "fits/fits_writer.h"
+#include "json/jsonl_writer.h"
+#include "raw/adapter_registry.h"
+#include "util/fs_util.h"
+
+namespace nodb {
+namespace {
+
+/// Adapter conformance suite: one parameterized fixture, run against every
+/// built-in raw format (CSV, FITS, JSON Lines). The engine promises that
+/// whatever plugs into the RawSourceAdapter API behaves identically through
+/// the shared scan path: empty sources yield empty results, structural
+/// shortfalls (short rows, missing keys) read as NULLs, conversion failures
+/// surface as clean statuses, container corruption is detected, and closing
+/// a cursor early stops the raw-file reads. A new adapter earns its place by
+/// adding a Backend entry here.
+
+Schema TestSchema() {
+  return Schema{{"id", TypeId::kInt64},
+                {"name", TypeId::kString},
+                {"score", TypeId::kDouble},
+                {"day", TypeId::kDate}};
+}
+
+Row TestRow(int i) {
+  return {Value::Int64(i), Value::String("src" + std::to_string(i % 7)),
+          Value::Double(i * 0.25), Value::Date(8000 + i % 50)};
+}
+
+void WriteCsvRows(const std::string& path, int n) {
+  auto out = WritableFile::Create(path);
+  ASSERT_TRUE(out.ok());
+  CsvWriter writer(out->get(), CsvDialect{});
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(writer.WriteRow(TestRow(i)).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_TRUE((*out)->Close().ok());
+}
+
+void WriteJsonlRows(const std::string& path, int n) {
+  auto out = WritableFile::Create(path);
+  ASSERT_TRUE(out.ok());
+  Schema schema = TestSchema();
+  JsonlWriter writer(out->get(), &schema);
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(writer.WriteRow(TestRow(i)).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_TRUE((*out)->Close().ok());
+}
+
+void WriteFitsRows(const std::string& path, int n) {
+  auto writer = FitsWriter::Create(path, TestSchema(), {8});
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  for (int i = 0; i < n; ++i) ASSERT_TRUE((*writer)->Append(TestRow(i)).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+}
+
+void AppendRaw(const std::string& path, const std::string& tail) {
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  ASSERT_TRUE(WriteStringToFile(path, *content + tail).ok());
+}
+
+void TruncateFileTo(const std::string& path, size_t bytes) {
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  ASSERT_TRUE(WriteStringToFile(path, content->substr(0, bytes)).ok());
+}
+
+struct Backend {
+  const char* format;     // registry / adapter format name
+  const char* extension;  // chosen so sniffing must detect the format
+  bool needs_schema;      // schema passed via OpenOptions (CSV; empty JSONL)
+  void (*write)(const std::string& path, int n);
+  /// Appends one record cut off mid-way (text formats) or cuts the data
+  /// section mid-row (FITS).
+  std::function<void(const std::string& path, int full_rows)> make_truncated;
+  /// Status a full-projection query over the truncated file must return;
+  /// kOk means the format cannot tell truncation from a short record and
+  /// NULL-fills instead (CSV).
+  StatusCode truncated_code;
+  /// Appends one structurally ragged record (missing trailing fields /
+  /// missing keys); null when the format cannot express one (fixed width).
+  std::function<void(const std::string& path)> make_ragged;
+  /// Appends one record whose `id` field holds unconvertible text; null
+  /// when the format cannot express one (binary values).
+  std::function<void(const std::string& path)> make_malformed;
+};
+
+const Backend kCsvBackend{
+    "csv",
+    ".csv",
+    /*needs_schema=*/true,
+    &WriteCsvRows,
+    [](const std::string& path, int full_rows) {
+      AppendRaw(path, std::to_string(full_rows) + ",src");  // cut, no newline
+    },
+    StatusCode::kOk,
+    [](const std::string& path) { AppendRaw(path, "900,ragged\n"); },
+    [](const std::string& path) { AppendRaw(path, "xx,bad,1.5,2021-01-01\n"); },
+};
+
+const Backend kJsonlBackend{
+    "jsonl",
+    ".jsonl",
+    /*needs_schema=*/false,
+    &WriteJsonlRows,
+    [](const std::string& path, int full_rows) {
+      AppendRaw(path, "{\"id\":" + std::to_string(full_rows) +
+                          ",\"name\":\"tru");  // string never closes
+    },
+    StatusCode::kInvalidArgument,
+    [](const std::string& path) {
+      AppendRaw(path, "{\"id\":900,\"name\":\"ragged\"}\n");  // keys missing
+    },
+    [](const std::string& path) {
+      AppendRaw(path,
+                "{\"id\":xx,\"name\":\"bad\",\"score\":1.5,"
+                "\"day\":\"2021-01-01\"}\n");
+    },
+};
+
+const Backend kFitsBackend{
+    "fits",
+    ".fits",
+    /*needs_schema=*/false,
+    &WriteFitsRows,
+    [](const std::string& path, int full_rows) {
+      // The header keeps promising `full_rows + 1` rows, but the data
+      // section ends mid-row (block padding is cut away too).
+      auto file = RandomAccessFile::Open(path);
+      ASSERT_TRUE(file.ok());
+      auto info = ParseFitsHeader(file->get());
+      ASSERT_TRUE(info.ok()) << info.status();
+      ASSERT_GE(info->num_rows, static_cast<uint64_t>(full_rows));
+      TruncateFileTo(path, info->data_start +
+                               (full_rows - 2) * info->row_bytes +
+                               info->row_bytes / 2);
+    },
+    StatusCode::kCorruption,
+    nullptr,
+    nullptr,
+};
+
+class AdapterConformanceTest : public ::testing::TestWithParam<const Backend*> {
+ protected:
+  std::string FilePath() {
+    return dir_.File(std::string("t") + GetParam()->extension);
+  }
+
+  /// Opens `path` on a fresh PM+C engine through Database::Open — format
+  /// auto-detected, schema passed only when the backend needs it.
+  std::unique_ptr<Database> OpenTable(const std::string& path) {
+    auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+    OpenOptions options;
+    if (GetParam()->needs_schema) options.schema = TestSchema();
+    Status s = db->Open("t", path, options);
+    EXPECT_TRUE(s.ok()) << s;
+    return db;
+  }
+
+  TempDir dir_;
+};
+
+TEST_P(AdapterConformanceTest, AutoDetectsFormatAndAgreesColdVsWarm) {
+  const Backend& backend = *GetParam();
+  std::string path = FilePath();
+  backend.write(path, 200);
+  auto db = OpenTable(path);
+  ASSERT_NE(db->runtime("t"), nullptr);
+  EXPECT_EQ(db->runtime("t")->adapter->format_name(), backend.format);
+
+  const char* queries[] = {
+      "SELECT COUNT(*) AS n, SUM(id) AS s FROM t",
+      "SELECT id, name, score FROM t WHERE score >= 25.0 AND name = 'src3'",
+      "SELECT name, COUNT(*) AS n FROM t WHERE day >= DATE '1991-11-23' "
+      "GROUP BY name",
+  };
+  for (const char* sql : queries) {
+    auto cold = db->Execute(sql);
+    ASSERT_TRUE(cold.ok()) << sql << "\n" << cold.status();
+    // Warm run: positional map + cache + statistics now populated; the
+    // answer must not change.
+    auto warm = db->Execute(sql);
+    ASSERT_TRUE(warm.ok()) << sql << "\n" << warm.status();
+    EXPECT_EQ(warm->Canonical(true), cold->Canonical(true)) << sql;
+  }
+
+  // A full scan completed, so the catalog knows the row count; ListTables
+  // reports the adapter's format.
+  std::vector<TableInfo> tables = db->ListTables();
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].name, "t");
+  EXPECT_EQ(tables[0].format, backend.format);
+  EXPECT_EQ(tables[0].storage, TableStorage::kRaw);
+  EXPECT_EQ(tables[0].row_count, 200.0);
+}
+
+TEST_P(AdapterConformanceTest, EmptySourceYieldsEmptyResults) {
+  const Backend& backend = *GetParam();
+  std::string path = FilePath();
+  backend.write(path, 0);
+  // An empty JSONL file has no first record to infer from: the schema must
+  // be declared, as for CSV.
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  OpenOptions options;
+  options.schema = TestSchema();
+  options.format = backend.format;
+  ASSERT_TRUE(db->Open("t", path, options).ok());
+
+  auto count = db->Execute("SELECT COUNT(*) AS n FROM t");
+  ASSERT_TRUE(count.ok()) << count.status();
+  ASSERT_EQ(count->rows.size(), 1u);
+  EXPECT_EQ(count->rows[0][0].int64(), 0);
+  auto rows = db->Execute("SELECT id, name FROM t");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_TRUE(rows->rows.empty());
+}
+
+TEST_P(AdapterConformanceTest, TruncatedTailHasDefinedBehaviour) {
+  const Backend& backend = *GetParam();
+  std::string path = FilePath();
+  backend.write(path, 50);
+  backend.make_truncated(path, 50);
+  auto db = OpenTable(path);
+
+  auto result = db->Execute("SELECT id, name, score, day FROM t");
+  if (backend.truncated_code == StatusCode::kOk) {
+    // Indistinguishable from a legitimately short record: the present
+    // prefix parses, the missing tail reads as NULL.
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->rows.size(), 51u);
+    auto nulls = db->Execute("SELECT COUNT(*) AS n, COUNT(score) AS s FROM t");
+    ASSERT_TRUE(nulls.ok()) << nulls.status();
+    EXPECT_EQ(nulls->rows[0][0].int64(), 51);
+    EXPECT_EQ(nulls->rows[0][1].int64(), 50);
+  } else {
+    // Detectably corrupt: the query fails with a clean, specific status
+    // instead of fabricating values.
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), backend.truncated_code)
+        << result.status();
+  }
+}
+
+TEST_P(AdapterConformanceTest, RaggedRecordReadsAsNulls) {
+  const Backend& backend = *GetParam();
+  if (backend.make_ragged == nullptr) {
+    GTEST_SKIP() << "fixed-width formats cannot express ragged records";
+  }
+  std::string path = FilePath();
+  backend.write(path, 20);
+  backend.make_ragged(path);
+  auto db = OpenTable(path);
+
+  auto result =
+      db->Execute("SELECT COUNT(*) AS n, COUNT(score) AS s, COUNT(id) AS i "
+                  "FROM t");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows[0][0].int64(), 21);  // the ragged record still counts
+  EXPECT_EQ(result->rows[0][1].int64(), 20);  // its missing score is NULL
+  EXPECT_EQ(result->rows[0][2].int64(), 21);  // its present id is not
+  auto ragged = db->Execute("SELECT id FROM t WHERE score IS NULL");
+  ASSERT_TRUE(ragged.ok()) << ragged.status();
+  ASSERT_EQ(ragged->rows.size(), 1u);
+  EXPECT_EQ(ragged->rows[0][0].int64(), 900);
+}
+
+TEST_P(AdapterConformanceTest, MalformedValueFailsOnlyWhenTouched) {
+  const Backend& backend = *GetParam();
+  if (backend.make_malformed == nullptr) {
+    GTEST_SKIP() << "binary formats cannot hold unconvertible field text";
+  }
+  std::string path = FilePath();
+  backend.write(path, 20);
+  backend.make_malformed(path);
+  auto db = OpenTable(path);
+
+  // Selective parsing: queries that never convert the bad cell succeed.
+  EXPECT_TRUE(db->Execute("SELECT name FROM t").ok());
+  auto touch = db->Execute("SELECT id FROM t");
+  ASSERT_FALSE(touch.ok());
+  EXPECT_EQ(touch.status().code(), StatusCode::kInvalidArgument)
+      << touch.status();
+  // The failure is per-query, not sticky.
+  EXPECT_TRUE(db->Execute("SELECT score FROM t WHERE name = 'bad'").ok());
+}
+
+TEST_P(AdapterConformanceTest, EarlyCursorCloseStopsRawReads) {
+  const Backend& backend = *GetParam();
+  std::string path = FilePath();
+  backend.write(path, 100000);
+  auto db = OpenTable(path);
+  const RandomAccessFile* file = db->runtime("t")->adapter->file();
+  const uint64_t file_size = file->size();
+
+  auto cursor = db->Query("SELECT id FROM t");
+  ASSERT_TRUE(cursor.ok()) << cursor.status();
+  RowBatch batch = cursor->MakeBatch();
+  auto n = cursor->Next(&batch);
+  ASSERT_TRUE(n.ok()) << n.status();
+  ASSERT_GT(*n, 0u);
+  ASSERT_TRUE(cursor->Close().ok());
+  const uint64_t after_close = file->bytes_read();
+  EXPECT_LT(after_close, file_size)
+      << "closing the cursor after one batch must leave most of the file "
+       "unread";
+  // And no reads happen once the cursor is closed.
+  EXPECT_EQ(file->bytes_read(), after_close);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, AdapterConformanceTest,
+                         ::testing::Values(&kCsvBackend, &kJsonlBackend,
+                                           &kFitsBackend),
+                         [](const ::testing::TestParamInfo<const Backend*>&
+                                info) { return info.param->format; });
+
+TEST(FixedStrideScanTest, RowCountMultipleOfStripeStillFinalizesScan) {
+  // 4096 rows = exactly one default stripe: the last stripe fills without
+  // the cursor reporting EOF, and the scan must still finalize row count
+  // and statistics (regression: the old FITS scan did, via its row-count
+  // check after every stripe).
+  TempDir dir;
+  std::string path = dir.File("t.fits");
+  WriteFitsRows(path, 4096);
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(db->Open("t", path).ok());
+  auto result = db->Execute("SELECT id, score FROM t");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 4096u);
+  EXPECT_EQ(db->runtime("t")->known_row_count, 4096.0);
+  EXPECT_TRUE(db->runtime("t")->stats_populated);
+  EXPECT_NE(db->GetTableStats("t"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Registry behaviour
+// ---------------------------------------------------------------------
+
+TEST(AdapterRegistryTest, BuiltinFormatsRegistered) {
+  AdapterRegistry& registry = AdapterRegistry::Global();
+  EXPECT_NE(registry.Find("csv"), nullptr);
+  EXPECT_NE(registry.Find("fits"), nullptr);
+  EXPECT_NE(registry.Find("jsonl"), nullptr);
+  EXPECT_EQ(registry.Find("parquet"), nullptr);
+}
+
+TEST(AdapterRegistryTest, SniffersPreferSpecificEvidence) {
+  TempDir dir;
+  AdapterRegistry& registry = AdapterRegistry::Global();
+
+  // Extension-free JSONL: content sniffing ('{') must beat CSV's weak
+  // plain-text fallback.
+  std::string noext = dir.File("records");
+  ASSERT_TRUE(WriteStringToFile(noext, "{\"a\":1}\n{\"a\":2}\n").ok());
+  auto detected = registry.Detect(noext, "{\"a\":1}\n{\"a\":2}\n");
+  ASSERT_TRUE(detected.ok()) << detected.status();
+  EXPECT_EQ((*detected)->format_name(), "jsonl");
+
+  // The FITS magic card wins regardless of the file name.
+  auto fits = registry.Detect(dir.File("data.csv"), "SIMPLE  =          T");
+  ASSERT_TRUE(fits.ok());
+  EXPECT_EQ((*fits)->format_name(), "fits");
+
+  // Unrecognizable bytes are an error, not a guess.
+  EXPECT_FALSE(registry.Detect(dir.File("blob.bin"),
+                               std::string_view("\x00\x01\x02", 3))
+                   .ok());
+}
+
+TEST(AdapterRegistryTest, UnknownForcedFormatIsRejected) {
+  TempDir dir;
+  std::string path = dir.File("t.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1\n").ok());
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  OpenOptions options;
+  options.format = "parquet";
+  Status s = db->Open("t", path, options);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(db->HasTable("t"));
+}
+
+TEST(AdapterRegistryTest, TsvExtensionGetsTabDelimiterByDefault) {
+  TempDir dir;
+  std::string path = dir.File("data.tsv");
+  ASSERT_TRUE(WriteStringToFile(path, "1\tash\n2\tbirch\n").ok());
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  OpenOptions options;
+  options.schema = Schema{{"id", TypeId::kInt64}, {"name", TypeId::kString}};
+  ASSERT_TRUE(db->Open("t", path, options).ok());
+  auto result = db->Execute("SELECT name FROM t WHERE id = 2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].str(), "birch");
+
+  // Forcing the format (the RegisterCsv compatibility path) keeps the
+  // caller's dialect verbatim: a comma-delimited file that merely happens
+  // to be named .tsv must parse exactly as before.
+  std::string comma = dir.File("comma.tsv");
+  ASSERT_TRUE(WriteStringToFile(comma, "1,ash\n2,birch\n").ok());
+  auto forced = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(forced
+                  ->RegisterCsv("t", comma,
+                                Schema{{"id", TypeId::kInt64},
+                                       {"name", TypeId::kString}})
+                  .ok());
+  auto comma_result = forced->Execute("SELECT name FROM t WHERE id = 1");
+  ASSERT_TRUE(comma_result.ok()) << comma_result.status();
+  ASSERT_EQ(comma_result->rows.size(), 1u);
+  EXPECT_EQ(comma_result->rows[0][0].str(), "ash");
+}
+
+TEST(AdapterRegistryTest, JsonlConcatenatedObjectsOnOneLineAreCorruption) {
+  // NDJSON means one value per line; yielding just the first object of
+  // {"a":2}{"a":3} would silently drop data, so the cursor reports
+  // container corruption instead.
+  TempDir dir;
+  std::string path = dir.File("t.jsonl");
+  ASSERT_TRUE(
+      WriteStringToFile(path, "{\"a\":1}\n{\"a\":2}{\"a\":3}\n").ok());
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(db->Open("t", path).ok());
+  auto result = db->Execute("SELECT a FROM t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption)
+      << result.status();
+}
+
+TEST(AdapterRegistryTest, JsonlMalformedSeparatorsAndNestedValues) {
+  // Separator discipline: {,} and missing commas are corruption, like
+  // concatenated objects. Nested values under a schema key project as
+  // NULL (tokenized over, not projected), matching inference.
+  TempDir dir;
+  for (const char* bad : {"{\"a\":1}\n{,}\n", "{\"a\":1 \"b\":2}\n",
+                          "{\"a\":1,,\"b\":2}\n", "{\"a\":1,}\n",
+                          "{\"a\":,\"b\":2}\n", "{\"a\":}\n"}) {
+    std::string path = dir.File("bad.jsonl");
+    ASSERT_TRUE(WriteStringToFile(path, bad).ok());
+    auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+    OpenOptions options;
+    options.schema = Schema{{"a", TypeId::kInt64}, {"b", TypeId::kInt64}};
+    ASSERT_TRUE(db->Open("t", path, options).ok());
+    auto result = db->Execute("SELECT a FROM t");
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption) << bad;
+  }
+
+  std::string nested = dir.File("nested.jsonl");
+  ASSERT_TRUE(WriteStringToFile(
+                  nested, "{\"a\":{\"x\":1},\"b\":7}\n{\"a\":\"s\",\"b\":8}\n")
+                  .ok());
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  OpenOptions options;
+  options.schema = Schema{{"a", TypeId::kString}, {"b", TypeId::kInt64}};
+  ASSERT_TRUE(db->Open("t", nested, options).ok());
+  auto result = db->Execute("SELECT a, b FROM t");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_TRUE(result->rows[0][0].is_null());  // nested object -> NULL
+  EXPECT_EQ(result->rows[1][0].str(), "s");
+}
+
+TEST(AdapterRegistryTest, JsonlBlankLinesAreNotRecords) {
+  // Trailing/embedded blank lines are formatting (editors, log shippers),
+  // not rows: they must not surface as phantom all-NULL tuples, matching
+  // how schema inference skips them.
+  TempDir dir;
+  std::string path = dir.File("t.jsonl");
+  ASSERT_TRUE(
+      WriteStringToFile(path, "{\"a\":1}\n\n{\"a\":2}\n   \n\n").ok());
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(db->Open("t", path).ok());
+  for (int run = 0; run < 2; ++run) {  // cold, then warm via pmap/cache
+    auto result = db->Execute("SELECT COUNT(*) AS n, COUNT(a) AS a FROM t");
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->rows[0][0].int64(), 2) << "run " << run;
+    EXPECT_EQ(result->rows[0][1].int64(), 2) << "run " << run;
+  }
+}
+
+TEST(AdapterRegistryTest, JsonlMissingKeysStayNullColdAndWarm) {
+  // Sparse records: projected keys absent from a record read as NULL, on
+  // the cold walk and again when the positional map is warm.
+  TempDir dir;
+  std::string path = dir.File("sparse.jsonl");
+  ASSERT_TRUE(WriteStringToFile(path,
+                                "{\"a\":1,\"b\":\"x\",\"c\":1.5}\n"
+                                "{\"a\":2}\n"
+                                "{\"b\":\"y\",\"c\":2.5}\n")
+                  .ok());
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(db->Open("t", path).ok());
+  for (int run = 0; run < 2; ++run) {
+    auto result = db->Execute(
+        "SELECT COUNT(*) AS n, COUNT(a) AS a, COUNT(b) AS b, COUNT(c) AS c "
+        "FROM t");
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->rows[0][0].int64(), 3) << "run " << run;
+    EXPECT_EQ(result->rows[0][1].int64(), 2) << "run " << run;
+    EXPECT_EQ(result->rows[0][2].int64(), 2) << "run " << run;
+    EXPECT_EQ(result->rows[0][3].int64(), 2) << "run " << run;
+    auto missing = db->Execute("SELECT b, c FROM t WHERE a = 2");
+    ASSERT_TRUE(missing.ok()) << missing.status();
+    ASSERT_EQ(missing->rows.size(), 1u);
+    EXPECT_TRUE(missing->rows[0][0].is_null());
+    EXPECT_TRUE(missing->rows[0][1].is_null());
+  }
+}
+
+TEST(AdapterRegistryTest, JsonlSchemaInferenceFromFirstRecord) {
+  TempDir dir;
+  std::string path = dir.File("events.jsonl");
+  ASSERT_TRUE(WriteStringToFile(
+                  path,
+                  "{\"user\":\"ada\",\"hits\":3,\"ratio\":0.5,"
+                  "\"active\":true,\"since\":\"2020-04-01\"}\n"
+                  "{\"user\":\"bob\",\"hits\":7,\"ratio\":1.25,"
+                  "\"active\":false,\"since\":\"2021-09-15\"}\n")
+                  .ok());
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(db->Open("events", path).ok());
+  auto schema = db->GetTableSchema("events");
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ((*schema)->num_columns(), 5);
+  EXPECT_EQ((*schema)->column(0).name, "user");
+  EXPECT_EQ((*schema)->column(0).type, TypeId::kString);
+  EXPECT_EQ((*schema)->column(1).type, TypeId::kInt64);
+  EXPECT_EQ((*schema)->column(2).type, TypeId::kDouble);
+  EXPECT_EQ((*schema)->column(3).type, TypeId::kBool);
+  EXPECT_EQ((*schema)->column(4).type, TypeId::kDate);
+
+  auto result = db->Execute(
+      "SELECT user FROM events WHERE active AND since >= DATE '2020-01-01'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].str(), "ada");
+}
+
+}  // namespace
+}  // namespace nodb

@@ -97,15 +97,15 @@ TEST_F(AdaptiveTest, FullyCachedQueryDoesNoFileIO) {
   auto db = Engine(SystemUnderTest::kPostgresRawPMC);
   ASSERT_TRUE(db->Execute("SELECT a1, a2 FROM wide").ok());
   TableRuntime* rt = db->runtime("wide");
-  uint64_t bytes_after_q1 = rt->raw_file->bytes_read();
+  uint64_t bytes_after_q1 = rt->adapter->file()->bytes_read();
   EXPECT_GT(bytes_after_q1, 0u);
   // Same attributes again: served from the cache, zero raw-file reads.
   ASSERT_TRUE(db->Execute("SELECT a1, a2 FROM wide").ok());
-  EXPECT_EQ(rt->raw_file->bytes_read(), bytes_after_q1);
+  EXPECT_EQ(rt->adapter->file()->bytes_read(), bytes_after_q1);
   EXPECT_GT(rt->cache->counters().hits, 0u);
   // A different attribute must hit the file again.
   ASSERT_TRUE(db->Execute("SELECT a3 FROM wide").ok());
-  EXPECT_GT(rt->raw_file->bytes_read(), bytes_after_q1);
+  EXPECT_GT(rt->adapter->file()->bytes_read(), bytes_after_q1);
 }
 
 TEST_F(AdaptiveTest, CacheRespectsBudgetUnderShiftingWorkload) {
@@ -174,10 +174,10 @@ TEST_F(AdaptiveTest, BaselineKeepsNoState) {
   EXPECT_EQ(rt->pmap, nullptr);
   EXPECT_EQ(rt->cache, nullptr);
   EXPECT_EQ(db->GetTableStats("wide"), nullptr);
-  uint64_t bytes_q1 = rt->raw_file->bytes_read();
+  uint64_t bytes_q1 = rt->adapter->file()->bytes_read();
   ASSERT_TRUE(db->Execute("SELECT a1 FROM wide").ok());
   // Straw-man re-reads the file every time.
-  EXPECT_GE(rt->raw_file->bytes_read(), 2 * bytes_q1 - 16);
+  EXPECT_GE(rt->adapter->file()->bytes_read(), 2 * bytes_q1 - 16);
 }
 
 TEST_F(AdaptiveTest, CacheOnlyVariantKeepsEndOfLineMap) {

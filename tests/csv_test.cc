@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "csv/parser.h"
-#include "csv/scanner.h"
+#include "raw/line_reader.h"
 #include "csv/tokenizer.h"
 #include "csv/writer.h"
 #include "util/fs_util.h"
@@ -269,85 +269,85 @@ class ScannerTest : public ::testing::Test {
 
 TEST_F(ScannerTest, BasicLines) {
   auto file = WriteAndOpen("a,b\nc,d\ne,f\n");
-  CsvScanner scanner(file.get());
-  LineRef line;
+  LineReader scanner(file.get());
+  RecordRef line;
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "a,b");
+  EXPECT_EQ(line.data, "a,b");
   EXPECT_EQ(line.offset, 0u);
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "c,d");
+  EXPECT_EQ(line.data, "c,d");
   EXPECT_EQ(line.offset, 4u);
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "e,f");
+  EXPECT_EQ(line.data, "e,f");
   EXPECT_FALSE(*scanner.Next(&line));
 }
 
 TEST_F(ScannerTest, FinalLineWithoutNewline) {
   auto file = WriteAndOpen("a\nb");
-  CsvScanner scanner(file.get());
-  LineRef line;
+  LineReader scanner(file.get());
+  RecordRef line;
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "a");
+  EXPECT_EQ(line.data, "a");
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "b");
+  EXPECT_EQ(line.data, "b");
   EXPECT_FALSE(*scanner.Next(&line));
 }
 
 TEST_F(ScannerTest, CrLfStripped) {
   auto file = WriteAndOpen("a,b\r\nc,d\r\n");
-  CsvScanner scanner(file.get());
-  LineRef line;
+  LineReader scanner(file.get());
+  RecordRef line;
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "a,b");
+  EXPECT_EQ(line.data, "a,b");
 }
 
 TEST_F(ScannerTest, MixedLineEndingsAndFinalCrWithoutNewline) {
   auto file = WriteAndOpen("a,b\r\nc,d\ne,f\r");
-  CsvScanner scanner(file.get());
-  LineRef line;
+  LineReader scanner(file.get());
+  RecordRef line;
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "a,b");
+  EXPECT_EQ(line.data, "a,b");
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "c,d");
+  EXPECT_EQ(line.data, "c,d");
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "e,f");
+  EXPECT_EQ(line.data, "e,f");
   EXPECT_FALSE(*scanner.Next(&line));
 }
 
 TEST_F(ScannerTest, EmptyFile) {
   auto file = WriteAndOpen("");
-  CsvScanner scanner(file.get());
-  LineRef line;
+  LineReader scanner(file.get());
+  RecordRef line;
   EXPECT_FALSE(*scanner.Next(&line));
 }
 
 TEST_F(ScannerTest, LinesLongerThanBuffer) {
   std::string big(10000, 'x');
   auto file = WriteAndOpen("short\n" + big + "\nend\n");
-  CsvScanner scanner(file.get(), 4096);  // buffer smaller than the long line
-  LineRef line;
+  LineReader scanner(file.get(), 4096);  // buffer smaller than the long line
+  RecordRef line;
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "short");
+  EXPECT_EQ(line.data, "short");
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text.size(), big.size());
-  EXPECT_EQ(line.text, big);
+  EXPECT_EQ(line.data.size(), big.size());
+  EXPECT_EQ(line.data, big);
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "end");
+  EXPECT_EQ(line.data, "end");
 }
 
 TEST_F(ScannerTest, SeekToLineStart) {
   auto file = WriteAndOpen("aa\nbb\ncc\n");
-  CsvScanner scanner(file.get());
-  LineRef line;
+  LineReader scanner(file.get());
+  RecordRef line;
   ASSERT_TRUE(*scanner.Next(&line));
   scanner.SeekTo(6);  // start of "cc"
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "cc");
+  EXPECT_EQ(line.data, "cc");
   EXPECT_EQ(line.offset, 6u);
   // Seek backwards too.
   scanner.SeekTo(3);
   ASSERT_TRUE(*scanner.Next(&line));
-  EXPECT_EQ(line.text, "bb");
+  EXPECT_EQ(line.data, "bb");
 }
 
 TEST_F(ScannerTest, ManyLinesAcrossRefills) {
@@ -356,11 +356,11 @@ TEST_F(ScannerTest, ManyLinesAcrossRefills) {
     content += "line" + std::to_string(i) + ",val\n";
   }
   auto file = WriteAndOpen(content);
-  CsvScanner scanner(file.get(), 4096);
-  LineRef line;
+  LineReader scanner(file.get(), 4096);
+  RecordRef line;
   for (int i = 0; i < 5000; ++i) {
     ASSERT_TRUE(*scanner.Next(&line)) << i;
-    EXPECT_EQ(line.text, "line" + std::to_string(i) + ",val");
+    EXPECT_EQ(line.data, "line" + std::to_string(i) + ",val");
   }
   EXPECT_FALSE(*scanner.Next(&line));
 }

@@ -148,7 +148,7 @@ TEST(CursorTest, EarlyCloseUnderLimitStopsReadingTheFile) {
 
   auto db = SmallBatchEngine(RowBatch::kDefaultCapacity);
   ASSERT_TRUE(db->RegisterCsv("t", csv, MicroSchema(spec)).ok());
-  const uint64_t file_size = db->runtime("t")->raw_file->size();
+  const uint64_t file_size = db->runtime("t")->adapter->file()->size();
   ASSERT_GT(file_size, 2u << 20);  // needs to dwarf the 1 MiB scan buffer
 
   auto cursor = db->Query("SELECT a1 FROM t LIMIT 10");
@@ -163,7 +163,7 @@ TEST(CursorTest, EarlyCloseUnderLimitStopsReadingTheFile) {
   }
   EXPECT_EQ(seen, 10u);
   ASSERT_TRUE(cursor->Close().ok());
-  const uint64_t read_after_limit = db->runtime("t")->raw_file->bytes_read();
+  const uint64_t read_after_limit = db->runtime("t")->adapter->file()->bytes_read();
   EXPECT_LT(read_after_limit, file_size / 2)
       << "LIMIT-satisfied cursor should abandon the scan early";
 
@@ -173,9 +173,9 @@ TEST(CursorTest, EarlyCloseUnderLimitStopsReadingTheFile) {
   auto n = scan->Next(&batch);
   ASSERT_TRUE(n.ok());
   EXPECT_GT(*n, 0u);
-  const uint64_t before_close = db->runtime("t")->raw_file->bytes_read();
+  const uint64_t before_close = db->runtime("t")->adapter->file()->bytes_read();
   ASSERT_TRUE(scan->Close().ok());
-  EXPECT_EQ(db->runtime("t")->raw_file->bytes_read(), before_close);
+  EXPECT_EQ(db->runtime("t")->adapter->file()->bytes_read(), before_close);
   EXPECT_LT(before_close, file_size);
 }
 

@@ -4,6 +4,7 @@
 
 #include "csv/writer.h"
 #include "engine/engines.h"
+#include "json/jsonl_writer.h"
 #include "util/fs_util.h"
 #include "util/rng.h"
 #include "util/str_conv.h"
@@ -21,6 +22,34 @@ struct RandomTable {
   Schema schema;
   std::vector<Row> rows;
 };
+
+/// Writes `rows` as CSV at `path` (CSV needs no schema: NULLs are empty
+/// fields, values render via Value::ToString).
+void WriteCsvFile(const std::string& path, const std::vector<Row>& rows) {
+  auto out = WritableFile::Create(path);
+  ASSERT_TRUE(out.ok());
+  CsvWriter writer(out->get(), CsvDialect{});
+  for (const Row& row : rows) {
+    ASSERT_TRUE(writer.WriteRow(row).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_TRUE((*out)->Close().ok());
+}
+
+/// Writes the same rows as JSON Lines — the relational content is identical,
+/// only the raw framing differs, so a CSV-backed and a JSONL-backed engine
+/// must answer every query identically.
+void WriteJsonlFile(const std::string& path, const Schema& schema,
+                    const std::vector<Row>& rows) {
+  auto out = WritableFile::Create(path);
+  ASSERT_TRUE(out.ok());
+  JsonlWriter writer(out->get(), &schema);
+  for (const Row& row : rows) {
+    ASSERT_TRUE(writer.WriteRow(row).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_TRUE((*out)->Close().ok());
+}
 
 RandomTable MakeRandomTable(Rng* rng) {
   RandomTable table;
@@ -171,19 +200,16 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
   TempDir dir;
   RandomTable table = MakeRandomTable(&rng);
   std::string csv_path = dir.File("t.csv");
-  {
-    auto out = WritableFile::Create(csv_path);
-    ASSERT_TRUE(out.ok());
-    CsvWriter writer(out->get(), CsvDialect{});
-    for (const Row& row : table.rows) {
-      ASSERT_TRUE(writer.WriteRow(row).ok());
-    }
-    ASSERT_TRUE(writer.Finish().ok());
-    ASSERT_TRUE((*out)->Close().ok());
-  }
+  std::string jsonl_path = dir.File("t.jsonl");
+  WriteCsvFile(csv_path, table.rows);
+  WriteJsonlFile(jsonl_path, table.schema, table.rows);
 
   // Instantiate every system under test once; adaptive state persists
-  // across the whole query sequence (as it would in production).
+  // across the whole query sequence (as it would in production). Every
+  // in-situ system runs twice — once over the CSV file and once over the
+  // same rows as JSON Lines, registered through the format-sniffing
+  // Database::Open — so the raw-source adapters are differentially checked
+  // against each other, not just against the loaded engines.
   std::vector<std::pair<std::string, std::unique_ptr<Database>>> engines;
   for (SystemUnderTest sut :
        {SystemUnderTest::kPostgresRawPMC, SystemUnderTest::kPostgresRawPM,
@@ -194,6 +220,13 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
     auto db = MakeEngine(sut);
     if (IsInSituSystem(sut)) {
       ASSERT_TRUE(db->RegisterCsv("t", csv_path, table.schema).ok());
+      auto jsonl_db = MakeEngine(sut);
+      OpenOptions options;
+      options.schema = table.schema;
+      ASSERT_TRUE(jsonl_db->Open("t", jsonl_path, options).ok());
+      ASSERT_EQ(jsonl_db->runtime("t")->adapter->format_name(), "jsonl");
+      engines.emplace_back(std::string(SystemUnderTestName(sut)) + " [jsonl]",
+                           std::move(jsonl_db));
     } else {
       ASSERT_TRUE(db->LoadCsv("t", csv_path, table.schema).ok());
     }
@@ -240,15 +273,20 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
 
 /// Deterministic cross-engine harness: a fixed orders/customers pair and a
 /// named query list spanning filters, aggregates, joins and ORDER BY/LIMIT.
-/// Every query runs through the in-situ, loaded and external-files engines
-/// and must produce identical results. Each engine runs each query twice:
-/// for in-situ engines that checks warm positional-map/cache paths against
-/// cold, for loaded engines it checks plain determinism.
+/// Every query runs through the in-situ (CSV- and JSONL-backed), loaded and
+/// external-files engines and must produce identical results. Each engine
+/// runs each query twice: for in-situ engines that checks warm
+/// positional-map/cache paths against cold, for loaded engines it checks
+/// plain determinism.
 class CrossEngineTest : public ::testing::Test {
  protected:
+  static Value D(const char* iso) {
+    auto v = Value::ParseAs(TypeId::kDate, iso);
+    EXPECT_TRUE(v.ok());
+    return *v;
+  }
+
   void SetUp() override {
-    customers_path_ = dir_.File("customers.csv");
-    orders_path_ = dir_.File("orders.csv");
     customers_schema_ = Schema{{"cid", TypeId::kInt64},
                                {"cname", TypeId::kString},
                                {"region", TypeId::kString},
@@ -258,37 +296,67 @@ class CrossEngineTest : public ::testing::Test {
                             {"amount", TypeId::kDouble},
                             {"item", TypeId::kString},
                             {"placed", TypeId::kDate}};
-    ASSERT_TRUE(WriteStringToFile(customers_path_,
-                                  "1,alice,east,2019-02-10\n"
-                                  "2,bob,west,2020-05-01\n"
-                                  "3,carol,east,2018-11-23\n"
-                                  "4,dave,north,2021-08-15\n"
-                                  "5,erin,west,2017-01-30\n"
-                                  "6,frank,south,2022-04-04\n")
-                    .ok());
+    std::vector<Row> customers = {
+        {Value::Int64(1), Value::String("alice"), Value::String("east"),
+         D("2019-02-10")},
+        {Value::Int64(2), Value::String("bob"), Value::String("west"),
+         D("2020-05-01")},
+        {Value::Int64(3), Value::String("carol"), Value::String("east"),
+         D("2018-11-23")},
+        {Value::Int64(4), Value::String("dave"), Value::String("north"),
+         D("2021-08-15")},
+        {Value::Int64(5), Value::String("erin"), Value::String("west"),
+         D("2017-01-30")},
+        {Value::Int64(6), Value::String("frank"), Value::String("south"),
+         D("2022-04-04")},
+    };
     // 20 orders; customer 6 has none, one amount is NULL, items repeat.
-    ASSERT_TRUE(WriteStringToFile(orders_path_,
-                                  "100,1,250.50,widget,2023-01-05\n"
-                                  "101,2,19.99,gadget,2023-01-07\n"
-                                  "102,1,5.25,widget,2023-02-11\n"
-                                  "103,3,980.00,doohickey,2023-02-14\n"
-                                  "104,4,45.10,gadget,2023-03-01\n"
-                                  "105,5,,widget,2023-03-02\n"
-                                  "106,2,310.75,doohickey,2023-03-09\n"
-                                  "107,1,77.77,gizmo,2023-04-21\n"
-                                  "108,3,12.00,widget,2023-04-22\n"
-                                  "109,5,640.40,gizmo,2023-05-05\n"
-                                  "110,4,88.88,widget,2023-05-06\n"
-                                  "111,2,150.00,gadget,2023-06-18\n"
-                                  "112,1,9.99,doohickey,2023-06-19\n"
-                                  "113,3,499.95,gizmo,2023-07-04\n"
-                                  "114,5,29.50,widget,2023-07-05\n"
-                                  "115,4,205.00,gadget,2023-08-12\n"
-                                  "116,2,5.00,widget,2023-08-13\n"
-                                  "117,1,760.25,gizmo,2023-09-09\n"
-                                  "118,3,33.33,gadget,2023-09-10\n"
-                                  "119,5,120.12,doohickey,2023-10-31\n")
-                    .ok());
+    struct OrderSpec {
+      int64_t oid;
+      int64_t ocid;
+      double amount;  // < 0 encodes NULL
+      const char* item;
+      const char* placed;
+    };
+    const OrderSpec kOrders[] = {
+        {100, 1, 250.50, "widget", "2023-01-05"},
+        {101, 2, 19.99, "gadget", "2023-01-07"},
+        {102, 1, 5.25, "widget", "2023-02-11"},
+        {103, 3, 980.00, "doohickey", "2023-02-14"},
+        {104, 4, 45.10, "gadget", "2023-03-01"},
+        {105, 5, -1, "widget", "2023-03-02"},
+        {106, 2, 310.75, "doohickey", "2023-03-09"},
+        {107, 1, 77.77, "gizmo", "2023-04-21"},
+        {108, 3, 12.00, "widget", "2023-04-22"},
+        {109, 5, 640.40, "gizmo", "2023-05-05"},
+        {110, 4, 88.88, "widget", "2023-05-06"},
+        {111, 2, 150.00, "gadget", "2023-06-18"},
+        {112, 1, 9.99, "doohickey", "2023-06-19"},
+        {113, 3, 499.95, "gizmo", "2023-07-04"},
+        {114, 5, 29.50, "widget", "2023-07-05"},
+        {115, 4, 205.00, "gadget", "2023-08-12"},
+        {116, 2, 5.00, "widget", "2023-08-13"},
+        {117, 1, 760.25, "gizmo", "2023-09-09"},
+        {118, 3, 33.33, "gadget", "2023-09-10"},
+        {119, 5, 120.12, "doohickey", "2023-10-31"},
+    };
+    std::vector<Row> orders;
+    for (const OrderSpec& o : kOrders) {
+      orders.push_back({Value::Int64(o.oid), Value::Int64(o.ocid),
+                        o.amount < 0 ? Value::Null(TypeId::kDouble)
+                                     : Value::Double(o.amount),
+                        Value::String(o.item), D(o.placed)});
+    }
+
+    // The same rows in both raw framings.
+    customers_csv_ = dir_.File("customers.csv");
+    orders_csv_ = dir_.File("orders.csv");
+    customers_jsonl_ = dir_.File("customers.jsonl");
+    orders_jsonl_ = dir_.File("orders.jsonl");
+    WriteCsvFile(customers_csv_, customers);
+    WriteCsvFile(orders_csv_, orders);
+    WriteJsonlFile(customers_jsonl_, customers_schema_, customers);
+    WriteJsonlFile(orders_jsonl_, orders_schema_, orders);
   }
 
   std::vector<std::pair<std::string, std::unique_ptr<Database>>>
@@ -303,16 +371,30 @@ class CrossEngineTest : public ::testing::Test {
       auto db = MakeEngine(sut);
       if (IsInSituSystem(sut)) {
         EXPECT_TRUE(
-            db->RegisterCsv("customers", customers_path_, customers_schema_)
+            db->RegisterCsv("customers", customers_csv_, customers_schema_)
                 .ok());
         EXPECT_TRUE(
-            db->RegisterCsv("orders", orders_path_, orders_schema_).ok());
+            db->RegisterCsv("orders", orders_csv_, orders_schema_).ok());
+        // The same variant again, backed by JSON Lines through the
+        // auto-detecting Open path: every query below must agree.
+        auto jsonl_db = MakeEngine(sut);
+        OpenOptions customers_opts;
+        customers_opts.schema = customers_schema_;
+        EXPECT_TRUE(
+            jsonl_db->Open("customers", customers_jsonl_, customers_opts)
+                .ok());
+        OpenOptions orders_opts;
+        orders_opts.schema = orders_schema_;
+        EXPECT_TRUE(jsonl_db->Open("orders", orders_jsonl_, orders_opts).ok());
+        engines.emplace_back(
+            std::string(SystemUnderTestName(sut)) + " [jsonl]",
+            std::move(jsonl_db));
       } else {
         EXPECT_TRUE(
-            db->LoadCsv("customers", customers_path_, customers_schema_)
+            db->LoadCsv("customers", customers_csv_, customers_schema_)
                 .ok());
         EXPECT_TRUE(
-            db->LoadCsv("orders", orders_path_, orders_schema_).ok());
+            db->LoadCsv("orders", orders_csv_, orders_schema_).ok());
       }
       engines.emplace_back(std::string(SystemUnderTestName(sut)),
                            std::move(db));
@@ -321,8 +403,10 @@ class CrossEngineTest : public ::testing::Test {
   }
 
   TempDir dir_;
-  std::string customers_path_;
-  std::string orders_path_;
+  std::string customers_csv_;
+  std::string orders_csv_;
+  std::string customers_jsonl_;
+  std::string orders_jsonl_;
   Schema customers_schema_;
   Schema orders_schema_;
 };
