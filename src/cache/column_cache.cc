@@ -25,7 +25,8 @@ uint64_t ColumnCache::BytesOf(const std::vector<Value>& values,
   return bytes + kEntryOverhead;
 }
 
-const std::vector<Value>* ColumnCache::Get(uint64_t stripe, int attr) {
+ColumnCache::Column ColumnCache::Get(uint64_t stripe, int attr) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(KeyOf(stripe, attr));
   if (it == entries_.end()) {
     ++counters_.misses;
@@ -38,10 +39,11 @@ const std::vector<Value>* ColumnCache::Get(uint64_t stripe, int attr) {
     lru.splice(lru.begin(), lru, e.lru_pos);
     e.lru_pos = lru.begin();
   }
-  return &e.values;
+  return e.values;
 }
 
 bool ColumnCache::Contains(uint64_t stripe, int attr) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return entries_.find(KeyOf(stripe, attr)) != entries_.end();
 }
 
@@ -50,11 +52,14 @@ void ColumnCache::Put(uint64_t stripe, int attr, std::vector<Value> values) {
   uint64_t bytes = BytesOf(values, types_[attr]);
   if (bytes > options_.budget_bytes) return;  // would evict everything else
   int cost_class = ConversionCostClass(types_[attr]);
+  auto column =
+      std::make_shared<const std::vector<Value>>(std::move(values));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     Entry& e = it->second;
     memory_bytes_ -= e.bytes;
-    e.values = std::move(values);
+    e.values = std::move(column);
     e.bytes = bytes;
     memory_bytes_ += bytes;
     std::list<uint64_t>& lru = lru_by_class_[e.cost_class];
@@ -62,7 +67,7 @@ void ColumnCache::Put(uint64_t stripe, int attr, std::vector<Value> values) {
     e.lru_pos = lru.begin();
   } else {
     Entry e;
-    e.values = std::move(values);
+    e.values = std::move(column);
     e.bytes = bytes;
     e.cost_class = cost_class;
     lru_by_class_[cost_class].push_front(key);
@@ -93,7 +98,13 @@ void ColumnCache::EnforceBudget() {
   }
 }
 
+uint64_t ColumnCache::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_bytes_;
+}
+
 double ColumnCache::utilization() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (options_.budget_bytes == UINT64_MAX || options_.budget_bytes == 0) {
     return memory_bytes_ > 0 ? 1.0 : 0.0;
   }
@@ -101,7 +112,13 @@ double ColumnCache::utilization() const {
          static_cast<double>(options_.budget_bytes);
 }
 
+ColumnCache::Counters ColumnCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
 void ColumnCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   for (auto& lru : lru_by_class_) lru.clear();
   memory_bytes_ = 0;

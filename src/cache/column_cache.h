@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +23,13 @@ namespace nodb {
 /// classes are evicted first: "the PostgresRaw cache always gives priority to
 /// attributes more costly to convert" (ASCII numerics cost more to re-create
 /// than strings, and are also smaller in binary form).
+///
+/// Thread-safe: one table may be scanned by many queries at once. Entries
+/// are handed out as shared_ptr snapshots, so a reader keeps its column
+/// alive even if a concurrent Put/eviction drops it from the cache;
+/// population stays race-free because each chunk is written by exactly one
+/// thread (the scan that parsed it — serial scans directly, parallel scans
+/// through their single merge thread; see README "Threading model").
 class ColumnCache {
  public:
   struct Options {
@@ -36,6 +44,9 @@ class ColumnCache {
     uint64_t evictions = 0;
   };
 
+  /// One cached column chunk, shared with readers.
+  using Column = std::shared_ptr<const std::vector<Value>>;
+
   /// `types[attr]` drives the eviction priority of each attribute.
   ColumnCache(std::vector<TypeId> types, Options options);
 
@@ -43,8 +54,9 @@ class ColumnCache {
   ColumnCache& operator=(const ColumnCache&) = delete;
 
   /// Cached values of `attr` for `stripe` (one Value per tuple in the
-  /// stripe), or nullptr. The pointer is valid until the next Put/Clear.
-  const std::vector<Value>* Get(uint64_t stripe, int attr);
+  /// stripe), or nullptr. The snapshot stays valid regardless of concurrent
+  /// Put/Clear/eviction.
+  Column Get(uint64_t stripe, int attr);
 
   /// True without touching recency (used when planning stripe access).
   bool Contains(uint64_t stripe, int attr) const;
@@ -52,13 +64,14 @@ class ColumnCache {
   /// Inserts (or replaces) the cached values for (stripe, attr).
   void Put(uint64_t stripe, int attr, std::vector<Value> values);
 
-  uint64_t memory_bytes() const { return memory_bytes_; }
+  uint64_t memory_bytes() const;
   uint64_t budget_bytes() const { return options_.budget_bytes; }
   int tuples_per_chunk() const { return options_.tuples_per_chunk; }
   /// Fraction of the budget in use, in [0, 1] (1 if budget is unlimited
   /// and anything is cached).
   double utilization() const;
-  const Counters& counters() const { return counters_; }
+  /// Snapshot of the counters (copy: the cache may be mutated concurrently).
+  Counters counters() const;
 
   void Clear();
 
@@ -70,17 +83,18 @@ class ColumnCache {
   }
 
   struct Entry {
-    std::vector<Value> values;
+    Column values;
     uint64_t bytes = 0;
     int cost_class = 0;
     std::list<uint64_t>::iterator lru_pos;
   };
 
   static uint64_t BytesOf(const std::vector<Value>& values, TypeId type);
-  void EnforceBudget();
+  void EnforceBudget();  // mu_ held
 
   std::vector<TypeId> types_;
   Options options_;
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, Entry> entries_;
   /// One LRU list per conversion-cost class; eviction drains the lowest
   /// non-empty class first, from its least-recently-used tail.

@@ -39,6 +39,14 @@ Result<std::unique_ptr<RecordCursor>> CsvAdapter::OpenCursor() const {
       std::make_unique<LineRecordCursor>(file_.get(), dialect_.has_header));
 }
 
+Result<uint64_t> CsvAdapter::FindRecordBoundary(uint64_t offset) const {
+  // '\n' is an unambiguous record boundary even under quoting: LineReader
+  // frames records before the quote state machine ever runs, so a quoted
+  // field cannot span lines and a split point inside one still snaps to
+  // the next true record start.
+  return FindLineBoundary(file_.get(), offset, dialect_.has_header);
+}
+
 uint32_t CsvAdapter::FindForward(const RecordRef& rec, int from_attr,
                                  uint32_t from_pos, int to_attr,
                                  const PositionSink& sink) const {

@@ -56,6 +56,16 @@ struct EngineConfig {
   /// pipeline. 1 degenerates to tuple-at-a-time Volcano dispatch (useful
   /// for measuring what batching buys); benches sweep this knob.
   size_t batch_size = 1024;
+  /// Worker threads per raw-file scan (morsel-driven parallelism over one
+  /// shared per-Database ThreadPool). 1 — the default — runs the serial
+  /// scan path unchanged: output and pmap/cache/stats state byte-for-byte
+  /// identical to a build without the parallel subsystem. Overridable per
+  /// table through OpenOptions::scan_threads.
+  int scan_threads = 1;
+  /// Target bytes per parallel-scan morsel. 0 = auto: file_size / (8 x
+  /// threads), clamped to [256 KiB, 16 MiB] so every worker gets several
+  /// morsels (load balance) without per-morsel overhead dominating.
+  uint64_t scan_morsel_bytes = 0;
 
   // --- loaded-engine storage ---
   TableStorage loaded_storage = TableStorage::kHeap;

@@ -101,6 +101,7 @@ Status Database::Open(const std::string& name, const std::string& path,
     rt->stats = std::make_unique<TableStats>(rt->schema);
   }
   rt->adapter = std::move(adapter);
+  rt->scan_threads_override = options.scan_threads;
   return RegisterCommon(name, std::move(rt));
 }
 
@@ -239,6 +240,9 @@ Result<QueryCursor> Database::Query(const std::string& sql) {
   ExecOptions exec_opts;
   exec_opts.insitu = MakeInSituOptions();
   exec_opts.batch_size = config_.batch_size;
+  exec_opts.scan_threads = config_.scan_threads;
+  exec_opts.scan_morsel_bytes = config_.scan_morsel_bytes;
+  exec_opts.scan_pool = ScanPool();
   NODB_ASSIGN_OR_RETURN(OperatorPtr pipeline,
                         BuildPipeline(*plan, this, exec_opts));
   return QueryCursor(std::move(stmt), std::move(query), std::move(plan),
@@ -272,6 +276,21 @@ Result<std::string> Database::Explain(const std::string& sql) {
   NODB_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalPlan> plan,
                         PlanQuery(query.get(), stats));
   return plan->ToString();
+}
+
+ThreadPool* Database::ScanPool() {
+  int need = config_.scan_threads;
+  for (const auto& [name, rt] : tables_) {
+    need = std::max(need, rt->scan_threads_override);
+  }
+  if (need <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (scan_pool_ == nullptr) {
+    scan_pool_ = std::make_unique<ThreadPool>(need);
+  } else {
+    scan_pool_->Grow(need);
+  }
+  return scan_pool_.get();
 }
 
 TableRuntime* Database::runtime(const std::string& name) {

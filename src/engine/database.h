@@ -2,6 +2,7 @@
 #define NODB_ENGINE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "sql/binder.h"
 #include "storage/loader.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace nodb {
 
@@ -138,9 +140,17 @@ class Database : public TableProvider,
   Status RegisterCommon(const std::string& name,
                         std::unique_ptr<TableRuntime> runtime);
   InSituOptions MakeInSituOptions() const;
+  /// The shared scan worker pool, created lazily when a query may run a
+  /// parallel raw scan (grown, never shrunk, to the largest thread count
+  /// any table asks for); nullptr while everything is serial.
+  ThreadPool* ScanPool();
 
   EngineConfig config_;
   std::unordered_map<std::string, std::unique_ptr<TableRuntime>> tables_;
+  std::mutex pool_mu_;
+  /// Declared last: destroyed first, so no worker outlives the catalog.
+  /// (Cursors must not outlive the Database regardless.)
+  std::unique_ptr<ThreadPool> scan_pool_;
 };
 
 }  // namespace nodb

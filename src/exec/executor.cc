@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include "exec/aggregate.h"
+#include "exec/parallel_raw_scan.h"
 #include "exec/compact_scan.h"
 #include "exec/hash_join.h"
 #include "exec/heap_scan.h"
@@ -17,11 +18,22 @@ Result<OperatorPtr> MakeScan(const PlannedScan& scan, TableResolver* resolver,
   NODB_ASSIGN_OR_RETURN(TableRuntime* runtime,
                         resolver->GetTableRuntime(scan.table.table_name));
   switch (runtime->storage) {
-    case TableStorage::kRaw:
+    case TableStorage::kRaw: {
       // One scan operator for every raw format: the table's adapter supplies
-      // the format-specific hooks, the scan the adaptive machinery.
+      // the format-specific hooks, the scan the adaptive machinery. With
+      // more than one scan thread configured, the morsel-parallel variant
+      // runs instead — same contract, same results, same structures.
+      const int threads = runtime->scan_threads_override > 0
+                              ? runtime->scan_threads_override
+                              : options.scan_threads;
+      if (threads > 1 && options.scan_pool != nullptr) {
+        return OperatorPtr(std::make_unique<ParallelRawScanOp>(
+            runtime, &scan, working_width, options.insitu, threads,
+            options.scan_morsel_bytes, options.scan_pool));
+      }
       return OperatorPtr(std::make_unique<RawScanOp>(
           runtime, &scan, working_width, options.insitu));
+    }
     case TableStorage::kHeap:
       return OperatorPtr(
           std::make_unique<HeapScanOp>(runtime, &scan, working_width));

@@ -19,12 +19,22 @@ class TableResolver {
   virtual Result<TableRuntime*> GetTableRuntime(const std::string& name) = 0;
 };
 
+class ThreadPool;
+
 /// Knobs threaded through to every scan the plan instantiates.
 struct ExecOptions {
   InSituOptions insitu;
   /// Rows per operator batch (RowBatch capacity) for the whole pipeline,
   /// including the internal batches of materializing operators.
   size_t batch_size = RowBatch::kDefaultCapacity;
+  /// Worker threads per raw scan (EngineConfig::scan_threads; a table's
+  /// OpenOptions override wins). Raw scans go morsel-parallel only when
+  /// the effective count is > 1 *and* scan_pool is set.
+  int scan_threads = 1;
+  /// Target bytes per parallel-scan morsel; 0 = auto-size.
+  uint64_t scan_morsel_bytes = 0;
+  /// Shared worker pool (owned by the Database); null disables parallelism.
+  ThreadPool* scan_pool = nullptr;
 };
 
 /// Builds the (unopened) operator tree for `plan`. The caller owns the

@@ -1,0 +1,604 @@
+#include "exec/parallel_raw_scan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "expr/evaluator.h"
+
+namespace nodb {
+
+namespace {
+constexpr uint32_t kUnknown = PositionalMap::kUnknown;
+
+/// Morsel auto-sizing bounds: small enough that a scan splits into several
+/// units per worker (load balance, bounded early-Close overshoot), large
+/// enough that per-morsel overhead (seek, boundary probe, merge) stays
+/// negligible.
+constexpr uint64_t kMinMorselBytes = 256 * 1024;
+constexpr uint64_t kMaxMorselBytes = 16 * 1024 * 1024;
+/// Target morsels per worker thread.
+constexpr int kMorselsPerThread = 8;
+}  // namespace
+
+ParallelRawScanOp::ParallelRawScanOp(TableRuntime* runtime,
+                                     const PlannedScan* scan,
+                                     int working_width, InSituOptions options,
+                                     int num_threads, uint64_t morsel_bytes,
+                                     ThreadPool* pool)
+    : runtime_(runtime), scan_(scan), working_width_(working_width),
+      opts_(options), num_threads_(std::max(2, num_threads)),
+      morsel_bytes_option_(morsel_bytes), pool_(pool) {}
+
+ParallelRawScanOp::~ParallelRawScanOp() {
+  CancelAndJoin();
+  // Error paths abandon the pipeline without the operator Close protocol;
+  // the epoch must still end or its chunks stay eviction-protected
+  // forever and can wedge the positional map's budget shut.
+  if (epoch_token_ != 0 && runtime_->pmap != nullptr) {
+    runtime_->pmap->EndEpoch(epoch_token_);
+    epoch_token_ = 0;
+  }
+}
+
+uint64_t ParallelRawScanOp::KnownTotalTuples() const {
+  if (runtime_->pmap != nullptr && runtime_->pmap->total_tuples() > 0) {
+    return runtime_->pmap->total_tuples();
+  }
+  int64_t hint = adapter_->row_count_hint();
+  return hint > 0 ? static_cast<uint64_t>(hint) : 0;
+}
+
+bool ParallelRawScanOp::FullyCached(uint64_t total) const {
+  if (total == 0 || !opts_.use_cache || runtime_->cache == nullptr) {
+    return false;
+  }
+  ColumnCache* cache = runtime_->cache.get();
+  const uint64_t stripes =
+      (total + tuples_per_stripe_ - 1) / tuples_per_stripe_;
+  for (uint64_t s = 0; s < stripes; ++s) {
+    for (int a : output_attrs_) {
+      if (!cache->Contains(s, a)) return false;
+    }
+  }
+  return true;
+}
+
+Status ParallelRawScanOp::PlanMorsels() {
+  morsels_.clear();
+  const uint64_t target_count =
+      static_cast<uint64_t>(num_threads_) * kMorselsPerThread;
+  if (traits_.fixed_stride && adapter_->row_count_hint() >= 0) {
+    // Record-index morsels: the stride makes every boundary arithmetic and
+    // the header states the row count up front.
+    const uint64_t total = static_cast<uint64_t>(adapter_->row_count_hint());
+    if (total == 0) return Status::OK();
+    uint64_t per = std::max<uint64_t>(1, (total + target_count - 1) /
+                                             target_count);
+    if (morsel_bytes_option_ > 0) {
+      const uint64_t est_row_bytes =
+          std::max<uint64_t>(1, adapter_->file()->size() / total);
+      per = std::max<uint64_t>(1, morsel_bytes_option_ / est_row_bytes);
+    }
+    for (uint64_t b = 0; b < total; b += per) {
+      morsels_.push_back(Morsel{b, std::min(b + per, total), true});
+    }
+    return Status::OK();
+  }
+
+  // Byte-range morsels: nominal split points snapped to record starts by
+  // the adapter. Snapping is a pure function of the offset, so consecutive
+  // morsels agree on their shared boundary — no record is lost or scanned
+  // twice no matter which worker gets which morsel.
+  const uint64_t size = adapter_->file()->size();
+  if (size == 0) return Status::OK();
+  uint64_t nominal = morsel_bytes_option_;
+  if (nominal == 0) {
+    nominal = std::clamp(size / target_count, kMinMorselBytes,
+                         kMaxMorselBytes);
+  }
+  nominal = std::max<uint64_t>(1, nominal);
+  uint64_t prev = 0;
+  bool have_prev = false;
+  for (uint64_t split = 0;; split += nominal) {
+    NODB_ASSIGN_OR_RETURN(
+        uint64_t boundary,
+        adapter_->FindRecordBoundary(std::min(split, size)));
+    if (have_prev && boundary > prev) {
+      morsels_.push_back(Morsel{prev, boundary, false});
+    }
+    prev = boundary;
+    have_prev = true;
+    if (split >= size) break;
+  }
+  return Status::OK();
+}
+
+Status ParallelRawScanOp::Open() {
+  if (runtime_->adapter == nullptr) {
+    return Status::Internal("raw scan over a table without a source adapter");
+  }
+  adapter_ = runtime_->adapter.get();
+  traits_ = adapter_->traits();
+  ncols_ = runtime_->schema.num_columns();
+  if (runtime_->pmap != nullptr) {
+    tuples_per_stripe_ = runtime_->pmap->tuples_per_chunk();
+  } else if (runtime_->cache != nullptr) {
+    tuples_per_stripe_ = runtime_->cache->tuples_per_chunk();
+  }
+
+  // Attribute phases (§4.1) — the one decomposition both operators share.
+  ScanAttrPlan attr_plan = ComputeScanAttrPlan(*scan_, ncols_, opts_);
+  output_attrs_ = std::move(attr_plan.output_attrs);
+  phase1_attrs_ = std::move(attr_plan.phase1_attrs);
+  phase2_attrs_ = std::move(attr_plan.phase2_attrs);
+  max_token_attr_ = attr_plan.max_token_attr;
+
+  // Cases parallelism cannot help with run the serial operator unchanged:
+  // a fully-cached table (the serial scan serves it without touching the
+  // file — splitting would only *add* file reads) or a file too small to
+  // split. The structures then evolve exactly as a serial scan's would.
+  const uint64_t total = KnownTotalTuples();
+  if (!FullyCached(total)) {
+    NODB_RETURN_IF_ERROR(PlanMorsels());
+  }
+  if (morsels_.size() < 2) {
+    serial_ = std::make_unique<RawScanOp>(runtime_, scan_, working_width_,
+                                          opts_);
+    morsels_.clear();
+    return serial_->Open();
+  }
+
+  // Which attributes land in pmap fragments / the cache / the statistics —
+  // decided once (cold-scan assumption; InstallFragment re-checks per
+  // stripe under its lock, so nothing is double-indexed if a concurrent
+  // query got there first).
+  const bool use_pm =
+      opts_.use_positional_map && runtime_->pmap != nullptr;
+  insert_attrs_.clear();
+  if (use_pm) {
+    if (opts_.index_intermediates) {
+      for (int a = 0; a <= max_token_attr_; ++a) insert_attrs_.push_back(a);
+    } else {
+      insert_attrs_ = output_attrs_;
+    }
+    epoch_token_ = runtime_->pmap->BeginEpoch();
+  }
+  tracked_attrs_ = output_attrs_;
+  tracked_attrs_.insert(tracked_attrs_.end(), insert_attrs_.begin(),
+                        insert_attrs_.end());
+  std::sort(tracked_attrs_.begin(), tracked_attrs_.end());
+  tracked_attrs_.erase(
+      std::unique(tracked_attrs_.begin(), tracked_attrs_.end()),
+      tracked_attrs_.end());
+  slot_of_.assign(ncols_, -1);
+  for (size_t s = 0; s < tracked_attrs_.size(); ++s) {
+    slot_of_[tracked_attrs_[s]] = static_cast<int>(s);
+  }
+
+  cache_attr_.assign(ncols_, false);
+  if (opts_.use_cache && runtime_->cache != nullptr) {
+    for (int a : output_attrs_) cache_attr_[a] = true;
+  }
+  stats_attr_.assign(ncols_, false);
+  if (opts_.collect_stats && runtime_->stats != nullptr) {
+    for (int a : output_attrs_) {
+      if (!runtime_->stats->HasAttr(a)) stats_attr_[a] = true;
+    }
+  }
+
+  pending_ = PendingStripe{};
+  pending_.vals.resize(ncols_);
+  pending_.ok.assign(ncols_, true);
+
+  slots_.clear();
+  slots_.resize(morsels_.size());
+  next_claim_ = 0;
+  merge_idx_ = 0;
+  emitted_records_ = 0;
+  out_rows_.clear();
+  out_idx_ = 0;
+  eof_ = false;
+  cancel_ = false;
+  // The reorder window bounds how far workers run ahead of the consumer —
+  // it is both the early-Close byte budget (at most `window_` unmerged
+  // morsels are ever in flight) and the cap on staged-result memory.
+  window_ = num_threads_;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SubmitWorkersLocked();
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+void ParallelRawScanOp::SubmitWorkersLocked() {
+  const size_t limit = std::min<size_t>(morsels_.size(), merge_idx_ + window_);
+  const size_t claimable = next_claim_ < limit ? limit - next_claim_ : 0;
+  const int target =
+      static_cast<int>(std::min<size_t>(num_threads_, claimable));
+  while (!cancel_.load(std::memory_order_relaxed) && active_tasks_ < target) {
+    ++active_tasks_;
+    pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+void ParallelRawScanOp::WorkerLoop() {
+  std::unique_ptr<RecordCursor> cursor;
+  Status cursor_status;
+  {
+    Result<std::unique_ptr<RecordCursor>> c = adapter_->OpenCursor();
+    if (c.ok()) {
+      cursor = std::move(*c);
+    } else {
+      cursor_status = c.status();
+    }
+  }
+  while (true) {
+    size_t k;
+    {
+      // Claim the next morsel the window exposes, or exit: a worker never
+      // parks on a pool thread waiting for the consumer (the consumer
+      // resubmits workers as it merges — see SubmitWorkersLocked).
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancel_ || next_claim_ >= morsels_.size() ||
+          next_claim_ >= merge_idx_ + window_) {
+        break;
+      }
+      k = next_claim_++;
+    }
+    MorselResult* result = &slots_[k];
+    if (cursor == nullptr) {
+      result->status = cursor_status;
+    } else {
+      ProcessMorsel(morsels_[k], cursor.get(), result);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      result->ready = true;
+    }
+    result_cv_.notify_all();
+  }
+  {
+    // Notify under the lock: once the joining thread observes
+    // active_tasks_ == 0 it may destroy this operator, so the notify must
+    // not touch the condition variable after the lock is released.
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_tasks_;
+    done_cv_.notify_all();
+  }
+}
+
+void ParallelRawScanOp::ProcessMorsel(const Morsel& morsel,
+                                      RecordCursor* cursor,
+                                      MorselResult* result) {
+  const bool stage_pmap = runtime_->pmap != nullptr;
+  result->frag.Reset(insert_attrs_);
+  result->cache_vals.assign(ncols_, {});
+  result->stats_vals.assign(ncols_, {});
+
+  Status seek = morsel.by_index ? cursor->SeekToRecord(morsel.begin, 0)
+                                : cursor->SeekToRecord(0, morsel.begin);
+  if (!seek.ok()) {
+    result->status = seek;
+    return;
+  }
+
+  const int nslots = static_cast<int>(tracked_attrs_.size());
+  std::vector<uint32_t> tuple_pos(nslots, kUnknown);
+  std::vector<uint32_t> frag_pos(insert_attrs_.size(), kUnknown);
+  std::vector<int> insert_slots(insert_attrs_.size());
+  for (size_t i = 0; i < insert_attrs_.size(); ++i) {
+    insert_slots[i] = slot_of_[insert_attrs_[i]];
+  }
+  bool record_corrupt = false;
+  const PositionSink sink{slot_of_.data(), tuple_pos.data(),
+                          &record_corrupt};
+  const int offset = scan_->table.offset;
+  bool all_qualified = true;  // gates phase-2 cache buffering
+  uint64_t processed = 0;
+  RecordRef rec;
+
+  while (true) {
+    if ((processed & 127) == 0 &&
+        cancel_.load(std::memory_order_relaxed)) {
+      result->canceled = true;
+      return;
+    }
+    if (morsel.by_index && morsel.begin + processed >= morsel.end) break;
+    Result<bool> has = cursor->Next(&rec);
+    if (!has.ok()) {
+      result->status = has.status();
+      return;
+    }
+    if (!*has) break;
+    // A record starting at or past the morsel's end belongs to the next
+    // morsel (its worker snapped to the same boundary).
+    if (!morsel.by_index && rec.offset >= morsel.end) break;
+
+    for (int s = 0; s < nslots; ++s) tuple_pos[s] = kUnknown;
+    if (traits_.attr0_at_start && nslots > 0 && tracked_attrs_[0] == 0) {
+      tuple_pos[0] = 0;
+    }
+    bool record_walked = false;
+    record_corrupt = false;
+
+    // Cold-scan tokenizing: no positional-map anchors exist for a morsel
+    // (workers do not know their global tuple indices yet), so anchors come
+    // only from attributes already resolved within this record — exactly
+    // what the serial scan does on a cold stripe.
+    auto mark_absent_slots = [&] {
+      record_walked = true;
+      for (int s = 0; s < nslots; ++s) {
+        if (tuple_pos[s] == kUnknown) tuple_pos[s] = kAbsentFieldPos;
+      }
+    };
+
+    auto resolve = [&](int a) -> uint32_t {
+      int slot = slot_of_[a];
+      if (slot >= 0 && tuple_pos[slot] != kUnknown) return tuple_pos[slot];
+      if (a == 0 && traits_.attr0_at_start) {
+        if (slot >= 0) tuple_pos[slot] = 0;
+        return 0;
+      }
+      int below = -1;
+      int self =
+          slot >= 0
+              ? slot
+              : static_cast<int>(std::lower_bound(tracked_attrs_.begin(),
+                                                  tracked_attrs_.end(), a) -
+                                 tracked_attrs_.begin());
+      for (int s = self - 1; s >= 0; --s) {
+        if (tuple_pos[s] != kUnknown && tuple_pos[s] != kAbsentFieldPos) {
+          below = s;
+          break;
+        }
+      }
+      if (traits_.full_record_tokenize && record_walked) return kUnknown;
+      int from_attr = below >= 0 ? tracked_attrs_[below] : -1;
+      uint32_t from_pos = below >= 0 ? tuple_pos[below] : 0;
+      uint32_t pos = adapter_->FindForward(rec, from_attr, from_pos, a, sink);
+      if (traits_.full_record_tokenize) {
+        mark_absent_slots();
+      } else {
+        record_walked = true;
+      }
+      if (slot >= 0 && pos != kUnknown) tuple_pos[slot] = pos;
+      return pos;
+    };
+
+    auto parse_attr = [&](int a) -> Result<Value> {
+      uint32_t pos = resolve(a);
+      if (pos == kUnknown || pos == kAbsentFieldPos ||
+          pos > rec.data.size()) {
+        return Value::Null(runtime_->schema.column(a).type);
+      }
+      uint32_t next_pos = kUnknown;
+      int next_slot = a + 1 < ncols_ ? slot_of_[a + 1] : -1;
+      if (next_slot >= 0 && tuple_pos[next_slot] != kAbsentFieldPos) {
+        next_pos = tuple_pos[next_slot];
+      }
+      uint32_t end = adapter_->FieldEnd(rec, a, pos, next_pos);
+      return adapter_->ParseField(rec, a, pos, end);
+    };
+
+    if (!opts_.selective_tokenizing && ncols_ > 0) {
+      adapter_->FindForward(rec, -1, 0, ncols_ - 1, sink);
+      if (traits_.full_record_tokenize) mark_absent_slots();
+    }
+
+    Row row(working_width_);
+    for (int a : phase1_attrs_) {
+      Result<Value> v = parse_attr(a);
+      if (!v.ok()) {
+        result->status = v.status();
+        return;
+      }
+      if (cache_attr_[a]) result->cache_vals[a].push_back(v.value());
+      if (stats_attr_[a]) result->stats_vals[a].push_back(v.value());
+      row[offset + a] = std::move(v).value();
+    }
+
+    bool pass = true;
+    for (const ExprPtr& conj : scan_->conjuncts) {
+      Result<Value> v = Evaluator::Eval(*conj, row);
+      if (!v.ok()) {
+        result->status = v.status();
+        return;
+      }
+      if (!Evaluator::IsTruthy(*v)) {
+        pass = false;
+        break;
+      }
+    }
+
+    if (pass) {
+      for (int a : phase2_attrs_) {
+        Result<Value> v = parse_attr(a);
+        if (!v.ok()) {
+          result->status = v.status();
+          return;
+        }
+        if (cache_attr_[a] && all_qualified) {
+          result->cache_vals[a].push_back(v.value());
+        }
+        if (stats_attr_[a]) result->stats_vals[a].push_back(v.value());
+        row[offset + a] = std::move(v).value();
+      }
+      result->rows.push_back(std::move(row));
+    } else {
+      all_qualified = false;
+    }
+
+    if (record_corrupt) {
+      result->status = Status::Corruption(
+          "corrupt raw record at offset " + std::to_string(rec.offset) +
+          " of '" + std::string(adapter_->path()) + "'");
+      return;
+    }
+
+    if (stage_pmap) {
+      for (size_t i = 0; i < insert_slots.size(); ++i) {
+        frag_pos[i] = tuple_pos[insert_slots[i]];
+      }
+      result->frag.AddRecord(rec.offset, frag_pos.data());
+    }
+    ++processed;
+    result->records = processed;
+  }
+}
+
+void ParallelRawScanOp::FlushPendingStripe(bool final_flush) {
+  const int n = pending_.filled;
+  if (n == 0) return;
+  // A partial stripe is publishable only when the scan is ending there —
+  // a mid-scan partial stripe would grow, and the cache keys whole chunks.
+  if (n < tuples_per_stripe_ && !final_flush) return;
+  ColumnCache* cache = runtime_->cache.get();
+  for (int a = 0; a < ncols_; ++a) {
+    if (!cache_attr_[a]) continue;
+    std::vector<Value>& vals = pending_.vals[a];
+    if (pending_.ok[a] && static_cast<int>(vals.size()) == n &&
+        !cache->Contains(pending_.stripe, a)) {
+      cache->Put(pending_.stripe, a, std::move(vals));
+    }
+    vals.clear();
+  }
+  pending_.filled = 0;
+  pending_.ok.assign(ncols_, true);
+}
+
+void ParallelRawScanOp::MergeResult(MorselResult* result) {
+  // Positional-map fragment: the global index of the morsel's first record
+  // is the count of everything merged before it.
+  if (runtime_->pmap != nullptr && !result->frag.empty()) {
+    runtime_->pmap->InstallFragment(result->frag, emitted_records_,
+                                    epoch_token_);
+  }
+
+  // Statistics, replayed in file order.
+  if (runtime_->stats != nullptr) {
+    for (int a = 0; a < ncols_; ++a) {
+      if (!stats_attr_[a] || result->stats_vals[a].empty()) continue;
+      runtime_->stats->AddValues(a, result->stats_vals[a].data(),
+                                 result->stats_vals[a].size());
+    }
+  }
+
+  // Cache stitching: append this morsel's parsed values to the stripe
+  // being assembled, publishing every stripe that fills.
+  if (runtime_->cache != nullptr) {
+    const uint64_t n = result->records;
+    uint64_t r = 0;
+    while (r < n) {
+      const uint64_t g = emitted_records_ + r;
+      const int in_stripe = static_cast<int>(g % tuples_per_stripe_);
+      if (pending_.filled == 0) pending_.stripe = g / tuples_per_stripe_;
+      const uint64_t seg =
+          std::min<uint64_t>(n - r, tuples_per_stripe_ - in_stripe);
+      for (int a = 0; a < ncols_; ++a) {
+        if (!cache_attr_[a]) continue;
+        const std::vector<Value>& src = result->cache_vals[a];
+        // src holds values for records [0, src.size()) of the morsel; a
+        // short buffer (phase-2 column after a non-qualifying record)
+        // leaves a gap that disqualifies the affected stripes.
+        const uint64_t have =
+            src.size() > r ? std::min<uint64_t>(seg, src.size() - r) : 0;
+        if (have < seg) pending_.ok[a] = false;
+        if (pending_.ok[a]) {
+          pending_.vals[a].insert(pending_.vals[a].end(),
+                                  src.begin() + r, src.begin() + r + have);
+        }
+      }
+      pending_.filled += static_cast<int>(seg);
+      if (pending_.filled == tuples_per_stripe_) {
+        FlushPendingStripe(false);
+      }
+      r += seg;
+    }
+  }
+
+  emitted_records_ += result->records;
+}
+
+void ParallelRawScanOp::FinalizeEof() {
+  FlushPendingStripe(true);
+  if (runtime_->pmap != nullptr) {
+    runtime_->pmap->SetTotalTuples(emitted_records_);
+  }
+  runtime_->known_row_count = static_cast<double>(emitted_records_);
+  if (opts_.collect_stats && runtime_->stats != nullptr) {
+    runtime_->stats->SetRowCount(emitted_records_);
+    runtime_->stats_populated = true;
+  }
+}
+
+Result<size_t> ParallelRawScanOp::Next(RowBatch* batch) {
+  if (serial_ != nullptr) return serial_->Next(batch);
+  batch->Clear();
+  while (!batch->full()) {
+    if (out_idx_ >= out_rows_.size()) {
+      if (eof_) break;
+      MorselResult* result = &slots_[merge_idx_];
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        result_cv_.wait(lock, [&] { return result->ready; });
+      }
+      if (!result->status.ok()) {
+        // The error surfaces exactly where a serial scan would have hit
+        // it: all rows of earlier morsels were emitted, this morsel's are
+        // discarded. (Workers keep finishing their claimed morsels; the
+        // operator's Close/destructor joins them.)
+        return result->status;
+      }
+      MergeResult(result);
+      out_rows_ = std::move(result->rows);
+      out_idx_ = 0;
+      // Release the result's staging memory; the reorder window only
+      // bounds *unmerged* morsels, so merged slots must not keep theirs.
+      result->frag.Reset({});
+      result->cache_vals.clear();
+      result->cache_vals.shrink_to_fit();
+      result->stats_vals.clear();
+      result->stats_vals.shrink_to_fit();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++merge_idx_;
+        SubmitWorkersLocked();  // the window moved: re-top the pool
+      }
+      if (merge_idx_ >= morsels_.size()) {
+        eof_ = true;
+        FinalizeEof();
+      }
+      continue;
+    }
+    std::swap(batch->PushRow(), out_rows_[out_idx_++]);
+  }
+  return batch->size();
+}
+
+void ParallelRawScanOp::CancelAndJoin() {
+  if (!opened_) return;
+  cancel_.store(true);
+  // Workers notice the flag at their next claim (queued-but-unstarted
+  // tasks immediately) or mid-morsel at the per-record poll; none of them
+  // blocks, so the join is bounded by one morsel's work.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_tasks_ == 0; });
+  opened_ = false;
+}
+
+Status ParallelRawScanOp::Close() {
+  if (serial_ != nullptr) return serial_->Close();
+  CancelAndJoin();
+  if (opts_.collect_stats && runtime_->stats != nullptr) {
+    runtime_->stats->FinalizeAll();
+  }
+  if (epoch_token_ != 0 && runtime_->pmap != nullptr) {
+    runtime_->pmap->EndEpoch(epoch_token_);
+    epoch_token_ = 0;
+  }
+  return Status::OK();
+}
+
+}  // namespace nodb

@@ -1,0 +1,171 @@
+#ifndef NODB_EXEC_PARALLEL_RAW_SCAN_H_
+#define NODB_EXEC_PARALLEL_RAW_SCAN_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/raw_scan.h"
+#include "util/thread_pool.h"
+
+namespace nodb {
+
+/// Morsel-driven parallel variant of the NoDB access method (§4): the raw
+/// file is split into record-aligned morsels (the adapter's
+/// FindRecordBoundary hook snaps arbitrary byte offsets to record starts —
+/// newlines for delimited text, stride multiples for fixed-width binary),
+/// pool workers tokenize/parse disjoint morsels concurrently, and a
+/// reorder stage re-emits their output in file order — so the operator
+/// keeps the exact single-consumer batched-cursor contract and row order
+/// of the serial RawScanOp.
+///
+/// The adaptive structures stay warm-compatible with the serial path:
+///
+///  * each worker stages row starts and discovered attribute positions in
+///    a private PmapFragment; the merge step re-bases it to global tuple
+///    indices (known once all earlier morsels finished) and installs it
+///    into the shared PositionalMap under the existing budget;
+///  * parsed values ride along per morsel and the merge step stitches them
+///    into stripe-aligned ColumnCache chunks — population is single-writer
+///    (only the merge thread Puts), so warm scans see the same chunks a
+///    serial scan would have produced;
+///  * statistics values are replayed into TableStats in file order at
+///    merge time, keeping the sketches deterministic for a fixed thread
+///    count.
+///
+/// Early Close() cancels outstanding morsels and joins the workers, so a
+/// LIMIT-satisfied or abandoned cursor stops raw-file reads with at most
+/// the in-flight window of morsels consumed (the byte-budget semantics the
+/// cursor tests pin down).
+///
+/// When parallelism cannot help — one thread, a file too small to split,
+/// or a fully-cached table where the serial scan never touches the file —
+/// the operator transparently delegates to a serial RawScanOp, keeping
+/// warm-path performance and structure state byte-for-byte identical.
+class ParallelRawScanOp final : public Operator {
+ public:
+  /// `runtime`, `scan` and `pool` must outlive the operator. `num_threads`
+  /// is the target worker count (>= 2; 1 is handled by the executor picking
+  /// the serial operator). `morsel_bytes` 0 means auto-size.
+  ParallelRawScanOp(TableRuntime* runtime, const PlannedScan* scan,
+                    int working_width, InSituOptions options, int num_threads,
+                    uint64_t morsel_bytes, ThreadPool* pool);
+
+  /// Cancels outstanding work and joins the workers (abandon-without-Close
+  /// error paths included).
+  ~ParallelRawScanOp() override;
+
+  Status Open() override;
+  Result<size_t> Next(RowBatch* batch) override;
+  Status Close() override;
+
+ private:
+  /// One unit of worker work: either a byte range of snapped record starts
+  /// (variable-length formats) or a record-index range (fixed stride).
+  struct Morsel {
+    uint64_t begin = 0;  // byte offset or record index
+    uint64_t end = 0;
+    bool by_index = false;
+  };
+
+  /// Everything one worker learned from one morsel, handed to the merge
+  /// stage through the reorder window.
+  struct MorselResult {
+    Status status;                 // first error hit inside the morsel
+    bool ready = false;
+    bool canceled = false;
+    uint64_t records = 0;          // records consumed (qualifying or not)
+    std::vector<Row> rows;         // qualifying output rows, file order
+    PmapFragment frag;             // staged spine + positions
+    /// Parsed values per cached attribute: values for the morsel's records
+    /// [0, values.size()). A phase-2 column stops buffering at the first
+    /// non-qualifying record (serial scans cache phase-2 columns only for
+    /// fully-qualifying stripes; a shorter buffer makes the stitcher skip
+    /// the affected stripes the same way).
+    std::vector<std::vector<Value>> cache_vals;  // [attr] (empty if unused)
+    /// Values to replay into TableStats, under the serial feeding rules
+    /// (phase 1: every record; phase 2: qualifying records only).
+    std::vector<std::vector<Value>> stats_vals;  // [attr] (empty if unused)
+  };
+
+  /// A stripe being assembled from consecutive morsel contributions.
+  struct PendingStripe {
+    uint64_t stripe = 0;
+    int filled = 0;
+    std::vector<std::vector<Value>> vals;  // [attr]
+    std::vector<bool> ok;                  // [attr] no gaps so far
+  };
+
+  Status PlanMorsels();
+  /// Tops the pool up with worker tasks, enough to cover the morsels the
+  /// reorder window currently exposes (mu_ held). Workers *exit* instead
+  /// of blocking when the window is full or the morsels run out, and every
+  /// merge re-tops the pool — so no pool thread is ever parked on this
+  /// operator's progress, and any number of parallel scans can be open
+  /// concurrently on one pool without deadlock.
+  void SubmitWorkersLocked();
+  void WorkerLoop();
+  void ProcessMorsel(const Morsel& morsel, RecordCursor* cursor,
+                     MorselResult* result);
+  /// Merges result `merge_idx_` into pmap/cache/stats and opens the window.
+  void MergeResult(MorselResult* result);
+  void FlushPendingStripe(bool final_flush);
+  void FinalizeEof();
+  void CancelAndJoin();
+  uint64_t KnownTotalTuples() const;
+  bool FullyCached(uint64_t total) const;
+
+  TableRuntime* runtime_;
+  const PlannedScan* scan_;
+  const int working_width_;
+  const InSituOptions opts_;
+  const int num_threads_;
+  const uint64_t morsel_bytes_option_;
+  ThreadPool* pool_;
+
+  // Fallback for the cases parallelism cannot help with.
+  std::unique_ptr<RawScanOp> serial_;
+
+  const RawSourceAdapter* adapter_ = nullptr;
+  RawTraits traits_;
+  int ncols_ = 0;
+  int tuples_per_stripe_ = RawScanOp::kDefaultStripe;
+  uint64_t epoch_token_ = 0;
+  std::vector<int> phase1_attrs_;
+  std::vector<int> phase2_attrs_;
+  std::vector<int> output_attrs_;
+  int max_token_attr_ = 0;
+  std::vector<int> insert_attrs_;   // staged into pmap fragments
+  std::vector<int> tracked_attrs_;  // sorted union: output + insert
+  std::vector<int> slot_of_;        // attr -> slot in tracked_attrs_, -1
+  std::vector<bool> cache_attr_;    // buffer parsed values for the stitcher
+  std::vector<bool> stats_attr_;    // replay values into TableStats
+
+  std::vector<Morsel> morsels_;
+  int window_ = 2;
+
+  // --- shared worker/consumer state (guarded by mu_; cancel_ is also
+  //     polled locklessly inside the record loop) ---
+  std::mutex mu_;
+  std::condition_variable result_cv_;  // consumer: a result became ready
+  std::condition_variable done_cv_;    // join: a worker task exited
+  std::vector<MorselResult> slots_;
+  size_t next_claim_ = 0;
+  size_t merge_idx_ = 0;
+  int active_tasks_ = 0;
+  std::atomic<bool> cancel_{false};
+
+  // --- consumer-only state ---
+  bool opened_ = false;
+  bool eof_ = false;
+  std::vector<Row> out_rows_;  // rows of the morsel being emitted
+  size_t out_idx_ = 0;
+  uint64_t emitted_records_ = 0;  // global index of the next merged record
+  PendingStripe pending_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_PARALLEL_RAW_SCAN_H_

@@ -14,10 +14,54 @@ static_assert(kUnknown == kNoFieldPos,
               "positional map and adapter sentinels must agree");
 }  // namespace
 
+ScanAttrPlan ComputeScanAttrPlan(const PlannedScan& scan, int ncols,
+                                 const InSituOptions& opts) {
+  ScanAttrPlan plan;
+  // Without selective tuple formation every column is an output column;
+  // without selective parsing phase 1 covers all output columns (parse
+  // first, filter later — the straw-man).
+  std::vector<int>& needed = plan.output_attrs;
+  if (opts.selective_tuple_formation) {
+    needed.insert(needed.end(), scan.where_attrs.begin(),
+                  scan.where_attrs.end());
+    needed.insert(needed.end(), scan.payload_attrs.begin(),
+                  scan.payload_attrs.end());
+  } else {
+    for (int c = 0; c < ncols; ++c) needed.push_back(c);
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+
+  if (opts.selective_parsing) {
+    plan.phase1_attrs = scan.where_attrs;
+    std::sort(plan.phase1_attrs.begin(), plan.phase1_attrs.end());
+    for (int a : plan.output_attrs) {
+      if (!std::binary_search(plan.phase1_attrs.begin(),
+                              plan.phase1_attrs.end(), a)) {
+        plan.phase2_attrs.push_back(a);
+      }
+    }
+  } else {
+    plan.phase1_attrs = plan.output_attrs;
+  }
+
+  plan.max_token_attr =
+      opts.selective_tokenizing
+          ? (plan.output_attrs.empty() ? 0 : plan.output_attrs.back())
+          : ncols - 1;
+  return plan;
+}
+
 RawScanOp::RawScanOp(TableRuntime* runtime, const PlannedScan* scan,
                      int working_width, InSituOptions options)
     : runtime_(runtime), scan_(scan), working_width_(working_width),
       opts_(options) {}
+
+RawScanOp::~RawScanOp() {
+  if (epoch_token_ != 0 && runtime_->pmap != nullptr) {
+    runtime_->pmap->EndEpoch(epoch_token_);
+  }
+}
 
 Status RawScanOp::Open() {
   if (runtime_->adapter == nullptr) {
@@ -33,43 +77,15 @@ Status RawScanOp::Open() {
     tuples_per_stripe_ = runtime_->cache->tuples_per_chunk();
   }
 
-  // Attribute phases (§4.1). Without selective tuple formation every column
-  // is an output column; without selective parsing phase 1 covers all
-  // output columns (parse first, filter later — the straw-man).
-  std::vector<int> needed;
-  if (opts_.selective_tuple_formation) {
-    needed.insert(needed.end(), scan_->where_attrs.begin(),
-                  scan_->where_attrs.end());
-    needed.insert(needed.end(), scan_->payload_attrs.begin(),
-                  scan_->payload_attrs.end());
-  } else {
-    for (int c = 0; c < ncols_; ++c) needed.push_back(c);
-  }
-  std::sort(needed.begin(), needed.end());
-  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
-  output_attrs_ = needed;
-
-  if (opts_.selective_parsing) {
-    phase1_attrs_ = scan_->where_attrs;
-    std::sort(phase1_attrs_.begin(), phase1_attrs_.end());
-    phase2_attrs_.clear();
-    for (int a : output_attrs_) {
-      if (!std::binary_search(phase1_attrs_.begin(), phase1_attrs_.end(), a)) {
-        phase2_attrs_.push_back(a);
-      }
-    }
-  } else {
-    phase1_attrs_ = output_attrs_;
-    phase2_attrs_.clear();
-  }
-
-  max_token_attr_ =
-      opts_.selective_tokenizing
-          ? (output_attrs_.empty() ? 0 : output_attrs_.back())
-          : ncols_ - 1;
+  // Attribute phases (§4.1), shared with the parallel operator.
+  ScanAttrPlan attr_plan = ComputeScanAttrPlan(*scan_, ncols_, opts_);
+  output_attrs_ = std::move(attr_plan.output_attrs);
+  phase1_attrs_ = std::move(attr_plan.phase1_attrs);
+  phase2_attrs_ = std::move(attr_plan.phase2_attrs);
+  max_token_attr_ = attr_plan.max_token_attr;
 
   if (runtime_->pmap != nullptr && opts_.use_positional_map) {
-    runtime_->pmap->BeginEpoch();
+    epoch_token_ = runtime_->pmap->BeginEpoch();
   }
   NODB_ASSIGN_OR_RETURN(cursor_, adapter_->OpenCursor());
   next_tuple_ = 0;
@@ -107,15 +123,8 @@ uint64_t RawScanOp::KnownTotalTuples() const {
   return hint > 0 ? static_cast<uint64_t>(hint) : 0;
 }
 
-Status RawScanOp::ServeFromCache(uint64_t stripe, int n) {
-  ColumnCache* cache = runtime_->cache.get();
-  std::vector<const std::vector<Value>*> cols(ncols_, nullptr);
-  for (int a : output_attrs_) {
-    cols[a] = cache->Get(stripe, a);
-    if (cols[a] == nullptr || static_cast<int>(cols[a]->size()) != n) {
-      return Status::Internal("cache coverage changed mid-check");
-    }
-  }
+Status RawScanOp::ServeFromCache(const std::vector<ColumnCache::Column>& cols,
+                                 int n) {
   const int offset = scan_->table.offset;
   for (int t = 0; t < n; ++t) {
     Row& row = OutSlot();
@@ -161,56 +170,55 @@ Status RawScanOp::LoadStripe() {
         std::min<uint64_t>(tuples_per_stripe_, total_tuples - stripe_first));
   }
 
+  // Cache snapshots for this stripe, fetched once up front. The shared_ptr
+  // columns stay valid whatever concurrent scans do to the cache, and
+  // "fully cached" is decided on the snapshots themselves — an eviction
+  // racing between a membership check and the reads degrades to the file
+  // path instead of failing the query.
+  std::vector<ColumnCache::Column> cached_col(ncols_);
+  bool all_cached = cache != nullptr && n_expected > 0;
+  if (cache != nullptr && n_expected > 0) {
+    for (int a : output_attrs_) {
+      ColumnCache::Column col = cache->Get(stripe, a);
+      if (col != nullptr && static_cast<int>(col->size()) == n_expected) {
+        cached_col[a] = std::move(col);
+      } else {
+        all_cached = false;
+      }
+    }
+  }
+
   // Fast path: the whole stripe is served from the cache — no file access
   // at all (§4.3: "if the attribute is requested by future queries,
   // PostgresRaw will read it directly from the cache").
-  if (cache != nullptr && n_expected > 0) {
-    bool all_cached = true;
-    for (int a : output_attrs_) {
-      if (!cache->Contains(stripe, a)) {
-        all_cached = false;
-        break;
-      }
+  if (all_cached) {
+    NODB_RETURN_IF_ERROR(ServeFromCache(cached_col, n_expected));
+    next_tuple_ = stripe_first + n_expected;
+    if (next_tuple_ >= total_tuples) {
+      eof_ = true;
+    } else if (traits_.fixed_stride) {
+      need_seek_ = true;
+      seek_index_ = next_tuple_;
+      seek_offset_ = 0;
+    } else if (auto start = pm != nullptr ? pm->RowStart(next_tuple_)
+                                         : std::nullopt;
+               start.has_value()) {
+      need_seek_ = true;
+      seek_index_ = next_tuple_;
+      seek_offset_ = *start;
+    } else {
+      return Status::Internal(
+          "cached stripe without spine for the next stripe");
     }
-    if (all_cached) {
-      NODB_RETURN_IF_ERROR(ServeFromCache(stripe, n_expected));
-      next_tuple_ = stripe_first + n_expected;
-      if (next_tuple_ >= total_tuples) {
-        eof_ = true;
-      } else if (traits_.fixed_stride) {
-        need_seek_ = true;
-        seek_index_ = next_tuple_;
-        seek_offset_ = 0;
-      } else if (auto start = pm != nullptr ? pm->RowStart(next_tuple_)
-                                           : std::nullopt;
-                 start.has_value()) {
-        need_seek_ = true;
-        seek_index_ = next_tuple_;
-        seek_offset_ = *start;
-      } else {
-        return Status::Internal(
-            "cached stripe without spine for the next stripe");
-      }
-      return Status::OK();
-    }
+    return Status::OK();
   }
 
   // File path. Position the cursor at the stripe's first record. Seek
   // targets are always data-record starts, so any header is behind us.
+  // cached_col still serves the mixed mode (some attrs cached, some not).
   if (need_seek_) {
     NODB_RETURN_IF_ERROR(cursor_->SeekToRecord(seek_index_, seek_offset_));
     need_seek_ = false;
-  }
-
-  // Per-attribute cached columns (mixed mode: some attrs cached, some not).
-  std::vector<const std::vector<Value>*> cached_col(ncols_, nullptr);
-  if (cache != nullptr && n_expected > 0) {
-    for (int a : output_attrs_) {
-      const std::vector<Value>* col = cache->Get(stripe, a);
-      if (col != nullptr && static_cast<int>(col->size()) == n_expected) {
-        cached_col[a] = col;
-      }
-    }
   }
 
   // Snapshot of attributes already indexed for this stripe, taken before we
@@ -226,6 +234,7 @@ Status RawScanOp::LoadStripe() {
   // index_intermediates every attribute the tokenizer may cross is
   // recorded, not just the requested ones.
   std::vector<int> attrs_to_insert;
+  bool combination_insert = false;
   if (use_pm_positions) {
     if (opts_.index_intermediates) {
       for (int a = 0; a <= max_token_attr_; ++a) {
@@ -240,22 +249,29 @@ Status RawScanOp::LoadStripe() {
         output_attrs_.size() > 1 &&
         !pm->StripeAttrsShareChunk(stripe, output_attrs_)) {
       attrs_to_insert = output_attrs_;
+      combination_insert = true;  // re-index attrs the stripe already has
     }
   }
-  // Whatever opened an insert chunk must close it, error paths included:
-  // EndStripeInsert re-arms the map's budget enforcement, which stays
-  // deferred while a stripe insertion is open.
-  struct InsertScope {
+  // Spine entries and discovered positions are staged in a private
+  // fragment and merged at stripe end — the map is never left with a
+  // half-filled fresh chunk, and the lock is paid once per stripe, not per
+  // tuple. The RAII installer covers error paths too, so whatever was
+  // learned before a parse failure still lands in the map (as the eager
+  // insert path used to guarantee).
+  frag_.Reset(attrs_to_insert);
+  frag_pos_.assign(attrs_to_insert.size(), kUnknown);
+  struct FragmentInstaller {
     PositionalMap* pm = nullptr;
-    ~InsertScope() {
-      if (pm != nullptr) pm->EndStripeInsert();
+    const PmapFragment* frag = nullptr;
+    uint64_t first_tuple = 0;
+    uint64_t epoch = 0;
+    bool filter_indexed = true;
+    ~FragmentInstaller() {
+      if (pm != nullptr) {
+        pm->InstallFragment(*frag, first_tuple, epoch, filter_indexed);
+      }
     }
-  } insert_scope;
-  PositionalMap::BulkInserter inserter;
-  if (!attrs_to_insert.empty()) {
-    inserter = pm->BeginBulkInsert(stripe, attrs_to_insert);
-    insert_scope.pm = pm;
-  }
+  } installer{pm, &frag_, stripe_first, epoch_token_, !combination_insert};
 
   // Temporary map (§4.2 Pre-fetching): prefetch known positions for the
   // query's attributes plus, per requested attribute, its nearest indexed
@@ -325,7 +341,7 @@ Status RawScanOp::LoadStripe() {
     }
   }
 
-  // Slot of each to-be-inserted attribute, for the per-tuple recording loop.
+  // Slot of each to-be-inserted attribute, for the per-tuple staging loop.
   std::vector<int> insert_slots(attrs_to_insert.size());
   for (size_t i = 0; i < attrs_to_insert.size(); ++i) {
     insert_slots[i] = slot_of_[attrs_to_insert[i]];
@@ -342,9 +358,6 @@ Status RawScanOp::LoadStripe() {
       eof_ = true;
       break;
     }
-    const uint64_t t_global = stripe_first + n;
-    if (pm != nullptr) pm->SetRowStart(t_global, rec.offset);
-
     // Seed per-tuple positions from the temporary map.
     for (int s = 0; s < nslots; ++s) {
       tuple_pos_[s] = temp.Position(n, s);
@@ -494,12 +507,14 @@ Status RawScanOp::LoadStripe() {
                                 std::string(adapter_->path()) + "'");
     }
 
-    // Record every position this tuple's tokenization discovered —
-    // requested attributes and intermediates alike (§4.2 Map Population).
-    if (inserter.valid()) {
+    // Stage every position this tuple's tokenization discovered —
+    // requested attributes and intermediates alike (§4.2 Map Population) —
+    // plus the tuple's row start for the spine.
+    if (pm != nullptr) {
       for (size_t i = 0; i < insert_slots.size(); ++i) {
-        inserter.Set(n, static_cast<int>(i), tuple_pos_[insert_slots[i]]);
+        frag_pos_[i] = tuple_pos_[insert_slots[i]];
       }
+      frag_.AddRecord(rec.offset, frag_pos_.data());
     }
   }
 
@@ -539,6 +554,10 @@ Status RawScanOp::LoadStripe() {
 Status RawScanOp::Close() {
   if (opts_.collect_stats && runtime_->stats != nullptr) {
     runtime_->stats->FinalizeAll();
+  }
+  if (epoch_token_ != 0 && runtime_->pmap != nullptr) {
+    runtime_->pmap->EndEpoch(epoch_token_);
+    epoch_token_ = 0;
   }
   return Status::OK();
 }

@@ -42,6 +42,20 @@ struct InSituOptions {
   bool index_intermediates = true;
 };
 
+/// The §4.1 attribute decomposition of one scan, shared by the serial and
+/// parallel raw-scan operators (one implementation, so the two can never
+/// drift apart on which attributes are tokenized, parsed early, parsed
+/// late, or materialized).
+struct ScanAttrPlan {
+  std::vector<int> output_attrs;  // materialized into the output row
+  std::vector<int> phase1_attrs;  // parsed for every tuple (WHERE)
+  std::vector<int> phase2_attrs;  // parsed for qualifying tuples
+  int max_token_attr = 0;         // last attribute tokenizing must reach
+};
+
+ScanAttrPlan ComputeScanAttrPlan(const PlannedScan& scan, int ncols,
+                                 const InSituOptions& opts);
+
 /// The NoDB access method (§4) over *any* registered RawSourceAdapter: scans
 /// the raw file directly, using the positional map to jump (close) to field
 /// positions, the cache to skip file access entirely, selective
@@ -59,6 +73,11 @@ class RawScanOp final : public Operator {
   RawScanOp(TableRuntime* runtime, const PlannedScan* scan, int working_width,
             InSituOptions options);
 
+  /// Ends the scan epoch if Close never ran (pipelines are abandoned
+  /// without the Close protocol on error paths; a leaked epoch would keep
+  /// its chunks eviction-protected forever).
+  ~RawScanOp() override;
+
   Status Open() override;
   Result<size_t> Next(RowBatch* batch) override;
   Status Close() override;
@@ -71,8 +90,9 @@ class RawScanOp final : public Operator {
   /// Processes the next stripe of tuples into the out_rows_ recycler. Sets
   /// eof_ when the source is exhausted.
   Status LoadStripe();
-  /// Serves a stripe entirely from the cache (no file access).
-  Status ServeFromCache(uint64_t stripe, int n);
+  /// Serves a stripe entirely from cache snapshots (no file access).
+  /// `cols[a]` must be non-null for every output attribute.
+  Status ServeFromCache(const std::vector<ColumnCache::Column>& cols, int n);
   /// Total tuple count if already known: a completed scan's positional map,
   /// or a fixed-stride adapter's header. 0 when unknown.
   uint64_t KnownTotalTuples() const;
@@ -87,6 +107,7 @@ class RawScanOp final : public Operator {
   const PlannedScan* scan_;
   int working_width_;
   InSituOptions opts_;
+  uint64_t epoch_token_ = 0;  // BeginEpoch token, returned in Close
 
   const RawSourceAdapter* adapter_ = nullptr;
   RawTraits traits_;
@@ -116,6 +137,8 @@ class RawScanOp final : public Operator {
   std::vector<int> temp_attrs_;          // attrs tracked per tuple, sorted
   std::vector<int> slot_of_;             // attr -> slot in temp_attrs_, -1
   std::vector<uint32_t> tuple_pos_;      // per-tuple positions per slot
+  PmapFragment frag_;                    // staged spine + positions
+  std::vector<uint32_t> frag_pos_;       // per-tuple scratch, frag attr order
 };
 
 }  // namespace nodb

@@ -1,6 +1,7 @@
 #ifndef NODB_EXEC_TABLE_RUNTIME_H_
 #define NODB_EXEC_TABLE_RUNTIME_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -42,11 +43,18 @@ struct TableRuntime {
   // --- adaptive statistics (raw tables; loaded tables get exact stats at
   //     load time) ---
   std::unique_ptr<TableStats> stats;
-  bool stats_populated = false;
+  /// Atomic: set by whichever scan first completes while other queries'
+  /// planners read it (one table may be queried from many threads).
+  std::atomic<bool> stats_populated{false};
 
   /// Exact row count when known (loaded tables, or raw tables after their
-  /// first complete scan); negative otherwise.
-  double known_row_count = -1;
+  /// first complete scan); negative otherwise. Atomic for the same reason
+  /// as stats_populated.
+  std::atomic<double> known_row_count{-1};
+
+  /// Per-table override of EngineConfig::scan_threads (Database::Open
+  /// options); 0 means "use the engine default".
+  int scan_threads_override = 0;
 };
 
 }  // namespace nodb

@@ -1,5 +1,6 @@
 #include "fits/fits_adapter.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "io/buffered_reader.h"
@@ -69,6 +70,19 @@ Result<std::unique_ptr<FitsAdapter>> FitsAdapter::Make(
 Result<std::unique_ptr<RecordCursor>> FitsAdapter::OpenCursor() const {
   return std::unique_ptr<RecordCursor>(
       std::make_unique<FitsRecordCursor>(&info_, file_.get()));
+}
+
+Result<uint64_t> FitsAdapter::FindRecordBoundary(uint64_t offset) const {
+  // Fixed stride: round up to the next row start inside the data section;
+  // everything past the header's promised last row (block padding included)
+  // maps to the common end sentinel.
+  const uint64_t data_end =
+      info_.data_start + info_.num_rows * info_.row_bytes;
+  if (offset <= info_.data_start) return info_.data_start;
+  if (offset >= data_end) return data_end;
+  const uint64_t rel = offset - info_.data_start;
+  const uint64_t row = (rel + info_.row_bytes - 1) / info_.row_bytes;
+  return std::min(info_.data_start + row * info_.row_bytes, data_end);
 }
 
 uint32_t FitsAdapter::FindForward(const RecordRef& rec, int from_attr,

@@ -42,7 +42,7 @@ Result<uint64_t> RandomAccessFile::Read(uint64_t offset, uint64_t length,
     if (n == 0) break;  // EOF
     total += static_cast<uint64_t>(n);
   }
-  bytes_read_ += total;
+  bytes_read_.fetch_add(total, std::memory_order_relaxed);
   return total;
 }
 

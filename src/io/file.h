@@ -1,6 +1,7 @@
 #ifndef NODB_IO_FILE_H_
 #define NODB_IO_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -11,8 +12,9 @@
 
 namespace nodb {
 
-/// Read-only random access file over POSIX pread(2). Thread-compatible:
-/// concurrent Read calls are safe (pread carries its own offset).
+/// Read-only random access file over POSIX pread(2). Thread-safe:
+/// concurrent Read calls are safe (pread carries its own offset, and the
+/// byte accounting is atomic — parallel scan workers share one handle).
 class RandomAccessFile {
  public:
   /// Opens `path` for reading.
@@ -31,7 +33,9 @@ class RandomAccessFile {
   const std::string& path() const { return path_; }
 
   /// Total bytes read through this handle (I/O accounting for benches).
-  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
 
  private:
   RandomAccessFile(int fd, uint64_t size, std::string path)
@@ -40,7 +44,7 @@ class RandomAccessFile {
   int fd_;
   uint64_t size_;
   std::string path_;
-  mutable uint64_t bytes_read_ = 0;
+  mutable std::atomic<uint64_t> bytes_read_{0};
 };
 
 /// Buffered append-only writer (used by data generators, spill files and the

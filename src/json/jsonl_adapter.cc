@@ -244,6 +244,12 @@ Result<std::unique_ptr<RecordCursor>> JsonlAdapter::OpenCursor() const {
       std::make_unique<JsonlRecordCursor>(file_.get()));
 }
 
+Result<uint64_t> JsonlAdapter::FindRecordBoundary(uint64_t offset) const {
+  // One object per line: a split point inside an object — even inside a
+  // string escape — snaps to the next '\n', which no JSONL record spans.
+  return FindLineBoundary(file_.get(), offset, /*skip_first_line=*/false);
+}
+
 uint32_t JsonlAdapter::FindForward(const RecordRef& rec, int from_attr,
                                    uint32_t from_pos, int to_attr,
                                    const PositionSink& sink) const {

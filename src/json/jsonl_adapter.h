@@ -46,6 +46,7 @@ class JsonlAdapter final : public RawSourceAdapter {
   const RandomAccessFile* file() const override { return file_.get(); }
 
   Result<std::unique_ptr<RecordCursor>> OpenCursor() const override;
+  Result<uint64_t> FindRecordBoundary(uint64_t offset) const override;
 
   uint32_t FindForward(const RecordRef& rec, int from_attr, uint32_t from_pos,
                        int to_attr, const PositionSink& sink) const override;

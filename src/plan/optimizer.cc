@@ -34,7 +34,7 @@ double EstimateConjunctSelectivity(const Expr& conjunct,
       if (col == nullptr || stats == nullptr) return 0.33;
       int attr = static_cast<const ColumnRefExpr*>(col)->index - table_offset;
       if (attr < 0 || attr >= stats->num_attrs()) return 0.33;
-      const AttrStats* as = stats->Attr(attr);
+      TableStats::AttrStatsPtr as = stats->Attr(attr);
       if (as == nullptr) return 0.33;
       const Value& constant = static_cast<const LiteralExpr*>(lit)->value;
       if (constant.is_null()) return 0.0;
@@ -97,7 +97,7 @@ double EstimateConjunctSelectivity(const Expr& conjunct,
                    table_offset;
         if (attr >= 0 && attr < stats->num_attrs() &&
             stats->Attr(attr) != nullptr) {
-          const AttrStats* as = stats->Attr(attr);
+          TableStats::AttrStatsPtr as = stats->Attr(attr);
           null_frac = as->rows_seen > 0 ? static_cast<double>(as->nulls) /
                                               static_cast<double>(as->rows_seen)
                                         : 0.05;

@@ -28,7 +28,7 @@ PositionalMap::Stripe& PositionalMap::GetStripe(uint64_t stripe) {
   return stripes_[stripe];
 }
 
-void PositionalMap::SetRowStart(uint64_t tuple, uint64_t offset) {
+void PositionalMap::SetRowStartLocked(uint64_t tuple, uint64_t offset) {
   Stripe& s = GetStripe(stripe_of(tuple));
   if (s.row_starts.empty()) {
     s.row_starts.assign(options_.tuples_per_chunk, kNoRowStart);
@@ -51,7 +51,13 @@ void PositionalMap::SetRowStart(uint64_t tuple, uint64_t offset) {
   }
 }
 
+void PositionalMap::SetRowStart(uint64_t tuple, uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SetRowStartLocked(tuple, offset);
+}
+
 std::optional<uint64_t> PositionalMap::RowStart(uint64_t tuple) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = stripes_.find(tuple / options_.tuples_per_chunk);
   if (it == stripes_.end() || it->second.row_starts.empty()) {
     return std::nullopt;
@@ -59,6 +65,44 @@ std::optional<uint64_t> PositionalMap::RowStart(uint64_t tuple) const {
   uint64_t v = it->second.row_starts[tuple % options_.tuples_per_chunk];
   if (v == kNoRowStart) return std::nullopt;
   return v;
+}
+
+uint64_t PositionalMap::contiguous_rows_known() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return contiguous_rows_known_;
+}
+
+void PositionalMap::SetTotalTuples(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_tuples_ = n;
+}
+
+uint64_t PositionalMap::total_tuples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_tuples_;
+}
+
+// ---------------------------------------------------------------------
+// Epochs
+// ---------------------------------------------------------------------
+
+uint64_t PositionalMap::BeginEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t token = ++next_epoch_;
+  active_epochs_.push_back(token);
+  return token;
+}
+
+void PositionalMap::EndEpoch(uint64_t token) {
+  if (token == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find(active_epochs_.begin(), active_epochs_.end(), token);
+  if (it != active_epochs_.end()) active_epochs_.erase(it);
+}
+
+bool PositionalMap::EpochActive(uint64_t token) const {
+  return token != 0 && std::find(active_epochs_.begin(), active_epochs_.end(),
+                                 token) != active_epochs_.end();
 }
 
 // ---------------------------------------------------------------------
@@ -99,10 +143,10 @@ int PositionalMap::ColumnInGroup(int gid, int attr) const {
 // Insertion
 // ---------------------------------------------------------------------
 
-int PositionalMap::BeginStripeInsert(uint64_t stripe,
-                                     const std::vector<int>& attrs) {
-  if (attrs.empty()) return -1;
+PositionalMap::Chunk* PositionalMap::GetOrCreateChunk(
+    uint64_t stripe, const std::vector<int>& attrs, int* gid_out) {
   int gid = InternGroup(attrs);
+  *gid_out = gid;
   Stripe& s = GetStripe(stripe);
   auto it = s.chunks.find(gid);
   Chunk* chunk;
@@ -127,6 +171,15 @@ int PositionalMap::BeginStripeInsert(uint64_t stripe,
     }
   }
   TouchLru(stripe, chunk);
+  return chunk;
+}
+
+int PositionalMap::BeginStripeInsert(uint64_t stripe,
+                                     const std::vector<int>& attrs) {
+  if (attrs.empty()) return -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  int gid = -1;
+  GetOrCreateChunk(stripe, attrs, &gid);
   ++open_insert_chunks_;
   // Encode (stripe, gid) into the opaque id via a side table-free scheme:
   // the caller passes tuple/attr back, so we only need to find the chunk
@@ -137,6 +190,7 @@ int PositionalMap::BeginStripeInsert(uint64_t stripe,
 void PositionalMap::InsertPosition(int chunk_id, uint64_t tuple, int attr,
                                    uint32_t rel_offset) {
   assert(chunk_id >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t stripe = stripe_of(tuple);
   Stripe& s = GetStripe(stripe);
   auto it = s.chunks.find(chunk_id);
@@ -154,53 +208,112 @@ void PositionalMap::InsertPosition(int chunk_id, uint64_t tuple, int attr,
 }
 
 void PositionalMap::EndStripeInsert() {
-  open_insert_chunks_ = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Balanced against BeginStripeInsert: eviction stays deferred until the
+  // *last* open stripe insertion ends (the seed zeroed the counter here,
+  // which assumed a single mutator).
+  if (open_insert_chunks_ > 0) --open_insert_chunks_;
+  EnforceBudget();
+}
+
+void PositionalMap::InstallFragment(const PmapFragment& frag,
+                                    uint64_t first_tuple,
+                                    uint64_t epoch_token,
+                                    bool filter_indexed) {
+  if (frag.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.fragments_installed;
+  const int n = frag.num_records();
+  const int per_stripe = options_.tuples_per_chunk;
+
+  // Spine first: row starts are what warm scans seek by, and the cache-only
+  // variant installs nothing else.
+  for (int i = 0; i < n; ++i) {
+    SetRowStartLocked(first_tuple + i, frag.row_start(i));
+  }
+
+  // Attribute positions, stripe by overlapped stripe.
+  std::vector<int> fresh;        // attrs this stripe does not index yet
+  std::vector<int> fresh_idx;    // their index in frag.attrs()
+  std::vector<int> slice;
+  for (int r0 = 0; r0 < n;) {
+    const uint64_t tuple0 = first_tuple + r0;
+    const uint64_t stripe = tuple0 / per_stripe;
+    const int in_stripe0 = static_cast<int>(tuple0 % per_stripe);
+    const int r1 = std::min<int>(n, r0 + (per_stripe - in_stripe0));
+
+    if (!frag.attrs().empty()) {
+      // Skip attributes the stripe already indexes — a concurrent scan (or
+      // an earlier query) may have installed them since this fragment was
+      // staged; re-inserting would duplicate positions across chunks.
+      fresh.clear();
+      fresh_idx.clear();
+      for (size_t i = 0; i < frag.attrs().size(); ++i) {
+        int a = frag.attrs()[i];
+        bool has = false;
+        auto sit = stripes_.find(stripe);
+        if (filter_indexed && sit != stripes_.end()) {
+          for (auto [gid, col] : attr_membership_[a]) {
+            (void)col;
+            if (sit->second.chunks.count(gid) > 0) {
+              has = true;
+              break;
+            }
+          }
+        }
+        if (!has) {
+          fresh.push_back(a);
+          fresh_idx.push_back(static_cast<int>(i));
+        }
+      }
+
+      // Cache-sized sub-chunks, admitted one by one under the budget.
+      for (size_t begin = 0; begin < fresh.size();
+           begin += kMaxGroupAttrs) {
+        size_t end = std::min(fresh.size(), begin + kMaxGroupAttrs);
+        slice.assign(fresh.begin() + begin, fresh.begin() + end);
+        uint64_t chunk_bytes = static_cast<uint64_t>(per_stripe) *
+                               slice.size() * sizeof(uint32_t);
+        if (!CanAdmit(chunk_bytes)) continue;  // budget full of fresh chunks
+        int gid = -1;
+        Chunk* chunk = GetOrCreateChunk(stripe, slice, &gid);
+        chunk->epoch = epoch_token;
+        const size_t group_size = groups_[gid].attrs.size();
+        for (size_t i = begin; i < end; ++i) {
+          const int col = ColumnInGroup(gid, fresh[i]);
+          const int src = fresh_idx[i];
+          for (int r = r0; r < r1; ++r) {
+            uint32_t pos = frag.position(r, src);
+            if (pos == kUnknown) continue;
+            uint32_t& cell =
+                chunk->data[static_cast<size_t>(in_stripe0 + (r - r0)) *
+                                group_size +
+                            col];
+            if (cell == kUnknown) ++num_positions_;
+            cell = pos;
+          }
+        }
+      }
+    }
+    r0 = r1;
+  }
   EnforceBudget();
 }
 
 bool PositionalMap::CanAdmit(uint64_t bytes) {
-  if (epoch_ == 0) return true;  // epochs unused: plain LRU semantics
   uint64_t projected = memory_bytes_ + bytes;
   // Walk would-be victims from the LRU tail; admission fails if making room
-  // requires evicting a chunk inserted during this same epoch.
+  // requires evicting a chunk installed by a still-running scan.
   auto it = lru_.rbegin();
   while (projected > options_.budget_bytes && it != lru_.rend()) {
     auto [victim_stripe, victim_gid] = *it;
     const Chunk* victim =
         stripes_[victim_stripe].chunks.find(victim_gid)->second.get();
-    if (victim->epoch == epoch_) return false;
+    if (EpochActive(victim->epoch)) return false;
     projected -= victim->bytes();
     ++it;
   }
   return projected <= options_.budget_bytes;
-}
-
-PositionalMap::BulkInserter PositionalMap::BeginBulkInsert(
-    uint64_t stripe, const std::vector<int>& attrs) {
-  BulkInserter inserter;
-  if (attrs.empty()) return inserter;
-  inserter.targets_.resize(attrs.size());
-  inserter.num_positions_ = &num_positions_;
-  // Split into cache-sized sub-chunks (the paper's vertical partitioning).
-  for (size_t begin = 0; begin < attrs.size(); begin += kMaxGroupAttrs) {
-    size_t end = std::min(attrs.size(), begin + kMaxGroupAttrs);
-    std::vector<int> slice(attrs.begin() + begin, attrs.begin() + end);
-    uint64_t chunk_bytes = static_cast<uint64_t>(options_.tuples_per_chunk) *
-                           slice.size() * sizeof(uint32_t);
-    if (!CanAdmit(chunk_bytes)) continue;  // budget full of fresh chunks
-    int gid = BeginStripeInsert(stripe, slice);
-    Stripe& s = GetStripe(stripe);
-    Chunk* chunk = s.chunks.find(gid)->second.get();
-    chunk->epoch = epoch_;
-    for (size_t i = begin; i < end; ++i) {
-      BulkInserter::Target& t = inserter.targets_[i];
-      t.data = chunk->data.data();
-      t.group_size = groups_[gid].attrs.size();
-      t.col = ColumnInGroup(gid, attrs[i]);
-    }
-    inserter.any_admitted_ = true;
-  }
-  return inserter;
 }
 
 // ---------------------------------------------------------------------
@@ -224,6 +337,7 @@ PositionalMap::Chunk* PositionalMap::FetchChunk(uint64_t stripe, int gid) {
 }
 
 std::optional<uint32_t> PositionalMap::Lookup(uint64_t tuple, int attr) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++counters_.lookups;
   uint64_t stripe = stripe_of(tuple);
   for (auto [gid, col] : attr_membership_[attr]) {
@@ -242,6 +356,7 @@ std::optional<uint32_t> PositionalMap::Lookup(uint64_t tuple, int attr) {
 
 std::optional<PositionalMap::Anchor> PositionalMap::AnchorAtOrBelow(
     uint64_t tuple, int attr) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (int a = attr; a >= 0; --a) {
     // Bypass Lookup's counters for the probe loop; count one anchor hit.
     uint64_t stripe = stripe_of(tuple);
@@ -263,6 +378,7 @@ std::optional<PositionalMap::Anchor> PositionalMap::AnchorAtOrBelow(
 
 std::optional<PositionalMap::Anchor> PositionalMap::AnchorAbove(uint64_t tuple,
                                                                 int attr) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (int a = attr + 1; a < num_attrs_; ++a) {
     uint64_t stripe = stripe_of(tuple);
     for (auto [gid, col] : attr_membership_[a]) {
@@ -282,9 +398,11 @@ std::optional<PositionalMap::Anchor> PositionalMap::AnchorAbove(uint64_t tuple,
 }
 
 bool PositionalMap::StripeHasAttr(uint64_t stripe, int attr) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto sit = stripes_.find(stripe);
   if (sit == stripes_.end()) return false;
   for (auto [gid, col] : attr_membership_[attr]) {
+    (void)col;
     auto cit = sit->second.chunks.find(gid);
     if (cit != sit->second.chunks.end()) return true;  // resident or spilled
   }
@@ -294,6 +412,7 @@ bool PositionalMap::StripeHasAttr(uint64_t stripe, int attr) {
 int PositionalMap::FillStripePositions(uint64_t stripe, int attr,
                                         uint32_t* out, int n) {
   for (int i = 0; i < n; ++i) out[i] = kUnknown;
+  std::lock_guard<std::mutex> lock(mu_);
   ++counters_.lookups;
   int filled = 0;
   for (auto [gid, col] : attr_membership_[attr]) {
@@ -315,6 +434,7 @@ int PositionalMap::FillStripePositions(uint64_t stripe, int attr,
 }
 
 std::vector<int> PositionalMap::IndexedAttrsForStripe(uint64_t stripe) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> attrs;
   auto sit = stripes_.find(stripe);
   if (sit == stripes_.end()) return attrs;
@@ -328,6 +448,7 @@ std::vector<int> PositionalMap::IndexedAttrsForStripe(uint64_t stripe) {
 
 bool PositionalMap::StripeAttrsShareChunk(uint64_t stripe,
                                           const std::vector<int>& attrs) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto sit = stripes_.find(stripe);
   if (sit == stripes_.end()) return false;
   for (const auto& [gid, chunk] : sit->second.chunks) {
@@ -435,7 +556,23 @@ Status PositionalMap::ReloadChunk(uint64_t stripe, Chunk* chunk) {
   return Status::OK();
 }
 
+uint64_t PositionalMap::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_bytes_;
+}
+
+uint64_t PositionalMap::num_positions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_positions_;
+}
+
+PositionalMap::Counters PositionalMap::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
 void PositionalMap::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   stripes_.clear();
   lru_.clear();
   groups_.clear();

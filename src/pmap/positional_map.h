@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -13,6 +14,56 @@
 #include "util/status.h"
 
 namespace nodb {
+
+/// A scan's private, lock-free staging buffer for positional information
+/// discovered while tokenizing one contiguous run of records: the absolute
+/// row-start offset of every record (the spine) plus, per record, the
+/// relative start offsets of a fixed attribute set. Serial scans stage one
+/// stripe at a time; parallel morsel workers stage a whole morsel without
+/// knowing its global tuple index yet. Either way the fragment is merged
+/// into the shared PositionalMap with InstallFragment once the index of its
+/// first record is known — that single entry point is where all budget
+/// accounting and eviction happen, under the map's internal lock.
+class PmapFragment {
+ public:
+  PmapFragment() = default;
+
+  /// Starts a fresh fragment tracking `attrs` (file-order attribute ids;
+  /// may be empty for a spine-only fragment). Storage is recycled.
+  void Reset(std::vector<int> attrs) {
+    attrs_ = std::move(attrs);
+    row_starts_.clear();
+    positions_.clear();
+  }
+
+  void Reserve(int n) {
+    row_starts_.reserve(n);
+    positions_.reserve(static_cast<size_t>(n) * attrs_.size());
+  }
+
+  /// Appends one record. `positions` holds attrs().size() entries in attrs
+  /// order (kUnknown for undiscovered); ignored when no attrs are tracked.
+  void AddRecord(uint64_t row_start, const uint32_t* positions) {
+    row_starts_.push_back(row_start);
+    if (!attrs_.empty()) {
+      positions_.insert(positions_.end(), positions,
+                        positions + attrs_.size());
+    }
+  }
+
+  const std::vector<int>& attrs() const { return attrs_; }
+  int num_records() const { return static_cast<int>(row_starts_.size()); }
+  bool empty() const { return row_starts_.empty(); }
+  uint64_t row_start(int i) const { return row_starts_[i]; }
+  uint32_t position(int record, int attr_idx) const {
+    return positions_[static_cast<size_t>(record) * attrs_.size() + attr_idx];
+  }
+
+ private:
+  std::vector<int> attrs_;
+  std::vector<uint64_t> row_starts_;
+  std::vector<uint32_t> positions_;  // row-major [record][attr_idx]
+};
 
 /// Adaptive positional map (the paper's §4.2, the core NoDB data structure).
 ///
@@ -40,6 +91,15 @@ namespace nodb {
 ///
 /// The map is an auxiliary structure: dropping any part of it only costs
 /// future re-tokenization, never correctness.
+///
+/// **Thread safety**: every method is safe to call concurrently — one table
+/// may be scanned by many queries at once, and a parallel scan installs
+/// fragments from several threads. All state (chunks, spine, LRU, budget
+/// accounting) is guarded by one internal mutex; writers stage positions in
+/// private PmapFragments and pay the lock once per fragment, not per tuple.
+/// The legacy BeginStripeInsert/InsertPosition/EndStripeInsert path remains
+/// for tests and micro-benchmarks; eviction is deferred while any stripe
+/// insertion is open, so its cells cannot be freed mid-use.
 class PositionalMap {
  public:
   struct Options {
@@ -66,6 +126,7 @@ class PositionalMap {
     uint64_t chunks_evicted = 0;
     uint64_t chunks_spilled = 0;
     uint64_t chunks_reloaded = 0;
+    uint64_t fragments_installed = 0;
   };
 
   /// Sentinel for "position unknown" inside a chunk.
@@ -88,22 +149,55 @@ class PositionalMap {
 
   /// Number of contiguous tuples from 0 whose row start is known. Once a
   /// full sequential scan completed this equals the table's row count.
-  uint64_t contiguous_rows_known() const { return contiguous_rows_known_; }
+  uint64_t contiguous_rows_known() const;
 
   /// Marks the total number of tuples in the file (set when a scan reaches
   /// EOF); 0 if not yet known.
-  void SetTotalTuples(uint64_t n) { total_tuples_ = n; }
-  uint64_t total_tuples() const { return total_tuples_; }
+  void SetTotalTuples(uint64_t n);
+  uint64_t total_tuples() const;
+
+  // ------------------------------------------------------------------
+  // Scan epochs
+  // ------------------------------------------------------------------
+
+  /// Marks the start of a new insertion epoch (one per scan); returns a
+  /// token the scan passes to InstallFragment and hands back to EndEpoch
+  /// when it closes. Under budget pressure the map refuses to evict chunks
+  /// installed by a *still-active* epoch to make room for more insertions —
+  /// otherwise a sequential scan bigger than the budget would evict its own
+  /// fresh entries and retain nothing (classic LRU scan thrash), and one
+  /// concurrent scan would silently cannibalize another's working set.
+  /// Chunks from finished epochs remain evictable, so the map still adapts
+  /// across queries.
+  uint64_t BeginEpoch();
+
+  /// Ends an epoch: its chunks become ordinary eviction candidates.
+  void EndEpoch(uint64_t token);
 
   // ------------------------------------------------------------------
   // Attribute positions
   // ------------------------------------------------------------------
 
-  /// Declares that the caller is about to insert positions of `attrs` for
-  /// the stripe containing `tuple`; creates (or reuses) the chunk for this
-  /// attribute combination. Returns an opaque chunk id to pass to
-  /// InsertBatchValue, or -1 if all attrs are already indexed for this
-  /// stripe (nothing to insert).
+  /// Merges `frag` — whose first record is global tuple `first_tuple` —
+  /// into the map: spine entries for every record, and attribute-position
+  /// chunks per overlapped stripe. Per stripe, attributes the stripe
+  /// already indexes are skipped (a concurrent scan may have landed first)
+  /// and the rest are split into cache-sized sub-chunks (kMaxGroupAttrs
+  /// each); each new chunk is admitted only if the budget can make room
+  /// without evicting an active epoch's chunk (declined chunks cost future
+  /// re-tokenization, never correctness). `epoch_token` is the installing
+  /// scan's BeginEpoch token (0 = none). `filter_indexed = false` disables
+  /// the already-indexed skip — the §4.2 combination policy deliberately
+  /// re-indexes a query's full attribute set into one chunk run.
+  void InstallFragment(const PmapFragment& frag, uint64_t first_tuple,
+                       uint64_t epoch_token, bool filter_indexed = true);
+
+  /// Legacy single-threaded insert path (tests and micro-benchmarks; scans
+  /// use InstallFragment). Declares that the caller is about to insert
+  /// positions of `attrs` for the stripe containing `tuple`; creates (or
+  /// reuses) the chunk for this attribute combination. Returns an opaque
+  /// chunk id to pass to InsertPosition, or -1 if `attrs` is empty.
+  /// Eviction is deferred until the matching EndStripeInsert.
   int BeginStripeInsert(uint64_t stripe, const std::vector<int>& attrs);
 
   /// Stores the position of `attr` for `tuple` into the chunk returned by
@@ -114,59 +208,9 @@ class PositionalMap {
   /// Finishes a stripe insertion: applies budget enforcement.
   void EndStripeInsert();
 
-  /// Zero-lookup bulk writer over one stripe — the hot path the in-situ
-  /// scan uses to record every position discovered while tokenizing
-  /// ("PostgresRaw learns as much information as possible during each
-  /// query", §4.2). Internally the attribute set is split into small
-  /// sub-chunks so each chunk "fits comfortably in the CPU caches" and the
-  /// LRU can evict at useful granularity. Valid until EndStripeInsert.
-  class BulkInserter {
-   public:
-    /// True if at least one attribute was admitted for insertion.
-    bool valid() const { return !targets_.empty() && any_admitted_; }
-
-    /// Records the position of the i-th attribute (in the attrs order given
-    /// to BeginBulkInsert) for row `r` of the stripe. kUnknown is a no-op;
-    /// attributes whose chunk was declined under budget pressure are
-    /// silently skipped.
-    void Set(int r, int i, uint32_t pos) {
-      if (pos == kUnknown) return;
-      const Target& t = targets_[i];
-      if (t.data == nullptr) return;  // admission declined
-      uint32_t& cell = t.data[static_cast<size_t>(r) * t.group_size + t.col];
-      if (cell == kUnknown) ++*num_positions_;
-      cell = pos;
-    }
-
-   private:
-    friend class PositionalMap;
-    struct Target {
-      uint32_t* data = nullptr;
-      size_t group_size = 0;
-      int col = 0;
-    };
-    std::vector<Target> targets_;  // one per attr
-    bool any_admitted_ = false;
-    uint64_t* num_positions_ = nullptr;
-  };
-
   /// Maximum attributes stored together in one sub-chunk (4 x 4096 x 4 B =
   /// 64 KiB, comfortably cache-resident per the paper's storage format).
   static constexpr int kMaxGroupAttrs = 4;
-
-  /// BeginStripeInsert + per-attribute column resolution in one step,
-  /// splitting `attrs` into cache-sized sub-chunks. Returns an invalid
-  /// inserter when `attrs` is empty or nothing was admitted.
-  BulkInserter BeginBulkInsert(uint64_t stripe, const std::vector<int>& attrs);
-
-  /// Marks the start of a new insertion epoch (one per scan). Under budget
-  /// pressure the map refuses to evict chunks inserted during the *current*
-  /// epoch to make room for more current-epoch insertions — otherwise a
-  /// sequential scan bigger than the budget would evict its own fresh
-  /// entries and retain nothing (classic LRU scan thrash). Chunks from
-  /// earlier epochs remain evictable, so the map still adapts across
-  /// queries.
-  void BeginEpoch() { ++epoch_; }
 
   /// Exact position of (tuple, attr) relative to its row start, if indexed.
   std::optional<uint32_t> Lookup(uint64_t tuple, int attr);
@@ -209,10 +253,11 @@ class PositionalMap {
     return tuple / options_.tuples_per_chunk;
   }
   /// Current in-memory footprint in bytes (chunks + spine).
-  uint64_t memory_bytes() const { return memory_bytes_; }
+  uint64_t memory_bytes() const;
   /// Number of attribute positions currently resident in memory.
-  uint64_t num_positions() const { return num_positions_; }
-  const Counters& counters() const { return counters_; }
+  uint64_t num_positions() const;
+  /// Snapshot of the counters (copy: the map may be mutated concurrently).
+  Counters counters() const;
   const Options& options() const { return options_; }
 
   /// Drops the entire map (it is auxiliary; next query rebuilds it).
@@ -223,7 +268,7 @@ class PositionalMap {
   /// stripe, stored row-major [tuple_in_stripe][attr_idx_in_group].
   struct Chunk {
     int group_id = 0;
-    uint64_t epoch = 0;          // insertion epoch (see BeginEpoch)
+    uint64_t epoch = 0;          // installing epoch token (see BeginEpoch)
     std::vector<uint32_t> data;  // tuples_per_chunk * group_size entries
     bool spilled = false;        // true if currently only on disk
     std::list<std::pair<uint64_t, int>>::iterator lru_pos;  // key in lru_
@@ -246,12 +291,18 @@ class PositionalMap {
     }
   };
 
+  // All private helpers assume mu_ is held by the caller.
   Stripe& GetStripe(uint64_t stripe);
+  void SetRowStartLocked(uint64_t tuple, uint64_t offset);
   /// Group id for exactly this ordered attr set, creating it if new.
   int InternGroup(const std::vector<int>& attrs);
   /// True if a new chunk of `bytes` can be admitted without evicting a
-  /// current-epoch chunk.
+  /// chunk belonging to a still-active epoch.
   bool CanAdmit(uint64_t bytes);
+  /// Creates or reuses the chunk for (stripe, interned attrs); touches LRU.
+  Chunk* GetOrCreateChunk(uint64_t stripe, const std::vector<int>& attrs,
+                          int* gid_out);
+  bool EpochActive(uint64_t token) const;
   /// Index of `attr` within group `gid`, or -1.
   int ColumnInGroup(int gid, int attr) const;
   /// Returns the chunk for (stripe, gid), reloading it from spill if needed;
@@ -264,8 +315,10 @@ class PositionalMap {
   Status SpillChunk(uint64_t stripe, Chunk* chunk);
   Status ReloadChunk(uint64_t stripe, Chunk* chunk);
 
-  int num_attrs_;
-  Options options_;
+  const int num_attrs_;
+  const Options options_;
+
+  mutable std::mutex mu_;
 
   std::vector<Group> groups_;
   /// Key: sorted attr list serialized -> group id (to reuse combinations).
@@ -279,7 +332,8 @@ class PositionalMap {
 
   uint64_t memory_bytes_ = 0;
   uint64_t num_positions_ = 0;
-  uint64_t epoch_ = 0;
+  uint64_t next_epoch_ = 0;
+  std::vector<uint64_t> active_epochs_;
   uint64_t contiguous_rows_known_ = 0;
   uint64_t total_tuples_ = 0;
   int open_insert_chunks_ = 0;

@@ -27,6 +27,9 @@ struct OpenOptions {
   std::optional<Schema> schema;
   /// Syntax options for delimited-text formats.
   CsvDialect dialect;
+  /// Per-table override of EngineConfig::scan_threads for scans of this
+  /// raw source; 0 = use the engine default.
+  int scan_threads = 0;
 };
 
 /// Creates adapters for one format and scores how likely an unknown file is

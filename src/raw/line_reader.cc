@@ -1,5 +1,6 @@
 #include "raw/line_reader.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace nodb {
@@ -31,7 +32,12 @@ Status LineReader::Refill() {
     // A single record larger than the buffer: grow.
     buffer_.resize(buffer_.size() * 2);
   }
-  uint64_t want = buffer_.size() - buffer_len_;
+  // Read in bounded increments rather than a full buffer fill: a morsel
+  // worker (or an early-closed cursor) should not read far past what it
+  // consumes, and sequential scans lose nothing to the extra preads.
+  constexpr uint64_t kMaxReadIncrement = 64 * 1024;
+  uint64_t want =
+      std::min<uint64_t>(buffer_.size() - buffer_len_, kMaxReadIncrement);
   NODB_ASSIGN_OR_RETURN(
       uint64_t n, file_->Read(buffer_start_ + buffer_len_, want,
                               buffer_.data() + buffer_len_));
@@ -61,6 +67,41 @@ Result<bool> LineReader::Next(RecordRef* rec) {
     NODB_RETURN_IF_ERROR(Refill());
     if (buffer_len_ == 0) return false;  // nothing left
   }
+}
+
+Result<uint64_t> FindLineBoundary(const RandomAccessFile* file,
+                                  uint64_t offset, bool skip_first_line) {
+  const uint64_t size = file->size();
+  uint64_t scan_from;
+  if (offset == 0) {
+    if (!skip_first_line) return 0;
+    scan_from = 0;  // resolve past the header line
+  } else {
+    // Scanning from offset-1 makes an offset that already begins a line
+    // (previous byte '\n') map to itself — the idempotence the morsel
+    // planner relies on.
+    scan_from = offset - 1;
+  }
+  // Probe in small chunks: records are typically tens of bytes, and the
+  // morsel planner issues one probe per split point — big probe reads
+  // would dwarf the scan itself on early-Close paths.
+  char buf[8 * 1024];
+  while (scan_from < size) {
+    NODB_ASSIGN_OR_RETURN(
+        uint64_t n,
+        file->Read(scan_from, std::min<uint64_t>(sizeof(buf), size - scan_from),
+                   buf));
+    if (n == 0) break;
+    const char* nl = static_cast<const char*>(memchr(buf, '\n', n));
+    if (nl != nullptr) {
+      uint64_t start = scan_from + static_cast<uint64_t>(nl - buf) + 1;
+      // A '\n' as the file's very last byte starts no record: fall through
+      // to the end sentinel.
+      return start < size ? start : size;
+    }
+    scan_from += n;
+  }
+  return size;  // no record starts here (EOF or a ragged, unterminated tail)
 }
 
 }  // namespace nodb

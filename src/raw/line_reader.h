@@ -44,6 +44,17 @@ class LineReader {
   uint64_t next_offset_ = 0;  // file offset of the next record's first byte
 };
 
+/// Shared FindRecordBoundary implementation for newline-delimited formats:
+/// the offset of the first line start at or after `offset` (one past the
+/// next '\n', scanning from `offset - 1` so an offset that already is a
+/// line start maps to itself), or the file size when no line starts there.
+/// With `skip_first_line`, offsets at or before the header resolve to the
+/// first data line. A '\n' is an unambiguous record boundary for every
+/// format framed by LineReader — the reader splits on it unconditionally,
+/// so no record (quoted CSV fields included) can span one.
+Result<uint64_t> FindLineBoundary(const RandomAccessFile* file,
+                                  uint64_t offset, bool skip_first_line);
+
 /// RecordCursor over newline-delimited records, optionally discarding a
 /// header line when iteration starts at the top of the file. Seek targets
 /// are always data-record starts, so a seek skips the header implicitly.

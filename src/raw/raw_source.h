@@ -143,6 +143,26 @@ class RawSourceAdapter {
 
   virtual Result<std::unique_ptr<RecordCursor>> OpenCursor() const = 0;
 
+  /// Chunking hook for parallel morsel scans: the file offset of the first
+  /// *data* record starting at or after `offset` (snapping an arbitrary
+  /// split point to a record boundary — the next newline for delimited
+  /// text, the next stride multiple for fixed-width binary). Contract:
+  ///
+  ///  * boundary(0) is the first data record (any header lies before it);
+  ///  * the result is >= offset, and idempotent:
+  ///    boundary(boundary(x)) == boundary(x);
+  ///  * monotone: x <= y implies boundary(x) <= boundary(y);
+  ///  * when no record starts at or after `offset` (including offsets past
+  ///    EOF, or inside a ragged final record with no terminator), every
+  ///    such offset maps to one common end sentinel — so consecutive split
+  ///    points [a, b) always partition the records without gap or overlap.
+  ///
+  /// A split point may land anywhere — mid-field, mid-quoted-text,
+  /// mid-escape — and must still resolve to a true record start; this is
+  /// what lets N workers scan disjoint morsels whose concatenation is
+  /// exactly the serial scan.
+  virtual Result<uint64_t> FindRecordBoundary(uint64_t offset) const = 0;
+
   // ------------------------------------------------------------------
   // Tokenize/parse hooks (driven per record by RawScanOp)
   // ------------------------------------------------------------------

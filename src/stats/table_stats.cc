@@ -11,9 +11,41 @@ TableStats::TableStats(const Schema& schema) {
   built_.resize(schema.num_columns());
 }
 
+void TableStats::SetRowCount(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  row_count_ = n;
+}
+
+std::optional<uint64_t> TableStats::row_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return row_count_;
+}
+
+bool TableStats::HasAttr(int attr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return built_[attr] != nullptr;
+}
+
+TableStats::AttrStatsPtr TableStats::Attr(int attr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return built_[attr];
+}
+
+void TableStats::AddValue(int attr, const Value& v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  builders_[attr]->Add(v);
+}
+
+void TableStats::AddValues(int attr, const Value* values, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AttrStatsBuilder* builder = builders_[attr].get();
+  for (size_t i = 0; i < n; ++i) builder->Add(values[i]);
+}
+
 void TableStats::Finalize(int attr) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (builders_[attr]->has_data()) {
-    built_[attr] = builders_[attr]->Build();
+    built_[attr] = std::make_shared<const AttrStats>(builders_[attr]->Build());
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -15,30 +16,38 @@ namespace nodb {
 /// the attributes it actually parsed, so coverage widens as the workload
 /// touches more of the file (§4.4: "as queries request more attributes of a
 /// raw file, statistics are incrementally augmented").
+///
+/// Thread-safe: concurrent scans may feed values while another query's
+/// planner reads estimates. Snapshots are immutable and handed out as
+/// shared_ptr, so a planner's estimate survives a concurrent re-finalize.
 class TableStats {
  public:
+  using AttrStatsPtr = std::shared_ptr<const AttrStats>;
+
   explicit TableStats(const Schema& schema);
 
   /// Notes that a full scan observed `n` rows (exact row count).
-  void SetRowCount(uint64_t n) { row_count_ = n; }
+  void SetRowCount(uint64_t n);
   /// Exact row count if a scan completed, otherwise nullopt.
-  std::optional<uint64_t> row_count() const { return row_count_; }
+  std::optional<uint64_t> row_count() const;
 
   /// True if statistics exist for `attr`.
-  bool HasAttr(int attr) const { return built_[attr].has_value(); }
+  bool HasAttr(int attr) const;
 
-  /// Statistics for `attr`; nullptr when never collected.
-  const AttrStats* Attr(int attr) const {
-    return built_[attr].has_value() ? &*built_[attr] : nullptr;
-  }
+  /// Snapshot of the statistics for `attr`; nullptr when never collected.
+  AttrStatsPtr Attr(int attr) const;
 
   /// Accumulates one value for `attr` (called by scans when stats collection
   /// is enabled). Sampling is handled internally; callers may feed every
   /// parsed value.
-  void AddValue(int attr, const Value& v) { builders_[attr]->Add(v); }
+  void AddValue(int attr, const Value& v);
 
-  /// True if the builder for `attr` saw data that has not been folded into
-  /// the queryable snapshot yet.
+  /// Accumulates `n` values for `attr`, paying the lock once — the merge
+  /// path of parallel scans, which replay each morsel's parsed values in
+  /// file order so the resulting statistics match a serial scan's.
+  void AddValues(int attr, const Value* values, size_t n);
+
+  /// Folds pending data for `attr` into the queryable snapshot.
   void Finalize(int attr);
   /// Finalizes every attribute that has pending data.
   void FinalizeAll();
@@ -46,8 +55,9 @@ class TableStats {
   int num_attrs() const { return static_cast<int>(builders_.size()); }
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<AttrStatsBuilder>> builders_;
-  std::vector<std::optional<AttrStats>> built_;
+  std::vector<AttrStatsPtr> built_;
   std::optional<uint64_t> row_count_;
 };
 

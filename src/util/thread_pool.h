@@ -1,0 +1,61 @@
+#ifndef NODB_UTIL_THREAD_POOL_H_
+#define NODB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nodb {
+
+/// Fixed-size worker pool shared by every parallel scan of one Database
+/// (morsel-driven parallelism, in the spirit of Leis et al.'s
+/// "Morsel-Driven Parallelism"). Tasks are plain closures drained FIFO by
+/// long-lived workers, so per-morsel dispatch costs a queue push instead of
+/// a thread spawn.
+///
+/// Scheduling contract: tasks must never block on the completion of a task
+/// that has not started yet (there may be fewer workers than queued tasks),
+/// and must not park indefinitely on external progress — the pool is shared
+/// by every concurrently open scan of a Database. Parallel scans obey this
+/// by making worker tasks run-to-bounded-completion: a worker processes
+/// morsels while its scan's reorder window permits and *exits* otherwise;
+/// the scan's consumer (on the caller's thread, never inside the pool)
+/// resubmits workers as it drains the window.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (minimum 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains nothing: pending tasks are abandoned, running tasks are joined.
+  /// Callers that need their tasks finished must track completion
+  /// themselves (parallel scans join their morsel workers in Close).
+  ~ThreadPool();
+
+  /// Enqueues `task` for execution on some worker. Safe from any thread,
+  /// including from inside a task.
+  void Submit(std::function<void()> task);
+
+  /// Grows the pool to at least `num_threads` workers (never shrinks).
+  void Grow(int num_threads);
+
+  int num_threads() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_UTIL_THREAD_POOL_H_

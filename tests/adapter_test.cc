@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
@@ -313,6 +314,161 @@ TEST_P(AdapterConformanceTest, EarlyCursorCloseStopsRawReads) {
        "unread";
   // And no reads happen once the cursor is closed.
   EXPECT_EQ(file->bytes_read(), after_close);
+}
+
+/// Verifies the FindRecordBoundary contract on the table registered in
+/// `db`: idempotence, monotonicity, and that every offset maps to the
+/// smallest true record start at or after it (or the common end sentinel).
+/// True record starts come from a full cursor walk, so the boundary hook
+/// and the record iterator are checked against each other.
+void CheckBoundaryContract(Database* db) {
+  const RawSourceAdapter* adapter = db->runtime("t")->adapter.get();
+  std::vector<uint64_t> starts;
+  {
+    auto cursor = adapter->OpenCursor();
+    ASSERT_TRUE(cursor.ok()) << cursor.status();
+    RecordRef rec;
+    while (true) {
+      auto has = (*cursor)->Next(&rec);
+      if (!has.ok() || !*has) break;  // truncated tails end the walk early
+      starts.push_back(rec.offset);
+    }
+  }
+  const uint64_t file_size = adapter->file()->size();
+  auto sentinel = adapter->FindRecordBoundary(file_size);
+  ASSERT_TRUE(sentinel.ok()) << sentinel.status();
+
+  // Every true start maps to itself; start-to-start, the mapping is the
+  // identity (idempotence on the fixed points).
+  for (uint64_t s : starts) {
+    auto b = adapter->FindRecordBoundary(s);
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(*b, s);
+  }
+
+  // Arbitrary offsets — including mid-record, mid-field, at EOF and past
+  // the last record — map to the smallest start at or after them.
+  uint64_t prev = 0;
+  const uint64_t step = std::max<uint64_t>(1, file_size / 512);
+  for (uint64_t offset = 0; offset <= file_size; offset += step) {
+    auto b = adapter->FindRecordBoundary(offset);
+    ASSERT_TRUE(b.ok()) << b.status();
+    auto it = std::lower_bound(starts.begin(), starts.end(), offset);
+    uint64_t want = it != starts.end() ? *it : *sentinel;
+    // Offsets past the data region (FITS block padding) also resolve to
+    // the sentinel, which may lie before them.
+    if (offset > *sentinel) want = *sentinel;
+    EXPECT_EQ(*b, want) << "offset " << offset;
+    EXPECT_GE(*b, prev) << "monotonicity at " << offset;  // monotone
+    prev = *b;
+    auto again = adapter->FindRecordBoundary(*b);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, *b) << "idempotence at " << offset;
+  }
+}
+
+TEST_P(AdapterConformanceTest, FindRecordBoundaryContract) {
+  const Backend& backend = *GetParam();
+  std::string path = FilePath();
+  backend.write(path, 150);
+  auto db = OpenTable(path);
+  CheckBoundaryContract(db.get());
+}
+
+TEST_P(AdapterConformanceTest, FindRecordBoundaryWithRaggedAndTruncatedTail) {
+  const Backend& backend = *GetParam();
+  if (backend.make_ragged == nullptr) {
+    GTEST_SKIP() << "fixed-width formats cannot express ragged records";
+  }
+  std::string path = FilePath();
+  backend.write(path, 30);
+  backend.make_ragged(path);
+  // A final record cut off mid-way with no terminator: no record starts
+  // inside it, so every offset in it resolves to the end sentinel — the
+  // unterminated tail belongs to whichever morsel contains its start.
+  backend.make_truncated(path, 31);
+  auto db = OpenTable(path);
+  CheckBoundaryContract(db.get());
+
+  const RawSourceAdapter* adapter = db->runtime("t")->adapter.get();
+  const uint64_t file_size = adapter->file()->size();
+  auto tail = adapter->FindRecordBoundary(file_size - 2);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, file_size);
+}
+
+TEST_P(AdapterConformanceTest, FindRecordBoundaryAtExactEof) {
+  const Backend& backend = *GetParam();
+  std::string path = FilePath();
+  backend.write(path, 10);
+  auto db = OpenTable(path);
+  const RawSourceAdapter* adapter = db->runtime("t")->adapter.get();
+  const uint64_t file_size = adapter->file()->size();
+  auto at_eof = adapter->FindRecordBoundary(file_size);
+  ASSERT_TRUE(at_eof.ok());
+  auto past_eof = adapter->FindRecordBoundary(file_size + 1000);
+  ASSERT_TRUE(past_eof.ok());
+  EXPECT_EQ(*past_eof, *at_eof);
+  // The sentinel is itself a fixed point.
+  auto again = adapter->FindRecordBoundary(*at_eof);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *at_eof);
+}
+
+TEST(CsvBoundaryTest, CrlfAndHeaderResolveToDataRecords) {
+  TempDir dir;
+  std::string path = dir.File("t.csv");
+  const std::string content =
+      "id,name\r\n"       // header (record starts must skip it)
+      "1,alpha\r\n"
+      "2,beta\r\n"
+      "3,gamma\r\n";
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+
+  CsvDialect dialect;
+  dialect.has_header = true;
+  Schema schema{{"id", TypeId::kInt64}, {"name", TypeId::kString}};
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(db->RegisterCsv("t", path, schema, dialect).ok());
+  const RawSourceAdapter* adapter = db->runtime("t")->adapter.get();
+
+  // boundary(0) is the first *data* record, not the header.
+  const uint64_t first_data = content.find("1,alpha");
+  auto b0 = adapter->FindRecordBoundary(0);
+  ASSERT_TRUE(b0.ok());
+  EXPECT_EQ(*b0, first_data);
+  // An offset inside the header also resolves past it.
+  auto b3 = adapter->FindRecordBoundary(3);
+  ASSERT_TRUE(b3.ok());
+  EXPECT_EQ(*b3, first_data);
+  // CRLF: record starts sit after the '\n'; the '\r' belongs to the
+  // preceding record's framing.
+  const uint64_t second_data = content.find("2,beta");
+  auto mid = adapter->FindRecordBoundary(first_data + 2);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(*mid, second_data);
+  // And the full contract holds.
+  CheckBoundaryContract(db.get());
+}
+
+TEST(CsvBoundaryTest, QuotedFieldsSnapToRecordStarts) {
+  TempDir dir;
+  std::string path = dir.File("t.csv");
+  const std::string content =
+      "1,\"a,b\"\"c\",x\n"
+      "2,\",,,\",y\n"
+      "3,plain,z\n";
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  CsvDialect dialect;
+  dialect.quoting = true;
+  Schema schema{{"id", TypeId::kInt64},
+                {"q", TypeId::kString},
+                {"t", TypeId::kString}};
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  ASSERT_TRUE(db->RegisterCsv("t", path, schema, dialect).ok());
+  // Offsets inside the quoted fields (commas, escaped quotes) snap to the
+  // next record start — '\n' is a record boundary before quoting applies.
+  CheckBoundaryContract(db.get());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFormats, AdapterConformanceTest,

@@ -25,7 +25,7 @@ ColumnCache::Options Unlimited() { return ColumnCache::Options{}; }
 TEST(ColumnCacheTest, PutGetRoundTrip) {
   ColumnCache cache({TypeId::kInt64, TypeId::kString}, Unlimited());
   cache.Put(0, 0, IntColumn(4, 100));
-  const std::vector<Value>* col = cache.Get(0, 0);
+  ColumnCache::Column col = cache.Get(0, 0);
   ASSERT_NE(col, nullptr);
   ASSERT_EQ(col->size(), 4u);
   EXPECT_EQ((*col)[2].int64(), 102);
@@ -155,7 +155,7 @@ TEST(ColumnCacheProperty, RandomWorkloadStaysWithinBudgetAndConsistent) {
       cache.Put(stripe, attr,
                 IntColumn(16, static_cast<int64_t>(stripe * 8 + attr)));
     } else {
-      const std::vector<Value>* col = cache.Get(stripe, attr);
+      ColumnCache::Column col = cache.Get(stripe, attr);
       if (col != nullptr) {
         // Values must match what was inserted for this (stripe, attr).
         EXPECT_EQ((*col)[0].int64(), static_cast<int64_t>(stripe * 8 + attr));

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
+#include <vector>
 
 #include "engine/engines.h"
 #include "pmap/positional_map.h"
@@ -241,6 +243,226 @@ TEST(PositionalMapBudget, ClearDropsEverything) {
 // ---------------------------------------------------------------------
 // TempMap (pre-fetching)
 // ---------------------------------------------------------------------
+
+TEST(PositionalMapBudget, AbandonedQueryReleasesItsEpoch) {
+  // A query that dies mid-scan (parse error) abandons its pipeline without
+  // the operator Close protocol. Its scan epoch must still end — a leaked
+  // epoch keeps the errored scan's chunks eviction-protected forever, and
+  // once they fill the budget every later scan's insert is declined (the
+  // map wedges shut and stops learning).
+  TempDir dir;
+  std::string path = dir.File("t.csv");
+  std::string content;
+  for (int i = 0; i < 1999; ++i) {
+    content += std::to_string(i) + "," + std::to_string(i * 2) + "," +
+               std::to_string(i * 3) + "\n";
+  }
+  content += "xx,1,2\n";  // unconvertible `a` cell, hit at the very end
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  Schema schema{{"a", TypeId::kInt64},
+                {"b", TypeId::kInt64},
+                {"c", TypeId::kInt64}};
+
+  EngineConfig cfg = EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPM);
+  cfg.tuples_per_chunk = 64;
+  // Room for the spine (2000 x 8 B = ~16 KiB, never evicted) plus a few
+  // KiB of chunks: the errored scan fills the chunk budget by itself.
+  cfg.pm_budget_bytes = 20 * 1024;
+  Database db(cfg);
+  ASSERT_TRUE(db.RegisterCsv("t", path, schema).ok());
+
+  // Scan 1 errors on the last record, after installing attr-0 chunks for
+  // every stripe under its epoch.
+  auto bad = db.Execute("SELECT a FROM t");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument)
+      << bad.status();
+
+  // Scan 2 never parses the bad cell and wants chunks for new attributes;
+  // admitting them requires evicting scan 1's chunks — only possible if
+  // scan 1's epoch was released when its cursor was abandoned.
+  auto ok = db.Execute("SELECT c FROM t WHERE b >= 0");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  PositionalMap* pm = db.runtime("t")->pmap.get();
+  EXPECT_TRUE(pm->StripeHasAttr(0, 1));
+  EXPECT_TRUE(pm->StripeHasAttr(0, 2));
+}
+
+TEST(PositionalMapAttrs, CombinationPolicyReindexesSpanningAttrs) {
+  // §4.2 Adaptive Behavior: once a query's attributes live in *different*
+  // chunks, index_combinations re-inserts the full combination into one
+  // chunk — even though every attribute is already indexed. (Regression:
+  // the fragment installer's already-indexed filter must not eat this.)
+  TempDir dir;
+  std::string path = dir.File("t.csv");
+  std::string content;
+  for (int i = 0; i < 200; ++i) {
+    content += std::to_string(i) + "," + std::to_string(i * 2) + "," +
+               std::to_string(i * 3) + "\n";
+  }
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  Schema schema{{"a", TypeId::kInt64},
+                {"b", TypeId::kInt64},
+                {"c", TypeId::kInt64}};
+
+  EngineConfig cfg = EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPM);
+  cfg.index_combinations = true;
+  cfg.index_intermediates = false;
+  cfg.tuples_per_chunk = 64;
+  Database db(cfg);
+  ASSERT_TRUE(db.RegisterCsv("t", path, schema).ok());
+
+  ASSERT_TRUE(db.Execute("SELECT a FROM t").ok());
+  ASSERT_TRUE(db.Execute("SELECT c FROM t").ok());
+  PositionalMap* pm = db.runtime("t")->pmap.get();
+  EXPECT_TRUE(pm->StripeHasAttr(0, 0));
+  EXPECT_TRUE(pm->StripeHasAttr(0, 2));
+  EXPECT_FALSE(pm->StripeAttrsShareChunk(0, {0, 2}));
+
+  ASSERT_TRUE(db.Execute("SELECT a, c FROM t").ok());
+  EXPECT_TRUE(pm->StripeAttrsShareChunk(0, {0, 2}));
+}
+
+// ---------------------------------------------------------------------
+// Fragment installs (the scan path, serial and parallel)
+// ---------------------------------------------------------------------
+
+/// Builds a fragment of `n` records tracking `attrs`, with synthetic row
+/// starts (40 bytes apart) and positions attr*10 + record.
+PmapFragment MakeFragment(const std::vector<int>& attrs, int n,
+                          uint64_t first_offset = 0) {
+  PmapFragment frag;
+  frag.Reset(attrs);
+  frag.Reserve(n);
+  std::vector<uint32_t> pos(attrs.size());
+  for (int r = 0; r < n; ++r) {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      pos[i] = static_cast<uint32_t>(attrs[i] * 10 + r % 10);
+    }
+    frag.AddRecord(first_offset + static_cast<uint64_t>(r) * 40, pos.data());
+  }
+  return frag;
+}
+
+TEST(PmapFragmentTest, InstallSpansStripesAndFillsSpineAndPositions) {
+  PositionalMap pm(6, SmallChunks(8));
+  // 20 records starting at tuple 4: covers the tail of stripe 0, all of
+  // stripe 1, and the head of stripe 2.
+  PmapFragment frag = MakeFragment({0, 2, 5}, 20, 1000);
+  uint64_t epoch = pm.BeginEpoch();
+  pm.InstallFragment(frag, 4, epoch);
+  pm.EndEpoch(epoch);
+
+  for (int r = 0; r < 20; ++r) {
+    uint64_t tuple = 4 + r;
+    auto start = pm.RowStart(tuple);
+    ASSERT_TRUE(start.has_value()) << tuple;
+    EXPECT_EQ(*start, 1000 + static_cast<uint64_t>(r) * 40);
+    for (int a : {0, 2, 5}) {
+      auto p = pm.Lookup(tuple, a);
+      ASSERT_TRUE(p.has_value()) << tuple << "/" << a;
+      EXPECT_EQ(*p, static_cast<uint32_t>(a * 10 + r % 10));
+    }
+    EXPECT_FALSE(pm.Lookup(tuple, 1).has_value());
+  }
+  // Tuples before the fragment are unknown; the watermark starts at 0.
+  EXPECT_FALSE(pm.RowStart(0).has_value());
+  EXPECT_EQ(pm.contiguous_rows_known(), 0u);
+}
+
+TEST(PmapFragmentTest, ReinstallingIndexedAttrsAddsNothing) {
+  PositionalMap pm(4, SmallChunks(8));
+  PmapFragment frag = MakeFragment({1, 3}, 8);
+  pm.InstallFragment(frag, 0, 0);
+  uint64_t positions = pm.num_positions();
+  uint64_t bytes = pm.memory_bytes();
+  // A second install of the same attrs for the same stripe (a concurrent
+  // scan that staged before the first one landed) must not duplicate the
+  // chunk or the accounting.
+  pm.InstallFragment(frag, 0, 0);
+  EXPECT_EQ(pm.num_positions(), positions);
+  EXPECT_EQ(pm.memory_bytes(), bytes);
+}
+
+TEST(PmapFragmentTest, UnknownPositionsLeaveHolesNotCounts) {
+  PositionalMap pm(2, SmallChunks(8));
+  PmapFragment frag;
+  frag.Reset({0, 1});
+  uint32_t pos[2] = {7, PositionalMap::kUnknown};
+  frag.AddRecord(0, pos);
+  pm.InstallFragment(frag, 0, 0);
+  EXPECT_EQ(pm.num_positions(), 1u);
+  EXPECT_TRUE(pm.Lookup(0, 0).has_value());
+  EXPECT_FALSE(pm.Lookup(0, 1).has_value());
+}
+
+/// The satellite regression for the budget-accounting fix: the seed's
+/// accounting assumed a single mutator (EndStripeInsert zeroed the
+/// open-insert counter; eviction walked LRU state no one else could be
+/// touching). Four workers concurrently installing far more than the
+/// budget must leave the map consistent and within bounds.
+TEST(PositionalMapBudget, ConcurrentFragmentInstallsOvercommitSafely) {
+  PositionalMap::Options opts;
+  opts.tuples_per_chunk = 64;
+  opts.budget_bytes = 128 * 1024;
+  PositionalMap pm(8, opts);
+
+  constexpr int kWorkers = 4;
+  constexpr int kStripesPerWorker = 40;
+  const std::vector<int> attrs{0, 1, 2, 3, 4, 5, 6, 7};
+  // Two workers install inside live epochs (their fresh chunks are
+  // admission-protected), two without (plain LRU fodder) — both paths
+  // race on the shared accounting.
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      uint64_t epoch = (w % 2 == 0) ? pm.BeginEpoch() : 0;
+      for (int s = 0; s < kStripesPerWorker; ++s) {
+        const uint64_t first =
+            (static_cast<uint64_t>(w) * kStripesPerWorker + s) * 64;
+        PmapFragment frag = MakeFragment(attrs, 64, first * 40);
+        pm.InstallFragment(frag, first, epoch);
+      }
+      if (epoch != 0) pm.EndEpoch(epoch);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  // Every worker wrote 40 stripes x (spine 512 B + 2 chunks x 1 KiB) —
+  // ~400 KiB of chunk data against a 128 KiB budget. The spine is never
+  // evicted; chunks must have been declined or evicted back to budget.
+  const uint64_t spine_bytes =
+      static_cast<uint64_t>(kWorkers) * kStripesPerWorker * 64 * 8;
+  EXPECT_LE(pm.memory_bytes(), spine_bytes + opts.budget_bytes);
+  EXPECT_GT(pm.counters().fragments_installed, 0u);
+
+  // The map stays fully usable: spine complete, lookups either hit with
+  // the installed value or miss cleanly (evicted/declined chunks).
+  for (uint64_t tuple = 0; tuple < kWorkers * kStripesPerWorker * 64;
+       tuple += 97) {
+    ASSERT_TRUE(pm.RowStart(tuple).has_value()) << tuple;
+    for (int a : attrs) {
+      auto p = pm.Lookup(tuple, a);
+      if (p.has_value()) {
+        EXPECT_EQ(*p, static_cast<uint32_t>(a * 10 + (tuple % 64) % 10));
+      }
+    }
+  }
+  // With all epochs ended, a fresh over-budget install must still be
+  // admitted by evicting old chunks — the budget can't wedge shut.
+  uint64_t tail_epoch = pm.BeginEpoch();
+  const uint64_t tail_first = kWorkers * kStripesPerWorker * 64;
+  PmapFragment frag = MakeFragment(attrs, 64, tail_first * 40);
+  pm.InstallFragment(frag, tail_first, tail_epoch);
+  pm.EndEpoch(tail_epoch);
+  EXPECT_TRUE(pm.Lookup(tail_first, 0).has_value());
+  EXPECT_LE(pm.memory_bytes(),
+            spine_bytes + 64 * 8 + opts.budget_bytes);
+
+  pm.Clear();
+  EXPECT_EQ(pm.memory_bytes(), 0u);
+  EXPECT_EQ(pm.num_positions(), 0u);
+}
 
 TEST(TempMapTest, PrefetchesKnownPositions) {
   PositionalMap pm(8, SmallChunks(4));

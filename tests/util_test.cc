@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
 #include "util/fs_util.h"
+#include "util/thread_pool.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -325,6 +331,82 @@ TEST(StopwatchTest, MeasuresElapsed) {
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(sw.ElapsedSeconds(), 0.0);
   EXPECT_GE(sw.ElapsedMicros(), 0);
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr int kTasks = 200;
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (done.fetch_add(1) + 1 == kTasks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done.load() == kTasks; }));
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      pool.Submit([&] {
+        if (done.fetch_add(1) + 1 == 8) {
+          std::lock_guard<std::mutex> lock(mu);
+          cv.notify_all();
+        }
+      });
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done.load() == 8; }));
+}
+
+TEST(ThreadPoolTest, GrowAddsWorkersAndNeverShrinks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  pool.Grow(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  pool.Grow(2);  // never shrinks
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ThreadPoolTest, DestructionAbandonsQueuedButJoinsRunning) {
+  // A pool with one thread and a slow head task: queued tasks behind it
+  // are dropped at destruction, and the destructor joins cleanly.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool started = false;
+    pool.Submit([&] {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        started = true;
+        cv.notify_all();
+      }
+      ++ran;
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return started; });
+  }
+  EXPECT_EQ(ran.load(), 1);
 }
 
 }  // namespace
