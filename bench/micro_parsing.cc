@@ -1,117 +1,303 @@
-// Engineering micro-benchmarks (google-benchmark): raw throughput of the
-// pieces on the in-situ hot path — tokenizing, parsing, positional-map
-// lookups, cache access. Not a paper figure; used to sanity-check that the
-// building blocks have the cost ordering the design assumes (conversion >
-// tokenizing > map lookup > cache hit).
+// Parse-kernel before/after gate: the cold-scan hot path measured one stage
+// at a time — tokenize only (field-boundary discovery), parse only (text to
+// binary conversion), and the end-to-end cold scan through the engine — for
+// the scalar reference path and every SWAR/SIMD kernel table this build and
+// CPU provide, on the same CSV and JSON Lines data. Not a paper figure; it
+// exists so a kernel change cannot land without showing its effect on the
+// exact stages the paper charges the cold scan to (tokenizing and
+// conversion), and so regressions show up as a ratio < 1 in one glance.
+//
+// Writes BENCH_parsing.json (machine-readable rows + the two gate ratios)
+// to the working directory.
+//
+//   ./bench_micro_parsing [--scale=F] [--seed=N]    (1.0 = 1M rows x 10 cols)
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "cache/column_cache.h"
-#include "csv/tokenizer.h"
-#include "pmap/positional_map.h"
-#include "util/rng.h"
-#include "util/str_conv.h"
+#include "common.h"
+#include "json/json_text.h"
+#include "json/jsonl_writer.h"
+#include "raw/parse_kernels.h"
+#include "util/stopwatch.h"
 
-namespace nodb {
+using namespace nodb;
+using namespace nodb::bench;
+
 namespace {
 
-std::string MakeLine(int fields) {
-  Rng rng(7);
-  std::string line;
-  for (int f = 0; f < fields; ++f) {
-    if (f > 0) line += ",";
-    AppendInt64(&line, rng.Uniform(0, 999999999));
+constexpr int kReps = 3;  // best-of, each stage
+
+/// Records of a generated file (views into `backing`), newline-framed the
+/// same way LineReader frames them.
+struct Corpus {
+  std::string backing;
+  std::vector<std::string_view> records;
+  double mb = 0;
+};
+
+Corpus LoadCorpus(const std::string& path) {
+  Corpus c;
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) {
+    fprintf(stderr, "read failed: %s\n", contents.status().ToString().c_str());
+    exit(1);
   }
-  return line;
+  c.backing = std::move(*contents);
+  c.mb = static_cast<double>(c.backing.size()) / (1024.0 * 1024.0);
+  size_t start = 0;
+  while (start < c.backing.size()) {
+    size_t nl = c.backing.find('\n', start);
+    if (nl == std::string::npos) nl = c.backing.size();
+    c.records.push_back(
+        std::string_view(c.backing).substr(start, nl - start));
+    start = nl + 1;
+  }
+  return c;
 }
 
-void BM_TokenizeFullLine(benchmark::State& state) {
-  std::string line = MakeLine(50);
+double BestOf(int reps, double (*fn)(const Corpus&, const ParseKernels&),
+              const Corpus& corpus, const ParseKernels& k) {
+  double best = fn(corpus, k);
+  for (int r = 1; r < reps; ++r) {
+    double t = fn(corpus, k);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+// --- tokenize-only ------------------------------------------------------
+
+double TokenizeCsv(const Corpus& corpus, const ParseKernels& k) {
   CsvDialect dialect;
-  std::vector<uint32_t> starts(50);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        TokenizeStarts(line, dialect, 49, starts.data()));
+  uint32_t starts[64];
+  uint64_t fields = 0;
+  Stopwatch timer;
+  for (std::string_view rec : corpus.records) {
+    fields += static_cast<uint64_t>(k.csv_tokenize(rec, dialect, 63, starts));
   }
-  state.SetBytesProcessed(state.iterations() * line.size());
+  double t = timer.ElapsedSeconds();
+  if (fields == 0) exit(3);  // keep the loop observable
+  return t;
 }
-BENCHMARK(BM_TokenizeFullLine);
 
-void BM_TokenizeSelectiveTo5(benchmark::State& state) {
-  std::string line = MakeLine(50);
+double TokenizeJsonl(const Corpus& corpus, const ParseKernels& k) {
+  std::string scratch;
+  JsonBitmaps bitmaps;
+  uint64_t fields = 0;
+  auto count = [&fields](std::string_view, size_t, size_t) { ++fields; };
+  Stopwatch timer;
+  for (std::string_view rec : corpus.records) {
+    if (k.json_bitmaps != nullptr) {
+      k.json_bitmaps(rec, &bitmaps);
+      WalkTopLevelFields(rec, BitmapSkipper{&bitmaps}, &scratch, count);
+    } else {
+      WalkTopLevelFields(rec, ScalarJsonSkipper{}, &scratch, count);
+    }
+  }
+  double t = timer.ElapsedSeconds();
+  if (fields == 0) exit(3);
+  return t;
+}
+
+// --- parse-only ---------------------------------------------------------
+
+/// All integer fields of the CSV corpus, pre-tokenized (with the scalar
+/// reference, outside the timed region) so only conversion is measured.
+std::vector<std::string_view> CsvFields(const Corpus& corpus) {
   CsvDialect dialect;
-  std::vector<uint32_t> starts(6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(TokenizeStarts(line, dialect, 5, starts.data()));
+  const ParseKernels& scalar = ScalarKernels();
+  uint32_t starts[64];
+  std::vector<std::string_view> fields;
+  for (std::string_view rec : corpus.records) {
+    int n = scalar.csv_tokenize(rec, dialect, 63, starts);
+    for (int f = 0; f < n; ++f) {
+      uint32_t end = scalar.csv_field_end(rec, dialect, starts[f]);
+      fields.push_back(rec.substr(starts[f], end - starts[f]));
+    }
   }
+  return fields;
 }
-BENCHMARK(BM_TokenizeSelectiveTo5);
 
-void BM_ParseInt64Field(benchmark::State& state) {
-  std::string field = "123456789";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ParseInt64(field));
+double ParseFields(const std::vector<std::string_view>& fields,
+                   const ParseKernels& k) {
+  int64_t sum = 0;
+  Stopwatch timer;
+  for (std::string_view f : fields) {
+    auto v = k.parse_int64(f);
+    if (v.ok()) sum += *v;
   }
+  double t = timer.ElapsedSeconds();
+  if (sum == 0) exit(3);
+  return t;
 }
-BENCHMARK(BM_ParseInt64Field);
 
-void BM_ParseDoubleField(benchmark::State& state) {
-  std::string field = "12345.6789";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ParseDouble(field));
-  }
-}
-BENCHMARK(BM_ParseDoubleField);
+// --- end-to-end cold scan ----------------------------------------------
 
-void BM_ParseDateField(benchmark::State& state) {
-  std::string field = "1995-06-17";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ParseDate(field));
+double ColdScan(const std::string& path, const Schema& schema,
+                const std::string& sql, SystemUnderTest sut, bool scalar) {
+  // A fresh engine per run: cold means no positional map, no cache, no
+  // statistics carried over. File-system cache stays warm for every
+  // variant alike (the paper's "cold" is about NoDB's structures, and a
+  // warm page cache is the configuration where parse cost dominates I/O).
+  double best = -1;
+  for (int r = 0; r < kReps; ++r) {
+    EngineConfig cfg = EngineConfig::ForSystem(sut);
+    cfg.scalar_kernels = scalar;
+    Database db(cfg);
+    OpenOptions options;
+    options.schema = schema;
+    Status s = db.Open("t", path, options);
+    if (!s.ok()) {
+      fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+      exit(1);
+    }
+    double t = RunQuery(&db, sql);
+    if (best < 0 || t < best) best = t;
   }
+  return best;
 }
-BENCHMARK(BM_ParseDateField);
 
-void BM_PositionalMapLookup(benchmark::State& state) {
-  PositionalMap pm(50, PositionalMap::Options{});
-  int chunk = pm.BeginStripeInsert(0, {4, 8});
-  for (int t = 0; t < 4096; ++t) {
-    pm.InsertPosition(chunk, t, 4, t * 10);
-    pm.InsertPosition(chunk, t, 8, t * 10 + 5);
-  }
-  pm.EndStripeInsert();
-  uint64_t t = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pm.Lookup(t % 4096, 4));
-    ++t;
-  }
-}
-BENCHMARK(BM_PositionalMapLookup);
+// --- reporting ----------------------------------------------------------
 
-void BM_PositionalMapBulkFill(benchmark::State& state) {
-  PositionalMap pm(50, PositionalMap::Options{});
-  int chunk = pm.BeginStripeInsert(0, {4});
-  for (int t = 0; t < 4096; ++t) pm.InsertPosition(chunk, t, 4, t * 10);
-  pm.EndStripeInsert();
-  std::vector<uint32_t> out(4096);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pm.FillStripePositions(0, 4, out.data(), 4096));
-  }
-  state.SetItemsProcessed(state.iterations() * 4096);
-}
-BENCHMARK(BM_PositionalMapBulkFill);
+struct BenchRow {
+  std::string stage, format, kernel;
+  double seconds, mb_per_s, speedup;
+};
 
-void BM_CacheGetHit(benchmark::State& state) {
-  ColumnCache cache({TypeId::kInt64}, ColumnCache::Options{});
-  std::vector<Value> column;
-  for (int i = 0; i < 4096; ++i) column.push_back(Value::Int64(i));
-  cache.Put(0, 0, std::move(column));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.Get(0, 0));
+void EmitJson(const std::vector<BenchRow>& rows, double tokenize_speedup,
+              double e2e_speedup) {
+  FILE* f = fopen("BENCH_parsing.json", "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write BENCH_parsing.json\n");
+    return;
   }
+  fprintf(f, "{\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    fprintf(f,
+            "    {\"stage\": \"%s\", \"format\": \"%s\", \"kernel\": \"%s\", "
+            "\"seconds\": %.6f, \"mb_per_s\": %.1f, \"speedup\": %.3f}%s\n",
+            r.stage.c_str(), r.format.c_str(), r.kernel.c_str(), r.seconds,
+            r.mb_per_s, r.speedup, i + 1 < rows.size() ? "," : "");
+  }
+  fprintf(f, "  ],\n");
+  fprintf(f, "  \"gate\": {\"csv_tokenize_speedup\": %.3f, "
+          "\"csv_cold_scan_speedup\": %.3f}\n}\n",
+          tokenize_speedup, e2e_speedup);
+  fclose(f);
+  printf("\nwrote BENCH_parsing.json\n");
 }
-BENCHMARK(BM_CacheGetHit);
 
 }  // namespace
-}  // namespace nodb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+
+  MicroDataSpec spec;
+  spec.rows = static_cast<uint64_t>(1000000 * args.scale);
+  spec.cols = 10;
+  spec.seed = args.seed;
+
+  std::string csv = MicroCsv(spec, "parsing");
+  std::string jsonl = DataDir()->File("micro_parsing.jsonl");
+  if (!GenerateWideJsonl(jsonl, spec).ok()) {
+    fprintf(stderr, "data generation failed\n");
+    return 1;
+  }
+
+  PrintBanner(
+      "Parse kernels: tokenize / parse / cold scan, scalar vs SWAR-SIMD",
+      "§5 charges the cold in-situ scan mostly to tokenizing and data-type "
+      "conversion; the kernels must beat the scalar reference on exactly "
+      "those stages while producing byte-identical results");
+  printf("data: %llu rows x %d cols (CSV %s, JSONL %s)\n",
+         static_cast<unsigned long long>(spec.rows), spec.cols, csv.c_str(),
+         jsonl.c_str());
+  printf("active kernel table: %s\n\n", ActiveKernels().name);
+
+  Corpus csv_corpus = LoadCorpus(csv);
+  Corpus jsonl_corpus = LoadCorpus(jsonl);
+  std::vector<std::string_view> csv_fields = CsvFields(csv_corpus);
+  double fields_mb = 0;
+  for (std::string_view f : csv_fields) fields_mb += f.size();
+  fields_mb /= 1024.0 * 1024.0;
+
+  std::vector<BenchRow> rows;
+  TextTable table({"stage", "format", "kernel", "sec", "MB/s", "vs scalar"});
+  auto add = [&](const std::string& stage, const std::string& format,
+                 const char* kernel, double sec, double mb, double base_sec) {
+    BenchRow r{stage, format, kernel, sec, mb / sec,
+               base_sec > 0 ? base_sec / sec : 1.0};
+    table.AddRow({r.stage, r.format, r.kernel, Fmt(sec), Fmt(r.mb_per_s, 0),
+                  Fmt(r.speedup, 2) + "x"});
+    rows.push_back(std::move(r));
+  };
+
+  double csv_tokenize_scalar = 0, csv_tokenize_best = 0;
+  for (const ParseKernels* k : AvailableKernels()) {
+    double t = BestOf(kReps, &TokenizeCsv, csv_corpus, *k);
+    if (k->level == KernelLevel::kScalar) csv_tokenize_scalar = t;
+    csv_tokenize_best = t;  // AvailableKernels is ordered scalar..best
+    add("tokenize", "csv", k->name, t, csv_corpus.mb, csv_tokenize_scalar);
+  }
+  double jsonl_tokenize_scalar = 0;
+  for (const ParseKernels* k : AvailableKernels()) {
+    double t = BestOf(kReps, &TokenizeJsonl, jsonl_corpus, *k);
+    if (k->level == KernelLevel::kScalar) jsonl_tokenize_scalar = t;
+    add("tokenize", "jsonl", k->name, t, jsonl_corpus.mb,
+        jsonl_tokenize_scalar);
+  }
+
+  double parse_scalar = 0;
+  for (const ParseKernels* k : AvailableKernels()) {
+    double best = ParseFields(csv_fields, *k);
+    for (int r = 1; r < kReps; ++r) {
+      double t = ParseFields(csv_fields, *k);
+      if (t < best) best = t;
+    }
+    if (k->level == KernelLevel::kScalar) parse_scalar = best;
+    add("parse-int64", "csv", k->name, best, fields_mb, parse_scalar);
+  }
+
+  // End-to-end: selection + full-width SUM projection — every attribute of
+  // every record is tokenized and converted, the paper's worst cold case.
+  // Two engine variants: the in-situ baseline (no positional map, cache, or
+  // statistics — the scan IS tokenize+parse, so this is the gated row) and
+  // the full adaptive PMC stack (reported; its cold scan also pays the
+  // kernel-independent cost of populating the map, cache, and statistics,
+  // which dilutes the visible kernel speedup by design).
+  Schema schema = MicroSchema(spec);
+  std::string sql = SelectivityQuery("t", spec, 1.0, 1.0);
+  double e2e_csv_scalar =
+      ColdScan(csv, schema, sql, SystemUnderTest::kPostgresRawBaseline, true);
+  add("cold-scan", "csv", "scalar", e2e_csv_scalar, csv_corpus.mb, 0);
+  double e2e_csv_kernel =
+      ColdScan(csv, schema, sql, SystemUnderTest::kPostgresRawBaseline, false);
+  add("cold-scan", "csv", ActiveKernels().name, e2e_csv_kernel, csv_corpus.mb,
+      e2e_csv_scalar);
+  double pmc_csv_scalar =
+      ColdScan(csv, schema, sql, SystemUnderTest::kPostgresRawPMC, true);
+  add("cold-scan+pmc", "csv", "scalar", pmc_csv_scalar, csv_corpus.mb, 0);
+  double pmc_csv_kernel =
+      ColdScan(csv, schema, sql, SystemUnderTest::kPostgresRawPMC, false);
+  add("cold-scan+pmc", "csv", ActiveKernels().name, pmc_csv_kernel,
+      csv_corpus.mb, pmc_csv_scalar);
+  double e2e_jsonl_scalar =
+      ColdScan(jsonl, schema, sql, SystemUnderTest::kPostgresRawBaseline, true);
+  add("cold-scan", "jsonl", "scalar", e2e_jsonl_scalar, jsonl_corpus.mb, 0);
+  double e2e_jsonl_kernel = ColdScan(
+      jsonl, schema, sql, SystemUnderTest::kPostgresRawBaseline, false);
+  add("cold-scan", "jsonl", ActiveKernels().name, e2e_jsonl_kernel,
+      jsonl_corpus.mb, e2e_jsonl_scalar);
+
+  table.Print();
+
+  double tokenize_speedup = csv_tokenize_scalar / csv_tokenize_best;
+  double e2e_speedup = e2e_csv_scalar / e2e_csv_kernel;
+  printf("\ngate: csv tokenize %.2fx (want >= 2x), csv cold scan %.2fx "
+         "(want >= 1.5x)\n", tokenize_speedup, e2e_speedup);
+  EmitJson(rows, tokenize_speedup, e2e_speedup);
+  return 0;
+}

@@ -5,13 +5,16 @@
 #include "csv/parser.h"
 #include "csv/tokenizer.h"
 #include "raw/line_reader.h"
+#include "raw/parse_kernels.h"
 
 namespace nodb {
 
 CsvAdapter::CsvAdapter(std::string path, Schema schema, CsvDialect dialect,
-                       std::unique_ptr<RandomAccessFile> file)
+                       std::unique_ptr<RandomAccessFile> file,
+                       const ParseKernels* kernels)
     : path_(std::move(path)), schema_(std::move(schema)), dialect_(dialect),
-      file_(std::move(file)) {
+      file_(std::move(file)),
+      kernels_(kernels != nullptr ? kernels : &ActiveKernels()) {
   traits_.variable_positions = true;
   traits_.fixed_stride = false;
   // Backward incremental tokenizing is ambiguous under quoting (a delimiter
@@ -22,7 +25,7 @@ CsvAdapter::CsvAdapter(std::string path, Schema schema, CsvDialect dialect,
 
 Result<std::unique_ptr<CsvAdapter>> CsvAdapter::Make(
     const std::string& path, Schema schema, CsvDialect dialect,
-    std::unique_ptr<RandomAccessFile> file) {
+    std::unique_ptr<RandomAccessFile> file, const ParseKernels* kernels) {
   if (schema.num_columns() == 0) {
     return Status::InvalidArgument(
         "csv requires a declared schema (pass OpenOptions::schema)");
@@ -31,12 +34,12 @@ Result<std::unique_ptr<CsvAdapter>> CsvAdapter::Make(
     NODB_ASSIGN_OR_RETURN(file, RandomAccessFile::Open(path));
   }
   return std::unique_ptr<CsvAdapter>(new CsvAdapter(
-      path, std::move(schema), dialect, std::move(file)));
+      path, std::move(schema), dialect, std::move(file), kernels));
 }
 
 Result<std::unique_ptr<RecordCursor>> CsvAdapter::OpenCursor() const {
-  return std::unique_ptr<RecordCursor>(
-      std::make_unique<LineRecordCursor>(file_.get(), dialect_.has_header));
+  return std::unique_ptr<RecordCursor>(std::make_unique<LineRecordCursor>(
+      file_.get(), dialect_.has_header, kernels_));
 }
 
 Result<uint64_t> CsvAdapter::FindRecordBoundary(uint64_t offset) const {
@@ -44,7 +47,7 @@ Result<uint64_t> CsvAdapter::FindRecordBoundary(uint64_t offset) const {
   // frames records before the quote state machine ever runs, so a quoted
   // field cannot span lines and a split point inside one still snaps to
   // the next true record start.
-  return FindLineBoundary(file_.get(), offset, dialect_.has_header);
+  return FindLineBoundary(file_.get(), offset, dialect_.has_header, kernels_);
 }
 
 uint32_t CsvAdapter::FindForward(const RecordRef& rec, int from_attr,
@@ -57,7 +60,18 @@ uint32_t CsvAdapter::FindForward(const RecordRef& rec, int from_attr,
     pos = 0;
     sink.Record(0, 0);
   }
-  return FindFieldForward(rec.data, dialect_, attr, pos, to_attr, &sink);
+  return kernels_->csv_find_forward(rec.data, dialect_, attr, pos, to_attr,
+                                    &sink);
+}
+
+int CsvAdapter::TokenizeRecord(const RecordRef& rec, int upto,
+                               uint32_t* starts) const {
+  // The scalar reference table keeps the seed's incremental anchor walk —
+  // the batch tokenizer only pays off when one SWAR/SIMD pass over the
+  // record is cheaper than per-field scans, and the forced-scalar engine
+  // exists precisely to preserve the before-kernels execution shape.
+  if (kernels_->level == KernelLevel::kScalar) return -1;
+  return kernels_->csv_tokenize(rec.data, dialect_, upto, starts);
 }
 
 uint32_t CsvAdapter::FindBackward(const RecordRef& rec, int from_attr,
@@ -74,13 +88,13 @@ uint32_t CsvAdapter::FieldEnd(const RecordRef& rec, int attr, uint32_t pos,
   if (next_attr_pos != kNoFieldPos && next_attr_pos > pos) {
     return next_attr_pos - 1;
   }
-  return FieldEndAt(rec.data, dialect_, pos);
+  return kernels_->csv_field_end(rec.data, dialect_, pos);
 }
 
 Result<Value> CsvAdapter::ParseField(const RecordRef& rec, int attr,
                                      uint32_t pos, uint32_t end) const {
   return ParseCsvField(rec.data.substr(pos, end - pos),
-                       schema_.column(attr).type, dialect_);
+                       schema_.column(attr).type, dialect_, *kernels_);
 }
 
 namespace {
@@ -119,7 +133,8 @@ class CsvAdapterFactory final : public AdapterFactory {
     NODB_ASSIGN_OR_RETURN(
         std::unique_ptr<CsvAdapter> adapter,
         CsvAdapter::Make(path, options.schema.value_or(Schema{}), dialect,
-                         std::move(file)));
+                         std::move(file),
+                         &SelectKernels(options.scalar_kernels)));
     return std::unique_ptr<RawSourceAdapter>(std::move(adapter));
   }
 };

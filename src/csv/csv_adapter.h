@@ -10,6 +10,8 @@
 
 namespace nodb {
 
+struct ParseKernels;
+
 /// RawSourceAdapter over a delimiter-separated text file — the paper's
 /// primary format. Records are newline-delimited lines; fields are located
 /// by incremental tokenizing (forward, or backward when the dialect permits)
@@ -18,9 +20,12 @@ namespace nodb {
 class CsvAdapter final : public RawSourceAdapter {
  public:
   /// `file` may be a pre-opened handle for `path` to adopt (else null).
+  /// `kernels` selects the parsing-kernel table (null = ActiveKernels());
+  /// pass &ScalarKernels() for the scalar reference path.
   static Result<std::unique_ptr<CsvAdapter>> Make(
       const std::string& path, Schema schema, CsvDialect dialect,
-      std::unique_ptr<RandomAccessFile> file = nullptr);
+      std::unique_ptr<RandomAccessFile> file = nullptr,
+      const ParseKernels* kernels = nullptr);
 
   std::string_view format_name() const override { return "csv"; }
   const RawTraits& traits() const override { return traits_; }
@@ -34,6 +39,8 @@ class CsvAdapter final : public RawSourceAdapter {
 
   uint32_t FindForward(const RecordRef& rec, int from_attr, uint32_t from_pos,
                        int to_attr, const PositionSink& sink) const override;
+  int TokenizeRecord(const RecordRef& rec, int upto,
+                     uint32_t* starts) const override;
   uint32_t FindBackward(const RecordRef& rec, int from_attr, uint32_t from_pos,
                         int to_attr, const PositionSink& sink) const override;
   uint32_t FieldEnd(const RecordRef& rec, int attr, uint32_t pos,
@@ -43,12 +50,14 @@ class CsvAdapter final : public RawSourceAdapter {
 
  private:
   CsvAdapter(std::string path, Schema schema, CsvDialect dialect,
-             std::unique_ptr<RandomAccessFile> file);
+             std::unique_ptr<RandomAccessFile> file,
+             const ParseKernels* kernels);
 
   std::string path_;
   Schema schema_;
   CsvDialect dialect_;
   std::unique_ptr<RandomAccessFile> file_;  // kept open across queries
+  const ParseKernels* kernels_;             // never null
   RawTraits traits_;
 };
 

@@ -1,5 +1,7 @@
 #include "csv/parser.h"
 
+#include "raw/parse_kernels.h"
+
 namespace nodb {
 
 std::string_view UnquoteField(std::string_view raw, const CsvDialect& dialect,
@@ -24,9 +26,20 @@ std::string_view UnquoteField(std::string_view raw, const CsvDialect& dialect,
 
 Result<Value> ParseCsvField(std::string_view raw, TypeId type,
                             const CsvDialect& dialect) {
+  return ParseCsvField(raw, type, dialect, ScalarKernels());
+}
+
+Result<Value> ParseCsvField(std::string_view raw, TypeId type,
+                            const CsvDialect& dialect,
+                            const ParseKernels& kernels) {
+  // Unquoted fields — the overwhelming majority in practice — skip the
+  // unquote call and its scratch buffer entirely.
+  if (!dialect.quoting || raw.empty() || raw.front() != dialect.quote) {
+    return ParseFieldValue(kernels, type, raw);
+  }
   std::string scratch;
   std::string_view text = UnquoteField(raw, dialect, &scratch);
-  return Value::ParseAs(type, text);
+  return ParseFieldValue(kernels, type, text);
 }
 
 }  // namespace nodb

@@ -11,6 +11,8 @@
 
 namespace nodb {
 
+struct ParseKernels;
+
 /// Removes the quoting layer from a raw field. For unquoted fields the input
 /// view is returned unchanged; for quoted fields the unescaped content is
 /// materialized into `*scratch` and a view of it returned.
@@ -19,9 +21,14 @@ std::string_view UnquoteField(std::string_view raw, const CsvDialect& dialect,
 
 /// Converts one raw field to a typed binary Value — the paper's expensive
 /// "data type conversion" step that selective parsing defers or skips.
-/// Empty fields become NULL.
+/// Empty fields become NULL. The two-argument form uses the scalar
+/// conversion path; the kernel form routes int64/double/date through the
+/// given table's conversion kernels (identical results by contract).
 Result<Value> ParseCsvField(std::string_view raw, TypeId type,
                             const CsvDialect& dialect);
+Result<Value> ParseCsvField(std::string_view raw, TypeId type,
+                            const CsvDialect& dialect,
+                            const ParseKernels& kernels);
 
 }  // namespace nodb
 

@@ -66,6 +66,11 @@ struct EngineConfig {
   /// threads), clamped to [256 KiB, 16 MiB] so every worker gets several
   /// morsels (load balance) without per-morsel overhead dominating.
   uint64_t scan_morsel_bytes = 0;
+  /// Use the scalar reference tokenize/parse path instead of the SWAR/SIMD
+  /// parse kernels (raw/parse_kernels.h) for this engine's raw adapters
+  /// and bulk loads. The differential-testing escape hatch; also forced
+  /// globally by building with -DNODB_FORCE_SCALAR_KERNELS=ON.
+  bool scalar_kernels = false;
 
   // --- loaded-engine storage ---
   TableStorage loaded_storage = TableStorage::kHeap;

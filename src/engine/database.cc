@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "raw/parse_kernels.h"
 #include "sql/parser.h"
 #include "util/fs_util.h"
 #include "util/stopwatch.h"
@@ -46,6 +47,7 @@ Status Database::RegisterCommon(const std::string& name,
 
 Status Database::Open(const std::string& name, const std::string& path,
                       OpenOptions options) {
+  if (config_.scalar_kernels) options.scalar_kernels = true;
   AdapterRegistry& registry = AdapterRegistry::Global();
   const AdapterFactory* factory = nullptr;
   std::unique_ptr<RandomAccessFile> file;  // adopted by the adapter
@@ -136,8 +138,9 @@ Result<LoadResult> Database::LoadCsv(const std::string& name,
     std::string target = dir + "/" + name + ".cbt";
     NODB_ASSIGN_OR_RETURN(rt->compact,
                           CompactTable::Create(target, rt->schema));
-    NODB_ASSIGN_OR_RETURN(load,
-                          LoadCsvToCompact(path, dialect, rt->compact.get()));
+    NODB_ASSIGN_OR_RETURN(
+        load, LoadCsvToCompact(path, dialect, rt->compact.get(),
+                               &SelectKernels(config_.scalar_kernels)));
     rt->known_row_count = static_cast<double>(rt->compact->row_count());
   } else {
     std::string target = dir + "/" + name + ".heap";
@@ -147,7 +150,9 @@ Result<LoadResult> Database::LoadCsv(const std::string& name,
     heap_opts.buffer_pool_pages = config_.buffer_pool_pages;
     NODB_ASSIGN_OR_RETURN(rt->heap,
                           TableHeap::Create(target, rt->schema, heap_opts));
-    NODB_ASSIGN_OR_RETURN(load, LoadCsvToHeap(path, dialect, rt->heap.get()));
+    NODB_ASSIGN_OR_RETURN(
+        load, LoadCsvToHeap(path, dialect, rt->heap.get(),
+                            &SelectKernels(config_.scalar_kernels)));
     rt->known_row_count = static_cast<double>(rt->heap->row_count());
   }
 

@@ -13,20 +13,39 @@ AggregateOp::AggregateOp(OperatorPtr child,
                          size_t batch_size)
     : child_(std::move(child)), group_by_(group_by), aggregates_(aggregates),
       strategy_(strategy), groups_hint_(groups_hint),
-      batch_size_(batch_size) {}
+      batch_size_(batch_size) {
+  auto col_of = [](const Expr* e) {
+    return e != nullptr && e->kind == ExprKind::kColumnRef
+               ? static_cast<const ColumnRefExpr*>(e)->index
+               : -1;
+  };
+  key_cols_.reserve(group_by_->size());
+  for (const ExprPtr& g : *group_by_) key_cols_.push_back(col_of(g.get()));
+  arg_cols_.reserve(aggregates_->size());
+  for (const AggregateSpec& spec : *aggregates_) {
+    arg_cols_.push_back(col_of(spec.arg.get()));
+  }
+}
 
 Status AggregateOp::EvalKeyAndArgs(const Row& input, Row* key,
                                    Row* args) const {
   key->clear();
   key->reserve(group_by_->size());
-  for (const ExprPtr& g : *group_by_) {
-    NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*g, input));
+  for (size_t i = 0; i < group_by_->size(); ++i) {
+    if (key_cols_[i] >= 0) {
+      key->push_back(input[key_cols_[i]]);
+      continue;
+    }
+    NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*(*group_by_)[i], input));
     key->push_back(std::move(v));
   }
   args->clear();
   args->reserve(aggregates_->size());
-  for (const AggregateSpec& spec : *aggregates_) {
-    if (spec.arg == nullptr) {
+  for (size_t i = 0; i < aggregates_->size(); ++i) {
+    const AggregateSpec& spec = (*aggregates_)[i];
+    if (arg_cols_[i] >= 0) {
+      args->push_back(input[arg_cols_[i]]);
+    } else if (spec.arg == nullptr) {
       args->push_back(Value::Int64(0));  // COUNT(*) placeholder
     } else {
       NODB_ASSIGN_OR_RETURN(Value v, Evaluator::Eval(*spec.arg, input));
@@ -37,6 +56,39 @@ Status AggregateOp::EvalKeyAndArgs(const Row& input, Row* key,
 }
 
 Status AggregateOp::ConsumeHash() {
+  // Global aggregation: exactly one group, so skip the hash map (and the
+  // per-row key hash/probe) and fold rows straight into the accumulators.
+  if (group_by_->empty()) {
+    std::vector<AggAccumulator> accs;
+    accs.reserve(aggregates_->size());
+    for (const AggregateSpec& spec : *aggregates_) accs.emplace_back(&spec);
+    const Value count_star = Value::Int64(0);
+    RowBatch batch(batch_size_);
+    while (true) {
+      NODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&batch));
+      if (n == 0) break;
+      for (size_t i = 0; i < n; ++i) {
+        const Row& row = batch[i];
+        for (size_t a = 0; a < aggregates_->size(); ++a) {
+          if (arg_cols_[a] >= 0) {
+            accs[a].Add(row[arg_cols_[a]]);
+          } else if ((*aggregates_)[a].arg == nullptr) {
+            accs[a].Add(count_star);
+          } else {
+            NODB_ASSIGN_OR_RETURN(
+                Value v, Evaluator::Eval(*(*aggregates_)[a].arg, row));
+            accs[a].Add(v);
+          }
+        }
+      }
+    }
+    Row out;
+    out.reserve(accs.size());
+    for (const AggAccumulator& acc : accs) out.push_back(acc.Final());
+    output_.push_back(std::move(out));
+    return Status::OK();
+  }
+
   std::unordered_map<Row, std::vector<AggAccumulator>, RowHasher, RowEq>
       groups;
   if (groups_hint_ > 0) groups.reserve(groups_hint_);

@@ -41,6 +41,11 @@ class AggregateOp final : public Operator {
   OperatorPtr child_;
   const std::vector<ExprPtr>* group_by_;
   const std::vector<AggregateSpec>* aggregates_;
+  /// Working-row index when the key/argument expression is a plain column
+  /// reference (-1 otherwise): the per-row hot loop indexes the row
+  /// directly instead of recursing through the evaluator.
+  std::vector<int> key_cols_;
+  std::vector<int> arg_cols_;
   AggStrategy strategy_;
   size_t groups_hint_;
   size_t batch_size_;

@@ -128,7 +128,9 @@ Status RawScanOp::ServeFromCache(const std::vector<ColumnCache::Column>& cols,
   const int offset = scan_->table.offset;
   for (int t = 0; t < n; ++t) {
     Row& row = OutSlot();
-    row.assign(working_width_, Value());
+    if (row.size() != static_cast<size_t>(working_width_)) {
+      row.assign(working_width_, Value());
+    }
     for (int a : phase1_attrs_) {
       row[offset + a] = (*cols[a])[t];
     }
@@ -329,14 +331,22 @@ Status RawScanOp::LoadStripe() {
 
   // Statistics are collected once per attribute (the paper charges a small
   // one-time overhead, §4.4/Fig. 12); attributes with a finalized snapshot
-  // are skipped on later queries.
+  // are skipped on later queries. Values are staged per stripe and handed
+  // to the builder in one batch — the stats mutex is taken per stripe and
+  // attribute, not per value. A stripe that fails mid-parse drops its
+  // staged values; the builders only ever see completed stripes.
   std::vector<bool> stats_attr(ncols_, false);
+  std::vector<std::vector<Value>> stats_buf(ncols_);
   bool any_stats = false;
   if (stats != nullptr) {
     for (int a : output_attrs_) {
       if (!stats->HasAttr(a)) {
         stats_attr[a] = true;
         any_stats = true;
+        // Attributes also being cached this stripe stage the same values
+        // into cache_buf under the same qualification condition — the
+        // stats flush reads that buffer instead of staging a second copy.
+        if (!cache_attr[a]) stats_buf[a].reserve(tuples_per_stripe_);
       }
     }
   }
@@ -351,6 +361,16 @@ Status RawScanOp::LoadStripe() {
   bool all_qualified = true;
   int n = 0;
 
+  // Dense path: when the positional map holds nothing for this stripe (the
+  // cold scan), per-field anchor walks have no anchors to exploit — one
+  // batch-tokenizer pass per record resolves every start up front instead,
+  // feeding the same tuple_pos_ slots the incremental walk would fill.
+  // Formats without a batch tokenizer (and the forced-scalar reference
+  // path) report -1 on the first record and fall back for the stripe.
+  bool use_dense = !use_pm_positions || indexed_before.empty();
+  std::vector<uint32_t> dense_starts;
+  if (use_dense) dense_starts.resize(max_token_attr_ + 1);
+
   RecordRef rec;
   for (; n < tuples_per_stripe_; ++n) {
     NODB_ASSIGN_OR_RETURN(bool has, cursor_->Next(&rec));
@@ -358,12 +378,25 @@ Status RawScanOp::LoadStripe() {
       eof_ = true;
       break;
     }
-    // Seed per-tuple positions from the temporary map.
-    for (int s = 0; s < nslots; ++s) {
-      tuple_pos_[s] = temp.Position(n, s);
+    int dense_nf = -1;
+    if (use_dense) {
+      dense_nf = adapter_->TokenizeRecord(rec, max_token_attr_,
+                                          dense_starts.data());
+      if (dense_nf < 0) use_dense = false;
     }
-    if (traits_.attr0_at_start && nslots > 0 && temp_attrs_[0] == 0) {
-      tuple_pos_[0] = 0;
+    if (dense_nf >= 0) {
+      for (int s = 0; s < nslots; ++s) {
+        int a = temp_attrs_[s];
+        tuple_pos_[s] = a < dense_nf ? dense_starts[a] : kAbsentFieldPos;
+      }
+    } else {
+      // Seed per-tuple positions from the temporary map.
+      for (int s = 0; s < nslots; ++s) {
+        tuple_pos_[s] = temp.Position(n, s);
+      }
+      if (traits_.attr0_at_start && nslots > 0 && temp_attrs_[0] == 0) {
+        tuple_pos_[0] = 0;
+      }
     }
 
     // For full-record tokenizers one FindForward call resolves every
@@ -447,9 +480,13 @@ Status RawScanOp::LoadStripe() {
         return Value::Null(runtime_->schema.column(a).type);
       }
       uint32_t next_pos = kUnknown;
-      int next_slot = a + 1 < ncols_ ? slot_of_[a + 1] : -1;
-      if (next_slot >= 0 && tuple_pos_[next_slot] != kAbsentFieldPos) {
-        next_pos = tuple_pos_[next_slot];
+      if (dense_nf >= 0) {
+        if (a + 1 < dense_nf) next_pos = dense_starts[a + 1];
+      } else {
+        int next_slot = a + 1 < ncols_ ? slot_of_[a + 1] : -1;
+        if (next_slot >= 0 && tuple_pos_[next_slot] != kAbsentFieldPos) {
+          next_pos = tuple_pos_[next_slot];
+        }
       }
       uint32_t end = adapter_->FieldEnd(rec, a, pos, next_pos);
       return adapter_->ParseField(rec, a, pos, end);
@@ -462,15 +499,24 @@ Status RawScanOp::LoadStripe() {
       if (traits_.full_record_tokenize) mark_absent_slots();
     }
 
+    // Recycled rows of the right width are reused as-is: every output slot
+    // is overwritten below before the row can leave, and slots outside the
+    // output set are dead to this plan (the planner only binds expressions
+    // over output attributes).
     Row& row = OutSlot();
-    row.assign(working_width_, Value());
+    if (row.size() != static_cast<size_t>(working_width_)) {
+      row.assign(working_width_, Value());
+    }
 
     // Phase 1: attributes the WHERE clause needs, for every tuple.
     for (int a : phase1_attrs_) {
       Result<Value> v = parse_attr(a);
       if (!v.ok()) return v.status();
-      if (cache_attr[a]) cache_buf[a].push_back(v.value());
-      if (any_stats && stats_attr[a]) stats->AddValue(a, v.value());
+      if (cache_attr[a]) {
+        cache_buf[a].push_back(v.value());
+      } else if (any_stats && stats_attr[a]) {
+        stats_buf[a].push_back(v.value());
+      }
       row[offset + a] = std::move(v).value();
     }
 
@@ -489,8 +535,11 @@ Status RawScanOp::LoadStripe() {
       for (int a : phase2_attrs_) {
         Result<Value> v = parse_attr(a);
         if (!v.ok()) return v.status();
-        if (cache_attr[a]) cache_buf[a].push_back(v.value());
-        if (any_stats && stats_attr[a]) stats->AddValue(a, v.value());
+        if (cache_attr[a]) {
+          cache_buf[a].push_back(v.value());
+        } else if (any_stats && stats_attr[a]) {
+          stats_buf[a].push_back(v.value());
+        }
         row[offset + a] = std::move(v).value();
       }
       ++out_size_;
@@ -515,6 +564,19 @@ Status RawScanOp::LoadStripe() {
         frag_pos_[i] = tuple_pos_[insert_slots[i]];
       }
       frag_.AddRecord(rec.offset, frag_pos_.data());
+    }
+  }
+
+  // Hand the staged statistics to the builders, one lock per attribute
+  // (cached attributes share the cache staging buffer).
+  if (any_stats && n > 0) {
+    for (int a : output_attrs_) {
+      if (!stats_attr[a]) continue;
+      const std::vector<Value>& staged =
+          cache_attr[a] ? cache_buf[a] : stats_buf[a];
+      if (!staged.empty()) {
+        stats->AddValues(a, staged.data(), staged.size());
+      }
     }
   }
 

@@ -30,6 +30,82 @@ bool UnescapeJsonString(std::string_view token, std::string* out);
 /// Appends `s` to `*out` as a quoted JSON string with the mandatory escapes.
 void AppendJsonQuoted(std::string* out, std::string_view s);
 
+/// Skip policy backed by the scalar byte loops above. The walker below is
+/// templated on the policy so the scalar reference path and the bitmap
+/// kernel path (BitmapSkipper in raw/parse_kernels.h) share one control
+/// flow — structure decisions can never diverge between them, only the
+/// speed of the skips differs.
+struct ScalarJsonSkipper {
+  size_t SkipValue(std::string_view s, size_t i) const {
+    return SkipJsonValue(s, i);
+  }
+};
+
+/// Extracts the key token starting at `i` (which must point at '"').
+/// Returns false on malformed input; on success `*key` views the raw key
+/// (or `*scratch` when escapes forced a decode) and `*end` is one past the
+/// closing quote.
+template <typename Skipper>
+bool ReadJsonKey(std::string_view s, size_t i, const Skipper& skip,
+                 std::string_view* key, std::string* scratch, size_t* end) {
+  size_t close = skip.SkipValue(s, i);  // string skip
+  if (close <= i + 1 || close > s.size() || s[close - 1] != '"') return false;
+  std::string_view raw = s.substr(i + 1, close - i - 2);
+  if (raw.find('\\') == std::string_view::npos) {
+    *key = raw;
+  } else {
+    if (!UnescapeJsonString(s.substr(i, close - i), scratch)) return false;
+    *key = *scratch;
+  }
+  *end = close;
+  return true;
+}
+
+/// Walks the top-level members of the object record `s`, invoking
+/// fn(key, value_pos, value_end) for every member — scalar and nested
+/// alike. The single walk that schema inference and field lookup share, so
+/// the two can never disagree about what a record contains. Returns true
+/// if the record is one well-formed object walked through its closing
+/// brace with nothing but whitespace after it; false when it is not an
+/// object, is truncated, breaks mid-member, or holds trailing residue such
+/// as a second concatenated object (members seen before the breakage were
+/// still reported).
+template <typename Skipper, typename Fn>
+bool WalkTopLevelFields(std::string_view s, const Skipper& skip,
+                        std::string* scratch, Fn&& fn) {
+  size_t i = SkipJsonWs(s, 0);
+  if (i >= s.size() || s[i] != '{') return false;
+  ++i;
+  bool first = true;
+  while (true) {
+    i = SkipJsonWs(s, i);
+    if (i >= s.size()) return false;  // truncated
+    if (s[i] == '}') return SkipJsonWs(s, i + 1) >= s.size();
+    if (first) {
+      if (s[i] == ',') return false;  // leading comma
+    } else {
+      // Exactly one comma between members; none before the closing brace.
+      if (s[i] != ',') return false;
+      i = SkipJsonWs(s, i + 1);
+      if (i >= s.size() || s[i] == '}' || s[i] == ',') return false;
+    }
+    first = false;
+    std::string_view key;
+    size_t key_end;
+    if (s[i] != '"' || !ReadJsonKey(s, i, skip, &key, scratch, &key_end)) {
+      return false;
+    }
+    i = SkipJsonWs(s, key_end);
+    if (i >= s.size() || s[i] != ':') return false;
+    i = SkipJsonWs(s, i + 1);
+    if (i >= s.size()) return false;
+    size_t value_end = skip.SkipValue(s, i);
+    if (value_end == i) return false;  // missing member value ({"a":,...})
+    fn(key, i, value_end);
+    i = value_end;
+  }
+}
+
 }  // namespace nodb
 
 #endif  // NODB_JSON_JSON_TEXT_H_

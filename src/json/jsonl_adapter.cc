@@ -5,6 +5,7 @@
 
 #include "json/json_text.h"
 #include "raw/line_reader.h"
+#include "raw/parse_kernels.h"
 #include "util/str_conv.h"
 
 namespace nodb {
@@ -16,7 +17,8 @@ namespace {
 /// phantom all-NULL row (schema inference skips them the same way).
 class JsonlRecordCursor final : public RecordCursor {
  public:
-  explicit JsonlRecordCursor(const RandomAccessFile* file) : reader_(file) {}
+  JsonlRecordCursor(const RandomAccessFile* file, const ParseKernels* kernels)
+      : reader_(file, LineReader::kDefaultBufferSize, kernels) {}
 
   Result<bool> Next(RecordRef* rec) override {
     while (true) {
@@ -36,65 +38,19 @@ class JsonlRecordCursor final : public RecordCursor {
   LineReader reader_;
 };
 
-/// Extracts the key token starting at `i` (which must point at '"').
-/// Returns false on malformed input; on success `*key` views the raw key
-/// (or `*scratch` when escapes forced a decode) and `*end` is one past the
-/// closing quote.
-bool ReadKey(std::string_view s, size_t i, std::string_view* key,
-             std::string* scratch, size_t* end) {
-  size_t close = SkipJsonValue(s, i);  // string skip
-  if (close <= i + 1 || close > s.size() || s[close - 1] != '"') return false;
-  std::string_view raw = s.substr(i + 1, close - i - 2);
-  if (raw.find('\\') == std::string_view::npos) {
-    *key = raw;
-  } else {
-    if (!UnescapeJsonString(s.substr(i, close - i), scratch)) return false;
-    *key = *scratch;
-  }
-  *end = close;
-  return true;
-}
+/// Per-thread scratch for the two-stage structural scan: stage-1 bitmaps
+/// plus a decode buffer, reused across records. Thread-local because the
+/// adapter is const and shared by concurrent morsel workers; the bitmaps
+/// are never cached across records (LineReader reuses buffer addresses, so
+/// a (pointer, size) key would alias distinct records).
+struct JsonScanScratch {
+  JsonBitmaps bitmaps;
+  std::string str;
+};
 
-/// Walks the top-level members of the object record `s`, invoking
-/// fn(key, value_pos, value_end) for every member — scalar and nested
-/// alike. The single walk both schema inference and field lookup share, so
-/// the two can never disagree about what a record contains. Returns true
-/// if the record is one well-formed object walked through its closing
-/// brace with nothing but whitespace after it; false when it is not an
-/// object, is truncated, breaks mid-member, or holds trailing residue such
-/// as a second concatenated object (members seen before the breakage were
-/// still reported).
-template <typename Fn>
-bool ForEachTopLevelField(std::string_view s, std::string* scratch, Fn&& fn) {
-  size_t i = SkipJsonWs(s, 0);
-  if (i >= s.size() || s[i] != '{') return false;
-  ++i;
-  bool first = true;
-  while (true) {
-    i = SkipJsonWs(s, i);
-    if (i >= s.size()) return false;  // truncated
-    if (s[i] == '}') return SkipJsonWs(s, i + 1) >= s.size();
-    if (first) {
-      if (s[i] == ',') return false;  // leading comma
-    } else {
-      // Exactly one comma between members; none before the closing brace.
-      if (s[i] != ',') return false;
-      i = SkipJsonWs(s, i + 1);
-      if (i >= s.size() || s[i] == '}' || s[i] == ',') return false;
-    }
-    first = false;
-    std::string_view key;
-    size_t key_end;
-    if (s[i] != '"' || !ReadKey(s, i, &key, scratch, &key_end)) return false;
-    i = SkipJsonWs(s, key_end);
-    if (i >= s.size() || s[i] != ':') return false;
-    i = SkipJsonWs(s, i + 1);
-    if (i >= s.size()) return false;
-    size_t value_end = SkipJsonValue(s, i);
-    if (value_end == i) return false;  // missing member value ({"a":,...})
-    fn(key, i, value_end);
-    i = value_end;
-  }
+JsonScanScratch& TlsScanScratch() {
+  static thread_local JsonScanScratch scratch;
+  return scratch;
 }
 
 /// Guesses a column type from one JSON value token; nullopt for `null`
@@ -161,8 +117,10 @@ Result<Schema> InferSchema(const RandomAccessFile* file,
                                      "' is not a JSON object");
     }
     ++records_seen;
-    bool well_formed = ForEachTopLevelField(
-        s, &scratch,
+    // Inference runs once per Open and off the hot path: the scalar walker
+    // keeps it trivially identical across kernel configurations.
+    bool well_formed = WalkTopLevelFields(
+        s, ScalarJsonSkipper{}, &scratch,
         [&](std::string_view key, size_t vpos, size_t vend) {
           if (s[vpos] == '{' || s[vpos] == '[') return;  // not projectable
           std::optional<TypeId> guess = GuessType(s.substr(vpos, vend - vpos));
@@ -210,9 +168,11 @@ Result<Schema> InferSchema(const RandomAccessFile* file,
 }  // namespace
 
 JsonlAdapter::JsonlAdapter(std::string path, Schema schema,
-                           std::unique_ptr<RandomAccessFile> file)
+                           std::unique_ptr<RandomAccessFile> file,
+                           const ParseKernels* kernels)
     : path_(std::move(path)), schema_(std::move(schema)),
-      file_(std::move(file)) {
+      file_(std::move(file)),
+      kernels_(kernels != nullptr ? kernels : &ActiveKernels()) {
   traits_.variable_positions = true;
   traits_.fixed_stride = false;
   traits_.backward_tokenize = false;  // keys are unordered; anchors don't apply
@@ -225,7 +185,7 @@ JsonlAdapter::JsonlAdapter(std::string path, Schema schema,
 
 Result<std::unique_ptr<JsonlAdapter>> JsonlAdapter::Make(
     const std::string& path, std::optional<Schema> schema,
-    std::unique_ptr<RandomAccessFile> file) {
+    std::unique_ptr<RandomAccessFile> file, const ParseKernels* kernels) {
   if (file == nullptr) {
     NODB_ASSIGN_OR_RETURN(file, RandomAccessFile::Open(path));
   }
@@ -235,19 +195,20 @@ Result<std::unique_ptr<JsonlAdapter>> JsonlAdapter::Make(
   } else {
     NODB_ASSIGN_OR_RETURN(resolved, InferSchema(file.get(), path));
   }
-  return std::unique_ptr<JsonlAdapter>(
-      new JsonlAdapter(path, std::move(resolved), std::move(file)));
+  return std::unique_ptr<JsonlAdapter>(new JsonlAdapter(
+      path, std::move(resolved), std::move(file), kernels));
 }
 
 Result<std::unique_ptr<RecordCursor>> JsonlAdapter::OpenCursor() const {
   return std::unique_ptr<RecordCursor>(
-      std::make_unique<JsonlRecordCursor>(file_.get()));
+      std::make_unique<JsonlRecordCursor>(file_.get(), kernels_));
 }
 
 Result<uint64_t> JsonlAdapter::FindRecordBoundary(uint64_t offset) const {
   // One object per line: a split point inside an object — even inside a
   // string escape — snaps to the next '\n', which no JSONL record spans.
-  return FindLineBoundary(file_.get(), offset, /*skip_first_line=*/false);
+  return FindLineBoundary(file_.get(), offset, /*skip_first_line=*/false,
+                          kernels_);
 }
 
 uint32_t JsonlAdapter::FindForward(const RecordRef& rec, int from_attr,
@@ -262,17 +223,28 @@ uint32_t JsonlAdapter::FindForward(const RecordRef& rec, int from_attr,
   // scan pays anyway.
   (void)from_attr, (void)from_pos;
   uint32_t found = kNoFieldPos;
-  std::string scratch;
-  bool well_formed = ForEachTopLevelField(
-      rec.data, &scratch,
-      [&](std::string_view key, size_t vpos, size_t vend) {
-        (void)vend;
-        auto it = key_to_attr_.find(key);
-        if (it != key_to_attr_.end()) {
-          sink.Record(it->second, static_cast<uint32_t>(vpos));
-          if (it->second == to_attr) found = static_cast<uint32_t>(vpos);
-        }
-      });
+  auto visit = [&](std::string_view key, size_t vpos, size_t vend) {
+    (void)vend;
+    auto it = key_to_attr_.find(key);
+    if (it != key_to_attr_.end()) {
+      sink.Record(it->second, static_cast<uint32_t>(vpos));
+      if (it->second == to_attr) found = static_cast<uint32_t>(vpos);
+    }
+  };
+  bool well_formed;
+  if (kernels_->json_bitmaps != nullptr) {
+    // Two-stage structural scan: one vectorized classification pass builds
+    // the quote/container/terminator bitmaps, then the same sequential
+    // walker answers every skip with a bit scan.
+    JsonScanScratch& scratch = TlsScanScratch();
+    kernels_->json_bitmaps(rec.data, &scratch.bitmaps);
+    well_formed = WalkTopLevelFields(
+        rec.data, BitmapSkipper{&scratch.bitmaps}, &scratch.str, visit);
+  } else {
+    std::string scratch;
+    well_formed =
+        WalkTopLevelFields(rec.data, ScalarJsonSkipper{}, &scratch, visit);
+  }
   if (!well_formed) sink.FlagCorrupt();
   return found;
 }
@@ -280,9 +252,11 @@ uint32_t JsonlAdapter::FindForward(const RecordRef& rec, int from_attr,
 uint32_t JsonlAdapter::FieldEnd(const RecordRef& rec, int attr, uint32_t pos,
                                 uint32_t next_attr_pos) const {
   // Schema order says nothing about textual order, so the next attribute's
-  // position is no shortcut here; scan the value itself.
+  // position is no shortcut here; scan the value itself. Warm (position-map
+  // hit) resolves land here without a FindForward walk, so this uses the
+  // block-scan skip rather than rebuilding stage-1 bitmaps for one field.
   (void)attr, (void)next_attr_pos;
-  return static_cast<uint32_t>(SkipJsonValue(rec.data, pos));
+  return static_cast<uint32_t>(kernels_->json_skip_value(rec.data, pos));
 }
 
 Result<Value> JsonlAdapter::ParseField(const RecordRef& rec, int attr,
@@ -300,16 +274,16 @@ Result<Value> JsonlAdapter::ParseField(const RecordRef& rec, int attr,
     // slice (the overwhelmingly common case on the in-situ hot path).
     if (text.size() >= 2 && text.back() == '"' &&
         text.find('\\') == std::string_view::npos) {
-      return Value::ParseAs(type, text.substr(1, text.size() - 2));
+      return ParseFieldValue(*kernels_, type, text.substr(1, text.size() - 2));
     }
     std::string decoded;
     if (!UnescapeJsonString(text, &decoded)) {
       return Status::InvalidArgument("malformed JSON string value '" +
                                      std::string(text) + "'");
     }
-    return Value::ParseAs(type, decoded);
+    return ParseFieldValue(*kernels_, type, decoded);
   }
-  return Value::ParseAs(type, text);
+  return ParseFieldValue(*kernels_, type, text);
 }
 
 namespace {
@@ -333,7 +307,8 @@ class JsonlAdapterFactory final : public AdapterFactory {
       std::unique_ptr<RandomAccessFile> file) const override {
     NODB_ASSIGN_OR_RETURN(
         std::unique_ptr<JsonlAdapter> adapter,
-        JsonlAdapter::Make(path, options.schema, std::move(file)));
+        JsonlAdapter::Make(path, options.schema, std::move(file),
+                           &SelectKernels(options.scalar_kernels)));
     return std::unique_ptr<RawSourceAdapter>(std::move(adapter));
   }
 };

@@ -11,6 +11,8 @@
 
 namespace nodb {
 
+struct ParseKernels;
+
 /// RawSourceAdapter over JSON Lines (one top-level object per line), with a
 /// fixed-schema projection of top-level fields: each schema column maps to
 /// one top-level key; a missing key reads as NULL, keys outside the schema
@@ -35,9 +37,12 @@ class JsonlAdapter final : public RawSourceAdapter {
   /// holds something wider will fail loudly at query time with
   /// InvalidArgument — declare a schema for authoritative types.
   /// `file` may be a pre-opened handle for `path` to adopt (else null).
+  /// `kernels` selects the parsing-kernel table (null = ActiveKernels());
+  /// pass &ScalarKernels() for the scalar reference path.
   static Result<std::unique_ptr<JsonlAdapter>> Make(
       const std::string& path, std::optional<Schema> schema,
-      std::unique_ptr<RandomAccessFile> file = nullptr);
+      std::unique_ptr<RandomAccessFile> file = nullptr,
+      const ParseKernels* kernels = nullptr);
 
   std::string_view format_name() const override { return "jsonl"; }
   const RawTraits& traits() const override { return traits_; }
@@ -64,11 +69,13 @@ class JsonlAdapter final : public RawSourceAdapter {
   };
 
   JsonlAdapter(std::string path, Schema schema,
-               std::unique_ptr<RandomAccessFile> file);
+               std::unique_ptr<RandomAccessFile> file,
+               const ParseKernels* kernels);
 
   std::string path_;
   Schema schema_;
   std::unique_ptr<RandomAccessFile> file_;  // kept open across queries
+  const ParseKernels* kernels_;             // never null
   RawTraits traits_;
   /// Top-level key -> schema attribute (heterogeneous lookup: no per-probe
   /// allocation while tokenizing).

@@ -30,6 +30,11 @@ struct OpenOptions {
   /// Per-table override of EngineConfig::scan_threads for scans of this
   /// raw source; 0 = use the engine default.
   int scan_threads = 0;
+  /// Use the scalar reference parse path instead of the SWAR/SIMD kernels
+  /// (see raw/parse_kernels.h). Database::Open ORs in
+  /// EngineConfig::scalar_kernels; a -DNODB_FORCE_SCALAR_KERNELS build
+  /// forces scalar regardless.
+  bool scalar_kernels = false;
 };
 
 /// Creates adapters for one format and scores how likely an unknown file is

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <cstring>
 
+#include "raw/parse_kernels.h"
+
 namespace nodb {
 
-LineReader::LineReader(const RandomAccessFile* file, uint64_t buffer_size)
-    : file_(file) {
+LineReader::LineReader(const RandomAccessFile* file, uint64_t buffer_size,
+                       const ParseKernels* kernels)
+    : file_(file),
+      find_newline_((kernels != nullptr ? kernels : &ActiveKernels())
+                        ->find_newline) {
   buffer_.resize(buffer_size < 4096 ? 4096 : buffer_size);
 }
 
@@ -52,15 +57,16 @@ Result<bool> LineReader::Next(RecordRef* rec) {
     if (rel < buffer_len_) {
       const char* base = buffer_.data() + rel;
       uint64_t avail = buffer_len_ - rel;
-      const char* nl = static_cast<const char*>(memchr(base, '\n', avail));
+      uint64_t nl = find_newline_(base, avail);
+      bool found = nl < avail;
       bool at_eof = buffer_start_ + buffer_len_ >= file_->size();
-      if (nl != nullptr || at_eof) {
-        uint64_t len = nl != nullptr ? static_cast<uint64_t>(nl - base) : avail;
+      if (found || at_eof) {
+        uint64_t len = found ? nl : avail;
         uint64_t text_len = len;
         if (text_len > 0 && base[text_len - 1] == '\r') --text_len;
         rec->offset = next_offset_;
         rec->data = std::string_view(base, text_len);
-        next_offset_ += len + (nl != nullptr ? 1 : 0);
+        next_offset_ += len + (found ? 1 : 0);
         return true;
       }
     }
@@ -70,7 +76,10 @@ Result<bool> LineReader::Next(RecordRef* rec) {
 }
 
 Result<uint64_t> FindLineBoundary(const RandomAccessFile* file,
-                                  uint64_t offset, bool skip_first_line) {
+                                  uint64_t offset, bool skip_first_line,
+                                  const ParseKernels* kernels) {
+  size_t (*find_newline)(const char*, size_t) =
+      (kernels != nullptr ? kernels : &ActiveKernels())->find_newline;
   const uint64_t size = file->size();
   uint64_t scan_from;
   if (offset == 0) {
@@ -92,9 +101,9 @@ Result<uint64_t> FindLineBoundary(const RandomAccessFile* file,
         file->Read(scan_from, std::min<uint64_t>(sizeof(buf), size - scan_from),
                    buf));
     if (n == 0) break;
-    const char* nl = static_cast<const char*>(memchr(buf, '\n', n));
-    if (nl != nullptr) {
-      uint64_t start = scan_from + static_cast<uint64_t>(nl - buf) + 1;
+    uint64_t nl = find_newline(buf, n);
+    if (nl < n) {
+      uint64_t start = scan_from + nl + 1;
       // A '\n' as the file's very last byte starts no record: fall through
       // to the end sentinel.
       return start < size ? start : size;

@@ -10,6 +10,8 @@
 
 namespace nodb {
 
+struct ParseKernels;
+
 /// Streaming newline-delimited record reader over a raw file, shared by
 /// every text adapter (CSV, JSON Lines) and the bulk loader. Reads the file
 /// in large chunks, splits on '\n' (an optional preceding '\r' is stripped),
@@ -17,9 +19,13 @@ namespace nodb {
 /// is valid until the next call to Next() or SeekTo().
 class LineReader {
  public:
-  /// `file` must outlive the reader.
+  static constexpr uint64_t kDefaultBufferSize = 1 << 20;
+
+  /// `file` must outlive the reader. `kernels` selects the newline-scan
+  /// kernel (null = ActiveKernels()).
   explicit LineReader(const RandomAccessFile* file,
-                      uint64_t buffer_size = 1 << 20);
+                      uint64_t buffer_size = kDefaultBufferSize,
+                      const ParseKernels* kernels = nullptr);
 
   /// Reads the next record into `*rec`; returns false at end of file.
   /// A final record without a trailing newline is returned.
@@ -38,6 +44,7 @@ class LineReader {
   Status Refill();
 
   const RandomAccessFile* file_;
+  size_t (*find_newline_)(const char* p, size_t n);
   std::vector<char> buffer_;
   uint64_t buffer_start_ = 0;  // file offset of buffer_[0]
   uint64_t buffer_len_ = 0;
@@ -53,15 +60,18 @@ class LineReader {
 /// format framed by LineReader — the reader splits on it unconditionally,
 /// so no record (quoted CSV fields included) can span one.
 Result<uint64_t> FindLineBoundary(const RandomAccessFile* file,
-                                  uint64_t offset, bool skip_first_line);
+                                  uint64_t offset, bool skip_first_line,
+                                  const ParseKernels* kernels = nullptr);
 
 /// RecordCursor over newline-delimited records, optionally discarding a
 /// header line when iteration starts at the top of the file. Seek targets
 /// are always data-record starts, so a seek skips the header implicitly.
 class LineRecordCursor final : public RecordCursor {
  public:
-  LineRecordCursor(const RandomAccessFile* file, bool skip_first_line)
-      : reader_(file), pending_header_skip_(skip_first_line) {}
+  LineRecordCursor(const RandomAccessFile* file, bool skip_first_line,
+                   const ParseKernels* kernels = nullptr)
+      : reader_(file, LineReader::kDefaultBufferSize, kernels),
+        pending_header_skip_(skip_first_line) {}
 
   Result<bool> Next(RecordRef* rec) override {
     if (pending_header_skip_) {

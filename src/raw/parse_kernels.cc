@@ -1,0 +1,296 @@
+#include "raw/parse_kernels.h"
+
+#include <cstring>
+
+#include "csv/tokenizer.h"
+#include "json/json_text.h"
+#include "raw/parse_kernels_impl.h"
+#include "util/str_conv.h"
+
+namespace nodb {
+
+// Defined in parse_kernels_avx2.cc; returns null when that translation
+// unit was built without AVX2 codegen support.
+const ParseKernels* Avx2KernelsRaw();
+
+// ------------------------------------------------------------- conversion
+
+namespace {
+
+constexpr uint64_t kSwarOnes = 0x0101010101010101ull;
+
+/// True iff all eight bytes of `w` are ASCII digits.
+bool AllDigits8(uint64_t w) {
+  // Each byte must sit in ['0','9']: high nibble 3, and adding 0x06 must
+  // not carry into the high nibble (rejects ':'..'?').
+  return ((w & 0xF0F0F0F0F0F0F0F0ull) |
+          (((w + 0x0606060606060606ull) & 0xF0F0F0F0F0F0F0F0ull) >> 4)) ==
+         0x3333333333333333ull;
+}
+
+/// Converts eight ASCII digits (first digit in the low byte, i.e. a
+/// little-endian load of the text) to their integer value. The standard
+/// three-multiply SWAR reduction: pairs, then 4-digit groups, then the
+/// full 8-digit value.
+uint64_t ParseEightDigits(uint64_t w) {
+  w -= 0x3030303030303030ull;
+  w = (w * 10) + (w >> 8);  // two-digit pairs in every other byte
+  constexpr uint64_t kMask = 0x000000FF000000FFull;
+  constexpr uint64_t kMul1 = 0x000F424000000064ull;  // 100 + (1000000 << 32)
+  constexpr uint64_t kMul2 = 0x0000271000000001ull;  // 1 + (10000 << 32)
+  return (((w & kMask) * kMul1) + (((w >> 16) & kMask) * kMul2)) >> 32;
+}
+
+bool IsAsciiDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Exact powers of ten up to 1e22 — every one is representable as a double
+/// with no rounding (2^52 > 10^15 covers the mantissa through 1e22's
+/// 5^22 * 2^22 form), which is what makes the Clinger fast path exact.
+constexpr double kPow10[] = {
+    1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,  1e7,  1e8,  1e9,  1e10, 1e11,
+    1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22};
+
+}  // namespace
+
+Result<int64_t> KernelParseInt64(std::string_view text) {
+  const char* p = text.data();
+  const size_t n = text.size();
+  size_t i = 0;
+  bool neg = false;
+  if (n > 0 && p[0] == '-') {
+    neg = true;
+    i = 1;
+  }
+  const size_t digits = n - i;
+  // <= 18 digits cannot overflow int64; anything longer (or empty, or with
+  // a stray byte) falls back to the scalar parser for the identical result
+  // or identical error Status.
+  if (digits == 0 || digits > 18) return ParseInt64(text);
+  uint64_t value = 0;
+  size_t left = digits;
+  while (left >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    if (!AllDigits8(w)) return ParseInt64(text);
+    value = value * 100000000 + ParseEightDigits(w);
+    i += 8;
+    left -= 8;
+  }
+  for (; i < n; ++i) {
+    if (!IsAsciiDigit(p[i])) return ParseInt64(text);
+    value = value * 10 + static_cast<uint64_t>(p[i] - '0');
+  }
+  int64_t out = static_cast<int64_t>(value);
+  return neg ? -out : out;
+}
+
+Result<double> KernelParseDouble(std::string_view text) {
+  // Eisel-Lemire-style fast path, Clinger variant: when the decimal
+  // mantissa fits 2^53 exactly and the decimal exponent is within ±22, one
+  // double multiply/divide by an exact power of ten yields the correctly
+  // rounded result. Everything else — long mantissas, big exponents,
+  // inf/nan, malformed text — delegates to the scalar std::from_chars
+  // path, inheriting its exact values and error Statuses.
+  const char* p = text.data();
+  const size_t n = text.size();
+  size_t i = 0;
+  bool neg = false;
+  if (i < n && p[i] == '-') {
+    neg = true;
+    ++i;
+  }
+  uint64_t mantissa = 0;
+  int digits = 0;
+  int frac_digits = 0;
+  while (i < n && IsAsciiDigit(p[i])) {
+    mantissa = mantissa * 10 + static_cast<uint64_t>(p[i] - '0');
+    ++digits;
+    ++i;
+  }
+  if (i < n && p[i] == '.') {
+    ++i;
+    size_t frac_begin = i;
+    while (i < n && IsAsciiDigit(p[i])) {
+      mantissa = mantissa * 10 + static_cast<uint64_t>(p[i] - '0');
+      ++digits;
+      ++i;
+    }
+    frac_digits = static_cast<int>(i - frac_begin);
+    // "1." and ".e5"-style forms: defer to the scalar parser rather than
+    // second-guess its grammar corner cases.
+    if (frac_digits == 0) return ParseDouble(text);
+  }
+  if (digits == 0 || digits > 19) return ParseDouble(text);
+  int exp = 0;
+  if (i < n && (p[i] == 'e' || p[i] == 'E')) {
+    ++i;
+    bool exp_neg = false;
+    if (i < n && (p[i] == '+' || p[i] == '-')) {
+      exp_neg = p[i] == '-';
+      ++i;
+    }
+    int exp_digits = 0;
+    while (i < n && IsAsciiDigit(p[i])) {
+      if (exp < 100000000) exp = exp * 10 + (p[i] - '0');
+      ++exp_digits;
+      ++i;
+    }
+    if (exp_digits == 0) return ParseDouble(text);
+    if (exp_neg) exp = -exp;
+  }
+  if (i != n) return ParseDouble(text);
+  const int exp10 = exp - frac_digits;
+  if (exp10 < -22 || exp10 > 22 || mantissa > (uint64_t{1} << 53)) {
+    return ParseDouble(text);
+  }
+  double value = static_cast<double>(mantissa);  // exact: mantissa <= 2^53
+  value = exp10 >= 0 ? value * kPow10[exp10] : value / kPow10[-exp10];
+  return neg ? -value : value;
+}
+
+Result<int32_t> KernelParseDate(std::string_view text) {
+  // Strict "YYYY-MM-DD": one 8-byte SWAR digit check covers the prefix.
+  // Any irregularity delegates to the scalar parser for the identical
+  // error Status; validation of the clean path matches it exactly.
+  if (text.size() != 10) return ParseDate(text);
+  const char* p = text.data();
+  uint64_t w;
+  std::memcpy(&w, p, 8);
+  if (((w >> 32) & 0xFF) != '-' || ((w >> 56) & 0xFF) != '-') {
+    return ParseDate(text);
+  }
+  // Overwrite the two dashes with '0' so the all-digit check applies.
+  uint64_t digits = (w & ~((0xFFull << 32) | (0xFFull << 56))) |
+                    (0x30ull << 32) | (0x30ull << 56);
+  if (!AllDigits8(digits) || !IsAsciiDigit(p[8]) || !IsAsciiDigit(p[9])) {
+    return ParseDate(text);
+  }
+  // Extract from `digits`, not `w`: every byte of `digits` is an ASCII
+  // digit (>= 0x30), so the broadside subtraction cannot borrow across
+  // bytes the way the raw dash byte (0x2D) would.
+  const uint64_t v = digits - kSwarOnes * '0';
+  const int year = static_cast<int>((v & 0xF) * 1000 + ((v >> 8) & 0xF) * 100 +
+                                    ((v >> 16) & 0xF) * 10 + ((v >> 24) & 0xF));
+  const int month =
+      static_cast<int>(((v >> 40) & 0xF) * 10 + ((v >> 48) & 0xF));
+  const int day = (p[8] - '0') * 10 + (p[9] - '0');
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return ParseDate(text);
+  const bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+  const int days_in_month = (month == 2 && leap) ? 29 : kDays[month - 1];
+  if (day < 1 || day > days_in_month) return ParseDate(text);
+  return CivilToDays(year, month, day);
+}
+
+// ------------------------------------------------------------- bitmaps
+
+void ResolveJsonEscapes(JsonBitmaps* bm) {
+  // A quote is escaped iff it directly follows a maximal backslash run of
+  // odd length: the scalar skip consumes backslashes in pairs, so an odd
+  // run's last backslash consumes the byte after the run. Computing it
+  // over maximal runs (rare in real data) is provably identical to the
+  // scalar left-to-right `i += 2` pairing — see parse_kernel_test.
+  const size_t n = bm->size;
+  size_t run_len = 0;
+  size_t prev_pos = 0;
+  auto finish_run = [&] {
+    if (run_len % 2 == 1) {
+      size_t target = prev_pos + 1;
+      if (target < n) {
+        bm->quote[target >> 6] &= ~(uint64_t{1} << (target & 63));
+      }
+    }
+    run_len = 0;
+  };
+  for (size_t w = 0; w < bm->backslash.size(); ++w) {
+    uint64_t bits = bm->backslash[w];
+    while (bits != 0) {
+      size_t pos = (w << 6) + static_cast<size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      if (run_len > 0 && pos == prev_pos + 1) {
+        ++run_len;
+      } else {
+        finish_run();
+        run_len = 1;
+      }
+      prev_pos = pos;
+    }
+  }
+  finish_run();
+}
+
+// ------------------------------------------------------------- tables
+
+namespace {
+
+size_t ScalarFindNewline(const char* p, size_t n) {
+  const void* hit = std::memchr(p, '\n', n);
+  return hit == nullptr
+             ? n
+             : static_cast<size_t>(static_cast<const char*>(hit) - p);
+}
+
+}  // namespace
+
+const ParseKernels& ScalarKernels() {
+  static const ParseKernels table = {
+      KernelLevel::kScalar,
+      "scalar",
+      &ScalarFindNewline,
+      &TokenizeStarts,
+      &FindFieldForward,
+      &FieldEndAt,
+      &CountFields,
+      nullptr,  // the scalar walker needs no bitmaps
+      &SkipJsonValue,  // at an opening quote this is the string skip
+      &SkipJsonValue,
+      &ParseInt64,
+      &ParseDouble,
+      &ParseDate,
+  };
+  return table;
+}
+
+const ParseKernels& SwarKernels() {
+  static const ParseKernels table =
+      kern::KernelOps<kern::SwarScanner>::Table(KernelLevel::kSwar, "swar");
+  return table;
+}
+
+const ParseKernels* Avx2KernelsOrNull() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const bool supported = __builtin_cpu_supports("avx2");
+  if (!supported) return nullptr;
+  return Avx2KernelsRaw();
+#else
+  return nullptr;
+#endif
+}
+
+const ParseKernels& ActiveKernels() {
+#ifdef NODB_FORCE_SCALAR_KERNELS
+  return ScalarKernels();
+#else
+  static const ParseKernels* chosen = [] {
+    if (const ParseKernels* avx2 = Avx2KernelsOrNull()) return avx2;
+    if (const ParseKernels* sse2 = Sse2KernelsOrNull()) return sse2;
+    return &SwarKernels();
+  }();
+  return *chosen;
+#endif
+}
+
+const ParseKernels& SelectKernels(bool force_scalar) {
+  return force_scalar ? ScalarKernels() : ActiveKernels();
+}
+
+std::vector<const ParseKernels*> AvailableKernels() {
+  std::vector<const ParseKernels*> tables = {&ScalarKernels(),
+                                             &SwarKernels()};
+  if (const ParseKernels* sse2 = Sse2KernelsOrNull()) tables.push_back(sse2);
+  if (const ParseKernels* avx2 = Avx2KernelsOrNull()) tables.push_back(avx2);
+  return tables;
+}
+
+}  // namespace nodb

@@ -1,0 +1,215 @@
+#ifndef NODB_RAW_PARSE_KERNELS_H_
+#define NODB_RAW_PARSE_KERNELS_H_
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "csv/dialect.h"
+#include "raw/raw_source.h"
+#include "types/value.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Specialized parsing kernels for the in-situ hot path.
+///
+/// The paper charges most of a cold raw scan to tokenizing and data-type
+/// conversion; these kernels attack exactly that cost with wide byte
+/// scanning — SWAR on a 64-bit register, SSE2 / AVX2 where the CPU has
+/// them — plus fast integer/double conversion, behind one function-pointer
+/// table. Adapters pick their table once at construction, so per-field
+/// dispatch stays a direct indirect call with no branching.
+///
+/// Every kernel is semantically *identical* to the scalar reference code it
+/// replaces (src/csv/tokenizer.cc, src/json/json_text.cc,
+/// src/util/str_conv.cc): same field boundaries, same values, same error
+/// Statuses, malformed input included. The conformance suite
+/// (tests/parse_kernel_test.cc) and the fuzz-differential suite
+/// (tests/kernel_fuzz_test.cc) enforce this, and the scalar table stays
+/// selectable at runtime (EngineConfig::scalar_kernels) and at build time
+/// (-DNODB_FORCE_SCALAR_KERNELS=ON) so the reference path cannot rot.
+
+enum class KernelLevel : uint8_t { kScalar, kSwar, kSse2, kAvx2 };
+
+/// Stage-1 output of the two-stage JSONL structural scanner: one bit per
+/// record byte (little-endian within each 64-bit word). The stage-2 walker
+/// (WalkTopLevelFields over a BitmapSkipper) then answers every "next
+/// structural character" query with a bit scan instead of a byte loop.
+struct JsonBitmaps {
+  std::vector<uint64_t> quote;        ///< '"' not consumed by a preceding escape
+  std::vector<uint64_t> container;    ///< raw '"', '{', '}', '[', ']'
+  std::vector<uint64_t> literal_end;  ///< ',', '}', ']' or JSON whitespace
+  std::vector<uint64_t> backslash;    ///< '\\' (builder scratch)
+  size_t size = 0;                    ///< record length in bytes
+
+  void Reset(size_t n) {
+    size = n;
+    size_t words = (n + 63) / 64;
+    quote.assign(words, 0);
+    container.assign(words, 0);
+    literal_end.assign(words, 0);
+    backslash.assign(words, 0);
+  }
+};
+
+/// First set bit at or after `from` in a bitmap of `size` bits; `size` when
+/// none.
+inline size_t NextSetBit(const std::vector<uint64_t>& words, size_t size,
+                         size_t from) {
+  if (from >= size) return size;
+  size_t w = from >> 6;
+  uint64_t word = words[w] & (~uint64_t{0} << (from & 63));
+  while (word == 0) {
+    if (++w >= words.size()) return size;
+    word = words[w];
+  }
+  size_t pos = (w << 6) + static_cast<size_t>(std::countr_zero(word));
+  return pos < size ? pos : size;
+}
+
+/// One specialization of the parsing layer. All members are non-null
+/// except `json_bitmaps`, which the scalar table leaves null (the scalar
+/// walker needs no stage-1 pass).
+struct ParseKernels {
+  KernelLevel level;
+  const char* name;
+
+  /// Index of the first '\n' in [p, p+n), or n. Never reads past p+n.
+  size_t (*find_newline)(const char* p, size_t n);
+
+  // --- CSV record kernels ---------------------------------------------
+  // Same contracts as TokenizeStarts / FindFieldForward / FieldEndAt /
+  // CountFields in csv/tokenizer.h (which remain the scalar reference).
+  // Inside, each table dispatches once per call to a variant compiled for
+  // the dialect class (unquoted comma / TSV / pipe / generic byte, or the
+  // quoted state machine), so the per-byte loop is branch-free on the
+  // dialect.
+  int (*csv_tokenize)(std::string_view line, const CsvDialect& dialect,
+                      int upto, uint32_t* starts);
+  uint32_t (*csv_find_forward)(std::string_view line,
+                               const CsvDialect& dialect, int from_attr,
+                               uint32_t from_offset, int to_attr,
+                               const PositionSink* sink);
+  uint32_t (*csv_field_end)(std::string_view line, const CsvDialect& dialect,
+                            uint32_t begin);
+  int (*csv_count_fields)(std::string_view line, const CsvDialect& dialect);
+
+  // --- JSONL kernels --------------------------------------------------
+  /// Stage 1 of the structural scanner; null in the scalar table (the
+  /// scalar walker needs no bitmaps).
+  void (*json_bitmaps)(std::string_view s, JsonBitmaps* out);
+  /// One past the closing quote of the string opening at `i` (same contract
+  /// as the scalar skip in json_text.cc); s.size() if it never closes.
+  size_t (*json_skip_string)(std::string_view s, size_t i);
+  /// Same contract as SkipJsonValue.
+  size_t (*json_skip_value)(std::string_view s, size_t i);
+
+  // --- conversion kernels ---------------------------------------------
+  // Same contracts (values AND error Statuses) as ParseInt64 / ParseDouble
+  // / ParseDate in util/str_conv.h. Fast paths accept only clean input and
+  // delegate everything else to the scalar routine, so divergence is
+  // impossible by construction.
+  Result<int64_t> (*parse_int64)(std::string_view text);
+  Result<double> (*parse_double)(std::string_view text);
+  Result<int32_t> (*parse_date)(std::string_view text);
+};
+
+/// The scalar reference table: direct pointers at the reference functions.
+const ParseKernels& ScalarKernels();
+
+/// Portable 64-bit SWAR table (always available).
+const ParseKernels& SwarKernels();
+
+/// SSE2 table, or null off x86-64. SSE2 is baseline on x86-64, so no
+/// runtime check is needed when non-null.
+const ParseKernels* Sse2KernelsOrNull();
+
+/// AVX2 table, or null when the build lacks AVX2 codegen support or the
+/// running CPU lacks AVX2 (checked once via __builtin_cpu_supports).
+const ParseKernels* Avx2KernelsOrNull();
+
+/// The best table for this build + CPU: AVX2 > SSE2 > SWAR. A build with
+/// -DNODB_FORCE_SCALAR_KERNELS=ON pins this to ScalarKernels().
+const ParseKernels& ActiveKernels();
+
+/// ScalarKernels() when `force_scalar`, else ActiveKernels() — the switch
+/// behind EngineConfig::scalar_kernels.
+const ParseKernels& SelectKernels(bool force_scalar);
+
+/// Every table available in this build on this CPU, scalar first. Used by
+/// the conformance tests and benchmarks; ignores NODB_FORCE_SCALAR_KERNELS
+/// so the reference build still *tests* the vector kernels it refuses to
+/// deploy.
+std::vector<const ParseKernels*> AvailableKernels();
+
+/// Value::ParseAs with the table's conversion kernels: empty text is NULL,
+/// int64/double/date go through the kernels, other types through the
+/// scalar path (identical to Value::ParseAs when `k` is the scalar table).
+/// Inline: this sits between every parsed field and its Value.
+inline Result<Value> ParseFieldValue(const ParseKernels& k, TypeId type,
+                                     std::string_view text) {
+  if (text.empty()) return Value::Null(type);
+  switch (type) {
+    case TypeId::kInt64: {
+      NODB_ASSIGN_OR_RETURN(int64_t v, k.parse_int64(text));
+      return Value::Int64(v);
+    }
+    case TypeId::kDouble: {
+      NODB_ASSIGN_OR_RETURN(double v, k.parse_double(text));
+      return Value::Double(v);
+    }
+    case TypeId::kDate: {
+      NODB_ASSIGN_OR_RETURN(int32_t v, k.parse_date(text));
+      return Value::Date(v);
+    }
+    default:
+      return Value::ParseAs(type, text);
+  }
+}
+
+/// Stage-2 skip primitives answering over stage-1 bitmaps. Mirrors the
+/// scalar SkipJsonValue byte loops exactly — including on malformed input —
+/// because the *walk* stays sequential; only the "find the next structural
+/// byte" steps become bit scans.
+struct BitmapSkipper {
+  const JsonBitmaps* bm;
+
+  size_t SkipString(std::string_view s, size_t i) const {
+    size_t q = NextSetBit(bm->quote, s.size(), i + 1);
+    return q < s.size() ? q + 1 : s.size();
+  }
+
+  size_t SkipValue(std::string_view s, size_t i) const {
+    const size_t n = s.size();
+    if (i >= n) return n;
+    if (s[i] == '"') return SkipString(s, i);
+    if (s[i] == '{' || s[i] == '[') {
+      int depth = 0;
+      size_t j = i;
+      while (j < n) {
+        size_t q = NextSetBit(bm->container, n, j);
+        if (q >= n) return n;
+        char c = s[q];
+        if (c == '"') {
+          j = SkipString(s, q);
+          continue;
+        }
+        if (c == '{' || c == '[') {
+          ++depth;
+        } else {
+          --depth;
+          if (depth == 0) return q + 1;
+        }
+        j = q + 1;
+      }
+      return n;
+    }
+    return NextSetBit(bm->literal_end, n, i);
+  }
+};
+
+}  // namespace nodb
+
+#endif  // NODB_RAW_PARSE_KERNELS_H_

@@ -1,0 +1,57 @@
+// This translation unit is compiled with -mavx2 (set per-file in
+// CMakeLists.txt) when the compiler supports it. Nothing here executes
+// unless Avx2KernelsOrNull() in parse_kernels.cc — compiled for the
+// baseline ISA — has confirmed AVX2 via __builtin_cpu_supports first.
+
+#include "raw/parse_kernels.h"
+
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "raw/parse_kernels_impl.h"
+
+namespace nodb {
+
+namespace kern {
+namespace {
+
+/// 32-byte scanner over AVX2.
+struct Avx2Scanner {
+  static constexpr size_t kWidth = 32;
+  using Block = __m256i;
+
+  static Block Load(const char* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static Block LoadPartial(const char* p, size_t n) {
+    alignas(32) char buf[32] = {0};
+    std::memcpy(buf, p, n);
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(buf));
+  }
+  static uint64_t Eq(Block b, char c) {
+    return static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(b, _mm256_set1_epi8(c))));
+  }
+};
+
+}  // namespace
+}  // namespace kern
+
+const ParseKernels* Avx2KernelsRaw() {
+  static const ParseKernels table =
+      kern::KernelOps<kern::Avx2Scanner>::Table(KernelLevel::kAvx2, "avx2");
+  return &table;
+}
+
+}  // namespace nodb
+
+#else  // built without AVX2 codegen
+
+namespace nodb {
+const ParseKernels* Avx2KernelsRaw() { return nullptr; }
+}  // namespace nodb
+
+#endif

@@ -1,0 +1,503 @@
+#ifndef NODB_RAW_PARSE_KERNELS_IMPL_H_
+#define NODB_RAW_PARSE_KERNELS_IMPL_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "csv/tokenizer.h"
+#include "raw/parse_kernels.h"
+
+/// Template drivers shared by the SWAR / SSE2 / AVX2 translation units.
+///
+/// Each TU supplies a *Scanner*: a fixed-width block load plus byte-equality
+/// tests producing a dense little-endian bitmask (bit k set iff byte k
+/// matches). The drivers below turn those primitives into the record-level
+/// kernels of the ParseKernels table. Two invariants every driver keeps:
+///
+///  1. No overread: full-width loads only while `i + kWidth <= n`; the tail
+///     goes through TailMask — an overlapping full load ending at the
+///     line's last byte (every byte read is in-bounds line content) when
+///     the line spans at least one lane, else LoadPartial's copy of the
+///     exact remainder into a zeroed stack block. ASan-clean by
+///     construction, proven by the conformance tests running over
+///     exactly-sized heap buffers.
+///  2. Scalar mirroring: control flow is a transliteration of the scalar
+///     reference in csv/tokenizer.cc and json/json_text.cc — only the
+///     byte-at-a-time searches become block scans — so malformed input
+///     takes the same path to the same answer.
+
+namespace nodb {
+
+// Implemented in parse_kernels.cc; shared by every non-scalar table.
+Result<int64_t> KernelParseInt64(std::string_view text);
+Result<double> KernelParseDouble(std::string_view text);
+Result<int32_t> KernelParseDate(std::string_view text);
+void ResolveJsonEscapes(JsonBitmaps* bm);
+
+namespace kern {
+
+inline uint64_t LowMask(size_t n) {
+  return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+/// Portable 64-bit SWAR scanner: eight bytes per block, equality via
+/// broadcast-XOR plus an exact per-byte zero test, mask densified with a
+/// multiply (every product bit position 8i+7+7j is distinct, so no
+/// carries). The familiar `(x - kOnes) & ~x & kHigh` haszero trick is NOT
+/// usable here: its subtraction borrows across bytes, falsely tagging
+/// bytes above a real match (",-" would tag both bytes as ','), and the
+/// tokenizer consumes *every* bit of the mask, not just the lowest.
+struct SwarScanner {
+  static constexpr size_t kWidth = 8;
+  using Block = uint64_t;
+
+  static Block Load(const char* p) {
+    Block b;
+    std::memcpy(&b, p, sizeof(b));
+    return b;
+  }
+  static Block LoadPartial(const char* p, size_t n) {
+    Block b = 0;
+    std::memcpy(&b, p, n);
+    return b;
+  }
+  static uint64_t Eq(Block b, char c) {
+    constexpr uint64_t kOnes = 0x0101010101010101ull;
+    constexpr uint64_t kHigh = 0x8080808080808080ull;
+    constexpr uint64_t kLow7 = 0x7F7F7F7F7F7F7F7Full;
+    uint64_t x = b ^ (kOnes * static_cast<uint8_t>(c));
+    // Byte-exact zero test: (x&0x7F)+0x7F overflows into the high bit for
+    // any nonzero low-7 value, |x covers the high bit itself; per-byte sums
+    // stay <= 0xFE so nothing carries between bytes.
+    uint64_t tags = ~(((x & kLow7) + kLow7) | x) & kHigh;
+    return (tags * 0x0002040810204081ull) >> 56;
+  }
+};
+
+/// Mask for the tail bytes [i, n) when fewer than a full lane remain
+/// (0 < n - i < Sc::kWidth). Lines at least one lane wide use an
+/// overlapping full load ending at the last byte — every byte read is
+/// in-bounds line content, and the already-scanned bytes before `i` are
+/// shifted out of the mask — so the copy-to-zeroed-buffer LoadPartial only
+/// runs for lines shorter than the lane itself. Bit b of the result
+/// corresponds to byte i + b.
+template <class Sc, class MaskFn>
+inline uint64_t TailMask(const char* p, size_t n, size_t i, MaskFn&& mask) {
+  const size_t left = n - i;
+  if (n >= Sc::kWidth) {
+    return mask(Sc::Load(p + n - Sc::kWidth)) >> (Sc::kWidth - left);
+  }
+  return mask(Sc::LoadPartial(p + i, left)) & LowMask(left);
+}
+
+/// Index of the first byte at or after `i` whose `mask(block)` bit is set;
+/// `n` when none. `mask` must produce a dense per-byte bitmask.
+template <class Sc, class MaskFn>
+inline size_t ScanFor(const char* p, size_t n, size_t i, MaskFn&& mask) {
+  while (i + Sc::kWidth <= n) {
+    uint64_t m = mask(Sc::Load(p + i));
+    if (m != 0) return i + std::countr_zero(m);
+    i += Sc::kWidth;
+  }
+  if (i < n) {
+    uint64_t m = TailMask<Sc>(p, n, i, mask);
+    if (m != 0) return i + std::countr_zero(m);
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------- CSV
+
+/// Compile-time dialect classes: the delimiter byte is baked into the
+/// instantiation for the common dialects so the block loop compares against
+/// an immediate; kRuntime reads it from the dialect once per call.
+constexpr int kRuntimeDelim = -1;
+
+template <class Sc, int kDelim>
+inline char ResolveDelim(const CsvDialect& d) {
+  return kDelim == kRuntimeDelim ? d.delimiter : static_cast<char>(kDelim);
+}
+
+/// TokenizeStarts for unquoted dialects: one streaming pass over the
+/// delimiter mask (the scalar loop re-derives each start from the previous
+/// field's end; with quoting off those are exactly the delimiter positions
+/// plus one).
+template <class Sc, int kDelim>
+int TokenizeUnquoted(std::string_view line, const CsvDialect& d, int upto,
+                     uint32_t* starts) {
+  starts[0] = 0;
+  if (upto == 0) return 1;
+  const char delim = ResolveDelim<Sc, kDelim>(d);
+  const char* p = line.data();
+  const size_t n = line.size();
+  int attr = 0;
+  size_t i = 0;
+  auto eq_delim = [delim](typename Sc::Block b) { return Sc::Eq(b, delim); };
+  while (i < n) {
+    uint64_t m;
+    size_t step;
+    if (i + Sc::kWidth <= n) {
+      m = Sc::Eq(Sc::Load(p + i), delim);
+      step = Sc::kWidth;
+    } else {
+      step = n - i;
+      m = TailMask<Sc>(p, n, i, eq_delim);
+    }
+    while (m != 0) {
+      starts[++attr] =
+          static_cast<uint32_t>(i + std::countr_zero(m)) + 1;
+      if (attr == upto) return attr + 1;
+      m &= m - 1;
+    }
+    i += step;
+  }
+  return attr + 1;
+}
+
+/// FindFieldForward for unquoted dialects: walk the delimiter mask from
+/// `from_offset`, reporting each crossing, until `to_attr` starts.
+template <class Sc, int kDelim>
+uint32_t FindForwardUnquoted(std::string_view line, const CsvDialect& d,
+                             int from_attr, uint32_t from_offset, int to_attr,
+                             const PositionSink* sink) {
+  if (from_attr >= to_attr) return from_offset;
+  const char delim = ResolveDelim<Sc, kDelim>(d);
+  const char* p = line.data();
+  const size_t n = line.size();
+  int attr = from_attr;
+  size_t i = from_offset;
+  auto eq_delim = [delim](typename Sc::Block b) { return Sc::Eq(b, delim); };
+  while (i < n) {
+    uint64_t m;
+    size_t step;
+    if (i + Sc::kWidth <= n) {
+      m = Sc::Eq(Sc::Load(p + i), delim);
+      step = Sc::kWidth;
+    } else {
+      step = n - i;
+      m = TailMask<Sc>(p, n, i, eq_delim);
+    }
+    while (m != 0) {
+      uint32_t pos = static_cast<uint32_t>(i + std::countr_zero(m)) + 1;
+      ++attr;
+      if (sink != nullptr) sink->Record(attr, pos);
+      if (attr == to_attr) return pos;
+      m &= m - 1;
+    }
+    i += step;
+  }
+  return kInvalidOffset;
+}
+
+/// CountFields for unquoted dialects: 1 + popcount of the delimiter mask.
+template <class Sc, int kDelim>
+int CountUnquoted(std::string_view line, const CsvDialect& d) {
+  const char delim = ResolveDelim<Sc, kDelim>(d);
+  const char* p = line.data();
+  const size_t n = line.size();
+  int count = 1;
+  size_t i = 0;
+  while (i + Sc::kWidth <= n) {
+    count += std::popcount(Sc::Eq(Sc::Load(p + i), delim));
+    i += Sc::kWidth;
+  }
+  if (i < n) {
+    count += std::popcount(TailMask<Sc>(
+        p, n, i, [delim](typename Sc::Block b) { return Sc::Eq(b, delim); }));
+  }
+  return count;
+}
+
+/// SkipQuoted with block scanning: from the opening quote, hop between
+/// quote characters, treating "" pairs as escaped content.
+template <class Sc>
+uint32_t SkipQuotedK(std::string_view line, char quote, uint32_t pos) {
+  const char* p = line.data();
+  const size_t n = line.size();
+  size_t i = pos + 1;
+  while (i < n) {
+    size_t q =
+        ScanFor<Sc>(p, n, i, [quote](typename Sc::Block b) {
+          return Sc::Eq(b, quote);
+        });
+    if (q >= n) return static_cast<uint32_t>(n);
+    if (q + 1 < n && p[q + 1] == quote) {
+      i = q + 2;  // escaped quote
+      continue;
+    }
+    return static_cast<uint32_t>(q + 1);
+  }
+  return static_cast<uint32_t>(n);
+}
+
+/// ScanFieldEnd (tokenizer.cc) with block scanning; handles both the quoted
+/// and unquoted field forms of a quoting dialect.
+template <class Sc>
+uint32_t FieldEndQuoting(std::string_view line, const CsvDialect& d,
+                         uint32_t begin) {
+  const char* p = line.data();
+  const size_t n = line.size();
+  const char delim = d.delimiter;
+  if (begin < n && p[begin] == d.quote) {
+    uint32_t after = SkipQuotedK<Sc>(line, d.quote, begin);
+    // Trailing junk after a closing quote is tolerated up to the delimiter.
+    return static_cast<uint32_t>(
+        ScanFor<Sc>(p, n, after, [delim](typename Sc::Block b) {
+          return Sc::Eq(b, delim);
+        }));
+  }
+  return static_cast<uint32_t>(
+      ScanFor<Sc>(p, n, begin, [delim](typename Sc::Block b) {
+        return Sc::Eq(b, delim);
+      }));
+}
+
+// The quoting state machine cannot stream one mask (a delimiter's meaning
+// depends on quote state), so the quoted variants mirror the scalar
+// field-by-field loops with FieldEndQuoting as the accelerated step.
+
+template <class Sc>
+int TokenizeQuoting(std::string_view line, const CsvDialect& d, int upto,
+                    uint32_t* starts) {
+  int found = 0;
+  uint32_t pos = 0;
+  for (int attr = 0; attr <= upto; ++attr) {
+    starts[attr] = pos;
+    ++found;
+    if (attr == upto) break;
+    uint32_t end = FieldEndQuoting<Sc>(line, d, pos);
+    if (end >= line.size()) break;
+    pos = end + 1;
+  }
+  return found;
+}
+
+template <class Sc>
+uint32_t FindForwardQuoting(std::string_view line, const CsvDialect& d,
+                            int from_attr, uint32_t from_offset, int to_attr,
+                            const PositionSink* sink) {
+  uint32_t pos = from_offset;
+  for (int attr = from_attr; attr < to_attr; ++attr) {
+    uint32_t end = FieldEndQuoting<Sc>(line, d, pos);
+    if (end >= line.size()) return kInvalidOffset;
+    pos = end + 1;
+    if (sink != nullptr) sink->Record(attr + 1, pos);
+  }
+  return pos;
+}
+
+template <class Sc>
+int CountQuoting(std::string_view line, const CsvDialect& d) {
+  int count = 1;
+  uint32_t pos = 0;
+  while (true) {
+    uint32_t end = FieldEndQuoting<Sc>(line, d, pos);
+    if (end >= line.size()) break;
+    pos = end + 1;
+    ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------- JSONL
+
+/// Stage 1: classify every record byte into the structural bitmaps, then
+/// resolve backslash escapes (parse_kernels.cc) to mark consumed quotes.
+template <class Sc>
+void BuildJsonBitmaps(std::string_view s, JsonBitmaps* bm) {
+  const char* p = s.data();
+  const size_t n = s.size();
+  bm->Reset(n);
+  const size_t nwords = bm->quote.size();
+  for (size_t w = 0; w < nwords; ++w) {
+    const size_t base = w << 6;
+    const size_t limit = std::min<size_t>(64, n - base);
+    uint64_t quote = 0, backslash = 0, container = 0, literal = 0;
+    size_t off = 0;
+    while (off < limit) {
+      typename Sc::Block b;
+      size_t step;
+      if (base + off + Sc::kWidth <= n) {
+        b = Sc::Load(p + base + off);
+        step = Sc::kWidth;
+      } else {
+        step = n - (base + off);
+        b = Sc::LoadPartial(p + base + off, step);
+      }
+      const uint64_t valid = LowMask(step);
+      uint64_t mq = Sc::Eq(b, '"') & valid;
+      uint64_t mb = Sc::Eq(b, '\\') & valid;
+      uint64_t mopen = (Sc::Eq(b, '{') | Sc::Eq(b, '[')) & valid;
+      uint64_t mclose = (Sc::Eq(b, '}') | Sc::Eq(b, ']')) & valid;
+      uint64_t mws = (Sc::Eq(b, ',') | Sc::Eq(b, ' ') | Sc::Eq(b, '\t') |
+                      Sc::Eq(b, '\r') | Sc::Eq(b, '\n')) &
+                     valid;
+      quote |= mq << off;
+      backslash |= mb << off;
+      container |= (mq | mopen | mclose) << off;
+      literal |= (mws | mclose) << off;
+      off += step;
+    }
+    bm->quote[w] = quote;
+    bm->backslash[w] = backslash;
+    bm->container[w] = container;
+    bm->literal_end[w] = literal;
+  }
+  ResolveJsonEscapes(bm);
+}
+
+/// SkipJsonString (json_text.cc) with block scanning: hop between '"' and
+/// '\\' occurrences; a backslash consumes the following byte.
+template <class Sc>
+size_t JsonSkipStringK(std::string_view s, size_t i) {
+  const char* p = s.data();
+  const size_t n = s.size();
+  size_t j = i + 1;
+  while (j < n) {
+    size_t q = ScanFor<Sc>(p, n, j, [](typename Sc::Block b) {
+      return Sc::Eq(b, '"') | Sc::Eq(b, '\\');
+    });
+    if (q >= n) return n;
+    if (p[q] == '\\') {
+      j = q + 2;
+      continue;
+    }
+    return q + 1;
+  }
+  return n;
+}
+
+/// SkipJsonValue (json_text.cc) with block scanning.
+template <class Sc>
+size_t JsonSkipValueK(std::string_view s, size_t i) {
+  const char* p = s.data();
+  const size_t n = s.size();
+  if (i >= n) return n;
+  if (p[i] == '"') return JsonSkipStringK<Sc>(s, i);
+  if (p[i] == '{' || p[i] == '[') {
+    int depth = 0;
+    size_t j = i;
+    while (j < n) {
+      size_t q = ScanFor<Sc>(p, n, j, [](typename Sc::Block b) {
+        return Sc::Eq(b, '"') | Sc::Eq(b, '{') | Sc::Eq(b, '}') |
+               Sc::Eq(b, '[') | Sc::Eq(b, ']');
+      });
+      if (q >= n) return n;
+      char c = p[q];
+      if (c == '"') {
+        j = JsonSkipStringK<Sc>(s, q);
+        continue;
+      }
+      if (c == '{' || c == '[') {
+        ++depth;
+      } else {
+        --depth;
+        if (depth == 0) return q + 1;
+      }
+      j = q + 1;
+    }
+    return n;
+  }
+  // Scalar literal: runs to the first ',', '}', ']' or whitespace.
+  return ScanFor<Sc>(p, n, i, [](typename Sc::Block b) {
+    return Sc::Eq(b, ',') | Sc::Eq(b, '}') | Sc::Eq(b, ']') |
+           Sc::Eq(b, ' ') | Sc::Eq(b, '\t') | Sc::Eq(b, '\r') |
+           Sc::Eq(b, '\n');
+  });
+}
+
+// ---------------------------------------------------------------- table
+
+/// The ParseKernels entry points for one scanner, with the per-call dialect
+/// dispatch to the compile-time variants.
+template <class Sc>
+struct KernelOps {
+  static size_t FindNewline(const char* p, size_t n) {
+    return ScanFor<Sc>(p, n, 0, [](typename Sc::Block b) {
+      return Sc::Eq(b, '\n');
+    });
+  }
+
+  static int Tokenize(std::string_view line, const CsvDialect& d, int upto,
+                      uint32_t* starts) {
+    if (d.quoting) return TokenizeQuoting<Sc>(line, d, upto, starts);
+    switch (d.delimiter) {
+      case ',': return TokenizeUnquoted<Sc, ','>(line, d, upto, starts);
+      case '\t': return TokenizeUnquoted<Sc, '\t'>(line, d, upto, starts);
+      case '|': return TokenizeUnquoted<Sc, '|'>(line, d, upto, starts);
+      default:
+        return TokenizeUnquoted<Sc, kRuntimeDelim>(line, d, upto, starts);
+    }
+  }
+
+  static uint32_t FindForward(std::string_view line, const CsvDialect& d,
+                              int from_attr, uint32_t from_offset,
+                              int to_attr, const PositionSink* sink) {
+    if (d.quoting) {
+      return FindForwardQuoting<Sc>(line, d, from_attr, from_offset, to_attr,
+                                    sink);
+    }
+    switch (d.delimiter) {
+      case ',':
+        return FindForwardUnquoted<Sc, ','>(line, d, from_attr, from_offset,
+                                            to_attr, sink);
+      case '\t':
+        return FindForwardUnquoted<Sc, '\t'>(line, d, from_attr, from_offset,
+                                             to_attr, sink);
+      case '|':
+        return FindForwardUnquoted<Sc, '|'>(line, d, from_attr, from_offset,
+                                            to_attr, sink);
+      default:
+        return FindForwardUnquoted<Sc, kRuntimeDelim>(
+            line, d, from_attr, from_offset, to_attr, sink);
+    }
+  }
+
+  static uint32_t FieldEnd(std::string_view line, const CsvDialect& d,
+                           uint32_t begin) {
+    if (d.quoting) return FieldEndQuoting<Sc>(line, d, begin);
+    const char delim = d.delimiter;
+    return static_cast<uint32_t>(
+        ScanFor<Sc>(line.data(), line.size(), begin,
+                    [delim](typename Sc::Block b) {
+                      return Sc::Eq(b, delim);
+                    }));
+  }
+
+  static int Count(std::string_view line, const CsvDialect& d) {
+    if (d.quoting) return CountQuoting<Sc>(line, d);
+    switch (d.delimiter) {
+      case ',': return CountUnquoted<Sc, ','>(line, d);
+      case '\t': return CountUnquoted<Sc, '\t'>(line, d);
+      case '|': return CountUnquoted<Sc, '|'>(line, d);
+      default: return CountUnquoted<Sc, kRuntimeDelim>(line, d);
+    }
+  }
+
+  static void JsonBitmapsFn(std::string_view s, JsonBitmaps* out) {
+    BuildJsonBitmaps<Sc>(s, out);
+  }
+  static size_t JsonSkipString(std::string_view s, size_t i) {
+    return JsonSkipStringK<Sc>(s, i);
+  }
+  static size_t JsonSkipValue(std::string_view s, size_t i) {
+    return JsonSkipValueK<Sc>(s, i);
+  }
+
+  static ParseKernels Table(KernelLevel level, const char* name) {
+    return ParseKernels{
+        level,          name,
+        &FindNewline,   &Tokenize,
+        &FindForward,   &FieldEnd,
+        &Count,         &JsonBitmapsFn,
+        &JsonSkipString, &JsonSkipValue,
+        &KernelParseInt64, &KernelParseDouble, &KernelParseDate,
+    };
+  }
+};
+
+}  // namespace kern
+}  // namespace nodb
+
+#endif  // NODB_RAW_PARSE_KERNELS_IMPL_H_

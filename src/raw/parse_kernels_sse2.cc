@@ -1,0 +1,52 @@
+#include "raw/parse_kernels.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+#include "raw/parse_kernels_impl.h"
+
+namespace nodb {
+
+namespace kern {
+namespace {
+
+/// 16-byte scanner over SSE2 — baseline on x86-64, so no runtime check.
+struct Sse2Scanner {
+  static constexpr size_t kWidth = 16;
+  using Block = __m128i;
+
+  static Block Load(const char* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static Block LoadPartial(const char* p, size_t n) {
+    alignas(16) char buf[16] = {0};
+    std::memcpy(buf, p, n);
+    return _mm_load_si128(reinterpret_cast<const __m128i*>(buf));
+  }
+  static uint64_t Eq(Block b, char c) {
+    return static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(b, _mm_set1_epi8(c))));
+  }
+};
+
+}  // namespace
+}  // namespace kern
+
+const ParseKernels* Sse2KernelsOrNull() {
+  static const ParseKernels table =
+      kern::KernelOps<kern::Sse2Scanner>::Table(KernelLevel::kSse2, "sse2");
+  return &table;
+}
+
+}  // namespace nodb
+
+#else  // !x86-64
+
+namespace nodb {
+const ParseKernels* Sse2KernelsOrNull() { return nullptr; }
+}  // namespace nodb
+
+#endif

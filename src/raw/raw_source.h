@@ -188,6 +188,18 @@ class RawSourceAdapter {
     return kNoFieldPos;
   }
 
+  /// Batch variant of FindForward for dense scans: resolves the starts of
+  /// fields 0..upto in one pass, writing them to `starts` (which must hold
+  /// upto+1 entries), and returns how many fields the record actually has
+  /// up to that bound. Returns -1 when the format has no batch tokenizer
+  /// (the caller falls back to the incremental anchor walk). Offsets are
+  /// identical to what per-field FindForward calls would discover.
+  virtual int TokenizeRecord(const RecordRef& rec, int upto,
+                             uint32_t* starts) const {
+    (void)rec, (void)upto, (void)starts;
+    return -1;
+  }
+
   /// One past the last byte of field `attr` starting at `pos`.
   /// `next_attr_pos` is the known start of field attr+1 (kNoFieldPos when
   /// unknown); delimited formats can derive the end from it without

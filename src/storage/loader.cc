@@ -4,7 +4,7 @@
 
 #include "csv/parser.h"
 #include "raw/line_reader.h"
-#include "csv/tokenizer.h"
+#include "raw/parse_kernels.h"
 #include "io/file.h"
 #include "util/stopwatch.h"
 
@@ -16,11 +16,12 @@ namespace {
 template <typename AppendFn>
 Result<LoadResult> LoadCsv(const std::string& csv_path,
                            const CsvDialect& dialect, const Schema& schema,
-                           AppendFn&& append) {
+                           const ParseKernels* kernels, AppendFn&& append) {
+  if (kernels == nullptr) kernels = &ActiveKernels();
   Stopwatch timer;
   NODB_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
                         RandomAccessFile::Open(csv_path));
-  LineReader scanner(file.get());
+  LineReader scanner(file.get(), LineReader::kDefaultBufferSize, kernels);
   RecordRef line;
   int ncols = schema.num_columns();
   std::vector<uint32_t> starts(ncols);
@@ -35,18 +36,20 @@ Result<LoadResult> LoadCsv(const std::string& csv_path,
       skip_header = false;
       continue;
     }
-    int found = TokenizeStarts(line.data, dialect, ncols - 1, starts.data());
+    int found =
+        kernels->csv_tokenize(line.data, dialect, ncols - 1, starts.data());
     for (int c = 0; c < ncols; ++c) {
       if (c >= found) {
         row[c] = Value::Null(schema.column(c).type);
         continue;
       }
       uint32_t begin = starts[c];
-      uint32_t end = c + 1 < found ? starts[c + 1] - 1
-                                   : FieldEndAt(line.data, dialect, begin);
+      uint32_t end = c + 1 < found
+                         ? starts[c + 1] - 1
+                         : kernels->csv_field_end(line.data, dialect, begin);
       NODB_ASSIGN_OR_RETURN(
           row[c], ParseCsvField(line.data.substr(begin, end - begin),
-                                schema.column(c).type, dialect));
+                                schema.column(c).type, dialect, *kernels));
     }
     NODB_RETURN_IF_ERROR(append(row));
     ++result.rows;
@@ -58,10 +61,11 @@ Result<LoadResult> LoadCsv(const std::string& csv_path,
 }  // namespace
 
 Result<LoadResult> LoadCsvToHeap(const std::string& csv_path,
-                                 const CsvDialect& dialect, TableHeap* heap) {
+                                 const CsvDialect& dialect, TableHeap* heap,
+                                 const ParseKernels* kernels) {
   NODB_ASSIGN_OR_RETURN(
       LoadResult result,
-      LoadCsv(csv_path, dialect, heap->schema(),
+      LoadCsv(csv_path, dialect, heap->schema(), kernels,
               [heap](const Row& row) { return heap->Append(row); }));
   Stopwatch finish;
   NODB_RETURN_IF_ERROR(heap->FinishLoad());
@@ -71,10 +75,11 @@ Result<LoadResult> LoadCsvToHeap(const std::string& csv_path,
 
 Result<LoadResult> LoadCsvToCompact(const std::string& csv_path,
                                     const CsvDialect& dialect,
-                                    CompactTable* table) {
+                                    CompactTable* table,
+                                    const ParseKernels* kernels) {
   NODB_ASSIGN_OR_RETURN(
       LoadResult result,
-      LoadCsv(csv_path, dialect, table->schema(),
+      LoadCsv(csv_path, dialect, table->schema(), kernels,
               [table](const Row& row) { return table->Append(row); }));
   Stopwatch finish;
   NODB_RETURN_IF_ERROR(table->FinishLoad());

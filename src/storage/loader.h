@@ -11,6 +11,8 @@
 
 namespace nodb {
 
+struct ParseKernels;
+
 /// Outcome of a bulk load.
 struct LoadResult {
   uint64_t rows = 0;
@@ -21,14 +23,17 @@ struct LoadResult {
 /// traditional engines require before the first query (and whose cost NoDB
 /// eliminates). Every attribute of every tuple is tokenized, parsed to
 /// binary and written out, exactly the work the paper charges to the
-/// loaded-DBMS baselines.
+/// loaded-DBMS baselines. `kernels` selects the tokenize/parse path
+/// (raw/parse_kernels.h); null means the process-wide active table.
 Result<LoadResult> LoadCsvToHeap(const std::string& csv_path,
-                                 const CsvDialect& dialect, TableHeap* heap);
+                                 const CsvDialect& dialect, TableHeap* heap,
+                                 const ParseKernels* kernels = nullptr);
 
 /// Same, into the packed "DBMS X" format.
 Result<LoadResult> LoadCsvToCompact(const std::string& csv_path,
                                     const CsvDialect& dialect,
-                                    CompactTable* table);
+                                    CompactTable* table,
+                                    const ParseKernels* kernels = nullptr);
 
 }  // namespace nodb
 

@@ -193,6 +193,18 @@ std::string RandomQuery(const RandomTable& table, Rng* rng) {
   return sql;
 }
 
+/// MakeEngine(sut) with the parse-kernel path pinned to the scalar
+/// reference (EngineConfig::scalar_kernels). Every engine variant below
+/// runs once with the active SWAR/SIMD kernels and once forced scalar; the
+/// two must be byte-identical on every query, cold and warm — the
+/// engine-level half of the kernel differential gate.
+std::unique_ptr<Database> MakeEngineWithKernels(SystemUnderTest sut,
+                                                bool scalar_kernels) {
+  EngineConfig config = EngineConfig::ForSystem(sut);
+  config.scalar_kernels = scalar_kernels;
+  return std::make_unique<Database>(config);
+}
+
 class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
@@ -211,40 +223,45 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
   // Database::Open — so the raw-source adapters are differentially checked
   // against each other, not just against the loaded engines.
   std::vector<std::pair<std::string, std::unique_ptr<Database>>> engines;
-  for (SystemUnderTest sut :
-       {SystemUnderTest::kPostgresRawPMC, SystemUnderTest::kPostgresRawPM,
-        SystemUnderTest::kPostgresRawC,
-        SystemUnderTest::kPostgresRawBaseline,
-        SystemUnderTest::kExternalFiles, SystemUnderTest::kPostgreSQL,
-        SystemUnderTest::kDbmsX, SystemUnderTest::kMySQL}) {
-    auto db = MakeEngine(sut);
-    if (IsInSituSystem(sut)) {
-      ASSERT_TRUE(db->RegisterCsv("t", csv_path, table.schema).ok());
-      auto jsonl_db = MakeEngine(sut);
-      OpenOptions options;
-      options.schema = table.schema;
-      ASSERT_TRUE(jsonl_db->Open("t", jsonl_path, options).ok());
-      ASSERT_EQ(jsonl_db->runtime("t")->adapter->format_name(), "jsonl");
-      engines.emplace_back(std::string(SystemUnderTestName(sut)) + " [jsonl]",
-                           std::move(jsonl_db));
-    } else {
-      ASSERT_TRUE(db->LoadCsv("t", csv_path, table.schema).ok());
+  for (bool scalar_kernels : {false, true}) {
+    const std::string tag = scalar_kernels ? " [scalar]" : "";
+    for (SystemUnderTest sut :
+         {SystemUnderTest::kPostgresRawPMC, SystemUnderTest::kPostgresRawPM,
+          SystemUnderTest::kPostgresRawC,
+          SystemUnderTest::kPostgresRawBaseline,
+          SystemUnderTest::kExternalFiles, SystemUnderTest::kPostgreSQL,
+          SystemUnderTest::kDbmsX, SystemUnderTest::kMySQL}) {
+      auto db = MakeEngineWithKernels(sut, scalar_kernels);
+      if (IsInSituSystem(sut)) {
+        ASSERT_TRUE(db->RegisterCsv("t", csv_path, table.schema).ok());
+        auto jsonl_db = MakeEngineWithKernels(sut, scalar_kernels);
+        OpenOptions options;
+        options.schema = table.schema;
+        ASSERT_TRUE(jsonl_db->Open("t", jsonl_path, options).ok());
+        ASSERT_EQ(jsonl_db->runtime("t")->adapter->format_name(), "jsonl");
+        engines.emplace_back(
+            std::string(SystemUnderTestName(sut)) + " [jsonl]" + tag,
+            std::move(jsonl_db));
+      } else {
+        ASSERT_TRUE(db->LoadCsv("t", csv_path, table.schema).ok());
+      }
+      engines.emplace_back(std::string(SystemUnderTestName(sut)) + tag,
+                           std::move(db));
     }
-    engines.emplace_back(std::string(SystemUnderTestName(sut)),
-                         std::move(db));
-  }
 
-  // A tight-budget PM+C engine exercises eviction and spilling during the
-  // same workload (results must still be exact).
-  {
-    EngineConfig config =
-        EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
-    config.pm_budget_bytes = 16 * 1024;
-    config.cache_budget_bytes = 16 * 1024;
-    config.tuples_per_chunk = 64;
-    auto db = std::make_unique<Database>(config);
-    ASSERT_TRUE(db->RegisterCsv("t", csv_path, table.schema).ok());
-    engines.emplace_back("PM+C tight budget", std::move(db));
+    // A tight-budget PM+C engine exercises eviction and spilling during
+    // the same workload (results must still be exact).
+    {
+      EngineConfig config =
+          EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
+      config.pm_budget_bytes = 16 * 1024;
+      config.cache_budget_bytes = 16 * 1024;
+      config.tuples_per_chunk = 64;
+      config.scalar_kernels = scalar_kernels;
+      auto db = std::make_unique<Database>(config);
+      ASSERT_TRUE(db->RegisterCsv("t", csv_path, table.schema).ok());
+      engines.emplace_back("PM+C tight budget" + tag, std::move(db));
+    }
   }
 
   constexpr int kQueries = 20;
@@ -362,42 +379,48 @@ class CrossEngineTest : public ::testing::Test {
   std::vector<std::pair<std::string, std::unique_ptr<Database>>>
   MakeEngines() {
     std::vector<std::pair<std::string, std::unique_ptr<Database>>> engines;
-    for (SystemUnderTest sut :
-         {SystemUnderTest::kPostgresRawPMC, SystemUnderTest::kPostgresRawPM,
-          SystemUnderTest::kPostgresRawC,
-          SystemUnderTest::kPostgresRawBaseline,
-          SystemUnderTest::kExternalFiles, SystemUnderTest::kPostgreSQL,
-          SystemUnderTest::kDbmsX, SystemUnderTest::kMySQL}) {
-      auto db = MakeEngine(sut);
-      if (IsInSituSystem(sut)) {
-        EXPECT_TRUE(
-            db->RegisterCsv("customers", customers_csv_, customers_schema_)
-                .ok());
-        EXPECT_TRUE(
-            db->RegisterCsv("orders", orders_csv_, orders_schema_).ok());
-        // The same variant again, backed by JSON Lines through the
-        // auto-detecting Open path: every query below must agree.
-        auto jsonl_db = MakeEngine(sut);
-        OpenOptions customers_opts;
-        customers_opts.schema = customers_schema_;
-        EXPECT_TRUE(
-            jsonl_db->Open("customers", customers_jsonl_, customers_opts)
-                .ok());
-        OpenOptions orders_opts;
-        orders_opts.schema = orders_schema_;
-        EXPECT_TRUE(jsonl_db->Open("orders", orders_jsonl_, orders_opts).ok());
-        engines.emplace_back(
-            std::string(SystemUnderTestName(sut)) + " [jsonl]",
-            std::move(jsonl_db));
-      } else {
-        EXPECT_TRUE(
-            db->LoadCsv("customers", customers_csv_, customers_schema_)
-                .ok());
-        EXPECT_TRUE(
-            db->LoadCsv("orders", orders_csv_, orders_schema_).ok());
+    // Every variant twice: SWAR/SIMD kernels on, then forced scalar. Both
+    // halves feed the same byte-identical comparison below.
+    for (bool scalar_kernels : {false, true}) {
+      const std::string tag = scalar_kernels ? " [scalar]" : "";
+      for (SystemUnderTest sut :
+           {SystemUnderTest::kPostgresRawPMC, SystemUnderTest::kPostgresRawPM,
+            SystemUnderTest::kPostgresRawC,
+            SystemUnderTest::kPostgresRawBaseline,
+            SystemUnderTest::kExternalFiles, SystemUnderTest::kPostgreSQL,
+            SystemUnderTest::kDbmsX, SystemUnderTest::kMySQL}) {
+        auto db = MakeEngineWithKernels(sut, scalar_kernels);
+        if (IsInSituSystem(sut)) {
+          EXPECT_TRUE(
+              db->RegisterCsv("customers", customers_csv_, customers_schema_)
+                  .ok());
+          EXPECT_TRUE(
+              db->RegisterCsv("orders", orders_csv_, orders_schema_).ok());
+          // The same variant again, backed by JSON Lines through the
+          // auto-detecting Open path: every query below must agree.
+          auto jsonl_db = MakeEngineWithKernels(sut, scalar_kernels);
+          OpenOptions customers_opts;
+          customers_opts.schema = customers_schema_;
+          EXPECT_TRUE(
+              jsonl_db->Open("customers", customers_jsonl_, customers_opts)
+                  .ok());
+          OpenOptions orders_opts;
+          orders_opts.schema = orders_schema_;
+          EXPECT_TRUE(
+              jsonl_db->Open("orders", orders_jsonl_, orders_opts).ok());
+          engines.emplace_back(
+              std::string(SystemUnderTestName(sut)) + " [jsonl]" + tag,
+              std::move(jsonl_db));
+        } else {
+          EXPECT_TRUE(
+              db->LoadCsv("customers", customers_csv_, customers_schema_)
+                  .ok());
+          EXPECT_TRUE(
+              db->LoadCsv("orders", orders_csv_, orders_schema_).ok());
+        }
+        engines.emplace_back(std::string(SystemUnderTestName(sut)) + tag,
+                             std::move(db));
       }
-      engines.emplace_back(std::string(SystemUnderTestName(sut)),
-                           std::move(db));
     }
     return engines;
   }

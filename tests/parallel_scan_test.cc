@@ -436,6 +436,53 @@ TEST(MorselBoundaryTest, EmptyOneRecordAndThreadsExceedRecords) {
                               "SELECT SUM(a) AS s FROM t"});
 }
 
+TEST(MorselBoundaryTest, KernelParallelAgreesWithScalarSerial) {
+  // Parse kernels and morsel parallelism composed: a parallel scan running
+  // the active SWAR/SIMD kernels must match a serial scan pinned to the
+  // scalar reference kernels, byte for byte, cold and warm — with morsels
+  // small enough to land mid-record and mid-quoted-field.
+  TempDir dir;
+  std::vector<Row> rows = TestRows(500);
+  Schema schema = TestSchema();
+  std::string csv_path = dir.File("t.csv");
+  std::string jsonl_path = dir.File("t.jsonl");
+  WriteCsvFile(csv_path, rows);
+  WriteJsonlFile(jsonl_path, schema, rows);
+
+  for (const std::string* path : {&csv_path, &jsonl_path}) {
+    EngineConfig serial_config =
+        EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
+    serial_config.scalar_kernels = true;
+    Database serial(serial_config);
+    OpenOptions serial_options;
+    serial_options.schema = schema;
+    ASSERT_TRUE(serial.Open("t", *path, serial_options).ok());
+
+    for (int threads : {2, 8}) {
+      EngineConfig config =
+          EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
+      config.scan_threads = threads;
+      config.scan_morsel_bytes = 96;
+      Database parallel(config);
+      OpenOptions options;
+      options.schema = schema;
+      ASSERT_TRUE(parallel.Open("t", *path, options).ok());
+      for (int round = 0; round < 2; ++round) {
+        for (const char* sql : kQueries) {
+          auto want = serial.Execute(sql);
+          auto got = parallel.Execute(sql);
+          ASSERT_TRUE(want.ok()) << want.status();
+          ASSERT_TRUE(got.ok())
+              << *path << " x" << threads << ": " << got.status();
+          EXPECT_EQ(got->Canonical(false), want->Canonical(false))
+              << *path << " x" << threads << " round " << round << ": "
+              << sql;
+        }
+      }
+    }
+  }
+}
+
 TEST(MorselBoundaryTest, ParseErrorSurfacesIdenticallyMidFile) {
   TempDir dir;
   std::string path = dir.File("t.csv");

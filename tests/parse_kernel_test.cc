@@ -1,0 +1,623 @@
+// Kernel conformance suite: every parse-kernel table this build and CPU
+// provide (scalar, SWAR, SSE2, AVX2) must agree *exactly* with the scalar
+// reference — field boundaries, sink callbacks, values, and error Statuses,
+// on well-formed and malformed input alike. Inputs are staged in
+// exactly-sized heap buffers so a kernel reading one byte past a record is
+// an ASan failure, not a silent success.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "csv/tokenizer.h"
+#include "io/file.h"
+#include "json/json_text.h"
+#include "raw/line_reader.h"
+#include "raw/parse_kernels.h"
+#include "util/fs_util.h"
+#include "util/rng.h"
+#include "util/str_conv.h"
+
+namespace nodb {
+namespace {
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+/// The input copied into an exactly-sized heap allocation: one byte past
+/// `view()` is unowned memory, so ASan converts any kernel overread into a
+/// test failure. (A std::string would hide overreads in its capacity slack.)
+class ExactBuf {
+ public:
+  explicit ExactBuf(std::string_view s)
+      : size_(s.size()), data_(size_ > 0 ? new char[size_] : nullptr) {
+    if (size_ > 0) memcpy(data_.get(), s.data(), size_);
+  }
+  std::string_view view() const { return {data_.get(), size_}; }
+
+ private:
+  size_t size_;
+  std::unique_ptr<char[]> data_;
+};
+
+std::vector<const ParseKernels*> VectorKernels() {
+  std::vector<const ParseKernels*> out;
+  for (const ParseKernels* k : AvailableKernels()) {
+    if (k->level != KernelLevel::kScalar) out.push_back(k);
+  }
+  return out;
+}
+
+/// Identity-mapped PositionSink writing into `pos` (one slot per attr).
+struct SinkCapture {
+  std::vector<int> slots;
+  std::vector<uint32_t> pos;
+  bool corrupt = false;
+  PositionSink sink;
+
+  explicit SinkCapture(int nattrs)
+      : slots(nattrs), pos(nattrs, kNoFieldPos) {
+    for (int i = 0; i < nattrs; ++i) slots[i] = i;
+    sink.slot_of = slots.data();
+    sink.pos = pos.data();
+    sink.corrupt = &corrupt;
+  }
+};
+
+constexpr int kMaxAttrs = 96;
+
+/// Asserts that every CSV kernel entry point of `k` matches the scalar
+/// reference on `line` under `dialect`: tokenize at several `upto` cutoffs,
+/// field-end at every discovered start, count, and find-forward from every
+/// (attr, start) anchor including the sink trace.
+void ExpectCsvConformance(const ParseKernels& k, std::string_view line,
+                          const CsvDialect& dialect) {
+  SCOPED_TRACE(std::string(k.name) + " on \"" + std::string(line) + "\"");
+  ExactBuf buf(line);
+  std::string_view v = buf.view();
+
+  uint32_t ref_starts[kMaxAttrs], got_starts[kMaxAttrs];
+  int ref_n = TokenizeStarts(v, dialect, kMaxAttrs - 1, ref_starts);
+  int got_n = k.csv_tokenize(v, dialect, kMaxAttrs - 1, got_starts);
+  ASSERT_EQ(got_n, ref_n);
+  for (int f = 0; f < ref_n; ++f) EXPECT_EQ(got_starts[f], ref_starts[f]);
+
+  // Selective cutoffs, including upto = 0 and one past the real count.
+  for (int upto : {0, 1, ref_n - 1, ref_n}) {
+    if (upto < 0 || upto >= kMaxAttrs) continue;
+    uint32_t a[kMaxAttrs], b[kMaxAttrs];
+    int na = TokenizeStarts(v, dialect, upto, a);
+    int nb = k.csv_tokenize(v, dialect, upto, b);
+    ASSERT_EQ(nb, na) << "upto=" << upto;
+    for (int f = 0; f < na; ++f) EXPECT_EQ(b[f], a[f]);
+  }
+
+  EXPECT_EQ(k.csv_count_fields(v, dialect), CountFields(v, dialect));
+
+  for (int f = 0; f < ref_n; ++f) {
+    EXPECT_EQ(k.csv_field_end(v, dialect, ref_starts[f]),
+              FieldEndAt(v, dialect, ref_starts[f]))
+        << "field " << f;
+  }
+
+  // Find-forward from every anchor to every later attr (and past the end),
+  // comparing the returned offset and the full sink trace.
+  for (int from = 0; from < ref_n; ++from) {
+    for (int to : {from, from + 1, ref_n - 1, ref_n, ref_n + 3}) {
+      if (to < from || to >= kMaxAttrs) continue;
+      SinkCapture ref_cap(kMaxAttrs), got_cap(kMaxAttrs);
+      uint32_t ref_pos = FindFieldForward(v, dialect, from, ref_starts[from],
+                                          to, &ref_cap.sink);
+      uint32_t got_pos = k.csv_find_forward(v, dialect, from,
+                                            ref_starts[from], to,
+                                            &got_cap.sink);
+      EXPECT_EQ(got_pos, ref_pos) << "from=" << from << " to=" << to;
+      EXPECT_EQ(got_cap.pos, ref_cap.pos) << "from=" << from << " to=" << to;
+      EXPECT_EQ(got_cap.corrupt, ref_cap.corrupt);
+    }
+  }
+}
+
+void ExpectCsvConformanceAllDialects(std::string_view line) {
+  CsvDialect comma;
+  CsvDialect tsv;
+  tsv.delimiter = '\t';
+  CsvDialect pipe;
+  pipe.delimiter = '|';
+  CsvDialect semi;
+  semi.delimiter = ';';
+  CsvDialect quoted;
+  quoted.quoting = true;
+  CsvDialect single;
+  single.quoting = true;
+  single.quote = '\'';
+  for (const ParseKernels* k : AvailableKernels()) {
+    for (const CsvDialect* d : {&comma, &tsv, &pipe, &semi, &quoted, &single}) {
+      ExpectCsvConformance(*k, line, *d);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// CSV: field widths across lane boundaries
+// ---------------------------------------------------------------------
+
+TEST(ParseKernelCsv, FieldWidthsCrossLaneBoundaries) {
+  // Two fields of width w each, for every w in 0..70 — the delimiter and
+  // the line end land on every offset relative to the 8/16/32-byte lanes.
+  for (int w = 0; w <= 70; ++w) {
+    std::string line(w, 'x');
+    line += ',';
+    line.append(w, 'y');
+    ExpectCsvConformanceAllDialects(line);
+  }
+}
+
+TEST(ParseKernelCsv, ManyNarrowFields) {
+  std::string line;
+  for (int f = 0; f < 80; ++f) {
+    if (f > 0) line += ',';
+    line += static_cast<char>('a' + f % 26);
+  }
+  ExpectCsvConformanceAllDialects(line);
+}
+
+TEST(ParseKernelCsv, EmptyAndDegenerateLines) {
+  ExpectCsvConformanceAllDialects("");
+  ExpectCsvConformanceAllDialects(",");
+  ExpectCsvConformanceAllDialects(",,,,,,,,,,,,,,,,,,,,,,,,,,,,,,,,,");
+  ExpectCsvConformanceAllDialects("x");
+  ExpectCsvConformanceAllDialects(std::string(257, 'x'));
+}
+
+TEST(ParseKernelCsv, RandomLines) {
+  Rng rng(20260807);
+  const char alphabet[] = "abc012.,,\t|;'\"x-";
+  for (int iter = 0; iter < 400; ++iter) {
+    int len = static_cast<int>(rng.Uniform(0, 90));
+    std::string line;
+    for (int i = 0; i < len; ++i) {
+      line += alphabet[rng.Uniform(0, sizeof(alphabet) - 2)];
+    }
+    ExpectCsvConformanceAllDialects(line);
+  }
+}
+
+// ---------------------------------------------------------------------
+// CSV: quoting
+// ---------------------------------------------------------------------
+
+TEST(ParseKernelCsv, QuotedFields) {
+  // Delimiters and quotes inside quoted fields, escaped quotes, unbalanced
+  // quotes, junk after the closing quote, quote appearing mid-field.
+  const char* cases[] = {
+      R"("a,b",c)",
+      R"(a,"b,c,d",e)",
+      R"("","",)",
+      R"("a""b",c)",
+      R"("a""""b")",
+      R"("unterminated)",
+      R"(a,"unterminated,b)",
+      R"("closed"junk,next)",
+      R"(mid"quote,field)",
+      R"("q",plain,"q2","")",
+      R"(,,"x",,)",
+      R"("0123456789012345678901234567890123456789,still quoted",tail)",
+  };
+  for (const char* c : cases) ExpectCsvConformanceAllDialects(c);
+}
+
+TEST(ParseKernelCsv, QuotedFieldWidthsCrossLaneBoundaries) {
+  for (int w = 0; w <= 70; ++w) {
+    std::string inner(w, 'q');
+    if (w > 3) inner[w / 2] = ',';  // delimiter inside the quoted region
+    ExpectCsvConformanceAllDialects("\"" + inner + "\",tail");
+    ExpectCsvConformanceAllDialects("head,\"" + inner + "\"");
+  }
+}
+
+TEST(ParseKernelCsv, CarriageReturnInsideRecord) {
+  // LineReader strips a '\r' before the '\n'; a stray CR elsewhere is field
+  // content and every kernel must treat it as such.
+  ExpectCsvConformanceAllDialects("a\rb,c");
+  ExpectCsvConformanceAllDialects("a,b\r");
+}
+
+// ---------------------------------------------------------------------
+// find_newline (LineReader's kernel)
+// ---------------------------------------------------------------------
+
+TEST(ParseKernelNewline, AllOffsetsAndTails) {
+  for (const ParseKernels* k : AvailableKernels()) {
+    SCOPED_TRACE(k->name);
+    for (int len = 0; len <= 70; ++len) {
+      // No newline at all: must return len, reading nothing past the end.
+      std::string s(len, 'x');
+      ExactBuf none(s);
+      EXPECT_EQ(k->find_newline(none.view().data(), len),
+                static_cast<size_t>(len));
+      // A newline at every position.
+      for (int at = 0; at < len; ++at) {
+        std::string t = s;
+        t[at] = '\n';
+        ExactBuf buf(t);
+        EXPECT_EQ(k->find_newline(buf.view().data(), len),
+                  static_cast<size_t>(at))
+            << "len=" << len << " at=" << at;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// JSONL: structural skips and the two-stage walker
+// ---------------------------------------------------------------------
+
+const char* const kJsonRecords[] = {
+    R"({"a":1,"b":2})",
+    R"({})",
+    R"({ })",
+    R"(  { "k" : "v" }  )",
+    R"({"s":"hello world","n":-12.5e3,"t":true,"f":false,"z":null})",
+    R"({"nested":{"x":[1,2,{"y":"z"}],"w":{}},"after":3})",
+    R"({"esc":"a\"b\\c\/d\n\tA","k2":1})",
+    R"({"uni":"é中文","pair":"😀"})",
+    "{\"utf8\":\"caf\xc3\xa9 \xe4\xb8\xad\xe6\x96\x87 \xf0\x9f\x98\x80\"}",
+    R"({"runs":"\\\\\\","quote_after_runs":"\\\\\"still in string"})",
+    R"({"a":"\\","b":"\\\\","c":"x\\\"y"})",
+    R"({"empty":"","blank key test":{"":1}})",
+    R"({"long":"0123456789012345678901234567890123456789012345678901234567890123456789"})",
+    R"({"arr":[[],[[]],[1,[2,[3]]]],"deep":{"a":{"b":{"c":[{}]}}}})",
+    // Malformed: every structural breakage the scalar walker detects.
+    R"()",
+    R"(   )",
+    R"(42)",
+    R"([1,2])",
+    R"({"a":1)",
+    R"({"a":})",
+    R"({"a")",
+    R"({"a":1,})",
+    R"({,"a":1})",
+    R"({"a":1 "b":2})",
+    R"({"a":1,,"b":2})",
+    R"({"unclosed":"str)",
+    R"({"trailing_escape":"abc\)",
+    R"({"a":1}{"b":2})",
+    R"({"a":1} junk)",
+    R"({"key with no colon" 1})",
+    R"({"a":[1,2})",
+    R"({"a":{"b":1})",
+    R"({"Alegal":1,"\uZZZZ":2})",
+};
+
+/// One walk of `rec` with the given skipper, serialized for comparison.
+template <typename Skipper>
+std::string WalkTrace(std::string_view rec, const Skipper& skip) {
+  std::string trace;
+  std::string scratch;
+  bool ok = WalkTopLevelFields(
+      rec, skip, &scratch, [&trace](std::string_view key, size_t b, size_t e) {
+        trace += std::string(key) + "@" + std::to_string(b) + ":" +
+                 std::to_string(e) + ";";
+      });
+  trace += ok ? "ok" : "fail";
+  return trace;
+}
+
+TEST(ParseKernelJson, SkipPrimitivesMatchScalar) {
+  for (const ParseKernels* k : VectorKernels()) {
+    SCOPED_TRACE(k->name);
+    for (const char* rec : kJsonRecords) {
+      ExactBuf buf(rec);
+      std::string_view v = buf.view();
+      SCOPED_TRACE(rec);
+      for (size_t i = 0; i < v.size(); ++i) {
+        // json_skip_value must match the scalar reference from *every*
+        // start offset — the warm path lands on remembered positions, not
+        // just positions a forward walk would produce.
+        EXPECT_EQ(k->json_skip_value(v, i), SkipJsonValue(v, i))
+            << "value skip at " << i;
+        if (v[i] == '"') {
+          EXPECT_EQ(k->json_skip_string(v, i), SkipJsonValue(v, i))
+              << "string skip at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParseKernelJson, BitmapWalkerMatchesScalarWalker) {
+  for (const ParseKernels* k : VectorKernels()) {
+    ASSERT_NE(k->json_bitmaps, nullptr);
+    SCOPED_TRACE(k->name);
+    JsonBitmaps bm;
+    for (const char* rec : kJsonRecords) {
+      ExactBuf buf(rec);
+      std::string_view v = buf.view();
+      k->json_bitmaps(v, &bm);
+      EXPECT_EQ(WalkTrace(v, BitmapSkipper{&bm}),
+                WalkTrace(v, ScalarJsonSkipper{}))
+          << rec;
+    }
+  }
+}
+
+TEST(ParseKernelJson, BitmapWalkerOnRandomMutations) {
+  Rng rng(777);
+  const std::string base =
+      R"({"a":1,"s":"x\"y\\","arr":[1,{"n":null}],"d":-2.5e-3,"t":true})";
+  JsonBitmaps bm;
+  for (const ParseKernels* k : VectorKernels()) {
+    SCOPED_TRACE(k->name);
+    for (int iter = 0; iter < 600; ++iter) {
+      std::string rec = base;
+      int mutations = 1 + static_cast<int>(rng.Uniform(0, 2));
+      for (int m = 0; m < mutations && !rec.empty(); ++m) {
+        size_t at = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(rec.size()) - 1));
+        switch (rng.Uniform(0, 3)) {
+          case 0: rec[at] = "\"\\{}[],:"[rng.Uniform(0, 7)]; break;
+          case 1: rec.resize(at); break;
+          case 2: rec.insert(at, 1, '"'); break;
+          default: rec[at] = static_cast<char>(rng.Uniform(1, 126)); break;
+        }
+      }
+      ExactBuf buf(rec);
+      std::string_view v = buf.view();
+      k->json_bitmaps(v, &bm);
+      EXPECT_EQ(WalkTrace(v, BitmapSkipper{&bm}),
+                WalkTrace(v, ScalarJsonSkipper{}))
+          << "mutated: " << rec;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Conversion kernels: identical values AND identical error Statuses
+// ---------------------------------------------------------------------
+
+template <typename T>
+void ExpectSameResult(const Result<T>& got, const Result<T>& ref,
+                      std::string_view input) {
+  ASSERT_EQ(got.ok(), ref.ok()) << "\"" << input << "\"";
+  if (ref.ok()) {
+    if constexpr (std::is_same_v<T, double>) {
+      // Bit-exact, so ±0.0 and NaN payloads cannot drift.
+      uint64_t g, r;
+      memcpy(&g, &*got, 8);
+      memcpy(&r, &*ref, 8);
+      EXPECT_EQ(g, r) << "\"" << input << "\" got " << *got << " want "
+                      << *ref;
+    } else {
+      EXPECT_EQ(*got, *ref) << "\"" << input << "\"";
+    }
+  } else {
+    EXPECT_EQ(got.status().code(), ref.status().code()) << "\"" << input
+                                                        << "\"";
+    EXPECT_EQ(got.status().message(), ref.status().message())
+        << "\"" << input << "\"";
+  }
+}
+
+TEST(ParseKernelConvert, Int64Conformance) {
+  const char* cases[] = {
+      "0", "1", "-1", "42", "12345678", "123456789", "999999999999999999",
+      "9223372036854775807", "-9223372036854775808",
+      "9223372036854775808", "-9223372036854775809",
+      "92233720368547758070", "00000000000000000001", "0000000000000000000",
+      "-0", "+1", "", "-", " 1", "1 ", "--1", "1.5", "1e3", "abc", "12a",
+      "18446744073709551615", "000000001234567890123",
+  };
+  for (const ParseKernels* k : AvailableKernels()) {
+    SCOPED_TRACE(k->name);
+    for (const char* c : cases) {
+      ExactBuf buf(c);
+      ExpectSameResult(k->parse_int64(buf.view()), ParseInt64(buf.view()), c);
+    }
+  }
+}
+
+TEST(ParseKernelConvert, DoubleConformance) {
+  const char* cases[] = {
+      "0", "0.0", "-0.0", "1", "-1", "3.25", "-3.25", "12345.6789",
+      "1e10", "1E10", "1e-10", "2.5e22", "2.5e-22", "1e22", "1e23",
+      "9007199254740991", "9007199254740993",          // 2^53 boundary
+      "1e308", "-1e308", "1.7976931348623157e308",     // near DBL_MAX
+      "1e-308", "2.2250738585072014e-308",             // smallest normal
+      "2.2250738585072011e-308",                       // subnormal rounding
+      "5e-324", "4.9e-324", "2.47e-324",               // subnormals
+      "1e309", "-1e309", "1e-400",                     // overflow/underflow
+      "1e999999999999",
+      "0.1", "0.2", "0.3", "123456789012345678901234567890",
+      "1.", "5.", ".5", "-.5", "1.e3", "", "-", ".", "e5", "1e", "1e+",
+      "1e+5", "1.5e+3", "+1", " 1", "1 ", "1..2", "1.2.3",
+      "inf", "-inf", "infinity", "nan", "NaN", "INF",
+      "0x10", "1f", "1d",
+      "184467440737095516150", "0.000000000000000000001",
+  };
+  for (const ParseKernels* k : AvailableKernels()) {
+    SCOPED_TRACE(k->name);
+    for (const char* c : cases) {
+      ExactBuf buf(c);
+      ExpectSameResult(k->parse_double(buf.view()), ParseDouble(buf.view()),
+                       c);
+    }
+  }
+}
+
+TEST(ParseKernelConvert, DoubleRandomRoundTrip) {
+  Rng rng(99);
+  for (const ParseKernels* k : AvailableKernels()) {
+    SCOPED_TRACE(k->name);
+    for (int iter = 0; iter < 2000; ++iter) {
+      // Random decimal strings in the Clinger fast-path region and outside.
+      std::string s;
+      if (rng.Uniform(0, 2) == 0) s += '-';
+      int int_digits = 1 + static_cast<int>(rng.Uniform(0, 20));
+      for (int i = 0; i < int_digits; ++i) {
+        s += static_cast<char>('0' + rng.Uniform(0, 10));
+      }
+      if (rng.Uniform(0, 2) == 0) {
+        s += '.';
+        int frac = 1 + static_cast<int>(rng.Uniform(0, 8));
+        for (int i = 0; i < frac; ++i) {
+          s += static_cast<char>('0' + rng.Uniform(0, 10));
+        }
+      }
+      if (rng.Uniform(0, 3) == 0) {
+        s += 'e';
+        if (rng.Uniform(0, 2) == 0) s += '-';
+        s += std::to_string(rng.Uniform(0, 40));
+      }
+      ExactBuf buf(s);
+      ExpectSameResult(k->parse_double(buf.view()), ParseDouble(buf.view()),
+                       s);
+    }
+  }
+}
+
+TEST(ParseKernelConvert, DateConformance) {
+  const char* cases[] = {
+      "1970-01-01", "1969-12-31", "2000-02-29", "1900-02-29", "2100-02-29",
+      "2024-02-29", "2023-02-29", "1995-06-17", "0001-01-01", "9999-12-31",
+      "1995-13-01", "1995-00-01", "1995-01-00", "1995-01-32", "1995-04-31",
+      "1995-06-17 ", " 1995-06-17", "1995/06/17", "19950617", "1995-6-17",
+      "1995-06-7", "199a-06-17", "1995-06-1a", "", "1995-06",
+      "1995-06-17T00:00:00",
+  };
+  for (const ParseKernels* k : AvailableKernels()) {
+    SCOPED_TRACE(k->name);
+    for (const char* c : cases) {
+      ExactBuf buf(c);
+      ExpectSameResult(k->parse_date(buf.view()), ParseDate(buf.view()), c);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Regression: EOF tails shorter than one SWAR/SIMD lane (satellite 5a)
+// ---------------------------------------------------------------------
+
+TEST(ParseKernelRegression, EofTailShorterThanLane) {
+  // Files whose final record (no trailing newline) is 1..40 bytes: the
+  // kernel's partial-block load must not read past the mapped record. Each
+  // record view handed out by LineReader is backed by its internal buffer,
+  // so the ASan-visible proof is the ExactBuf re-check below.
+  TempDir dir;
+  for (int tail = 1; tail <= 40; ++tail) {
+    std::string contents = "first,line\n" + std::string(tail, '7');
+    std::string path = dir.File("tail" + std::to_string(tail) + ".csv");
+    ASSERT_TRUE(WriteStringToFile(path, contents).ok());
+    auto file = RandomAccessFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    for (const ParseKernels* k : AvailableKernels()) {
+      SCOPED_TRACE(std::string(k->name) + " tail=" + std::to_string(tail));
+      LineReader reader(file->get(), LineReader::kDefaultBufferSize, k);
+      RecordRef rec;
+      auto has = reader.Next(&rec);
+      ASSERT_TRUE(has.ok() && *has);
+      EXPECT_EQ(rec.data, "first,line");
+      has = reader.Next(&rec);
+      ASSERT_TRUE(has.ok() && *has);
+      EXPECT_EQ(rec.data, std::string(tail, '7'));
+      // The same tail in an exactly-sized heap buffer: overread = ASan trap.
+      ExactBuf buf(rec.data);
+      CsvDialect dialect;
+      ExpectCsvConformance(*k, buf.view(), dialect);
+      has = reader.Next(&rec);
+      ASSERT_TRUE(has.ok());
+      EXPECT_FALSE(*has);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Regression: records straddling LineReader refill boundaries (satellite 5b)
+// ---------------------------------------------------------------------
+
+TEST(ParseKernelRegression, QuotedRecordAcrossRefillBoundary) {
+  // Records several times the reader's buffer force reassembly across
+  // refills; quoted fields are positioned so the open quote falls in one
+  // fill and its closing quote in the next. Every kernel must recover the
+  // identical records and identical quote-aware tokenization.
+  constexpr uint64_t kSmallBuffer = 256;
+  CsvDialect quoted;
+  quoted.quoting = true;
+
+  std::vector<std::string> records;
+  std::string contents;
+  Rng rng(4242);
+  for (int r = 0; r < 40; ++r) {
+    std::string rec;
+    int fields = 1 + static_cast<int>(rng.Uniform(0, 6));
+    for (int f = 0; f < fields; ++f) {
+      if (f > 0) rec += ',';
+      int w = static_cast<int>(rng.Uniform(0, 300));
+      if (rng.Uniform(0, 2) == 0) {
+        rec += '"';
+        for (int i = 0; i < w; ++i) {
+          rec += (i % 37 == 36) ? ',' : static_cast<char>('a' + i % 26);
+        }
+        rec += "\"\"";  // escaped quote at the end of the content
+        rec += '"';
+      } else {
+        rec.append(w, static_cast<char>('0' + f));
+      }
+    }
+    records.push_back(rec);
+    contents += rec;
+    contents += '\n';
+  }
+
+  TempDir dir;
+  std::string path = dir.File("straddle.csv");
+  ASSERT_TRUE(WriteStringToFile(path, contents).ok());
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+
+  for (const ParseKernels* k : AvailableKernels()) {
+    SCOPED_TRACE(k->name);
+    LineReader reader(file->get(), kSmallBuffer, k);
+    RecordRef rec;
+    for (size_t r = 0; r < records.size(); ++r) {
+      auto has = reader.Next(&rec);
+      ASSERT_TRUE(has.ok() && *has) << "record " << r;
+      ASSERT_EQ(rec.data, records[r]) << "record " << r;
+      ExactBuf buf(rec.data);
+      ExpectCsvConformance(*k, buf.view(), quoted);
+    }
+    auto has = reader.Next(&rec);
+    ASSERT_TRUE(has.ok());
+    EXPECT_FALSE(*has);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Table sanity
+// ---------------------------------------------------------------------
+
+TEST(ParseKernelTables, AvailableKernelsOrderedScalarFirst) {
+  auto kernels = AvailableKernels();
+  ASSERT_GE(kernels.size(), 2u);  // scalar + SWAR at minimum
+  EXPECT_EQ(kernels[0]->level, KernelLevel::kScalar);
+  for (size_t i = 1; i < kernels.size(); ++i) {
+    EXPECT_GT(static_cast<int>(kernels[i]->level),
+              static_cast<int>(kernels[i - 1]->level));
+  }
+}
+
+TEST(ParseKernelTables, SelectKernelsHonoursForceScalar) {
+  EXPECT_EQ(&SelectKernels(true), &ScalarKernels());
+  EXPECT_EQ(&SelectKernels(false), &ActiveKernels());
+#ifdef NODB_FORCE_SCALAR_KERNELS
+  EXPECT_EQ(&ActiveKernels(), &ScalarKernels());
+#endif
+}
+
+}  // namespace
+}  // namespace nodb
