@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the query service front-end. Run from the
+# build directory after a full build:
+#
+#   ../ci/server_smoke.sh
+#
+# Launches example_nodb_server on a fixture table, drives it with
+# example_nodb_client — 8 concurrent queries (the first wave cold, the
+# second warm), one forced mid-stream cancel via the client's SIGINT
+# handler — then checks the STATS counters line up with the workload and
+# that SIGTERM drains the server cleanly (all sessions joined, exit 0).
+set -euo pipefail
+
+SERVER=./example_nodb_server
+CLIENT=./example_nodb_client
+PORT="${SMOKE_PORT:-7788}"
+ROWS="${SMOKE_ROWS:-300000}"
+DIR=$(mktemp -d smoke.XXXXXX)
+
+fail() {
+  echo "FAIL: $1" >&2
+  echo "--- server log ---" >&2
+  cat "$DIR/server.log" >&2 || true
+  exit 1
+}
+
+"$SERVER" --serve --port "$PORT" --rows "$ROWS" > "$DIR/server.log" 2>&1 &
+SERVER_PID=$!
+cleanup() {
+  kill -9 "$SERVER_PID" 2> /dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# Readiness: poll STATS until the listener answers.
+ready=0
+for _ in $(seq 1 100); do
+  if "$CLIENT" --port "$PORT" --stats > /dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  kill -0 "$SERVER_PID" 2> /dev/null || fail "server exited during startup"
+  sleep 0.2
+done
+[ "$ready" = 1 ] || fail "server never became ready on port $PORT"
+
+# Wave 1 (cold: the table has never been fully scanned) and wave 2 (warm:
+# positional map + cache now serve the scan): 8 concurrent clients each.
+for wave in 1 2; do
+  pids=()
+  for i in $(seq 1 8); do
+    "$CLIENT" --port "$PORT" \
+      "SELECT a1, a7 FROM micro WHERE a1 < 100000000" \
+      > "$DIR/w${wave}_c${i}.out" 2>&1 &
+    pids+=("$!")
+  done
+  for p in "${pids[@]}"; do
+    wait "$p" || fail "wave $wave client failed"
+  done
+  for i in $(seq 1 8); do
+    grep -q '"status":"ok"' "$DIR/w${wave}_c${i}.out" \
+      || fail "wave $wave client $i got no ok status"
+  done
+done
+
+# Forced cancel: a full projection of the whole table streams for far
+# longer than the SIGINT delay; the client's handler turns Ctrl-C into the
+# CANCEL verb, and the server must answer with a typed cancelled status
+# (releasing the scan epoch and admission slot on the way out).
+"$CLIENT" --port "$PORT" --raw "SELECT * FROM micro" \
+  > "$DIR/cancel.out" 2>&1 &
+CANCEL_PID=$!
+sleep 0.4
+kill -INT "$CANCEL_PID" 2> /dev/null || true
+wait "$CANCEL_PID" || true
+grep -q '"status":"error","code":"Cancelled"' "$DIR/cancel.out" \
+  || fail "forced cancel did not produce a typed cancelled status"
+
+# STATS must reflect the workload: 17 queries started (16 ok + 1 cancel),
+# every admission slot and queue back to zero at idle.
+"$CLIENT" --port "$PORT" --stats > "$DIR/stats.out" 2>&1 \
+  || fail "stats query failed"
+for want in \
+  '"queries_started":17' \
+  '"queries_finished":16' \
+  '"queries_cancelled":1' \
+  '"queries_rejected":0' \
+  '"cold_active":0' \
+  '"warm_active":0' \
+  '"cold_queued":0' \
+  '"warm_queued":0'; do
+  grep -q "$want" "$DIR/stats.out" \
+    || fail "stats mismatch: wanted $want, got $(cat "$DIR/stats.out")"
+done
+
+# Graceful drain: SIGTERM must join every session and exit 0.
+kill -TERM "$SERVER_PID"
+rc=0
+wait "$SERVER_PID" || rc=$?
+[ "$rc" = 0 ] || fail "server exited $rc on SIGTERM"
+grep -q "bye" "$DIR/server.log" || fail "server log missing clean-drain marker"
+
+echo "server smoke: PASS"

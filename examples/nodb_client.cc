@@ -1,0 +1,230 @@
+// Command-line client for the NoDB query service (examples/nodb_server).
+//
+//   ./example_nodb_client --port N "SELECT a1, a2 FROM micro WHERE a1 < 10"
+//   ./example_nodb_client --port N --stats        # server counters
+//   ./example_nodb_client --port N                # interactive: SQL per line
+//
+// Streams result batches as they arrive and pretty-prints them as
+// tab-separated rows. Ctrl-C during a long query sends the CANCEL verb
+// instead of killing the client: the server aborts the query at the next
+// batch boundary (releasing its scan epoch) and answers with a typed
+// Cancelled status, which the client prints before exiting cleanly.
+//
+// Options: --host H (default 127.0.0.1), --deadline-ms N (server kills the
+// query when it blows the budget), --raw (print wire JSON verbatim).
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "json/json_text.h"
+#include "util/str_conv.h"
+
+using namespace nodb;
+
+namespace {
+
+int g_fd = -1;
+
+// Async-signal-safe: a bare write of the CANCEL verb from the handler.
+void HandleSigint(int) {
+  if (g_fd >= 0) {
+    const char verb[] = "CANCEL\n";
+    ssize_t ignored = ::write(g_fd, verb, sizeof(verb) - 1);
+    (void)ignored;
+  }
+}
+
+void Usage() {
+  std::printf(
+      "usage: nodb_client [--host H] --port N [--deadline-ms N] [--raw] "
+      "[--stats | \"SELECT ...\"]\n"
+      "  no SQL argument: interactive mode, one query per stdin line\n"
+      "  Ctrl-C mid-query sends CANCEL instead of exiting\n");
+}
+
+/// Pretty-prints one `{"rows":[[...],...]}` line as tab-separated rows.
+/// Any line that doesn't parse is printed verbatim — the wire format stays
+/// the source of truth.
+bool PrintRowsLine(const std::string& line) {
+  std::string_view s = line;
+  size_t i = s.find("\"rows\":[");
+  if (i == std::string_view::npos || s.find("\"status\"") != std::string_view::npos) {
+    return false;
+  }
+  i += 8;  // past "rows":[
+  ScalarJsonSkipper skip;
+  while (i < s.size() && s[i] == '[') {
+    ++i;  // into one row array
+    bool first = true;
+    while (i < s.size() && s[i] != ']') {
+      size_t end = skip.SkipValue(s, i);
+      if (end <= i || end > s.size()) return false;
+      std::string_view tok = s.substr(i, end - i);
+      std::string cell;
+      if (!tok.empty() && tok.front() == '"') {
+        if (!UnescapeJsonString(tok, &cell)) cell = std::string(tok);
+      } else {
+        cell = std::string(tok);
+      }
+      std::printf("%s%s", first ? "" : "\t", cell.c_str());
+      first = false;
+      i = SkipJsonWs(s, end);
+      if (i < s.size() && s[i] == ',') i = SkipJsonWs(s, i + 1);
+    }
+    std::printf("\n");
+    if (i >= s.size()) return false;
+    i = SkipJsonWs(s, i + 1);  // past the row's ]
+    if (i < s.size() && s[i] == ',') i = SkipJsonWs(s, i + 1);
+  }
+  return true;
+}
+
+bool SendLine(int fd, const std::string& line) {
+  std::string framed = line + "\n";
+  size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n =
+        ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads response lines until the request's terminal line; returns false
+/// when the connection died.
+bool DrainResponse(int fd, bool raw) {
+  static std::string buf;
+  while (true) {
+    size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      bool terminal = line.find("\"status\"") != std::string::npos ||
+                      line.find("\"stats\"") != std::string::npos ||
+                      line.find("\"pong\"") != std::string::npos;
+      if (raw || terminal || !PrintRowsLine(line)) {
+        std::printf("%s\n", line.c_str());
+      }
+      if (terminal) return true;
+    }
+    char chunk[8192];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;  // Ctrl-C: CANCEL was sent, keep reading
+      return false;
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::string QueryRequest(const std::string& sql, int64_t deadline_ms) {
+  std::string req = "{\"q\":";
+  AppendJsonQuoted(&req, sql);
+  if (deadline_ms > 0) {
+    req += ",\"deadline_ms\":";
+    AppendInt64(&req, deadline_ms);
+  }
+  req += "}";
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int64_t deadline_ms = 0;
+  bool stats = false;
+  bool raw = false;
+  std::string sql;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::atoll(argv[++i]);
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--raw") {
+      raw = true;
+    } else if (arg == "--help") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      sql = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      Usage();
+      return 1;
+    }
+  }
+  if (port == 0) {
+    // No server to talk to: print usage and exit cleanly (smoke-test mode).
+    Usage();
+    return 0;
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "bad host '%s' (use a numeric address)\n",
+                 host.c_str());
+    return 1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "connect %s:%d: %s\n", host.c_str(), port,
+                 std::strerror(errno));
+    return 1;
+  }
+  g_fd = fd;
+  struct sigaction sa {};
+  sa.sa_handler = HandleSigint;
+  sigaction(SIGINT, &sa, nullptr);  // no SA_RESTART: recv returns EINTR
+
+  int rc = 0;
+  if (stats) {
+    if (!SendLine(fd, "STATS") || !DrainResponse(fd, raw)) rc = 1;
+  } else if (!sql.empty()) {
+    if (!SendLine(fd, QueryRequest(sql, deadline_ms)) ||
+        !DrainResponse(fd, raw)) {
+      rc = 1;
+    }
+  } else {
+    std::printf("connected to %s:%d — one SQL query per line, Ctrl-D quits\n",
+                host.c_str(), port);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      if (line == "quit" || line == "exit") break;
+      std::string req = (line == "STATS" || line == "PING")
+                            ? line
+                            : QueryRequest(line, deadline_ms);
+      if (!SendLine(fd, req) || !DrainResponse(fd, raw)) {
+        rc = 1;
+        break;
+      }
+    }
+  }
+  (void)SendLine(fd, "QUIT");
+  ::close(fd);
+  return rc;
+}

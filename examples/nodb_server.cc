@@ -1,0 +1,160 @@
+// The NoDB query service: SQL over raw files, served over a socket.
+//
+// Starts a QueryServer in front of a Database with a demo table registered
+// in situ, then speaks the newline-delimited JSON protocol (see
+// src/server/protocol.h). Pair it with examples/nodb_client:
+//
+//   ./example_nodb_server --serve --port 7654 &
+//   ./example_nodb_client --port 7654 "SELECT COUNT(*) FROM micro"
+//
+// Modes:
+//   (no arguments)   self-demo: serve on an ephemeral port, run one query
+//                    through a loopback connection, print the exchange, exit
+//   --serve          serve until SIGINT/SIGTERM (clean drain on both)
+//   --port N         listen port (default: ephemeral, printed on stdout)
+//   --rows N         demo table size (default 50000)
+//   --csv PATH       serve an existing CSV instead of the generated demo
+//                    table (registered as `micro`, schema auto-sniffed)
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <iostream>
+#include <string>
+
+#include "engine/engines.h"
+#include "server/server.h"
+#include "util/fs_util.h"
+#include "workload/micro.h"
+
+using namespace nodb;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void HandleSignal(int) { g_stop.store(true); }
+
+// Minimal loopback client for the self-demo: send one line, print response
+// lines until a terminal status line arrives.
+bool RunLoopbackQuery(int port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  std::string line = request + "\n";
+  (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+  std::printf(">> %s\n", request.c_str());
+
+  std::string buf;
+  bool done = false;
+  while (!done) {
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<size_t>(n));
+    size_t start = 0, nl;
+    while ((nl = buf.find('\n', start)) != std::string::npos) {
+      std::string reply = buf.substr(start, nl - start);
+      start = nl + 1;
+      std::printf("<< %s\n", reply.c_str());
+      if (reply.find("\"status\"") != std::string::npos ||
+          reply.find("\"stats\"") != std::string::npos) {
+        done = true;
+      }
+    }
+    buf.erase(0, start);
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool serve = false;
+  int port = 0;
+  uint64_t rows = 50000;
+  std::string csv;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--rows" && i + 1 < argc) {
+      rows = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  TempDir scratch;
+  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
+  if (csv.empty()) {
+    MicroDataSpec spec;
+    spec.rows = rows;
+    spec.cols = 10;
+    std::string path = scratch.File("micro.csv");
+    if (!GenerateWideCsv(path, spec).ok()) return 1;
+    if (!db->RegisterCsv("micro", path, MicroSchema(spec)).ok()) return 1;
+  } else {
+    Status st = db->Open("micro", csv);
+    if (!st.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", csv.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  ServerConfig config;
+  config.port = port;
+  config.log = serve ? &std::cerr : nullptr;
+  QueryServer server(db.get(), config);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("nodb server listening on 127.0.0.1:%d (table: micro)\n",
+              server.port());
+  std::fflush(stdout);
+
+  if (serve) {
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    while (!g_stop.load()) {
+      usleep(100 * 1000);
+    }
+    std::printf("draining...\n");
+    server.Stop();
+    std::printf("bye\n");
+    return 0;
+  }
+
+  // Self-demo: one cold query, one warm query, then STATS — the second
+  // query is served by the positional map the first one built.
+  RunLoopbackQuery(server.port(),
+                   "{\"q\": \"SELECT COUNT(*), MIN(a1), MAX(a1) FROM micro\", "
+                   "\"id\": \"cold\"}");
+  RunLoopbackQuery(server.port(),
+                   "{\"q\": \"SELECT a1, a2 FROM micro WHERE a1 < 1000000\", "
+                   "\"id\": \"warm\"}");
+  RunLoopbackQuery(server.port(), "STATS");
+  server.Stop();
+  return 0;
+}

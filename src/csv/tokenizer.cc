@@ -34,6 +34,9 @@ uint32_t ScanFieldEnd(std::string_view line, const CsvDialect& d,
     while (after < line.size() && line[after] != d.delimiter) ++after;
     return after;
   }
+  // An empty view may carry a null data(); memchr's pointer must be valid
+  // even for length 0.
+  if (begin >= line.size()) return static_cast<uint32_t>(line.size());
   const char* base = line.data();
   const char* hit = static_cast<const char*>(
       memchr(base + begin, d.delimiter, line.size() - begin));

@@ -234,7 +234,8 @@ std::vector<TableInfo> Database::ListTables() const {
   return infos;
 }
 
-Result<QueryCursor> Database::Query(const std::string& sql) {
+Result<QueryCursor> Database::Query(const std::string& sql,
+                                    const QueryOptions& options) {
   NODB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect(sql));
   Binder binder(this);
   NODB_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> query,
@@ -242,21 +243,35 @@ Result<QueryCursor> Database::Query(const std::string& sql) {
   const StatsProvider* stats = config_.statistics ? this : nullptr;
   NODB_ASSIGN_OR_RETURN(std::unique_ptr<PhysicalPlan> plan,
                         PlanQuery(query.get(), stats));
+  // Canonicalize the per-query control handle once: the same instance is
+  // threaded into every operator and into the cursor, so a cancel or an
+  // expired deadline is seen at whichever batch boundary comes first.
+  ExecControlPtr control = options.control;
+  if (control == nullptr &&
+      options.deadline != std::chrono::steady_clock::time_point{}) {
+    control = std::make_shared<ExecControl>();
+  }
+  if (control != nullptr) control->TightenDeadline(options.deadline);
+  const size_t batch_size =
+      options.batch_size > 0 ? options.batch_size : config_.batch_size;
   ExecOptions exec_opts;
   exec_opts.insitu = MakeInSituOptions();
-  exec_opts.batch_size = config_.batch_size;
+  exec_opts.batch_size = batch_size;
   exec_opts.scan_threads = config_.scan_threads;
   exec_opts.scan_morsel_bytes = config_.scan_morsel_bytes;
   exec_opts.scan_pool = ScanPool();
+  exec_opts.deadline = options.deadline;
+  exec_opts.control = control;
   NODB_ASSIGN_OR_RETURN(OperatorPtr pipeline,
                         BuildPipeline(*plan, this, exec_opts));
   return QueryCursor(std::move(stmt), std::move(query), std::move(plan),
-                     std::move(pipeline), config_.batch_size);
+                     std::move(pipeline), batch_size, std::move(control));
 }
 
-Result<QueryResult> Database::Execute(const std::string& sql) {
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      const QueryOptions& options) {
   Stopwatch timer;
-  NODB_ASSIGN_OR_RETURN(QueryCursor cursor, Query(sql));
+  NODB_ASSIGN_OR_RETURN(QueryCursor cursor, Query(sql, options));
   QueryResult result;
   result.schema = cursor.schema();
   result.plan = cursor.plan_text();

@@ -21,6 +21,23 @@
 
 namespace nodb {
 
+/// Per-query execution options, honored identically by Query and Execute
+/// (the materializing wrapper used to build its own ExecOptions and drop
+/// the caller's — deadlines now apply to both paths uniformly).
+struct QueryOptions {
+  /// Monotonic-clock deadline; zero (default) = none. Checked at batch
+  /// boundaries: an expired deadline kills the query mid-flight with a
+  /// typed kDeadlineExceeded error, releasing scan epochs and pool slots.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Shared cancel/deadline handle. Optional — when null and `deadline` is
+  /// set, one is created internally. A caller that cancels mid-flight (a
+  /// server session reacting to a CANCEL verb or a dropped connection)
+  /// passes its own handle and flips control->cancelled from any thread.
+  ExecControlPtr control;
+  /// Rows per operator batch; 0 (default) = EngineConfig::batch_size.
+  size_t batch_size = 0;
+};
+
 /// Catalog snapshot of one registered table (Database::ListTables).
 struct TableInfo {
   std::string name;
@@ -105,12 +122,27 @@ class Database : public TableProvider,
   /// closing the cursor early (LIMIT satisfied, query abandoned) stops the
   /// underlying raw-file scan immediately. The cursor must not outlive this
   /// Database.
-  Result<QueryCursor> Query(const std::string& sql);
+  Result<QueryCursor> Query(const std::string& sql) {
+    return Query(sql, QueryOptions{});
+  }
+
+  /// Query with per-query options (deadline, cancellation handle, batch
+  /// size). Engine-level knobs (in-situ options, scan threads, the shared
+  /// pool) still come from this Database's EngineConfig.
+  Result<QueryCursor> Query(const std::string& sql,
+                            const QueryOptions& options);
 
   /// Convenience wrapper over Query: drains the cursor into a materialized
   /// QueryResult. The result's `seconds` covers the whole round trip (what
   /// a user experiences).
-  Result<QueryResult> Execute(const std::string& sql);
+  Result<QueryResult> Execute(const std::string& sql) {
+    return Execute(sql, QueryOptions{});
+  }
+
+  /// Execute with per-query options — the same options Query honors; a
+  /// deadline expiring mid-drain discards the partial result.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const QueryOptions& options);
 
   /// Plans without executing (EXPLAIN).
   Result<std::string> Explain(const std::string& sql);

@@ -8,11 +8,18 @@ namespace nodb {
 QueryCursor::QueryCursor(std::unique_ptr<SelectStmt> stmt,
                          std::unique_ptr<BoundQuery> query,
                          std::unique_ptr<PhysicalPlan> plan,
-                         OperatorPtr pipeline, size_t batch_size)
+                         OperatorPtr pipeline, size_t batch_size,
+                         ExecControlPtr control)
     : stmt_(std::move(stmt)), query_(std::move(query)),
       plan_(std::move(plan)), pipeline_(std::move(pipeline)),
       schema_(query_->output_schema), plan_text_(plan_->ToString()),
-      batch_size_(batch_size == 0 ? 1 : batch_size) {}
+      batch_size_(batch_size == 0 ? 1 : batch_size),
+      control_(std::move(control)) {
+  for (const BoundTable& t : query_->tables) tables_.push_back(t.table_name);
+  for (const BoundSemiJoin& s : query_->semi_joins) {
+    tables_.push_back(s.table.table_name);
+  }
+}
 
 QueryCursor::QueryCursor(QueryCursor&&) noexcept = default;
 
@@ -29,6 +36,8 @@ QueryCursor& QueryCursor::operator=(QueryCursor&& other) noexcept {
     schema_ = std::move(other.schema_);
     plan_text_ = std::move(other.plan_text_);
     batch_size_ = other.batch_size_;
+    tables_ = std::move(other.tables_);
+    control_ = std::move(other.control_);
   }
   return *this;
 }
@@ -50,6 +59,18 @@ Result<size_t> QueryCursor::Next(RowBatch* batch) {
   // be re-driven after a failed Open/Next (a retried Open would e.g.
   // re-insert a hash join's build side), so the pipeline is dropped and
   // later calls report the cursor as closed.
+  //
+  // The cancellation/deadline check happens here — the batch boundary every
+  // streamed query passes through — and again inside the drain loops of the
+  // materializing operators, which otherwise consume their whole input
+  // before the first batch surfaces.
+  if (control_ != nullptr) {
+    Status s = control_->Check();
+    if (!s.ok()) {
+      Abandon();
+      return s;
+    }
+  }
   if (!opened_) {
     Status s = pipeline_->Open();
     if (!s.ok()) {

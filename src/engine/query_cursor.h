@@ -3,7 +3,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "exec/exec_control.h"
 #include "exec/operator.h"
 #include "exec/row_batch.h"
 #include "types/schema.h"
@@ -48,6 +50,16 @@ class QueryCursor {
   const std::string& plan_text() const { return plan_text_; }
   /// The engine's configured rows-per-batch for this query.
   size_t batch_size() const { return batch_size_; }
+  /// Catalog names of every table the query references (FROM tables plus
+  /// EXISTS inner tables), in bind order; valid even after Close. The
+  /// server's admission controller classifies queries cold/warm from this
+  /// before the pipeline opens.
+  const std::vector<std::string>& tables() const { return tables_; }
+  /// The cancellation/deadline handle this cursor checks at every Next, or
+  /// null when the query has neither (see QueryOptions). Flipping
+  /// control()->cancelled from any thread makes the next batch boundary
+  /// fail with a typed kCancelled error.
+  const ExecControlPtr& control() const { return control_; }
   /// Convenience: a batch with this cursor's configured capacity.
   RowBatch MakeBatch() const { return RowBatch(batch_size_); }
 
@@ -76,7 +88,7 @@ class QueryCursor {
   QueryCursor(std::unique_ptr<SelectStmt> stmt,
               std::unique_ptr<BoundQuery> query,
               std::unique_ptr<PhysicalPlan> plan, OperatorPtr pipeline,
-              size_t batch_size);
+              size_t batch_size, ExecControlPtr control);
 
   // The cursor owns the whole statement chain: operators hold pointers into
   // the plan, which holds pointers into the bound query.
@@ -90,6 +102,8 @@ class QueryCursor {
   Schema schema_;
   std::string plan_text_;
   size_t batch_size_ = RowBatch::kDefaultCapacity;
+  std::vector<std::string> tables_;
+  ExecControlPtr control_;
 };
 
 }  // namespace nodb

@@ -10,10 +10,10 @@ AggregateOp::AggregateOp(OperatorPtr child,
                          const std::vector<ExprPtr>* group_by,
                          const std::vector<AggregateSpec>* aggregates,
                          AggStrategy strategy, size_t groups_hint,
-                         size_t batch_size)
+                         size_t batch_size, ExecControlPtr control)
     : child_(std::move(child)), group_by_(group_by), aggregates_(aggregates),
       strategy_(strategy), groups_hint_(groups_hint),
-      batch_size_(batch_size) {
+      batch_size_(batch_size), control_(std::move(control)) {
   auto col_of = [](const Expr* e) {
     return e != nullptr && e->kind == ExprKind::kColumnRef
                ? static_cast<const ColumnRefExpr*>(e)->index
@@ -65,6 +65,7 @@ Status AggregateOp::ConsumeHash() {
     const Value count_star = Value::Int64(0);
     RowBatch batch(batch_size_);
     while (true) {
+      NODB_RETURN_IF_ERROR(CheckControl(control_));
       NODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&batch));
       if (n == 0) break;
       for (size_t i = 0; i < n; ++i) {
@@ -96,6 +97,7 @@ Status AggregateOp::ConsumeHash() {
   Row key, args;
   bool saw_input = false;
   while (true) {
+    NODB_RETURN_IF_ERROR(CheckControl(control_));
     NODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&batch));
     if (n == 0) break;
     saw_input = true;
@@ -144,6 +146,7 @@ Status AggregateOp::ConsumeSort() {
   std::vector<Pair> pairs;
   RowBatch batch(batch_size_);
   while (true) {
+    NODB_RETURN_IF_ERROR(CheckControl(control_));
     NODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&batch));
     if (n == 0) break;
     for (size_t i = 0; i < n; ++i) {

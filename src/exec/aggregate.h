@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/exec_control.h"
 #include "exec/operator.h"
 #include "expr/aggregates.h"
 #include "plan/logical_plan.h"
@@ -23,10 +24,15 @@ class AggregateOp final : public Operator {
  public:
   /// `group_by` and `aggregates` must outlive the operator. `batch_size`
   /// sizes the internal batch the child is drained with.
+  /// `control` (optional) is polled once per drained input batch: the
+  /// consume loop swallows the whole child stream before the first output
+  /// batch surfaces, so without the poll a deadline could not interrupt an
+  /// aggregation over a huge cold scan.
   AggregateOp(OperatorPtr child, const std::vector<ExprPtr>* group_by,
               const std::vector<AggregateSpec>* aggregates,
               AggStrategy strategy, size_t groups_hint,
-              size_t batch_size = RowBatch::kDefaultCapacity);
+              size_t batch_size = RowBatch::kDefaultCapacity,
+              ExecControlPtr control = nullptr);
 
   Status Open() override;
   Result<size_t> Next(RowBatch* batch) override;
@@ -49,6 +55,7 @@ class AggregateOp final : public Operator {
   AggStrategy strategy_;
   size_t groups_hint_;
   size_t batch_size_;
+  ExecControlPtr control_;
 
   std::vector<Row> output_;
   size_t next_ = 0;

@@ -1,0 +1,63 @@
+#ifndef NODB_EXEC_EXEC_CONTROL_H_
+#define NODB_EXEC_EXEC_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "util/status.h"
+
+namespace nodb {
+
+/// Shared cancellation/deadline handle for one executing query. The party
+/// driving the query (a server session, a client with a timeout) holds a
+/// shared_ptr and may flip `cancelled` from any thread; the executor checks
+/// the handle at batch boundaries — in QueryCursor::Next and inside the
+/// drain loops of materializing operators (aggregate, sort, hash-join
+/// builds), which otherwise consume their whole input before the first
+/// batch surfaces.
+///
+/// A failed check surfaces as a typed error (kCancelled or
+/// kDeadlineExceeded) through the normal Status channel, so the pipeline is
+/// abandoned exactly like any other execution error: operator destructors
+/// release scan epochs, pool workers are joined, and partial results are
+/// discarded with the cursor.
+struct ExecControl {
+  /// Monotonic-clock deadline; the zero (epoch) value means "none".
+  std::chrono::steady_clock::time_point deadline{};
+  /// Cooperative cancel flag, settable from any thread.
+  std::atomic<bool> cancelled{false};
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+
+  /// OK while the query may keep running; the typed error otherwise.
+  /// Cancellation wins over an expired deadline (the caller asked first).
+  Status Check() const {
+    if (cancelled.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (has_deadline() && std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// Tightens the deadline to `t` (keeps the earlier of the two).
+  void TightenDeadline(std::chrono::steady_clock::time_point t) {
+    if (t == std::chrono::steady_clock::time_point{}) return;
+    if (!has_deadline() || t < deadline) deadline = t;
+  }
+};
+
+using ExecControlPtr = std::shared_ptr<ExecControl>;
+
+/// Convenience for the common pattern `if (control) return control->Check()`.
+inline Status CheckControl(const ExecControlPtr& control) {
+  return control == nullptr ? Status::OK() : control->Check();
+}
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_EXEC_CONTROL_H_

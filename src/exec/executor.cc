@@ -29,10 +29,10 @@ Result<OperatorPtr> MakeScan(const PlannedScan& scan, TableResolver* resolver,
       if (threads > 1 && options.scan_pool != nullptr) {
         return OperatorPtr(std::make_unique<ParallelRawScanOp>(
             runtime, &scan, working_width, options.insitu, threads,
-            options.scan_morsel_bytes, options.scan_pool));
+            options.scan_morsel_bytes, options.scan_pool, options.control));
       }
       return OperatorPtr(std::make_unique<RawScanOp>(
-          runtime, &scan, working_width, options.insitu));
+          runtime, &scan, working_width, options.insitu, options.control));
     }
     case TableStorage::kHeap:
       return OperatorPtr(
@@ -63,7 +63,7 @@ Result<OperatorPtr> BuildPipeline(const PhysicalPlan& plan,
                           MakeScan(build, resolver, width, options));
     pipeline = std::make_unique<HashJoinOp>(
         std::move(pipeline), std::move(build_op), &join, build.table.offset,
-        build.table.schema->num_columns(), batch_size);
+        build.table.schema->num_columns(), batch_size, options.control);
   }
 
   // Semi/anti joins (EXISTS). Inner scans run in their own (table-arity)
@@ -75,19 +75,19 @@ Result<OperatorPtr> BuildPipeline(const PhysicalPlan& plan,
                  semi.inner.table.schema->num_columns(), options));
     pipeline = std::make_unique<SemiJoinOp>(std::move(pipeline),
                                             std::move(inner), &semi,
-                                            batch_size);
+                                            batch_size, options.control);
   }
 
   if (query.has_aggregation) {
     pipeline = std::make_unique<AggregateOp>(
         std::move(pipeline), &query.group_by, &query.aggregates,
-        plan.agg_strategy, plan.agg_groups_hint, batch_size);
+        plan.agg_strategy, plan.agg_groups_hint, batch_size, options.control);
   }
   pipeline = std::make_unique<ProjectOp>(std::move(pipeline),
                                          &query.select_exprs);
   if (!query.order_by.empty()) {
     pipeline = std::make_unique<SortOp>(std::move(pipeline), &query.order_by,
-                                        batch_size);
+                                        batch_size, options.control);
   }
   if (query.limit.has_value()) {
     pipeline = std::make_unique<LimitOp>(std::move(pipeline), *query.limit);

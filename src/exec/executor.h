@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "exec/exec_control.h"
 #include "exec/operator.h"
 #include "exec/raw_scan.h"
 #include "exec/table_runtime.h"
@@ -35,6 +36,16 @@ struct ExecOptions {
   uint64_t scan_morsel_bytes = 0;
   /// Shared worker pool (owned by the Database); null disables parallelism.
   ThreadPool* scan_pool = nullptr;
+  /// Monotonic-clock deadline for the whole query; the zero value (default)
+  /// means none. Checked at batch boundaries — a slow cold scan is killed
+  /// mid-flight with a typed kDeadlineExceeded error, releasing its scan
+  /// epoch and pool workers like any other execution error.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Shared cancel/deadline handle. Optional: when null and `deadline` is
+  /// set, Database::Query creates one. A caller that wants to cancel
+  /// mid-flight (server sessions do) passes its own and flips
+  /// `control->cancelled` from another thread.
+  ExecControlPtr control;
 };
 
 /// Builds the (unopened) operator tree for `plan`. The caller owns the

@@ -21,6 +21,7 @@ Status HashJoinOp::Open() {
   NODB_RETURN_IF_ERROR(build_->Open());
   RowBatch batch(probe_batch_.capacity());
   while (true) {
+    NODB_RETURN_IF_ERROR(CheckControl(control_));
     NODB_ASSIGN_OR_RETURN(size_t n, build_->Next(&batch));
     if (n == 0) break;
     for (size_t i = 0; i < n; ++i) {
@@ -107,6 +108,7 @@ Status SemiJoinOp::Open() {
   NODB_RETURN_IF_ERROR(inner_->Open());
   RowBatch batch(batch_size_);
   while (true) {
+    NODB_RETURN_IF_ERROR(CheckControl(control_));
     NODB_ASSIGN_OR_RETURN(size_t n, inner_->Next(&batch));
     if (n == 0) break;
     for (size_t i = 0; i < n; ++i) {

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "exec/exec_control.h"
 #include "exec/operator.h"
 #include "plan/logical_plan.h"
 
@@ -20,12 +21,15 @@ class HashJoinOp final : public Operator {
   /// `join` must outlive the operator. `build_offset`/`build_width` locate
   /// the build table's slice in the working row. `batch_size` sizes the
   /// internal build/probe batches.
+  /// `control` (optional) is polled once per drained build batch (the
+  /// build side is consumed entirely inside Open).
   HashJoinOp(OperatorPtr probe, OperatorPtr build, const PlannedJoin* join,
              int build_offset, int build_width,
-             size_t batch_size = RowBatch::kDefaultCapacity)
+             size_t batch_size = RowBatch::kDefaultCapacity,
+             ExecControlPtr control = nullptr)
       : probe_(std::move(probe)), build_(std::move(build)), join_(join),
         build_offset_(build_offset), build_width_(build_width),
-        probe_batch_(batch_size) {}
+        control_(std::move(control)), probe_batch_(batch_size) {}
 
   Status Open() override;
   Result<size_t> Next(RowBatch* batch) override;
@@ -41,6 +45,7 @@ class HashJoinOp final : public Operator {
   const PlannedJoin* join_;
   int build_offset_;
   int build_width_;
+  ExecControlPtr control_;
 
   std::unordered_map<Row, std::vector<Slice>, RowHasher, RowEq> table_;
   // Probe-side iteration state: position within the current probe batch and
@@ -63,9 +68,10 @@ class SemiJoinOp final : public Operator {
   /// rows that `semi->inner_keys` are bound against. `batch_size` sizes the
   /// internal batch the inner side is drained with.
   SemiJoinOp(OperatorPtr outer, OperatorPtr inner, const PlannedSemiJoin* semi,
-             size_t batch_size = RowBatch::kDefaultCapacity)
+             size_t batch_size = RowBatch::kDefaultCapacity,
+             ExecControlPtr control = nullptr)
       : outer_(std::move(outer)), inner_(std::move(inner)), semi_(semi),
-        batch_size_(batch_size) {}
+        batch_size_(batch_size), control_(std::move(control)) {}
 
   Status Open() override;
   Result<size_t> Next(RowBatch* batch) override;
@@ -76,6 +82,7 @@ class SemiJoinOp final : public Operator {
   OperatorPtr inner_;
   const PlannedSemiJoin* semi_;
   size_t batch_size_;
+  ExecControlPtr control_;
   std::unordered_set<Row, RowHasher, RowEq> keys_;
 };
 

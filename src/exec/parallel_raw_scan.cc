@@ -24,10 +24,11 @@ ParallelRawScanOp::ParallelRawScanOp(TableRuntime* runtime,
                                      const PlannedScan* scan,
                                      int working_width, InSituOptions options,
                                      int num_threads, uint64_t morsel_bytes,
-                                     ThreadPool* pool)
+                                     ThreadPool* pool, ExecControlPtr control)
     : runtime_(runtime), scan_(scan), working_width_(working_width),
       opts_(options), num_threads_(std::max(2, num_threads)),
-      morsel_bytes_option_(morsel_bytes), pool_(pool) {}
+      morsel_bytes_option_(morsel_bytes), pool_(pool),
+      control_(std::move(control)) {}
 
 ParallelRawScanOp::~ParallelRawScanOp() {
   CancelAndJoin();
@@ -143,7 +144,7 @@ Status ParallelRawScanOp::Open() {
   }
   if (morsels_.size() < 2) {
     serial_ = std::make_unique<RawScanOp>(runtime_, scan_, working_width_,
-                                          opts_);
+                                          opts_, control_);
     morsels_.clear();
     return serial_->Open();
   }
@@ -539,6 +540,10 @@ Result<size_t> ParallelRawScanOp::Next(RowBatch* batch) {
   while (!batch->full()) {
     if (out_idx_ >= out_rows_.size()) {
       if (eof_) break;
+      // Merge boundary: the cancellation/deadline poll point. The error
+      // abandons the pipeline; CancelAndJoin + epoch release run in the
+      // destructor, so no worker or chunk outlives the failed query.
+      NODB_RETURN_IF_ERROR(CheckControl(control_));
       MorselResult* result = &slots_[merge_idx_];
       {
         std::unique_lock<std::mutex> lock(mu_);

@@ -49,9 +49,13 @@ class ParallelRawScanOp final : public Operator {
   /// `runtime`, `scan` and `pool` must outlive the operator. `num_threads`
   /// is the target worker count (>= 2; 1 is handled by the executor picking
   /// the serial operator). `morsel_bytes` 0 means auto-size.
+  /// `control` (optional) is polled at merge boundaries, so a cancelled or
+  /// deadline-expired query stops with a typed error after at most one
+  /// reorder-window step; workers are joined and the epoch released.
   ParallelRawScanOp(TableRuntime* runtime, const PlannedScan* scan,
                     int working_width, InSituOptions options, int num_threads,
-                    uint64_t morsel_bytes, ThreadPool* pool);
+                    uint64_t morsel_bytes, ThreadPool* pool,
+                    ExecControlPtr control = nullptr);
 
   /// Cancels outstanding work and joins the workers (abandon-without-Close
   /// error paths included).
@@ -124,6 +128,7 @@ class ParallelRawScanOp final : public Operator {
   const int num_threads_;
   const uint64_t morsel_bytes_option_;
   ThreadPool* pool_;
+  ExecControlPtr control_;
 
   // Fallback for the cases parallelism cannot help with.
   std::unique_ptr<RawScanOp> serial_;

@@ -53,9 +53,10 @@ ScanAttrPlan ComputeScanAttrPlan(const PlannedScan& scan, int ncols,
 }
 
 RawScanOp::RawScanOp(TableRuntime* runtime, const PlannedScan* scan,
-                     int working_width, InSituOptions options)
+                     int working_width, InSituOptions options,
+                     ExecControlPtr control)
     : runtime_(runtime), scan_(scan), working_width_(working_width),
-      opts_(options) {}
+      opts_(options), control_(std::move(control)) {}
 
 RawScanOp::~RawScanOp() {
   if (epoch_token_ != 0 && runtime_->pmap != nullptr) {
@@ -105,6 +106,9 @@ Result<size_t> RawScanOp::Next(RowBatch* batch) {
   while (!batch->full()) {
     if (out_idx_ >= out_size_) {
       if (eof_) break;
+      // Stripe boundary: the cancellation/deadline poll point. Erroring
+      // here abandons the pipeline; the destructor ends the scan epoch.
+      NODB_RETURN_IF_ERROR(CheckControl(control_));
       out_size_ = 0;
       out_idx_ = 0;
       NODB_RETURN_IF_ERROR(LoadStripe());

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/exec_control.h"
 #include "exec/operator.h"
 #include "exec/table_runtime.h"
 #include "plan/logical_plan.h"
@@ -70,8 +71,11 @@ class RawScanOp final : public Operator {
   /// `runtime` (with a non-null adapter), `scan` must outlive the operator.
   /// Output rows are `working_width` wide with this table's columns at
   /// scan->table.offset.
+  /// `control` (optional) is polled once per stripe: a cancelled or
+  /// deadline-expired query stops mid-file with a typed error, and the
+  /// destructor releases the scan epoch like any other abandoned pipeline.
   RawScanOp(TableRuntime* runtime, const PlannedScan* scan, int working_width,
-            InSituOptions options);
+            InSituOptions options, ExecControlPtr control = nullptr);
 
   /// Ends the scan epoch if Close never ran (pipelines are abandoned
   /// without the Close protocol on error paths; a leaked epoch would keep
@@ -107,6 +111,7 @@ class RawScanOp final : public Operator {
   const PlannedScan* scan_;
   int working_width_;
   InSituOptions opts_;
+  ExecControlPtr control_;
   uint64_t epoch_token_ = 0;  // BeginEpoch token, returned in Close
 
   const RawSourceAdapter* adapter_ = nullptr;

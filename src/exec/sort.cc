@@ -20,6 +20,7 @@ Status SortOp::Open() {
   NODB_RETURN_IF_ERROR(child_->Open());
   RowBatch batch(batch_size_);
   while (true) {
+    NODB_RETURN_IF_ERROR(CheckControl(control_));
     NODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&batch));
     if (n == 0) break;
     for (size_t i = 0; i < n; ++i) {

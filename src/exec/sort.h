@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "exec/exec_control.h"
 #include "exec/operator.h"
 #include "sql/binder.h"
 
@@ -15,9 +16,13 @@ class SortOp final : public Operator {
  public:
   /// `keys` must outlive the operator; each key indexes the child's output.
   /// `batch_size` sizes the internal batch the child is drained with.
+  /// `control` (optional) is polled once per drained input batch (the sort
+  /// materializes its whole input in Open, before the first output batch).
   SortOp(OperatorPtr child, const std::vector<BoundOrderKey>* keys,
-         size_t batch_size = RowBatch::kDefaultCapacity)
-      : child_(std::move(child)), keys_(keys), batch_size_(batch_size) {}
+         size_t batch_size = RowBatch::kDefaultCapacity,
+         ExecControlPtr control = nullptr)
+      : child_(std::move(child)), keys_(keys), batch_size_(batch_size),
+        control_(std::move(control)) {}
 
   Status Open() override;
   Result<size_t> Next(RowBatch* batch) override;
@@ -27,6 +32,7 @@ class SortOp final : public Operator {
   OperatorPtr child_;
   const std::vector<BoundOrderKey>* keys_;
   size_t batch_size_;
+  ExecControlPtr control_;
   std::vector<Row> rows_;
   size_t next_ = 0;
 };

@@ -100,6 +100,11 @@ void PositionalMap::EndEpoch(uint64_t token) {
   if (it != active_epochs_.end()) active_epochs_.erase(it);
 }
 
+size_t PositionalMap::active_epoch_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_epochs_.size();
+}
+
 bool PositionalMap::EpochActive(uint64_t token) const {
   return token != 0 && std::find(active_epochs_.begin(), active_epochs_.end(),
                                  token) != active_epochs_.end();

@@ -174,6 +174,12 @@ class PositionalMap {
   /// Ends an epoch: its chunks become ordinary eviction candidates.
   void EndEpoch(uint64_t token);
 
+  /// Number of scans currently holding an epoch open. Observability hook:
+  /// a nonzero count with no query running means a leaked epoch (an
+  /// abandoned scan that never reached EndEpoch), which pins its chunks
+  /// against eviction forever and wedges the budget.
+  size_t active_epoch_count() const;
+
   // ------------------------------------------------------------------
   // Attribute positions
   // ------------------------------------------------------------------

@@ -225,6 +225,7 @@ void ResolveJsonEscapes(JsonBitmaps* bm) {
 namespace {
 
 size_t ScalarFindNewline(const char* p, size_t n) {
+  if (n == 0) return 0;  // p may be null for an empty window
   const void* hit = std::memchr(p, '\n', n);
   return hit == nullptr
              ? n

@@ -1,0 +1,93 @@
+#ifndef NODB_SERVER_ADMISSION_H_
+#define NODB_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "exec/exec_control.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Admission knobs. Cold scans (a raw table's first-ever complete scan is
+/// still pending) pay full tokenize/parse cost and hold the shared scan
+/// ThreadPool for seconds, so they get their own, smaller concurrency cap:
+/// a thundering herd of cold queries queues here instead of wedging the
+/// pool, while warm (cache/pmap-served) queries keep flowing through the
+/// wider warm lane.
+struct AdmissionConfig {
+  int max_cold = 2;         // concurrent cold-scan queries
+  int max_warm = 16;        // concurrent warm queries
+  int cold_queue_limit = 8;   // waiters beyond the cap before rejection
+  int warm_queue_limit = 64;
+};
+
+/// Two-lane counting semaphore with bounded waiting queues. Admit() blocks
+/// (backpressure) while the lane is saturated but the queue is within
+/// bounds; past the bound it rejects immediately with a typed
+/// kResourceExhausted error — the client sees a deterministic "server
+/// overloaded" instead of unbounded queueing. A waiter whose ExecControl
+/// trips (deadline, cancel, server shutdown) leaves the queue with the
+/// corresponding typed error.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config) : config_(config) {}
+
+  /// Move-only RAII admission slot: releases its lane on destruction.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      Release();
+      controller_ = other.controller_;
+      cold_ = other.cold_;
+      other.controller_ = nullptr;
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    bool valid() const { return controller_ != nullptr; }
+    bool cold() const { return cold_; }
+    /// Early release (before destruction); idempotent.
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, bool cold)
+        : controller_(controller), cold_(cold) {}
+    AdmissionController* controller_ = nullptr;
+    bool cold_ = false;
+  };
+
+  /// Acquires a slot in the cold or warm lane. `control` (optional) makes
+  /// the wait interruptible: cancellation and deadline expiry are checked
+  /// while queued. After Shutdown() every Admit fails with kCancelled.
+  Result<Ticket> Admit(bool cold, const ExecControlPtr& control);
+
+  /// Wakes every queued waiter with kCancelled and fails future Admits
+  /// (graceful server stop).
+  void Shutdown();
+
+  int active(bool cold) const;
+  int queued(bool cold) const;
+
+ private:
+  friend class Ticket;
+  void ReleaseSlot(bool cold);
+
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int cold_active_ = 0;
+  int warm_active_ = 0;
+  int cold_queued_ = 0;
+  int warm_queued_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_SERVER_ADMISSION_H_

@@ -1,0 +1,60 @@
+#include "server/metrics.h"
+
+#include <algorithm>
+
+namespace nodb {
+
+void LatencyRing::Record(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.size() < kCapacity) {
+    samples_.push_back(ms);
+  } else {
+    samples_[next_] = ms;
+    next_ = (next_ + 1) % kCapacity;
+  }
+  ++total_;
+}
+
+double LatencyRing::Percentile(double p) const {
+  std::vector<double> copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    copy = samples_;
+  }
+  if (copy.empty()) return 0;
+  std::sort(copy.begin(), copy.end());
+  double rank = p / 100.0 * static_cast<double>(copy.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, copy.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return copy[lo] + (copy[hi] - copy[lo]) * frac;
+}
+
+uint64_t LatencyRing::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+ServerStats ServerMetrics::Snapshot() const {
+  ServerStats s;
+  s.sessions_opened = sessions_opened.load();
+  s.sessions_closed = sessions_closed.load();
+  s.sessions_active = static_cast<int64_t>(s.sessions_opened) -
+                      static_cast<int64_t>(s.sessions_closed);
+  s.queries_started = queries_started.load();
+  s.queries_finished = queries_finished.load();
+  s.queries_failed = queries_failed.load();
+  s.queries_cancelled = queries_cancelled.load();
+  s.queries_deadline = queries_deadline.load();
+  s.queries_rejected = queries_rejected.load();
+  s.rows_streamed = rows_streamed.load();
+  s.bytes_streamed = bytes_streamed.load();
+  s.cold_admitted = cold_admitted.load();
+  s.warm_admitted = warm_admitted.load();
+  s.latency_samples = latency.count();
+  s.p50_ms = latency.Percentile(50);
+  s.p99_ms = latency.Percentile(99);
+  return s;
+}
+
+}  // namespace nodb

@@ -1,0 +1,77 @@
+#ifndef NODB_SERVER_PROTOCOL_H_
+#define NODB_SERVER_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "exec/row_batch.h"
+#include "server/metrics.h"
+#include "types/schema.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// The query service's wire format: newline-delimited JSON, one request per
+/// line, one or more response lines per request. See README "Serving" for
+/// the full exchange spec. Summary:
+///
+///   client: {"q": "SELECT ...", "deadline_ms": 2000, "id": "q1"}
+///   server: {"schema":[{"name":"a1","type":"int64"}, ...]}
+///           {"rows":[[1,"x"],[2,null], ...]}        (repeated, one/batch)
+///           {"status":"ok","rows":2,"cold":true,"seconds":0.041,"id":"q1"}
+///
+///   client: STATS            (bare verb, or {"op":"stats"})
+///   server: {"stats":{...ServerStats fields...,"session":{...}}}
+///
+///   client: CANCEL           (mid-stream: aborts the in-flight query)
+///   server: {"status":"error","code":"Cancelled","message":"..."}
+///
+/// Errors terminate the exchange with a typed line:
+///   {"status":"error","code":"DeadlineExceeded","message":"..."}
+struct Request {
+  enum class Kind { kQuery, kStats, kCancel, kPing, kQuit };
+  Kind kind = Kind::kQuery;
+  std::string sql;         // kQuery only
+  int64_t deadline_ms = 0; // 0 = server default applies
+  std::string id;          // optional client tag, echoed in the terminal line
+};
+
+/// Parses one request line (bare verb or JSON object). Unknown keys are
+/// ignored; malformed lines are a typed InvalidArgument the session reports
+/// back without dropping the connection.
+Result<Request> ParseRequest(std::string_view line);
+
+/// `{"schema":[{"name":...,"type":...},...]}\n`
+std::string SchemaLine(const Schema& schema);
+
+/// Appends `{"rows":[[...],...]}\n` for rows [0, n) of `batch`. Values
+/// render as JSON literals: int64/bool bare, double via the engine's
+/// round-trip formatting (non-finite degrades to null), strings and dates
+/// quoted, NULLs as null.
+void AppendBatchLine(std::string* out, const RowBatch& batch, size_t n);
+
+/// `{"status":"ok","rows":N,"cold":B,"seconds":S[,"id":...]}\n`
+std::string OkLine(uint64_t rows, bool cold, double seconds,
+                   std::string_view id);
+
+/// `{"status":"error","code":<StatusCodeToString>,"message":...[,"id"]}\n`
+std::string ErrorLine(const Status& status, std::string_view id);
+
+/// Per-session slice of the STATS payload.
+struct SessionStatsView {
+  uint64_t session_id = 0;
+  uint64_t queries = 0;
+  uint64_t rows_streamed = 0;
+  uint64_t bytes_streamed = 0;
+};
+
+/// `{"stats":{...,"session":{...}}}\n`
+std::string StatsLine(const ServerStats& stats,
+                      const SessionStatsView& session);
+
+/// `{"pong":true}\n`
+std::string PongLine();
+
+}  // namespace nodb
+
+#endif  // NODB_SERVER_PROTOCOL_H_

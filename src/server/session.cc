@@ -1,0 +1,338 @@
+#include "server/session.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+#include "json/json_text.h"
+#include "server/server.h"
+#include "util/str_conv.h"
+
+namespace nodb {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+Session::Session(uint64_t id, int fd, QueryServer* server)
+    : id_(id), fd_(fd), server_(server) {}
+
+Session::~Session() {
+  Join();
+  // The descriptor lives exactly as long as the session: Run() only ever
+  // shuts the socket down (close here would race RequestStop() against
+  // kernel fd-number reuse).
+  ::close(fd_);
+}
+
+void Session::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Session::RequestStop() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    if (current_control_ != nullptr) {
+      current_control_->cancelled.store(true, std::memory_order_release);
+    }
+  }
+  // Unblocks a recv() waiting for the next request and makes a blocked
+  // send() (slow client) fail instead of holding the thread hostage.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Session::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Session::Run() {
+  ServerMetrics* metrics = server_->metrics();
+  metrics->sessions_opened.fetch_add(1, std::memory_order_relaxed);
+
+  std::string line;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (!ReadLine(&line)) break;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Result<Request> req = ParseRequest(line);
+    if (!req.ok()) {
+      if (!WriteAll(ErrorLine(req.status(), /*id=*/""))) break;
+      continue;
+    }
+    bool quit = false;
+    switch (req->kind) {
+      case Request::Kind::kQuery:
+        ServeQuery(*req);
+        break;
+      case Request::Kind::kStats:
+        ServeStats();
+        break;
+      case Request::Kind::kCancel:
+        // Mid-stream CANCELs are consumed by the streaming loop's poll;
+        // one arriving here raced a query that already ended.
+        (void)WriteAll(ErrorLine(
+            Status::InvalidArgument("no query in flight"), req->id));
+        break;
+      case Request::Kind::kPing:
+        (void)WriteAll(PongLine());
+        break;
+      case Request::Kind::kQuit:
+        quit = true;
+        break;
+    }
+    if (quit) break;
+  }
+
+  ::shutdown(fd_, SHUT_RDWR);  // EOF to the client; close happens in ~Session
+  metrics->sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  finished_.store(true, std::memory_order_release);
+}
+
+void Session::HarvestLines() {
+  size_t start = 0;
+  while (true) {
+    size_t nl = inbuf_.find('\n', start);
+    if (nl == std::string::npos) break;
+    pending_lines_.emplace_back(inbuf_, start, nl - start);
+    start = nl + 1;
+  }
+  if (start > 0) inbuf_.erase(0, start);
+}
+
+bool Session::ReadLine(std::string* line) {
+  while (true) {
+    if (!pending_lines_.empty()) {
+      *line = std::move(pending_lines_.front());
+      pending_lines_.pop_front();
+      return true;
+    }
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    char buf[4096];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return false;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    inbuf_.append(buf, static_cast<size_t>(n));
+    HarvestLines();
+  }
+}
+
+bool Session::PollForCancel() {
+  // Drain whatever already arrived, without ever blocking the stream.
+  while (true) {
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/0);
+    if (ready == 0) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return true;  // socket unusable: stop the query
+    }
+    char buf[4096];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n == 0) return true;  // peer disconnected mid-stream
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return true;
+    }
+    inbuf_.append(buf, static_cast<size_t>(n));
+  }
+  HarvestLines();
+  // Consume CANCEL verbs; anything else (a pipelined next request) stays
+  // queued for after this query.
+  bool cancelled = false;
+  for (auto it = pending_lines_.begin(); it != pending_lines_.end();) {
+    Result<Request> req = ParseRequest(*it);
+    if (req.ok() && req->kind == Request::Kind::kCancel) {
+      cancelled = true;
+      it = pending_lines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return cancelled;
+}
+
+bool Session::WriteAll(std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE/ECONNRESET/shutdown: client is gone
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void Session::ServeQuery(const Request& req) {
+  ServerMetrics* metrics = server_->metrics();
+  metrics->queries_started.fetch_add(1, std::memory_order_relaxed);
+  ++queries_;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto control = std::make_shared<ExecControl>();
+  int64_t deadline_ms = req.deadline_ms > 0
+                            ? req.deadline_ms
+                            : server_->config().default_deadline_ms;
+  if (deadline_ms > 0) {
+    control->TightenDeadline(start + std::chrono::milliseconds(deadline_ms));
+  }
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    current_control_ = control;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    control->cancelled.store(true, std::memory_order_release);
+  }
+
+  QueryOptions options;
+  options.control = control;
+
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  bool cold = false;
+  bool client_gone = false;
+  Status outcome = Status::OK();
+
+  do {
+    Result<QueryCursor> cursor = server_->db()->Query(req.sql, options);
+    if (!cursor.ok()) {
+      outcome = cursor.status();
+      break;
+    }
+    cold = server_->IsColdQuery(cursor->tables());
+    Result<AdmissionController::Ticket> ticket =
+        server_->admission()->Admit(cold, control);
+    if (!ticket.ok()) {
+      outcome = ticket.status();
+      break;
+    }
+    (cold ? metrics->cold_admitted : metrics->warm_admitted)
+        .fetch_add(1, std::memory_order_relaxed);
+
+    std::string line = SchemaLine(cursor->schema());
+    if (!WriteAll(line)) {
+      client_gone = true;
+      outcome = Status::Cancelled("client disconnected");
+      break;
+    }
+    bytes += line.size();
+
+    RowBatch batch = cursor->MakeBatch();
+    while (true) {
+      if (PollForCancel()) {
+        control->cancelled.store(true, std::memory_order_release);
+      }
+      Result<size_t> n = cursor->Next(&batch);
+      if (!n.ok()) {
+        outcome = n.status();
+        break;
+      }
+      if (*n == 0) break;  // stream drained, status stays ok
+      line.clear();
+      AppendBatchLine(&line, batch, *n);
+      if (!WriteAll(line)) {
+        // Mid-stream disconnect: cancel so the cursor (destroyed with this
+        // scope) abandons cleanly, releasing its scan epoch.
+        client_gone = true;
+        control->cancelled.store(true, std::memory_order_release);
+        outcome = Status::Cancelled("client disconnected mid-stream");
+        break;
+      }
+      rows += *n;
+      bytes += line.size();
+    }
+    // Ticket and cursor release here — admission slot and scan epoch are
+    // both free before the terminal status line is written.
+  } while (false);
+
+  const double seconds = SecondsSince(start);
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    current_control_.reset();
+  }
+
+  // All terminal accounting happens BEFORE the terminal line is written:
+  // a client that fires STATS the instant it sees the status line observes
+  // counters that already include this query. (The terminal line's own
+  // bytes are counted as enqueued, write outcome notwithstanding.)
+  std::string term;
+  std::string_view outcome_name = "ok";
+  if (outcome.ok()) {
+    metrics->queries_finished.fetch_add(1, std::memory_order_relaxed);
+    metrics->latency.Record(seconds * 1e3);
+    term = OkLine(rows, cold, seconds, req.id);
+  } else {
+    switch (outcome.code()) {
+      case StatusCode::kCancelled:
+        outcome_name = "cancelled";
+        metrics->queries_cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kDeadlineExceeded:
+        outcome_name = "deadline";
+        metrics->queries_deadline.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kResourceExhausted:
+        outcome_name = "rejected";
+        metrics->queries_rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        outcome_name = "failed";
+        metrics->queries_failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    if (!client_gone) term = ErrorLine(outcome, req.id);
+  }
+  bytes += term.size();
+  rows_streamed_ += rows;
+  bytes_streamed_ += bytes;
+  metrics->rows_streamed.fetch_add(rows, std::memory_order_relaxed);
+  metrics->bytes_streamed.fetch_add(bytes, std::memory_order_relaxed);
+  if (!term.empty()) (void)WriteAll(term);
+
+  if (server_->config().log != nullptr) {
+    std::string entry = "{\"event\":\"query\",\"session\":";
+    AppendInt64(&entry, static_cast<int64_t>(id_));
+    entry += ",\"cold\":";
+    entry += cold ? "true" : "false";
+    entry += ",\"outcome\":\"";
+    entry += outcome_name;
+    entry += "\",\"rows\":";
+    AppendInt64(&entry, static_cast<int64_t>(rows));
+    entry += ",\"seconds\":";
+    AppendDouble(&entry, seconds);
+    if (!req.id.empty()) {
+      entry += ",\"id\":";
+      AppendJsonQuoted(&entry, req.id);
+    }
+    entry += ",\"sql\":";
+    AppendJsonQuoted(&entry, req.sql);
+    entry += "}";
+    server_->LogLine(entry);
+  }
+}
+
+void Session::ServeStats() {
+  SessionStatsView view;
+  view.session_id = id_;
+  view.queries = queries_;
+  view.rows_streamed = rows_streamed_;
+  view.bytes_streamed = bytes_streamed_;
+  (void)WriteAll(StatsLine(server_->Stats(), view));
+}
+
+}  // namespace nodb

@@ -1,0 +1,91 @@
+#ifndef NODB_SERVER_SESSION_H_
+#define NODB_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "engine/database.h"
+#include "server/protocol.h"
+
+namespace nodb {
+
+class QueryServer;
+
+/// One client connection, served by its own thread: reads request lines,
+/// executes queries through a streaming QueryCursor, and writes response
+/// lines. The session owns the cursor lifecycle — a client disconnect or a
+/// CANCEL verb mid-stream flips the query's ExecControl, the cursor errors
+/// at the next batch boundary, and its destructor releases the scan epoch
+/// and pool slots exactly like any abandoned query.
+///
+/// Between streamed batches the session polls its socket without blocking:
+/// a CANCEL that arrives mid-stream is honored within one batch, and a
+/// closed peer is detected without waiting for a full write buffer.
+class Session {
+ public:
+  /// Takes ownership of `fd`. `server` outlives the session.
+  Session(uint64_t id, int fd, QueryServer* server);
+  /// Joins the session thread (RequestStop first for a forced stop).
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Spawns the serving thread.
+  void Start();
+  /// Forces the session toward exit: cancels the in-flight query (if any)
+  /// and shuts the socket down so blocked reads/writes return. The thread
+  /// still needs Join()/destruction.
+  void RequestStop();
+  void Join();
+
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+  uint64_t id() const { return id_; }
+
+ private:
+  void Run();
+  /// Next request line: served from lines queued by mid-stream polling
+  /// first, then from blocking socket reads. False on EOF/error/stop.
+  bool ReadLine(std::string* line);
+  /// Splits complete lines out of inbuf_ into pending_lines_.
+  void HarvestLines();
+  /// Drains whatever is already readable on the socket without blocking.
+  /// Returns true if a CANCEL verb was consumed or the peer vanished
+  /// (either way the in-flight query must stop).
+  bool PollForCancel();
+  /// Blocking full write; false when the connection is gone.
+  bool WriteAll(std::string_view data);
+
+  void ServeQuery(const Request& req);
+  void ServeStats();
+
+  const uint64_t id_;
+  const int fd_;
+  QueryServer* const server_;
+  std::thread thread_;
+
+  std::string inbuf_;
+  std::deque<std::string> pending_lines_;
+
+  /// The in-flight query's control handle, for RequestStop (which runs on
+  /// the server's thread while the session thread executes the query).
+  std::mutex control_mu_;
+  ExecControlPtr current_control_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> finished_{false};
+
+  // Per-session counters (written by the session thread, snapshotted into
+  // STATS responses on the same thread).
+  uint64_t queries_ = 0;
+  uint64_t rows_streamed_ = 0;
+  uint64_t bytes_streamed_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_SERVER_SESSION_H_
