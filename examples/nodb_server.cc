@@ -15,6 +15,13 @@
 //   --rows N         demo table size (default 50000)
 //   --csv PATH       serve an existing CSV instead of the generated demo
 //                    table (registered as `micro`, schema auto-sniffed)
+//   --data PATH      persistent demo-table location: generate the micro CSV
+//                    at PATH if absent, reuse it if present (so restarts see
+//                    the same raw file — the warm-restart companion flag)
+//   --snapshot-dir D warm restarts: load auxiliary-structure snapshots from
+//                    D at startup, persist them on graceful drain
+//                    (SIGINT/SIGTERM) and every few seconds in the
+//                    background while serving
 
 #include <arpa/inet.h>
 #include <csignal>
@@ -87,6 +94,8 @@ int main(int argc, char** argv) {
   int port = 0;
   uint64_t rows = 50000;
   std::string csv;
+  std::string data;
+  std::string snapshot_dir;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--serve") {
@@ -97,6 +106,10 @@ int main(int argc, char** argv) {
       rows = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--csv" && i + 1 < argc) {
       csv = argv[++i];
+    } else if (arg == "--data" && i + 1 < argc) {
+      data = argv[++i];
+    } else if (arg == "--snapshot-dir" && i + 1 < argc) {
+      snapshot_dir = argv[++i];
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return 1;
@@ -104,21 +117,38 @@ int main(int argc, char** argv) {
   }
 
   TempDir scratch;
-  auto db = MakeEngine(SystemUnderTest::kPostgresRawPMC);
-  if (csv.empty()) {
-    MicroDataSpec spec;
-    spec.rows = rows;
-    spec.cols = 10;
-    std::string path = scratch.File("micro.csv");
-    if (!GenerateWideCsv(path, spec).ok()) return 1;
-    if (!db->RegisterCsv("micro", path, MicroSchema(spec)).ok()) return 1;
-  } else {
+  EngineConfig engine_config =
+      EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
+  if (!snapshot_dir.empty()) {
+    Status st = CreateDir(snapshot_dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "snapshot dir %s: %s\n", snapshot_dir.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    engine_config.snapshot_dir = snapshot_dir;
+    engine_config.snapshot_interval_ms = 2000;
+  }
+  auto db = std::make_unique<Database>(engine_config);
+  if (!csv.empty()) {
     Status st = db->Open("micro", csv);
     if (!st.ok()) {
       std::fprintf(stderr, "open %s: %s\n", csv.c_str(),
                    st.ToString().c_str());
       return 1;
     }
+  } else {
+    MicroDataSpec spec;
+    spec.rows = rows;
+    spec.cols = 10;
+    // --data keeps the raw file across restarts (same bytes, same mtime →
+    // same fingerprint, so a snapshot taken by the previous run is valid);
+    // without it the table lives in a TempDir and dies with the process.
+    std::string path = data.empty() ? scratch.File("micro.csv") : data;
+    if (data.empty() || !FileExists(path)) {
+      if (!GenerateWideCsv(path, spec).ok()) return 1;
+    }
+    if (!db->RegisterCsv("micro", path, MicroSchema(spec)).ok()) return 1;
   }
 
   ServerConfig config;
@@ -142,6 +172,19 @@ int main(int argc, char** argv) {
     }
     std::printf("draining...\n");
     server.Stop();
+    if (!snapshot_dir.empty()) {
+      SnapshotCounters snap = db->snapshot_counters();
+      std::printf(
+          "snapshots: loads=%llu misses=%llu stale=%llu corrupt=%llu "
+          "saves=%llu failures=%llu bytes_saved=%llu\n",
+          static_cast<unsigned long long>(snap.loads),
+          static_cast<unsigned long long>(snap.load_misses),
+          static_cast<unsigned long long>(snap.load_stale),
+          static_cast<unsigned long long>(snap.load_corrupt),
+          static_cast<unsigned long long>(snap.saves),
+          static_cast<unsigned long long>(snap.save_failures),
+          static_cast<unsigned long long>(snap.bytes_saved));
+    }
     std::printf("bye\n");
     return 0;
   }

@@ -1,5 +1,7 @@
 #include "cache/column_cache.h"
 
+#include <algorithm>
+
 namespace nodb {
 
 namespace {
@@ -115,6 +117,25 @@ double ColumnCache::utilization() const {
 ColumnCache::Counters ColumnCache::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;
+}
+
+std::vector<ColumnCache::ExportedChunk> ColumnCache::ExportState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ExportedChunk> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    ExportedChunk chunk;
+    chunk.stripe = key >> 16;
+    chunk.attr = static_cast<int>(key & 0xFFFF);
+    chunk.values = entry.values;
+    out.push_back(std::move(chunk));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExportedChunk& a, const ExportedChunk& b) {
+              return a.stripe != b.stripe ? a.stripe < b.stripe
+                                          : a.attr < b.attr;
+            });
+  return out;
 }
 
 void ColumnCache::Clear() {

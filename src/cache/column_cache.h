@@ -73,6 +73,20 @@ class ColumnCache {
   /// Snapshot of the counters (copy: the cache may be mutated concurrently).
   Counters counters() const;
 
+  /// One cached chunk as handed out by ExportState. `values` is a shared
+  /// snapshot (no copy): it stays valid even if a concurrent eviction drops
+  /// the entry from the cache.
+  struct ExportedChunk {
+    uint64_t stripe = 0;
+    int attr = 0;
+    Column values;
+  };
+
+  /// Consistent view of every resident chunk, ordered by (stripe, attr),
+  /// taken under the internal lock in one critical section. Cheap: only
+  /// shared_ptrs are copied. Does not touch recency.
+  std::vector<ExportedChunk> ExportState() const;
+
   void Clear();
 
  private:

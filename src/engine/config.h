@@ -72,6 +72,17 @@ struct EngineConfig {
   /// globally by building with -DNODB_FORCE_SCALAR_KERNELS=ON.
   bool scalar_kernels = false;
 
+  // --- warm-restart snapshots (src/snapshot) ---
+  /// Directory raw tables load auxiliary-structure snapshots from at Open
+  /// and save them to (positional map, column cache, statistics). Empty =
+  /// feature off. Overridable per table through OpenOptions::snapshot_dir.
+  std::string snapshot_dir;
+  /// Period of the background snapshot writer; 0 = no background writer
+  /// (snapshots are still written by explicit Snapshot()/SnapshotAll()
+  /// calls and by the server's graceful Stop). The writer only persists
+  /// tables whose warm state moved since their last save.
+  int snapshot_interval_ms = 0;
+
   // --- loaded-engine storage ---
   TableStorage loaded_storage = TableStorage::kHeap;
   uint32_t tuple_header_bytes = 24;

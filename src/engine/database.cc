@@ -1,8 +1,10 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "raw/parse_kernels.h"
+#include "snapshot/snapshot.h"
 #include "sql/parser.h"
 #include "util/fs_util.h"
 #include "util/stopwatch.h"
@@ -21,7 +23,8 @@ std::string DirName(const std::string& path) {
 }  // namespace
 
 Database::Database(EngineConfig config) : config_(std::move(config)) {}
-Database::~Database() = default;
+
+Database::~Database() { StopSnapshotWriter(); }
 
 InSituOptions Database::MakeInSituOptions() const {
   InSituOptions opts;
@@ -38,6 +41,7 @@ InSituOptions Database::MakeInSituOptions() const {
 
 Status Database::RegisterCommon(const std::string& name,
                                 std::unique_ptr<TableRuntime> runtime) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -104,7 +108,36 @@ Status Database::Open(const std::string& name, const std::string& path,
   }
   rt->adapter = std::move(adapter);
   rt->scan_threads_override = options.scan_threads;
-  return RegisterCommon(name, std::move(rt));
+
+  // Warm restart: attempt the snapshot load *before* the table is visible
+  // to queries, so either the first query sees the fully restored state or
+  // (missing/stale/corrupt snapshot) the untouched cold state — never a
+  // half-installed mix.
+  rt->snapshot_dir = options.snapshot_dir.empty() ? config_.snapshot_dir
+                                                  : options.snapshot_dir;
+  const bool snapshot_capable = !rt->snapshot_dir.empty();
+  if (snapshot_capable) {
+    SnapshotLoadInfo info = LoadTableSnapshot(rt.get());
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    switch (info.outcome) {
+      case SnapshotLoadOutcome::kLoaded:
+        ++snapshot_counters_.loads;
+        snapshot_counters_.bytes_loaded += info.bytes;
+        break;
+      case SnapshotLoadOutcome::kMissing:
+        ++snapshot_counters_.load_misses;
+        break;
+      case SnapshotLoadOutcome::kStale:
+        ++snapshot_counters_.load_stale;
+        break;
+      case SnapshotLoadOutcome::kCorrupt:
+        ++snapshot_counters_.load_corrupt;
+        break;
+    }
+  }
+  NODB_RETURN_IF_ERROR(RegisterCommon(name, std::move(rt)));
+  if (snapshot_capable) StartSnapshotWriter();
+  return Status::OK();
 }
 
 Status Database::RegisterCsv(const std::string& name, const std::string& path,
@@ -194,6 +227,7 @@ Result<LoadResult> Database::LoadCsv(const std::string& name,
 }
 
 Status Database::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   if (tables_.erase(name) == 0) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
@@ -225,6 +259,12 @@ std::vector<TableInfo> Database::ListTables() const {
     }
     if (rt->pmap != nullptr) info.pmap_bytes = rt->pmap->memory_bytes();
     if (rt->cache != nullptr) info.cache_bytes = rt->cache->memory_bytes();
+    info.snapshot_state =
+        rt->snapshot_state.load(std::memory_order_acquire);
+    info.snapshot_bytes = rt->snapshot_bytes.load(std::memory_order_acquire);
+    if (rt->adapter != nullptr && rt->adapter->file() != nullptr) {
+      info.bytes_read = rt->adapter->file()->bytes_read();
+    }
     infos.push_back(std::move(info));
   }
   std::sort(infos.begin(), infos.end(),
@@ -321,6 +361,92 @@ TableRuntime* Database::runtime(const std::string& name) {
 void Database::DropBufferCaches() {
   for (auto& [name, rt] : tables_) {
     if (rt->heap != nullptr) rt->heap->DropCaches();
+  }
+}
+
+Result<uint64_t> Database::SnapshotTable(TableRuntime* rt) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  Result<SnapshotWriteInfo> info = WriteTableSnapshot(rt);
+  if (!info.ok()) {
+    ++snapshot_counters_.save_failures;
+    return info.status();
+  }
+  ++snapshot_counters_.saves;
+  snapshot_counters_.bytes_saved += info->bytes;
+  return info->bytes;
+}
+
+Result<uint64_t> Database::Snapshot(const std::string& name) {
+  TableRuntime* rt = runtime(name);
+  if (rt == nullptr) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  if (rt->storage != TableStorage::kRaw) {
+    return Status::InvalidArgument(
+        "table '" + name + "' is loaded; snapshots apply to raw tables only");
+  }
+  if (rt->snapshot_dir.empty()) {
+    return Status::InvalidArgument("table '" + name +
+                                   "' has no snapshot directory configured");
+  }
+  return SnapshotTable(rt);
+}
+
+Status Database::SnapshotAll() {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  Status first_error = Status::OK();
+  for (auto& [name, rt] : tables_) {
+    if (rt->storage != TableStorage::kRaw || rt->snapshot_dir.empty()) {
+      continue;
+    }
+    // An unchanged signature means the file on disk already reflects this
+    // warm state (saved earlier, or restored at Open and untouched since).
+    if (WarmStateSignature(*rt) ==
+        rt->snapshot_signature.load(std::memory_order_acquire)) {
+      continue;
+    }
+    Result<uint64_t> saved = SnapshotTable(rt.get());
+    if (!saved.ok() && first_error.ok()) first_error = saved.status();
+  }
+  return first_error;
+}
+
+SnapshotCounters Database::snapshot_counters() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_counters_;
+}
+
+void Database::StartSnapshotWriter() {
+  if (config_.snapshot_interval_ms <= 0) return;
+  std::lock_guard<std::mutex> lock(snapshot_thread_mu_);
+  if (snapshot_thread_.joinable()) return;
+  snapshot_stop_ = false;
+  snapshot_thread_ = std::thread([this] { SnapshotWriterLoop(); });
+}
+
+void Database::StopSnapshotWriter() {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_thread_mu_);
+    if (!snapshot_thread_.joinable()) return;
+    snapshot_stop_ = true;
+  }
+  snapshot_cv_.notify_all();
+  snapshot_thread_.join();
+}
+
+void Database::SnapshotWriterLoop() {
+  const auto interval = std::chrono::milliseconds(config_.snapshot_interval_ms);
+  std::unique_lock<std::mutex> lock(snapshot_thread_mu_);
+  while (!snapshot_stop_) {
+    snapshot_cv_.wait_for(lock, interval,
+                          [this] { return snapshot_stop_; });
+    if (snapshot_stop_) break;
+    lock.unlock();
+    // Best-effort: a failed save is counted and retried next tick. The
+    // signature gate keeps idle ticks free of disk writes.
+    Status ignored = SnapshotAll();
+    (void)ignored;
+    lock.lock();
   }
 }
 

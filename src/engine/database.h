@@ -1,9 +1,11 @@
 #ifndef NODB_ENGINE_DATABASE_H_
 #define NODB_ENGINE_DATABASE_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -51,6 +53,27 @@ struct TableInfo {
   /// Current footprint of the adaptive structures (0 when absent).
   uint64_t pmap_bytes = 0;
   uint64_t cache_bytes = 0;
+  /// Warm-restart snapshot state (raw tables; kNone when the feature is off
+  /// or no snapshot file existed at Open).
+  SnapshotState snapshot_state = SnapshotState::kNone;
+  /// On-disk size of the snapshot last loaded or written for this table.
+  uint64_t snapshot_bytes = 0;
+  /// Raw-file bytes read through the table's adapter since Open (0 for
+  /// loaded tables). The observable for "a warm restart re-parses nothing".
+  uint64_t bytes_read = 0;
+};
+
+/// Aggregate outcome counters of the snapshot subsystem for one Database
+/// (Database::snapshot_counters; surfaced by the server's STATS verb).
+struct SnapshotCounters {
+  uint64_t loads = 0;          // snapshots restored at Open
+  uint64_t load_misses = 0;    // no snapshot file present at Open
+  uint64_t load_stale = 0;     // rejected: source fingerprint moved
+  uint64_t load_corrupt = 0;   // rejected: checksum/decode failure
+  uint64_t saves = 0;          // snapshot files written
+  uint64_t save_failures = 0;  // write attempts that errored (I/O)
+  uint64_t bytes_loaded = 0;
+  uint64_t bytes_saved = 0;
 };
 
 /// The engine facade: a catalog of tables plus SQL execution. One Database
@@ -109,8 +132,30 @@ class Database : public TableProvider,
   bool HasTable(const std::string& name) const;
 
   /// Snapshot of every registered table (name order): format, storage, row
-  /// count if known, and adaptive-structure footprints.
+  /// count if known, adaptive-structure footprints, and warm-restart
+  /// snapshot state.
   std::vector<TableInfo> ListTables() const;
+
+  // ------------------------------------------------------------------
+  // Warm-restart snapshots (src/snapshot)
+  // ------------------------------------------------------------------
+
+  /// Persists the named raw table's warm state (positional map, cache,
+  /// statistics) to its snapshot directory now, regardless of whether the
+  /// state moved since the last save. Returns the bytes written. Errors:
+  /// NotFound for unknown tables, InvalidArgument for loaded tables or
+  /// tables without a snapshot directory, IOError on write failure. Never
+  /// blocks running queries beyond the structures' own short export locks.
+  Result<uint64_t> Snapshot(const std::string& name);
+
+  /// Persists every eligible raw table whose warm state moved since its
+  /// last save (the graceful-shutdown path; the server's Stop calls this
+  /// after draining). Per-table failures are counted and the first error
+  /// is returned after all tables were attempted.
+  Status SnapshotAll();
+
+  /// Aggregate snapshot outcome counters since construction.
+  SnapshotCounters snapshot_counters() const;
 
   // ------------------------------------------------------------------
   // Queries
@@ -172,6 +217,14 @@ class Database : public TableProvider,
   Status RegisterCommon(const std::string& name,
                         std::unique_ptr<TableRuntime> runtime);
   InSituOptions MakeInSituOptions() const;
+  /// Writes one table's snapshot and updates the counters; serialized per
+  /// Database through snapshot_mu_ (lock order: catalog_mu_ → snapshot_mu_).
+  Result<uint64_t> SnapshotTable(TableRuntime* rt);
+  /// Starts the background writer once (no-op unless
+  /// config_.snapshot_interval_ms > 0); idempotent.
+  void StartSnapshotWriter();
+  void StopSnapshotWriter();
+  void SnapshotWriterLoop();
   /// The shared scan worker pool, created lazily when a query may run a
   /// parallel raw scan (grown, never shrunk, to the largest thread count
   /// any table asks for); nullptr while everything is serial.
@@ -179,6 +232,18 @@ class Database : public TableProvider,
 
   EngineConfig config_;
   std::unordered_map<std::string, std::unique_ptr<TableRuntime>> tables_;
+  /// Guards catalog *mutation* against the background snapshot writer's
+  /// iteration (RegisterCommon / DropTable / SnapshotAll / writer loop).
+  /// The query path still reads tables_ unlocked, under the pre-existing
+  /// register-before-querying contract.
+  mutable std::mutex catalog_mu_;
+  /// Serializes snapshot writes and guards snapshot_counters_.
+  mutable std::mutex snapshot_mu_;
+  SnapshotCounters snapshot_counters_;
+  std::thread snapshot_thread_;
+  std::mutex snapshot_thread_mu_;
+  std::condition_variable snapshot_cv_;
+  bool snapshot_stop_ = false;
   std::mutex pool_mu_;
   /// Declared last: destroyed first, so no worker outlives the catalog.
   /// (Cursors must not outlive the Database regardless.)

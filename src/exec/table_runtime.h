@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "cache/column_cache.h"
 #include "pmap/positional_map.h"
@@ -20,6 +21,18 @@ enum class TableStorage : uint8_t {
   kHeap,     // loaded into slotted pages (PostgreSQL / MySQL analogues)
   kCompact,  // loaded into packed rows ("DBMS X" analogue)
 };
+
+/// Outcome of the snapshot-load attempt made when a raw table is opened
+/// with a snapshot directory configured (src/snapshot). Reported per table
+/// by Database::ListTables and the server's STATS verb.
+enum class SnapshotState : uint8_t {
+  kNone,     // no snapshot directory, or no snapshot file found
+  kLoaded,   // a valid snapshot restored warm state at open
+  kStale,    // snapshot found but its source fingerprint no longer matches
+  kCorrupt,  // snapshot found but failed checksum/format validation
+};
+
+std::string_view SnapshotStateName(SnapshotState state);
 
 /// Everything the executor needs to scan one table, owned by the engine's
 /// catalog. A raw table is an adapter (the only format-specific piece) plus
@@ -55,6 +68,19 @@ struct TableRuntime {
   /// Per-table override of EngineConfig::scan_threads (Database::Open
   /// options); 0 means "use the engine default".
   int scan_threads_override = 0;
+
+  // --- warm-restart snapshots (raw tables; src/snapshot) ---
+  /// Directory snapshots of this table load from / save to; empty when the
+  /// feature is off for this table. Set once at Open.
+  std::string snapshot_dir;
+  /// Outcome of the load attempt at Open (atomics: ListTables and STATS may
+  /// read while the background writer saves).
+  std::atomic<SnapshotState> snapshot_state{SnapshotState::kNone};
+  /// On-disk size of the snapshot last loaded or written, in bytes.
+  std::atomic<uint64_t> snapshot_bytes{0};
+  /// Warm-state signature at the last successful save; the background
+  /// writer skips tables whose signature hasn't moved.
+  std::atomic<uint64_t> snapshot_signature{0};
 };
 
 }  // namespace nodb

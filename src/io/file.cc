@@ -77,6 +77,17 @@ Status WritableFile::Flush() {
   return Status::OK();
 }
 
+Status WritableFile::Sync() {
+  if (file_ == nullptr) return Status::Internal("sync after Close");
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(std::string("fflush: ") + strerror(errno));
+  }
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::IOError(std::string("fsync: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
 Status WritableFile::Close() {
   if (file_ == nullptr) return Status::OK();
   int rc = std::fclose(file_);

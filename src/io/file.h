@@ -60,6 +60,11 @@ class WritableFile {
 
   Status Append(std::string_view data);
   Status Flush();
+  /// Flushes user-space buffers and fsyncs the file to stable storage —
+  /// the durability half of a write-temp-then-rename protocol (snapshot
+  /// writer): after Sync returns OK, a crash cannot leave the file with
+  /// partial content behind a completed rename.
+  Status Sync();
   /// Flushes and closes; further writes are invalid. Idempotent.
   Status Close();
 

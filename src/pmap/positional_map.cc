@@ -10,10 +10,6 @@
 
 namespace nodb {
 
-namespace {
-constexpr uint64_t kNoRowStart = UINT64_MAX;
-}  // namespace
-
 PositionalMap::PositionalMap(int num_attrs, Options options)
     : num_attrs_(num_attrs), options_(options) {
   assert(options_.tuples_per_chunk > 0);
@@ -574,6 +570,57 @@ uint64_t PositionalMap::num_positions() const {
 PositionalMap::Counters PositionalMap::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;
+}
+
+PositionalMap::ExportedState PositionalMap::ExportState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExportedState out;
+  out.total_tuples = total_tuples_;
+  out.stripes.reserve(stripes_.size());
+  const size_t per_stripe = static_cast<size_t>(options_.tuples_per_chunk);
+  for (const auto& [stripe_idx, stripe] : stripes_) {
+    ExportedStripe exp;
+    exp.stripe = stripe_idx;
+    if (stripe.row_starts.empty()) {
+      exp.row_starts.assign(per_stripe, kNoRowStart);
+    } else {
+      exp.row_starts = stripe.row_starts;
+    }
+
+    // Union of attributes with resident (non-spilled) chunks, ascending.
+    for (const auto& [gid, chunk] : stripe.chunks) {
+      if (chunk->spilled) continue;
+      for (int a : groups_[gid].attrs) exp.attrs.push_back(a);
+    }
+    std::sort(exp.attrs.begin(), exp.attrs.end());
+    exp.attrs.erase(std::unique(exp.attrs.begin(), exp.attrs.end()),
+                    exp.attrs.end());
+
+    if (!exp.attrs.empty()) {
+      exp.positions.assign(per_stripe * exp.attrs.size(), kUnknown);
+      for (size_t ai = 0; ai < exp.attrs.size(); ++ai) {
+        const int attr = exp.attrs[ai];
+        for (auto [gid, col] : attr_membership_[attr]) {
+          auto cit = stripe.chunks.find(gid);
+          if (cit == stripe.chunks.end() || cit->second->spilled) continue;
+          const Chunk& chunk = *cit->second;
+          const size_t group_size = groups_[gid].attrs.size();
+          for (size_t r = 0; r < per_stripe; ++r) {
+            uint32_t& cell = exp.positions[r * exp.attrs.size() + ai];
+            if (cell != kUnknown) continue;  // first chunk wins, as in Lookup
+            uint32_t v = chunk.data[r * group_size + static_cast<size_t>(col)];
+            if (v != kUnknown) cell = v;
+          }
+        }
+      }
+    }
+    out.stripes.push_back(std::move(exp));
+  }
+  std::sort(out.stripes.begin(), out.stripes.end(),
+            [](const ExportedStripe& a, const ExportedStripe& b) {
+              return a.stripe < b.stripe;
+            });
+  return out;
 }
 
 void PositionalMap::Clear() {

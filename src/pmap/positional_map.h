@@ -132,6 +132,30 @@ class PositionalMap {
   /// Sentinel for "position unknown" inside a chunk.
   static constexpr uint32_t kUnknown = UINT32_MAX;
 
+  /// Sentinel for "row start unknown" in exported spine vectors.
+  static constexpr uint64_t kNoRowStart = UINT64_MAX;
+
+  /// Deep copy of one stripe's positional data, as handed out by
+  /// ExportState: the spine (always tuples_per_chunk entries, kNoRowStart
+  /// where undiscovered) plus a dense row-major position matrix over the
+  /// union of the stripe's indexed attributes (kUnknown where a chunk had
+  /// no position; kAbsentFieldPos — a real position value — passes through
+  /// untouched). The chunk/group organization is deliberately *not*
+  /// exported: a snapshot restores positions through InstallFragment, which
+  /// re-derives grouping, budget accounting and epoch bookkeeping the same
+  /// way a live scan does.
+  struct ExportedStripe {
+    uint64_t stripe = 0;
+    std::vector<uint64_t> row_starts;
+    std::vector<int> attrs;            // ascending
+    std::vector<uint32_t> positions;   // [row][attrs index], row-major
+  };
+
+  struct ExportedState {
+    uint64_t total_tuples = 0;
+    std::vector<ExportedStripe> stripes;
+  };
+
   PositionalMap(int num_attrs, Options options);
 
   PositionalMap(const PositionalMap&) = delete;
@@ -265,6 +289,14 @@ class PositionalMap {
   /// Snapshot of the counters (copy: the map may be mutated concurrently).
   Counters counters() const;
   const Options& options() const { return options_; }
+
+  /// Consistent deep copy of everything worth persisting (spine, attribute
+  /// positions, total-tuple count), taken under the internal lock in one
+  /// critical section so no stripe mixes states from different moments.
+  /// Spilled chunks are skipped (reloading them here would thrash the
+  /// budget; their positions merely cost re-tokenization later). Stripes
+  /// are ordered by stripe index.
+  ExportedState ExportState() const;
 
   /// Drops the entire map (it is auxiliary; next query rebuilds it).
   void Clear();

@@ -30,6 +30,9 @@ struct OpenOptions {
   /// Per-table override of EngineConfig::scan_threads for scans of this
   /// raw source; 0 = use the engine default.
   int scan_threads = 0;
+  /// Per-table override of EngineConfig::snapshot_dir (warm-restart
+  /// snapshots, src/snapshot); empty = use the engine default.
+  std::string snapshot_dir;
   /// Use the scalar reference parse path instead of the SWAR/SIMD kernels
   /// (see raw/parse_kernels.h). Database::Open ORs in
   /// EngineConfig::scalar_kernels; a -DNODB_FORCE_SCALAR_KERNELS build

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace nodb {
@@ -42,6 +43,31 @@ struct ServerStats {
   uint64_t latency_samples = 0;
   double p50_ms = 0;
   double p99_ms = 0;
+
+  // --- warm-restart snapshots (merged in by QueryServer::Stats from the
+  //     engine's SnapshotCounters; all zero when the feature is off) ---
+  uint64_t snapshot_loads = 0;
+  uint64_t snapshot_load_misses = 0;
+  uint64_t snapshot_load_stale = 0;
+  uint64_t snapshot_load_corrupt = 0;
+  uint64_t snapshot_saves = 0;
+  uint64_t snapshot_save_failures = 0;
+  uint64_t snapshot_bytes_loaded = 0;
+  uint64_t snapshot_bytes_saved = 0;
+
+  /// Per-table slice of the STATS payload: snapshot state plus the raw-file
+  /// I/O accounting that proves (or disproves) a warm restart.
+  struct TableView {
+    std::string name;
+    std::string snapshot_state;  // SnapshotStateName: none/loaded/stale/...
+    uint64_t snapshot_bytes = 0;
+    /// Raw-file bytes read through the adapter since Open; ~0 right after a
+    /// successful snapshot load, file-sized after a cold first scan.
+    uint64_t bytes_read = 0;
+    /// Known row count; negative while unknown.
+    double rows = -1;
+  };
+  std::vector<TableView> tables;
 };
 
 /// Fixed-size ring of recent query latencies; Percentile snapshots and

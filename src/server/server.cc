@@ -135,6 +135,11 @@ void QueryServer::Stop() {
   for (auto& session : drained) session->RequestStop();
   for (auto& session : drained) session->Join();
   drained.clear();
+  // With every session drained the structures are quiescent: persist the
+  // warm state they earned, so the next server start is warm. Best-effort —
+  // a failed save only costs the restart a cold first scan.
+  Status snapshot_status = db_->SnapshotAll();
+  (void)snapshot_status;
   started_ = false;
 }
 
@@ -145,6 +150,24 @@ ServerStats QueryServer::Stats() const {
   s.warm_active = admission->active(false);
   s.cold_queued = admission->queued(true);
   s.warm_queued = admission->queued(false);
+  SnapshotCounters snap = db_->snapshot_counters();
+  s.snapshot_loads = snap.loads;
+  s.snapshot_load_misses = snap.load_misses;
+  s.snapshot_load_stale = snap.load_stale;
+  s.snapshot_load_corrupt = snap.load_corrupt;
+  s.snapshot_saves = snap.saves;
+  s.snapshot_save_failures = snap.save_failures;
+  s.snapshot_bytes_loaded = snap.bytes_loaded;
+  s.snapshot_bytes_saved = snap.bytes_saved;
+  for (const TableInfo& info : db_->ListTables()) {
+    ServerStats::TableView view;
+    view.name = info.name;
+    view.snapshot_state = std::string(SnapshotStateName(info.snapshot_state));
+    view.snapshot_bytes = info.snapshot_bytes;
+    view.bytes_read = info.bytes_read;
+    view.rows = info.row_count;
+    s.tables.push_back(std::move(view));
+  }
   return s;
 }
 

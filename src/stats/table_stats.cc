@@ -53,4 +53,19 @@ void TableStats::FinalizeAll() {
   for (int i = 0; i < num_attrs(); ++i) Finalize(i);
 }
 
+std::vector<std::pair<int, TableStats::AttrStatsPtr>> TableStats::ExportBuilt()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<int, AttrStatsPtr>> out;
+  for (size_t i = 0; i < built_.size(); ++i) {
+    if (built_[i] != nullptr) out.emplace_back(static_cast<int>(i), built_[i]);
+  }
+  return out;
+}
+
+void TableStats::InstallSnapshot(int attr, AttrStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  built_[attr] = std::make_shared<const AttrStats>(std::move(stats));
+}
+
 }  // namespace nodb

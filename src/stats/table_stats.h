@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "stats/attr_stats.h"
@@ -51,6 +52,18 @@ class TableStats {
   void Finalize(int attr);
   /// Finalizes every attribute that has pending data.
   void FinalizeAll();
+
+  /// Finalized statistics per attribute, ordered by attribute index;
+  /// attributes never collected are absent. One consistent locked pass —
+  /// the persistence export (snapshots serialize finalized snapshots only;
+  /// in-flight builder state is not worth freezing).
+  std::vector<std::pair<int, AttrStatsPtr>> ExportBuilt() const;
+
+  /// Installs a previously exported snapshot for `attr` (warm restart).
+  /// Later scans still accumulate into the builder; Finalize overwrites the
+  /// installed snapshot only once fresh data exists, so a restored estimate
+  /// survives until the live workload re-earns a better one.
+  void InstallSnapshot(int attr, AttrStats stats);
 
   int num_attrs() const { return static_cast<int>(builders_.size()); }
 

@@ -71,10 +71,35 @@ Status RemoveFileIfExists(const std::string& path) {
   return Status::OK();
 }
 
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage("rename", from) + " -> '" + to + "'");
+  }
+  return Status::OK();
+}
+
+Result<int64_t> FileMTimeNs(const std::string& path) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) {
+    return Status::IOError(ErrnoMessage("stat", path));
+  }
+  return static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+         static_cast<int64_t>(st.st_mtim.tv_nsec);
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError(ErrnoMessage("open", path));
   std::string out;
+  // Size the buffer up front so a large file loads with one read and no
+  // growth copies; chunked appends remain as the fallback for unsizable
+  // inputs (pipes, special files) and files that grow mid-read.
+  Result<uint64_t> size = FileSizeOf(path);
+  if (size.ok() && *size > 0) {
+    out.resize(*size);
+    size_t got = std::fread(out.data(), 1, out.size(), f);
+    out.resize(got);
+  }
   char buf[1 << 16];
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {

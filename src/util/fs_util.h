@@ -24,6 +24,13 @@ Status CreateDir(const std::string& path);
 /// Removes a file; succeeds if it does not exist.
 Status RemoveFileIfExists(const std::string& path);
 
+/// Atomically replaces `to` with `from` (rename(2); both on one filesystem).
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// Last-modification time of `path` in nanoseconds since the epoch (at the
+/// resolution the filesystem records).
+Result<int64_t> FileMTimeNs(const std::string& path);
+
 /// Reads an entire file into a string (test/bench convenience).
 Result<std::string> ReadFileToString(const std::string& path);
 

@@ -205,6 +205,67 @@ std::unique_ptr<Database> MakeEngineWithKernels(SystemUnderTest sut,
   return std::make_unique<Database>(config);
 }
 
+/// One raw table for the snapshot-reopen engine below: where it lives, how
+/// it is framed, and the schema both registrations must declare.
+struct SnapshotTableSpec {
+  std::string name;
+  std::string path;
+  Schema schema;
+  bool jsonl;
+};
+
+/// Builds the restart-equivalence engine: a first PM+C engine warms its
+/// positional map, column cache and statistics with a full-width scan of
+/// every table, persists them via Database::Snapshot, and is destroyed.
+/// The returned engine re-opens the same raw files in a fresh process-like
+/// state whose only warmth is the on-disk snapshot — every query it answers
+/// must be byte-identical to the live-warmed engines it runs alongside.
+std::unique_ptr<Database> MakeSnapshotReopenEngine(
+    const std::string& snap_dir, const std::vector<SnapshotTableSpec>& tables,
+    bool scalar_kernels) {
+  EngineConfig config =
+      EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
+  config.scalar_kernels = scalar_kernels;
+  config.snapshot_dir = snap_dir;
+  auto open_all = [&tables](Database* db) {
+    for (const SnapshotTableSpec& t : tables) {
+      if (t.jsonl) {
+        OpenOptions options;
+        options.schema = t.schema;
+        EXPECT_TRUE(db->Open(t.name, t.path, options).ok()) << t.path;
+      } else {
+        EXPECT_TRUE(db->RegisterCsv(t.name, t.path, t.schema).ok()) << t.path;
+      }
+    }
+  };
+  {
+    Database warm(config);
+    open_all(&warm);
+    for (const SnapshotTableSpec& t : tables) {
+      // A full-width projection touches every attribute, so the snapshot
+      // carries positions, cached columns and stats for the whole schema.
+      std::string sql = "SELECT ";
+      for (int c = 0; c < t.schema.num_columns(); ++c) {
+        if (c > 0) sql += ", ";
+        sql += t.schema.column(c).name;
+      }
+      sql += " FROM " + t.name;
+      auto scanned = warm.Execute(sql);
+      EXPECT_TRUE(scanned.ok()) << sql;
+      auto written = warm.Snapshot(t.name);
+      EXPECT_TRUE(written.ok()) << t.name << ": " << written.status();
+    }
+  }  // the warm engine dies here; only the snapshot files survive
+  auto db = std::make_unique<Database>(config);
+  open_all(db.get());
+  for (const SnapshotTableSpec& t : tables) {
+    EXPECT_EQ(db->runtime(t.name)->snapshot_state.load(),
+              SnapshotState::kLoaded)
+        << t.name << " did not reload its snapshot";
+  }
+  return db;
+}
+
 class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
@@ -262,6 +323,21 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
       ASSERT_TRUE(db->RegisterCsv("t", csv_path, table.schema).ok());
       engines.emplace_back("PM+C tight budget" + tag, std::move(db));
     }
+
+    // Restart equivalence: engines whose warmth was round-tripped through
+    // an on-disk snapshot by a previous engine instance, one per raw
+    // framing. They must agree with every live engine on every query.
+    const std::string suffix = scalar_kernels ? "_scalar" : "_simd";
+    engines.emplace_back(
+        "PM+C [snapshot-reopen]" + tag,
+        MakeSnapshotReopenEngine(dir.File("snap_csv" + suffix),
+                                 {{"t", csv_path, table.schema, false}},
+                                 scalar_kernels));
+    engines.emplace_back(
+        "PM+C [snapshot-reopen jsonl]" + tag,
+        MakeSnapshotReopenEngine(dir.File("snap_jsonl" + suffix),
+                                 {{"t", jsonl_path, table.schema, true}},
+                                 scalar_kernels));
   }
 
   constexpr int kQueries = 20;
@@ -421,6 +497,24 @@ class CrossEngineTest : public ::testing::Test {
         engines.emplace_back(std::string(SystemUnderTestName(sut)) + tag,
                              std::move(db));
       }
+
+      // Restart equivalence over the fixed workload: both tables warmed,
+      // snapshotted, and re-opened by a fresh engine — once per framing.
+      const std::string suffix = scalar_kernels ? "_scalar" : "_simd";
+      engines.emplace_back(
+          "PM+C [snapshot-reopen]" + tag,
+          MakeSnapshotReopenEngine(
+              dir_.File("snap_csv" + suffix),
+              {{"customers", customers_csv_, customers_schema_, false},
+               {"orders", orders_csv_, orders_schema_, false}},
+              scalar_kernels));
+      engines.emplace_back(
+          "PM+C [snapshot-reopen jsonl]" + tag,
+          MakeSnapshotReopenEngine(
+              dir_.File("snap_jsonl" + suffix),
+              {{"customers", customers_jsonl_, customers_schema_, true},
+               {"orders", orders_jsonl_, orders_schema_, true}},
+              scalar_kernels));
     }
     return engines;
   }

@@ -1,0 +1,413 @@
+// Warm-restart snapshot subsystem (src/snapshot): round trips, zero-reparse
+// warm opens, staleness/corruption fallback, budget interaction, the
+// background writer, and catalog/STATS reporting. The invariant under test
+// throughout: a snapshot can make a restart faster, never wrong — every
+// degraded outcome must answer byte-identically to a never-snapshotted
+// engine.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "engine/engines.h"
+#include "snapshot/snapshot.h"
+#include "util/fs_util.h"
+#include "workload/micro.h"
+
+namespace nodb {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.rows = 10000;  // 3 stripes at the default 4096 tuples_per_chunk
+    spec_.cols = 5;
+    csv_ = dir_.File("t.csv");
+    ASSERT_TRUE(GenerateWideCsv(csv_, spec_).ok());
+    snap_dir_ = dir_.File("snaps");
+  }
+
+  EngineConfig BaseConfig() {
+    return EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
+  }
+
+  EngineConfig SnapConfig() {
+    EngineConfig cfg = BaseConfig();
+    cfg.snapshot_dir = snap_dir_;
+    return cfg;
+  }
+
+  std::unique_ptr<Database> OpenDb(const EngineConfig& cfg) {
+    auto db = std::make_unique<Database>(cfg);
+    EXPECT_TRUE(db->RegisterCsv("t", csv_, MicroSchema(spec_)).ok());
+    return db;
+  }
+
+  /// Executes `sql` and flattens the result to comparable strings; a failed
+  /// query yields a sentinel that can never equal a real result.
+  static std::vector<std::string> Rows(Database* db, const std::string& sql) {
+    auto result = db->Execute(sql);
+    if (!result.ok()) {
+      return {"<error: " + result.status().ToString() + ">"};
+    }
+    std::vector<std::string> rows;
+    rows.reserve(result->rows.size());
+    for (const Row& row : result->rows) {
+      std::string s;
+      for (const Value& v : row) {
+        s += v.ToString();
+        s.push_back('|');
+      }
+      rows.push_back(std::move(s));
+    }
+    return rows;
+  }
+
+  static const std::vector<std::string>& Queries() {
+    static const std::vector<std::string> queries = {
+        "SELECT COUNT(*) FROM t",
+        "SELECT a1, a3 FROM t WHERE a1 < 200000000",
+        "SELECT SUM(a2), MIN(a4), MAX(a5) FROM t",
+    };
+    return queries;
+  }
+
+  /// Full warm-up: tokenizes every row and caches every attribute.
+  static void Warm(Database* db) {
+    auto result =
+        db->Execute("SELECT SUM(a1), SUM(a2), SUM(a3), SUM(a4), SUM(a5) "
+                    "FROM t");
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+
+  TableInfo InfoOf(Database* db) {
+    for (const TableInfo& info : db->ListTables()) {
+      if (info.name == "t") return info;
+    }
+    return TableInfo{};
+  }
+
+  /// Warms a fresh engine, snapshots it, and returns the snapshot path.
+  std::string WriteWarmSnapshot() {
+    auto db = OpenDb(SnapConfig());
+    Warm(db.get());
+    auto saved = db->Snapshot("t");
+    EXPECT_TRUE(saved.ok()) << saved.status();
+    return SnapshotPathFor(snap_dir_, "t");
+  }
+
+  /// Asserts that a reopened engine (whatever its snapshot outcome) answers
+  /// every probe query identically to a never-snapshotted engine.
+  void ExpectColdEquivalent(Database* db) {
+    auto cold = OpenDb(BaseConfig());
+    for (const std::string& sql : Queries()) {
+      EXPECT_EQ(Rows(db, sql), Rows(cold.get(), sql)) << sql;
+    }
+  }
+
+  TempDir dir_;
+  MicroDataSpec spec_;
+  std::string csv_;
+  std::string snap_dir_;
+};
+
+TEST_F(SnapshotTest, ChecksumCatchesFlipsAndTruncation) {
+  std::string data(1000, 'x');
+  data[500] = 'y';
+  uint64_t base = SnapshotChecksum(data.data(), data.size());
+  std::string flipped = data;
+  flipped[777] ^= 0x01;
+  EXPECT_NE(SnapshotChecksum(flipped.data(), flipped.size()), base);
+  // Truncation that ends on identical bytes still changes the checksum
+  // (length is folded in).
+  EXPECT_NE(SnapshotChecksum(data.data(), data.size() - 8), base);
+  std::string zeros(64, '\0');
+  EXPECT_NE(SnapshotChecksum(zeros.data(), 64),
+            SnapshotChecksum(zeros.data(), 56));
+}
+
+TEST_F(SnapshotTest, FingerprintTracksSourceIdentity) {
+  auto fp1 = FingerprintSource(csv_);
+  ASSERT_TRUE(fp1.ok()) << fp1.status();
+  auto fp2 = FingerprintSource(csv_);
+  ASSERT_TRUE(fp2.ok());
+  EXPECT_TRUE(*fp1 == *fp2);
+
+  // Appending a row moves size (and the tail hash).
+  auto contents = ReadFileToString(csv_);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_TRUE(WriteStringToFile(csv_, *contents + "1,2,3,4,5\n").ok());
+  auto fp3 = FingerprintSource(csv_);
+  ASSERT_TRUE(fp3.ok());
+  EXPECT_FALSE(*fp1 == *fp3);
+}
+
+TEST_F(SnapshotTest, WarmReopenAnswersWithoutTouchingRawFile) {
+  std::vector<std::string> expected;
+  {
+    auto db = OpenDb(SnapConfig());
+    Warm(db.get());
+    for (const std::string& sql : Queries()) {
+      for (std::string& row : Rows(db.get(), sql)) {
+        expected.push_back(std::move(row));
+      }
+    }
+    auto saved = db->Snapshot("t");
+    ASSERT_TRUE(saved.ok()) << saved.status();
+    EXPECT_GT(*saved, 0u);
+  }
+
+  auto db = OpenDb(SnapConfig());
+  TableInfo info = InfoOf(db.get());
+  EXPECT_EQ(info.snapshot_state, SnapshotState::kLoaded);
+  EXPECT_GT(info.snapshot_bytes, 0u);
+  EXPECT_EQ(db->snapshot_counters().loads, 1u);
+  // Restored state makes the table warm before any query: row count and
+  // statistics are already known.
+  EXPECT_GE(db->GetRowCount("t"), 0);
+  EXPECT_EQ(static_cast<uint64_t>(db->GetRowCount("t")), spec_.rows);
+  EXPECT_NE(db->GetTableStats("t"), nullptr);
+
+  // The headline guarantee: answering from the restored structures reads
+  // zero bytes of the raw file (fingerprinting used a private handle).
+  const uint64_t before = InfoOf(db.get()).bytes_read;
+  std::vector<std::string> actual;
+  for (const std::string& sql : Queries()) {
+    for (std::string& row : Rows(db.get(), sql)) {
+      actual.push_back(std::move(row));
+    }
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(InfoOf(db.get()).bytes_read, before);
+}
+
+TEST_F(SnapshotTest, MissingSnapshotCountsAsMiss) {
+  auto db = OpenDb(SnapConfig());
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kNone);
+  EXPECT_EQ(db->snapshot_counters().load_misses, 1u);
+  ExpectColdEquivalent(db.get());
+}
+
+TEST_F(SnapshotTest, MutatedSourceInvalidatesSnapshot) {
+  WriteWarmSnapshot();
+
+  // Append one row: size, mtime and tail hash all move.
+  auto contents = ReadFileToString(csv_);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_TRUE(WriteStringToFile(csv_, *contents + "7,7,7,7,7\n").ok());
+
+  auto db = OpenDb(SnapConfig());
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kStale);
+  EXPECT_EQ(db->snapshot_counters().load_stale, 1u);
+  EXPECT_EQ(db->snapshot_counters().loads, 0u);
+  // The stale snapshot restored nothing: answers over the mutated file are
+  // identical to a never-snapshotted engine's (including the new row).
+  ExpectColdEquivalent(db.get());
+  auto count = db->Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].int64(),
+            static_cast<int64_t>(spec_.rows) + 1);
+}
+
+TEST_F(SnapshotTest, InPlaceEditSameSizeInvalidatesSnapshot) {
+  WriteWarmSnapshot();
+
+  // Flip one digit without changing the file size: mtime and the sample
+  // hash catch it.
+  auto contents = ReadFileToString(csv_);
+  ASSERT_TRUE(contents.ok());
+  std::string edited = *contents;
+  size_t pos = edited.find_first_of("0123456789");
+  ASSERT_NE(pos, std::string::npos);
+  edited[pos] = edited[pos] == '9' ? '8' : static_cast<char>(edited[pos] + 1);
+  ASSERT_TRUE(WriteStringToFile(csv_, edited).ok());
+
+  auto db = OpenDb(SnapConfig());
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kStale);
+  ExpectColdEquivalent(db.get());
+}
+
+TEST_F(SnapshotTest, CorruptionCorpusDegradesToCold) {
+  std::string path = WriteWarmSnapshot();
+  auto pristine = ReadFileToString(path);
+  ASSERT_TRUE(pristine.ok());
+  const std::string& good = *pristine;
+  ASSERT_GT(good.size(), 64u);
+
+  struct Case {
+    std::string name;
+    std::string bytes;
+  };
+  std::vector<Case> corpus;
+  corpus.push_back({"empty", ""});
+  corpus.push_back({"trunc-mid-header", good.substr(0, 13)});
+  corpus.push_back({"trunc-at-header", good.substr(0, 40)});
+  corpus.push_back({"trunc-early-payload", good.substr(0, 96)});
+  corpus.push_back({"trunc-half", good.substr(0, good.size() / 2)});
+  corpus.push_back({"trunc-last-byte", good.substr(0, good.size() - 1)});
+  // Bit flips: magic, version, payload_size, checksum, fingerprint region,
+  // mid-payload, tail. (Header flags/reserved are deliberately not in the
+  // corpus: they are ignored by design, so flipping them still loads.)
+  for (size_t offset : {size_t{0}, size_t{9}, size_t{17}, size_t{25},
+                        size_t{45}, good.size() / 2, good.size() - 2}) {
+    Case c;
+    c.name = "flip-" + std::to_string(offset);
+    c.bytes = good;
+    c.bytes[offset] ^= 0x10;
+    corpus.push_back(std::move(c));
+  }
+
+  for (const Case& c : corpus) {
+    SCOPED_TRACE(c.name);
+    ASSERT_TRUE(WriteStringToFile(path, c.bytes).ok());
+    auto db = OpenDb(SnapConfig());
+    TableInfo info = InfoOf(db.get());
+    // Never loads; classification is corrupt except for the version flip,
+    // which reads as a (valid) future-version file -> stale.
+    EXPECT_NE(info.snapshot_state, SnapshotState::kLoaded);
+    EXPECT_EQ(db->snapshot_counters().loads, 0u);
+    ExpectColdEquivalent(db.get());
+  }
+
+  // The pristine bytes still load — the corpus loop really was testing
+  // corruption, not some unrelated staleness.
+  ASSERT_TRUE(WriteStringToFile(path, good).ok());
+  auto db = OpenDb(SnapConfig());
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kLoaded);
+}
+
+TEST_F(SnapshotTest, SchemaChangeIsStaleNotCorrupt) {
+  WriteWarmSnapshot();
+
+  // Reopen declaring a3 as a string: the snapshot decodes cleanly under its
+  // own recorded schema, then classifies as stale.
+  Schema changed = MicroSchema(spec_);
+  auto db = std::make_unique<Database>(SnapConfig());
+  Schema edited{{"a1", TypeId::kInt64},
+                {"a2", TypeId::kInt64},
+                {"a3", TypeId::kString},
+                {"a4", TypeId::kInt64},
+                {"a5", TypeId::kInt64}};
+  ASSERT_TRUE(db->RegisterCsv("t", csv_, edited).ok());
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kStale);
+  EXPECT_EQ(db->snapshot_counters().load_stale, 1u);
+  auto result = db->Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].int64(), static_cast<int64_t>(spec_.rows));
+}
+
+TEST_F(SnapshotTest, StripeSizeChangeIsStale) {
+  WriteWarmSnapshot();
+  EngineConfig cfg = SnapConfig();
+  cfg.tuples_per_chunk = 1024;  // snapshot was taken at 4096
+  auto db = OpenDb(cfg);
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kStale);
+  ExpectColdEquivalent(db.get());
+}
+
+TEST_F(SnapshotTest, BudgetConstrainedLoadDeclinesGracefully) {
+  WriteWarmSnapshot();
+  EngineConfig cfg = SnapConfig();
+  cfg.pm_budget_bytes = 16 * 1024;    // far below the exported positions
+  cfg.cache_budget_bytes = 8 * 1024;  // forces cache eviction during load
+  auto db = OpenDb(cfg);
+  // The load still counts as a load (fingerprint valid, install ran); the
+  // budget simply declined most chunks — and answers stay correct.
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kLoaded);
+  ExpectColdEquivalent(db.get());
+}
+
+TEST_F(SnapshotTest, CacheOnlyAndPmapOnlyVariantsRoundTrip) {
+  for (SystemUnderTest sut : {SystemUnderTest::kPostgresRawPM,
+                              SystemUnderTest::kPostgresRawC}) {
+    SCOPED_TRACE(static_cast<int>(sut));
+    TempDir variant_dir;
+    EngineConfig cfg = EngineConfig::ForSystem(sut);
+    cfg.snapshot_dir = variant_dir.File("snaps");
+    {
+      auto db = std::make_unique<Database>(cfg);
+      ASSERT_TRUE(db->RegisterCsv("t", csv_, MicroSchema(spec_)).ok());
+      Warm(db.get());
+      auto saved = db->Snapshot("t");
+      ASSERT_TRUE(saved.ok()) << saved.status();
+    }
+    auto db = std::make_unique<Database>(cfg);
+    ASSERT_TRUE(db->RegisterCsv("t", csv_, MicroSchema(spec_)).ok());
+    EXPECT_EQ(db->snapshot_counters().loads, 1u);
+    ExpectColdEquivalent(db.get());
+  }
+}
+
+TEST_F(SnapshotTest, ExplicitSnapshotErrors) {
+  auto db = OpenDb(SnapConfig());
+  EXPECT_EQ(db->Snapshot("missing").status().code(), StatusCode::kNotFound);
+
+  // No snapshot directory configured.
+  auto plain = OpenDb(BaseConfig());
+  EXPECT_EQ(plain->Snapshot("t").status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Loaded tables have no raw source to fingerprint.
+  EngineConfig loaded_cfg = EngineConfig::ForSystem(SystemUnderTest::kPostgreSQL);
+  loaded_cfg.snapshot_dir = snap_dir_;
+  loaded_cfg.data_dir = dir_.path();
+  Database loaded(loaded_cfg);
+  ASSERT_TRUE(loaded.LoadCsv("t", csv_, MicroSchema(spec_)).ok());
+  EXPECT_EQ(loaded.Snapshot("t").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, SnapshotAllSkipsUnchangedState) {
+  auto db = OpenDb(SnapConfig());
+  Warm(db.get());
+  ASSERT_TRUE(db->SnapshotAll().ok());
+  EXPECT_EQ(db->snapshot_counters().saves, 1u);
+  // Second pass: nothing moved, nothing written.
+  ASSERT_TRUE(db->SnapshotAll().ok());
+  EXPECT_EQ(db->snapshot_counters().saves, 1u);
+}
+
+TEST_F(SnapshotTest, FreshlyLoadedStateIsNotResaved) {
+  WriteWarmSnapshot();
+  auto db = OpenDb(SnapConfig());
+  ASSERT_EQ(db->snapshot_counters().loads, 1u);
+  // The on-disk file already equals the restored state.
+  ASSERT_TRUE(db->SnapshotAll().ok());
+  EXPECT_EQ(db->snapshot_counters().saves, 0u);
+}
+
+TEST_F(SnapshotTest, BackgroundWriterPersistsWithoutQuiescing) {
+  EngineConfig cfg = SnapConfig();
+  cfg.snapshot_interval_ms = 25;
+  std::string path = SnapshotPathFor(snap_dir_, "t");
+  {
+    auto db = OpenDb(cfg);
+    Warm(db.get());
+    // Queries keep running while the writer does its thing.
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!FileExists(path) &&
+           std::chrono::steady_clock::now() < deadline) {
+      auto result = db->Execute("SELECT COUNT(*) FROM t");
+      ASSERT_TRUE(result.ok()) << result.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_TRUE(FileExists(path));
+    EXPECT_GE(db->snapshot_counters().saves, 1u);
+  }  // destructor joins the writer thread
+
+  auto db = OpenDb(SnapConfig());
+  EXPECT_EQ(db->snapshot_counters().loads, 1u);
+  ExpectColdEquivalent(db.get());
+}
+
+TEST_F(SnapshotTest, CrashLeftoverTempFileIsIgnored) {
+  std::string path = WriteWarmSnapshot();
+  // Simulate a crash mid-write: a temp file next to a valid snapshot.
+  ASSERT_TRUE(WriteStringToFile(path + ".tmp.9999", "partial").ok());
+  auto db = OpenDb(SnapConfig());
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kLoaded);
+}
+
+}  // namespace
+}  // namespace nodb
