@@ -1,0 +1,81 @@
+#include "adaptive/column_access.h"
+
+namespace nodb {
+
+ColumnAccessTracker::ColumnAccessTracker(int num_attrs)
+    : num_attrs_(num_attrs), cells_(new Cell[num_attrs]) {}
+
+void ColumnAccessTracker::RecordScan(const std::vector<int>& attrs) {
+  for (int a : attrs) {
+    cells_[a].scans.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ColumnAccessTracker::RecordParsed(int attr, uint64_t rows,
+                                       uint64_t bytes) {
+  if (rows == 0 && bytes == 0) return;
+  cells_[attr].rows_parsed.fetch_add(rows, std::memory_order_relaxed);
+  cells_[attr].bytes_parsed.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void ColumnAccessTracker::RecordCacheServed(int attr, uint64_t rows) {
+  if (rows == 0) return;
+  cells_[attr].rows_from_cache.fetch_add(rows, std::memory_order_relaxed);
+}
+
+void ColumnAccessTracker::RecordPromotedServed(int attr, uint64_t rows) {
+  if (rows == 0) return;
+  cells_[attr].rows_from_promoted.fetch_add(rows, std::memory_order_relaxed);
+}
+
+ColumnAccessCounters ColumnAccessTracker::Snapshot(int attr) const {
+  const Cell& c = cells_[attr];
+  ColumnAccessCounters out;
+  out.scans = c.scans.load(std::memory_order_relaxed);
+  out.rows_parsed = c.rows_parsed.load(std::memory_order_relaxed);
+  out.bytes_parsed = c.bytes_parsed.load(std::memory_order_relaxed);
+  out.rows_from_cache = c.rows_from_cache.load(std::memory_order_relaxed);
+  out.rows_from_promoted =
+      c.rows_from_promoted.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<ColumnAccessCounters> ColumnAccessTracker::SnapshotAll() const {
+  std::vector<ColumnAccessCounters> out;
+  out.reserve(num_attrs_);
+  for (int a = 0; a < num_attrs_; ++a) out.push_back(Snapshot(a));
+  return out;
+}
+
+void ColumnAccessTracker::InstallSnapshot(int attr,
+                                          const ColumnAccessCounters& c) {
+  Cell& cell = cells_[attr];
+  cell.scans.fetch_add(c.scans, std::memory_order_relaxed);
+  cell.rows_parsed.fetch_add(c.rows_parsed, std::memory_order_relaxed);
+  cell.bytes_parsed.fetch_add(c.bytes_parsed, std::memory_order_relaxed);
+  cell.rows_from_cache.fetch_add(c.rows_from_cache,
+                                 std::memory_order_relaxed);
+  cell.rows_from_promoted.fetch_add(c.rows_from_promoted,
+                                    std::memory_order_relaxed);
+}
+
+uint64_t ColumnAccessTracker::Signature() const {
+  // FNV-1a over every counter in attribute order.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(num_attrs_));
+  for (int a = 0; a < num_attrs_; ++a) {
+    ColumnAccessCounters c = Snapshot(a);
+    mix(c.scans);
+    mix(c.rows_parsed);
+    mix(c.bytes_parsed);
+    mix(c.rows_from_cache);
+    mix(c.rows_from_promoted);
+  }
+  return h;
+}
+
+}  // namespace nodb

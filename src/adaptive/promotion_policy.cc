@@ -1,0 +1,69 @@
+#include "adaptive/promotion_policy.h"
+
+#include <algorithm>
+
+namespace nodb {
+
+PromotionPlan PlanPromotions(const std::vector<ColumnPromotionInput>& cols,
+                             uint64_t promoted_bytes_now,
+                             uint64_t budget_bytes,
+                             const PromotionConfig& cfg) {
+  PromotionPlan plan;
+
+  // Candidates: unpromoted columns with enough observed scans and parse
+  // work accrued since the last decision, scored by work-per-byte.
+  struct Candidate {
+    int attr;
+    double score;
+    uint64_t bytes;
+  };
+  std::vector<Candidate> candidates;
+  for (const ColumnPromotionInput& c : cols) {
+    if (c.promoted || c.scans < cfg.min_scans) continue;
+    uint64_t work =
+        c.parse_work > c.work_mark ? c.parse_work - c.work_mark : 0;
+    if (work == 0) continue;
+    double score = static_cast<double>(work) /
+                   static_cast<double>(std::max<uint64_t>(c.est_bytes, 1));
+    candidates.push_back({c.attr, score, c.est_bytes});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score != b.score ? a.score > b.score : a.attr < b.attr;
+            });
+  if (static_cast<int>(candidates.size()) > cfg.max_columns_per_cycle) {
+    candidates.resize(cfg.max_columns_per_cycle);
+  }
+
+  // Demotion victims, coldest first: promoted columns nobody read from the
+  // promoted form since the last cycle.
+  std::vector<const ColumnPromotionInput*> victims;
+  for (const ColumnPromotionInput& c : cols) {
+    if (c.promoted && c.served_rows <= c.served_mark) {
+      victims.push_back(&c);
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const ColumnPromotionInput* a, const ColumnPromotionInput* b) {
+              return a->attr < b->attr;
+            });
+
+  // Fit each candidate (best first) under the budget, demoting cold
+  // columns to make room; a candidate that still doesn't fit is skipped,
+  // not queued — the next cycle re-scores from fresh counters.
+  uint64_t bytes = promoted_bytes_now;
+  size_t next_victim = 0;
+  for (const Candidate& cand : candidates) {
+    while (bytes + cand.bytes > budget_bytes && next_victim < victims.size()) {
+      const ColumnPromotionInput* v = victims[next_victim++];
+      plan.demote.push_back(v->attr);
+      bytes -= std::min(bytes, v->est_bytes);
+    }
+    if (bytes + cand.bytes > budget_bytes) continue;
+    plan.promote.push_back(cand.attr);
+    bytes += cand.bytes;
+  }
+  return plan;
+}
+
+}  // namespace nodb

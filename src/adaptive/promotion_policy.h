@@ -1,0 +1,70 @@
+#ifndef NODB_ADAPTIVE_PROMOTION_POLICY_H_
+#define NODB_ADAPTIVE_PROMOTION_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nodb {
+
+/// Knobs of the workload-driven auto-promotion subsystem (EngineConfig
+/// carries one of these; see README "Adaptive storage tiers").
+struct PromotionConfig {
+  /// Master switch. Off by default: promotion changes where values are
+  /// served from (never what they are), but the paper-faithful presets stay
+  /// byte-for-byte reproductions of the paper's systems unless asked.
+  bool enabled = false;
+  /// Period of the background promoter thread; 0 = no thread (cycles run
+  /// only via Database::RunPromotionCycle — what the tests use for
+  /// determinism).
+  int interval_ms = 0;
+  /// A column becomes a candidate only after this many scans requested it.
+  uint64_t min_scans = 3;
+  /// Byte budget for promoted columns. 0 = share the column cache's budget
+  /// (promoted bytes are *reserved out of* the cache budget so the pair
+  /// never exceeds it — see ColumnCache::SetReservedBytes); when the table
+  /// has no cache, 0 means unlimited.
+  uint64_t budget_bytes = 0;
+  /// At most this many columns are loaded per cycle (bounds the promoter's
+  /// time away from its interval).
+  int max_columns_per_cycle = 4;
+};
+
+/// One column's observed state, assembled by the promoter from the
+/// ColumnAccessTracker and PromotedColumns bookkeeping.
+struct ColumnPromotionInput {
+  int attr = 0;
+  bool promoted = false;
+  uint64_t scans = 0;
+  /// Cumulative ColumnAccessCounters::ParseWork().
+  uint64_t parse_work = 0;
+  /// parse_work already consumed by an earlier decision.
+  uint64_t work_mark = 0;
+  /// Cumulative rows served from the promoted form.
+  uint64_t served_rows = 0;
+  /// served_rows at the last cycle.
+  uint64_t served_mark = 0;
+  /// Actual resident bytes if promoted; estimated load size otherwise.
+  uint64_t est_bytes = 0;
+};
+
+struct PromotionPlan {
+  std::vector<int> promote;  // score order, best first
+  std::vector<int> demote;   // victims freeing budget for the promotions
+};
+
+/// The promotion policy, as a pure function so tests can pin its behavior
+/// without touching files or threads. Scores each candidate column by
+/// *un-absorbed parse work per promoted byte* — the observed cost-to-serve
+/// the raw path keeps paying, relative to what keeping the column hot costs
+/// (the Zhao/Cheng/Rusu shape: benefit-per-byte under a storage budget) —
+/// and fits the best candidates under `budget_bytes`, demoting promoted
+/// columns that went cold (no promoted reads since the last cycle) when
+/// that makes room. Deterministic: ties break toward the lower attribute.
+PromotionPlan PlanPromotions(const std::vector<ColumnPromotionInput>& cols,
+                             uint64_t promoted_bytes_now,
+                             uint64_t budget_bytes,
+                             const PromotionConfig& cfg);
+
+}  // namespace nodb
+
+#endif  // NODB_ADAPTIVE_PROMOTION_POLICY_H_

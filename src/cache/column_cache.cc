@@ -14,6 +14,7 @@ ColumnCache::ColumnCache(std::vector<TypeId> types, Options options)
   int max_class = 0;
   for (TypeId t : types_) max_class = std::max(max_class, ConversionCostClass(t));
   lru_by_class_.resize(max_class + 1);
+  attr_counters_.resize(types_.size());
 }
 
 uint64_t ColumnCache::BytesOf(const std::vector<Value>& values,
@@ -32,9 +33,11 @@ ColumnCache::Column ColumnCache::Get(uint64_t stripe, int attr) {
   auto it = entries_.find(KeyOf(stripe, attr));
   if (it == entries_.end()) {
     ++counters_.misses;
+    ++attr_counters_[attr].misses;
     return nullptr;
   }
   ++counters_.hits;
+  ++attr_counters_[attr].hits;
   Entry& e = it->second;
   std::list<uint64_t>& lru = lru_by_class_[e.cost_class];
   if (e.lru_pos != lru.begin()) {
@@ -52,11 +55,11 @@ bool ColumnCache::Contains(uint64_t stripe, int attr) const {
 void ColumnCache::Put(uint64_t stripe, int attr, std::vector<Value> values) {
   uint64_t key = KeyOf(stripe, attr);
   uint64_t bytes = BytesOf(values, types_[attr]);
-  if (bytes > options_.budget_bytes) return;  // would evict everything else
   int cost_class = ConversionCostClass(types_[attr]);
   auto column =
       std::make_shared<const std::vector<Value>>(std::move(values));
   std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > EffectiveBudget()) return;  // would evict everything else
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     Entry& e = it->second;
@@ -81,8 +84,44 @@ void ColumnCache::Put(uint64_t stripe, int attr, std::vector<Value> values) {
   EnforceBudget();
 }
 
+uint64_t ColumnCache::EffectiveBudget() const {
+  if (options_.budget_bytes == UINT64_MAX) return UINT64_MAX;
+  return options_.budget_bytes > reserved_bytes_
+             ? options_.budget_bytes - reserved_bytes_
+             : 0;
+}
+
+uint64_t ColumnCache::ReleaseAttr(int attr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t freed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (static_cast<int>(it->first & 0xFFFF) == attr) {
+      Entry& e = it->second;
+      lru_by_class_[e.cost_class].erase(e.lru_pos);
+      freed += e.bytes;
+      ++counters_.released;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  memory_bytes_ -= freed;
+  return freed;
+}
+
+void ColumnCache::SetReservedBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_bytes_ = bytes;
+  EnforceBudget();
+}
+
+uint64_t ColumnCache::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_bytes_;
+}
+
 void ColumnCache::EnforceBudget() {
-  while (memory_bytes_ > options_.budget_bytes) {
+  while (memory_bytes_ > EffectiveBudget()) {
     // Evict from the cheapest-to-reconvert class that has entries.
     bool evicted = false;
     for (std::list<uint64_t>& lru : lru_by_class_) {
@@ -117,6 +156,11 @@ double ColumnCache::utilization() const {
 ColumnCache::Counters ColumnCache::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;
+}
+
+ColumnCache::AttrCounters ColumnCache::attr_counters(int attr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attr_counters_[attr];
 }
 
 std::vector<ColumnCache::ExportedChunk> ColumnCache::ExportState() const {

@@ -42,6 +42,16 @@ class ColumnCache {
     uint64_t misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
+    /// Chunks dropped by ReleaseAttr (column promotion superseding the
+    /// cached copies — distinct from budget-pressure evictions).
+    uint64_t released = 0;
+  };
+
+  /// Per-attribute slice of the hit/miss counters, for the promotion
+  /// policy's cost-to-serve accounting.
+  struct AttrCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
   };
 
   /// One cached column chunk, shared with readers.
@@ -64,6 +74,20 @@ class ColumnCache {
   /// Inserts (or replaces) the cached values for (stripe, attr).
   void Put(uint64_t stripe, int attr, std::vector<Value> values);
 
+  /// Drops every cached chunk of `attr`, whatever its stripe — called when
+  /// the column is promoted to the columnar store, which fully supersedes
+  /// the cached copies (keeping both would charge the shared byte budget
+  /// twice for the same values). Returns the bytes freed; counted under
+  /// Counters::released, not evictions.
+  uint64_t ReleaseAttr(int attr);
+
+  /// Reserves `bytes` of this cache's budget for an external co-tenant (the
+  /// promoted column store, which shares the budget): eviction enforces
+  /// `memory_bytes + reserved <= budget`. Raising the reservation evicts
+  /// immediately; UINT64_MAX-budget caches ignore it.
+  void SetReservedBytes(uint64_t bytes);
+  uint64_t reserved_bytes() const;
+
   uint64_t memory_bytes() const;
   uint64_t budget_bytes() const { return options_.budget_bytes; }
   int tuples_per_chunk() const { return options_.tuples_per_chunk; }
@@ -72,6 +96,13 @@ class ColumnCache {
   double utilization() const;
   /// Snapshot of the counters (copy: the cache may be mutated concurrently).
   Counters counters() const;
+  /// Per-attribute hit/miss snapshot.
+  AttrCounters attr_counters(int attr) const;
+
+  /// Bytes a chunk of `values` occupies under this cache's accounting
+  /// (public so the promoted column store charges the shared budget with
+  /// the same formula).
+  static uint64_t BytesOf(const std::vector<Value>& values, TypeId type);
 
   /// One cached chunk as handed out by ExportState. `values` is a shared
   /// snapshot (no copy): it stays valid even if a concurrent eviction drops
@@ -103,8 +134,9 @@ class ColumnCache {
     std::list<uint64_t>::iterator lru_pos;
   };
 
-  static uint64_t BytesOf(const std::vector<Value>& values, TypeId type);
   void EnforceBudget();  // mu_ held
+  /// Budget available to cached chunks after the external reservation.
+  uint64_t EffectiveBudget() const;  // mu_ held
 
   std::vector<TypeId> types_;
   Options options_;
@@ -114,7 +146,10 @@ class ColumnCache {
   /// non-empty class first, from its least-recently-used tail.
   std::vector<std::list<uint64_t>> lru_by_class_;
   uint64_t memory_bytes_ = 0;
+  uint64_t reserved_bytes_ = 0;
   Counters counters_;
+  /// Per-attribute hit/miss tallies (indexed by attr, sized like types_).
+  std::vector<AttrCounters> attr_counters_;
 };
 
 }  // namespace nodb

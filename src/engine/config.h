@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "adaptive/promotion_policy.h"
 #include "exec/table_runtime.h"
 
 namespace nodb {
@@ -82,6 +83,17 @@ struct EngineConfig {
   /// calls and by the server's graceful Stop). The writer only persists
   /// tables whose warm state moved since their last save.
   int snapshot_interval_ms = 0;
+
+  // --- workload-driven column promotion (src/adaptive) ---
+  /// Tiering policy for raw tables: per-column access accounting feeds a
+  /// scoring policy, and hot columns are bulk-loaded into an in-memory
+  /// columnar representation served in place of raw-file parsing (cold
+  /// ones are demoted back under the byte budget). `promotion.enabled`
+  /// turns the subsystem on; `promotion.interval_ms > 0` additionally runs
+  /// cycles on a background thread (0 = explicit RunPromotionCycle calls
+  /// only). `promotion.budget_bytes == 0` shares the cache budget by
+  /// reserving promoted bytes out of it.
+  PromotionConfig promotion;
 
   // --- loaded-engine storage ---
   TableStorage loaded_storage = TableStorage::kHeap;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "exec/raw_scan.h"
 #include "raw/parse_kernels.h"
 #include "snapshot/snapshot.h"
 #include "sql/parser.h"
@@ -24,7 +25,10 @@ std::string DirName(const std::string& path) {
 
 Database::Database(EngineConfig config) : config_(std::move(config)) {}
 
-Database::~Database() { StopSnapshotWriter(); }
+Database::~Database() {
+  StopPromoter();
+  StopSnapshotWriter();
+}
 
 InSituOptions Database::MakeInSituOptions() const {
   InSituOptions opts;
@@ -106,6 +110,20 @@ Status Database::Open(const std::string& name, const std::string& path,
   if (config_.statistics) {
     rt->stats = std::make_unique<TableStats>(rt->schema);
   }
+  // Per-column access accounting is always on for raw tables (relaxed
+  // atomic counters; negligible next to tokenizing). The promoted store —
+  // the tier the accounting feeds — exists only when the subsystem is
+  // enabled. Its chunk size must match the scan's stripe size so promoted
+  // chunks address the same stripes cache chunks would.
+  rt->access =
+      std::make_unique<ColumnAccessTracker>(rt->schema.num_columns());
+  if (config_.promotion.enabled) {
+    const int tpc = (rt->pmap != nullptr || rt->cache != nullptr)
+                        ? config_.tuples_per_chunk
+                        : RawScanOp::kDefaultStripe;
+    rt->promoted =
+        std::make_unique<PromotedColumns>(rt->schema.num_columns(), tpc);
+  }
   rt->adapter = std::move(adapter);
   rt->scan_threads_override = options.scan_threads;
 
@@ -137,6 +155,7 @@ Status Database::Open(const std::string& name, const std::string& path,
   }
   NODB_RETURN_IF_ERROR(RegisterCommon(name, std::move(rt)));
   if (snapshot_capable) StartSnapshotWriter();
+  if (config_.promotion.enabled) StartPromoter();
   return Status::OK();
 }
 
@@ -264,6 +283,13 @@ std::vector<TableInfo> Database::ListTables() const {
     info.snapshot_bytes = rt->snapshot_bytes.load(std::memory_order_acquire);
     if (rt->adapter != nullptr && rt->adapter->file() != nullptr) {
       info.bytes_read = rt->adapter->file()->bytes_read();
+    }
+    if (rt->promoted != nullptr) {
+      info.promoted_columns = rt->promoted->promoted_attrs();
+      info.promoted_bytes = rt->promoted->memory_bytes();
+      PromotedColumns::Counters pc = rt->promoted->counters();
+      info.promotions = pc.promotions;
+      info.demotions = pc.demotions;
     }
     infos.push_back(std::move(info));
   }
@@ -416,6 +442,76 @@ SnapshotCounters Database::snapshot_counters() const {
   return snapshot_counters_;
 }
 
+Result<TablePromotionReport> Database::RunPromotionCycle(
+    const std::string& name) {
+  TableRuntime* rt = runtime(name);
+  if (rt == nullptr) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  if (rt->storage != TableStorage::kRaw) {
+    return Status::InvalidArgument(
+        "table '" + name + "' is loaded; promotion applies to raw tables");
+  }
+  if (rt->promoted == nullptr) {
+    return Status::InvalidArgument(
+        "promotion is not enabled (EngineConfig::promotion.enabled)");
+  }
+  return RunTablePromotionCycle(rt, config_.promotion, &promoter_stop_);
+}
+
+std::vector<TablePromotionReport> Database::RunPromotionCycles() {
+  std::vector<TablePromotionReport> reports;
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  for (auto& [name, rt] : tables_) {
+    if (rt->storage != TableStorage::kRaw || rt->promoted == nullptr) {
+      continue;
+    }
+    reports.push_back(
+        RunTablePromotionCycle(rt.get(), config_.promotion, &promoter_stop_));
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const TablePromotionReport& a, const TablePromotionReport& b) {
+              return a.table < b.table;
+            });
+  return reports;
+}
+
+void Database::StartPromoter() {
+  if (!config_.promotion.enabled || config_.promotion.interval_ms <= 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(promoter_mu_);
+  if (promoter_thread_.joinable()) return;
+  promoter_stop_.store(false);
+  promoter_thread_ = std::thread([this] { PromoterLoop(); });
+}
+
+void Database::StopPromoter() {
+  {
+    std::lock_guard<std::mutex> lock(promoter_mu_);
+    if (!promoter_thread_.joinable()) return;
+    promoter_stop_.store(true);
+  }
+  promoter_cv_.notify_all();
+  promoter_thread_.join();
+}
+
+void Database::PromoterLoop() {
+  const auto interval =
+      std::chrono::milliseconds(config_.promotion.interval_ms);
+  std::unique_lock<std::mutex> lock(promoter_mu_);
+  while (!promoter_stop_.load()) {
+    promoter_cv_.wait_for(lock, interval,
+                          [this] { return promoter_stop_.load(); });
+    if (promoter_stop_.load()) break;
+    lock.unlock();
+    // Best-effort: per-table errors ride in the reports and the next tick
+    // retries; promoter_stop_ aborts a long load co-operatively.
+    RunPromotionCycles();
+    lock.lock();
+  }
+}
+
 void Database::StartSnapshotWriter() {
   if (config_.snapshot_interval_ms <= 0) return;
   std::lock_guard<std::mutex> lock(snapshot_thread_mu_);
@@ -470,6 +566,14 @@ double Database::GetRowCount(const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) return -1;
   return it->second->known_row_count;
+}
+
+bool Database::IsColumnPromoted(const std::string& name, int attr) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return false;
+  const TableRuntime& rt = *it->second;
+  return rt.promoted != nullptr && attr >= 0 &&
+         attr < rt.promoted->num_attrs() && rt.promoted->IsPromoted(attr);
 }
 
 Result<TableRuntime*> Database::GetTableRuntime(const std::string& name) {

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "adaptive/promoter.h"
 #include "engine/config.h"
 #include "engine/query_cursor.h"
 #include "exec/executor.h"
@@ -61,6 +62,13 @@ struct TableInfo {
   /// Raw-file bytes read through the table's adapter since Open (0 for
   /// loaded tables). The observable for "a warm restart re-parses nothing".
   uint64_t bytes_read = 0;
+  /// Workload-driven promotion state (src/adaptive; empty/zero when the
+  /// subsystem is off). Attributes currently resident in the promoted
+  /// columnar store, their footprint, and lifetime transition counts.
+  std::vector<int> promoted_columns;
+  uint64_t promoted_bytes = 0;
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
 };
 
 /// Aggregate outcome counters of the snapshot subsystem for one Database
@@ -158,6 +166,23 @@ class Database : public TableProvider,
   SnapshotCounters snapshot_counters() const;
 
   // ------------------------------------------------------------------
+  // Workload-driven column promotion (src/adaptive)
+  // ------------------------------------------------------------------
+
+  /// Runs one promotion cycle over the named raw table now: scores columns
+  /// by observed access cost, bulk-loads the hot ones into the promoted
+  /// columnar store, demotes cold ones under the byte budget. Requires
+  /// config.promotion.enabled; safe to call while queries run (installation
+  /// goes through the epoch-protected fragment path). Errors: NotFound for
+  /// unknown tables, InvalidArgument for loaded tables or when promotion is
+  /// disabled.
+  Result<TablePromotionReport> RunPromotionCycle(const std::string& name);
+
+  /// Runs one promotion cycle over every raw table (what the background
+  /// promoter does each tick); reports in table-name order.
+  std::vector<TablePromotionReport> RunPromotionCycles();
+
+  // ------------------------------------------------------------------
   // Queries
   // ------------------------------------------------------------------
 
@@ -210,6 +235,7 @@ class Database : public TableProvider,
   // --- StatsProvider ---
   const TableStats* GetTableStats(const std::string& name) const override;
   double GetRowCount(const std::string& name) const override;
+  bool IsColumnPromoted(const std::string& name, int attr) const override;
   // --- TableResolver ---
   Result<TableRuntime*> GetTableRuntime(const std::string& name) override;
 
@@ -225,6 +251,11 @@ class Database : public TableProvider,
   void StartSnapshotWriter();
   void StopSnapshotWriter();
   void SnapshotWriterLoop();
+  /// Starts the background promoter once (no-op unless
+  /// config_.promotion.enabled and interval_ms > 0); idempotent.
+  void StartPromoter();
+  void StopPromoter();
+  void PromoterLoop();
   /// The shared scan worker pool, created lazily when a query may run a
   /// parallel raw scan (grown, never shrunk, to the largest thread count
   /// any table asks for); nullptr while everything is serial.
@@ -244,6 +275,12 @@ class Database : public TableProvider,
   std::mutex snapshot_thread_mu_;
   std::condition_variable snapshot_cv_;
   bool snapshot_stop_ = false;
+  std::thread promoter_thread_;
+  std::mutex promoter_mu_;
+  std::condition_variable promoter_cv_;
+  /// Atomic (not a plain cv flag) because it doubles as the cooperative
+  /// stop token polled inside a long promotion load.
+  std::atomic<bool> promoter_stop_{false};
   std::mutex pool_mu_;
   /// Declared last: destroyed first, so no worker outlives the catalog.
   /// (Cursors must not outlive the Database regardless.)

@@ -45,11 +45,28 @@ uint64_t ParallelRawScanOp::KnownTotalTuples() const {
   if (runtime_->pmap != nullptr && runtime_->pmap->total_tuples() > 0) {
     return runtime_->pmap->total_tuples();
   }
+  if (runtime_->promoted != nullptr && runtime_->promoted->row_count() > 0) {
+    return runtime_->promoted->row_count();
+  }
   int64_t hint = adapter_->row_count_hint();
   return hint > 0 ? static_cast<uint64_t>(hint) : 0;
 }
 
 bool ParallelRawScanOp::FullyCached(uint64_t total) const {
+  // Every output attribute promoted: the serial scan serves the whole table
+  // from the columnar store without touching the file, so splitting the
+  // file would only add reads — same reasoning as the fully-cached case.
+  const PromotedColumns* promo = runtime_->promoted.get();
+  if (promo != nullptr && promo->row_count() > 0 && !output_attrs_.empty()) {
+    bool all_promoted = true;
+    for (int a : output_attrs_) {
+      if (!promo->IsPromoted(a)) {
+        all_promoted = false;
+        break;
+      }
+    }
+    if (all_promoted) return true;
+  }
   if (total == 0 || !opts_.use_cache || runtime_->cache == nullptr) {
     return false;
   }
@@ -146,7 +163,10 @@ Status ParallelRawScanOp::Open() {
     serial_ = std::make_unique<RawScanOp>(runtime_, scan_, working_width_,
                                           opts_, control_);
     morsels_.clear();
-    return serial_->Open();
+    return serial_->Open();  // the serial Open records the scan access
+  }
+  if (runtime_->access != nullptr) {
+    runtime_->access->RecordScan(output_attrs_);
   }
 
   // Which attributes land in pmap fragments / the cache / the statistics —
@@ -277,6 +297,8 @@ void ParallelRawScanOp::ProcessMorsel(const Morsel& morsel,
   result->frag.Reset(insert_attrs_);
   result->cache_vals.assign(ncols_, {});
   result->stats_vals.assign(ncols_, {});
+  result->parsed_rows.assign(ncols_, 0);
+  result->parsed_bytes.assign(ncols_, 0);
 
   Status seek = morsel.by_index ? cursor->SeekToRecord(morsel.begin, 0)
                                 : cursor->SeekToRecord(0, morsel.begin);
@@ -380,6 +402,8 @@ void ParallelRawScanOp::ProcessMorsel(const Morsel& morsel,
         next_pos = tuple_pos[next_slot];
       }
       uint32_t end = adapter_->FieldEnd(rec, a, pos, next_pos);
+      ++result->parsed_rows[a];
+      result->parsed_bytes[a] += end > pos ? end - pos : 0;
       return adapter_->ParseField(rec, a, pos, end);
     };
 
@@ -475,6 +499,15 @@ void ParallelRawScanOp::MergeResult(MorselResult* result) {
   if (runtime_->pmap != nullptr && !result->frag.empty()) {
     runtime_->pmap->InstallFragment(result->frag, emitted_records_,
                                     epoch_token_);
+  }
+
+  // Access accounting, flushed once per morsel by the single merge thread.
+  if (ColumnAccessTracker* tracker = runtime_->access.get();
+      tracker != nullptr) {
+    for (int a : output_attrs_) {
+      tracker->RecordParsed(a, result->parsed_rows[a],
+                            result->parsed_bytes[a]);
+    }
   }
 
   // Statistics, replayed in file order.

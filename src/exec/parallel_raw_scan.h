@@ -92,6 +92,10 @@ class ParallelRawScanOp final : public Operator {
     /// Values to replay into TableStats, under the serial feeding rules
     /// (phase 1: every record; phase 2: qualifying records only).
     std::vector<std::vector<Value>> stats_vals;  // [attr] (empty if unused)
+    /// Per-column access accounting (conversions performed in this morsel),
+    /// flushed into the table's ColumnAccessTracker at merge time.
+    std::vector<uint64_t> parsed_rows;   // [attr]
+    std::vector<uint64_t> parsed_bytes;  // [attr]
   };
 
   /// A stripe being assembled from consecutive morsel contributions.

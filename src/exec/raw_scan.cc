@@ -88,9 +88,13 @@ Status RawScanOp::Open() {
   if (runtime_->pmap != nullptr && opts_.use_positional_map) {
     epoch_token_ = runtime_->pmap->BeginEpoch();
   }
+  if (runtime_->access != nullptr) {
+    runtime_->access->RecordScan(output_attrs_);
+  }
   NODB_ASSIGN_OR_RETURN(cursor_, adapter_->OpenCursor());
   next_tuple_ = 0;
   need_seek_ = false;
+  seek_resolved_ = true;
   eof_ = false;
   out_size_ = 0;
   out_idx_ = 0;
@@ -122,6 +126,9 @@ Result<size_t> RawScanOp::Next(RowBatch* batch) {
 uint64_t RawScanOp::KnownTotalTuples() const {
   if (runtime_->pmap != nullptr && runtime_->pmap->total_tuples() > 0) {
     return runtime_->pmap->total_tuples();
+  }
+  if (runtime_->promoted != nullptr && runtime_->promoted->row_count() > 0) {
+    return runtime_->promoted->row_count();
   }
   int64_t hint = adapter_->row_count_hint();
   return hint > 0 ? static_cast<uint64_t>(hint) : 0;
@@ -176,45 +183,64 @@ Status RawScanOp::LoadStripe() {
         std::min<uint64_t>(tuples_per_stripe_, total_tuples - stripe_first));
   }
 
-  // Cache snapshots for this stripe, fetched once up front. The shared_ptr
-  // columns stay valid whatever concurrent scans do to the cache, and
-  // "fully cached" is decided on the snapshots themselves — an eviction
-  // racing between a membership check and the reads degrades to the file
-  // path instead of failing the query.
+  // Promoted-column and cache snapshots for this stripe, fetched once up
+  // front — the promoted store first (it covers whole columns and costs no
+  // budget churn), the cache as fallback. The shared_ptr columns stay valid
+  // whatever concurrent promotion/demotion or cache eviction does, and
+  // "fully cached" is decided on the snapshots themselves — a race between
+  // a membership check and the reads degrades to the file path instead of
+  // failing the query.
+  PromotedColumns* promo = runtime_->promoted.get();
+  ColumnAccessTracker* tracker = runtime_->access.get();
   std::vector<ColumnCache::Column> cached_col(ncols_);
-  bool all_cached = cache != nullptr && n_expected > 0;
-  if (cache != nullptr && n_expected > 0) {
+  std::vector<uint8_t> from_promoted(ncols_, 0);
+  bool all_cached =
+      (cache != nullptr || promo != nullptr) && n_expected > 0;
+  if (n_expected > 0) {
     for (int a : output_attrs_) {
-      ColumnCache::Column col = cache->Get(stripe, a);
-      if (col != nullptr && static_cast<int>(col->size()) == n_expected) {
-        cached_col[a] = std::move(col);
-      } else {
-        all_cached = false;
+      if (promo != nullptr) {
+        PromotedColumns::Chunk col = promo->ChunkFor(stripe, a);
+        if (col != nullptr && static_cast<int>(col->size()) == n_expected) {
+          cached_col[a] = std::move(col);
+          from_promoted[a] = 1;
+          continue;
+        }
       }
+      if (cache != nullptr) {
+        ColumnCache::Column col = cache->Get(stripe, a);
+        if (col != nullptr && static_cast<int>(col->size()) == n_expected) {
+          cached_col[a] = std::move(col);
+          continue;
+        }
+      }
+      all_cached = false;
     }
   }
 
-  // Fast path: the whole stripe is served from the cache — no file access
-  // at all (§4.3: "if the attribute is requested by future queries,
-  // PostgresRaw will read it directly from the cache").
+  // Fast path: the whole stripe is served from warm columns — no file
+  // access at all (§4.3: "if the attribute is requested by future queries,
+  // PostgresRaw will read it directly from the cache"). The next stripe's
+  // seek offset is resolved lazily: a fully promoted table serves every
+  // stripe this way and never needs the file (or a spine) at all.
   if (all_cached) {
     NODB_RETURN_IF_ERROR(ServeFromCache(cached_col, n_expected));
+    if (tracker != nullptr) {
+      for (int a : output_attrs_) {
+        if (from_promoted[a]) {
+          tracker->RecordPromotedServed(a, n_expected);
+        } else {
+          tracker->RecordCacheServed(a, n_expected);
+        }
+      }
+    }
     next_tuple_ = stripe_first + n_expected;
     if (next_tuple_ >= total_tuples) {
       eof_ = true;
-    } else if (traits_.fixed_stride) {
+    } else {
       need_seek_ = true;
       seek_index_ = next_tuple_;
       seek_offset_ = 0;
-    } else if (auto start = pm != nullptr ? pm->RowStart(next_tuple_)
-                                         : std::nullopt;
-               start.has_value()) {
-      need_seek_ = true;
-      seek_index_ = next_tuple_;
-      seek_offset_ = *start;
-    } else {
-      return Status::Internal(
-          "cached stripe without spine for the next stripe");
+      seek_resolved_ = false;
     }
     return Status::OK();
   }
@@ -223,6 +249,19 @@ Status RawScanOp::LoadStripe() {
   // targets are always data-record starts, so any header is behind us.
   // cached_col still serves the mixed mode (some attrs cached, some not).
   if (need_seek_) {
+    if (!seek_resolved_) {
+      if (traits_.fixed_stride) {
+        seek_offset_ = 0;
+      } else if (auto start = pm != nullptr ? pm->RowStart(seek_index_)
+                                            : std::nullopt;
+                 start.has_value()) {
+        seek_offset_ = *start;
+      } else {
+        return Status::Internal(
+            "cached stripe without spine for the next stripe");
+      }
+      seek_resolved_ = true;
+    }
     NODB_RETURN_IF_ERROR(cursor_->SeekToRecord(seek_index_, seek_offset_));
     need_seek_ = false;
   }
@@ -353,6 +392,14 @@ Status RawScanOp::LoadStripe() {
         if (!cache_attr[a]) stats_buf[a].reserve(tuples_per_stripe_);
       }
     }
+  }
+
+  // Per-column access accounting: conversions are tallied in stripe-local
+  // counters and flushed to the shared tracker once per stripe.
+  std::vector<uint64_t> parsed_rows, parsed_bytes;
+  if (tracker != nullptr) {
+    parsed_rows.assign(ncols_, 0);
+    parsed_bytes.assign(ncols_, 0);
   }
 
   // Slot of each to-be-inserted attribute, for the per-tuple staging loop.
@@ -493,6 +540,10 @@ Status RawScanOp::LoadStripe() {
         }
       }
       uint32_t end = adapter_->FieldEnd(rec, a, pos, next_pos);
+      if (tracker != nullptr) {
+        ++parsed_rows[a];
+        parsed_bytes[a] += end > pos ? end - pos : 0;
+      }
       return adapter_->ParseField(rec, a, pos, end);
     };
 
@@ -568,6 +619,23 @@ Status RawScanOp::LoadStripe() {
         frag_pos_[i] = tuple_pos_[insert_slots[i]];
       }
       frag_.AddRecord(rec.offset, frag_pos_.data());
+    }
+  }
+
+  // Flush the stripe's access accounting: attributes served from a warm
+  // column count as cache/promoted reads for every processed tuple, the
+  // rest report their actual conversions.
+  if (tracker != nullptr && n > 0) {
+    for (int a : output_attrs_) {
+      if (cached_col[a] != nullptr) {
+        if (from_promoted[a]) {
+          tracker->RecordPromotedServed(a, n);
+        } else {
+          tracker->RecordCacheServed(a, n);
+        }
+      } else {
+        tracker->RecordParsed(a, parsed_rows[a], parsed_bytes[a]);
+      }
     }
   }
 

@@ -128,6 +128,10 @@ class RawScanOp final : public Operator {
   bool need_seek_ = false;
   uint64_t seek_index_ = 0;
   uint64_t seek_offset_ = 0;
+  /// False when a stripe served without file access deferred resolving the
+  /// next stripe's seek offset (a fully promoted table never needs it; the
+  /// file path resolves it on demand from the spine).
+  bool seek_resolved_ = true;
   bool eof_ = false;
 
   // Qualifying rows of the current stripe. A recycler, not a plain vector:

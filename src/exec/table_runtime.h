@@ -6,6 +6,8 @@
 #include <string>
 #include <string_view>
 
+#include "adaptive/column_access.h"
+#include "adaptive/promoted_columns.h"
 #include "cache/column_cache.h"
 #include "pmap/positional_map.h"
 #include "raw/raw_source.h"
@@ -52,6 +54,14 @@ struct TableRuntime {
   // --- loaded ---
   std::unique_ptr<TableHeap> heap;
   std::unique_ptr<CompactTable> compact;
+
+  // --- workload-driven auto-promotion (raw tables; src/adaptive) ---
+  /// Per-column access accounting fed by the scans; always present for raw
+  /// tables (cheap relaxed atomics) so STATS and snapshots can report it
+  /// even when promotion itself is disabled.
+  std::unique_ptr<ColumnAccessTracker> access;
+  /// Promoted hot-column store; null unless EngineConfig::promotion.enabled.
+  std::unique_ptr<PromotedColumns> promoted;
 
   // --- adaptive statistics (raw tables; loaded tables get exact stats at
   //     load time) ---

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 #include <unordered_set>
 
 namespace nodb {
@@ -113,19 +114,38 @@ Result<std::unique_ptr<PhysicalPlan>> PlanQuery(BoundQuery* query,
     double rows =
         stats != nullptr ? stats->GetRowCount(scan.table.table_name) : -1;
     if (ts != nullptr && !scan.conjuncts.empty()) {
-      std::vector<std::pair<double, ExprPtr>> ranked;
+      // Evaluation cost on a selectivity tie: a conjunct whose columns are
+      // all served from a promoted columnar representation costs no
+      // tokenizing/parsing, so it goes first among equals.
+      auto promoted_rank = [&](const Expr& c) {
+        std::vector<int> cols;
+        c.CollectColumns(&cols);
+        if (cols.empty()) return 1;
+        for (int col : cols) {
+          if (!stats->IsColumnPromoted(scan.table.table_name,
+                                       col - scan.table.offset)) {
+            return 1;
+          }
+        }
+        return 0;
+      };
+      std::vector<std::tuple<double, int, ExprPtr>> ranked;
       ranked.reserve(scan.conjuncts.size());
       for (ExprPtr& c : scan.conjuncts) {
         double sel = EstimateConjunctSelectivity(*c, ts, scan.table.offset);
-        ranked.emplace_back(sel, std::move(c));
+        int rank = promoted_rank(*c);
+        ranked.emplace_back(sel, rank, std::move(c));
       }
       std::stable_sort(ranked.begin(), ranked.end(),
                        [](const auto& a, const auto& b) {
-                         return a.first < b.first;
+                         if (std::get<0>(a) != std::get<0>(b)) {
+                           return std::get<0>(a) < std::get<0>(b);
+                         }
+                         return std::get<1>(a) < std::get<1>(b);
                        });
       scan.conjuncts.clear();
       double combined = 1.0;
-      for (auto& [sel, c] : ranked) {
+      for (auto& [sel, rank, c] : ranked) {
         combined *= sel;
         scan.conjuncts.push_back(std::move(c));
       }

@@ -24,6 +24,16 @@ class StatsProvider {
   /// Row count if known (exact for loaded tables, discovered after the
   /// first full scan for raw tables); negative when unknown.
   virtual double GetRowCount(const std::string& table_name) const = 0;
+
+  /// True when the attribute is served from a promoted in-memory columnar
+  /// representation (src/adaptive) — evaluating a predicate on it costs no
+  /// tokenizing or parsing, so the planner prefers it on selectivity ties.
+  virtual bool IsColumnPromoted(const std::string& table_name,
+                                int attr) const {
+    (void)table_name;
+    (void)attr;
+    return false;
+  }
 };
 
 /// Turns a bound query into an executable plan:

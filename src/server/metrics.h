@@ -66,6 +66,14 @@ struct ServerStats {
     uint64_t bytes_read = 0;
     /// Known row count; negative while unknown.
     double rows = -1;
+    /// Workload-driven promotion state (src/adaptive): attributes currently
+    /// resident in the promoted columnar tier, their footprint, and the
+    /// lifetime number of tier transitions. All zero when the subsystem is
+    /// off.
+    std::vector<int> promoted_columns;
+    uint64_t promoted_bytes = 0;
+    uint64_t promotions = 0;
+    uint64_t demotions = 0;
   };
   std::vector<TableView> tables;
 };

@@ -270,6 +270,15 @@ std::string StatsLine(const ServerStats& s, const SessionStatsView& sess) {
     out += ",\"bytes_read\":" + std::to_string(t.bytes_read);
     out += ",\"rows\":";
     AppendDouble(&out, t.rows);
+    out += ",\"promoted_columns\":[";
+    for (size_t c = 0; c < t.promoted_columns.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      out += std::to_string(t.promoted_columns[c]);
+    }
+    out += "]";
+    out += ",\"promoted_bytes\":" + std::to_string(t.promoted_bytes);
+    out += ",\"promotions\":" + std::to_string(t.promotions);
+    out += ",\"demotions\":" + std::to_string(t.demotions);
     out += "}";
   }
   out += "]";

@@ -166,6 +166,10 @@ ServerStats QueryServer::Stats() const {
     view.snapshot_bytes = info.snapshot_bytes;
     view.bytes_read = info.bytes_read;
     view.rows = info.row_count;
+    view.promoted_columns = info.promoted_columns;
+    view.promoted_bytes = info.promoted_bytes;
+    view.promotions = info.promotions;
+    view.demotions = info.demotions;
     s.tables.push_back(std::move(view));
   }
   return s;

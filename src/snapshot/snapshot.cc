@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "adaptive/column_access.h"
 #include "io/file.h"
 #include "util/fs_util.h"
 
@@ -32,7 +33,11 @@ std::string_view SnapshotStateName(SnapshotState state) {
 namespace {
 
 constexpr char kMagic[8] = {'N', 'O', 'D', 'B', 'S', 'N', 'A', 'P'};
-constexpr uint32_t kVersion = 1;
+/// v2 appends an optional per-column access-counter section after the
+/// stats section. v1 files (no section) still load; the counters simply
+/// start cold. Anything else is rejected as stale.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 constexpr size_t kHeaderBytes = 40;
 constexpr uint64_t kSampleBytes = 64 * 1024;  // fingerprint head/tail window
 
@@ -396,6 +401,8 @@ struct DecodedSnapshot {
   bool has_row_count = false;
   uint64_t row_count = 0;
   std::vector<DecodedStats> stats;
+  bool has_access = false;
+  std::vector<ColumnAccessCounters> access;  // [attr] when has_access
 };
 
 /// Decodes and structurally validates the whole payload against its *own*
@@ -403,7 +410,8 @@ struct DecodedSnapshot {
 /// cleanly and classifies as stale, not corrupt — the schema comparison is
 /// the caller's). Returns false on any inconsistency — the caller treats
 /// the file as corrupt and falls back to the cold path.
-bool DecodePayload(std::string_view payload, DecodedSnapshot* out) {
+bool DecodePayload(std::string_view payload, uint32_t version,
+                   DecodedSnapshot* out) {
   Reader r(payload);
   out->fingerprint.path = r.Str();
   out->fingerprint.size = r.U64();
@@ -522,6 +530,29 @@ bool DecodePayload(std::string_view payload, DecodedSnapshot* out) {
         return false;
       }
       out->stats.push_back(std::move(ds));
+    }
+  }
+
+  // v2: per-column access counters (workload accounting for the promotion
+  // policy). The section covers every schema column or is absent entirely.
+  if (version >= 2) {
+    out->has_access = r.U8() != 0;
+    if (out->has_access) {
+      uint32_t n = r.U32();
+      if (!r.ok() || n != static_cast<uint32_t>(snap_ncols) ||
+          r.remaining() < static_cast<size_t>(n) * 5 * sizeof(uint64_t)) {
+        return false;
+      }
+      out->access.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        ColumnAccessCounters& c = out->access[i];
+        c.scans = r.U64();
+        c.rows_parsed = r.U64();
+        c.bytes_parsed = r.U64();
+        c.rows_from_cache = r.U64();
+        c.rows_from_promoted = r.U64();
+      }
+      if (!r.ok()) return false;
     }
   }
 
@@ -646,6 +677,9 @@ uint64_t WarmStateSignature(const TableRuntime& rt) {
     std::optional<uint64_t> rc = rt.stats->row_count();
     sig = HashCombine(sig, rc.has_value() ? *rc + 1 : 0);
   }
+  if (rt.access != nullptr) {
+    sig = HashCombine(sig, rt.access->Signature());
+  }
   return sig;
 }
 
@@ -736,6 +770,22 @@ Result<SnapshotWriteInfo> WriteTableSnapshot(TableRuntime* rt) {
     PutU8(&payload, 0);
   }
 
+  if (rt->access != nullptr) {
+    PutU8(&payload, 1);
+    const int ncols = rt->schema.num_columns();
+    PutU32(&payload, static_cast<uint32_t>(ncols));
+    for (int a = 0; a < ncols; ++a) {
+      ColumnAccessCounters c = rt->access->Snapshot(a);
+      PutU64(&payload, c.scans);
+      PutU64(&payload, c.rows_parsed);
+      PutU64(&payload, c.bytes_parsed);
+      PutU64(&payload, c.rows_from_cache);
+      PutU64(&payload, c.rows_from_promoted);
+    }
+  } else {
+    PutU8(&payload, 0);
+  }
+
   std::string header;
   header.reserve(kHeaderBytes);
   header.append(kMagic, sizeof(kMagic));
@@ -803,7 +853,7 @@ SnapshotLoadInfo LoadTableSnapshot(TableRuntime* rt) {
   header.U32();  // flags
   uint64_t payload_size = header.U64();
   uint64_t checksum = header.U64();
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Reject(rt, SnapshotLoadOutcome::kStale, info.bytes,
                   "snapshot version " + std::to_string(version));
   }
@@ -821,7 +871,7 @@ SnapshotLoadInfo LoadTableSnapshot(TableRuntime* rt) {
   // Decode + validate everything before installing anything, so a rejected
   // snapshot leaves the table untouched (cold).
   DecodedSnapshot snap;
-  if (!DecodePayload(payload, &snap)) {
+  if (!DecodePayload(payload, version, &snap)) {
     return Reject(rt, SnapshotLoadOutcome::kCorrupt, info.bytes,
                   "undecodable payload");
   }
@@ -913,6 +963,12 @@ SnapshotLoadInfo LoadTableSnapshot(TableRuntime* rt) {
   if (snap.has_cache && rt->cache != nullptr) {
     for (DecodedCacheChunk& chunk : snap.cache) {
       rt->cache->Put(chunk.stripe, chunk.attr, std::move(chunk.values));
+    }
+  }
+
+  if (snap.has_access && rt->access != nullptr) {
+    for (int a = 0; a < rt->schema.num_columns(); ++a) {
+      rt->access->InstallSnapshot(a, snap.access[a]);
     }
   }
 

@@ -227,5 +227,72 @@ TEST(ConcurrencyStressTest, EarlyCloseUnderConcurrencyReleasesWorkers) {
   EXPECT_EQ(full->rows[0][0].int64(), static_cast<int64_t>(s.spec.rows));
 }
 
+TEST(ConcurrencyStressTest, PromotionCyclesRacingScansNeverChangeAnswers) {
+  TempDir dir;
+  StressSetup s = MakeData(&dir);
+  EngineConfig config =
+      EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
+  config.promotion.enabled = true;
+  config.promotion.min_scans = 1;
+  // A budget fitting one column (16000 rows x sizeof(Value) ~ 768 KB) but
+  // not two keeps the store churning: cycles promote whichever column is
+  // currently hot and demote the cold incumbent, so scans race installs,
+  // demotions and cache releases — the full tier-transition surface,
+  // deterministically reachable.
+  config.promotion.budget_bytes = 1000000;
+  config.promotion.max_columns_per_cycle = 1;
+  Database db(config);
+  ASSERT_TRUE(db.RegisterCsv("t", s.csv, MicroSchema(s.spec)).ok());
+
+  std::vector<std::string> expected;
+  for (const char* sql : kStressQueries) {
+    auto r = db.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << "\n" << r.status();
+    expected.push_back(r->Canonical(/*sorted=*/false));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 10; ++i) {
+        int q = (t + i) % kNumStressQueries;
+        auto r = db.Execute(kStressQueries[q]);
+        if (!r.ok()) {
+          ++failures;
+          continue;
+        }
+        if (r->Canonical(false) != expected[q]) ++mismatches;
+      }
+    });
+  }
+  std::thread promoter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto report = db.RunPromotionCycle("t");
+      if (!report.ok() || !report->status.ok()) ++failures;
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  done.store(true, std::memory_order_release);
+  promoter.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  // The storm must actually have exercised the tier transitions.
+  uint64_t promotions = 0;
+  for (const TableInfo& info : db.ListTables()) {
+    if (info.name == "t") promotions = info.promotions;
+  }
+  EXPECT_GT(promotions, 0u);
+  // And once the dust settles, answers still match the pre-storm truth.
+  for (int q = 0; q < kNumStressQueries; ++q) {
+    auto r = db.Execute(kStressQueries[q]);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->Canonical(false), expected[q]) << kStressQueries[q];
+  }
+}
+
 }  // namespace
 }  // namespace nodb

@@ -1,0 +1,463 @@
+// Workload-driven auto-promotion (src/adaptive): the policy as a pure
+// function, the access accounting the scans feed it, the promoted tier's
+// byte-identical serving with zero raw-file reads, the shared byte budget
+// with the column cache (no double residency), the loader/scan ragged-row
+// unification, and access-counter persistence across snapshot versions.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "adaptive/promotion_policy.h"
+#include "engine/engines.h"
+#include "snapshot/snapshot.h"
+#include "storage/loader.h"
+#include "util/fs_util.h"
+#include "workload/micro.h"
+
+namespace nodb {
+namespace {
+
+// ------------------------------------------------------------------
+// Policy unit tests (PlanPromotions is deterministic and file-free)
+// ------------------------------------------------------------------
+
+ColumnPromotionInput Col(int attr, uint64_t scans, uint64_t work,
+                         uint64_t bytes) {
+  ColumnPromotionInput c;
+  c.attr = attr;
+  c.scans = scans;
+  c.parse_work = work;
+  c.est_bytes = bytes;
+  return c;
+}
+
+ColumnPromotionInput Promoted(int attr, uint64_t bytes, uint64_t served,
+                              uint64_t served_mark) {
+  ColumnPromotionInput c;
+  c.attr = attr;
+  c.promoted = true;
+  c.est_bytes = bytes;
+  c.served_rows = served;
+  c.served_mark = served_mark;
+  return c;
+}
+
+TEST(PromotionPolicyTest, MinScansGatesCandidates) {
+  PromotionConfig cfg;
+  cfg.min_scans = 3;
+  std::vector<ColumnPromotionInput> cols = {
+      Col(0, 2, 999999, 100),  // plenty of work but too few scans
+      Col(1, 3, 1000, 100),
+  };
+  PromotionPlan plan = PlanPromotions(cols, 0, UINT64_MAX, cfg);
+  EXPECT_EQ(plan.promote, std::vector<int>({1}));
+  EXPECT_TRUE(plan.demote.empty());
+}
+
+TEST(PromotionPolicyTest, RanksByWorkPerByteAndCapsPerCycle) {
+  PromotionConfig cfg;
+  cfg.min_scans = 1;
+  cfg.max_columns_per_cycle = 1;
+  std::vector<ColumnPromotionInput> cols = {
+      Col(0, 5, 1000, 1000),  // score 1.0
+      Col(1, 5, 4000, 1000),  // score 4.0 — wins
+      Col(2, 5, 2000, 1000),  // score 2.0
+  };
+  PromotionPlan plan = PlanPromotions(cols, 0, UINT64_MAX, cfg);
+  EXPECT_EQ(plan.promote, std::vector<int>({1}));
+
+  cfg.max_columns_per_cycle = 2;
+  plan = PlanPromotions(cols, 0, UINT64_MAX, cfg);
+  EXPECT_EQ(plan.promote, std::vector<int>({1, 2}));
+}
+
+TEST(PromotionPolicyTest, WorkMarkConsumesObservedWork) {
+  PromotionConfig cfg;
+  cfg.min_scans = 1;
+  ColumnPromotionInput stale = Col(0, 10, 5000, 100);
+  stale.work_mark = 5000;  // everything already judged at the last cycle
+  PromotionPlan plan = PlanPromotions({stale}, 0, UINT64_MAX, cfg);
+  EXPECT_TRUE(plan.promote.empty());
+
+  stale.work_mark = 4000;  // 1000 fresh work since
+  plan = PlanPromotions({stale}, 0, UINT64_MAX, cfg);
+  EXPECT_EQ(plan.promote, std::vector<int>({0}));
+}
+
+TEST(PromotionPolicyTest, DemotesColdColumnsToFitBudgetKeepsHotOnes) {
+  PromotionConfig cfg;
+  cfg.min_scans = 1;
+  std::vector<ColumnPromotionInput> cols = {
+      Promoted(0, 600, 10, 10),  // cold: no promoted reads since last cycle
+      Promoted(1, 600, 20, 10),  // hot
+      Col(2, 5, 5000, 500),
+  };
+  PromotionPlan plan = PlanPromotions(cols, /*promoted_bytes_now=*/1200,
+                                      /*budget_bytes=*/1500, cfg);
+  EXPECT_EQ(plan.demote, std::vector<int>({0}));
+  EXPECT_EQ(plan.promote, std::vector<int>({2}));
+}
+
+TEST(PromotionPolicyTest, UnfittableCandidateIsSkippedNotQueued) {
+  PromotionConfig cfg;
+  cfg.min_scans = 1;
+  std::vector<ColumnPromotionInput> cols = {
+      Col(0, 5, 5000, 2000),  // bigger than the whole budget
+  };
+  PromotionPlan plan = PlanPromotions(cols, 0, /*budget_bytes=*/1000, cfg);
+  EXPECT_TRUE(plan.promote.empty());
+}
+
+// ------------------------------------------------------------------
+// Engine-level behaviour
+// ------------------------------------------------------------------
+
+class PromotionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.rows = 10000;  // 3 stripes at the default 4096 tuples_per_chunk
+    spec_.cols = 6;
+    spec_.seed = 7;
+    csv_ = dir_.File("t.csv");
+    ASSERT_TRUE(GenerateWideCsv(csv_, spec_).ok());
+  }
+
+  EngineConfig PromoConfig(SystemUnderTest sut) {
+    EngineConfig cfg = EngineConfig::ForSystem(sut);
+    cfg.promotion.enabled = true;
+    cfg.promotion.min_scans = 2;
+    return cfg;
+  }
+
+  std::unique_ptr<Database> OpenDb(const EngineConfig& cfg) {
+    auto db = std::make_unique<Database>(cfg);
+    EXPECT_TRUE(db->RegisterCsv("t", csv_, MicroSchema(spec_)).ok());
+    return db;
+  }
+
+  static std::string Canonical(Database* db, const std::string& sql) {
+    auto r = db->Execute(sql);
+    if (!r.ok()) return "<error: " + r.status().ToString() + ">";
+    return r->Canonical(/*sorted=*/true);
+  }
+
+  static TableInfo InfoOf(Database* db) {
+    for (const TableInfo& info : db->ListTables()) {
+      if (info.name == "t") return info;
+    }
+    return TableInfo{};
+  }
+
+  TempDir dir_;
+  MicroDataSpec spec_;
+  std::string csv_;
+};
+
+TEST_F(PromotionTest, ScansFeedAccessCounters) {
+  auto db = OpenDb(PromoConfig(SystemUnderTest::kPostgresRawPMC));
+  const std::string sql = "SELECT SUM(a2) AS s FROM t WHERE a1 >= 0";
+  ASSERT_FALSE(Canonical(db.get(), sql).empty());
+  ColumnAccessTracker* tracker = db->runtime("t")->access.get();
+  ASSERT_NE(tracker, nullptr);
+
+  ColumnAccessCounters a1 = tracker->Snapshot(0);
+  EXPECT_EQ(a1.scans, 1u);
+  EXPECT_EQ(a1.rows_parsed, spec_.rows);  // cold scan converts every value
+  EXPECT_GT(a1.bytes_parsed, 0u);
+  EXPECT_EQ(tracker->Snapshot(2).scans, 0u);  // a3 never requested
+
+  // The second scan is served from the cache: no new conversions.
+  ASSERT_FALSE(Canonical(db.get(), sql).empty());
+  ColumnAccessCounters again = tracker->Snapshot(0);
+  EXPECT_EQ(again.scans, 2u);
+  EXPECT_EQ(again.rows_parsed, spec_.rows);
+  EXPECT_EQ(again.rows_from_cache, spec_.rows);
+}
+
+TEST_F(PromotionTest, RepeatedQueryPromotesAndServesWithZeroFileBytes) {
+  auto db = OpenDb(PromoConfig(SystemUnderTest::kPostgresRawPMC));
+  const std::string sql = "SELECT SUM(a2) AS s FROM t WHERE a1 < 500000000";
+  const std::string expected = Canonical(db.get(), sql);
+  ASSERT_EQ(expected.find("<error"), std::string::npos) << expected;
+  ASSERT_EQ(Canonical(db.get(), sql), expected);
+  ASSERT_EQ(Canonical(db.get(), sql), expected);
+
+  auto report = db->RunPromotionCycle("t");
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->status.ok()) << report->status;
+  auto promoted_has = [&](int attr) {
+    return std::find(report->promoted.begin(), report->promoted.end(),
+                     attr) != report->promoted.end();
+  };
+  EXPECT_TRUE(promoted_has(0)) << "a1 (WHERE) should be promoted";
+  EXPECT_TRUE(promoted_has(1)) << "a2 (SUM) should be promoted";
+  EXPECT_GT(report->promoted_bytes, 0u);
+
+  // The same query answers byte-identically and reads zero raw-file bytes.
+  const uint64_t bytes_before = InfoOf(db.get()).bytes_read;
+  EXPECT_EQ(Canonical(db.get(), sql), expected);
+  TableInfo info = InfoOf(db.get());
+  EXPECT_EQ(info.bytes_read, bytes_before);
+  EXPECT_EQ(info.promoted_bytes, report->promoted_bytes);
+  EXPECT_GE(info.promotions, 2u);
+
+  ColumnAccessTracker* tracker = db->runtime("t")->access.get();
+  EXPECT_GE(tracker->Snapshot(0).rows_from_promoted, spec_.rows);
+  EXPECT_GE(tracker->Snapshot(1).rows_from_promoted, spec_.rows);
+
+  // A second cycle with no fresh raw work has nothing left to promote.
+  auto idle = db->RunPromotionCycle("t");
+  ASSERT_TRUE(idle.ok());
+  EXPECT_TRUE(idle->promoted.empty());
+}
+
+TEST_F(PromotionTest, PromotionServesWithoutPositionalMapOrCache) {
+  // The straw-man in-situ engine has no auxiliary structures at all; the
+  // promoted tier must stand on its own (total tuples come from the store,
+  // the lazy seek never resolves).
+  auto db = OpenDb(PromoConfig(SystemUnderTest::kPostgresRawBaseline));
+  ASSERT_EQ(db->runtime("t")->pmap, nullptr);
+  ASSERT_EQ(db->runtime("t")->cache, nullptr);
+  const std::string sql = "SELECT SUM(a3) AS s FROM t WHERE a1 < 300000000";
+  const std::string expected = Canonical(db.get(), sql);
+  ASSERT_EQ(Canonical(db.get(), sql), expected);
+
+  auto report = db->RunPromotionCycle("t");
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->status.ok()) << report->status;
+  ASSERT_FALSE(report->promoted.empty());
+
+  const uint64_t bytes_before = InfoOf(db.get()).bytes_read;
+  EXPECT_EQ(Canonical(db.get(), sql), expected);
+  EXPECT_EQ(InfoOf(db.get()).bytes_read, bytes_before);
+}
+
+TEST_F(PromotionTest, PromotionReleasesCacheChunksAndSharesBudget) {
+  EngineConfig cfg = PromoConfig(SystemUnderTest::kPostgresRawPMC);
+  cfg.cache_budget_bytes = 16u << 20;
+  auto db = OpenDb(cfg);
+  const std::string sql = "SELECT SUM(a1) AS s, SUM(a2) AS t FROM t";
+  ASSERT_FALSE(Canonical(db.get(), sql).empty());
+  ASSERT_FALSE(Canonical(db.get(), sql).empty());
+
+  ColumnCache* cache = db->runtime("t")->cache.get();
+  ASSERT_NE(cache, nullptr);
+  ASSERT_GT(cache->memory_bytes(), 0u);  // a1/a2 chunks cached by the scans
+
+  auto report = db->RunPromotionCycle("t");
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->status.ok()) << report->status;
+  ASSERT_FALSE(report->promoted.empty());
+
+  // No double residency: the promoted columns' cache chunks were released
+  // and the promoted bytes are reserved out of the cache budget.
+  EXPECT_GT(report->cache_released_bytes, 0u);
+  EXPECT_GT(cache->counters().released, 0u);
+  EXPECT_EQ(cache->reserved_bytes(), report->promoted_bytes);
+  EXPECT_LE(cache->memory_bytes() + cache->reserved_bytes(),
+            cfg.cache_budget_bytes);
+  for (int a : report->promoted) {
+    EXPECT_EQ(cache->Get(0, a), nullptr)
+        << "attr " << a << " still cache-resident after promotion";
+  }
+
+  // Answers unchanged afterwards.
+  EXPECT_EQ(Canonical(db.get(), sql), Canonical(db.get(), sql));
+}
+
+TEST_F(PromotionTest, ColdPromotedColumnsAreDemotedUnderBudgetPressure) {
+  EngineConfig cfg = PromoConfig(SystemUnderTest::kPostgresRawPMC);
+  cfg.promotion.min_scans = 1;
+  // Budget fits one promoted column (10000 rows x sizeof(Value) ~ 480 KB)
+  // but not two, so a newly hot column can only be admitted by evicting
+  // the cold incumbent.
+  cfg.promotion.budget_bytes = 700000;
+  auto db = OpenDb(cfg);
+
+  ASSERT_FALSE(Canonical(db.get(), "SELECT SUM(a1) AS s FROM t").empty());
+  auto first = db->RunPromotionCycle("t");
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first->promoted, std::vector<int>({0}));
+
+  // a1 goes cold (no promoted reads) while a4 accrues raw parse work.
+  ASSERT_FALSE(Canonical(db.get(), "SELECT SUM(a4) AS s FROM t").empty());
+  ASSERT_FALSE(Canonical(db.get(), "SELECT MIN(a4) AS s FROM t").empty());
+  auto second = db->RunPromotionCycle("t");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->promoted, std::vector<int>({3}));
+  EXPECT_EQ(second->demoted, std::vector<int>({0}));
+  EXPECT_LE(second->promoted_bytes, cfg.promotion.budget_bytes);
+
+  // Demotion never changes answers — the raw path still serves a1.
+  EXPECT_EQ(Canonical(db.get(), "SELECT SUM(a1) AS s FROM t"),
+            Canonical(db.get(), "SELECT SUM(a1) AS s FROM t"));
+}
+
+TEST_F(PromotionTest, PromotionRequiresEnabledConfigAndRawTable) {
+  auto off = OpenDb(EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC));
+  auto r = off->RunPromotionCycle("t");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(off->RunPromotionCycle("nope").status().code(),
+            StatusCode::kNotFound);
+
+  EngineConfig loaded_cfg = EngineConfig::ForSystem(SystemUnderTest::kPostgreSQL);
+  loaded_cfg.promotion.enabled = true;
+  Database loaded(loaded_cfg);
+  ASSERT_TRUE(loaded.LoadCsv("t", csv_, MicroSchema(spec_)).ok());
+  EXPECT_EQ(loaded.RunPromotionCycle("t").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------
+// Loader/scan ragged-row unification (the PR's first bugfix)
+// ------------------------------------------------------------------
+
+TEST(LoaderScanParityTest, RaggedCsvLoadsExactlyAsTheScanReadsIt) {
+  TempDir dir;
+  const std::string csv = dir.File("ragged.csv");
+  // Short rows, empty fields, and malformed numerics — everything must go
+  // through the same adapter NULL/parse rules on both paths.
+  ASSERT_TRUE(WriteStringToFile(csv,
+                                "1,1.5,foo,10\n"
+                                "2,,bar,20\n"
+                                "3,3.5\n"
+                                "4,4.5,,40\n"
+                                ",5.5,qux\n"
+                                "6,6.5,zap,60\n")
+                  .ok());
+  std::vector<Column> cols(4);
+  cols[0] = {"a", TypeId::kInt64};
+  cols[1] = {"b", TypeId::kDouble};
+  cols[2] = {"c", TypeId::kString};
+  cols[3] = {"d", TypeId::kInt64};
+  Schema schema{std::move(cols)};
+
+  Database raw(EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC));
+  ASSERT_TRUE(raw.RegisterCsv("t", csv, schema).ok());
+  Database heap(EngineConfig::ForSystem(SystemUnderTest::kPostgreSQL));
+  ASSERT_TRUE(heap.LoadCsv("t", csv, schema).ok());
+  Database compact(EngineConfig::ForSystem(SystemUnderTest::kDbmsX));
+  ASSERT_TRUE(compact.LoadCsv("t", csv, schema).ok());
+
+  for (const char* sql : {"SELECT a, b, c, d FROM t",
+                          "SELECT COUNT(c) AS n FROM t",
+                          "SELECT SUM(d) AS s FROM t WHERE a >= 2"}) {
+    auto want = raw.Execute(sql);
+    ASSERT_TRUE(want.ok()) << sql << "\n" << want.status();
+    auto via_heap = heap.Execute(sql);
+    ASSERT_TRUE(via_heap.ok()) << sql << "\n" << via_heap.status();
+    EXPECT_EQ(want->Canonical(true), via_heap->Canonical(true)) << sql;
+    auto via_compact = compact.Execute(sql);
+    ASSERT_TRUE(via_compact.ok()) << sql << "\n" << via_compact.status();
+    EXPECT_EQ(want->Canonical(true), via_compact->Canonical(true)) << sql;
+  }
+}
+
+// ------------------------------------------------------------------
+// Access-counter persistence (snapshot v2) and version compatibility
+// ------------------------------------------------------------------
+
+class PromotionSnapshotTest : public PromotionTest {
+ protected:
+  void SetUp() override {
+    PromotionTest::SetUp();
+    snap_dir_ = dir_.File("snaps");
+  }
+
+  EngineConfig SnapConfig() {
+    EngineConfig cfg = PromoConfig(SystemUnderTest::kPostgresRawPMC);
+    cfg.snapshot_dir = snap_dir_;
+    return cfg;
+  }
+
+  std::string snap_dir_;
+};
+
+TEST_F(PromotionSnapshotTest, AccessCountersSurviveRestart) {
+  const std::string sql = "SELECT SUM(a2) AS s FROM t WHERE a1 >= 0";
+  ColumnAccessCounters before;
+  {
+    auto db = OpenDb(SnapConfig());
+    ASSERT_FALSE(Canonical(db.get(), sql).empty());
+    ASSERT_FALSE(Canonical(db.get(), sql).empty());
+    before = db->runtime("t")->access->Snapshot(1);
+    ASSERT_GT(before.scans, 0u);
+    ASSERT_GT(before.rows_parsed, 0u);
+    ASSERT_TRUE(db->Snapshot("t").ok());
+  }
+  auto db = OpenDb(SnapConfig());
+  ASSERT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kLoaded);
+  ColumnAccessCounters after = db->runtime("t")->access->Snapshot(1);
+  EXPECT_EQ(after.scans, before.scans);
+  EXPECT_EQ(after.rows_parsed, before.rows_parsed);
+  EXPECT_EQ(after.bytes_parsed, before.bytes_parsed);
+  EXPECT_EQ(after.rows_from_cache, before.rows_from_cache);
+
+  // The restored history counts toward min_scans: promotion triggers
+  // without re-observing the workload from scratch.
+  auto report = db->RunPromotionCycle("t");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->promoted.empty());
+}
+
+TEST_F(PromotionSnapshotTest, Version1SnapshotsStillLoadWithColdCounters) {
+  const std::string sql = "SELECT SUM(a2) AS s FROM t WHERE a1 >= 0";
+  std::string expected;
+  {
+    auto db = OpenDb(SnapConfig());
+    expected = Canonical(db.get(), sql);
+    ASSERT_TRUE(db->Snapshot("t").ok());
+  }
+  // Surgically rewrite the v2 file as the v1 format: strip the trailing
+  // access-counter section (1-byte flag + u32 count + 5 u64 per column),
+  // set version=1 and re-stamp payload size + checksum.
+  const std::string path = SnapshotPathFor(snap_dir_, "t");
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string file = *bytes;
+  const size_t header_bytes = 40;
+  const size_t access_bytes = 1 + 4 + 5 * 8 * static_cast<size_t>(spec_.cols);
+  ASSERT_GT(file.size(), header_bytes + access_bytes);
+  file.resize(file.size() - access_bytes);
+  uint32_t v1 = 1;
+  std::memcpy(&file[8], &v1, 4);
+  uint64_t payload_size = file.size() - header_bytes;
+  std::memcpy(&file[16], &payload_size, 8);
+  uint64_t checksum =
+      SnapshotChecksum(file.data() + header_bytes, payload_size);
+  std::memcpy(&file[24], &checksum, 8);
+  ASSERT_TRUE(WriteStringToFile(path, file).ok());
+
+  auto db = OpenDb(SnapConfig());
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kLoaded);
+  // Warm structures restored, counters cold — and answers identical.
+  EXPECT_EQ(db->runtime("t")->access->Snapshot(0).scans, 0u);
+  EXPECT_EQ(Canonical(db.get(), sql), expected);
+}
+
+TEST_F(PromotionSnapshotTest, FutureVersionClassifiesStaleAndFallsBackCold) {
+  const std::string sql = "SELECT SUM(a2) AS s FROM t WHERE a1 >= 0";
+  std::string expected;
+  {
+    auto db = OpenDb(SnapConfig());
+    expected = Canonical(db.get(), sql);
+    ASSERT_TRUE(db->Snapshot("t").ok());
+  }
+  const std::string path = SnapshotPathFor(snap_dir_, "t");
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string file = *bytes;
+  uint32_t v99 = 99;
+  std::memcpy(&file[8], &v99, 4);
+  ASSERT_TRUE(WriteStringToFile(path, file).ok());
+
+  auto db = OpenDb(SnapConfig());
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kStale);
+  EXPECT_EQ(Canonical(db.get(), sql), expected);  // cold path, same answer
+}
+
+}  // namespace
+}  // namespace nodb
