@@ -33,8 +33,11 @@ fail() {
   exit 1
 }
 
+EXTRA_FLAGS=""
+
 start_server() {
-  "$SERVER" --serve --port "$PORT" --rows "$ROWS" \
+  # shellcheck disable=SC2086  # EXTRA_FLAGS is deliberately word-split
+  "$SERVER" --serve --port "$PORT" --rows "$ROWS" $EXTRA_FLAGS \
     --data "$DATA" --snapshot-dir "$SNAPS" > "$DIR/server.log" 2>&1 &
   SERVER_PID=$!
   local ready=0
@@ -112,5 +115,58 @@ grep -q '"bytes_read":0' "$DIR/stats2.out" \
 stop_server
 grep -q "snapshots: loads=1" "$DIR/server.log" \
   || fail "run 2 drain summary missing snapshot load count"
+
+# ---- gz leg: the same warm-restart dance over a gzipped source -----------
+# The server now serves micro.csv.gz in situ through the checkpointed
+# decompression layer. The drain persists the checkpoint index inside the
+# snapshot (v3 section), so the restarted server must answer the warm query
+# without re-reading decompressed payload bytes AND without re-inflating
+# the stream to rebuild its checkpoints.
+EXTRA_FLAGS="--gzip"
+DATA="$DIR/gzmicro.csv"
+SNAPS="$DIR/gzsnaps"
+
+start_server
+"$CLIENT" --port "$PORT" \
+  "SELECT SUM(a1), SUM(a2), SUM(a7), MIN(a1), MAX(a7) FROM micro" \
+  > /dev/null 2>&1 || fail "gz warming aggregate failed"
+"$CLIENT" --port "$PORT" "$QUERY" > "$DIR/gzwarm.out" 2>&1 \
+  || fail "gz warm reference query failed"
+grep -q '"status":"ok"' "$DIR/gzwarm.out" || fail "gz warm query not ok"
+grep -v '"status"' "$DIR/gzwarm.out" > "$DIR/gzwarm.rows"
+cmp -s "$DIR/warm.rows" "$DIR/gzwarm.rows" \
+  || fail "gz-served answer differs from the plain-served answer"
+stop_server
+ls "$SNAPS"/*.nodbsnap > /dev/null 2>&1 || fail "gz drain left no snapshot"
+
+start_server
+# Baseline before any query: the open-time gzip sniff inflates a handful of
+# bytes, so compare inflation before/after the query instead of against 0.
+"$CLIENT" --port "$PORT" --stats > "$DIR/gzstats_pre.out" 2>&1 \
+  || fail "gz run-2 pre-query stats failed"
+grep -q '"compressed":true' "$DIR/gzstats_pre.out" \
+  || fail "gz table not marked compressed: $(cat "$DIR/gzstats_pre.out")"
+grep -q '"gz_checkpoints":[1-9]' "$DIR/gzstats_pre.out" \
+  || fail "restart did not restore the checkpoint index: $(cat "$DIR/gzstats_pre.out")"
+PRE_INFLATED=$(grep -o '"gz_bytes_inflated":[0-9]*' "$DIR/gzstats_pre.out")
+
+"$CLIENT" --port "$PORT" "$QUERY" > "$DIR/gzrestart.out" 2>&1 \
+  || fail "gz post-restart query failed"
+grep -q '"status":"ok"' "$DIR/gzrestart.out" || fail "gz restart query not ok"
+grep -v '"status"' "$DIR/gzrestart.out" > "$DIR/gzrestart.rows"
+cmp -s "$DIR/warm.rows" "$DIR/gzrestart.rows" \
+  || fail "gz post-restart answer differs from the warm answer"
+
+"$CLIENT" --port "$PORT" --stats > "$DIR/gzstats2.out" 2>&1 \
+  || fail "gz run-2 stats failed"
+grep -q '"snapshot_loads":1' "$DIR/gzstats2.out" \
+  || fail "gz restart did not load the snapshot: $(cat "$DIR/gzstats2.out")"
+grep -q '"bytes_read":0' "$DIR/gzstats2.out" \
+  || fail "gz post-restart query read decompressed payload: $(cat "$DIR/gzstats2.out")"
+POST_INFLATED=$(grep -o '"gz_bytes_inflated":[0-9]*' "$DIR/gzstats2.out")
+[ "$PRE_INFLATED" = "$POST_INFLATED" ] \
+  || fail "gz post-restart query re-inflated the stream ($PRE_INFLATED -> $POST_INFLATED)"
+
+stop_server
 
 echo "restart smoke: PASS"

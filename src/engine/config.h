@@ -73,6 +73,13 @@ struct EngineConfig {
   /// globally by building with -DNODB_FORCE_SCALAR_KERNELS=ON.
   bool scalar_kernels = false;
 
+  // --- compressed sources (src/io/inflate_file) ---
+  /// Decompressed bytes between zran-style restart checkpoints for gzipped
+  /// sources (`.csv.gz`, `.jsonl.gz`, ...). Smaller intervals make warm
+  /// pmap-directed seeks cheaper (a seek re-inflates at most one interval)
+  /// at ~32 KiB of index memory per checkpoint. Requires a build with zlib.
+  uint64_t gz_checkpoint_bytes = 4ull << 20;
+
   // --- warm-restart snapshots (src/snapshot) ---
   /// Directory raw tables load auxiliary-structure snapshots from at Open
   /// and save them to (positional map, column cache, statistics). Empty =

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "exec/raw_scan.h"
+#include "io/inflate_file.h"
 #include "raw/parse_kernels.h"
 #include "snapshot/snapshot.h"
 #include "sql/parser.h"
@@ -59,6 +60,33 @@ Status Database::Open(const std::string& name, const std::string& path,
   AdapterRegistry& registry = AdapterRegistry::Global();
   const AdapterFactory* factory = nullptr;
   std::unique_ptr<RandomAccessFile> file;  // adopted by the adapter
+  // Compressed source? Check the magic before anything else — even with a
+  // forced format — because the format's adapter must see the decompressed
+  // byte stream, and the sniffers below must score decompressed head bytes.
+  std::string sniff_path = path;
+  {
+    NODB_ASSIGN_OR_RETURN(auto probe, RandomAccessFile::Open(path));
+    char magic[2];
+    NODB_ASSIGN_OR_RETURN(
+        uint64_t n,
+        probe->Read(0, std::min<uint64_t>(sizeof(magic), probe->size()),
+                    magic));
+    if (InflateFile::IsGzip({magic, n})) {
+      InflateOptions gz_opts;
+      gz_opts.checkpoint_interval_bytes = config_.gz_checkpoint_bytes;
+      NODB_ASSIGN_OR_RETURN(file,
+                            InflateFile::Open(std::move(probe), gz_opts));
+      // Sniffers score the *inner* name ("t.csv.gz" detects as csv), while
+      // the adapter keeps the real on-disk path — snapshot fingerprints
+      // must cover the compressed file.
+      if (sniff_path.size() > 3 &&
+          sniff_path.compare(sniff_path.size() - 3, 3, ".gz") == 0) {
+        sniff_path.resize(sniff_path.size() - 3);
+      }
+    } else if (options.format.empty()) {
+      file = std::move(probe);  // reuse the handle for sniffing + adoption
+    }
+  }
   if (!options.format.empty()) {
     factory = registry.Find(options.format);
     if (factory == nullptr) {
@@ -67,13 +95,12 @@ Status Database::Open(const std::string& name, const std::string& path,
     }
   } else {
     // Sniff the file's first bytes and let the registered factories score it.
-    NODB_ASSIGN_OR_RETURN(file, RandomAccessFile::Open(path));
     char head[512];
     NODB_ASSIGN_OR_RETURN(
         uint64_t head_len,
         file->Read(0, std::min<uint64_t>(sizeof(head), file->size()), head));
     NODB_ASSIGN_OR_RETURN(factory,
-                          registry.Detect(path, {head, head_len}));
+                          registry.Detect(sniff_path, {head, head_len}));
   }
   NODB_ASSIGN_OR_RETURN(std::unique_ptr<RawSourceAdapter> adapter,
                         factory->Create(path, options, std::move(file)));
@@ -283,6 +310,12 @@ std::vector<TableInfo> Database::ListTables() const {
     info.snapshot_bytes = rt->snapshot_bytes.load(std::memory_order_acquire);
     if (rt->adapter != nullptr && rt->adapter->file() != nullptr) {
       info.bytes_read = rt->adapter->file()->bytes_read();
+      if (const InflateFile* gz = rt->adapter->file()->AsInflateFile()) {
+        info.compressed = true;
+        info.gz_checkpoints = gz->checkpoint_count();
+        info.gz_bytes_inflated = gz->bytes_inflated();
+        info.gz_compressed_bytes_read = gz->compressed_bytes_read();
+      }
     }
     if (rt->promoted != nullptr) {
       info.promoted_columns = rt->promoted->promoted_attrs();

@@ -61,7 +61,17 @@ struct TableInfo {
   uint64_t snapshot_bytes = 0;
   /// Raw-file bytes read through the table's adapter since Open (0 for
   /// loaded tables). The observable for "a warm restart re-parses nothing".
+  /// For compressed sources this counts *decompressed payload* bytes.
   uint64_t bytes_read = 0;
+  /// Compressed-source (gzip) state; all zero/false for plain files.
+  /// `gz_bytes_inflated` counts every decompressed byte produced, including
+  /// skip-forward bytes during checkpoint seeks — the observable for "a
+  /// restarted server inflates only from checkpoints" (stays 0 when the
+  /// cache serves everything, bounded by one interval per pmap seek).
+  bool compressed = false;
+  uint64_t gz_checkpoints = 0;
+  uint64_t gz_bytes_inflated = 0;
+  uint64_t gz_compressed_bytes_read = 0;
   /// Workload-driven promotion state (src/adaptive; empty/zero when the
   /// subsystem is off). Attributes currently resident in the promoted
   /// columnar store, their footprint, and lifetime transition counts.

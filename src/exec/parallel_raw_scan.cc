@@ -83,6 +83,12 @@ bool ParallelRawScanOp::FullyCached(uint64_t total) const {
 
 Status ParallelRawScanOp::PlanMorsels() {
   morsels_.clear();
+  // A source that cannot serve concurrent random reads cheaply — a
+  // compressed stream whose checkpoint index is not built yet, where every
+  // worker's first read would re-inflate from byte 0 — runs single-morsel:
+  // the serial pass streams once and *builds* the index, and the next scan
+  // splits at its checkpoints.
+  if (!adapter_->file()->SupportsConcurrentReads()) return Status::OK();
   const uint64_t target_count =
       static_cast<uint64_t>(num_threads_) * kMorselsPerThread;
   if (traits_.fixed_stride && adapter_->row_count_hint() >= 0) {
@@ -115,18 +121,37 @@ Status ParallelRawScanOp::PlanMorsels() {
                          kMaxMorselBytes);
   }
   nominal = std::max<uint64_t>(1, nominal);
-  uint64_t prev = 0;
-  bool have_prev = false;
-  for (uint64_t split = 0;; split += nominal) {
-    NODB_ASSIGN_OR_RETURN(
-        uint64_t boundary,
-        adapter_->FindRecordBoundary(std::min(split, size)));
-    if (have_prev && boundary > prev) {
+
+  // Where the source prefers certain split points — a compressed stream's
+  // checkpoint offsets — use those (coalesced up to the nominal size): a
+  // worker's morsel then begins exactly at a checkpoint, so its first read
+  // restarts there instead of re-inflating up to an interval of overlap.
+  // Arithmetic offsets cost nothing extra on a plain file.
+  std::vector<uint64_t> splits;
+  const std::vector<uint64_t> preferred =
+      adapter_->file()->RecommendedSplitOffsets();
+  if (!preferred.empty()) {
+    uint64_t last = 0;
+    for (uint64_t p : preferred) {
+      if (p <= last || p >= size || p - last < nominal) continue;
+      splits.push_back(p);
+      last = p;
+    }
+  } else {
+    for (uint64_t split = nominal; split < size; split += nominal) {
+      splits.push_back(split);
+    }
+  }
+  splits.push_back(size);
+
+  NODB_ASSIGN_OR_RETURN(uint64_t prev, adapter_->FindRecordBoundary(0));
+  for (uint64_t split : splits) {
+    NODB_ASSIGN_OR_RETURN(uint64_t boundary,
+                          adapter_->FindRecordBoundary(split));
+    if (boundary > prev) {
       morsels_.push_back(Morsel{prev, boundary, false});
     }
     prev = boundary;
-    have_prev = true;
-    if (split >= size) break;
   }
   return Status::OK();
 }

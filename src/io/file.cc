@@ -10,6 +10,42 @@
 
 namespace nodb {
 
+namespace {
+
+/// Plain on-disk file over POSIX pread(2). pread carries its own offset, so
+/// concurrent reads need no locking.
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, uint64_t size, std::string path)
+      : RandomAccessFile(size, std::move(path)), fd_(fd) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<uint64_t> Read(uint64_t offset, uint64_t length,
+                        char* scratch) const override {
+    uint64_t total = 0;
+    while (total < length) {
+      ssize_t n = ::pread(fd_, scratch + total, length - total,
+                          static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("pread '" + path() + "': " + strerror(errno));
+      }
+      if (n == 0) break;  // EOF
+      total += static_cast<uint64_t>(n);
+    }
+    CountRead(total);
+    return total;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
 Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
     const std::string& path) {
   int fd = ::open(path.c_str(), O_RDONLY);
@@ -21,29 +57,8 @@ Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
     ::close(fd);
     return Status::IOError("fstat '" + path + "': " + strerror(errno));
   }
-  return std::unique_ptr<RandomAccessFile>(new RandomAccessFile(
+  return std::unique_ptr<RandomAccessFile>(new PosixRandomAccessFile(
       fd, static_cast<uint64_t>(st.st_size), path));
-}
-
-RandomAccessFile::~RandomAccessFile() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-Result<uint64_t> RandomAccessFile::Read(uint64_t offset, uint64_t length,
-                                        char* scratch) const {
-  uint64_t total = 0;
-  while (total < length) {
-    ssize_t n = ::pread(fd_, scratch + total, length - total,
-                        static_cast<off_t>(offset + total));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("pread '" + path_ + "': " + strerror(errno));
-    }
-    if (n == 0) break;  // EOF
-    total += static_cast<uint64_t>(n);
-  }
-  bytes_read_.fetch_add(total, std::memory_order_relaxed);
-  return total;
 }
 
 Result<std::unique_ptr<WritableFile>> WritableFile::Create(

@@ -6,28 +6,52 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/result.h"
 #include "util/status.h"
 
 namespace nodb {
 
-/// Read-only random access file over POSIX pread(2). Thread-safe:
-/// concurrent Read calls are safe (pread carries its own offset, and the
-/// byte accounting is atomic — parallel scan workers share one handle).
+class InflateFile;
+
+/// Read-only random access byte source. The base class is polymorphic so
+/// layered sources (the gzip decompression layer in io/inflate_file.h, and
+/// eventually remote/range readers) can substitute for a plain file behind
+/// every adapter and scan. Implementations must be thread-safe: concurrent
+/// Read calls may come from parallel scan workers sharing one handle.
+///
+/// `size()`/`bytes_read()` are in the handle's *presented* byte space — for
+/// a plain file that is the on-disk bytes, for a decompression layer the
+/// decompressed stream (compressed accounting lives on the inner handle).
 class RandomAccessFile {
  public:
-  /// Opens `path` for reading.
+  /// Opens `path` for reading via POSIX pread(2).
   static Result<std::unique_ptr<RandomAccessFile>> Open(
       const std::string& path);
 
-  ~RandomAccessFile();
+  virtual ~RandomAccessFile() = default;
   RandomAccessFile(const RandomAccessFile&) = delete;
   RandomAccessFile& operator=(const RandomAccessFile&) = delete;
 
   /// Reads up to `length` bytes at `offset` into `scratch`; returns the bytes
   /// actually read (short only at EOF).
-  Result<uint64_t> Read(uint64_t offset, uint64_t length, char* scratch) const;
+  virtual Result<uint64_t> Read(uint64_t offset, uint64_t length,
+                                char* scratch) const = 0;
+
+  /// Whether concurrent random reads at unrelated offsets are cheap. False
+  /// for a compressed stream whose checkpoint index is not built yet (every
+  /// random read would re-inflate from byte 0); the parallel scan planner
+  /// then runs single-morsel and lets the sequential pass build the index.
+  virtual bool SupportsConcurrentReads() const { return true; }
+
+  /// Offsets where splitting a scan is cheapest (checkpoint boundaries for
+  /// a compressed stream). Empty = any offset is as good as any other.
+  virtual std::vector<uint64_t> RecommendedSplitOffsets() const { return {}; }
+
+  /// Downcast hook for layers that need the decompression state (snapshot
+  /// writer persists the checkpoint index, STATS surfaces its counters).
+  virtual const InflateFile* AsInflateFile() const { return nullptr; }
 
   uint64_t size() const { return size_; }
   const std::string& path() const { return path_; }
@@ -37,12 +61,17 @@ class RandomAccessFile {
     return bytes_read_.load(std::memory_order_relaxed);
   }
 
- private:
-  RandomAccessFile(int fd, uint64_t size, std::string path)
-      : fd_(fd), size_(size), path_(std::move(path)) {}
+ protected:
+  RandomAccessFile(uint64_t size, std::string path)
+      : size_(size), path_(std::move(path)) {}
 
-  int fd_;
+  void CountRead(uint64_t n) const {
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   uint64_t size_;
+
+ private:
   std::string path_;
   mutable std::atomic<uint64_t> bytes_read_{0};
 };

@@ -1,0 +1,700 @@
+#include "io/inflate_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#ifdef NODB_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace nodb {
+
+bool InflateFile::IsGzip(std::string_view head) {
+  return head.size() >= 2 && static_cast<unsigned char>(head[0]) == 0x1f &&
+         static_cast<unsigned char>(head[1]) == 0x8b;
+}
+
+#ifdef NODB_HAVE_ZLIB
+
+namespace {
+
+/// Deflate's history window: a restart needs at most this much output
+/// context, and inflateGetDictionary never returns more.
+constexpr uint64_t kWindowSize = 32768;
+/// Compressed input chunk per inner read.
+constexpr size_t kInBufBytes = 64 * 1024;
+/// Decompressed bytes discarded per inflate call while skipping forward to
+/// a seek target.
+constexpr size_t kDiscardBytes = 64 * 1024;
+/// Inflate contexts kept live, so interleaved readers (parallel morsel
+/// workers, pmap seeks racing a sequential pass) each keep locality instead
+/// of restarting the single shared cursor on every alternation.
+constexpr size_t kMaxCursors = 4;
+/// Smallest accepted checkpoint interval (window storage dominates below
+/// this; tests use small intervals to force many checkpoints).
+constexpr uint64_t kMinInterval = 1024;
+
+constexpr uint32_t kIndexMagic = 0x58495A47;  // "GZIX"
+constexpr uint32_t kIndexVersion = 1;
+/// Structural sanity bound, not a capacity: ~32 TiB decompressed at the
+/// minimum interval.
+constexpr uint32_t kMaxIndexEntries = 32u << 20;
+
+uint32_t LoadLE32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Word-mixing FNV-style checksum over the serialized index, so a snapshot
+/// section that decodes structurally but carries flipped bits is rejected
+/// at install time (a wrong 32 KiB window would otherwise inflate garbage
+/// that parses as plausible records).
+uint64_t IndexChecksum(const char* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ull ^ (n * 0x100000001b3ull);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+/// Bounds-checked little-endian decoder for InstallIndex.
+class IndexReader {
+ public:
+  explicit IndexReader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  std::string_view Bytes(size_t n) {
+    if (!Need(n)) return {};
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Status ZlibDataError(const std::string& path, const char* what,
+                     const char* msg) {
+  std::string detail = "gzip '" + path + "': " + what;
+  if (msg != nullptr && *msg != '\0') {
+    detail += ": ";
+    detail += msg;
+  }
+  return Status::Corruption(detail);
+}
+
+}  // namespace
+
+bool InflateSupported() { return true; }
+
+/// A zran-style access point: inflation can resume at decompressed offset
+/// `out_pos` given the compressed bit position and the 32 KiB of preceding
+/// output (the deflate dictionary).
+struct InflateFile::Checkpoint {
+  uint64_t out_pos = 0;
+  /// Compressed offset of the next unconsumed input byte. When `bits` != 0
+  /// the byte at in_pos - 1 still holds that many unconsumed high bits,
+  /// re-fed through inflatePrime.
+  uint64_t in_pos = 0;
+  uint8_t bits = 0;
+  std::string window;
+};
+
+/// One live inflate context. `out_pos` is the decompressed offset of the
+/// next byte it will produce, `in_pos` the compressed offset of the next
+/// input byte to fetch from the inner file.
+struct InflateFile::Cursor {
+  z_stream strm;
+  bool inited = false;
+  bool live = false;
+  /// Inflating contiguously from byte 0 in gzip-wrapped mode, where zlib
+  /// verifies the CRC32/ISIZE trailer at stream end; checkpoint restarts
+  /// run raw deflate and cannot.
+  bool from_zero = false;
+  uint64_t out_pos = 0;
+  uint64_t in_pos = 0;
+  uint64_t last_use = 0;
+  std::vector<char> in_buf;
+
+  Cursor() : in_buf(kInBufBytes) { std::memset(&strm, 0, sizeof(strm)); }
+  ~Cursor() {
+    if (inited) inflateEnd(&strm);
+  }
+};
+
+InflateFile::InflateFile(std::unique_ptr<RandomAccessFile> inner,
+                         uint64_t size, uint64_t interval)
+    : RandomAccessFile(size, inner->path()), inner_(std::move(inner)),
+      interval_(interval), discard_buf_(kDiscardBytes) {}
+
+InflateFile::~InflateFile() = default;
+
+Result<std::unique_ptr<InflateFile>> InflateFile::Open(
+    std::unique_ptr<RandomAccessFile> inner, InflateOptions options) {
+  if (inner == nullptr) {
+    return Status::InvalidArgument("InflateFile::Open: null inner file");
+  }
+  const std::string& path = inner->path();
+  const uint64_t csize = inner->size();
+  // 10-byte header + 2-byte minimum deflate stream + 8-byte trailer.
+  if (csize < 20) {
+    return Status::Corruption("gzip '" + path +
+                              "': too short to be a gzip member (" +
+                              std::to_string(csize) + " bytes)");
+  }
+  unsigned char header[10];
+  NODB_ASSIGN_OR_RETURN(uint64_t n,
+                        inner->Read(0, sizeof(header),
+                                    reinterpret_cast<char*>(header)));
+  if (n < sizeof(header)) {
+    return Status::Corruption("gzip '" + path + "': short header read");
+  }
+  if (header[0] != 0x1f || header[1] != 0x8b) {
+    return Status::InvalidArgument("'" + path + "' is not a gzip file");
+  }
+  if (header[2] != 8) {
+    return Status::Corruption("gzip '" + path +
+                              "': unsupported compression method " +
+                              std::to_string(header[2]));
+  }
+  if ((header[3] & 0xe0) != 0) {
+    return Status::Corruption("gzip '" + path + "': reserved FLG bits set");
+  }
+  // The trailer's ISIZE is the claimed decompressed size; it is what makes
+  // size() exact before any inflation, and every full read path verifies it
+  // (zlib's gzip mode re-checks CRC32+ISIZE, and ProbeEnd rejects streams
+  // that end early or run long).
+  unsigned char trailer[8];
+  NODB_ASSIGN_OR_RETURN(n, inner->Read(csize - sizeof(trailer),
+                                       sizeof(trailer),
+                                       reinterpret_cast<char*>(trailer)));
+  if (n < sizeof(trailer)) {
+    return Status::Corruption("gzip '" + path + "': short trailer read");
+  }
+  const uint64_t isize = LoadLE32(trailer + 4);
+  const uint64_t interval =
+      std::max<uint64_t>(kMinInterval, options.checkpoint_interval_bytes);
+  std::unique_ptr<InflateFile> file(
+      new InflateFile(std::move(inner), isize, interval));
+  // A zero ISIZE claims an empty payload — but zero-padded garbage after a
+  // member claims the same, and with size() == 0 no read would ever touch
+  // the stream to find out. Empty is cheap to verify, so do it eagerly.
+  if (isize == 0) {
+    NODB_RETURN_IF_ERROR(file->VerifyClaimedEmpty());
+  }
+  return file;
+}
+
+Status InflateFile::VerifyClaimedEmpty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cursor* c = nullptr;
+  NODB_RETURN_IF_ERROR(PositionCursor(&c, 0));
+  return ProbeEnd(c);
+}
+
+Status InflateFile::RestartFromZero(Cursor* c) const {
+  int ret;
+  if (!c->inited) {
+    // 32 + 15: auto-detect the gzip wrapper; zlib parses the header and
+    // verifies the CRC32/ISIZE trailer at Z_STREAM_END.
+    ret = inflateInit2(&c->strm, 32 + 15);
+    c->inited = (ret == Z_OK);
+  } else {
+    ret = inflateReset2(&c->strm, 32 + 15);
+  }
+  if (ret != Z_OK) {
+    return Status::Internal("inflateInit failed for '" + path() + "'");
+  }
+  c->strm.next_in = Z_NULL;
+  c->strm.avail_in = 0;
+  c->in_pos = 0;
+  c->out_pos = 0;
+  c->from_zero = true;
+  c->live = true;
+  full_restarts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status InflateFile::RestartFromCheckpoint(Cursor* c,
+                                          const Checkpoint& cp) const {
+  int ret;
+  if (!c->inited) {
+    ret = inflateInit2(&c->strm, -15);  // raw deflate
+    c->inited = (ret == Z_OK);
+  } else {
+    ret = inflateReset2(&c->strm, -15);
+  }
+  if (ret != Z_OK) {
+    return Status::Internal("inflateInit failed for '" + path() + "'");
+  }
+  c->strm.next_in = Z_NULL;
+  c->strm.avail_in = 0;
+  if (cp.bits != 0) {
+    char byte;
+    NODB_ASSIGN_OR_RETURN(uint64_t n, inner_->Read(cp.in_pos - 1, 1, &byte));
+    if (n != 1) {
+      return Status::Corruption("gzip '" + path() +
+                                "': short read at checkpoint bit position");
+    }
+    ret = inflatePrime(&c->strm, cp.bits,
+                       static_cast<unsigned char>(byte) >> (8 - cp.bits));
+    if (ret != Z_OK) {
+      return Status::Internal("inflatePrime failed for '" + path() + "'");
+    }
+  }
+  if (!cp.window.empty()) {
+    ret = inflateSetDictionary(
+        &c->strm, reinterpret_cast<const Bytef*>(cp.window.data()),
+        static_cast<uInt>(cp.window.size()));
+    if (ret != Z_OK) {
+      return Status::Internal("inflateSetDictionary failed for '" + path() +
+                              "'");
+    }
+  }
+  c->in_pos = cp.in_pos;
+  c->out_pos = cp.out_pos;
+  c->from_zero = false;
+  c->live = true;
+  checkpoint_restarts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status InflateFile::PositionCursor(Cursor** out, uint64_t target) const {
+  ++lru_tick_;
+  // Nearest checkpoint at or below the target.
+  const Checkpoint* cp = nullptr;
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), target,
+      [](uint64_t t, const Checkpoint& p) { return t < p.out_pos; });
+  if (it != index_.begin()) cp = &*(it - 1);
+  const uint64_t cp_out = cp == nullptr ? 0 : cp->out_pos;
+
+  // A live cursor between that checkpoint and the target beats restarting:
+  // it has strictly less left to inflate. The common sequential case is a
+  // cursor sitting exactly at the target.
+  Cursor* best = nullptr;
+  for (const auto& up : cursors_) {
+    Cursor* c = up.get();
+    if (c->live && c->out_pos <= target &&
+        (best == nullptr || c->out_pos > best->out_pos)) {
+      best = c;
+    }
+  }
+  if (best != nullptr && best->out_pos >= cp_out) {
+    best->last_use = lru_tick_;
+    *out = best;
+    return Status::OK();
+  }
+
+  Cursor* c;
+  if (cursors_.size() < kMaxCursors) {
+    cursors_.push_back(std::make_unique<Cursor>());
+    c = cursors_.back().get();
+  } else {
+    c = cursors_.front().get();
+    for (const auto& up : cursors_) {
+      if (up->last_use < c->last_use) c = up.get();
+    }
+  }
+  c->last_use = lru_tick_;
+  Status s = cp == nullptr ? RestartFromZero(c)
+                           : RestartFromCheckpoint(c, *cp);
+  if (!s.ok()) {
+    c->live = false;
+    return s;
+  }
+  *out = c;
+  return Status::OK();
+}
+
+void InflateFile::MaybeRecordCheckpoint(Cursor* c) const {
+  const uint64_t last = index_.empty() ? 0 : index_.back().out_pos;
+  if (c->out_pos < last + interval_ || c->out_pos >= size_) return;
+  Checkpoint cp;
+  cp.out_pos = c->out_pos;
+  cp.bits = static_cast<uint8_t>(c->strm.data_type & 7);
+  cp.in_pos = c->in_pos - c->strm.avail_in;
+  cp.window.resize(kWindowSize);
+  uInt wlen = static_cast<uInt>(kWindowSize);
+  if (inflateGetDictionary(&c->strm,
+                           reinterpret_cast<Bytef*>(cp.window.data()),
+                           &wlen) != Z_OK) {
+    return;  // no checkpoint is only a cost, never an error
+  }
+  cp.window.resize(wlen);
+  index_.push_back(std::move(cp));
+}
+
+Status InflateFile::StreamEnded(Cursor* c) const {
+  // The cursor is spent either way: a later read restarts.
+  c->live = false;
+  if (c->out_pos != size_) {
+    return ZlibDataError(
+        path(), "stream ended before its ISIZE claim",
+        ("decompressed " + std::to_string(c->out_pos) + " of claimed " +
+         std::to_string(size_) + " bytes")
+            .c_str());
+  }
+  // Gzip-wrapped mode consumed the 8-byte trailer reaching Z_STREAM_END;
+  // raw-deflate restarts stop right before it. Anything further —
+  // concatenated members, appended garbage — would silently not be served,
+  // so reject it.
+  const uint64_t leftover =
+      c->strm.avail_in + (inner_->size() - c->in_pos);
+  const uint64_t expected = c->from_zero ? 0 : 8;
+  if (leftover != expected) {
+    return ZlibDataError(path(), "trailing data after gzip member",
+                         (std::to_string(leftover) + " unconsumed bytes, "
+                          "expected " + std::to_string(expected) +
+                          " (concatenated members are not supported)")
+                             .c_str());
+  }
+  end_verified_ = true;
+  index_complete_ = true;
+  return Status::OK();
+}
+
+Status InflateFile::InflateStep(Cursor* c, char* dst, uint64_t want,
+                                uint64_t* got, bool* ended) const {
+  *got = 0;
+  *ended = false;
+  z_stream* s = &c->strm;
+  if (s->avail_in == 0) {
+    const uint64_t in_left = inner_->size() - c->in_pos;
+    const uint64_t take = std::min<uint64_t>(c->in_buf.size(), in_left);
+    if (take > 0) {
+      NODB_ASSIGN_OR_RETURN(uint64_t n,
+                            inner_->Read(c->in_pos, take, c->in_buf.data()));
+      s->next_in = reinterpret_cast<Bytef*>(c->in_buf.data());
+      s->avail_in = static_cast<uInt>(n);
+      c->in_pos += n;
+    }
+  }
+  s->next_out = reinterpret_cast<Bytef*>(dst);
+  s->avail_out = static_cast<uInt>(
+      std::min<uint64_t>(want, std::numeric_limits<uInt>::max()));
+  const uInt before = s->avail_out;
+  // Z_BLOCK makes inflate stop at deflate block boundaries — the only
+  // places a checkpoint can be recorded. Once the index is complete the
+  // extra returns buy nothing.
+  const int flush = index_complete_ ? Z_NO_FLUSH : Z_BLOCK;
+  const int ret = inflate(s, flush);
+  *got = before - s->avail_out;
+  c->out_pos += *got;
+  bytes_inflated_.fetch_add(*got, std::memory_order_relaxed);
+  switch (ret) {
+    case Z_STREAM_END:
+      *ended = true;
+      return Status::OK();
+    case Z_OK:
+    case Z_BUF_ERROR:
+      if (!index_complete_ && ret == Z_OK && (s->data_type & 128) != 0 &&
+          (s->data_type & 64) == 0) {
+        MaybeRecordCheckpoint(c);
+      }
+      if (*got == 0 && s->avail_in == 0 && c->in_pos >= inner_->size()) {
+        c->live = false;
+        return ZlibDataError(path(), "truncated stream",
+                             "compressed data ends mid-member");
+      }
+      return Status::OK();
+    case Z_NEED_DICT:
+    case Z_DATA_ERROR:
+      c->live = false;
+      return ZlibDataError(path(), "invalid compressed data", s->msg);
+    case Z_MEM_ERROR:
+      c->live = false;
+      return Status::Internal("inflate out of memory for '" + path() + "'");
+    default:
+      c->live = false;
+      return Status::Internal("inflate returned " + std::to_string(ret) +
+                              " for '" + path() + "'");
+  }
+}
+
+Status InflateFile::ProbeEnd(Cursor* c) const {
+  // The cursor sits at the claimed end. The stream must end exactly here:
+  // inflate until Z_STREAM_END, rejecting any further output (a lying
+  // ISIZE, or a concatenated member whose trailer Open read, would
+  // otherwise silently truncate the data).
+  while (true) {
+    char extra;
+    uint64_t got = 0;
+    bool ended = false;
+    NODB_RETURN_IF_ERROR(InflateStep(c, &extra, 1, &got, &ended));
+    if (got > 0) {
+      c->live = false;
+      return ZlibDataError(path(),
+                           "decompressed data extends past the ISIZE claim",
+                           nullptr);
+    }
+    if (ended) return StreamEnded(c);
+  }
+}
+
+Status InflateFile::InflateRange(Cursor* c, uint64_t target, uint64_t length,
+                                 char* scratch, uint64_t* produced) const {
+  *produced = 0;
+  while (true) {
+    char* dst;
+    uint64_t want;
+    const bool skipping = c->out_pos < target;
+    if (skipping) {
+      dst = discard_buf_.data();
+      want = std::min<uint64_t>(target - c->out_pos, discard_buf_.size());
+    } else {
+      want = length - *produced;
+      if (want == 0) break;
+      dst = scratch + *produced;
+    }
+    uint64_t got = 0;
+    bool ended = false;
+    NODB_RETURN_IF_ERROR(InflateStep(c, dst, want, &got, &ended));
+    if (!skipping) *produced += got;
+    if (ended) {
+      NODB_RETURN_IF_ERROR(StreamEnded(c));
+      break;
+    }
+  }
+  if (c->live && c->out_pos == size_ && !end_verified_) {
+    NODB_RETURN_IF_ERROR(ProbeEnd(c));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> InflateFile::Read(uint64_t offset, uint64_t length,
+                                   char* scratch) const {
+  if (offset >= size_ || length == 0) return static_cast<uint64_t>(0);
+  length = std::min(length, size_ - offset);
+  std::lock_guard<std::mutex> lock(mu_);
+  Cursor* c = nullptr;
+  NODB_RETURN_IF_ERROR(PositionCursor(&c, offset));
+  uint64_t produced = 0;
+  NODB_RETURN_IF_ERROR(InflateRange(c, offset, length, scratch, &produced));
+  CountRead(produced);
+  return produced;
+}
+
+bool InflateFile::SupportsConcurrentReads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_complete_;
+}
+
+std::vector<uint64_t> InflateFile::RecommendedSplitOffsets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> offsets;
+  offsets.reserve(index_.size());
+  for (const Checkpoint& cp : index_) offsets.push_back(cp.out_pos);
+  return offsets;
+}
+
+uint64_t InflateFile::checkpoint_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+bool InflateFile::index_complete() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_complete_;
+}
+
+std::string InflateFile::SerializeIndex() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!index_complete_) return {};
+  std::string out;
+  PutU32(&out, kIndexMagic);
+  PutU32(&out, kIndexVersion);
+  PutU64(&out, interval_);
+  PutU64(&out, size_);
+  PutU64(&out, inner_->size());
+  PutU32(&out, static_cast<uint32_t>(index_.size()));
+  for (const Checkpoint& cp : index_) {
+    PutU64(&out, cp.out_pos);
+    PutU64(&out, cp.in_pos);
+    PutU8(&out, cp.bits);
+    PutU32(&out, static_cast<uint32_t>(cp.window.size()));
+    out.append(cp.window);
+  }
+  PutU64(&out, IndexChecksum(out.data(), out.size()));
+  return out;
+}
+
+Status InflateFile::InstallIndex(std::string_view blob) const {
+  if (blob.size() < 8) {
+    return Status::Corruption("gzip checkpoint index: blob too short");
+  }
+  const size_t body = blob.size() - 8;
+  IndexReader checksum_reader(blob.substr(body));
+  if (checksum_reader.U64() != IndexChecksum(blob.data(), body)) {
+    return Status::Corruption("gzip checkpoint index: checksum mismatch");
+  }
+  IndexReader r(blob.substr(0, body));
+  if (r.U32() != kIndexMagic) {
+    return Status::Corruption("gzip checkpoint index: bad magic");
+  }
+  if (r.U32() != kIndexVersion) {
+    return Status::Corruption("gzip checkpoint index: unknown version");
+  }
+  r.U64();  // builder's interval; restart points are valid regardless
+  const uint64_t total_out = r.U64();
+  const uint64_t compressed = r.U64();
+  if (!r.ok() || total_out != size_ || compressed != inner_->size()) {
+    return Status::Corruption(
+        "gzip checkpoint index: size mismatch with the open source");
+  }
+  const uint32_t count = r.U32();
+  if (!r.ok() || count > kMaxIndexEntries) {
+    return Status::Corruption("gzip checkpoint index: implausible entry "
+                              "count");
+  }
+  std::vector<Checkpoint> parsed;
+  parsed.reserve(count);
+  uint64_t prev_out = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    Checkpoint cp;
+    cp.out_pos = r.U64();
+    cp.in_pos = r.U64();
+    cp.bits = r.U8();
+    const uint32_t wlen = r.U32();
+    if (!r.ok() || wlen > kWindowSize) {
+      return Status::Corruption("gzip checkpoint index: oversized window");
+    }
+    std::string_view window = r.Bytes(wlen);
+    if (!r.ok() || cp.out_pos <= prev_out || cp.out_pos >= size_ ||
+        cp.bits > 7 || cp.in_pos < 1 || cp.in_pos > inner_->size()) {
+      return Status::Corruption("gzip checkpoint index: invalid checkpoint");
+    }
+    cp.window.assign(window);
+    prev_out = cp.out_pos;
+    parsed.push_back(std::move(cp));
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::Corruption("gzip checkpoint index: trailing bytes");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  index_ = std::move(parsed);
+  index_complete_ = true;
+  return Status::OK();
+}
+
+std::string GzipCompress(std::string_view data) {
+  z_stream strm;
+  std::memset(&strm, 0, sizeof(strm));
+  if (deflateInit2(&strm, Z_DEFAULT_COMPRESSION, Z_DEFLATED, 16 + 15, 8,
+                   Z_DEFAULT_STRATEGY) != Z_OK) {
+    return {};
+  }
+  std::string out;
+  strm.next_in =
+      reinterpret_cast<Bytef*>(const_cast<char*>(data.data()));
+  strm.avail_in = static_cast<uInt>(data.size());
+  char buf[64 * 1024];
+  int ret;
+  do {
+    strm.next_out = reinterpret_cast<Bytef*>(buf);
+    strm.avail_out = sizeof(buf);
+    ret = deflate(&strm, Z_FINISH);
+    out.append(buf, sizeof(buf) - strm.avail_out);
+  } while (ret == Z_OK);
+  deflateEnd(&strm);
+  return ret == Z_STREAM_END ? out : std::string();
+}
+
+#else  // !NODB_HAVE_ZLIB
+
+// Build without zlib: the layer reports itself unavailable, Open returns a
+// typed Unimplemented, and gz suites skip. Nothing else may be reached.
+
+struct InflateFile::Checkpoint {};
+struct InflateFile::Cursor {};
+
+bool InflateSupported() { return false; }
+
+InflateFile::InflateFile(std::unique_ptr<RandomAccessFile> inner,
+                         uint64_t size, uint64_t interval)
+    : RandomAccessFile(size, inner->path()), inner_(std::move(inner)),
+      interval_(interval) {}
+
+InflateFile::~InflateFile() = default;
+
+Result<std::unique_ptr<InflateFile>> InflateFile::Open(
+    std::unique_ptr<RandomAccessFile>, InflateOptions) {
+  return Status::Unimplemented("compressed sources require a build with "
+                               "zlib (cmake did not find ZLIB)");
+}
+
+Result<uint64_t> InflateFile::Read(uint64_t, uint64_t, char*) const {
+  return Status::Unimplemented("built without zlib");
+}
+
+bool InflateFile::SupportsConcurrentReads() const { return false; }
+std::vector<uint64_t> InflateFile::RecommendedSplitOffsets() const {
+  return {};
+}
+uint64_t InflateFile::checkpoint_count() const { return 0; }
+bool InflateFile::index_complete() const { return false; }
+std::string InflateFile::SerializeIndex() const { return {}; }
+Status InflateFile::InstallIndex(std::string_view) const {
+  return Status::Unimplemented("built without zlib");
+}
+
+std::string GzipCompress(std::string_view) { return {}; }
+
+#endif  // NODB_HAVE_ZLIB
+
+}  // namespace nodb

@@ -1,0 +1,158 @@
+#ifndef NODB_IO_INFLATE_FILE_H_
+#define NODB_IO_INFLATE_FILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/file.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// In-situ scans over compressed sources. `InflateFile` wraps any
+/// `RandomAccessFile` holding a single-member gzip stream and presents the
+/// *decompressed* byte stream, so every layer above — adapters, tokenize
+/// kernels, positional maps, column cache, statistics, promotion — works
+/// unchanged against decompressed offsets.
+///
+/// Random access into deflate data is impossible without auxiliary state
+/// (every byte depends on up to 32 KiB of history and an unaligned bit
+/// position), so the layer records zran-style checkpoints as it inflates:
+/// every `checkpoint_interval_bytes` of decompressed output, at a deflate
+/// block boundary, it captures {decompressed offset, compressed bit
+/// position, 32 KiB window}. A warm random read then restarts from the
+/// nearest checkpoint at or below the target (inflatePrime +
+/// inflateSetDictionary) and inflates forward — at most one checkpoint
+/// interval of work instead of a whole-file re-inflate. The index is
+/// serializable, so snapshots (.nodbsnap v3) let a restarted server seek a
+/// gz source without ever re-inflating from byte 0.
+///
+/// Size contract: `size()` must be exact before the first read (LineReader
+/// and morsel planning consult it up front), so Open trusts the gzip ISIZE
+/// trailer as the claimed decompressed size and verifies lazily — any read
+/// reaching the claimed end probes that the stream really ends there, and
+/// the first contiguous-from-zero pass gets zlib's CRC32/ISIZE check for
+/// free. A lying trailer (truncation, concatenated members, appended
+/// garbage) therefore surfaces as a typed Corruption during the scan, never
+/// as silently wrong bytes. Sources over 4 GiB decompressed are unsupported
+/// (ISIZE is mod 2^32).
+struct InflateOptions {
+  /// Decompressed bytes between restart checkpoints. Smaller = cheaper warm
+  /// seeks, more index memory (~32 KiB window per checkpoint).
+  uint64_t checkpoint_interval_bytes = 4ull << 20;
+};
+
+/// True when the build has zlib; without it InflateFile::Open returns
+/// Unimplemented and the gz-backed suites skip.
+bool InflateSupported();
+
+class InflateFile final : public RandomAccessFile {
+ public:
+  /// Gzip magic `1f 8b` at the head of a byte string.
+  static bool IsGzip(std::string_view head);
+
+  /// Wraps `inner` (a complete single-member .gz file). Validates the
+  /// header and reads the ISIZE trailer for the presented size; the body is
+  /// not inflated until the first read.
+  static Result<std::unique_ptr<InflateFile>> Open(
+      std::unique_ptr<RandomAccessFile> inner, InflateOptions options = {});
+
+  ~InflateFile() override;
+
+  Result<uint64_t> Read(uint64_t offset, uint64_t length,
+                        char* scratch) const override;
+
+  /// True once the checkpoint index covers the whole stream (one full
+  /// sequential pass, or an installed snapshot index). Until then parallel
+  /// workers would each pay a from-zero inflate, so the scan planner runs
+  /// single-morsel.
+  bool SupportsConcurrentReads() const override;
+
+  /// Checkpoint decompressed offsets — the cheap morsel split points.
+  std::vector<uint64_t> RecommendedSplitOffsets() const override;
+
+  const InflateFile* AsInflateFile() const override { return this; }
+
+  const RandomAccessFile* inner() const { return inner_.get(); }
+  uint64_t checkpoint_interval() const { return interval_; }
+
+  // --- accounting (decompressed-payload accounting is the inherited
+  // bytes_read(): bytes actually delivered to callers) ---
+  /// Compressed bytes read from the wrapped file.
+  uint64_t compressed_bytes_read() const { return inner_->bytes_read(); }
+  /// Total decompressed bytes produced by inflate, including bytes inflated
+  /// only to skip forward to a seek target. The warm-seek observable: a
+  /// checkpoint-directed read grows this by at most one interval + the
+  /// request length.
+  uint64_t bytes_inflated() const {
+    return bytes_inflated_.load(std::memory_order_relaxed);
+  }
+  /// Restarts from a recorded checkpoint / from byte zero.
+  uint64_t checkpoint_restarts() const {
+    return checkpoint_restarts_.load(std::memory_order_relaxed);
+  }
+  uint64_t full_restarts() const {
+    return full_restarts_.load(std::memory_order_relaxed);
+  }
+  uint64_t checkpoint_count() const;
+  bool index_complete() const;
+
+  // --- snapshot integration (.nodbsnap v3 section) ---
+  /// Serialized complete checkpoint index (self-checksummed blob); empty
+  /// string while the index is incomplete.
+  std::string SerializeIndex() const;
+  /// Installs a serialized index. Validation failure returns Corruption and
+  /// leaves the file fully functional — it just re-inflates from byte zero.
+  /// Logically const: the index is a cache of facts about immutable bytes.
+  Status InstallIndex(std::string_view blob) const;
+
+ private:
+  struct Checkpoint;
+  struct Cursor;
+
+  InflateFile(std::unique_ptr<RandomAccessFile> inner, uint64_t size,
+              uint64_t interval);
+
+  Status PositionCursor(Cursor** out, uint64_t target) const;
+  Status RestartFromZero(Cursor* c) const;
+  Status RestartFromCheckpoint(Cursor* c, const Checkpoint& cp) const;
+  Status InflateStep(Cursor* c, char* dst, uint64_t want, uint64_t* got,
+                     bool* ended) const;
+  Status InflateRange(Cursor* c, uint64_t target, uint64_t length,
+                      char* scratch, uint64_t* produced) const;
+  Status StreamEnded(Cursor* c) const;
+  Status ProbeEnd(Cursor* c) const;
+  Status VerifyClaimedEmpty() const;
+  void MaybeRecordCheckpoint(Cursor* c) const;
+
+  std::unique_ptr<RandomAccessFile> inner_;
+  const uint64_t interval_;
+
+  mutable std::mutex mu_;
+  mutable std::vector<Checkpoint> index_;  // sorted by out_pos
+  mutable bool index_complete_ = false;
+  /// Stream end confirmed at size_ with a clean trailer (and CRC32/ISIZE
+  /// when the confirming pass was contiguous from zero).
+  mutable bool end_verified_ = false;
+  mutable std::vector<std::unique_ptr<Cursor>> cursors_;
+  mutable uint64_t lru_tick_ = 0;
+  mutable std::vector<char> discard_buf_;
+
+  mutable std::atomic<uint64_t> bytes_inflated_{0};
+  mutable std::atomic<uint64_t> checkpoint_restarts_{0};
+  mutable std::atomic<uint64_t> full_restarts_{0};
+};
+
+/// Gzip-compresses `data` as one member (test corpus + bench helper; returns
+/// empty when zlib is unavailable).
+std::string GzipCompress(std::string_view data);
+
+}  // namespace nodb
+
+#endif  // NODB_IO_INFLATE_FILE_H_

@@ -9,7 +9,9 @@
 
 namespace nodb {
 
-bool PathHasExtension(std::string_view path, std::string_view ext) {
+namespace {
+
+bool TailMatches(std::string_view path, std::string_view ext) {
   if (path.size() < ext.size()) return false;
   std::string_view tail = path.substr(path.size() - ext.size());
   for (size_t i = 0; i < ext.size(); ++i) {
@@ -19,6 +21,18 @@ bool PathHasExtension(std::string_view path, std::string_view ext) {
     }
   }
   return true;
+}
+
+}  // namespace
+
+bool PathHasExtension(std::string_view path, std::string_view ext) {
+  // A trailing ".gz" is a transport wrapper, not a format: "t.tsv.gz" has
+  // extension ".tsv" for sniffing and dialect purposes (the decompression
+  // layer presents the inner byte stream to the adapter).
+  if (TailMatches(path, ".gz") && !TailMatches(ext, ".gz")) {
+    path.remove_suffix(3);
+  }
+  return TailMatches(path, ext);
 }
 
 AdapterRegistry& AdapterRegistry::Global() {

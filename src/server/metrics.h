@@ -62,8 +62,16 @@ struct ServerStats {
     std::string snapshot_state;  // SnapshotStateName: none/loaded/stale/...
     uint64_t snapshot_bytes = 0;
     /// Raw-file bytes read through the adapter since Open; ~0 right after a
-    /// successful snapshot load, file-sized after a cold first scan.
+    /// successful snapshot load, file-sized after a cold first scan. For
+    /// compressed sources: decompressed payload bytes.
     uint64_t bytes_read = 0;
+    /// Compressed-source (gzip) accounting; all zero for plain files.
+    /// `gz_bytes_inflated` stays 0 across a warm restart whose queries are
+    /// cache-served, and grows by at most a checkpoint interval per
+    /// pmap-directed seek — the restart smoke test's gate.
+    bool compressed = false;
+    uint64_t gz_checkpoints = 0;
+    uint64_t gz_bytes_inflated = 0;
     /// Known row count; negative while unknown.
     double rows = -1;
     /// Workload-driven promotion state (src/adaptive): attributes currently

@@ -268,6 +268,10 @@ std::string StatsLine(const ServerStats& s, const SessionStatsView& sess) {
     AppendJsonQuoted(&out, t.snapshot_state);
     out += ",\"snapshot_bytes\":" + std::to_string(t.snapshot_bytes);
     out += ",\"bytes_read\":" + std::to_string(t.bytes_read);
+    out += ",\"compressed\":";
+    out += t.compressed ? "true" : "false";
+    out += ",\"gz_checkpoints\":" + std::to_string(t.gz_checkpoints);
+    out += ",\"gz_bytes_inflated\":" + std::to_string(t.gz_bytes_inflated);
     out += ",\"rows\":";
     AppendDouble(&out, t.rows);
     out += ",\"promoted_columns\":[";

@@ -165,6 +165,9 @@ ServerStats QueryServer::Stats() const {
     view.snapshot_state = std::string(SnapshotStateName(info.snapshot_state));
     view.snapshot_bytes = info.snapshot_bytes;
     view.bytes_read = info.bytes_read;
+    view.compressed = info.compressed;
+    view.gz_checkpoints = info.gz_checkpoints;
+    view.gz_bytes_inflated = info.gz_bytes_inflated;
     view.rows = info.row_count;
     view.promoted_columns = info.promoted_columns;
     view.promoted_bytes = info.promoted_bytes;

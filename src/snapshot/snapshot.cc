@@ -12,6 +12,7 @@
 
 #include "adaptive/column_access.h"
 #include "io/file.h"
+#include "io/inflate_file.h"
 #include "util/fs_util.h"
 
 namespace nodb {
@@ -34,9 +35,11 @@ namespace {
 
 constexpr char kMagic[8] = {'N', 'O', 'D', 'B', 'S', 'N', 'A', 'P'};
 /// v2 appends an optional per-column access-counter section after the
-/// stats section. v1 files (no section) still load; the counters simply
-/// start cold. Anything else is rejected as stale.
-constexpr uint32_t kVersion = 2;
+/// stats section. v3 appends an optional gzip checkpoint-index section
+/// (decompression restart points for compressed sources, src/io). Older
+/// files (missing sections) still load; the omitted state simply starts
+/// cold. Anything else is rejected as stale.
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kMinVersion = 1;
 constexpr size_t kHeaderBytes = 40;
 constexpr uint64_t kSampleBytes = 64 * 1024;  // fingerprint head/tail window
@@ -403,6 +406,7 @@ struct DecodedSnapshot {
   std::vector<DecodedStats> stats;
   bool has_access = false;
   std::vector<ColumnAccessCounters> access;  // [attr] when has_access
+  std::string gz_index;  // serialized InflateFile checkpoint index, or empty
 };
 
 /// Decodes and structurally validates the whole payload against its *own*
@@ -556,6 +560,17 @@ bool DecodePayload(std::string_view payload, uint32_t version,
     }
   }
 
+  // v3: gzip checkpoint index for compressed sources. An opaque blob —
+  // InflateFile::InstallIndex validates it internally (own magic +
+  // checksum), so decode only moves the bytes. Present only when the
+  // writer's source was compressed and its index was complete.
+  if (version >= 3) {
+    if (r.U8() != 0) {
+      out->gz_index = r.Str();
+      if (!r.ok() || out->gz_index.empty()) return false;
+    }
+  }
+
   // Trailing garbage would mean the writer and reader disagree.
   return r.ok() && r.remaining() == 0;
 }
@@ -680,6 +695,15 @@ uint64_t WarmStateSignature(const TableRuntime& rt) {
   if (rt.access != nullptr) {
     sig = HashCombine(sig, rt.access->Signature());
   }
+  if (rt.adapter != nullptr) {
+    // Compressed sources: a completed checkpoint index is warm state worth
+    // re-saving even when nothing else moved (the next restart then seeks
+    // instead of re-inflating from zero).
+    if (const InflateFile* gz = rt.adapter->file()->AsInflateFile()) {
+      sig = HashCombine(sig, gz->checkpoint_count());
+      sig = HashCombine(sig, gz->index_complete() ? 1 : 0);
+    }
+  }
   return sig;
 }
 
@@ -784,6 +808,22 @@ Result<SnapshotWriteInfo> WriteTableSnapshot(TableRuntime* rt) {
     }
   } else {
     PutU8(&payload, 0);
+  }
+
+  // v3: gzip checkpoint index. Only a *complete* index is worth persisting
+  // (SerializeIndex returns empty otherwise); a partial one would be
+  // rebuilt by the next cold scan anyway.
+  {
+    std::string gz_index;
+    if (const InflateFile* gz = rt->adapter->file()->AsInflateFile()) {
+      gz_index = gz->SerializeIndex();
+    }
+    if (!gz_index.empty()) {
+      PutU8(&payload, 1);
+      PutStr(&payload, gz_index);
+    } else {
+      PutU8(&payload, 0);
+    }
   }
 
   std::string header;
@@ -969,6 +1009,15 @@ SnapshotLoadInfo LoadTableSnapshot(TableRuntime* rt) {
   if (snap.has_access && rt->access != nullptr) {
     for (int a = 0; a < rt->schema.num_columns(); ++a) {
       rt->access->InstallSnapshot(a, snap.access[a]);
+    }
+  }
+
+  if (!snap.gz_index.empty()) {
+    // Best-effort: a rejected index (corrupt blob, or the source is no
+    // longer served compressed) only costs re-inflation from zero — the
+    // rest of the warm state above stays installed either way.
+    if (const InflateFile* gz = rt->adapter->file()->AsInflateFile()) {
+      (void)gz->InstallIndex(snap.gz_index);
     }
   }
 

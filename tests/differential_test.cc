@@ -4,6 +4,7 @@
 
 #include "csv/writer.h"
 #include "engine/engines.h"
+#include "io/inflate_file.h"
 #include "json/jsonl_writer.h"
 #include "util/fs_util.h"
 #include "util/rng.h"
@@ -49,6 +50,18 @@ void WriteJsonlFile(const std::string& path, const Schema& schema,
   }
   ASSERT_TRUE(writer.Finish().ok());
   ASSERT_TRUE((*out)->Close().ok());
+}
+
+/// Gzips `plain_path` next to itself (same name + ".gz") and returns the
+/// compressed path. The gz-backed engines below serve the *same relational
+/// content* through the decompression layer, so they must agree with every
+/// uncompressed engine on every query.
+std::string MakeGzCopy(const std::string& plain_path) {
+  auto content = ReadFileToString(plain_path);
+  EXPECT_TRUE(content.ok());
+  std::string gz_path = plain_path + ".gz";
+  EXPECT_TRUE(WriteStringToFile(gz_path, GzipCompress(*content)).ok());
+  return gz_path;
 }
 
 RandomTable MakeRandomTable(Rng* rng) {
@@ -276,6 +289,11 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
   std::string jsonl_path = dir.File("t.jsonl");
   WriteCsvFile(csv_path, table.rows);
   WriteJsonlFile(jsonl_path, table.schema, table.rows);
+  std::string csv_gz_path, jsonl_gz_path;
+  if (InflateSupported()) {
+    csv_gz_path = MakeGzCopy(csv_path);
+    jsonl_gz_path = MakeGzCopy(jsonl_path);
+  }
 
   // Instantiate every system under test once; adaptive state persists
   // across the whole query sequence (as it would in production). Every
@@ -324,6 +342,30 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
       engines.emplace_back("PM+C tight budget" + tag, std::move(db));
     }
 
+    // The same rows served gzipped, through the checkpointed decompression
+    // layer: adapters address decompressed offsets, so positional maps,
+    // cache and kernels must behave byte-identically to the plain engines.
+    // A deliberately tiny checkpoint interval forces the interesting
+    // regime (many restart points even on this small table).
+    if (InflateSupported()) {
+      for (bool jsonl : {false, true}) {
+        EngineConfig config =
+            EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPMC);
+        config.scalar_kernels = scalar_kernels;
+        config.gz_checkpoint_bytes = 2048;
+        auto db = std::make_unique<Database>(config);
+        OpenOptions options;
+        options.schema = table.schema;
+        const std::string& path = jsonl ? jsonl_gz_path : csv_gz_path;
+        ASSERT_TRUE(db->Open("t", path, options).ok()) << path;
+        ASSERT_NE(db->runtime("t")->adapter->file()->AsInflateFile(),
+                  nullptr);
+        engines.emplace_back(std::string("PM+C [") +
+                                 (jsonl ? "jsonl.gz" : "csv.gz") + "]" + tag,
+                             std::move(db));
+      }
+    }
+
     // Restart equivalence: engines whose warmth was round-tripped through
     // an on-disk snapshot by a previous engine instance, one per raw
     // framing. They must agree with every live engine on every query.
@@ -363,6 +405,97 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnRandomWorkload) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+/// Checkpoint-seek differential: a table large enough for a real
+/// checkpoint index (a few MiB decompressed, 64 KiB intervals) served by a
+/// PM-only engine — no column cache, so every warm query goes back to the
+/// raw bytes through the positional map. The gz engine must agree with the
+/// plain engine cold and warm, and once the index exists, a pmap-directed
+/// read into the middle of the stream must inflate O(interval), not O(file).
+TEST(GzCheckpointSeekTest, WarmDirectedReadsUseCheckpointsAndAgree) {
+  if (!InflateSupported()) GTEST_SKIP() << "built without zlib";
+  TempDir dir;
+  Schema schema{{"id", TypeId::kInt64},
+                {"grp", TypeId::kInt64},
+                {"score", TypeId::kDouble},
+                {"name", TypeId::kString}};
+  std::vector<Row> rows;
+  Rng rng(77);
+  constexpr int kRows = 100000;
+  rows.reserve(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    rows.push_back({Value::Int64(i), Value::Int64(rng.Uniform(0, 16)),
+                    Value::Double(static_cast<double>(rng.Uniform(0, 4000)) / 8.0),
+                    Value::String("name" + std::to_string(rng.Uniform(0, 500)))});
+  }
+  std::string plain = dir.File("big.csv");
+  WriteCsvFile(plain, rows);
+  std::string gzpath = MakeGzCopy(plain);
+
+  auto make_pm_engine = [&schema](const std::string& path, uint64_t interval) {
+    EngineConfig config =
+        EngineConfig::ForSystem(SystemUnderTest::kPostgresRawPM);
+    config.gz_checkpoint_bytes = interval;
+    auto db = std::make_unique<Database>(config);
+    OpenOptions options;
+    options.schema = schema;
+    EXPECT_TRUE(db->Open("t", path, options).ok()) << path;
+    return db;
+  };
+  constexpr uint64_t kInterval = 64 * 1024;
+  auto plain_db = make_pm_engine(plain, kInterval);
+  auto gz_db = make_pm_engine(gzpath, kInterval);
+
+  const char* queries[] = {
+      "SELECT COUNT(*) AS n, SUM(id) AS s FROM t",
+      "SELECT grp, COUNT(*) AS n, SUM(score) AS s FROM t WHERE id >= 60000 "
+      "GROUP BY grp",
+      "SELECT id, name FROM t WHERE score < 2.0 AND grp = 7",
+  };
+  for (const char* sql : queries) {
+    for (int run = 0; run < 2; ++run) {  // cold, then pmap-warm
+      auto a = plain_db->Execute(sql);
+      auto b = gz_db->Execute(sql);
+      ASSERT_TRUE(a.ok()) << sql << "\n" << a.status();
+      ASSERT_TRUE(b.ok()) << sql << "\n" << b.status();
+      EXPECT_EQ(a->Canonical(true), b->Canonical(true))
+          << "run " << run << ": " << sql;
+    }
+  }
+
+  const InflateFile* gz =
+      gz_db->runtime("t")->adapter->file()->AsInflateFile();
+  ASSERT_NE(gz, nullptr);
+  EXPECT_TRUE(gz->index_complete());
+  EXPECT_GT(gz->checkpoint_count(), 4u);
+
+  // Directed reads at descending offsets: after the full scans every pool
+  // cursor sits at (or past) each successive target, so serving the read
+  // demands a restart — with the index present, from a checkpoint, paying
+  // at most one interval plus a deflate block of skip-forward inflation.
+  auto plain_bytes = ReadFileToString(plain);
+  ASSERT_TRUE(plain_bytes.ok());
+  const uint64_t restarts_before = gz->checkpoint_restarts();
+  const uint64_t full_before = gz->full_restarts();
+  for (double frac : {0.9, 0.6, 0.3}) {
+    const uint64_t target = static_cast<uint64_t>(gz->size() * frac);
+    const uint64_t inflated_before = gz->bytes_inflated();
+    char buf[512];
+    auto n = gz->Read(target, sizeof(buf), buf);
+    ASSERT_TRUE(n.ok()) << n.status();
+    ASSERT_EQ(*n, sizeof(buf));
+    // Byte-identical with the uncompressed file at the same offsets.
+    EXPECT_EQ(std::string_view(buf, *n),
+              std::string_view(*plain_bytes).substr(target, *n));
+    EXPECT_LE(gz->bytes_inflated() - inflated_before,
+              kInterval + sizeof(buf) + 256 * 1024)
+        << "directed read at " << target << " re-inflated too much";
+  }
+  EXPECT_GE(gz->checkpoint_restarts(), restarts_before + 3);
+  // Every directed read was served from a checkpoint — never by
+  // re-inflating the stream from zero.
+  EXPECT_EQ(gz->full_restarts(), full_before);
+}
 
 /// Deterministic cross-engine harness: a fixed orders/customers pair and a
 /// named query list spanning filters, aggregates, joins and ORDER BY/LIMIT.

@@ -1,0 +1,421 @@
+// Corruption corpus + contract tests for the compressed-source layer
+// (io/inflate_file.h). Two properties gate everything above it:
+//
+//  1. Offset fidelity: the decompressed byte stream reads back identical to
+//     the original bytes through any access pattern — sequential, random
+//     checkpoint-directed seeks, concurrent readers, installed snapshot
+//     indexes — because positional maps store decompressed offsets and a
+//     single wrong byte silently corrupts parsed values.
+//
+//  2. Typed failure: every malformed input — truncated mid-member, bit
+//     flips anywhere (header, deflate body, CRC trailer), concatenated
+//     members, garbage past the trailer — must surface as a typed
+//     Corruption/InvalidArgument status, never a crash and never silently
+//     wrong bytes. This suite runs in the ASan CI shard.
+
+#include "io/inflate_file.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/file.h"
+#include "util/fs_util.h"
+
+namespace nodb {
+namespace {
+
+/// Deterministic compressible-but-not-trivial text, shaped like the CSV
+/// payloads the engine actually scans.
+std::string MakeText(size_t target_bytes) {
+  std::string out;
+  out.reserve(target_bytes + 64);
+  uint64_t state = 0x243f6a8885a308d3ull;
+  uint64_t row = 0;
+  while (out.size() < target_bytes) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    out += std::to_string(row++);
+    out += ',';
+    out += std::to_string(state % 100000);
+    out += ",name_";
+    out += std::to_string(state % 977);
+    out += ',';
+    out += (state & 1) ? "true" : "false";
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::unique_ptr<InflateFile>> OpenGzBytes(const std::string& path,
+                                                 const std::string& gz_bytes,
+                                                 uint64_t interval) {
+  EXPECT_TRUE(WriteStringToFile(path, gz_bytes).ok());
+  auto inner = RandomAccessFile::Open(path);
+  if (!inner.ok()) return inner.status();
+  InflateOptions opts;
+  opts.checkpoint_interval_bytes = interval;
+  return InflateFile::Open(std::move(*inner), opts);
+}
+
+/// Reads the whole presented stream in 64 KiB chunks.
+Status ReadAll(const RandomAccessFile& f, std::string* out) {
+  out->clear();
+  out->reserve(f.size());
+  std::vector<char> buf(64 * 1024);
+  uint64_t off = 0;
+  while (off < f.size()) {
+    Result<uint64_t> n = f.Read(off, buf.size(), buf.data());
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;
+    out->append(buf.data(), *n);
+    off += *n;
+  }
+  return Status::OK();
+}
+
+bool IsTypedDataError(const Status& s) {
+  return s.code() == StatusCode::kCorruption ||
+         s.code() == StatusCode::kInvalidArgument;
+}
+
+class InflateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!InflateSupported()) GTEST_SKIP() << "built without zlib";
+  }
+
+  TempDir dir_;
+};
+
+TEST_F(InflateTest, RejectsNonGzipInput) {
+  const std::string path = dir_.File("plain.csv");
+  ASSERT_TRUE(WriteStringToFile(path, MakeText(4096)).ok());
+  auto inner = RandomAccessFile::Open(path);
+  ASSERT_TRUE(inner.ok());
+  auto gz = InflateFile::Open(std::move(*inner));
+  ASSERT_FALSE(gz.ok());
+  EXPECT_EQ(gz.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(InflateTest, MagicSniff) {
+  EXPECT_TRUE(InflateFile::IsGzip(GzipCompress("x")));
+  EXPECT_FALSE(InflateFile::IsGzip("id,name\n"));
+  EXPECT_FALSE(InflateFile::IsGzip("\x1f"));
+  EXPECT_FALSE(InflateFile::IsGzip(""));
+}
+
+TEST_F(InflateTest, EmptyPayload) {
+  auto gz = OpenGzBytes(dir_.File("empty.gz"), GzipCompress(""), 1 << 20);
+  ASSERT_TRUE(gz.ok());
+  EXPECT_EQ((*gz)->size(), 0u);
+  char buf[8];
+  auto n = (*gz)->Read(0, sizeof(buf), buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST_F(InflateTest, SequentialRoundTripBuildsIndex) {
+  const std::string text = MakeText(1500 * 1024);
+  const uint64_t interval = 64 * 1024;
+  auto gz = OpenGzBytes(dir_.File("t.gz"), GzipCompress(text), interval);
+  ASSERT_TRUE(gz.ok());
+  const InflateFile& f = **gz;
+  EXPECT_EQ(f.size(), text.size());
+  EXPECT_FALSE(f.index_complete());
+  EXPECT_FALSE(f.SupportsConcurrentReads());
+
+  std::string got;
+  ASSERT_TRUE(ReadAll(f, &got).ok());
+  EXPECT_TRUE(got == text) << "decompressed bytes differ";
+
+  // One full pass completes the index: checkpoints spaced >= interval,
+  // presented-space split offsets available, and the stream end verified
+  // against CRC32/ISIZE.
+  EXPECT_TRUE(f.index_complete());
+  EXPECT_TRUE(f.SupportsConcurrentReads());
+  EXPECT_GT(f.checkpoint_count(), 4u);
+  EXPECT_LE(f.checkpoint_count(), text.size() / interval);
+  std::vector<uint64_t> splits = f.RecommendedSplitOffsets();
+  ASSERT_EQ(splits.size(), f.checkpoint_count());
+  for (size_t i = 1; i < splits.size(); ++i) {
+    EXPECT_GE(splits[i], splits[i - 1] + interval);
+  }
+
+  // Accounting: decompressed payload served once; compressed reads bounded
+  // by the file (plus the header/trailer probes at Open).
+  EXPECT_EQ(f.bytes_read(), text.size());
+  EXPECT_GE(f.bytes_inflated(), text.size());
+  EXPECT_GT(f.compressed_bytes_read(), 0u);
+  EXPECT_LT(f.compressed_bytes_read(), text.size());  // it compressed
+}
+
+TEST_F(InflateTest, CheckpointSeekInflatesAtMostOneInterval) {
+  const std::string text = MakeText(1200 * 1024);
+  const uint64_t interval = 64 * 1024;
+  auto gz = OpenGzBytes(dir_.File("t.gz"), GzipCompress(text), interval);
+  ASSERT_TRUE(gz.ok());
+  const InflateFile& f = **gz;
+  std::string got;
+  ASSERT_TRUE(ReadAll(f, &got).ok());
+  ASSERT_TRUE(f.index_complete());
+
+  // A deflate block can overshoot the nominal interval before the recorder
+  // gets a boundary to grab; give each seek that much slack.
+  const uint64_t kBlockSlack = 128 * 1024;
+  const uint64_t kLen = 4096;
+  uint64_t state = 99;
+  for (int i = 0; i < 32; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t off = state % (text.size() - kLen);
+    const uint64_t restarts_before = f.checkpoint_restarts();
+    const uint64_t inflated_before = f.bytes_inflated();
+    std::vector<char> buf(kLen);
+    auto n = f.Read(off, kLen, buf.data());
+    ASSERT_TRUE(n.ok());
+    ASSERT_EQ(*n, kLen);
+    EXPECT_EQ(std::string_view(buf.data(), kLen), text.substr(off, kLen));
+    const uint64_t inflated = f.bytes_inflated() - inflated_before;
+    EXPECT_LE(inflated, interval + kLen + kBlockSlack)
+        << "seek to " << off << " re-inflated " << inflated
+        << " bytes (restarts went " << restarts_before << " -> "
+        << f.checkpoint_restarts() << ")";
+  }
+  EXPECT_GT(f.checkpoint_restarts(), 0u);
+}
+
+TEST_F(InflateTest, RandomReadsMatchContent) {
+  const std::string text = MakeText(600 * 1024);
+  auto gz = OpenGzBytes(dir_.File("t.gz"), GzipCompress(text), 32 * 1024);
+  ASSERT_TRUE(gz.ok());
+  const InflateFile& f = **gz;
+  uint64_t state = 7;
+  for (int i = 0; i < 64; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t off = state % text.size();
+    const uint64_t len = 1 + (state >> 33) % 9000;
+    std::vector<char> buf(len);
+    auto n = f.Read(off, len, buf.data());
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, std::min<uint64_t>(len, text.size() - off));
+    EXPECT_EQ(std::string_view(buf.data(), *n), text.substr(off, *n));
+  }
+}
+
+TEST_F(InflateTest, SerializedIndexWarmsAFreshHandle) {
+  const std::string text = MakeText(900 * 1024);
+  const uint64_t interval = 64 * 1024;
+  const std::string path = dir_.File("t.gz");
+  std::string blob;
+  {
+    auto gz = OpenGzBytes(path, GzipCompress(text), interval);
+    ASSERT_TRUE(gz.ok());
+    EXPECT_TRUE((*gz)->SerializeIndex().empty()) << "index not built yet";
+    std::string got;
+    ASSERT_TRUE(ReadAll(**gz, &got).ok());
+    blob = (*gz)->SerializeIndex();
+    ASSERT_FALSE(blob.empty());
+  }
+
+  // Fresh handle + installed index: warm seeks without ever inflating from
+  // byte zero — the restarted-server scenario.
+  auto inner = RandomAccessFile::Open(path);
+  ASSERT_TRUE(inner.ok());
+  InflateOptions opts;
+  opts.checkpoint_interval_bytes = interval;
+  auto gz = InflateFile::Open(std::move(*inner), opts);
+  ASSERT_TRUE(gz.ok());
+  const InflateFile& f = **gz;
+  ASSERT_TRUE(f.InstallIndex(blob).ok());
+  EXPECT_TRUE(f.index_complete());
+  EXPECT_GT(f.checkpoint_count(), 0u);
+  EXPECT_EQ(f.bytes_inflated(), 0u) << "installing must not inflate";
+
+  const uint64_t off = text.size() - 10000;
+  std::vector<char> buf(4096);
+  auto n = f.Read(off, buf.size(), buf.data());
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, buf.size());
+  EXPECT_EQ(std::string_view(buf.data(), *n), text.substr(off, *n));
+  EXPECT_LE(f.bytes_inflated(), interval + buf.size() + 128 * 1024);
+  EXPECT_EQ(f.full_restarts(), 0u);
+  EXPECT_GT(f.checkpoint_restarts(), 0u);
+}
+
+TEST_F(InflateTest, InstallIndexRejectsCorruptBlobs) {
+  const std::string text = MakeText(300 * 1024);
+  const std::string path = dir_.File("t.gz");
+  auto gz = OpenGzBytes(path, GzipCompress(text), 32 * 1024);
+  ASSERT_TRUE(gz.ok());
+  std::string got;
+  ASSERT_TRUE(ReadAll(**gz, &got).ok());
+  const std::string blob = (*gz)->SerializeIndex();
+  ASSERT_FALSE(blob.empty());
+
+  auto fresh = [&]() {
+    auto inner = RandomAccessFile::Open(path);
+    EXPECT_TRUE(inner.ok());
+    return InflateFile::Open(std::move(*inner));
+  };
+
+  {
+    auto f = fresh();
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ((*f)->InstallIndex("").code(), StatusCode::kCorruption);
+    EXPECT_EQ((*f)->InstallIndex("GZIXgarbage").code(),
+              StatusCode::kCorruption);
+  }
+  // A flip anywhere in the blob — lengths, offsets, window bytes, the
+  // checksum itself — must be rejected (a wrong window would inflate
+  // garbage), and the file must still serve correct bytes afterwards by
+  // re-inflating from zero.
+  uint64_t state = 3;
+  for (int i = 0; i < 24; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::string bad = blob;
+    bad[state % bad.size()] ^= static_cast<char>(1u << (state % 8));
+    if (bad == blob) continue;
+    auto f = fresh();
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ((*f)->InstallIndex(bad).code(), StatusCode::kCorruption);
+    EXPECT_FALSE((*f)->index_complete());
+    std::string again;
+    ASSERT_TRUE(ReadAll(**f, &again).ok());
+    EXPECT_TRUE(again == text);
+  }
+}
+
+TEST_F(InflateTest, TruncatedMidMember) {
+  const std::string text = MakeText(200 * 1024);
+  const std::string gz_bytes = GzipCompress(text);
+  for (double frac : {0.97, 0.6, 0.25}) {
+    const auto cut = static_cast<size_t>(gz_bytes.size() * frac);
+    auto gz = OpenGzBytes(dir_.File("trunc.gz"), gz_bytes.substr(0, cut),
+                          32 * 1024);
+    if (!gz.ok()) {
+      EXPECT_TRUE(IsTypedDataError(gz.status())) << gz.status().message();
+      continue;
+    }
+    std::string got;
+    Status s = ReadAll(**gz, &got);
+    ASSERT_FALSE(s.ok()) << "truncated member read fully at frac=" << frac;
+    EXPECT_TRUE(IsTypedDataError(s)) << s.message();
+    // The handle stays usable as an error-returning object, not a crash.
+    char byte;
+    (void)(*gz)->Read(0, 1, &byte);
+  }
+  // Below the minimum member size Open itself rejects.
+  auto tiny = OpenGzBytes(dir_.File("tiny.gz"), gz_bytes.substr(0, 12),
+                          32 * 1024);
+  ASSERT_FALSE(tiny.ok());
+  EXPECT_TRUE(IsTypedDataError(tiny.status()));
+}
+
+TEST_F(InflateTest, BitFlipSweep) {
+  const std::string text = MakeText(50 * 1024);
+  const std::string gz_bytes = GzipCompress(text);
+  ASSERT_GT(gz_bytes.size(), 40u);
+
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < 10; ++i) positions.push_back(i);  // header
+  for (size_t i = 10; i + 8 < gz_bytes.size(); i += 97) {  // deflate body
+    positions.push_back(i);
+  }
+  for (size_t i = gz_bytes.size() - 8; i < gz_bytes.size(); ++i) {
+    positions.push_back(i);  // CRC32 + ISIZE trailer
+  }
+
+  for (size_t pos : positions) {
+    std::string bad = gz_bytes;
+    bad[pos] ^= '\xff';
+    auto gz = OpenGzBytes(dir_.File("flip.gz"), bad, 16 * 1024);
+    if (!gz.ok()) {
+      EXPECT_TRUE(IsTypedDataError(gz.status()))
+          << "pos=" << pos << ": " << gz.status().message();
+      continue;
+    }
+    std::string got;
+    Status s = ReadAll(**gz, &got);
+    if (s.ok()) {
+      // Flips zlib legitimately ignores (FTEXT flag, XFL, OS byte) must
+      // still decode byte-identically — never silently wrong data.
+      EXPECT_TRUE(got == text) << "pos=" << pos
+                               << ": silently wrong decompressed bytes";
+      EXPECT_LT(pos, 10u) << "non-header flip accepted at pos=" << pos;
+    } else {
+      EXPECT_TRUE(IsTypedDataError(s)) << "pos=" << pos << ": "
+                                       << s.message();
+    }
+  }
+}
+
+TEST_F(InflateTest, ConcatenatedMembersRejected) {
+  const std::string a = MakeText(80 * 1024);
+  // Same-size and different-size second members exercise both detection
+  // paths (trailing-input check vs ISIZE mismatch).
+  for (size_t b_bytes : {a.size(), a.size() / 3}) {
+    const std::string b = MakeText(b_bytes);
+    auto gz = OpenGzBytes(dir_.File("concat.gz"),
+                          GzipCompress(a) + GzipCompress(b), 16 * 1024);
+    if (!gz.ok()) {
+      EXPECT_TRUE(IsTypedDataError(gz.status()));
+      continue;
+    }
+    std::string got;
+    Status s = ReadAll(**gz, &got);
+    ASSERT_FALSE(s.ok()) << "concatenated members must not read through";
+    EXPECT_TRUE(IsTypedDataError(s)) << s.message();
+  }
+}
+
+TEST_F(InflateTest, GarbagePastTrailerRejected) {
+  const std::string text = MakeText(60 * 1024);
+  for (const std::string& tail :
+       {std::string("THIS IS NOT GZIP DATA"), std::string(64, '\0')}) {
+    auto gz = OpenGzBytes(dir_.File("tail.gz"), GzipCompress(text) + tail,
+                          16 * 1024);
+    if (!gz.ok()) {
+      EXPECT_TRUE(IsTypedDataError(gz.status()));
+      continue;
+    }
+    std::string got;
+    Status s = ReadAll(**gz, &got);
+    ASSERT_FALSE(s.ok()) << "trailing garbage must not read through";
+    EXPECT_TRUE(IsTypedDataError(s)) << s.message();
+  }
+}
+
+TEST_F(InflateTest, ConcurrentReadersAgree) {
+  const std::string text = MakeText(800 * 1024);
+  auto gz = OpenGzBytes(dir_.File("t.gz"), GzipCompress(text), 64 * 1024);
+  ASSERT_TRUE(gz.ok());
+  const InflateFile& f = **gz;
+  std::string got;
+  ASSERT_TRUE(ReadAll(f, &got).ok());
+  ASSERT_TRUE(f.SupportsConcurrentReads());
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      uint64_t state = 1000 + t;
+      std::vector<char> buf(8192);
+      for (int i = 0; i < 40; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const uint64_t off = state % (text.size() - buf.size());
+        auto n = f.Read(off, buf.size(), buf.data());
+        if (!n.ok() || *n != buf.size() ||
+            std::string_view(buf.data(), *n) != text.substr(off, *n)) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+}
+
+}  // namespace
+}  // namespace nodb

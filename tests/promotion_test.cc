@@ -411,17 +411,19 @@ TEST_F(PromotionSnapshotTest, Version1SnapshotsStillLoadWithColdCounters) {
     expected = Canonical(db.get(), sql);
     ASSERT_TRUE(db->Snapshot("t").ok());
   }
-  // Surgically rewrite the v2 file as the v1 format: strip the trailing
-  // access-counter section (1-byte flag + u32 count + 5 u64 per column),
-  // set version=1 and re-stamp payload size + checksum.
+  // Surgically rewrite the file as the v1 format: strip the trailing
+  // v3 gzip-index section (one absent-flag byte for this plain CSV) and
+  // the v2 access-counter section (1-byte flag + u32 count + 5 u64 per
+  // column), set version=1 and re-stamp payload size + checksum.
   const std::string path = SnapshotPathFor(snap_dir_, "t");
   auto bytes = ReadFileToString(path);
   ASSERT_TRUE(bytes.ok());
   std::string file = *bytes;
   const size_t header_bytes = 40;
   const size_t access_bytes = 1 + 4 + 5 * 8 * static_cast<size_t>(spec_.cols);
-  ASSERT_GT(file.size(), header_bytes + access_bytes);
-  file.resize(file.size() - access_bytes);
+  const size_t gz_bytes = 1;
+  ASSERT_GT(file.size(), header_bytes + access_bytes + gz_bytes);
+  file.resize(file.size() - access_bytes - gz_bytes);
   uint32_t v1 = 1;
   std::memcpy(&file[8], &v1, 4);
   uint64_t payload_size = file.size() - header_bytes;

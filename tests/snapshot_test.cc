@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "engine/engines.h"
+#include "io/inflate_file.h"
 #include "snapshot/snapshot.h"
 #include "util/fs_util.h"
 #include "workload/micro.h"
@@ -407,6 +409,214 @@ TEST_F(SnapshotTest, CrashLeftoverTempFileIsIgnored) {
   ASSERT_TRUE(WriteStringToFile(path + ".tmp.9999", "partial").ok());
   auto db = OpenDb(SnapConfig());
   EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kLoaded);
+}
+
+// ---------------------------------------------------------------------
+// v3 gzip checkpoint-index section: a snapshot of a gz-served table also
+// carries the decompression restart points, so a warm restart seeks
+// instead of re-inflating from zero. The degradation ladder under test:
+// a v2 file (no section) and a corrupt section both still load the
+// pmap/cache/stats warm — only the index starts cold.
+// ---------------------------------------------------------------------
+
+class GzSnapshotTest : public SnapshotTest {
+ protected:
+  static constexpr uint64_t kInterval = 32 * 1024;
+
+  void SetUp() override {
+    SnapshotTest::SetUp();
+    if (!InflateSupported()) GTEST_SKIP() << "built without zlib";
+    auto content = ReadFileToString(csv_);
+    ASSERT_TRUE(content.ok());
+    gz_csv_ = csv_ + ".gz";
+    ASSERT_TRUE(WriteStringToFile(gz_csv_, GzipCompress(*content)).ok());
+  }
+
+  EngineConfig GzSnapConfig() {
+    EngineConfig cfg = SnapConfig();
+    cfg.gz_checkpoint_bytes = kInterval;
+    return cfg;
+  }
+
+  std::unique_ptr<Database> OpenGzDb(const EngineConfig& cfg) {
+    auto db = std::make_unique<Database>(cfg);
+    EXPECT_TRUE(db->RegisterCsv("t", gz_csv_, MicroSchema(spec_)).ok());
+    return db;
+  }
+
+  const InflateFile* GzOf(Database* db) {
+    return db->runtime("t")->adapter->file()->AsInflateFile();
+  }
+
+  /// The canonical serialized checkpoint index for gz_csv_ at kInterval,
+  /// built on a private handle. Checkpoint placement is deterministic
+  /// (same bytes, same interval, same zlib), so the engine's snapshot must
+  /// embed exactly these bytes — which is what makes surgical removal of
+  /// the section possible below.
+  std::string ExpectedIndexBlob() {
+    auto inner = RandomAccessFile::Open(gz_csv_);
+    EXPECT_TRUE(inner.ok());
+    InflateOptions opts;
+    opts.checkpoint_interval_bytes = kInterval;
+    auto gz = InflateFile::Open(std::move(*inner), opts);
+    EXPECT_TRUE(gz.ok()) << gz.status();
+    std::string buf((*gz)->size(), '\0');
+    auto n = (*gz)->Read(0, buf.size(), buf.data());
+    EXPECT_TRUE(n.ok()) << n.status();
+    EXPECT_TRUE((*gz)->index_complete());
+    return (*gz)->SerializeIndex();
+  }
+
+  /// The byte suffix the v3 gz section adds to a snapshot payload:
+  /// [flag=1][u32 length][blob].
+  std::string SectionSuffix(const std::string& blob) {
+    std::string suffix(1, '\x01');
+    uint32_t len = static_cast<uint32_t>(blob.size());
+    char b[4];
+    std::memcpy(b, &len, 4);
+    suffix.append(b, 4);
+    suffix += blob;
+    return suffix;
+  }
+
+  /// Replaces the payload of the snapshot at `path` and re-stamps the
+  /// header (version, payload size, checksum) so only the *target* of each
+  /// test's surgery is invalid, never the envelope.
+  void RestampSnapshot(const std::string& path, uint32_t version,
+                       const std::string& payload) {
+    std::string bytes = "NODBSNAP";
+    auto put32 = [&bytes](uint32_t v) {
+      char b[4];
+      std::memcpy(b, &v, 4);
+      bytes.append(b, 4);
+    };
+    auto put64 = [&bytes](uint64_t v) {
+      char b[8];
+      std::memcpy(b, &v, 8);
+      bytes.append(b, 8);
+    };
+    put32(version);
+    put32(0);  // flags
+    put64(payload.size());
+    put64(SnapshotChecksum(payload.data(), payload.size()));
+    put64(0);  // reserved
+    bytes += payload;
+    ASSERT_TRUE(WriteStringToFile(path, bytes).ok());
+  }
+
+  std::string gz_csv_;
+};
+
+TEST_F(GzSnapshotTest, V3RoundTripRestoresCheckpointIndex) {
+  std::vector<std::string> expected;
+  {
+    auto db = OpenGzDb(GzSnapConfig());
+    Warm(db.get());
+    ASSERT_TRUE(GzOf(db.get())->index_complete());
+    EXPECT_GT(GzOf(db.get())->checkpoint_count(), 2u);
+    for (const std::string& sql : Queries()) {
+      for (std::string& row : Rows(db.get(), sql)) {
+        expected.push_back(std::move(row));
+      }
+    }
+    auto saved = db->Snapshot("t");
+    ASSERT_TRUE(saved.ok()) << saved.status();
+  }
+
+  auto db = OpenGzDb(GzSnapConfig());
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kLoaded);
+  const InflateFile* gz = GzOf(db.get());
+  // The index came back from the snapshot — complete before any scan.
+  EXPECT_TRUE(gz->index_complete());
+  EXPECT_GT(gz->checkpoint_count(), 2u);
+
+  // Warm queries answer from the restored cache: zero decompressed payload
+  // read, zero bytes inflated.
+  const uint64_t payload_before = InfoOf(db.get()).bytes_read;
+  const uint64_t inflated_before = gz->bytes_inflated();
+  std::vector<std::string> actual;
+  for (const std::string& sql : Queries()) {
+    for (std::string& row : Rows(db.get(), sql)) {
+      actual.push_back(std::move(row));
+    }
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(InfoOf(db.get()).bytes_read, payload_before);
+  EXPECT_EQ(gz->bytes_inflated(), inflated_before);
+
+  // A directed read into the middle of the stream seeks via a restored
+  // checkpoint: at most one interval (plus a deflate block) of inflation,
+  // never a full re-inflate from zero.
+  const uint64_t target = gz->size() * 7 / 10;
+  char buf[256];
+  auto n = gz->Read(target, sizeof(buf), buf);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_GT(gz->checkpoint_restarts(), 0u);
+  EXPECT_LE(gz->bytes_inflated() - inflated_before,
+            kInterval + sizeof(buf) + 128 * 1024);
+}
+
+TEST_F(GzSnapshotTest, V2DowngradeLoadsWithColdIndex) {
+  std::string path;
+  {
+    auto db = OpenGzDb(GzSnapConfig());
+    Warm(db.get());
+    auto saved = db->Snapshot("t");
+    ASSERT_TRUE(saved.ok()) << saved.status();
+    path = SnapshotPathFor(snap_dir_, "t");
+  }
+  auto raw = ReadFileToString(path);
+  ASSERT_TRUE(raw.ok());
+  std::string payload = raw->substr(40);
+  const std::string suffix = SectionSuffix(ExpectedIndexBlob());
+  ASSERT_GE(payload.size(), suffix.size());
+  ASSERT_EQ(payload.substr(payload.size() - suffix.size()), suffix)
+      << "the v3 file does not end with the canonical gz section";
+  // Strip the section and downgrade the version: a v2 file, as an older
+  // build would have written.
+  payload.resize(payload.size() - suffix.size());
+  RestampSnapshot(path, 2, payload);
+
+  auto db = OpenGzDb(GzSnapConfig());
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kLoaded);
+  EXPECT_EQ(db->snapshot_counters().loads, 1u);
+  // Warm structures restored; only the checkpoint index starts cold.
+  EXPECT_EQ(static_cast<uint64_t>(db->GetRowCount("t")), spec_.rows);
+  EXPECT_FALSE(GzOf(db.get())->index_complete());
+  EXPECT_EQ(GzOf(db.get())->checkpoint_count(), 0u);
+  ExpectColdEquivalent(db.get());
+}
+
+TEST_F(GzSnapshotTest, CorruptIndexSectionDegradesToReinflateNotCold) {
+  std::string path;
+  {
+    auto db = OpenGzDb(GzSnapConfig());
+    Warm(db.get());
+    auto saved = db->Snapshot("t");
+    ASSERT_TRUE(saved.ok()) << saved.status();
+    path = SnapshotPathFor(snap_dir_, "t");
+  }
+  auto raw = ReadFileToString(path);
+  ASSERT_TRUE(raw.ok());
+  std::string payload = raw->substr(40);
+  const std::string blob = ExpectedIndexBlob();
+  ASSERT_GT(blob.size(), 16u);
+  ASSERT_GE(payload.size(), blob.size());
+  // Flip one byte in the middle of the embedded index and re-stamp the
+  // envelope checksum, so only InflateFile's own validation can catch it.
+  payload[payload.size() - blob.size() / 2] ^= 0x20;
+  RestampSnapshot(path, 3, payload);
+
+  auto db = OpenGzDb(GzSnapConfig());
+  // The table is NOT cold: everything else in the snapshot installed.
+  EXPECT_EQ(InfoOf(db.get()).snapshot_state, SnapshotState::kLoaded);
+  EXPECT_EQ(db->snapshot_counters().loads, 1u);
+  EXPECT_EQ(static_cast<uint64_t>(db->GetRowCount("t")), spec_.rows);
+  // The rejected index degrades to re-inflation from zero, never to a
+  // wrong seek: no checkpoints installed.
+  EXPECT_FALSE(GzOf(db.get())->index_complete());
+  EXPECT_EQ(GzOf(db.get())->checkpoint_count(), 0u);
+  ExpectColdEquivalent(db.get());
 }
 
 }  // namespace
